@@ -1,0 +1,426 @@
+package simfs
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the index). Each benchmark runs the full
+// experiment per iteration and reports headline values as custom metrics,
+// so `go test -bench=. -benchmem` both times the harness and records the
+// reproduced numbers. cmd/simfs-bench prints the full row/series sets.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"simfs/internal/batch"
+	"simfs/internal/cache"
+	"simfs/internal/core"
+	"simfs/internal/costmodel"
+	"simfs/internal/des"
+	"simfs/internal/dvlib"
+	"simfs/internal/experiments"
+	"simfs/internal/model"
+	"simfs/internal/server"
+	"simfs/internal/simulator"
+	"simfs/internal/trace"
+)
+
+// at extracts a median from a metrics table, failing the benchmark on a
+// missing cell.
+func at(b *testing.B, get func() (float64, bool), what string) float64 {
+	b.Helper()
+	v, ok := get()
+	if !ok {
+		b.Fatalf("missing cell: %s", what)
+	}
+	return v
+}
+
+// BenchmarkFig01_AggregatedCost regenerates Fig. 1 (aggregated analysis
+// cost over the availability period) and reports the 5-year costs.
+func BenchmarkFig01_AggregatedCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig01(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ondisk := at(b, func() (float64, bool) { s, ok := tab.Series("on-disk").At("5y"); return s.Median, ok }, "on-disk@5y")
+		simfsCost := at(b, func() (float64, bool) { s, ok := tab.Series("SimFS").At("5y"); return s.Median, ok }, "SimFS@5y")
+		b.ReportMetric(ondisk, "ondisk-5y-k$")
+		b.ReportMetric(simfsCost, "simfs-5y-k$")
+	}
+}
+
+// BenchmarkFig05_ReplacementSchemes regenerates Fig. 5 (replacement-scheme
+// comparison) with a reduced repetition count and reports DCL's and LRU's
+// re-simulated steps on the ECMWF-like trace.
+func BenchmarkFig05_ReplacementSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig05()
+		cfg.Reps = 3
+		steps, _, err := experiments.Fig05(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dcl := at(b, func() (float64, bool) { s, ok := steps.Series("DCL").At("ECMWF"); return s.Median, ok }, "DCL@ECMWF")
+		lru := at(b, func() (float64, bool) { s, ok := steps.Series("LRU").At("ECMWF"); return s.Median, ok }, "LRU@ECMWF")
+		b.ReportMetric(dcl, "dcl-ecmwf-steps")
+		b.ReportMetric(lru, "lru-ecmwf-steps")
+	}
+}
+
+// BenchmarkFig12_CostVsAvailability regenerates Fig. 12.
+func BenchmarkFig12_CostVsAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig12(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := at(b, func() (float64, bool) { s, ok := tab.Series("SimFS(25%) Δr=8h").At("5y"); return s.Median, ok }, "simfs@5y")
+		b.ReportMetric(v, "simfs25-dr8h-5y-k$")
+	}
+}
+
+// BenchmarkFig13_CostVsOverlap regenerates Fig. 13.
+func BenchmarkFig13_CostVsOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig13(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo := at(b, func() (float64, bool) { s, ok := tab.Series("SimFS(25%) Δr=8h").At("0"); return s.Median, ok }, "overlap 0")
+		hi := at(b, func() (float64, bool) { s, ok := tab.Series("SimFS(25%) Δr=8h").At("100"); return s.Median, ok }, "overlap 100")
+		b.ReportMetric(lo, "simfs-overlap0-k$")
+		b.ReportMetric(hi, "simfs-overlap100-k$")
+	}
+}
+
+// BenchmarkFig14_CostVsNumAnalyses regenerates Fig. 14 and reports the
+// in-situ/SimFS crossover region endpoints.
+func BenchmarkFig14_CostVsNumAnalyses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig14(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at5 := at(b, func() (float64, bool) { s, ok := tab.Series("in-situ").At("5"); return s.Median, ok }, "insitu@5")
+		at125 := at(b, func() (float64, bool) { s, ok := tab.Series("in-situ").At("125"); return s.Median, ok }, "insitu@125")
+		b.ReportMetric(at5, "insitu-5-k$")
+		b.ReportMetric(at125, "insitu-125-k$")
+	}
+}
+
+// BenchmarkFig15a_Heatmap regenerates the cost-effectiveness heatmap.
+func BenchmarkFig15a_Heatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.Fig15a(experiments.DefaultCostWorkload())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, ok := h.At("0.15", "2.0")
+		if !ok {
+			b.Fatal("missing heatmap cell")
+		}
+		b.ReportMetric(v, "ratio-mid")
+	}
+}
+
+// BenchmarkFig15b_CostOverSpace regenerates Fig. 15b.
+func BenchmarkFig15b_CostOverSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		costTab, _, err := experiments.Fig15bc(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs := costTab.Series("cache 25%").Xs()
+		if len(xs) != 4 {
+			b.Fatalf("want 4 Δr points, got %d", len(xs))
+		}
+	}
+}
+
+// BenchmarkFig15c_TimeOverSpace regenerates Fig. 15c.
+func BenchmarkFig15c_TimeOverSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, timeTab, err := experiments.Fig15bc(experiments.DefaultCostWorkload(), costmodel.Azure)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs := timeTab.Series("cache 50%").Xs()
+		v, ok := timeTab.Series("cache 50%").At(xs[0])
+		if !ok {
+			b.Fatal("missing cell")
+		}
+		b.ReportMetric(v.Median, "resim-hours-dr4h")
+	}
+}
+
+// BenchmarkFig16_CosmoScaling regenerates the COSMO strong-scaling figure
+// and reports the forward speedup at smax=8.
+func BenchmarkFig16_CosmoScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwd := at(b, func() (float64, bool) { s, ok := tab.Series("Forward").At("8"); return s.Median, ok }, "fwd@8")
+		single := at(b, func() (float64, bool) {
+			s, ok := tab.Series("Full Forward Resimulation").At("8")
+			return s.Median, ok
+		}, "single@8")
+		b.ReportMetric(single/fwd, "speedup-smax8")
+	}
+}
+
+// BenchmarkFig17_CosmoLatency regenerates the COSMO restart-latency sweep.
+func BenchmarkFig17_CosmoLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) != 3 {
+			b.Fatalf("want 3 analysis lengths, got %d", len(tabs))
+		}
+		simfsT := at(b, func() (float64, bool) { s, ok := tabs[0].Series("SimFS").At("600"); return s.Median, ok }, "simfs@600")
+		single := at(b, func() (float64, bool) { s, ok := tabs[0].Series("Tsingle").At("600"); return s.Median, ok }, "tsingle@600")
+		b.ReportMetric(simfsT/single, "overhead-m72-a600")
+	}
+}
+
+// BenchmarkFig18_FlashScaling regenerates the FLASH strong-scaling figure.
+func BenchmarkFig18_FlashScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fwd := at(b, func() (float64, bool) { s, ok := tab.Series("Forward").At("16"); return s.Median, ok }, "fwd@16")
+		single := at(b, func() (float64, bool) {
+			s, ok := tab.Series("Full Forward Resimulation").At("16")
+			return s.Median, ok
+		}, "single@16")
+		b.ReportMetric(single/fwd, "speedup-smax16")
+	}
+}
+
+// BenchmarkFig19_FlashLatency regenerates the FLASH restart-latency sweep.
+func BenchmarkFig19_FlashLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := experiments.Fig19()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) != 3 {
+			b.Fatalf("want 3 analysis lengths, got %d", len(tabs))
+		}
+	}
+}
+
+// BenchmarkAblationPrefetchStrategies quantifies the prefetching design
+// (none → masking → bandwidth matching).
+func BenchmarkAblationPrefetchStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPrefetchStrategies(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDoubling quantifies the s-doubling ramp-up.
+func BenchmarkAblationDoubling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDoubling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPinPressure quantifies eviction under pinning.
+func BenchmarkAblationPinPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPinPressure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEMA quantifies αsim-estimation smoothing under noise.
+func BenchmarkAblationEMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEMA(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrates ------------------------------------
+
+// BenchmarkPolicy measures the per-access cost of each replacement scheme
+// on a Zipf-ish reuse pattern with interleaved evictions.
+func BenchmarkPolicy(b *testing.B) {
+	for _, name := range cache.PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			pol, err := cache.NewPolicy(name, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cache.New(pol, 1024)
+			keys := make([]string, 4096)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("f%04d", i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[(i*i)%len(keys)] // quadratic probe ≈ skewed reuse
+				if !c.Touch(k) {
+					if _, err := c.Insert(k, 1, i%12+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDESEngine measures raw event throughput.
+func BenchmarkDESEngine(b *testing.B) {
+	eng := des.NewEngine()
+	n := 0
+	var reschedule func()
+	reschedule = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(time.Microsecond, reschedule)
+		}
+	}
+	eng.Schedule(0, reschedule)
+	b.ResetTimer()
+	eng.Run(0)
+	if n < b.N {
+		b.Fatalf("processed %d of %d events", n, b.N)
+	}
+}
+
+// BenchmarkVirtualizerOpenHit measures the DV's hot open path.
+func BenchmarkVirtualizerOpenHit(b *testing.B) {
+	ctx := &model.Context{
+		Name: "bench", Grid: model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 4096},
+		OutputBytes: 1, Tau: time.Second, Alpha: time.Second,
+		DefaultParallelism: 1, MaxParallelism: 1, SMax: 4, NoPrefetch: true,
+	}
+	ctx.ApplyDefaults()
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := core.New(eng, l)
+	l.Events = v
+	if err := v.AddContext(ctx, "DCL", nil); err != nil {
+		b.Fatal(err)
+	}
+	steps := make([]int, ctx.Grid.NumOutputSteps())
+	names := make([]string, len(steps))
+	for i := range steps {
+		steps[i] = i + 1
+		names[i] = ctx.Filename(i + 1)
+	}
+	if err := v.Preload("bench", steps); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := names[i%len(names)]
+		if _, err := v.Open("c", "bench", name); err != nil {
+			b.Fatal(err)
+		}
+		if err := v.Release("c", "bench", name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayECMWF measures trace-replay throughput on the ECMWF-like
+// workload (the inner loop of the caching study and cost models).
+func BenchmarkReplayECMWF(b *testing.B) {
+	ctx := simulator.CacheEval()
+	tr, err := trace.Generate(trace.ECMWF, trace.Config{
+		NumSteps: ctx.Grid.NumOutputSteps(), NumAnalyses: 50,
+		MinLen: 100, MaxLen: 400, Stride: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Replay(ctx, "DCL", tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr)), "accesses/op")
+}
+
+// BenchmarkProtocolRoundTrip measures one open+release cycle over a real
+// TCP loopback connection to the daemon.
+func BenchmarkProtocolRoundTrip(b *testing.B) {
+	ctx := &model.Context{
+		Name: "wire", Grid: model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 1024},
+		OutputBytes: 64, RestartBytes: 64,
+		Tau: time.Millisecond, Alpha: time.Millisecond,
+		DefaultParallelism: 1, MaxParallelism: 1, SMax: 4, NoPrefetch: true,
+	}
+	st, err := server.NewStack(b.TempDir(), 1, "DCL", ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go st.Server.Serve()
+	defer func() {
+		st.Close()
+		st.Launcher.Wait()
+	}()
+	c, err := dvlib.Dial(st.Server.Addr(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	actx, err := c.Init("wire")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm one file so the loop measures pure hit round trips.
+	file := actx.Filename(1)
+	if _, err := actx.Open(file); err != nil {
+		b.Fatal(err)
+	}
+	if err := actx.WaitAvailable(file); err != nil {
+		b.Fatal(err)
+	}
+	if err := actx.Close(file); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := actx.Open(file); err != nil {
+			b.Fatal(err)
+		}
+		if err := actx.Close(file); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchSamplers measures queueing-delay generation.
+func BenchmarkBatchSamplers(b *testing.B) {
+	samplers := map[string]batch.Sampler{
+		"constant":    batch.Constant(time.Second),
+		"uniform":     batch.NewUniform(0, time.Second, 1),
+		"exponential": batch.NewExponential(time.Second, 1),
+	}
+	for name, s := range samplers {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Next()
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Command simfs-ctl is the SimFS control utility: it inspects and manages
+// a running DV daemon (the command-line tool the paper mentions for
+// checksum registration and administration).
+//
+// Usage:
+//
+//	simfs-ctl -addr 127.0.0.1:7878 contexts
+//	simfs-ctl -addr ... -context demo stats
+//	simfs-ctl -addr ... -context demo estwait demo_out_00000042.nc
+//	simfs-ctl -addr ... -context demo bitrep  demo_out_00000042.nc
+//	simfs-ctl -addr ... -context demo rescan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"simfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "daemon address")
+	ctxName := flag.String("context", "", "simulation context name")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := simfs.Dial(*addr, "simfs-ctl")
+	if err != nil {
+		log.Fatalf("simfs-ctl: %v", err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "contexts":
+		names, err := c.Contexts()
+		check(err)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "stats":
+		ctx := open(c, *ctxName)
+		st, err := ctx.Stats()
+		check(err)
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "opens\t%d\nhits\t%d\nmisses\t%d\nrestarts\t%d\n", st.Opens, st.Hits, st.Misses, st.Restarts)
+		fmt.Fprintf(w, "demand restarts\t%d\nprefetch launches\t%d\ndropped prefetch\t%d\n", st.DemandRestarts, st.PrefetchLaunches, st.DroppedPrefetch)
+		fmt.Fprintf(w, "steps produced\t%d\nevictions\t%d\nkills\t%d\nfailures\t%d\npollution resets\t%d\n", st.StepsProduced, st.Evictions, st.Kills, st.Failures, st.PollutionResets)
+		w.Flush()
+	case "estwait":
+		needFile(args)
+		ctx := open(c, *ctxName)
+		w, err := ctx.EstWait(args[1])
+		check(err)
+		fmt.Printf("%s: estimated wait %v\n", args[1], w)
+	case "bitrep":
+		needFile(args)
+		ctx := open(c, *ctxName)
+		same, err := ctx.Bitrep(args[1])
+		check(err)
+		if same {
+			fmt.Printf("%s: bitwise identical to the original\n", args[1])
+		} else {
+			fmt.Printf("%s: DIFFERS from the original simulation output\n", args[1])
+		}
+	case "rescan":
+		ctx := open(c, *ctxName)
+		n, err := ctx.Rescan()
+		check(err)
+		fmt.Printf("recovered %d output steps from the storage area\n", n)
+	default:
+		usage()
+	}
+}
+
+func open(c *simfs.Client, name string) *simfs.AnalysisContext {
+	if name == "" {
+		log.Fatal("simfs-ctl: -context required for this command")
+	}
+	ctx, err := c.Init(name)
+	check(err)
+	return ctx
+}
+
+func needFile(args []string) {
+	if len(args) < 2 {
+		log.Fatalf("simfs-ctl: %s requires a file name", args[0])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("simfs-ctl: %v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: simfs-ctl [-addr host:port] [-context name] contexts|stats|estwait <file>|bitrep <file>|rescan")
+	os.Exit(2)
+}

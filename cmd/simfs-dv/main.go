@@ -1,0 +1,100 @@
+// Command simfs-dv runs the SimFS Data Virtualizer daemon: it builds the
+// per-context storage areas, runs the initial simulations (restart files +
+// checksum registration) and serves DVLib clients over TCP.
+//
+// Usage:
+//
+//	simfs-dv -addr 127.0.0.1:7878 -data /tmp/simfs -preset demo
+//	simfs-dv -preset cosmo -timescale 1000        # COSMO timings in ms
+//	simfs-dv -config contexts.json                # custom contexts
+//
+// The JSON config is a list of context objects; see Context in the simfs
+// package for the fields.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"simfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
+	data := flag.String("data", "./simfs-data", "base directory for storage areas")
+	preset := flag.String("preset", "demo", "context preset: demo | cosmo | flash (ignored with -config)")
+	config := flag.String("config", "", "JSON file with custom context definitions")
+	policy := flag.String("policy", "DCL", "cache replacement scheme: LRU | LIRS | ARC | BCL | DCL")
+	timescale := flag.Int("timescale", 1000, "divide simulated durations by this factor (1 = real time)")
+	flag.Parse()
+
+	ctxs, err := loadContexts(*preset, *config)
+	if err != nil {
+		log.Fatalf("simfs-dv: %v", err)
+	}
+	d, err := simfs.NewDaemon(*data, *timescale, *policy, ctxs...)
+	if err != nil {
+		log.Fatalf("simfs-dv: %v", err)
+	}
+	for _, ctx := range ctxs {
+		if err := d.RunInitialSimulation(ctx.Name); err != nil {
+			log.Fatalf("simfs-dv: initial simulation of %s: %v", ctx.Name, err)
+		}
+		if n, err := d.V.RescanStorageArea(ctx.Name); err == nil && n > 0 {
+			log.Printf("simfs-dv: context %s: recovered %d cached output steps", ctx.Name, n)
+		}
+		log.Printf("simfs-dv: context %s ready (Δd=%d Δr=%d steps=%d, storage %s)",
+			ctx.Name, ctx.Grid.DeltaD, ctx.Grid.DeltaR, ctx.Grid.NumOutputSteps(), ctx.StorageDir)
+	}
+	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d)", *addr, *policy, *timescale)
+	if err := d.ListenAndServe(*addr); err != nil {
+		log.Fatalf("simfs-dv: %v", err)
+	}
+}
+
+func loadContexts(preset, config string) ([]*simfs.Context, error) {
+	if config != "" {
+		raw, err := os.ReadFile(config)
+		if err != nil {
+			return nil, err
+		}
+		var ctxs []*simfs.Context
+		if err := json.Unmarshal(raw, &ctxs); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", config, err)
+		}
+		if len(ctxs) == 0 {
+			return nil, fmt.Errorf("%s defines no contexts", config)
+		}
+		return ctxs, nil
+	}
+	switch preset {
+	case "demo":
+		return []*simfs.Context{demoContext()}, nil
+	case "cosmo":
+		return []*simfs.Context{simfs.CosmoScaling()}, nil
+	case "flash":
+		return []*simfs.Context{simfs.Flash()}, nil
+	}
+	return nil, fmt.Errorf("unknown preset %q", preset)
+}
+
+// demoContext is a small virtualized simulation: 128 output steps, restart
+// every 8, 4 KiB files — instant to play with.
+func demoContext() *simfs.Context {
+	return &simfs.Context{
+		Name:               "demo",
+		Grid:               simfs.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 128},
+		OutputBytes:        4096,
+		RestartBytes:       8192,
+		MaxCacheBytes:      64 * 4096, // half the output volume
+		Tau:                2 * time.Second,
+		Alpha:              5 * time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     4,
+		SMax:               8,
+	}
+}

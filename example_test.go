@@ -1,0 +1,52 @@
+package simfs_test
+
+import (
+	"fmt"
+
+	"simfs"
+)
+
+// The grid algebra answers the central question of the virtualization:
+// which restart step must a re-simulation boot from to reproduce a given
+// output step, and how far must it run?
+func ExampleGrid() {
+	// Output every 4 timesteps, restart every 8 (the paper's Fig. 3).
+	g := simfs.Grid{DeltaD: 4, DeltaR: 8, Timesteps: 16}
+	fmt.Println("output steps:", g.NumOutputSteps())
+	fmt.Println("restart for d3:", g.RestartBefore(3))
+	iv, _ := g.ResimInterval(3)
+	first, last, _ := g.OutputsIn(iv)
+	fmt.Printf("re-simulation for d3: timesteps (%d,%d], producing d%d..d%d\n",
+		iv.Start, iv.End, first, last)
+	fmt.Println("miss cost of d3:", g.MissCost(3), "output steps")
+	// Output:
+	// output steps: 4
+	// restart for d3: 8
+	// re-simulation for d3: timesteps (8,16], producing d3..d4
+	// miss cost of d3: 1 output steps
+}
+
+// MeanVar is the analysis kernel the paper's evaluation runs over COSMO
+// and FLASH output steps.
+func ExampleMeanVar() {
+	mean, variance := simfs.MeanVar([]float64{1, 2, 3, 4})
+	fmt.Printf("mean=%.2f variance=%.2f\n", mean, variance)
+	// Output:
+	// mean=2.50 variance=1.25
+}
+
+// Contexts carry the whole simulator configuration; defaults fill the
+// optional knobs.
+func ExampleContext() {
+	ctx := simfs.CosmoScaling()
+	fmt.Println("name:", ctx.Name)
+	fmt.Println("outputs per restart interval:", ctx.Grid.OutputsPerRestart())
+	fmt.Println("file for step 7:", ctx.Filename(7))
+	step, _ := ctx.Key(ctx.Filename(7))
+	fmt.Println("key round-trip:", step)
+	// Output:
+	// name: cosmo
+	// outputs per restart interval: 12
+	// file for step 7: cosmo_out_00000007.nc
+	// key round-trip: 7
+}

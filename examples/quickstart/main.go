@@ -1,0 +1,109 @@
+// Quickstart: bring up an in-process SimFS daemon, virtualize a small
+// simulation, and read output steps that do not exist on disk — they are
+// re-simulated on demand, transparently.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"simfs"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "simfs-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A small virtualized simulation: 64 output steps, restart files every
+	// 8 steps, 4 KiB per output file. The cache holds only 16 files —
+	// a quarter of the data — so most of the dataset exists only
+	// virtually. Timings are the published COSMO ones scaled 1000×.
+	ctx := &simfs.Context{
+		Name:               "quick",
+		Grid:               simfs.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 64},
+		OutputBytes:        4096,
+		RestartBytes:       8192,
+		MaxCacheBytes:      16 * 4096,
+		Tau:                3 * time.Second,  // τsim: 3 s per output step
+		Alpha:              13 * time.Second, // αsim: 13 s restart latency
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               8,
+	}
+
+	daemon, err := simfs.NewDaemon(dir, 1000, "DCL", ctx) // 1000× faster
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := daemon.RunInitialSimulation("quick"); err != nil {
+		log.Fatal(err)
+	}
+	if err := daemon.Server.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	go daemon.Server.Serve()
+	defer func() {
+		daemon.Close()
+		daemon.Launcher.Wait()
+	}()
+	fmt.Printf("daemon up on %s; storage area %s\n", daemon.Server.Addr(), dir)
+
+	// Connect like an analysis application would.
+	client, err := simfs.Dial(daemon.Server.Addr(), "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	actx, err := client.Init("quick")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read output step 42. It was never stored — SimFS restarts the
+	// simulation from the restart file at step 40 and produces it.
+	file := actx.Filename(42)
+	res, err := actx.Open(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("open %s: available=%v estimated wait=%v\n", file, res.Available, res.EstWait)
+
+	start := time.Now()
+	content, err := actx.Read(file) // blocks until re-simulated
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read %d bytes after %v (re-simulated on demand)\n", len(content), time.Since(start).Round(time.Millisecond))
+
+	// Verify bitwise reproducibility against the original simulation.
+	same, err := actx.Bitrep(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bitwise identical to the original run: %v\n", same)
+	if err := actx.Close(file); err != nil {
+		log.Fatal(err)
+	}
+
+	// A second read is a cache hit: instant.
+	start = time.Now()
+	if _, err := actx.Open(file); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := actx.Read(file); err != nil {
+		log.Fatal(err)
+	}
+	actx.Close(file)
+	fmt.Printf("second read served from cache in %v\n", time.Since(start).Round(time.Millisecond))
+
+	stats, _ := actx.Stats()
+	fmt.Printf("DV stats: opens=%d hits=%d misses=%d restarts=%d steps-produced=%d\n",
+		stats.Opens, stats.Hits, stats.Misses, stats.Restarts, stats.StepsProduced)
+}

@@ -1,0 +1,199 @@
+package cache
+
+// ARC (Adaptive Replacement Cache, Megiddo & Modha, FAST 2003) keeps two
+// resident lists — T1 for entries seen once recently, T2 for entries seen
+// at least twice — plus ghost lists B1 and B2 remembering recently evicted
+// keys from each. A hit in B1 (resp. B2) grows (resp. shrinks) the
+// adaptation target p, shifting capacity between recency and frequency at
+// runtime "in order to adapt to the observed access pattern" (paper
+// Sec. III-D).
+type ARC struct {
+	c     int // capacity in entries
+	p     int // target size of T1
+	t1    list
+	t2    list
+	b1    list
+	b2    list
+	where map[string]*arcEntry
+}
+
+type arcList int
+
+const (
+	inT1 arcList = iota
+	inT2
+	inB1
+	inB2
+)
+
+type arcEntry struct {
+	nd *node
+	l  arcList
+}
+
+// NewARC returns an empty ARC policy with the given capacity in entries.
+func NewARC(capacity int) *ARC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ARC{c: capacity, where: map[string]*arcEntry{}}
+}
+
+// Name implements Policy.
+func (p *ARC) Name() string { return "ARC" }
+
+func (p *ARC) listOf(l arcList) *list {
+	switch l {
+	case inT1:
+		return &p.t1
+	case inT2:
+		return &p.t2
+	case inB1:
+		return &p.b1
+	default:
+		return &p.b2
+	}
+}
+
+// Access implements Policy: a hit moves the entry to the MRU position of T2.
+func (p *ARC) Access(key string) {
+	e, ok := p.where[key]
+	if !ok || (e.l != inT1 && e.l != inT2) {
+		return
+	}
+	p.listOf(e.l).remove(e.nd)
+	e.l = inT2
+	p.t2.pushFront(e.nd)
+}
+
+// Insert implements Policy. Ghost hits adapt the target p exactly as in
+// the original algorithm; the engine performs the actual eviction via
+// Victim/Evict, so REPLACE here only trims ghost lists.
+func (p *ARC) Insert(key string, cost int) {
+	if e, ok := p.where[key]; ok {
+		switch e.l {
+		case inT1, inT2:
+			p.Access(key)
+			return
+		case inB1:
+			// Ghost hit in B1: favor recency.
+			d := 1
+			if p.b1.len() > 0 && p.b2.len()/p.b1.len() > 1 {
+				d = p.b2.len() / p.b1.len()
+			}
+			p.p = min(p.c, p.p+d)
+			p.b1.remove(e.nd)
+			e.l = inT2
+			p.t2.pushFront(e.nd)
+			return
+		case inB2:
+			// Ghost hit in B2: favor frequency.
+			d := 1
+			if p.b2.len() > 0 && p.b1.len()/p.b2.len() > 1 {
+				d = p.b1.len() / p.b2.len()
+			}
+			p.p = max(0, p.p-d)
+			p.b2.remove(e.nd)
+			e.l = inT2
+			p.t2.pushFront(e.nd)
+			return
+		}
+	}
+	// Brand new key: enters T1. Trim ghost lists to the canonical bounds.
+	if p.t1.len()+p.b1.len() >= p.c {
+		if p.b1.len() > 0 {
+			p.dropLRUGhost(&p.b1)
+		}
+	} else if p.t1.len()+p.t2.len()+p.b1.len()+p.b2.len() >= 2*p.c {
+		if p.b2.len() > 0 {
+			p.dropLRUGhost(&p.b2)
+		}
+	}
+	nd := &node{key: key}
+	p.where[key] = &arcEntry{nd: nd, l: inT1}
+	p.t1.pushFront(nd)
+}
+
+func (p *ARC) dropLRUGhost(l *list) {
+	nd := l.back
+	if nd == nil {
+		return
+	}
+	l.remove(nd)
+	delete(p.where, nd.key)
+}
+
+// Victim implements Policy, following ARC's REPLACE rule: evict from T1
+// when |T1| exceeds the target p, else from T2; within a list, prefer the
+// LRU unpinned entry; fall back to the other list if the preferred one is
+// fully pinned.
+func (p *ARC) Victim(pinned func(string) bool) (string, bool) {
+	isPinned := func(k string) bool { return pinned != nil && pinned(k) }
+	scan := func(l *list) (string, bool) {
+		for nd := l.back; nd != nil; nd = nd.prev {
+			if !isPinned(nd.key) {
+				return nd.key, true
+			}
+		}
+		return "", false
+	}
+	first, second := &p.t1, &p.t2
+	if p.t1.len() == 0 || (p.t1.len() <= p.p && p.t2.len() > 0) {
+		first, second = &p.t2, &p.t1
+	}
+	if k, ok := scan(first); ok {
+		return k, true
+	}
+	return scan(second)
+}
+
+// Evict implements Policy: the entry retires into the matching ghost list.
+func (p *ARC) Evict(key string) {
+	e, ok := p.where[key]
+	if !ok {
+		return
+	}
+	switch e.l {
+	case inT1:
+		p.t1.remove(e.nd)
+		e.l = inB1
+		p.b1.pushFront(e.nd)
+	case inT2:
+		p.t2.remove(e.nd)
+		e.l = inB2
+		p.b2.pushFront(e.nd)
+	}
+}
+
+// Remove implements Policy.
+func (p *ARC) Remove(key string) {
+	e, ok := p.where[key]
+	if !ok {
+		return
+	}
+	p.listOf(e.l).remove(e.nd)
+	delete(p.where, key)
+}
+
+// Contains implements Policy.
+func (p *ARC) Contains(key string) bool {
+	e, ok := p.where[key]
+	return ok && (e.l == inT1 || e.l == inT2)
+}
+
+// Len implements Policy.
+func (p *ARC) Len() int { return p.t1.len() + p.t2.len() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// PinBlocked counts inserts that exceeded capacity because every
+	// eviction candidate was pinned; the cache temporarily overflows in
+	// that case, as SimFS must keep files that analyses hold open.
+	PinBlocked int64
+}
+
+// Cache is the byte-accounting eviction engine that SimFS runs over one
+// storage area. It combines a replacement Policy with file sizes and
+// reference counts (pins): an output step "can be evicted only if its
+// reference counter is zero" (paper Sec. III-A).
+type Cache struct {
+	policy   Policy
+	maxBytes int64
+	used     int64
+	sizes    map[string]int64
+	pins     map[string]int
+	stats    Stats
+}
+
+// New creates a cache with the given policy and byte capacity. A zero or
+// negative capacity means unbounded (pure on-disk mode).
+func New(policy Policy, maxBytes int64) *Cache {
+	return &Cache{
+		policy:   policy,
+		maxBytes: maxBytes,
+		sizes:    map[string]int64{},
+		pins:     map[string]int{},
+	}
+}
+
+// ErrTooLarge is returned when a single file exceeds the cache capacity.
+var ErrTooLarge = errors.New("cache: file larger than cache capacity")
+
+// Policy returns the underlying replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Contains reports whether key is resident, without touching recency state.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.sizes[key]
+	return ok
+}
+
+// Touch records an access. It returns true on a hit (and updates the
+// policy's recency state) and false on a miss.
+func (c *Cache) Touch(key string) bool {
+	if c.Contains(key) {
+		c.policy.Access(key)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert makes key resident with the given size and miss cost, evicting
+// unpinned entries as needed. It returns the evicted keys. If key is
+// already resident it is touched and its cost refreshed. If capacity
+// cannot be reached because all candidates are pinned, the cache overflows
+// and the event is counted in Stats.PinBlocked.
+func (c *Cache) Insert(key string, size int64, cost int) (evicted []string, err error) {
+	if size < 0 {
+		return nil, fmt.Errorf("cache: negative size %d for %q", size, key)
+	}
+	if c.Contains(key) {
+		c.policy.Insert(key, cost)
+		return nil, nil
+	}
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return nil, fmt.Errorf("%w: %q is %d bytes, capacity %d", ErrTooLarge, key, size, c.maxBytes)
+	}
+	if c.maxBytes > 0 {
+		for c.used+size > c.maxBytes {
+			victim, ok := c.policy.Victim(c.isPinned)
+			if !ok {
+				c.stats.PinBlocked++
+				break
+			}
+			c.evict(victim)
+			evicted = append(evicted, victim)
+		}
+	}
+	c.sizes[key] = size
+	c.used += size
+	c.policy.Insert(key, cost)
+	return evicted, nil
+}
+
+// EnsureSpace evicts until at least size bytes are free, returning the
+// evicted keys. ok is false if it could not free enough space (pins).
+func (c *Cache) EnsureSpace(size int64) (evicted []string, ok bool) {
+	if c.maxBytes <= 0 {
+		return nil, true
+	}
+	for c.used+size > c.maxBytes {
+		victim, vok := c.policy.Victim(c.isPinned)
+		if !vok {
+			c.stats.PinBlocked++
+			return evicted, false
+		}
+		c.evict(victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted, true
+}
+
+func (c *Cache) evict(key string) {
+	c.policy.Evict(key)
+	c.used -= c.sizes[key]
+	delete(c.sizes, key)
+	delete(c.pins, key)
+	c.stats.Evictions++
+}
+
+// Remove withdraws a key without counting an eviction (external deletion).
+func (c *Cache) Remove(key string) {
+	if _, ok := c.sizes[key]; !ok {
+		return
+	}
+	c.policy.Remove(key)
+	c.used -= c.sizes[key]
+	delete(c.sizes, key)
+	delete(c.pins, key)
+}
+
+// Pin increments key's reference counter, protecting it from eviction.
+// Pinning a non-resident key is an error.
+func (c *Cache) Pin(key string) error {
+	if !c.Contains(key) {
+		return fmt.Errorf("cache: pin of non-resident key %q", key)
+	}
+	c.pins[key]++
+	return nil
+}
+
+// Unpin decrements key's reference counter. Unpinning below zero or a
+// non-resident key is an error.
+func (c *Cache) Unpin(key string) error {
+	n, ok := c.pins[key]
+	if !ok || n <= 0 {
+		if !c.Contains(key) {
+			return fmt.Errorf("cache: unpin of non-resident key %q", key)
+		}
+		return fmt.Errorf("cache: unpin of unpinned key %q", key)
+	}
+	if n == 1 {
+		delete(c.pins, key)
+	} else {
+		c.pins[key] = n - 1
+	}
+	return nil
+}
+
+func (c *Cache) isPinned(key string) bool { return c.pins[key] > 0 }
+
+// PinCount returns key's current reference count.
+func (c *Cache) PinCount(key string) int { return c.pins[key] }
+
+// UsedBytes returns the current resident volume.
+func (c *Cache) UsedBytes() int64 { return c.used }
+
+// MaxBytes returns the configured capacity (0 = unbounded).
+func (c *Cache) MaxBytes() int64 { return c.maxBytes }
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int { return len(c.sizes) }
+
+// Keys returns the resident keys in unspecified order.
+func (c *Cache) Keys() []string {
+	keys := make([]string, 0, len(c.sizes))
+	for k := range c.sizes {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

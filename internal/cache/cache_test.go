@@ -1,0 +1,472 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func allPolicies(t *testing.T, capacity int) []Policy {
+	t.Helper()
+	var ps []Policy
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, capacity)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy("FIFO", 10); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+// Shared conformance tests: every policy must satisfy the basic Policy
+// contract regardless of its internal structure.
+func TestPolicyConformance(t *testing.T) {
+	for _, p := range allPolicies(t, 8) {
+		t.Run(p.Name(), func(t *testing.T) {
+			if p.Len() != 0 {
+				t.Fatal("fresh policy not empty")
+			}
+			if _, ok := p.Victim(nil); ok {
+				t.Fatal("empty policy proposed a victim")
+			}
+			p.Access("ghost") // must not panic or create entries
+			if p.Len() != 0 || p.Contains("ghost") {
+				t.Fatal("Access on absent key created state")
+			}
+
+			for i := 0; i < 5; i++ {
+				p.Insert(fmt.Sprintf("k%d", i), i+1)
+			}
+			if p.Len() != 5 {
+				t.Fatalf("Len = %d, want 5", p.Len())
+			}
+			for i := 0; i < 5; i++ {
+				if !p.Contains(fmt.Sprintf("k%d", i)) {
+					t.Fatalf("k%d not resident", i)
+				}
+			}
+
+			// Duplicate insert must not duplicate.
+			p.Insert("k0", 1)
+			if p.Len() != 5 {
+				t.Fatalf("duplicate insert changed Len to %d", p.Len())
+			}
+
+			// Victim must be resident and unpinned.
+			v, ok := p.Victim(func(k string) bool { return k == "k0" || k == "k1" })
+			if !ok {
+				t.Fatal("no victim with partial pinning")
+			}
+			if v == "k0" || v == "k1" {
+				t.Fatalf("pinned key %q proposed as victim", v)
+			}
+			if !p.Contains(v) {
+				t.Fatalf("victim %q not resident", v)
+			}
+			p.Evict(v)
+			if p.Contains(v) {
+				t.Fatalf("evicted key %q still resident", v)
+			}
+			if p.Len() != 4 {
+				t.Fatalf("Len after evict = %d, want 4", p.Len())
+			}
+
+			// All pinned → no victim.
+			if _, ok := p.Victim(func(string) bool { return true }); ok {
+				t.Fatal("victim proposed although everything is pinned")
+			}
+
+			// Remove is idempotent.
+			p.Remove("k3")
+			p.Remove("k3")
+			if p.Contains("k3") || p.Len() != 3 {
+				t.Fatalf("after Remove: contains=%v len=%d", p.Contains("k3"), p.Len())
+			}
+
+			// Drain completely via Victim/Evict.
+			for {
+				v, ok := p.Victim(nil)
+				if !ok {
+					break
+				}
+				p.Evict(v)
+			}
+			if p.Len() != 0 {
+				t.Fatalf("drained policy Len = %d", p.Len())
+			}
+		})
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := NewLRU()
+	p.Insert("a", 1)
+	p.Insert("b", 1)
+	p.Insert("c", 1)
+	p.Access("a") // order now (MRU) a c b (LRU)
+	v, _ := p.Victim(nil)
+	if v != "b" {
+		t.Errorf("victim = %q, want b", v)
+	}
+	p.Evict("b")
+	v, _ = p.Victim(nil)
+	if v != "c" {
+		t.Errorf("victim = %q, want c", v)
+	}
+}
+
+func TestBCLPrefersCheaperOverLRU(t *testing.T) {
+	p := NewBCL().(*costLRU)
+	p.Insert("expensive", 10) // LRU end
+	p.Insert("cheap", 1)
+	p.Insert("mid", 5)
+	// LRU is "expensive" (cost 10); first cheaper from the LRU end is
+	// "cheap" (cost 1).
+	v, ok := p.Victim(nil)
+	if !ok || v != "cheap" {
+		t.Fatalf("victim = %q, want cheap", v)
+	}
+	// BCL depreciates the spared LRU immediately: 10 - 1 = 9.
+	if cost, _ := p.costOf("expensive"); cost != 9 {
+		t.Errorf("depreciated cost = %d, want 9", cost)
+	}
+}
+
+func TestBCLFallsBackToLRU(t *testing.T) {
+	p := NewBCL().(*costLRU)
+	p.Insert("a", 1) // LRU, cheapest
+	p.Insert("b", 5)
+	p.Insert("c", 9)
+	v, ok := p.Victim(nil)
+	if !ok || v != "a" {
+		t.Errorf("victim = %q, want LRU fallback a", v)
+	}
+}
+
+func TestBCLDepreciationConverges(t *testing.T) {
+	p := NewBCL().(*costLRU)
+	p.Insert("hog", 100)
+	p.Insert("w1", 30)
+	// Repeated sparing must eventually exhaust the hog's cost so it gets
+	// evicted rather than starving cheaper entries forever.
+	for i := 0; i < 10; i++ {
+		v, ok := p.Victim(nil)
+		if !ok {
+			t.Fatal("no victim")
+		}
+		if v == "hog" {
+			return // depreciated to the point of eviction: correct
+		}
+		p.Evict(v)
+		p.Insert(fmt.Sprintf("w%d", i+2), 30)
+	}
+	t.Error("hog never became the victim despite depreciation")
+}
+
+func TestDCLDeferredDepreciation(t *testing.T) {
+	p := NewDCL().(*costLRU)
+	p.Insert("lru", 10)
+	p.Insert("cheap", 2)
+	// Victim selection spares "lru", evicts "cheap", arming (cheap→lru).
+	v, _ := p.Victim(nil)
+	if v != "cheap" {
+		t.Fatalf("victim = %q, want cheap", v)
+	}
+	p.Evict("cheap")
+	// DCL: no depreciation yet.
+	if cost, _ := p.costOf("lru"); cost != 10 {
+		t.Fatalf("cost should be undepreciated, got %d", cost)
+	}
+	// "cheap" misses again before "lru" is re-accessed → depreciate by 2.
+	p.Insert("cheap", 2)
+	if cost, _ := p.costOf("lru"); cost != 8 {
+		t.Errorf("cost after deferred depreciation = %d, want 8", cost)
+	}
+}
+
+func TestDCLAccessCancelsDepreciation(t *testing.T) {
+	p := NewDCL().(*costLRU)
+	p.Insert("lru", 10)
+	p.Insert("cheap", 2)
+	v, _ := p.Victim(nil)
+	if v != "cheap" {
+		t.Fatalf("victim = %q", v)
+	}
+	p.Evict("cheap")
+	p.Access("lru") // sparing proved right: cancel pending depreciation
+	p.Insert("cheap", 2)
+	if cost, _ := p.costOf("lru"); cost != 10 {
+		t.Errorf("cost = %d, want 10 (depreciation canceled)", cost)
+	}
+}
+
+func TestLIRSPromotionOnStackHit(t *testing.T) {
+	p := NewLIRS(4) // lCap=3, hCap=1
+	p.Insert("a", 1)
+	p.Insert("b", 1)
+	p.Insert("c", 1) // fills the LIR set
+	p.Insert("h", 1) // resident HIR
+	// h is in the queue: the first victim.
+	v, _ := p.Victim(nil)
+	if v != "h" {
+		t.Fatalf("victim = %q, want h (resident HIR)", v)
+	}
+	// Hit on h while on the stack promotes it to LIR, demoting the
+	// deepest LIR entry (a).
+	p.Access("h")
+	v, _ = p.Victim(nil)
+	if v != "a" {
+		t.Errorf("victim after promotion = %q, want demoted a", v)
+	}
+}
+
+func TestLIRSGhostPromotion(t *testing.T) {
+	p := NewLIRS(4)
+	p.Insert("a", 1)
+	p.Insert("b", 1)
+	p.Insert("c", 1)
+	p.Insert("x", 1) // HIR
+	p.Evict("x")     // becomes a ghost on the stack
+	if p.Contains("x") {
+		t.Fatal("evicted x still resident")
+	}
+	// Re-inserting a ghost promotes it straight to LIR.
+	p.Insert("x", 1)
+	if !p.Contains("x") {
+		t.Fatal("x not resident after re-insert")
+	}
+	// The demoted LIR entry (a) is now the eviction candidate.
+	v, _ := p.Victim(nil)
+	if v != "a" {
+		t.Errorf("victim = %q, want a", v)
+	}
+}
+
+func TestLIRSScanResistance(t *testing.T) {
+	// A long scan of one-shot keys must not displace the hot LIR set.
+	p := NewLIRS(10)
+	for i := 0; i < 9; i++ {
+		p.Insert(fmt.Sprintf("hot%d", i), 1)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("scan%d", i)
+		p.Insert(k, 1)
+		if v, ok := p.Victim(nil); ok {
+			p.Evict(v)
+		}
+		for j := 0; j < 9; j++ {
+			p.Access(fmt.Sprintf("hot%d", j))
+		}
+	}
+	for j := 0; j < 9; j++ {
+		if !p.Contains(fmt.Sprintf("hot%d", j)) {
+			t.Errorf("hot%d displaced by scan", j)
+		}
+	}
+}
+
+func TestARCAdaptsToFrequency(t *testing.T) {
+	p := NewARC(4)
+	p.Insert("f1", 1)
+	p.Insert("f2", 1)
+	p.Access("f1") // f1,f2 → T2 after re-access
+	p.Access("f2")
+	p.Insert("r1", 1)
+	p.Insert("r2", 1)
+	// T1 = {r1,r2}, T2 = {f1,f2}. Victim should come from T1 (p=0).
+	v, _ := p.Victim(nil)
+	if v != "r1" && v != "r2" {
+		t.Errorf("victim = %q, want a T1 entry", v)
+	}
+	p.Evict(v) // goes to B1
+	if p.Contains(v) {
+		t.Error("evicted entry still resident")
+	}
+	// Ghost hit in B1 raises p and resurrects into T2.
+	p.Insert(v, 1)
+	if !p.Contains(v) {
+		t.Error("ghost re-insert did not make entry resident")
+	}
+	if p.p == 0 {
+		t.Error("ghost hit in B1 should raise the adaptation target")
+	}
+}
+
+func TestARCGhostB2LowersP(t *testing.T) {
+	p := NewARC(4)
+	p.Insert("a", 1)
+	p.Access("a") // a → T2
+	v, _ := p.Victim(nil)
+	if v != "a" {
+		t.Fatalf("victim = %q, want a", v)
+	}
+	p.p = 2 // pretend adaptation had favored recency
+	p.Evict("a")
+	p.Insert("a", 1) // ghost hit in B2
+	if p.p != 1 {
+		t.Errorf("p after B2 ghost hit = %d, want 1", p.p)
+	}
+}
+
+func TestCacheInsertAndEvict(t *testing.T) {
+	c := New(NewLRU(), 30)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(fmt.Sprintf("k%d", i), 10, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.UsedBytes() != 30 || c.Len() != 3 {
+		t.Fatalf("used=%d len=%d", c.UsedBytes(), c.Len())
+	}
+	evicted, err := c.Insert("k3", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "k0" {
+		t.Errorf("evicted = %v, want [k0]", evicted)
+	}
+	if c.UsedBytes() != 30 {
+		t.Errorf("used = %d after eviction", c.UsedBytes())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestCachePinProtectsFromEviction(t *testing.T) {
+	c := New(NewLRU(), 20)
+	c.Insert("a", 10, 1)
+	c.Insert("b", 10, 1)
+	if err := c.Pin("a"); err != nil {
+		t.Fatal(err)
+	}
+	evicted, _ := c.Insert("c", 10, 1)
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("evicted = %v, want [b] (a is pinned)", evicted)
+	}
+	if !c.Contains("a") {
+		t.Error("pinned entry evicted")
+	}
+	if err := c.Unpin("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unpin("a"); err == nil {
+		t.Error("double unpin should fail")
+	}
+	if err := c.Pin("ghost"); err == nil {
+		t.Error("pin of non-resident key should fail")
+	}
+	if err := c.Unpin("ghost"); err == nil {
+		t.Error("unpin of non-resident key should fail")
+	}
+}
+
+func TestCacheAllPinnedOverflows(t *testing.T) {
+	c := New(NewLRU(), 20)
+	c.Insert("a", 10, 1)
+	c.Insert("b", 10, 1)
+	c.Pin("a")
+	c.Pin("b")
+	evicted, err := c.Insert("c", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Errorf("evicted pinned entries: %v", evicted)
+	}
+	if c.UsedBytes() != 30 {
+		t.Errorf("cache should overflow when all pinned, used=%d", c.UsedBytes())
+	}
+	if c.Stats().PinBlocked != 1 {
+		t.Errorf("PinBlocked = %d, want 1", c.Stats().PinBlocked)
+	}
+}
+
+func TestCacheTooLarge(t *testing.T) {
+	c := New(NewLRU(), 10)
+	if _, err := c.Insert("huge", 11, 1); err == nil {
+		t.Error("oversized insert should fail")
+	}
+	if _, err := c.Insert("neg", -1, 1); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestCacheTouchAndStats(t *testing.T) {
+	c := New(NewLRU(), 100)
+	c.Insert("a", 1, 1)
+	if !c.Touch("a") {
+		t.Error("touch of resident key should hit")
+	}
+	if c.Touch("b") {
+		t.Error("touch of absent key should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := New(NewLRU(), 0)
+	for i := 0; i < 1000; i++ {
+		if ev, _ := c.Insert(fmt.Sprintf("k%d", i), 1<<20, 1); len(ev) != 0 {
+			t.Fatalf("unbounded cache evicted %v", ev)
+		}
+	}
+	if c.Len() != 1000 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestCacheEnsureSpace(t *testing.T) {
+	c := New(NewLRU(), 30)
+	c.Insert("a", 10, 1)
+	c.Insert("b", 10, 1)
+	c.Insert("c", 10, 1)
+	evicted, ok := c.EnsureSpace(20)
+	if !ok || len(evicted) != 2 {
+		t.Errorf("EnsureSpace: evicted=%v ok=%v", evicted, ok)
+	}
+	c.Pin("c")
+	if _, ok := c.EnsureSpace(25); ok {
+		t.Error("EnsureSpace should fail when pins block")
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c := New(NewLRU(), 30)
+	c.Insert("a", 10, 1)
+	c.Remove("a")
+	c.Remove("a") // idempotent
+	if c.Contains("a") || c.UsedBytes() != 0 {
+		t.Error("remove failed")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Error("external removal must not count as eviction")
+	}
+}
+
+func TestCacheReinsertRefreshesCost(t *testing.T) {
+	p := NewDCL().(*costLRU)
+	c := New(p, 100)
+	c.Insert("a", 1, 5)
+	c.Insert("a", 1, 9)
+	if cost, _ := p.costOf("a"); cost != 9 {
+		t.Errorf("cost = %d, want refreshed 9", cost)
+	}
+	if c.Len() != 1 {
+		t.Errorf("duplicate insert duplicated entry")
+	}
+}

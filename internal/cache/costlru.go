@@ -1,0 +1,184 @@
+package cache
+
+// Cost-sensitive LRU variants of Jeong & Dubois ("Cache replacement
+// algorithms with nonuniform miss costs", IEEE ToC 2006), as adapted by the
+// paper (Sec. III-D): the victim is not the LRU entry if a more recently
+// used entry with a lower miss cost exists. Scanning from the LRU end
+// toward the MRU end, the first entry with cost strictly lower than the
+// LRU's (current, possibly depreciated) cost is selected; the LRU itself is
+// the fallback. When the LRU entry is spared, its cost is depreciated — by
+// the cost of the actually evicted entry — so that a costly but
+// sporadically accessed entry cannot indefinitely force the eviction of
+// cheaper, highly reused entries.
+//
+// BCL (basic) depreciates the LRU as soon as it is spared. DCL (dynamic)
+// records the spared LRU and applies the depreciation only if the evicted
+// non-LRU entry is re-inserted (i.e. missed on again) while the spared LRU
+// entry is still resident and has not been re-accessed — evidence that
+// sparing it was the wrong call.
+
+// costLRU is the shared machinery of BCL and DCL.
+type costLRU struct {
+	name    string
+	dynamic bool // false: BCL, true: DCL
+	byKey   map[string]*node
+	rec     list // MRU front … LRU back
+	// pendingDepr maps an evicted victim key to the LRU key that was
+	// spared at that eviction (DCL only).
+	pendingDepr map[string]string
+	// deprBy maps the spared-LRU key to the cost to subtract if the
+	// depreciation triggers (DCL only).
+	deprBy map[string]int
+}
+
+func newCostLRU(name string, dynamic bool) *costLRU {
+	return &costLRU{
+		name:        name,
+		dynamic:     dynamic,
+		byKey:       map[string]*node{},
+		pendingDepr: map[string]string{},
+		deprBy:      map[string]int{},
+	}
+}
+
+// NewBCL returns the Basic Cost-Sensitive LRU policy.
+func NewBCL() Policy { return newCostLRU("BCL", false) }
+
+// NewDCL returns the Dynamic Cost-Sensitive LRU policy.
+func NewDCL() Policy { return newCostLRU("DCL", true) }
+
+// Name implements Policy.
+func (p *costLRU) Name() string { return p.name }
+
+// Access implements Policy.
+func (p *costLRU) Access(key string) {
+	nd, ok := p.byKey[key]
+	if !ok {
+		return
+	}
+	p.rec.moveToFront(nd)
+	if p.dynamic {
+		// A re-accessed spared LRU proved sparing right: cancel any
+		// pending depreciation targeting it.
+		p.cancelPendingFor(key)
+	}
+}
+
+// Insert implements Policy.
+func (p *costLRU) Insert(key string, cost int) {
+	if nd, ok := p.byKey[key]; ok {
+		nd.cost = cost
+		p.Access(key)
+		return
+	}
+	if p.dynamic {
+		// Re-insertion of a previously evicted victim before the spared
+		// LRU was re-accessed: the sparing caused this extra miss, so the
+		// depreciation takes effect now.
+		if lruKey, ok := p.pendingDepr[key]; ok {
+			delete(p.pendingDepr, key)
+			if nd, resident := p.byKey[lruKey]; resident {
+				nd.cost -= p.deprBy[key]
+				if nd.cost < 0 {
+					nd.cost = 0
+				}
+			}
+			delete(p.deprBy, key)
+		}
+	}
+	nd := &node{key: key, cost: cost}
+	p.byKey[key] = nd
+	p.rec.pushFront(nd)
+}
+
+// Victim implements Policy: the first entry from the LRU end with cost
+// strictly lower than the (unpinned) LRU entry; the LRU is the fallback.
+func (p *costLRU) Victim(pinned func(string) bool) (string, bool) {
+	isPinned := func(k string) bool { return pinned != nil && pinned(k) }
+
+	// Find the effective LRU: the least recently used unpinned entry.
+	var lru *node
+	for nd := p.rec.back; nd != nil; nd = nd.prev {
+		if !isPinned(nd.key) {
+			lru = nd
+			break
+		}
+	}
+	if lru == nil {
+		return "", false
+	}
+	// Scan from the LRU end towards the MRU end for a cheaper entry.
+	for nd := p.rec.back; nd != nil; nd = nd.prev {
+		if nd == lru || isPinned(nd.key) {
+			continue
+		}
+		if nd.cost < lru.cost {
+			p.sparedLRU(lru, nd)
+			return nd.key, true
+		}
+	}
+	return lru.key, true
+}
+
+// sparedLRU records that lru was spared in favor of evicting victim.
+func (p *costLRU) sparedLRU(lru, victim *node) {
+	if !p.dynamic {
+		// BCL: depreciate immediately.
+		lru.cost -= victim.cost
+		if lru.cost < 0 {
+			lru.cost = 0
+		}
+		return
+	}
+	// DCL: arm the depreciation; it fires if victim is missed on again
+	// before lru is re-accessed.
+	p.cancelPendingFor(lru.key) // at most one pending depreciation per LRU
+	p.pendingDepr[victim.key] = lru.key
+	p.deprBy[victim.key] = victim.cost
+}
+
+// cancelPendingFor drops pending depreciations that target lruKey.
+func (p *costLRU) cancelPendingFor(lruKey string) {
+	for victim, target := range p.pendingDepr {
+		if target == lruKey {
+			delete(p.pendingDepr, victim)
+			delete(p.deprBy, victim)
+		}
+	}
+}
+
+// Evict implements Policy.
+func (p *costLRU) Evict(key string) { p.removeResident(key) }
+
+// Remove implements Policy.
+func (p *costLRU) Remove(key string) {
+	p.removeResident(key)
+	if p.dynamic {
+		delete(p.pendingDepr, key)
+		delete(p.deprBy, key)
+		p.cancelPendingFor(key)
+	}
+}
+
+func (p *costLRU) removeResident(key string) {
+	if nd, ok := p.byKey[key]; ok {
+		p.rec.remove(nd)
+		delete(p.byKey, key)
+	}
+}
+
+// Contains implements Policy.
+func (p *costLRU) Contains(key string) bool { _, ok := p.byKey[key]; return ok }
+
+// Len implements Policy.
+func (p *costLRU) Len() int { return p.rec.len() }
+
+// cost returns the current (possibly depreciated) cost of a resident key;
+// exported for tests via the package-internal helper.
+func (p *costLRU) costOf(key string) (int, bool) {
+	nd, ok := p.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	return nd.cost, true
+}

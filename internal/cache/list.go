@@ -1,0 +1,71 @@
+package cache
+
+// node is an element of an intrusive doubly-linked recency list.
+type node struct {
+	key        string
+	prev, next *node
+	// cost is the miss cost for cost-aware schemes; auxiliary state for
+	// others (LIRS uses lir/resident flags instead).
+	cost int
+	// LIRS flags.
+	lir      bool
+	resident bool
+}
+
+// list is a doubly-linked list with sentinel-free head/tail pointers,
+// ordered MRU (front) to LRU (back).
+type list struct {
+	front, back *node
+	n           int
+}
+
+func (l *list) pushFront(nd *node) {
+	nd.prev = nil
+	nd.next = l.front
+	if l.front != nil {
+		l.front.prev = nd
+	}
+	l.front = nd
+	if l.back == nil {
+		l.back = nd
+	}
+	l.n++
+}
+
+func (l *list) pushBack(nd *node) {
+	nd.next = nil
+	nd.prev = l.back
+	if l.back != nil {
+		l.back.next = nd
+	}
+	l.back = nd
+	if l.front == nil {
+		l.front = nd
+	}
+	l.n++
+}
+
+func (l *list) remove(nd *node) {
+	if nd.prev != nil {
+		nd.prev.next = nd.next
+	} else {
+		l.front = nd.next
+	}
+	if nd.next != nil {
+		nd.next.prev = nd.prev
+	} else {
+		l.back = nd.prev
+	}
+	nd.prev, nd.next = nil, nil
+	l.n--
+}
+
+func (l *list) moveToFront(nd *node) {
+	if l.front == nd {
+		return
+	}
+	l.remove(nd)
+	l.pushFront(nd)
+}
+
+func (l *list) len() int { return l.n }

@@ -1,0 +1,61 @@
+package cache
+
+// LRU is the Least-Recently-Used replacement scheme: the victim is the
+// resident entry whose last access is the furthest in the past.
+type LRU struct {
+	byKey map[string]*node
+	rec   list // MRU front … LRU back
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{byKey: map[string]*node{}}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Access implements Policy.
+func (p *LRU) Access(key string) {
+	if nd, ok := p.byKey[key]; ok {
+		p.rec.moveToFront(nd)
+	}
+}
+
+// Insert implements Policy.
+func (p *LRU) Insert(key string, cost int) {
+	if nd, ok := p.byKey[key]; ok {
+		p.rec.moveToFront(nd)
+		return
+	}
+	nd := &node{key: key, cost: cost}
+	p.byKey[key] = nd
+	p.rec.pushFront(nd)
+}
+
+// Victim implements Policy: the least recently used unpinned entry.
+func (p *LRU) Victim(pinned func(string) bool) (string, bool) {
+	for nd := p.rec.back; nd != nil; nd = nd.prev {
+		if pinned == nil || !pinned(nd.key) {
+			return nd.key, true
+		}
+	}
+	return "", false
+}
+
+// Evict implements Policy.
+func (p *LRU) Evict(key string) { p.Remove(key) }
+
+// Remove implements Policy.
+func (p *LRU) Remove(key string) {
+	if nd, ok := p.byKey[key]; ok {
+		p.rec.remove(nd)
+		delete(p.byKey, key)
+	}
+}
+
+// Contains implements Policy.
+func (p *LRU) Contains(key string) bool { _, ok := p.byKey[key]; return ok }
+
+// Len implements Policy.
+func (p *LRU) Len() int { return p.rec.len() }

@@ -1,0 +1,70 @@
+// Package cache implements the simulation-data caching layer of SimFS
+// (paper Sec. III-D): fully associative replacement over output step files,
+// with reference counting (pinning) so that output steps currently accessed
+// by an analysis are never evicted, and with cost-aware schemes whose miss
+// cost is the number of output steps that must be re-simulated (the
+// distance from the closest previous restart step).
+//
+// Five replacement policies are provided, matching the paper's evaluation:
+// LRU, LIRS (Jiang & Zhang), ARC (Megiddo & Modha), and the cost-sensitive
+// BCL and DCL of Jeong & Dubois adapted to fully associative caches.
+package cache
+
+import "fmt"
+
+// Policy is a fully associative replacement policy over string keys.
+// Implementations track resident entries (and, for LIRS/ARC, ghost
+// history) but never account for bytes or pins — the Cache engine does.
+//
+// The engine's contract: keys become resident via Insert, hits on resident
+// keys call Access, eviction is a two-step Victim→Evict dance (so policies
+// with ghost lists can retire the entry into history), and Remove withdraws
+// a key that disappeared for external reasons (file deleted by an
+// operator, context reset).
+type Policy interface {
+	// Name returns the scheme's short name (LRU, LIRS, ARC, BCL, DCL).
+	Name() string
+	// Access records a hit on a resident key. Calling it for an absent
+	// key is a no-op.
+	Access(key string)
+	// Insert records key becoming resident, with the given miss cost
+	// (output steps from the closest previous restart step). Inserting an
+	// already-resident key behaves like Access.
+	Insert(key string, cost int)
+	// Victim proposes the next eviction victim among resident entries for
+	// which pinned(key) is false. ok is false if every resident entry is
+	// pinned (or the cache is empty).
+	Victim(pinned func(string) bool) (victim string, ok bool)
+	// Evict removes a key previously returned by Victim. Ghost-keeping
+	// policies retire it into their history.
+	Evict(key string)
+	// Remove withdraws a key without keeping history.
+	Remove(key string)
+	// Contains reports whether key is resident.
+	Contains(key string) bool
+	// Len returns the number of resident entries.
+	Len() int
+}
+
+// NewPolicy constructs a policy by name. capacity is the cache size in
+// entries; it parameterizes the internal targets of LIRS and ARC and is
+// ignored by the pure-recency and cost-based schemes.
+func NewPolicy(name string, capacity int) (Policy, error) {
+	switch name {
+	case "LRU":
+		return NewLRU(), nil
+	case "LIRS":
+		return NewLIRS(capacity), nil
+	case "ARC":
+		return NewARC(capacity), nil
+	case "BCL":
+		return NewBCL(), nil
+	case "DCL":
+		return NewDCL(), nil
+	}
+	return nil, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// PolicyNames lists the available replacement schemes in the order the
+// paper's Figure 5 plots them.
+func PolicyNames() []string { return []string{"ARC", "BCL", "DCL", "LIRS", "LRU"} }

@@ -1,0 +1,58 @@
+package core
+
+import "fmt"
+
+// Bitwise-reproducibility support (paper Sec. III-C2): "the simulation
+// context keeps a map from filenames to checksums that can be updated
+// through a command line utility at the time when the first simulation is
+// run". SIMFS_Bitrep compares a re-simulated file's checksum against the
+// registered original.
+
+// RegisterChecksum stores the original checksum of a file, as computed by
+// the simulator-specific driver checksum at initial-simulation time.
+func (v *Virtualizer) RegisterChecksum(ctxName, filename string, sum uint64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	if _, err := cs.ctx.Key(filename); err != nil {
+		return err
+	}
+	cs.checksums[filename] = sum
+	return nil
+}
+
+// RegisteredChecksum returns the stored original checksum for a file.
+func (v *Virtualizer) RegisteredChecksum(ctxName, filename string) (uint64, bool, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return 0, false, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	sum, found := cs.checksums[filename]
+	return sum, found, nil
+}
+
+// Bitrep implements SIMFS_Bitrep: it checks whether the given (current)
+// file content matches the originally produced file, by comparing the
+// driver-computed checksums. The returned flag is true when the contents
+// are bitwise identical. An error is returned if no original checksum was
+// registered for the file.
+func (v *Virtualizer) Bitrep(ctxName, filename string, content []byte) (bool, error) {
+	v.mu.Lock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		v.mu.Unlock()
+		return false, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	orig, found := cs.checksums[filename]
+	driver := cs.driver
+	v.mu.Unlock()
+	if !found {
+		return false, fmt.Errorf("core: no registered checksum for %q (run the checksum utility after the initial simulation)", filename)
+	}
+	return driver.Checksum(content) == orig, nil
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"simfs/internal/des"
+	"simfs/internal/model"
+	"simfs/internal/simulator"
+	"simfs/internal/vfs"
+)
+
+// harness wires a Virtualizer to a DES launcher on a virtual clock.
+type harness struct {
+	eng *des.Engine
+	l   *simulator.DESLauncher
+	v   *Virtualizer
+}
+
+func newHarness(t *testing.T, ctxs ...*model.Context) *harness {
+	t.Helper()
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := New(eng, l)
+	l.Events = v
+	for _, c := range ctxs {
+		if err := v.AddContext(c, "DCL", nil); err != nil {
+			t.Fatalf("AddContext(%s): %v", c.Name, err)
+		}
+	}
+	return &harness{eng: eng, l: l, v: v}
+}
+
+// testContext returns a small context: Δd=1, Δr=4, 100 steps, α=2s, τ=1s,
+// 1-byte output steps, 40-byte cache (40 steps).
+func testContext(name string) *model.Context {
+	c := &model.Context{
+		Name:               name,
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 100},
+		OutputBytes:        1,
+		RestartBytes:       1,
+		MaxCacheBytes:      40,
+		Tau:                time.Second,
+		Alpha:              2 * time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+		NoPrefetch:         true, // most tests exercise the demand path
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+func TestAddContextValidation(t *testing.T) {
+	h := newHarness(t)
+	bad := testContext("bad")
+	bad.Grid.DeltaD = 0
+	if err := h.v.AddContext(bad, "DCL", nil); err == nil {
+		t.Error("invalid context accepted")
+	}
+	good := testContext("good")
+	if err := h.v.AddContext(good, "NOPE", nil); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := h.v.AddContext(good, "LRU", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.v.AddContext(good, "LRU", nil); err == nil {
+		t.Error("duplicate context accepted")
+	}
+	up := testContext("down")
+	up.Upstream = "missing"
+	if err := h.v.AddContext(up, "LRU", nil); err == nil {
+		t.Error("unknown upstream accepted")
+	}
+}
+
+func TestOpenUnknowns(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	if _, err := h.v.Open("a1", "nope", ctx.Filename(1)); err == nil {
+		t.Error("unknown context accepted")
+	}
+	if _, err := h.v.Open("a1", "c", "garbage"); err == nil {
+		t.Error("unparseable filename accepted")
+	}
+	if _, err := h.v.Open("a1", "c", ctx.Filename(999)); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+}
+
+func TestOpenHitAfterPreload(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	if err := h.v.Preload("c", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.v.Open("a1", "c", ctx.Filename(2))
+	if err != nil || !res.Available {
+		t.Fatalf("Open = %+v, %v", res, err)
+	}
+	st, _ := h.v.Stats("c")
+	if st.Hits != 1 || st.Misses != 0 || st.Restarts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOpenMissTriggersResimAndNotifies(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	file := ctx.Filename(6) // interval (4,8]: restart at t=4, produces 5..8
+	res, err := h.v.Open("a1", "c", file)
+	if err != nil || res.Available {
+		t.Fatalf("Open = %+v, %v", res, err)
+	}
+	if res.EstWait <= 0 {
+		t.Error("miss should estimate a wait")
+	}
+	var ready []time.Duration
+	if err := h.v.WaitFile("a1", "c", file, func(st Status) {
+		if st.Err != "" {
+			t.Errorf("unexpected error: %s", st.Err)
+		}
+		ready = append(ready, h.eng.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run(0)
+	if len(ready) != 1 {
+		t.Fatalf("waiter fired %d times", len(ready))
+	}
+	// α=2s + 2 steps (5,6) at 1s = 4s.
+	if ready[0] != 4*time.Second {
+		t.Errorf("file ready at %v, want 4s", ready[0])
+	}
+	st, _ := h.v.Stats("c")
+	if st.DemandRestarts != 1 || st.StepsProduced != 4 {
+		t.Errorf("stats = %+v (want 1 restart producing steps 5..8)", st)
+	}
+	// Second open is now a hit.
+	res, _ = h.v.Open("a1", "c", file)
+	if !res.Available {
+		t.Error("file should be resident after production")
+	}
+}
+
+func TestOpenJoinsRunningSimulation(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Open("a1", "c", ctx.Filename(5))
+	h.v.Open("a2", "c", ctx.Filename(6)) // same interval: must not relaunch
+	h.eng.Run(0)
+	st, _ := h.v.Stats("c")
+	if st.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1 (second open joins)", st.Restarts)
+	}
+}
+
+func TestWaitFileOnResidentFiresImmediately(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+	fired := false
+	if err := h.v.WaitFile("a1", "c", ctx.Filename(1), func(st Status) { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("waiter on resident file must fire synchronously")
+	}
+	// Waiting for a file that nothing is producing is an error.
+	if err := h.v.WaitFile("a1", "c", ctx.Filename(50), func(Status) {}); err == nil {
+		t.Error("wait without open should fail")
+	}
+}
+
+func TestReleaseAndRefcounts(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+	file := ctx.Filename(1)
+	h.v.Open("a1", "c", file)
+	h.v.Open("a2", "c", file)
+	if err := h.v.Release("a1", "c", file); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.v.Release("a2", "c", file); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.v.Release("a2", "c", file); err == nil {
+		t.Error("over-release should fail")
+	}
+}
+
+func TestPinnedFilesSurviveEviction(t *testing.T) {
+	ctx := testContext("c")
+	ctx.MaxCacheBytes = 4 // 4 steps
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1, 2, 3, 4})
+	h.v.Open("a1", "c", ctx.Filename(1)) // pin step 1
+	// Produce steps 9..12, evicting three unpinned entries.
+	h.v.Open("a1", "c", ctx.Filename(10))
+	h.eng.Run(0)
+	res, _ := h.v.Open("a1", "c", ctx.Filename(1))
+	if !res.Available {
+		t.Error("pinned step 1 was evicted")
+	}
+	st, _ := h.v.Stats("c")
+	if st.Evictions == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestSMaxQueuesDemandLaunches(t *testing.T) {
+	ctx := testContext("c")
+	ctx.SMax = 2
+	h := newHarness(t, ctx)
+	// Three misses in three distinct restart intervals.
+	h.v.Open("a1", "c", ctx.Filename(2))  // interval (0,4]
+	h.v.Open("a1", "c", ctx.Filename(6))  // interval (4,8]
+	h.v.Open("a1", "c", ctx.Filename(10)) // interval (8,12] — queued
+	done := map[int]time.Duration{}
+	for _, s := range []int{2, 6, 10} {
+		s := s
+		h.v.WaitFile("a1", "c", ctx.Filename(s), func(st Status) { done[s] = h.eng.Now() })
+	}
+	h.eng.Run(0)
+	if len(done) != 3 {
+		t.Fatalf("only %d of 3 files produced", len(done))
+	}
+	// The third interval starts only after one of the first two ends
+	// (each sim: α=2s + 4·1s = 6s; third ends ≥ 6+2+2 = 10s).
+	if done[10] < 10*time.Second {
+		t.Errorf("queued sim finished at %v, before capacity freed", done[10])
+	}
+	st, _ := h.v.Stats("c")
+	if st.Restarts != 3 {
+		t.Errorf("restarts = %d, want 3", st.Restarts)
+	}
+}
+
+func TestAcquireMultipleFiles(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+	files := []string{ctx.Filename(1), ctx.Filename(6), ctx.Filename(10)}
+	var got *Status
+	err := h.v.Acquire("a1", "c", files, func(st Status) { got = &st })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("acquire fired before production")
+	}
+	h.eng.Run(0)
+	if got == nil || !got.Ready || got.Err != "" {
+		t.Fatalf("acquire status = %+v", got)
+	}
+	// All three files are referenced: release them all.
+	for _, f := range files {
+		if err := h.v.Release("a1", "c", f); err != nil {
+			t.Errorf("release %s: %v", f, err)
+		}
+	}
+}
+
+func TestAcquireAllResidentFiresImmediately(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1, 2})
+	fired := false
+	h.v.Acquire("a1", "c", []string{ctx.Filename(1), ctx.Filename(2)}, func(st Status) {
+		fired = st.Ready
+	})
+	if !fired {
+		t.Error("fully resident acquire must fire synchronously")
+	}
+	// Empty acquire also fires.
+	fired = false
+	h.v.Acquire("a1", "c", nil, func(st Status) { fired = st.Ready })
+	if !fired {
+		t.Error("empty acquire must fire")
+	}
+}
+
+func TestAcquireRollsBackOnError(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+	err := h.v.Acquire("a1", "c", []string{ctx.Filename(1), "garbage"}, func(Status) {
+		t.Error("callback must not fire on error")
+	})
+	if err == nil {
+		t.Fatal("acquire with bad filename should fail")
+	}
+	// The reference on file 1 must have been rolled back.
+	if err := h.v.Release("a1", "c", ctx.Filename(1)); err == nil {
+		t.Error("reference was not rolled back")
+	}
+}
+
+func TestSimFailureNotifiesWaiters(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.l.FailEvery = 1 // every simulation crashes halfway
+	file := ctx.Filename(4)
+	h.v.Open("a1", "c", file)
+	var st *Status
+	h.v.WaitFile("a1", "c", file, func(s Status) { st = &s })
+	h.eng.Run(0)
+	if st == nil {
+		t.Fatal("waiter never notified")
+	}
+	if st.Err == "" {
+		t.Error("failure should carry an error status")
+	}
+	stats, _ := h.v.Stats("c")
+	if stats.Failures != 1 {
+		t.Errorf("failures = %d", stats.Failures)
+	}
+}
+
+func TestEstWait(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+	if w, err := h.v.EstWait("c", ctx.Filename(1)); err != nil || w != 0 {
+		t.Errorf("resident EstWait = %v, %v", w, err)
+	}
+	h.v.Open("a1", "c", ctx.Filename(4))
+	w, err := h.v.EstWait("c", ctx.Filename(4))
+	if err != nil || w <= 0 {
+		t.Errorf("missing EstWait = %v, %v", w, err)
+	}
+	// α=2s + 4·1s = 6s for step 4 (interval (0,4]).
+	if w != 6*time.Second {
+		t.Errorf("EstWait = %v, want 6s", w)
+	}
+	if _, err := h.v.EstWait("nope", "x"); err == nil {
+		t.Error("unknown context accepted")
+	}
+}
+
+func TestBitrep(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	file := ctx.Filename(1)
+	content := vfs.Content(file, 64)
+	drv := simulator.NewSynthetic(ctx)
+	if err := h.v.RegisterChecksum("c", file, drv.Checksum(content)); err != nil {
+		t.Fatal(err)
+	}
+	same, err := h.v.Bitrep("c", file, content)
+	if err != nil || !same {
+		t.Errorf("Bitrep identical = %v, %v", same, err)
+	}
+	same, err = h.v.Bitrep("c", file, []byte("perturbed"))
+	if err != nil || same {
+		t.Errorf("Bitrep different = %v, %v", same, err)
+	}
+	if _, err := h.v.Bitrep("c", ctx.Filename(2), content); err == nil {
+		t.Error("unregistered file should error")
+	}
+	if sum, found, _ := h.v.RegisteredChecksum("c", file); !found || sum != drv.Checksum(content) {
+		t.Error("registered checksum not retrievable")
+	}
+	if err := h.v.RegisterChecksum("c", "garbage", 1); err == nil {
+		t.Error("bad filename accepted")
+	}
+}
+
+func TestRescanStorageArea(t *testing.T) {
+	ctx := testContext("c")
+	area := vfs.NewMem()
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := New(eng, l)
+	l.Events = v
+	if err := v.AddContext(ctx, "LRU", area); err != nil {
+		t.Fatal(err)
+	}
+	// Files already in the area (daemon restart): 3 output steps, one
+	// restart file (ignored), one foreign file (ignored).
+	area.Create(ctx.Filename(1), 1)
+	area.Create(ctx.Filename(2), 1)
+	area.Create(ctx.Filename(3), 1)
+	area.Create(ctx.RestartFilename(4), 1)
+	area.Create("notes.txt", 1)
+	n, err := v.RescanStorageArea("c")
+	if err != nil || n != 3 {
+		t.Fatalf("rescan = %d, %v", n, err)
+	}
+	res, _ := v.Open("a1", "c", ctx.Filename(2))
+	if !res.Available {
+		t.Error("rescanned file should be resident")
+	}
+	if _, err := v.RescanStorageArea("nope"); err == nil {
+		t.Error("unknown context accepted")
+	}
+}
+
+func TestEvictionRemovesFromStorageArea(t *testing.T) {
+	ctx := testContext("c")
+	ctx.MaxCacheBytes = 2
+	area := vfs.NewMem()
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := New(eng, l)
+	l.Events = v
+	if err := v.AddContext(ctx, "LRU", area); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 3} {
+		area.Create(ctx.Filename(s), 1)
+	}
+	v.RescanStorageArea("c") // inserts 1,2 then 3 evicts 1
+	if got := len(area.List()); got != 2 {
+		t.Errorf("storage area holds %d files, want 2 after eviction", got)
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"time"
+
+	"simfs/internal/model"
+	"simfs/internal/simulator"
+)
+
+// estimator adapts a context's observed state to the prefetch.Estimator
+// interface. It is only used under the Virtualizer's lock.
+type estimator struct{ cs *ctxState }
+
+func (e *estimator) AlphaEstimate() time.Duration {
+	return time.Duration(e.cs.alphaEMA.Value(float64(e.cs.ctx.Alpha)))
+}
+func (e *estimator) TauEstimate(p int) time.Duration { return e.cs.ctx.TauAt(p) }
+func (e *estimator) DefaultParallelism() int         { return e.cs.ctx.DefaultParallelism }
+func (e *estimator) MaxParallelism() int             { return e.cs.ctx.MaxParallelism }
+
+// placeholder IDs (< pendingSimID) identify pipeline-pending simulations
+// that have not been handed to the Launcher yet.
+var placeholderSeq = int64(-2)
+
+// startSim creates the simulation record and, if its upstream inputs are
+// available (pipeline virtualization, Sec. III-E), hands it to the
+// Launcher; otherwise it acquires the upstream files first and launches
+// when they are all on disk. Caller holds the lock.
+func (v *Virtualizer) startSim(cs *ctxState, first, last, parallelism int, prefetchFor string) {
+	now := v.clock.Now()
+	sim := &simState{
+		ctxName:     cs.ctx.Name,
+		first:       first,
+		last:        last,
+		parallelism: parallelism,
+		prefetchFor: prefetchFor,
+		launchedAt:  now,
+	}
+
+	if cs.ctx.Upstream != "" {
+		ucs := v.contexts[cs.ctx.Upstream]
+		usteps := neededUpstreamSteps(cs.ctx.Grid, ucs.ctx.Grid, first, last)
+		var missing []int
+		for _, us := range usteps {
+			sim.upstreamFiles = append(sim.upstreamFiles, ucs.ctx.Filename(us))
+			ucs.refs[us]++
+			if ucs.resident(us) {
+				_ = ucs.cache.Pin(ucs.ctx.Filename(us))
+			} else {
+				missing = append(missing, us)
+			}
+		}
+		if len(missing) > 0 {
+			sim.pendingUpstream = len(missing)
+			placeholderSeq--
+			sim.id = placeholderSeq
+			v.sims[sim.id] = sim
+			cs.runningSims[sim.id] = true
+			v.markPromised(cs, sim.first, sim.last, sim.id)
+			for _, us := range missing {
+				if _, p := ucs.promised[us]; !p {
+					if iv, err := ucs.ctx.Grid.ResimInterval(us); err == nil {
+						if f, l, ok := ucs.ctx.Grid.OutputsIn(iv); ok {
+							v.launch(ucs, f, l, ucs.ctx.DefaultParallelism, "")
+						}
+					}
+				}
+				simID := sim.id
+				ucs.waiters[us] = append(ucs.waiters[us], waiter{
+					client: "pipeline:" + cs.ctx.Name,
+					cb:     func(st Status) { v.upstreamReady(simID, st) },
+				})
+			}
+			return
+		}
+	}
+	v.doLaunch(cs, sim)
+}
+
+// upstreamReady is a waiter callback (invoked without the lock) fired for
+// each upstream file a pipeline-pending simulation needed.
+func (v *Virtualizer) upstreamReady(placeholderID int64, st Status) {
+	v.mu.Lock()
+	sim, ok := v.sims[placeholderID]
+	if !ok {
+		v.mu.Unlock()
+		return
+	}
+	cs := v.contexts[sim.ctxName]
+	if st.Err != "" {
+		// Upstream production failed: fail this simulation.
+		delete(v.sims, placeholderID)
+		delete(cs.runningSims, placeholderID)
+		v.releaseUpstream(sim)
+		msg := "upstream re-simulation failed: " + st.Err
+		cbs := v.failPromised(cs, sim, msg)
+		v.drainPending(cs)
+		v.mu.Unlock()
+		for _, cb := range cbs {
+			cb(Status{Err: msg})
+		}
+		return
+	}
+	sim.pendingUpstream--
+	if sim.pendingUpstream > 0 {
+		v.mu.Unlock()
+		return
+	}
+	// All inputs on disk: hand to the Launcher under the real ID.
+	delete(v.sims, placeholderID)
+	delete(cs.runningSims, placeholderID)
+	// Clear placeholder promises; doLaunch re-marks them under the real ID.
+	for s := sim.first; s <= sim.last; s++ {
+		if cs.promised[s] == placeholderID {
+			delete(cs.promised, s)
+		}
+	}
+	v.doLaunch(cs, sim)
+	v.mu.Unlock()
+}
+
+// doLaunch hands the simulation to the Launcher. Caller holds the lock.
+func (v *Virtualizer) doLaunch(cs *ctxState, sim *simState) {
+	sim.launched = true
+	id := v.launcher.Launch(cs.ctx, sim.first, sim.last, sim.parallelism)
+	sim.id = id
+	v.sims[id] = sim
+	cs.runningSims[id] = true
+	cs.stats.Restarts++
+	if sim.prefetchFor == "" {
+		cs.stats.DemandRestarts++
+	} else {
+		cs.stats.PrefetchLaunches++
+	}
+	v.markPromised(cs, sim.first, sim.last, id)
+}
+
+// markPromised registers promised markers for uncovered steps in the
+// range. Caller holds the lock.
+func (v *Virtualizer) markPromised(cs *ctxState, first, last int, simID int64) {
+	for s := first; s <= last; s++ {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; !p {
+			cs.promised[s] = simID
+		}
+	}
+}
+
+// neededUpstreamSteps returns the upstream output steps whose data covers
+// the downstream re-simulation producing outputs [first, last]: the
+// interval from the restart boot to the last simulated timestep. Upstream
+// output step i covers timesteps ((i-1)·Δd_up, i·Δd_up].
+func neededUpstreamSteps(down, up model.Grid, first, last int) []int {
+	start := down.RestartBefore(first)
+	end := down.OutputTimestep(last)
+	firstUp := start/up.DeltaD + 1
+	lastUp := (end + up.DeltaD - 1) / up.DeltaD
+	if max := up.NumOutputSteps(); lastUp > max {
+		lastUp = max
+	}
+	var steps []int
+	for i := firstUp; i <= lastUp; i++ {
+		steps = append(steps, i)
+	}
+	return steps
+}
+
+// releaseUpstream drops the upstream references a pipeline simulation
+// held. Caller holds the lock.
+func (v *Virtualizer) releaseUpstream(sim *simState) {
+	cs := v.contexts[sim.ctxName]
+	if cs.ctx.Upstream == "" || len(sim.upstreamFiles) == 0 {
+		return
+	}
+	ucs := v.contexts[cs.ctx.Upstream]
+	for _, name := range sim.upstreamFiles {
+		step, err := ucs.ctx.Key(name)
+		if err != nil {
+			continue
+		}
+		if ucs.refs[step] > 0 {
+			ucs.refs[step]--
+			if ucs.refs[step] == 0 {
+				delete(ucs.refs, step)
+			}
+			if ucs.resident(step) {
+				_ = ucs.cache.Unpin(name)
+			}
+		}
+	}
+	sim.upstreamFiles = nil
+}
+
+// SimStarted implements the launcher Events contract: production begins
+// (restart latency elapsed). The observed latency feeds the EMA the
+// prefetch agents use (Sec. IV-C1c).
+func (v *Virtualizer) SimStarted(simID int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	sim, ok := v.sims[simID]
+	if !ok {
+		return
+	}
+	cs := v.contexts[sim.ctxName]
+	now := v.clock.Now()
+	sim.started = true
+	sim.startedAt = now
+	cs.alphaEMA.Observe(float64(now - sim.launchedAt))
+}
+
+// StepProduced implements the launcher Events contract: one output step
+// was written and closed. The step enters the cache (evicting as needed),
+// waiters are notified, and prefetch bookkeeping is updated.
+func (v *Virtualizer) StepProduced(simID int64, step int) {
+	v.mu.Lock()
+	sim, ok := v.sims[simID]
+	if !ok {
+		v.mu.Unlock()
+		return
+	}
+	cs := v.contexts[sim.ctxName]
+	sim.produced++
+	cs.stats.StepsProduced++
+	v.insertStep(cs, step)
+	cs.everProduced[step] = true
+	if sim.prefetchFor != "" {
+		if _, tracked := cs.prefetched[step]; !tracked {
+			cs.prefetched[step] = sim.prefetchFor
+		}
+	}
+	if id, p := cs.promised[step]; p && (id == simID || id == pendingSimID) {
+		delete(cs.promised, step)
+	}
+	ws := cs.waiters[step]
+	delete(cs.waiters, step)
+	now := v.clock.Now()
+	for _, w := range ws {
+		cs.lastReady[w.client] = now
+	}
+	v.mu.Unlock()
+	for _, w := range ws {
+		w.cb(Status{Ready: true})
+	}
+}
+
+// SimEnded implements the launcher Events contract.
+func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
+	v.mu.Lock()
+	sim, ok := v.sims[simID]
+	if !ok {
+		v.mu.Unlock()
+		return
+	}
+	cs := v.contexts[sim.ctxName]
+	delete(v.sims, simID)
+	delete(cs.runningSims, simID)
+	v.releaseUpstream(sim)
+
+	var cbs []func(Status)
+	var errMsg string
+	switch outcome {
+	case simulator.Completed:
+		// Normal completion: nothing outstanding.
+	case simulator.Killed:
+		cs.stats.Kills++
+		errMsg = "re-simulation killed"
+	default:
+		cs.stats.Failures++
+		errMsg = "re-simulation failed"
+	}
+	if errMsg != "" {
+		cbs = v.failPromised(cs, sim, errMsg)
+	}
+	v.drainPending(cs)
+	v.mu.Unlock()
+	for _, cb := range cbs {
+		cb(Status{Err: errMsg})
+	}
+}
+
+// failPromised clears the promises of a dead simulation and collects the
+// waiter callbacks to notify. Caller holds the lock.
+func (v *Virtualizer) failPromised(cs *ctxState, sim *simState, msg string) []func(Status) {
+	var cbs []func(Status)
+	for s := sim.first; s <= sim.last; s++ {
+		if id, p := cs.promised[s]; p && id == sim.id {
+			delete(cs.promised, s)
+			for _, w := range cs.waiters[s] {
+				cbs = append(cbs, w.cb)
+			}
+			delete(cs.waiters, s)
+		}
+	}
+	return cbs
+}
+
+// drainPending starts queued demand launches while capacity allows.
+// Caller holds the lock.
+func (v *Virtualizer) drainPending(cs *ctxState) {
+	for len(cs.pending) > 0 && len(cs.runningSims) < cs.ctx.SMax {
+		p := cs.pending[0]
+		cs.pending = cs.pending[1:]
+		// Clear the pending markers; startSim re-marks what it launches.
+		for s := p.first; s <= p.last; s++ {
+			if cs.promised[s] == pendingSimID {
+				delete(cs.promised, s)
+			}
+		}
+		v.startSim(cs, p.first, p.last, p.parallelism, p.prefetchFor)
+	}
+}
+
+// killPrefetchedFor kills running prefetch simulations of the given client
+// whose remaining output nobody waits for (Sec. IV-C: "A simulation can be
+// killed only if there are no other analyses waiting for the files that
+// are going to be produced by it"). Caller holds the lock.
+func (v *Virtualizer) killPrefetchedFor(cs *ctxState, client string) {
+	for id := range cs.runningSims {
+		sim := v.sims[id]
+		if sim == nil || sim.prefetchFor != client {
+			continue
+		}
+		needed := false
+		for s := sim.first; s <= sim.last; s++ {
+			if len(cs.waiters[s]) > 0 || cs.refs[s] > 0 {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			continue
+		}
+		if sim.launched {
+			v.launcher.Kill(id)
+		} else {
+			// Pipeline-pending: dismantle locally.
+			delete(v.sims, id)
+			delete(cs.runningSims, id)
+			v.releaseUpstream(sim)
+			for s := sim.first; s <= sim.last; s++ {
+				if cs.promised[s] == id {
+					delete(cs.promised, s)
+				}
+			}
+			cs.stats.Kills++
+		}
+	}
+}

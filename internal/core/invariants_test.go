@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"simfs/internal/des"
+	"simfs/internal/model"
+)
+
+// TestInvariantsUnderRandomWorkload fuzzes the Virtualizer with random
+// client behavior — opens, waits, releases, guided prefetches, direction
+// flips — interleaved with engine progress, auditing CheckInvariants
+// after every step.
+func TestInvariantsUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := &model.Context{
+			Name:               "fuzz",
+			Grid:               model.Grid{DeltaD: 1 + int(seed&1)*2, DeltaR: 8, Timesteps: 256},
+			OutputBytes:        1,
+			MaxCacheBytes:      int64(8 + rng.Intn(32)),
+			Tau:                time.Second,
+			Alpha:              2 * time.Second,
+			DefaultParallelism: 1,
+			MaxParallelism:     1,
+			SMax:               1 + rng.Intn(4),
+		}
+		ctx.ApplyDefaults()
+		eng, v := newFuzzStack(t, ctx, rng.Intn(3) == 0)
+
+		clients := []string{"c0", "c1", "c2"}
+		held := map[string][]string{}
+		no := ctx.Grid.NumOutputSteps()
+
+		for i := 0; i < 150; i++ {
+			client := clients[rng.Intn(len(clients))]
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // open (maybe wait)
+				step := rng.Intn(no) + 1
+				file := ctx.Filename(step)
+				res, err := v.Open(client, "fuzz", file)
+				if err != nil {
+					t.Logf("seed %d: open: %v", seed, err)
+					return false
+				}
+				held[client] = append(held[client], file)
+				if !res.Available && rng.Intn(2) == 0 {
+					v.WaitFile(client, "fuzz", file, func(Status) {})
+				}
+			case 4, 5: // release something held
+				hs := held[client]
+				if len(hs) > 0 {
+					file := hs[len(hs)-1]
+					held[client] = hs[:len(hs)-1]
+					if err := v.Release(client, "fuzz", file); err != nil {
+						t.Logf("seed %d: release: %v", seed, err)
+						return false
+					}
+				}
+			case 6: // guided prefetch hint
+				step := rng.Intn(no) + 1
+				if _, err := v.GuidedPrefetch(client, "fuzz", []string{ctx.Filename(step)}); err != nil {
+					t.Logf("seed %d: prefetch: %v", seed, err)
+					return false
+				}
+			case 7, 8: // let simulations progress
+				for j := 0; j < rng.Intn(20)+1; j++ {
+					if !eng.Step() {
+						break
+					}
+				}
+			case 9: // audit mid-flight
+			}
+			if err := v.CheckInvariants(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+		}
+		// Drain and re-audit.
+		if !eng.Run(2_000_000) {
+			t.Logf("seed %d: engine did not drain", seed)
+			return false
+		}
+		if err := v.CheckInvariants(); err != nil {
+			t.Logf("seed %d final: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newFuzzStack builds a harness whose launcher optionally injects
+// failures.
+func newFuzzStack(t *testing.T, ctx *model.Context, failures bool) (*des.Engine, *Virtualizer) {
+	h := newHarness(t, ctx)
+	if failures {
+		h.l.FailEvery = 3
+	}
+	return h.eng, h.v
+}
+
+func TestCheckInvariantsCleanState(t *testing.T) {
+	ctx := testContext("inv")
+	h := newHarness(t, ctx)
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Errorf("fresh virtualizer violates invariants: %v", err)
+	}
+	h.v.Preload("inv", []int{1, 2, 3})
+	h.v.Open("a1", "inv", ctx.Filename(2))
+	h.v.Open("a1", "inv", ctx.Filename(30))
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Errorf("mid-flight state violates invariants: %v", err)
+	}
+	h.eng.Run(0)
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Errorf("drained state violates invariants: %v", err)
+	}
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/model"
+	"simfs/internal/prefetch"
+)
+
+// Open handles a client's open of an output step file (paper Sec. III-A):
+// non-blocking, it reports whether the file is on disk; if not, it starts
+// (or joins) a re-simulation and returns an estimated wait. It also feeds
+// the client's prefetch agent.
+func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return OpenResult{}, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		return OpenResult{}, err
+	}
+	if !cs.ctx.Grid.ValidOutput(step) {
+		return OpenResult{}, fmt.Errorf("core: %q is outside the simulated timeline", filename)
+	}
+	now := v.clock.Now()
+	cs.stats.Opens++
+
+	hit := cs.cache.Touch(filename)
+	if hit {
+		cs.stats.Hits++
+		delete(cs.prefetched, step) // accessed in time: not pollution
+	} else {
+		cs.stats.Misses++
+		// Cache-pollution signal (Sec. IV-C): the client misses on a step
+		// its own agent prefetched and that had been produced — it was
+		// evicted before being accessed. Reset all active agents.
+		if cs.prefetched[step] == client && cs.everProduced[step] {
+			cs.stats.PollutionResets++
+			for _, ag := range cs.agents {
+				ag.Reset()
+			}
+			delete(cs.prefetched, step)
+		}
+	}
+
+	// Feed the prefetch agent and apply its decision. The processing-time
+	// sample excludes time blocked on missing files: it is measured from
+	// the instant the client's previous file became available.
+	procTime := time.Duration(0)
+	if lr, ok := cs.lastReady[client]; ok && now > lr {
+		procTime = now - lr
+	}
+	v.runAgent(cs, client, step, now, procTime)
+	if hit {
+		cs.lastReady[client] = now
+	}
+
+	// Count the reference (pin when resident).
+	cs.refs[step]++
+	if cs.resident(step) {
+		_ = cs.cache.Pin(filename)
+		return OpenResult{Available: true}, nil
+	}
+
+	// Miss: join the producing simulation or start a demand one.
+	if _, promised := cs.promised[step]; !promised {
+		iv, err := cs.ctx.Grid.ResimInterval(step)
+		if err != nil {
+			cs.refs[step]--
+			return OpenResult{}, err
+		}
+		first, last, ok := cs.ctx.Grid.OutputsIn(iv)
+		if !ok {
+			cs.refs[step]--
+			return OpenResult{}, fmt.Errorf("core: no outputs in re-simulation interval for %q", filename)
+		}
+		v.launch(cs, first, last, cs.ctx.DefaultParallelism, "")
+	}
+	return OpenResult{Available: false, EstWait: v.estWaitLocked(cs, step, now)}, nil
+}
+
+// WaitFile subscribes cb to the availability of filename: it fires
+// immediately if the file is on disk, or when a re-simulation produces it
+// (or fails). This is the blocking-read path of transparent mode and the
+// notification path of SIMFS_Wait.
+func (v *Virtualizer) WaitFile(client, ctxName, filename string, cb func(Status)) error {
+	v.mu.Lock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		v.mu.Unlock()
+		return fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	if cs.resident(step) {
+		v.mu.Unlock()
+		cb(Status{Ready: true})
+		return nil
+	}
+	if _, promised := cs.promised[step]; !promised {
+		v.mu.Unlock()
+		return fmt.Errorf("core: %q is neither on disk nor being produced; call Open or Acquire first", filename)
+	}
+	cs.waiters[step] = append(cs.waiters[step], waiter{client: client, cb: cb})
+	v.mu.Unlock()
+	return nil
+}
+
+// Release drops a client's reference to a file (close in transparent
+// mode, SIMFS_Release in API mode).
+func (v *Virtualizer) Release(client, ctxName, filename string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		return err
+	}
+	if cs.refs[step] <= 0 {
+		return fmt.Errorf("core: release of unreferenced file %q", filename)
+	}
+	cs.refs[step]--
+	if cs.refs[step] == 0 {
+		delete(cs.refs, step)
+	}
+	if cs.resident(step) {
+		return cs.cache.Unpin(filename)
+	}
+	return nil
+}
+
+// Acquire implements the SIMFS_Acquire semantics: reference all files,
+// ensure re-simulations are running for the missing ones, and invoke cb
+// once when every file is available (or once with an error status if any
+// production fails). The call itself never blocks.
+func (v *Virtualizer) Acquire(client, ctxName string, filenames []string, cb func(Status)) error {
+	if len(filenames) == 0 {
+		cb(Status{Ready: true})
+		return nil
+	}
+	type sub struct {
+		file    string
+		pending bool
+	}
+	subs := make([]sub, 0, len(filenames))
+	var firstErr error
+	var maxWait time.Duration
+	for _, f := range filenames {
+		res, err := v.Open(client, ctxName, f)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		subs = append(subs, sub{file: f, pending: !res.Available})
+		if res.EstWait > maxWait {
+			maxWait = res.EstWait
+		}
+	}
+	if firstErr != nil {
+		// Roll back references taken so far.
+		for _, s := range subs {
+			_ = v.Release(client, ctxName, s.file)
+		}
+		return firstErr
+	}
+
+	remaining := 0
+	for _, s := range subs {
+		if s.pending {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		cb(Status{Ready: true})
+		return nil
+	}
+	// Fan-in: one waiter per missing file, cb fired on the last one (or
+	// on the first failure).
+	done := false
+	var fanIn func(Status)
+	fanIn = func(st Status) {
+		v.mu.Lock()
+		if done {
+			v.mu.Unlock()
+			return
+		}
+		if st.Err != "" {
+			done = true
+			v.mu.Unlock()
+			cb(st)
+			return
+		}
+		remaining--
+		fire := remaining == 0
+		if fire {
+			done = true
+		}
+		v.mu.Unlock()
+		if fire {
+			cb(Status{Ready: true})
+		}
+	}
+	for _, s := range subs {
+		if !s.pending {
+			continue
+		}
+		if err := v.WaitFile(client, ctxName, s.file, fanIn); err != nil {
+			// The file may have become resident between Open and WaitFile.
+			fanIn(Status{Ready: true})
+		}
+	}
+	return nil
+}
+
+// GuidedPrefetch implements the guided-prefetching interface (paper
+// Sec. I: the APIs "can be used in addition to the fully transparent
+// virtualization to optimize client applications as, e.g., guided
+// prefetching"). The client hints that it will access the given files
+// soon; SimFS starts re-simulations for the missing ones without taking
+// references and without blocking. Hints beyond smax are dropped, like
+// agent prefetches. It returns the number of re-simulations launched.
+func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	launched := 0
+	for _, f := range filenames {
+		step, err := cs.ctx.Key(f)
+		if err != nil {
+			return launched, err
+		}
+		if !cs.ctx.Grid.ValidOutput(step) {
+			return launched, fmt.Errorf("core: %q is outside the simulated timeline", f)
+		}
+		if cs.resident(step) {
+			continue
+		}
+		if _, promised := cs.promised[step]; promised {
+			continue
+		}
+		before := cs.stats.Restarts
+		iv, err := cs.ctx.Grid.ResimInterval(step)
+		if err != nil {
+			return launched, err
+		}
+		first, last, ok := cs.ctx.Grid.OutputsIn(iv)
+		if !ok {
+			continue
+		}
+		v.launch(cs, first, last, cs.ctx.DefaultParallelism, client)
+		if cs.stats.Restarts > before {
+			launched++
+		}
+	}
+	return launched, nil
+}
+
+// EstWait returns the estimated wait for a file (exposed via
+// SIMFS_Status).
+func (v *Virtualizer) EstWait(ctxName, filename string) (time.Duration, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		return 0, err
+	}
+	if cs.resident(step) {
+		return 0, nil
+	}
+	return v.estWaitLocked(cs, step, v.clock.Now()), nil
+}
+
+// estWaitLocked estimates availability time of a step from its producing
+// simulation's progress. Caller holds the lock.
+func (v *Virtualizer) estWaitLocked(cs *ctxState, step int, now time.Duration) time.Duration {
+	simID, promised := cs.promised[step]
+	if !promised {
+		return 0
+	}
+	sim, ok := v.sims[simID]
+	if !ok {
+		// Pending (smax or pipeline): assume a full restart plus the
+		// production run from its restart step.
+		alpha := time.Duration(cs.alphaEMA.Value(float64(cs.ctx.Alpha)))
+		return alpha + time.Duration(cs.ctx.Grid.MissCost(step))*cs.ctx.Tau
+	}
+	tau := cs.ctx.TauAt(sim.parallelism)
+	if sim.started {
+		eta := sim.startedAt + time.Duration(step-sim.first+1)*tau
+		if eta > now {
+			return eta - now
+		}
+		return 0
+	}
+	alpha := time.Duration(cs.alphaEMA.Value(float64(cs.ctx.Alpha)))
+	eta := sim.launchedAt + alpha + time.Duration(step-sim.first+1)*tau
+	if eta > now {
+		return eta - now
+	}
+	return 0
+}
+
+// runAgent feeds one access into the client's prefetch agent and applies
+// its decision. Caller holds the lock.
+func (v *Virtualizer) runAgent(cs *ctxState, client string, step int, now, procTime time.Duration) {
+	if cs.ctx.NoPrefetch {
+		return
+	}
+	ag, ok := cs.agents[client]
+	if !ok {
+		ag = prefetch.NewAgent(cs.ctx.Grid, &estimator{cs: cs}, cs.ctx.SMax, cs.ctx.RampUp, cs.ctx.AlphaSmoothing)
+		cs.agents[client] = ag
+	}
+	cover := func(dir, k int) int { return v.coveredUntil(cs, step, dir, k) }
+	d := ag.OnAccess(step, now, procTime, cover)
+	if d.Reset {
+		v.killPrefetchedFor(cs, client)
+	}
+	for _, r := range d.Launches {
+		v.launch(cs, r.First, r.Last, d.Parallelism, client)
+	}
+}
+
+// coveredUntil walks the trajectory from `from` along dir with stride k
+// and returns the furthest step that is resident or promised contiguously.
+// Caller holds the lock.
+func (v *Virtualizer) coveredUntil(cs *ctxState, from, dir, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	j := from
+	for {
+		next := j + dir*k
+		if !cs.ctx.Grid.ValidOutput(next) {
+			return j
+		}
+		if !cs.resident(next) {
+			if _, promised := cs.promised[next]; !promised {
+				return j
+			}
+		}
+		j = next
+	}
+}
+
+// launch starts (or queues) a re-simulation covering output steps
+// [first, last], realigned to restart-step boundaries. prefetchFor is the
+// requesting client's name for prefetches, "" for demand misses. Caller
+// holds the lock.
+func (v *Virtualizer) launch(cs *ctxState, first, last, parallelism int, prefetchFor string) {
+	g := cs.ctx.Grid
+	if first < 1 {
+		first = 1
+	}
+	if last > g.NumOutputSteps() {
+		last = g.NumOutputSteps()
+	}
+	if first > last {
+		return
+	}
+	// Realign to restart boundaries: simulations boot from a restart step
+	// and run to at least the next one.
+	iv := model.Interval{Start: g.RestartBefore(first), End: g.RestartAfter(last)}
+	if iv.End > g.Timesteps {
+		iv.End = g.Timesteps
+	}
+	f2, l2, ok := g.OutputsIn(iv)
+	if !ok {
+		return
+	}
+	first, last = f2, l2
+
+	// Skip the launch when every step in the range is already resident or
+	// promised. Partially covered ranges still launch in full: the
+	// re-simulation must boot from the restart step and recompute the
+	// covered steps anyway, so trimming would only distort the timing.
+	uncovered := false
+	for s := first; s <= last; s++ {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; !p {
+			uncovered = true
+			break
+		}
+	}
+	if !uncovered {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = cs.ctx.DefaultParallelism
+	}
+
+	if len(cs.runningSims)+len(cs.pending) >= cs.ctx.SMax {
+		if prefetchFor != "" {
+			// "Once smax simulations are running, SimFS will not be able
+			// to prefetch new ones" (Sec. VI).
+			cs.stats.DroppedPrefetch++
+			return
+		}
+		// Demand misses must eventually be served: queue the launch.
+		cs.pending = append(cs.pending, pendingLaunch{first: first, last: last, parallelism: parallelism, prefetchFor: prefetchFor})
+		for s := first; s <= last; s++ {
+			if !cs.resident(s) {
+				if _, p := cs.promised[s]; !p {
+					cs.promised[s] = pendingSimID
+				}
+			}
+		}
+		return
+	}
+	v.startSim(cs, first, last, parallelism, prefetchFor)
+}
+
+// pendingSimID marks steps promised by a not-yet-launched simulation.
+const pendingSimID = int64(-1)

@@ -1,0 +1,329 @@
+// Package core implements the Data Virtualizer (DV) of SimFS (paper
+// Sec. III): the daemon-side state machine that exposes a virtualized view
+// of simulation output. It tracks which output steps are on disk, restarts
+// simulations to produce missing ones, maintains per-context storage areas
+// with replacement policies and reference counting, drives the prefetch
+// agents, and virtualizes simulation pipelines.
+//
+// The Virtualizer is time-source agnostic: it reads time through an
+// injected Clock and starts/kills simulations through an injected
+// Launcher, so the same state machine runs under the TCP daemon in wall
+// time and under the discrete-event engine in virtual time.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"simfs/internal/cache"
+	"simfs/internal/des"
+	"simfs/internal/metrics"
+	"simfs/internal/model"
+	"simfs/internal/prefetch"
+	"simfs/internal/simulator"
+	"simfs/internal/vfs"
+)
+
+// Launcher starts and kills re-simulations. *simulator.DESLauncher and
+// *simulator.RealTimeLauncher satisfy it.
+type Launcher interface {
+	// Launch starts a re-simulation of ctx producing output steps
+	// [first, last] with the given parallelism; it returns a simulation
+	// id. Progress arrives through the Virtualizer's Events methods.
+	Launch(ctx *model.Context, first, last, parallelism int) int64
+	// Kill aborts a running or queued simulation.
+	Kill(simID int64)
+}
+
+// Status reports the state of a requested file to a client, mirroring the
+// SIMFS_Status object of the paper's API (error state and estimated
+// waiting time).
+type Status struct {
+	// Ready is true when the file is on disk.
+	Ready bool
+	// Err carries the error state (e.g. "restart failed").
+	Err string
+	// EstWait estimates how long until the file becomes available.
+	EstWait time.Duration
+}
+
+// OpenResult is returned by Open: whether the file is immediately
+// available and, if not, the estimated wait.
+type OpenResult struct {
+	Available bool
+	EstWait   time.Duration
+}
+
+// CtxStats counts per-context events; the experiment harness reads them.
+type CtxStats struct {
+	Opens            int64
+	Hits             int64
+	Misses           int64
+	Restarts         int64 // simulations launched (demand + prefetch)
+	DemandRestarts   int64
+	PrefetchLaunches int64
+	DroppedPrefetch  int64 // prefetches skipped because smax was reached
+	StepsProduced    int64
+	Evictions        int64
+	Kills            int64
+	Failures         int64
+	PollutionResets  int64
+}
+
+type waiter struct {
+	client string
+	cb     func(Status)
+}
+
+type simState struct {
+	id          int64
+	ctxName     string
+	first, last int
+	parallelism int
+	launchedAt  time.Duration
+	startedAt   time.Duration
+	started     bool
+	produced    int // steps produced so far
+	// prefetchFor is the client whose agent prefetched this simulation
+	// ("" for demand re-simulations).
+	prefetchFor string
+	// pipeline wait state: number of upstream files still missing before
+	// the simulation can actually be submitted.
+	pendingUpstream int
+	upstreamFiles   []string // names of upstream files pinned by this sim
+	launched        bool     // handed to the Launcher (vs pipeline-pending)
+}
+
+type pendingLaunch struct {
+	first, last, parallelism int
+	prefetchFor              string
+}
+
+type ctxState struct {
+	ctx    *model.Context
+	driver simulator.Driver
+	cache  *cache.Cache
+	fs     vfs.FS // optional mirror of the storage area
+
+	// promised maps a step to the simulation that will produce it.
+	// Pipeline- or smax-pending simulations are registered here too, so
+	// coverage queries see them.
+	promised map[int]int64
+	waiters  map[int][]waiter
+	refs     map[int]int
+	agents   map[string]*prefetch.Agent
+
+	// prefetched tracks steps produced by prefetching per client, for the
+	// cache-pollution signal.
+	prefetched   map[int]string
+	everProduced map[int]bool
+	// lastReady records, per client, when its most recent file became
+	// available — the baseline for the wait-excluded τcli measurement.
+	lastReady   map[string]time.Duration
+	pending     []pendingLaunch
+	runningSims map[int64]bool
+	alphaEMA    *metrics.EMA
+	stats       CtxStats
+	checksums   map[string]uint64
+}
+
+// Virtualizer is the DV state machine. All exported methods are safe for
+// concurrent use.
+type Virtualizer struct {
+	mu       sync.Mutex
+	clock    des.Clock
+	launcher Launcher
+	contexts map[string]*ctxState
+	sims     map[int64]*simState
+}
+
+// New returns a Virtualizer reading time from clock and running
+// simulations through launcher.
+func New(clock des.Clock, launcher Launcher) *Virtualizer {
+	return &Virtualizer{
+		clock:    clock,
+		launcher: launcher,
+		contexts: map[string]*ctxState{},
+		sims:     map[int64]*simState{},
+	}
+}
+
+// AddContext registers a simulation context with a replacement policy
+// named by policyName (Sec. III-D) and an optional storage-area mirror
+// (nil for virtual-time experiments).
+func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.FS) error {
+	ctx.ApplyDefaults()
+	if err := ctx.Validate(); err != nil {
+		return err
+	}
+	capacity := ctx.CacheCapacitySteps()
+	if capacity == 0 {
+		capacity = ctx.Grid.NumOutputSteps()
+	}
+	pol, err := cache.NewPolicy(policyName, capacity)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.contexts[ctx.Name]; dup {
+		return fmt.Errorf("core: duplicate context %q", ctx.Name)
+	}
+	if ctx.Upstream != "" {
+		if _, ok := v.contexts[ctx.Upstream]; !ok {
+			return fmt.Errorf("core: context %q names unknown upstream %q", ctx.Name, ctx.Upstream)
+		}
+	}
+	v.contexts[ctx.Name] = &ctxState{
+		ctx:          ctx,
+		driver:       simulator.NewSynthetic(ctx),
+		cache:        cache.New(pol, ctx.MaxCacheBytes),
+		fs:           fs,
+		promised:     map[int]int64{},
+		waiters:      map[int][]waiter{},
+		refs:         map[int]int{},
+		agents:       map[string]*prefetch.Agent{},
+		prefetched:   map[int]string{},
+		everProduced: map[int]bool{},
+		lastReady:    map[string]time.Duration{},
+		runningSims:  map[int64]bool{},
+		alphaEMA:     metrics.NewEMA(ctx.AlphaSmoothing),
+		checksums:    map[string]uint64{},
+	}
+	return nil
+}
+
+// Context returns the registered context by name.
+func (v *Virtualizer) Context(name string) (*model.Context, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[name]
+	if !ok {
+		return nil, false
+	}
+	return cs.ctx, true
+}
+
+// ContextNames lists registered contexts.
+func (v *Virtualizer) ContextNames() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	names := make([]string, 0, len(v.contexts))
+	for n := range v.contexts {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Stats returns a copy of the context's counters.
+func (v *Virtualizer) Stats(ctxName string) (CtxStats, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return CtxStats{}, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	return cs.stats, nil
+}
+
+// CacheStats returns the cache engine counters of a context.
+func (v *Virtualizer) CacheStats(ctxName string) (cache.Stats, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return cache.Stats{}, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	return cs.cache.Stats(), nil
+}
+
+// StorageArea returns the context's storage-area file system (nil when
+// running without one, as the virtual-time experiments do).
+func (v *Virtualizer) StorageArea(ctxName string) (vfs.FS, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	return cs.fs, nil
+}
+
+// Preload marks output steps as already on disk (e.g. produced by the
+// initial simulation), inserting them into the cache without counting
+// re-simulation work.
+func (v *Virtualizer) Preload(ctxName string, steps []int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	for _, s := range steps {
+		if !cs.ctx.Grid.ValidOutput(s) {
+			return fmt.Errorf("core: preload step %d out of range", s)
+		}
+		v.insertStep(cs, s)
+	}
+	return nil
+}
+
+// RescanStorageArea synchronizes the cache with the files present in the
+// context's storage area (daemon restart recovery).
+func (v *Virtualizer) RescanStorageArea(ctxName string) (int, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cs, ok := v.contexts[ctxName]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	if cs.fs == nil {
+		return 0, fmt.Errorf("core: context %q has no storage area", ctxName)
+	}
+	n := 0
+	for _, name := range cs.fs.List() {
+		step, err := cs.ctx.Key(name)
+		if err != nil {
+			continue // restart files, foreign files
+		}
+		if !cs.cache.Contains(name) {
+			v.insertStep(cs, step)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// insertStep makes a step resident, applying eviction and pinning for
+// current references. Caller holds the lock.
+func (v *Virtualizer) insertStep(cs *ctxState, step int) {
+	name := cs.ctx.Filename(step)
+	cost := cs.ctx.Grid.MissCost(step)
+	// Overlapping re-simulations may produce the same step twice; the
+	// references were pinned at the first production, so a re-insert must
+	// only refresh recency.
+	wasResident := cs.cache.Contains(name)
+	evicted, err := cs.cache.Insert(name, cs.ctx.OutputBytes, cost)
+	if err != nil {
+		// Only possible for a file larger than the whole cache;
+		// experiments never configure that, but do not lose the file.
+		return
+	}
+	for _, victim := range evicted {
+		cs.stats.Evictions++
+		if cs.fs != nil {
+			_ = cs.fs.Remove(victim) // best effort; absence is acceptable
+		}
+	}
+	if !wasResident {
+		for i := 0; i < cs.refs[step]; i++ {
+			_ = cs.cache.Pin(name)
+		}
+	}
+}
+
+// resident reports whether a step's file is on disk. Caller holds the lock.
+func (cs *ctxState) resident(step int) bool {
+	return cs.cache.Contains(cs.ctx.Filename(step))
+}

@@ -1,0 +1,115 @@
+// Package costmodel implements the cost models of the paper's Sec. V: the
+// monetary cost of making simulation data available for analysis over a
+// period ∆t under the three paradigms — on-disk (store everything),
+// in-situ (re-run the simulation for every analysis) and SimFS (store
+// restarts plus a bounded cache, re-simulate misses). Prices are
+// calibrated on the Microsoft Azure configuration the paper uses, with the
+// Piz Daint point of Fig. 15a.
+package costmodel
+
+import (
+	"time"
+
+	"simfs/internal/model"
+)
+
+// Prices holds the two unit costs of the model (Table II): cc in
+// $/node/hour and cs in $/GiB/month.
+type Prices struct {
+	ComputePerNodeHour float64
+	StoragePerGiBMonth float64
+}
+
+// Azure is the paper's cloud calibration: an NCv2 VM (NVIDIA P100) at
+// $2.07/node/hour and Azure File storage at $0.06/GiB/month.
+var Azure = Prices{ComputePerNodeHour: 2.07, StoragePerGiBMonth: 0.06}
+
+// PizDaint approximates the CSCS cost-catalog point plotted in Fig. 15a
+// (lower compute and higher storage cost relative to Azure's file share;
+// the catalog itself is not public, so the coordinates are read off the
+// heatmap).
+var PizDaint = Prices{ComputePerNodeHour: 0.80, StoragePerGiBMonth: 0.12}
+
+// GiB converts bytes to GiB as a float.
+func GiB(bytes int64) float64 { return float64(bytes) / float64(1<<30) }
+
+// Csim is the cost of simulating O output steps on P nodes:
+// O · τsim(P) · P · cc (Sec. V).
+func Csim(outputSteps, nodes int, tauPerStep time.Duration, p Prices) float64 {
+	hours := float64(outputSteps) * tauPerStep.Hours()
+	return hours * float64(nodes) * p.ComputePerNodeHour
+}
+
+// Cstore is the cost of storing the given volume for ∆t months:
+// GiB · months · cs (Sec. V).
+func Cstore(gib, months float64, p Prices) float64 {
+	return gib * months * p.StoragePerGiBMonth
+}
+
+// OnDisk is the on-disk solution cost: the initial simulation plus storing
+// all no output steps for ∆t months. It is independent of the analyses.
+func OnDisk(ctx *model.Context, months float64, p Prices) float64 {
+	no := ctx.Grid.NumOutputSteps()
+	return Csim(no, ctx.DefaultParallelism, ctx.Tau, p) +
+		Cstore(float64(no)*GiB(ctx.OutputBytes), months, p)
+}
+
+// InSitu is the in-situ solution cost for a set of analyses: each analysis
+// j starting at output step start[j] and accessing length[j] steps
+// requires its own simulation from d0 to d(start+length):
+// Σ Csim(ij + |γ(j)|, P).
+func InSitu(ctx *model.Context, starts, lengths []int, p Prices) float64 {
+	total := 0.0
+	for j := range starts {
+		steps := starts[j] + lengths[j]
+		if max := ctx.Grid.NumOutputSteps(); steps > max {
+			steps = max
+		}
+		total += Csim(steps, ctx.DefaultParallelism, ctx.Tau, p)
+	}
+	return total
+}
+
+// SimFS is the SimFS solution cost: the initial simulation (producing the
+// restart steps), storing the restart steps and the cache for ∆t months,
+// and re-simulating the V(γ∆t) output steps observed as misses:
+//
+//	CSimFS = Csim(no,P) + Cstore(nr·sr,∆t) + Cstore(M·so,∆t) + Csim(V,P)
+//
+// cacheFrac is the cache size as a fraction of the total output volume;
+// resimSteps is V(γ∆t), obtained by replaying the analyses through the
+// caching layer (see the experiments package).
+func SimFS(ctx *model.Context, months, cacheFrac float64, resimSteps int, p Prices) float64 {
+	no := ctx.Grid.NumOutputSteps()
+	nr := ctx.Grid.NumRestartSteps()
+	initial := Csim(no, ctx.DefaultParallelism, ctx.Tau, p)
+	restarts := Cstore(float64(nr)*GiB(ctx.RestartBytes), months, p)
+	cache := Cstore(cacheFrac*float64(no)*GiB(ctx.OutputBytes), months, p)
+	resim := Csim(resimSteps, ctx.DefaultParallelism, ctx.Tau, p)
+	return initial + restarts + cache + resim
+}
+
+// ResimTime is the aggregate compute time spent re-simulating V output
+// steps (Fig. 15c's y-axis).
+func ResimTime(resimSteps int, tauPerStep time.Duration) time.Duration {
+	return time.Duration(resimSteps) * tauPerStep
+}
+
+// RestartSpaceGiB returns the storage held by restart files (Fig. 15b's
+// x-axis).
+func RestartSpaceGiB(ctx *model.Context) float64 {
+	return float64(ctx.Grid.NumRestartSteps()) * GiB(ctx.RestartBytes)
+}
+
+// Ratio returns min(on-disk, in-situ) / SimFS — the cost-effectiveness
+// ratio of Fig. 15a (>1 means SimFS is the cheapest option).
+func Ratio(onDisk, inSitu, simfs float64) float64 {
+	min := onDisk
+	if inSitu < min {
+		min = inSitu
+	}
+	if simfs <= 0 {
+		return 0
+	}
+	return min / simfs
+}

@@ -1,0 +1,168 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"simfs/internal/simulator"
+)
+
+func TestCsim(t *testing.T) {
+	// 100 steps × 36 s = 1 hour on 10 nodes at $2/h = $20.
+	p := Prices{ComputePerNodeHour: 2}
+	if got := Csim(100, 10, 36*time.Second, p); math.Abs(got-20) > 1e-9 {
+		t.Errorf("Csim = %v, want 20", got)
+	}
+	if got := Csim(0, 10, time.Hour, p); got != 0 {
+		t.Errorf("zero steps should cost 0, got %v", got)
+	}
+}
+
+func TestCstore(t *testing.T) {
+	p := Prices{StoragePerGiBMonth: 0.06}
+	if got := Cstore(1000, 12, p); math.Abs(got-720) > 1e-9 {
+		t.Errorf("Cstore = %v, want 720", got)
+	}
+}
+
+// TestOnDiskMatchesPaperFig1 checks the headline number: storing the
+// 50 TiB COSMO output for 5 years on Azure costs about $200k (Fig. 1
+// "more than $200,000 for an on-disk solution" including the initial
+// simulation).
+func TestOnDiskMatchesPaperFig1(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	got := OnDisk(ctx, 60, Azure)
+	if got < 150_000 || got > 260_000 {
+		t.Errorf("on-disk 5y = $%.0f, want ≈$200k", got)
+	}
+	// The storage term must dominate the initial simulation.
+	sim := Csim(ctx.Grid.NumOutputSteps(), ctx.DefaultParallelism, ctx.Tau, Azure)
+	if sim > got/5 {
+		t.Errorf("initial simulation $%.0f should be a small fraction of $%.0f", sim, got)
+	}
+}
+
+func TestOnDiskGrowsLinearlyWithMonths(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	c1 := OnDisk(ctx, 12, Azure)
+	c2 := OnDisk(ctx, 24, Azure)
+	c3 := OnDisk(ctx, 36, Azure)
+	if (c3-c2)-(c2-c1) > 1e-6 {
+		t.Error("on-disk cost must grow linearly in ∆t")
+	}
+	if c2 <= c1 {
+		t.Error("on-disk cost must grow with ∆t")
+	}
+}
+
+func TestInSituIndependentOfMonths(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	starts := []int{100, 500, 1000}
+	lengths := []int{200, 200, 200}
+	c := InSitu(ctx, starts, lengths, Azure)
+	if c <= 0 {
+		t.Fatal("in-situ cost must be positive")
+	}
+	// Clamping: an analysis beyond the timeline costs at most the full
+	// simulation.
+	full := Csim(ctx.Grid.NumOutputSteps(), ctx.DefaultParallelism, ctx.Tau, Azure)
+	one := InSitu(ctx, []int{ctx.Grid.NumOutputSteps()}, []int{10_000}, Azure)
+	if one > full+1e-9 {
+		t.Errorf("clamped in-situ = %v > full simulation %v", one, full)
+	}
+}
+
+func TestSimFSComponents(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	base := SimFS(ctx, 24, 0.25, 0, Azure)
+	withResim := SimFS(ctx, 24, 0.25, 10_000, Azure)
+	if withResim <= base {
+		t.Error("re-simulation must add cost")
+	}
+	bigger := SimFS(ctx, 24, 0.50, 0, Azure)
+	if bigger <= base {
+		t.Error("larger cache must cost more storage")
+	}
+	longer := SimFS(ctx, 48, 0.25, 0, Azure)
+	if longer <= base {
+		t.Error("longer availability must cost more")
+	}
+}
+
+// TestCrossoverStructure reproduces the qualitative claims of Sec. V-A:
+// for few analyses in-situ wins; for many analyses over a long period
+// SimFS beats on-disk.
+func TestCrossoverStructure(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	months := 24.0
+	// Two analyses, short: in-situ should beat SimFS's fixed costs.
+	few := InSitu(ctx, []int{100, 200}, []int{200, 200}, Azure)
+	simfsFew := SimFS(ctx, months, 0.25, 2*12, Azure)
+	if few > simfsFew {
+		t.Errorf("with 2 analyses in-situ ($%.0f) should beat SimFS ($%.0f)", few, simfsFew)
+	}
+	// Many analyses: in-situ pays the full prefix every time and loses.
+	var starts, lengths []int
+	for i := 0; i < 120; i++ {
+		starts = append(starts, 500+i*10)
+		lengths = append(lengths, 250)
+	}
+	many := InSitu(ctx, starts, lengths, Azure)
+	simfsMany := SimFS(ctx, months, 0.25, 30_000, Azure)
+	if many < simfsMany {
+		t.Errorf("with 120 analyses SimFS ($%.0f) should beat in-situ ($%.0f)", simfsMany, many)
+	}
+}
+
+func TestRestartSpaceMatchesFig15b(t *testing.T) {
+	// The paper's Fig. 15b x-axis: Δr=8h → 3.16 TiB of restart files.
+	ctx := simulator.CosmoCost()
+	gib := RestartSpaceGiB(ctx)
+	tib := gib / 1024
+	if math.Abs(tib-3.16) > 0.05 {
+		t.Errorf("restart space = %.2f TiB, want ≈3.16 (Δr=8h)", tib)
+	}
+	// Δr=4h doubles the restarts: 6.33 TiB.
+	ctx4 := simulator.CosmoCost()
+	ctx4.Grid.DeltaR = 720
+	if tib4 := RestartSpaceGiB(ctx4) / 1024; math.Abs(tib4-6.33) > 0.05 {
+		t.Errorf("restart space Δr=4h = %.2f TiB, want ≈6.33", tib4)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(100, 200, 50); r != 2 {
+		t.Errorf("ratio = %v, want 2", r)
+	}
+	if r := Ratio(200, 100, 50); r != 2 {
+		t.Errorf("ratio = %v, want min picked", r)
+	}
+	if r := Ratio(100, 200, 0); r != 0 {
+		t.Errorf("zero simfs cost should yield 0, got %v", r)
+	}
+}
+
+func TestResimTime(t *testing.T) {
+	if got := ResimTime(100, 20*time.Second); got != 2000*time.Second {
+		t.Errorf("ResimTime = %v", got)
+	}
+}
+
+// Property: all costs are non-negative and monotone in their main drivers.
+func TestCostMonotonicityProperty(t *testing.T) {
+	ctx := simulator.CosmoCost()
+	f := func(mRaw, vRaw uint16, fracRaw uint8) bool {
+		months := float64(mRaw%120) + 1
+		v := int(vRaw)
+		frac := float64(fracRaw%100) / 100
+		a := SimFS(ctx, months, frac, v, Azure)
+		b := SimFS(ctx, months+1, frac, v, Azure)
+		c := SimFS(ctx, months, frac, v+100, Azure)
+		return a >= 0 && b >= a && c >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

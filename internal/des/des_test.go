@@ -1,0 +1,170 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if !e.Run(0) {
+		t.Fatal("run did not drain")
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Errorf("final time = %v", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run(0)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("first Stop should succeed")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should fail")
+	}
+	e.Run(0)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+	if e.Processed() != 0 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(1, func() {})
+	e.Run(0)
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestNegativeDelayAndPastTime(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		tm := e.Schedule(-5, func() {})
+		if tm.When() != 10 {
+			t.Errorf("negative delay scheduled at %v", tm.When())
+		}
+		tm2 := e.At(3, func() {})
+		if tm2.When() != 10 {
+			t.Errorf("past At scheduled at %v", tm2.When())
+		}
+	})
+	e.Run(0)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(12)
+	if len(fired) != 2 || e.Now() != 12 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 || e.Now() != 100 {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var boom func()
+	boom = func() { e.Schedule(1, boom) } // infinite chain
+	e.Schedule(1, boom)
+	if e.Run(100) {
+		t.Error("bounded run of infinite chain should not drain")
+	}
+	if e.Processed() != 100 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// insertion order, and the clock never goes backwards.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []time.Duration
+		n := 200
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(1000))
+			d := delays[i]
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		if !e.Run(0) {
+			return false
+		}
+		if len(fired) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return e.Now() == fired[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWallClockAdvances(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("wall clock did not advance: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,158 @@
+package dvlib
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"simfs/internal/netproto"
+)
+
+// Status mirrors SIMFS_Status: the error state of the request and the
+// estimated waiting time for the requested files (paper Sec. III-C2).
+type Status struct {
+	Ready   bool
+	Err     string
+	EstWait time.Duration
+}
+
+// Req is the request handle returned by the non-blocking acquire
+// (SIMFS_Req): Wait/Test/Waitsome/Testsome operate on it.
+type Req struct {
+	ctx   *Context
+	files []string
+
+	mu      sync.Mutex
+	ready   map[string]bool
+	readyCh chan string // buffered stream of newly ready files
+	done    bool
+	err     string
+	doneCh  chan struct{}
+	// consumed tracks indices already reported by Waitsome/Testsome.
+	consumed map[int]bool
+}
+
+// Acquire implements SIMFS_Acquire: it references all files, triggers
+// re-simulations for the missing ones and blocks until every file is
+// available. The returned Status carries the error state if a
+// re-simulation failed.
+func (ctx *Context) Acquire(files ...string) (Status, error) {
+	req, err := ctx.AcquireNB(files...)
+	if err != nil {
+		return Status{}, err
+	}
+	return req.Wait()
+}
+
+// AcquireNB implements SIMFS_Acquire_nb: like Acquire but it returns
+// immediately with a request handle to wait or test on.
+func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
+	if len(files) == 0 {
+		return nil, errors.New("dvlib: acquire of zero files")
+	}
+	r := &Req{
+		ctx:      ctx,
+		files:    append([]string(nil), files...),
+		ready:    map[string]bool{},
+		readyCh:  make(chan string, len(files)+1),
+		doneCh:   make(chan struct{}),
+		consumed: map[int]bool{},
+	}
+	err := ctx.c.subscribe(
+		netproto.Request{Op: netproto.OpAcquire, Context: ctx.name, Files: r.files},
+		func(resp netproto.Response) {
+			r.mu.Lock()
+			if resp.File != "" && resp.Ready && !r.ready[resp.File] {
+				r.ready[resp.File] = true
+				select {
+				case r.readyCh <- resp.File:
+				default:
+				}
+			}
+			if resp.Err != "" {
+				r.err = resp.Err
+			}
+			if resp.Done && !r.done {
+				r.done = true
+				close(r.doneCh)
+			}
+			r.mu.Unlock()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Wait implements SIMFS_Wait: it blocks until the acquire completes and
+// returns its status.
+func (r *Req) Wait() (Status, error) {
+	<-r.doneCh
+	return r.status(), nil
+}
+
+// Test implements SIMFS_Test: flag is true when the acquire has completed.
+func (r *Req) Test() (flag bool, st Status, err error) {
+	select {
+	case <-r.doneCh:
+		return true, r.status(), nil
+	default:
+		return false, r.status(), nil
+	}
+}
+
+// Waitsome implements SIMFS_Waitsome: it blocks until at least one
+// not-yet-reported file is available and returns the indices (into the
+// acquire's file list) of all newly available files.
+func (r *Req) Waitsome() (readyIdx []int, st Status, err error) {
+	// Fast path: anything new already marked ready?
+	if idx := r.takeNewReady(); len(idx) > 0 {
+		return idx, r.status(), nil
+	}
+	if r.allConsumed() {
+		return nil, r.status(), nil
+	}
+	select {
+	case <-r.readyCh:
+	case <-r.doneCh:
+	}
+	return r.takeNewReady(), r.status(), nil
+}
+
+// Testsome implements SIMFS_Testsome: like Waitsome but non-blocking.
+func (r *Req) Testsome() (readyIdx []int, st Status, err error) {
+	return r.takeNewReady(), r.status(), nil
+}
+
+// Files returns the acquire's file list (indices match Waitsome output).
+func (r *Req) Files() []string { return append([]string(nil), r.files...) }
+
+func (r *Req) takeNewReady() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var idx []int
+	for i, f := range r.files {
+		if r.ready[f] && !r.consumed[i] {
+			r.consumed[i] = true
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (r *Req) allConsumed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.files {
+		if !r.consumed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Req) status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Status{Ready: r.done && r.err == "", Err: r.err}
+}

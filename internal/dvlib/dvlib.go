@@ -1,0 +1,326 @@
+// Package dvlib is the client library of SimFS (paper Sec. III-C): it
+// connects analysis applications and simulators to the DV daemon. It
+// provides both the transparent mode — open/read/close calls that behave
+// like ordinary file I/O but block on virtualized (missing) files until
+// the DV re-simulates them — and the explicit SIMFS_* API
+// (Init/Finalize/Acquire/Acquire_nb/Wait/Test/Waitsome/Testsome/Release/
+// Bitrep) for virtualization-aware applications.
+package dvlib
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"simfs/internal/netproto"
+	"simfs/internal/vfs"
+)
+
+// Client is a connection to the DV daemon. It is safe for concurrent use.
+type Client struct {
+	name string
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan netproto.Response
+	subs    map[uint64]func(netproto.Response) // multi-frame subscriptions
+	closed  bool
+	readErr error
+}
+
+// Dial connects to the daemon at addr under the given client name (the DV
+// uses it to associate prefetch agents and reference counts).
+func Dial(addr, clientName string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dvlib: %w", err)
+	}
+	c := &Client{
+		name:    clientName,
+		conn:    conn,
+		pending: map[uint64]chan netproto.Response{},
+		subs:    map[uint64]func(netproto.Response){},
+	}
+	go c.readLoop()
+	if _, err := c.call(netproto.Request{Op: netproto.OpPing}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dvlib: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Close tears down the connection. The daemon releases any references the
+// client still holds.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp netproto.Response
+		if err := netproto.ReadFrame(c.conn, &resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			for id, fn := range c.subs {
+				delete(c.subs, id)
+				go fn(netproto.Response{ID: id, Err: "connection lost", Done: true})
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		if ch, ok := c.pending[resp.ID]; ok {
+			delete(c.pending, resp.ID)
+			c.mu.Unlock()
+			ch <- resp
+			continue
+		}
+		if fn, ok := c.subs[resp.ID]; ok {
+			if resp.Done {
+				delete(c.subs, resp.ID)
+			}
+			c.mu.Unlock()
+			fn(resp)
+			continue
+		}
+		c.mu.Unlock()
+	}
+}
+
+// call sends a request expecting exactly one response.
+func (c *Client) call(req netproto.Request) (netproto.Response, error) {
+	ch := make(chan netproto.Response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("dvlib: client closed")
+		}
+		return netproto.Response{}, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	req.Client = c.name
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	if err := c.write(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return netproto.Response{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return netproto.Response{}, errors.New("dvlib: connection lost")
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// subscribe sends a request whose responses stream to fn until a Done
+// frame arrives.
+func (c *Client) subscribe(req netproto.Request, fn func(netproto.Response)) error {
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return errors.New("dvlib: client closed")
+	}
+	c.nextID++
+	req.ID = c.nextID
+	req.Client = c.name
+	c.subs[req.ID] = fn
+	c.mu.Unlock()
+	if err := c.write(req); err != nil {
+		c.mu.Lock()
+		delete(c.subs, req.ID)
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (c *Client) write(req netproto.Request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return netproto.WriteFrame(c.conn, req)
+}
+
+// Contexts lists the simulation contexts the daemon serves.
+func (c *Client) Contexts() ([]string, error) {
+	resp, err := c.call(netproto.Request{Op: netproto.OpContexts})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Context is an open simulation context (SIMFS_Init's handle).
+type Context struct {
+	c    *Client
+	name string
+	info netproto.ContextInfo
+	area *vfs.Disk // nil if the storage area is not locally reachable
+}
+
+// Init opens a simulation context (SIMFS_Init). If the context's storage
+// area is reachable as a local directory, transparent reads serve file
+// contents from it.
+func (c *Client) Init(contextName string) (*Context, error) {
+	resp, err := c.call(netproto.Request{Op: netproto.OpContextInfo, Context: contextName})
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{c: c, name: contextName, info: *resp.Info}
+	if resp.Info.StorageDir != "" {
+		if area, err := vfs.NewDisk(resp.Info.StorageDir); err == nil {
+			ctx.area = area
+		}
+	}
+	return ctx, nil
+}
+
+// Finalize closes the context handle (SIMFS_Finalize). It is a no-op on
+// the wire: references are dropped per file via Release/Close.
+func (ctx *Context) Finalize() error { return nil }
+
+// Name returns the context name.
+func (ctx *Context) Name() string { return ctx.name }
+
+// Info returns the context parameters the daemon advertised.
+func (ctx *Context) Info() netproto.ContextInfo { return ctx.info }
+
+// Filename returns the output step file name for a 1-based step index,
+// following the context's naming convention.
+func (ctx *Context) Filename(step int) string {
+	return fmt.Sprintf("%s%08d%s", ctx.info.FilePrefix, step, ctx.info.FileSuffix)
+}
+
+// OpenResult reports an Open outcome.
+type OpenResult struct {
+	Available bool
+	EstWait   time.Duration
+}
+
+// Open is the transparent-mode open: non-blocking, it registers the access
+// with the DV (starting a re-simulation if the file is missing) and takes
+// a reference on the file.
+func (ctx *Context) Open(file string) (OpenResult, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpOpen, Context: ctx.name, Files: []string{file}})
+	if err != nil {
+		return OpenResult{}, err
+	}
+	return OpenResult{Available: resp.Available, EstWait: time.Duration(resp.EstWaitNs)}, nil
+}
+
+// WaitAvailable blocks until the file is on disk (the blocking part of a
+// transparent-mode read). The file must have been opened first.
+func (ctx *Context) WaitAvailable(file string) error {
+	done := make(chan error, 1)
+	err := ctx.c.subscribe(netproto.Request{Op: netproto.OpWait, Context: ctx.name, Files: []string{file}},
+		func(resp netproto.Response) {
+			if resp.Err != "" {
+				done <- errors.New(resp.Err)
+				return
+			}
+			done <- nil
+		})
+	if err != nil {
+		return err
+	}
+	return <-done
+}
+
+// Read is the transparent-mode read: it blocks until the file is available
+// and returns its content from the storage area. Open must precede it.
+func (ctx *Context) Read(file string) ([]byte, error) {
+	if err := ctx.WaitAvailable(file); err != nil {
+		return nil, err
+	}
+	if ctx.area == nil {
+		return nil, fmt.Errorf("dvlib: storage area of context %q is not locally reachable", ctx.name)
+	}
+	return ctx.area.Read(file)
+}
+
+// Close is the transparent-mode close: it drops the file reference so the
+// DV may evict it (SIMFS_Release shares the implementation).
+func (ctx *Context) Close(file string) error {
+	_, err := ctx.c.call(netproto.Request{Op: netproto.OpRelease, Context: ctx.name, Files: []string{file}})
+	return err
+}
+
+// Release drops a file reference (SIMFS_Release).
+func (ctx *Context) Release(file string) error { return ctx.Close(file) }
+
+// EstWait asks the DV for the estimated availability delay of a file.
+func (ctx *Context) EstWait(file string) (time.Duration, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpEstWait, Context: ctx.name, Files: []string{file}})
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.EstWaitNs), nil
+}
+
+// Bitrep checks whether a file's current content matches the originally
+// produced one (SIMFS_Bitrep). flag is true for a bitwise match.
+func (ctx *Context) Bitrep(file string) (bool, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpBitrep, Context: ctx.name, Files: []string{file}})
+	if err != nil {
+		return false, err
+	}
+	return resp.Flag, nil
+}
+
+// RegisterChecksum stores a file's original checksum (used by the
+// checksum command-line utility at initial-simulation time).
+func (ctx *Context) RegisterChecksum(file string, sum uint64) error {
+	_, err := ctx.c.call(netproto.Request{Op: netproto.OpRegSum, Context: ctx.name, Files: []string{file}, Sum: sum})
+	return err
+}
+
+// Prefetch sends a guided-prefetching hint: the named files will be
+// accessed soon, so SimFS should start re-simulating the missing ones
+// now. It neither blocks nor takes references; it returns the number of
+// re-simulations launched.
+func (ctx *Context) Prefetch(files ...string) (int, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpPrefetch, Context: ctx.name, Files: files})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Stats fetches the context's DV counters.
+func (ctx *Context) Stats() (netproto.Stats, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpStats, Context: ctx.name})
+	if err != nil {
+		return netproto.Stats{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// Rescan asks the daemon to resynchronize the context's cache with its
+// storage area (recovery utility).
+func (ctx *Context) Rescan() (int, error) {
+	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpRescan, Context: ctx.name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}

@@ -1,0 +1,296 @@
+package dvlib
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simfs/internal/netproto"
+)
+
+// fakeDV is a scripted daemon: handler receives each request and a send
+// function for responses (possibly several per request).
+func fakeDV(t *testing.T, handler func(req netproto.Request, send func(netproto.Response))) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var wmu sync.Mutex
+				send := func(resp netproto.Response) {
+					wmu.Lock()
+					defer wmu.Unlock()
+					netproto.WriteFrame(conn, resp)
+				}
+				for {
+					var req netproto.Request
+					if err := netproto.ReadFrame(conn, &req); err != nil {
+						return
+					}
+					if req.Op == netproto.OpPing {
+						send(netproto.Response{ID: req.ID, OK: true})
+						continue
+					}
+					handler(req, send)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialHandshake(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Dialing a dead address fails.
+	if _, err := Dial("127.0.0.1:1", "unit"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestCallErrorPropagation(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		send(netproto.Response{ID: req.ID, Err: "synthetic failure"})
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Contexts(); err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Contexts(); err == nil {
+		t.Error("call after Close succeeded")
+	}
+}
+
+func TestConnectionLossFailsPendingCalls(t *testing.T) {
+	stop := make(chan struct{})
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		// Swallow the request and never answer; the test kills the
+		// connection from the client side instead.
+		close(stop)
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Contexts()
+		done <- err
+	}()
+	<-stop
+	c.conn.Close() // simulate a dropped connection
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("pending call survived a dropped connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call hung after connection loss")
+	}
+}
+
+func TestClientDemuxInterleaved(t *testing.T) {
+	// The daemon answers requests out of order; the demux must route each
+	// response to its caller by ID.
+	var mu sync.Mutex
+	var stash []netproto.Request
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		mu.Lock()
+		stash = append(stash, req)
+		two := len(stash) == 2
+		var a, b netproto.Request
+		if two {
+			a, b = stash[0], stash[1]
+			stash = nil
+		}
+		mu.Unlock()
+		if two {
+			// Answer in reverse arrival order.
+			send(netproto.Response{ID: b.ID, OK: true, Names: []string{"second"}})
+			send(netproto.Response{ID: a.ID, OK: true, Names: []string{"first"}})
+		}
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			names, err := c.Contexts()
+			if err != nil || len(names) != 1 {
+				t.Errorf("call %d: %v %v", i, names, err)
+				return
+			}
+			results[i] = names[0]
+		}(i)
+		time.Sleep(20 * time.Millisecond) // enforce arrival order
+	}
+	wg.Wait()
+	if results[0] != "first" || results[1] != "second" {
+		t.Errorf("demux misrouted: %v", results)
+	}
+}
+
+func TestAcquireSubscriptionStreaming(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		switch req.Op {
+		case netproto.OpContextInfo:
+			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
+				Name: req.Context, FilePrefix: "x_", FileSuffix: ".nc",
+			}})
+		case netproto.OpAcquire:
+			// Stream per-file readiness then the final frame, with delays.
+			go func() {
+				for _, f := range req.Files {
+					time.Sleep(5 * time.Millisecond)
+					send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+				}
+				send(netproto.Response{ID: req.ID, OK: true, Done: true})
+			}()
+		}
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init("any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctx.AcquireNB("x_00000001.nc", "x_00000002.nc", "x_00000003.nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waitsome must surface files incrementally, each exactly once.
+	seen := map[int]int{}
+	for len(seen) < 3 {
+		idx, st, err := req.Waitsome()
+		if err != nil || st.Err != "" {
+			t.Fatalf("waitsome: %v %v", err, st)
+		}
+		for _, i := range idx {
+			seen[i]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("file %d reported %d times", i, n)
+		}
+	}
+	st, err := req.Wait()
+	if err != nil || !st.Ready {
+		t.Fatalf("wait: %v %v", st, err)
+	}
+	// After completion Testsome returns nothing new.
+	if idx, _, _ := req.Testsome(); len(idx) != 0 {
+		t.Errorf("testsome after drain returned %v", idx)
+	}
+	if files := req.Files(); len(files) != 3 {
+		t.Errorf("Files() = %v", files)
+	}
+}
+
+func TestAcquireFailureStatus(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		switch req.Op {
+		case netproto.OpContextInfo:
+			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{Name: req.Context}})
+		case netproto.OpAcquire:
+			send(netproto.Response{ID: req.ID, Err: "restart failed", Done: true, File: req.Files[0]})
+		}
+	})
+	c, _ := Dial(addr, "unit")
+	defer c.Close()
+	ctx, _ := c.Init("any")
+	st, err := ctx.Acquire("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || st.Err != "restart failed" {
+		t.Errorf("status = %+v, want the error state", st)
+	}
+	if _, err := ctx.AcquireNB(); err == nil {
+		t.Error("empty acquire accepted")
+	}
+}
+
+func TestSubscriptionSurvivesConnectionLossWithError(t *testing.T) {
+	accepted := make(chan struct{})
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		switch req.Op {
+		case netproto.OpContextInfo:
+			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{Name: req.Context}})
+		case netproto.OpAcquire:
+			close(accepted) // never answer
+		}
+	})
+	c, _ := Dial(addr, "unit")
+	ctx, _ := c.Init("any")
+	req, err := ctx.AcquireNB("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	c.conn.Close()
+	st, err := req.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || st.Err == "" {
+		t.Errorf("status after connection loss = %+v, want error", st)
+	}
+}
+
+func TestFilenameFollowsContextInfo(t *testing.T) {
+	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+		send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
+			Name: req.Context, FilePrefix: "cosmo_out_", FileSuffix: ".h5",
+		}})
+	})
+	c, _ := Dial(addr, "unit")
+	defer c.Close()
+	ctx, _ := c.Init("cosmo")
+	if got := ctx.Filename(42); got != "cosmo_out_00000042.h5" {
+		t.Errorf("Filename = %q", got)
+	}
+	if ctx.Name() != "cosmo" {
+		t.Errorf("Name = %q", ctx.Name())
+	}
+	if ctx.Info().FilePrefix != "cosmo_out_" {
+		t.Errorf("Info = %+v", ctx.Info())
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/batch"
+	"simfs/internal/cache"
+	"simfs/internal/metrics"
+	"simfs/internal/model"
+	"simfs/internal/simulator"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. They are
+// not paper figures; they quantify how much each mechanism contributes.
+
+// AblationPrefetchStrategies compares analysis completion time with
+// prefetching disabled, with a single prefetched simulation (masking
+// only, smax=1 leaves no room beyond the demand simulation), and with
+// full bandwidth matching at increasing smax. COSMO configuration, m=72.
+func AblationPrefetchStrategies() (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — prefetch strategies (COSMO, m=72)", "mode", "running time (s)")
+	const m = 72
+	tauCli := 100 * time.Millisecond
+
+	modes := []struct {
+		name string
+		mut  func(*model.Context)
+	}{
+		{"no prefetch", func(c *model.Context) { c.NoPrefetch = true }},
+		{"masking only (smax=2)", func(c *model.Context) { c.SMax = 2 }},
+		{"bandwidth (smax=4)", func(c *model.Context) { c.SMax = 4 }},
+		{"bandwidth (smax=8)", func(c *model.Context) { c.SMax = 8 }},
+	}
+	for _, mode := range modes {
+		ctx := scalingCtx(simulator.CosmoScaling, 8)
+		mode.mut(ctx)
+		elapsed, err := runAnalysis(ctx, Forward(1, m), tauCli, nil)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", mode.name, err)
+		}
+		tab.Series("forward").Add(mode.name, elapsed.Seconds())
+	}
+	return tab, nil
+}
+
+// AblationDoubling compares the s-doubling ramp-up against launching sopt
+// simulations immediately at each prefetching step (Sec. IV-B1b's
+// trade-off between reactivity and wasted work).
+func AblationDoubling() (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — ramp-up vs immediate sopt (COSMO, m=144)", "mode", "value")
+	const m = 144
+	tauCli := 100 * time.Millisecond
+	for _, rampUp := range []bool{false, true} {
+		ctx := scalingCtx(simulator.CosmoScaling, 8)
+		ctx.RampUp = rampUp
+		name := "immediate"
+		if rampUp {
+			name = "doubling"
+		}
+		eng, v, err := stackFor(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var elapsed time.Duration
+		a := &Analysis{Engine: eng, V: v, Ctx: ctx, Client: "abl", Steps: Forward(1, m), TauCli: tauCli,
+			OnDone: func(d time.Duration) { elapsed = d }}
+		a.Start()
+		if !eng.Run(20_000_000) {
+			return nil, fmt.Errorf("ablation doubling (%s): runaway", name)
+		}
+		st, _ := v.Stats(ctx.Name)
+		tab.Series("running time (s)").Add(name, elapsed.Seconds())
+		// Wasted work: produced steps beyond what the analysis read.
+		tab.Series("steps produced").Add(name, float64(st.StepsProduced))
+		tab.Series("launches").Add(name, float64(st.Restarts))
+	}
+	return tab, nil
+}
+
+// AblationPinPressure measures how each replacement scheme copes when a
+// growing fraction of the cache is pinned by concurrent analyses: the
+// number of forced overflows (inserts that found every candidate pinned).
+func AblationPinPressure() (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — eviction under pin pressure", "pinned fraction", "overflow events")
+	const capacity = 64
+	for _, pol := range cache.PolicyNames() {
+		for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+			p, err := cache.NewPolicy(pol, capacity)
+			if err != nil {
+				return nil, err
+			}
+			c := cache.New(p, capacity) // 1-byte entries
+			pinned := int(frac * capacity)
+			for i := 0; i < capacity; i++ {
+				if _, err := c.Insert(fmt.Sprintf("base%03d", i), 1, 1); err != nil {
+					return nil, err
+				}
+			}
+			n := 0
+			for i := 0; i < capacity && n < pinned; i++ {
+				if c.Pin(fmt.Sprintf("base%03d", i)) == nil {
+					n++
+				}
+			}
+			for i := 0; i < 4*capacity; i++ {
+				if _, err := c.Insert(fmt.Sprintf("new%04d", i), 1, i%12+1); err != nil {
+					return nil, err
+				}
+			}
+			tab.Series(pol).Add(fmt.Sprintf("%.0f%%", frac*100), float64(c.Stats().PinBlocked))
+		}
+	}
+	return tab, nil
+}
+
+// AblationEMA measures the αsim-estimation quality under noisy batch
+// queueing: analysis completion time for different EMA smoothing factors
+// when queueing delays are exponentially distributed (Sec. IV-C1c).
+func AblationEMA() (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — EMA smoothing under queueing noise (COSMO, m=144)", "smoothing", "running time (s)")
+	const m = 144
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.9} {
+		ctx := scalingCtx(simulator.CosmoScaling, 8)
+		ctx.AlphaSmoothing = f
+		queue := batch.NewExponential(60*time.Second, 7)
+		elapsed, err := runAnalysis(ctx, Forward(1, m), 100*time.Millisecond, queue)
+		if err != nil {
+			return nil, fmt.Errorf("ablation EMA f=%.1f: %w", f, err)
+		}
+		tab.Series("forward").Add(fmt.Sprintf("%.1f", f), elapsed.Seconds())
+	}
+	return tab, nil
+}
+
+// AblationPolicyOnWorkloads extends Fig. 5 with per-policy hit rates, the
+// ingredient behind the produced-steps differences.
+func AblationPolicyOnWorkloads() (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — hit rates by policy and pattern", "pattern", "hit rate")
+	cfg := DefaultFig05()
+	cfg.Reps = 5
+	ctx := simulator.CacheEval()
+	for _, pat := range cfg.Patterns {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			tr, err := generateFig05Trace(ctx, pat, cfg.Seed+int64(rep)*7919)
+			if err != nil {
+				return nil, err
+			}
+			for _, pol := range cfg.Policies {
+				res, err := Replay(ctx, pol, tr)
+				if err != nil {
+					return nil, err
+				}
+				rate := 0.0
+				if res.Accesses > 0 {
+					rate = float64(res.Hits) / float64(res.Accesses)
+				}
+				tab.Series(pol).Add(string(pat), rate)
+			}
+		}
+	}
+	return tab, nil
+}

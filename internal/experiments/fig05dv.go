@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/core"
+	"simfs/internal/des"
+	"simfs/internal/metrics"
+	"simfs/internal/model"
+	"simfs/internal/simulator"
+	"simfs/internal/trace"
+)
+
+// Fig05DV runs the replacement-scheme comparison through the full Data
+// Virtualizer in virtual time — prefetch agents, kill-on-redirect,
+// reference counting and all — instead of the timing-free replay of
+// Fig05. It cross-validates the replay's lazy-production model: the same
+// ordering of schemes must emerge from the real machinery. It is slower
+// than Fig05, so it defaults to fewer, shorter traces.
+func Fig05DV(reps, analyses int, seed int64, policies []string, patterns []trace.Pattern) (steps, restarts *metrics.Table, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if analyses < 1 {
+		analyses = 10
+	}
+	base := simulator.CacheEval()
+	steps = metrics.NewTable("Fig. 5 (full DV) — re-simulated output steps", "pattern", "output steps")
+	restarts = metrics.NewTable("Fig. 5 (full DV) — simulation restarts", "pattern", "restarts")
+
+	for _, pat := range patterns {
+		for rep := 0; rep < reps; rep++ {
+			tr, err := trace.Generate(pat, trace.Config{
+				NumSteps:    base.Grid.NumOutputSteps(),
+				NumAnalyses: analyses,
+				MinLen:      100,
+				MaxLen:      400,
+				Stride:      1,
+				Seed:        seed + int64(rep)*104729,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			accesses := make([]int, len(tr))
+			for i, a := range tr {
+				accesses[i] = a.Step
+			}
+			for _, pol := range policies {
+				st, err := runTraceThroughDV(base, pol, accesses)
+				if err != nil {
+					return nil, nil, fmt.Errorf("fig05dv %s/%s: %w", pat, pol, err)
+				}
+				steps.Series(pol).Add(string(pat), float64(st.StepsProduced))
+				restarts.Series(pol).Add(string(pat), float64(st.Restarts))
+			}
+		}
+	}
+	return steps, restarts, nil
+}
+
+// runTraceThroughDV replays one access sequence as a synthetic analysis
+// over a fresh Virtualizer with the given replacement policy.
+func runTraceThroughDV(base *model.Context, policy string, accesses []int) (core.CtxStats, error) {
+	ctx := *base // shallow copy; Grid and sizes are values
+	ctx.Name = "dvreplay"
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := core.New(eng, l)
+	l.Events = v
+	if err := v.AddContext(&ctx, policy, nil); err != nil {
+		return core.CtxStats{}, err
+	}
+	done := false
+	var abortMsg string
+	a := &Analysis{
+		Engine: eng, V: v, Ctx: &ctx, Client: "trace",
+		Steps:  accesses,
+		TauCli: 100 * time.Millisecond,
+		OnDone: func(time.Duration) { done = true },
+		OnAbort: func(msg string) {
+			abortMsg = msg
+		},
+	}
+	a.Start()
+	if !eng.Run(100_000_000) {
+		return core.CtxStats{}, fmt.Errorf("dv replay did not converge")
+	}
+	if abortMsg != "" {
+		return core.CtxStats{}, fmt.Errorf("dv replay aborted: %s", abortMsg)
+	}
+	if !done {
+		return core.CtxStats{}, fmt.Errorf("dv replay never completed")
+	}
+	return v.Stats(ctx.Name)
+}

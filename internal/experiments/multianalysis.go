@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"simfs/internal/core"
+	"simfs/internal/metrics"
+	"simfs/internal/model"
+)
+
+// MultiAnalysisConfig parameterizes the concurrent-analyses experiment:
+// the virtual-time analogue of the paper's overlap study (Sec. V-A), where
+// interleaved analyses with different working sets compete for one cache.
+type MultiAnalysisConfig struct {
+	Clients  int
+	Steps    int // accesses per analysis
+	TauCli   time.Duration
+	Seed     int64
+	Backward float64 // fraction of clients scanning backward
+}
+
+// MultiAnalysisResult aggregates the run.
+type MultiAnalysisResult struct {
+	Completion []time.Duration
+	Stats      core.CtxStats
+}
+
+// MultiAnalysis runs several concurrent analyses over one shared
+// Virtualizer in virtual time. Each analysis starts at a random output
+// step; a configurable fraction scans backward. It returns per-analysis
+// completion times and the shared context's counters.
+func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisResult, error) {
+	if cfg.Clients < 1 {
+		return MultiAnalysisResult{}, fmt.Errorf("multianalysis: need at least one client")
+	}
+	eng, v, err := stackFor(ctx)
+	if err != nil {
+		return MultiAnalysisResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	no := ctx.Grid.NumOutputSteps()
+	res := MultiAnalysisResult{Completion: make([]time.Duration, cfg.Clients)}
+	var aborted error
+
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		m := cfg.Steps
+		var steps []int
+		if float64(i) < cfg.Backward*float64(cfg.Clients) {
+			start := m + rng.Intn(no-m)
+			steps = BackwardSeq(start, m)
+		} else {
+			start := rng.Intn(no-m) + 1
+			steps = Forward(start, m)
+		}
+		a := &Analysis{
+			Engine: eng, V: v, Ctx: ctx,
+			Client: fmt.Sprintf("multi-%d", i),
+			Steps:  steps, TauCli: cfg.TauCli,
+			OnDone:  func(d time.Duration) { res.Completion[i] = d },
+			OnAbort: func(msg string) { aborted = fmt.Errorf("analysis %d: %s", i, msg) },
+		}
+		// Stagger starts a little so the overlap is partial, as in the
+		// paper's workload.
+		delay := time.Duration(rng.Intn(60)) * time.Second
+		eng.Schedule(delay, a.Start)
+	}
+	if !eng.Run(80_000_000) {
+		return res, fmt.Errorf("multianalysis: runaway event loop")
+	}
+	if aborted != nil {
+		return res, aborted
+	}
+	st, err := v.Stats(ctx.Name)
+	if err != nil {
+		return res, err
+	}
+	res.Stats = st
+	for i, d := range res.Completion {
+		if d == 0 {
+			return res, fmt.Errorf("multianalysis: analysis %d never completed", i)
+		}
+	}
+	return res, nil
+}
+
+// MultiAnalysisSweep produces a table of median completion time and
+// re-simulated steps as the client count grows — cache-interference made
+// visible in virtual time.
+func MultiAnalysisSweep(ctx *model.Context, clients []int, stepsEach int, tauCli time.Duration, seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("Concurrent analyses — interference sweep", "clients", "value")
+	for _, n := range clients {
+		r, err := MultiAnalysis(ctx, MultiAnalysisConfig{
+			Clients: n, Steps: stepsEach, TauCli: tauCli, Seed: seed, Backward: 0.25,
+		})
+		if err != nil {
+			return nil, err
+		}
+		x := fmt.Sprintf("%d", n)
+		var xs []float64
+		for _, d := range r.Completion {
+			xs = append(xs, d.Seconds())
+		}
+		tab.Series("median completion (s)").Add(x, metrics.Summarize(xs).Median)
+		tab.Series("steps produced").Add(x, float64(r.Stats.StepsProduced))
+		tab.Series("restarts").Add(x, float64(r.Stats.Restarts))
+	}
+	return tab, nil
+}

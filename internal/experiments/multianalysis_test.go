@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"simfs/internal/model"
+)
+
+func multiCtx(cacheSteps int) *model.Context {
+	c := &model.Context{
+		Name:               "multi",
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 512},
+		OutputBytes:        1,
+		MaxCacheBytes:      int64(cacheSteps),
+		Tau:                time.Second,
+		Alpha:              4 * time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+func TestMultiAnalysisBasics(t *testing.T) {
+	r, err := MultiAnalysis(multiCtx(0), MultiAnalysisConfig{
+		Clients: 4, Steps: 40, TauCli: 200 * time.Millisecond, Seed: 3, Backward: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Completion) != 4 {
+		t.Fatalf("completions = %d", len(r.Completion))
+	}
+	for i, d := range r.Completion {
+		if d <= 0 {
+			t.Errorf("analysis %d completion %v", i, d)
+		}
+	}
+	if r.Stats.StepsProduced == 0 || r.Stats.Restarts == 0 {
+		t.Errorf("no re-simulation recorded: %+v", r.Stats)
+	}
+}
+
+func TestMultiAnalysisValidation(t *testing.T) {
+	if _, err := MultiAnalysis(multiCtx(0), MultiAnalysisConfig{Clients: 0}); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func TestMultiAnalysisInterference(t *testing.T) {
+	// With a tight shared cache, more concurrent clients with disjoint
+	// working sets force more re-simulated steps per client than a single
+	// client does.
+	single, err := MultiAnalysis(multiCtx(32), MultiAnalysisConfig{
+		Clients: 1, Steps: 48, TauCli: 100 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := MultiAnalysis(multiCtx(32), MultiAnalysisConfig{
+		Clients: 6, Steps: 48, TauCli: 100 * time.Millisecond, Seed: 5, Backward: 0.33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perClientSingle := float64(single.Stats.StepsProduced)
+	perClientCrowd := float64(crowd.Stats.StepsProduced) / 6
+	if perClientCrowd < perClientSingle*0.8 {
+		t.Errorf("interference invisible: single=%.0f steps, crowded=%.0f steps/client",
+			perClientSingle, perClientCrowd)
+	}
+}
+
+func TestMultiAnalysisSweepTable(t *testing.T) {
+	tab, err := MultiAnalysisSweep(multiCtx(64), []int{1, 4}, 32, 100*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []string{"1", "4"} {
+		if _, ok := tab.Series("median completion (s)").At(x); !ok {
+			t.Errorf("missing completion cell at %s", x)
+		}
+		if _, ok := tab.Series("steps produced").At(x); !ok {
+			t.Errorf("missing steps cell at %s", x)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"simfs/internal/cache"
+	"simfs/internal/model"
+	"simfs/internal/trace"
+)
+
+// ReplayResult reports the re-simulation work caused by a trace: the bars
+// (simulated output steps) and points (restarted simulations) of Fig. 5,
+// and the V(γ∆t) term of the SimFS cost model.
+type ReplayResult struct {
+	Accesses      int
+	Hits          int
+	Misses        int
+	Restarts      int
+	ProducedSteps int
+	Evictions     int
+}
+
+// Replay runs an access trace through the caching layer without timing,
+// modeling the DV's behavior as seen by a sequential analysis:
+//
+//   - A miss on output step di restarts a simulation from the closest
+//     previous restart step, which produces (and caches) the steps up to
+//     di; the simulation would keep running to the next restart step
+//     (Sec. II-A's spatial locality).
+//   - While the subsequent accesses stay within the running simulation's
+//     interval, it keeps producing forward lazily — a forward scan rides
+//     one simulation per restart interval.
+//   - When an access redirects elsewhere (random jump, backward move past
+//     the interval start), SimFS kills the now-useless simulation
+//     (Sec. IV-C), so the steps beyond the last one consumed are never
+//     produced.
+//
+// The net effect is the cost model of Sec. III-D: a miss on di costs its
+// distance from the closest previous restart step, which is exactly what
+// the cost-aware replacement schemes (BCL/DCL) optimize for.
+func Replay(ctx *model.Context, policyName string, accesses []trace.Access) (ReplayResult, error) {
+	var res ReplayResult
+	g := ctx.Grid
+	capacity := ctx.CacheCapacitySteps()
+	if capacity == 0 {
+		capacity = g.NumOutputSteps()
+	}
+	pol, err := cache.NewPolicy(policyName, capacity)
+	if err != nil {
+		return res, err
+	}
+	c := cache.New(pol, ctx.MaxCacheBytes)
+
+	// The running simulation: produced steps in (simFirst-1, simUpTo],
+	// can lazily extend to simLast.
+	simUpTo, simLast := 0, -1
+
+	produce := func(from, to int) error {
+		for s := from; s <= to; s++ {
+			res.ProducedSteps++
+			evicted, err := c.Insert(ctx.Filename(s), ctx.OutputBytes, g.MissCost(s))
+			if err != nil {
+				return err
+			}
+			res.Evictions += len(evicted)
+		}
+		return nil
+	}
+
+	for _, acc := range accesses {
+		if !g.ValidOutput(acc.Step) {
+			return res, fmt.Errorf("replay: access to invalid step %d", acc.Step)
+		}
+		res.Accesses++
+		name := ctx.Filename(acc.Step)
+		if c.Touch(name) {
+			res.Hits++
+			continue
+		}
+		res.Misses++
+		if acc.Step > simUpTo && acc.Step <= simLast {
+			// The running simulation covers it: extend production.
+			if err := produce(simUpTo+1, acc.Step); err != nil {
+				return res, err
+			}
+			simUpTo = acc.Step
+			continue
+		}
+		// Redirect: the running simulation (if any) is killed; restart
+		// from the closest previous restart step.
+		iv, err := g.ResimInterval(acc.Step)
+		if err != nil {
+			return res, err
+		}
+		first, last, ok := g.OutputsIn(iv)
+		if !ok {
+			return res, fmt.Errorf("replay: empty re-simulation interval for step %d", acc.Step)
+		}
+		res.Restarts++
+		if err := produce(first, acc.Step); err != nil {
+			return res, err
+		}
+		simUpTo, simLast = acc.Step, last
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/batch"
+	"simfs/internal/core"
+	"simfs/internal/des"
+	"simfs/internal/metrics"
+	"simfs/internal/model"
+	"simfs/internal/prefetch"
+	"simfs/internal/simulator"
+)
+
+// stackFor wires a fresh virtual-time SimFS instance around one context.
+func stackFor(ctx *model.Context) (*des.Engine, *core.Virtualizer, error) {
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng}
+	v := core.New(eng, l)
+	l.Events = v
+	if err := v.AddContext(ctx, "DCL", nil); err != nil {
+		return nil, nil, err
+	}
+	return eng, v, nil
+}
+
+// runAnalysis executes one synthetic analysis on a fresh virtual-time
+// SimFS instance and returns its completion time. queue optionally adds a
+// batch queueing delay to every re-simulation (the αsim sweep of
+// Figs. 17/19).
+func runAnalysis(ctx *model.Context, steps []int, tauCli time.Duration, queue batch.Sampler) (time.Duration, error) {
+	eng := des.NewEngine()
+	l := &simulator.DESLauncher{Engine: eng, Queue: queue}
+	v := core.New(eng, l)
+	l.Events = v
+	if err := v.AddContext(ctx, "DCL", nil); err != nil {
+		return 0, err
+	}
+	var elapsed time.Duration
+	var aborted string
+	a := &Analysis{
+		Engine: eng,
+		V:      v,
+		Ctx:    ctx,
+		Client: "analysis-0",
+		Steps:  steps,
+		TauCli: tauCli,
+		OnDone: func(d time.Duration) { elapsed = d },
+		OnAbort: func(msg string) {
+			aborted = msg
+		},
+	}
+	a.Start()
+	if !eng.Run(50_000_000) {
+		return 0, fmt.Errorf("experiment did not converge (runaway event loop)")
+	}
+	if aborted != "" {
+		return 0, fmt.Errorf("analysis aborted: %s", aborted)
+	}
+	if elapsed == 0 {
+		return 0, fmt.Errorf("analysis never completed")
+	}
+	return elapsed, nil
+}
+
+// scalingCtx prepares a context for the strong-scaling experiments:
+// unbounded cache (the experiment studies prefetching, not eviction) and
+// the given smax.
+func scalingCtx(base func() *model.Context, smax int) *model.Context {
+	ctx := base()
+	ctx.MaxCacheBytes = 0
+	ctx.SMax = smax
+	ctx.NoPrefetch = false
+	return ctx
+}
+
+// Scaling runs the strong-scaling experiment of Figs. 16 (COSMO) and 18
+// (FLASH): the completion time of a forward and a backward analysis over
+// m output steps as a function of smax, against the full forward
+// re-simulation reference (a single simulation producing the same
+// sequence).
+func Scaling(title string, base func() *model.Context, m int, tauCli time.Duration, smaxes []int) (*metrics.Table, error) {
+	tab := metrics.NewTable(title, "smax", "running time (s)")
+	ref := base()
+	single := prefetch.TSingle(ref.Alpha, ref.Tau, m)
+	for _, smax := range smaxes {
+		x := fmt.Sprintf("%d", smax)
+
+		fwd, err := runAnalysis(scalingCtx(base, smax), Forward(1, m), tauCli, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scaling smax=%d forward: %w", smax, err)
+		}
+		tab.Series("Forward").Add(x, fwd.Seconds())
+
+		bwd, err := runAnalysis(scalingCtx(base, smax), BackwardSeq(m, m), tauCli, nil)
+		if err != nil {
+			return nil, fmt.Errorf("scaling smax=%d backward: %w", smax, err)
+		}
+		tab.Series("Backward").Add(x, bwd.Seconds())
+
+		tab.Series("Full Forward Resimulation").Add(x, single.Seconds())
+	}
+	return tab, nil
+}
+
+// Fig16 is the COSMO strong-scaling experiment: m = 72 output steps (the
+// first 6 hours of simulated data), τsim = 3 s, αsim = 13 s.
+func Fig16() (*metrics.Table, error) {
+	return Scaling("Fig. 16 — COSMO strong scaling", simulator.CosmoScaling, 72,
+		100*time.Millisecond, []int{2, 4, 8, 16})
+}
+
+// Fig18 is the FLASH strong-scaling experiment: m = 200 output steps
+// (1 s of blast-wave evolution), τsim = 14 s, αsim = 7 s.
+func Fig18() (*metrics.Table, error) {
+	return Scaling("Fig. 18 — FLASH strong scaling", simulator.Flash, 200,
+		100*time.Millisecond, []int{2, 4, 8, 16})
+}
+
+// Latency runs the restart-latency sweep of Figs. 17 (COSMO) and 19
+// (FLASH): the analysis running time under increasing αsim (modeling job
+// queueing times) for several analysis lengths, with smax = 8, against
+// the analytic references Tsingle, Tpre and Tlower.
+func Latency(title string, base func() *model.Context, ms []int, alphas []time.Duration, tauCli time.Duration) ([]*metrics.Table, error) {
+	var tables []*metrics.Table
+	for _, m := range ms {
+		tab := metrics.NewTable(fmt.Sprintf("%s (m=%d)", title, m), "αsim (s)", "running time (s)")
+		for _, alpha := range alphas {
+			x := fmt.Sprintf("%.0f", alpha.Seconds())
+			ctx := scalingCtx(base, 8)
+			ctx.Alpha = alpha
+			elapsed, err := runAnalysis(ctx, Forward(1, m), tauCli, nil)
+			if err != nil {
+				return nil, fmt.Errorf("latency m=%d α=%v: %w", m, alpha, err)
+			}
+			tab.Series("SimFS").Add(x, elapsed.Seconds())
+
+			n := prefetch.ForwardResimLength(ctx.Grid, 1, alpha, ctx.Tau, tauCli)
+			tab.Series("Tsingle").Add(x, prefetch.TSingle(alpha, ctx.Tau, m).Seconds())
+			tab.Series("Tpre").Add(x, prefetch.ForwardWarmup(alpha, ctx.Tau, n).Seconds())
+			tab.Series("Tlower").Add(x, prefetch.TLower(alpha, ctx.Tau, m, 8).Seconds())
+		}
+		tables = append(tables, tab)
+	}
+	return tables, nil
+}
+
+// Fig17 is the COSMO latency sweep: m ∈ {72, 288, 1152} (6h, 24h, 96h of
+// simulated data), αsim from the native 13 s up to 600 s of queueing.
+func Fig17() ([]*metrics.Table, error) {
+	return Latency("Fig. 17 — COSMO prefetching vs restart latency", simulator.CosmoScaling,
+		[]int{72, 288, 1152},
+		[]time.Duration{13 * time.Second, 100 * time.Second, 200 * time.Second, 400 * time.Second, 600 * time.Second},
+		100*time.Millisecond)
+}
+
+// Fig19 is the FLASH latency sweep: m ∈ {200, 400, 600} (1–3 s of
+// blast-wave evolution), αsim from the native 7 s up to 600 s.
+func Fig19() ([]*metrics.Table, error) {
+	return Latency("Fig. 19 — FLASH prefetching vs restart latency", simulator.Flash,
+		[]int{200, 400, 600},
+		[]time.Duration{7 * time.Second, 100 * time.Second, 200 * time.Second, 400 * time.Second, 600 * time.Second},
+		100*time.Millisecond)
+}

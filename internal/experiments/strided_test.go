@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"simfs/internal/model"
+)
+
+// Strided reads are first-class in the paper's model (τkcli, k-strided
+// accesses): an analysis sampling every k-th output step must be detected
+// and prefetched just like a dense scan.
+func TestStridedForwardAnalysis(t *testing.T) {
+	mk := func(noPrefetch bool) *model.Context {
+		c := &model.Context{
+			Name:               "strided",
+			Grid:               model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 512},
+			OutputBytes:        1,
+			MaxCacheBytes:      0,
+			Tau:                time.Second,
+			Alpha:              4 * time.Second,
+			DefaultParallelism: 1,
+			MaxParallelism:     1,
+			SMax:               8,
+			NoPrefetch:         noPrefetch,
+		}
+		c.ApplyDefaults()
+		return c
+	}
+	// Access steps 1, 4, 7, ... (k=3).
+	var steps []int
+	for s := 1; s <= 300; s += 3 {
+		steps = append(steps, s)
+	}
+	slow, err := runAnalysis(mk(true), steps, 100*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := runAnalysis(mk(false), steps, 100*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow {
+		t.Errorf("strided prefetching (%v) should beat no-prefetching (%v)", fast, slow)
+	}
+	// The simulation still has to produce every step (it cannot skip),
+	// so the best case is one full production pipeline: > m·k·τ/ s.
+	if fast < 300*time.Second/8 {
+		t.Errorf("completion %v impossibly fast for 300 simulated steps at smax=8", fast)
+	}
+}
+
+// TestStrideChangeMidAnalysis drives an analysis that changes its stride
+// mid-flight; the agent must re-detect and keep serving without demand
+// stalls exploding.
+func TestStrideChangeMidAnalysis(t *testing.T) {
+	c := &model.Context{
+		Name:               "restride",
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 512},
+		OutputBytes:        1,
+		MaxCacheBytes:      0,
+		Tau:                time.Second,
+		Alpha:              4 * time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               8,
+	}
+	c.ApplyDefaults()
+	var steps []int
+	for s := 1; s <= 100; s++ { // dense phase
+		steps = append(steps, s)
+	}
+	for s := 102; s <= 300; s += 2 { // strided phase
+		steps = append(steps, s)
+	}
+	elapsed, err := runAnalysis(c, steps, 100*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("analysis never completed")
+	}
+}

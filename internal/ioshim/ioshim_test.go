@@ -1,0 +1,189 @@
+package ioshim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"simfs/internal/dvlib"
+	"simfs/internal/model"
+	"simfs/internal/server"
+)
+
+// testContext dials a live daemon with one small context.
+func testContext(t *testing.T) *dvlib.Context {
+	t.Helper()
+	mctx := &model.Context{
+		Name:               "shim",
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 32},
+		OutputBytes:        256, // 32 float64 values
+		RestartBytes:       64,
+		Tau:                2 * time.Millisecond,
+		Alpha:              4 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	}
+	st, err := server.NewStack(t.TempDir(), 1, "DCL", mctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go st.Server.Serve()
+	t.Cleanup(func() {
+		st.Close()
+		st.Launcher.Wait()
+	})
+	c, err := dvlib.Dial(st.Server.Addr(), "shim-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ctx, err := c.Init("shim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestNetCDFBinding(t *testing.T) {
+	ctx := testContext(t)
+	f, err := NCOpen(ctx, ctx.Filename(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := f.VaraGetDouble(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 32 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("value %d not sanitized: %v", i, v)
+		}
+	}
+	// Out-of-range selections are rejected.
+	if _, err := f.VaraGetDouble(30, 10); err == nil {
+		t.Error("out-of-range vara_get accepted")
+	}
+	if _, err := f.VaraGetDouble(-1, 2); err == nil {
+		t.Error("negative start accepted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err == nil {
+		t.Error("double close accepted")
+	}
+	if _, err := f.VaraGetDouble(0, 1); err == nil {
+		t.Error("read after close accepted")
+	}
+}
+
+func TestHDF5Binding(t *testing.T) {
+	ctx := testContext(t)
+	f, err := H5Fopen(ctx, ctx.Filename(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.H5Dread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 256 {
+		t.Errorf("dataset size = %d, want 256", len(raw))
+	}
+	if err := f.H5Fclose(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADIOSBinding(t *testing.T) {
+	ctx := testContext(t)
+	f, err := AdiosOpen(ctx, ctx.Filename(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	if err := f.ScheduleRead(0, 8, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ScheduleRead(8, 8, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ScheduleRead(0, 9, make([]float64, 4)); err == nil {
+		t.Error("short destination accepted")
+	}
+	if err := f.PerformReads(); err != nil {
+		t.Fatal(err)
+	}
+	// Deferred reads must match a direct netCDF read of the same file.
+	nc, err := NCOpen(ctx, ctx.Filename(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := nc.VaraGetDouble(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if a[i] != direct[i] || b[i] != direct[8+i] {
+			t.Fatalf("ADIOS selection diverges from direct read at %d", i)
+		}
+	}
+	nc.Close()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADIOSOutOfRangeSelection(t *testing.T) {
+	ctx := testContext(t)
+	f, err := AdiosOpen(ctx, ctx.Filename(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dst := make([]float64, 100)
+	if err := f.ScheduleRead(0, 100, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PerformReads(); err == nil {
+		t.Error("selection past the dataset end accepted at perform time")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	mean, variance := MeanVar([]float64{1, 2, 3, 4})
+	if mean != 2.5 {
+		t.Errorf("mean = %v", mean)
+	}
+	if variance != 1.25 {
+		t.Errorf("variance = %v", variance)
+	}
+	if m, v := MeanVar(nil); m != 0 || v != 0 {
+		t.Error("empty field should give zeros")
+	}
+}
+
+func TestDecode(t *testing.T) {
+	// decode maps any bit pattern into [-1, 1).
+	for _, bits := range []uint64{0, 1, 1 << 63, ^uint64(0), 0xdeadbeefcafebabe} {
+		v := decode(bits)
+		if math.IsNaN(v) || v < -1 || v >= 1.0000001 {
+			t.Errorf("decode(%x) = %v out of range", bits, v)
+		}
+	}
+	if decode(0) != -1 {
+		t.Errorf("decode(0) = %v, want -1", decode(0))
+	}
+	// Distinct inputs generally map to distinct values.
+	if decode(1<<20) == decode(1<<40) {
+		t.Error("decode lost too much entropy")
+	}
+}

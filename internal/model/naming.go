@@ -1,0 +1,51 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The naming convention (paper Sec. III-B): output step file names embed a
+// key such that if output step di is produced after dj, then
+// key(di) > key(dj). SimFS uses the key to find the closest restart step
+// and to order files. The default convention is
+// <prefix><8-digit zero-padded index><suffix>, e.g. "climate_out_00000042.nc".
+
+// Filename returns the file name of output step i under the context's
+// naming convention.
+func (c *Context) Filename(i int) string {
+	return fmt.Sprintf("%s%08d%s", c.FilePrefix, i, c.FileSuffix)
+}
+
+// RestartFilename returns the file name of the restart step written at
+// timestep t (a multiple of Δr).
+func (c *Context) RestartFilename(t int) string {
+	return fmt.Sprintf("%srestart_%010d%s", c.FilePrefix, t, c.FileSuffix)
+}
+
+// Key parses an output step file name and returns its key (the output step
+// index). It is the inverse of Filename. Key is monotone in production
+// order, as required by the simulation driver contract.
+func (c *Context) Key(name string) (int, error) {
+	if !strings.HasPrefix(name, c.FilePrefix) || !strings.HasSuffix(name, c.FileSuffix) {
+		return 0, fmt.Errorf("model: %q does not match naming convention %q*%q",
+			name, c.FilePrefix, c.FileSuffix)
+	}
+	body := name[len(c.FilePrefix) : len(name)-len(c.FileSuffix)]
+	i, err := strconv.Atoi(body)
+	if err != nil {
+		return 0, fmt.Errorf("model: %q has non-numeric key %q: %w", name, body, err)
+	}
+	if i < 1 {
+		return 0, fmt.Errorf("model: %q has non-positive key %d", name, i)
+	}
+	return i, nil
+}
+
+// IsOutputFile reports whether name follows this context's output step
+// naming convention.
+func (c *Context) IsOutputFile(name string) bool {
+	_, err := c.Key(name)
+	return err == nil
+}

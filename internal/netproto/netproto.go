@@ -1,0 +1,131 @@
+// Package netproto defines the wire protocol between DVLib clients and the
+// DV daemon (paper Sec. III: "Dashed arrows are control messages
+// (TCP/IP)"): length-prefixed JSON frames over a persistent TCP
+// connection. Requests carry client-assigned IDs; responses echo the ID,
+// which lets the daemon deliver asynchronous notifications (file-ready
+// events for wait/acquire) over the same connection.
+package netproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single frame to keep a misbehaving peer from forcing
+// unbounded allocations.
+const MaxFrame = 1 << 20
+
+// Operations understood by the daemon.
+const (
+	OpPing        = "ping"
+	OpContexts    = "contexts" // list context names
+	OpContextInfo = "ctxinfo"  // fetch one context's parameters
+	OpOpen        = "open"     // non-blocking open (Table I: open)
+	OpWait        = "wait"     // subscribe to file availability
+	OpRelease     = "release"  // drop a reference (Table I: close)
+	OpAcquire     = "acquire"  // SIMFS_Acquire: multi-file subscription
+	OpEstWait     = "estwait"  // estimated wait for a file
+	OpBitrep      = "bitrep"   // SIMFS_Bitrep
+	OpRegSum      = "regsum"   // register an original checksum
+	OpStats       = "stats"    // context counters
+	OpRescan      = "rescan"   // rescan the storage area
+	OpPrefetch    = "prefetch" // guided prefetching hint
+)
+
+// Request is a client→daemon frame.
+type Request struct {
+	ID      uint64   `json:"id"`
+	Op      string   `json:"op"`
+	Client  string   `json:"client,omitempty"`
+	Context string   `json:"context,omitempty"`
+	Files   []string `json:"files,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+}
+
+// ContextInfo carries the context parameters a client needs for
+// transparent mode: where the storage area lives and how files are named.
+type ContextInfo struct {
+	Name        string `json:"name"`
+	StorageDir  string `json:"storage_dir"`
+	FilePrefix  string `json:"file_prefix"`
+	FileSuffix  string `json:"file_suffix"`
+	DeltaD      int    `json:"delta_d"`
+	DeltaR      int    `json:"delta_r"`
+	Timesteps   int    `json:"timesteps"`
+	OutputBytes int64  `json:"output_bytes"`
+}
+
+// Stats mirrors core.CtxStats on the wire.
+type Stats struct {
+	Opens            int64 `json:"opens"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	Restarts         int64 `json:"restarts"`
+	DemandRestarts   int64 `json:"demand_restarts"`
+	PrefetchLaunches int64 `json:"prefetch_launches"`
+	DroppedPrefetch  int64 `json:"dropped_prefetch"`
+	StepsProduced    int64 `json:"steps_produced"`
+	Evictions        int64 `json:"evictions"`
+	Kills            int64 `json:"kills"`
+	Failures         int64 `json:"failures"`
+	PollutionResets  int64 `json:"pollution_resets"`
+}
+
+// Response is a daemon→client frame. For acquire subscriptions the daemon
+// sends one frame per file as it becomes ready (File set, Done false) and
+// a final frame with Done true.
+type Response struct {
+	ID        uint64       `json:"id"`
+	OK        bool         `json:"ok"`
+	Err       string       `json:"err,omitempty"`
+	Available bool         `json:"available,omitempty"`
+	Ready     bool         `json:"ready,omitempty"`
+	Flag      bool         `json:"flag,omitempty"`
+	Done      bool         `json:"done,omitempty"`
+	File      string       `json:"file,omitempty"`
+	EstWaitNs int64        `json:"est_wait_ns,omitempty"`
+	Names     []string     `json:"names,omitempty"`
+	Info      *ContextInfo `json:"info,omitempty"`
+	Stats     *Stats       `json:"stats,omitempty"`
+	Count     int          `json:"count,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("netproto: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("netproto: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("netproto: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("netproto: unmarshal: %w", err)
+	}
+	return nil
+}

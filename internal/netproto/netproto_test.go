@@ -1,0 +1,132 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{ID: 7, Op: OpOpen, Client: "a1", Context: "clim", Files: []string{"f1", "f2"}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Op != in.Op || out.Client != in.Client || len(out.Files) != 2 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Response{ID: 9, OK: true, File: "x", Done: true, EstWaitNs: 123,
+		Info: &ContextInfo{Name: "c", DeltaD: 5}, Stats: &Stats{Hits: 3}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Response
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.File != "x" || !out.Done || out.EstWaitNs != 123 ||
+		out.Info == nil || out.Info.DeltaD != 5 || out.Stats == nil || out.Stats.Hits != 3 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		if err := WriteFrame(&buf, Request{ID: i, Op: OpPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		var out Request
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != i {
+			t.Fatalf("frame %d read out of order as %d", i, out.ID)
+		}
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != io.EOF {
+		t.Errorf("empty buffer should yield EOF, got %v", err)
+	}
+}
+
+func TestOversizedIncomingFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	var out Request
+	if err := ReadFrame(&buf, &out); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestOversizedOutgoingFrameRejected(t *testing.T) {
+	big := Request{Op: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(io.Discard, big); err == nil {
+		t.Error("oversized outgoing frame accepted")
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Request{ID: 1, Op: OpPing})
+	raw := buf.Bytes()[:buf.Len()-3] // cut the payload short
+	var out Request
+	if err := ReadFrame(bytes.NewReader(raw), &out); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestGarbagePayload(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{{")
+	var out Request
+	if err := ReadFrame(&buf, &out); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}
+
+// Property: any request survives a round trip bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, op, client, ctx string, files []string, sum uint64) bool {
+		var buf bytes.Buffer
+		in := Request{ID: id, Op: op, Client: client, Context: ctx, Files: files, Sum: sum}
+		if err := WriteFrame(&buf, in); err != nil {
+			return len(op)+len(client)+len(ctx) > MaxFrame/2 // only oversize may fail
+		}
+		var out Request
+		if err := ReadFrame(&buf, &out); err != nil {
+			return false
+		}
+		if out.ID != in.ID || out.Op != in.Op || out.Client != in.Client ||
+			out.Context != in.Context || out.Sum != in.Sum || len(out.Files) != len(in.Files) {
+			return false
+		}
+		for i := range in.Files {
+			if out.Files[i] != in.Files[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+package prefetch
+
+import (
+	"testing"
+	"time"
+
+	"simfs/internal/model"
+)
+
+// fixedEst is a static Estimator for agent tests.
+type fixedEst struct {
+	alpha time.Duration
+	tau   time.Duration
+	defP  int
+	maxP  int
+}
+
+func (f fixedEst) AlphaEstimate() time.Duration { return f.alpha }
+func (f fixedEst) TauEstimate(p int) time.Duration {
+	if p <= 0 {
+		p = f.defP
+	}
+	if p > f.maxP {
+		p = f.maxP
+	}
+	return f.tau * time.Duration(f.defP) / time.Duration(p)
+}
+func (f fixedEst) DefaultParallelism() int { return f.defP }
+func (f fixedEst) MaxParallelism() int     { return f.maxP }
+
+func exampleAgent(rampUp bool, smax int) *Agent {
+	g := model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 1 << 20}
+	est := fixedEst{alpha: 2 * time.Second, tau: time.Second, defP: 1, maxP: 1}
+	return NewAgent(g, est, smax, rampUp, 0.5)
+}
+
+// fixedCover returns a Cover reporting a constant frontier.
+func fixedCover(covered int) Cover {
+	return func(dir, k int) int { return covered }
+}
+
+// walk feeds a sequence of (step, time) accesses with a fixed coverage
+// frontier, returning the last decision.
+func walk(a *Agent, steps []int, dt time.Duration, covered int) Decision {
+	var d Decision
+	now := time.Duration(0)
+	for _, s := range steps {
+		d = a.OnAccess(s, now, 0, fixedCover(covered))
+		now += dt
+	}
+	return d
+}
+
+func TestPatternDetection(t *testing.T) {
+	a := exampleAgent(false, 8)
+	if a.Direction() != 0 {
+		t.Fatal("fresh agent should have no direction")
+	}
+	a.OnAccess(10, 0, 0, fixedCover(1000))
+	if a.Direction() != 0 {
+		t.Fatal("one access cannot confirm a pattern")
+	}
+	a.OnAccess(11, time.Second, 0, fixedCover(1000))
+	a.OnAccess(12, 2*time.Second, 0, fixedCover(1000))
+	if a.Direction() != 1 || a.Stride() != 1 {
+		t.Errorf("dir=%d k=%d, want forward stride 1", a.Direction(), a.Stride())
+	}
+}
+
+func TestBackwardPatternDetection(t *testing.T) {
+	a := exampleAgent(false, 8)
+	walk(a, []int{100, 97, 94}, time.Second, 1)
+	if a.Direction() != -1 || a.Stride() != 3 {
+		t.Errorf("dir=%d k=%d, want backward stride 3", a.Direction(), a.Stride())
+	}
+}
+
+func TestDirectionChangeResets(t *testing.T) {
+	a := exampleAgent(false, 8)
+	walk(a, []int{10, 11, 12}, time.Second, 1000)
+	d := a.OnAccess(5, 4*time.Second, 0, fixedCover(1000))
+	if !d.Reset {
+		t.Error("direction change after a confirmed pattern must request a reset")
+	}
+	if a.Direction() != 0 {
+		t.Error("pattern should be unconfirmed right after the change")
+	}
+	// Two further consistent strides re-confirm the new direction
+	// (detection needs two consecutive equal strides).
+	a.OnAccess(4, 5*time.Second, 0, fixedCover(1))
+	a.OnAccess(3, 6*time.Second, 0, fixedCover(1))
+	if a.Direction() != -1 {
+		t.Error("new backward pattern not confirmed")
+	}
+}
+
+func TestStrideChangeResets(t *testing.T) {
+	a := exampleAgent(false, 8)
+	walk(a, []int{10, 11, 12}, time.Second, 1000)
+	d := a.OnAccess(14, 4*time.Second, 0, fixedCover(1000))
+	if !d.Reset {
+		t.Error("stride change must request a reset")
+	}
+}
+
+func TestRepeatedAccessIsNeutral(t *testing.T) {
+	a := exampleAgent(false, 8)
+	walk(a, []int{10, 11, 12}, time.Second, 1000)
+	d := a.OnAccess(12, 4*time.Second, 0, fixedCover(1000))
+	if d.Reset || len(d.Launches) != 0 {
+		t.Error("re-reading the same step must not disturb the pattern")
+	}
+	if a.Direction() != 1 {
+		t.Error("pattern lost on repeated access")
+	}
+}
+
+func TestNoLaunchWithPlentyOfRunway(t *testing.T) {
+	a := exampleAgent(false, 8)
+	// Coverage extends 100 steps ahead; lead is ~4, so no launches.
+	d := walk(a, []int{1, 2, 3}, 500*time.Millisecond, 100)
+	if len(d.Launches) != 0 {
+		t.Errorf("unexpected launches: %v", d.Launches)
+	}
+}
+
+func TestForwardLaunchWhenFrontierNear(t *testing.T) {
+	a := exampleAgent(false, 8)
+	// τcli = 0.5s, τsim=1s → sopt=2; n=4; coverage ends at step 4.
+	a.OnAccess(1, 0, 0, fixedCover(4))
+	a.OnAccess(2, 500*time.Millisecond, 0, fixedCover(4))
+	d := a.OnAccess(3, time.Second, 0, fixedCover(4))
+	if len(d.Launches) != 2 {
+		t.Fatalf("launches = %+v, want 2 (sopt=2)", d.Launches)
+	}
+	if d.Launches[0] != (Range{First: 5, Last: 8}) {
+		t.Errorf("first launch = %+v, want (5,8)", d.Launches[0])
+	}
+	if d.Launches[1] != (Range{First: 9, Last: 12}) {
+		t.Errorf("second launch = %+v, want (9,12)", d.Launches[1])
+	}
+}
+
+func TestBackwardLaunchDirection(t *testing.T) {
+	a := exampleAgent(false, 8)
+	// Backward analysis faster than sim: launches must cover steps below
+	// the frontier, contiguous and non-overlapping.
+	a.OnAccess(100, 0, 0, fixedCover(97))
+	a.OnAccess(99, 500*time.Millisecond, 0, fixedCover(97))
+	d := a.OnAccess(98, time.Second, 0, fixedCover(97))
+	if len(d.Launches) == 0 {
+		t.Fatal("backward launches expected")
+	}
+	// Fig. 10: s=3 for the example parameters.
+	if len(d.Launches) != 3 {
+		t.Errorf("launches = %d, want 3 (paper Fig. 10)", len(d.Launches))
+	}
+	hi := 97
+	for _, r := range d.Launches {
+		if r.Last != hi-1 {
+			t.Errorf("launch %+v not contiguous below %d", r, hi)
+		}
+		if r.First > r.Last {
+			t.Errorf("invalid range %+v", r)
+		}
+		hi = r.First
+	}
+}
+
+func TestRampUpDoubling(t *testing.T) {
+	a := exampleAgent(true, 8)
+	est := fixedEst{alpha: 2 * time.Second, tau: time.Second, defP: 1, maxP: 1}
+	_ = est
+	// sopt=2 with the example parameters; ramp-up means the first
+	// prefetching step launches s=1, the next s=2.
+	a.OnAccess(1, 0, 0, fixedCover(4))
+	a.OnAccess(2, 500*time.Millisecond, 0, fixedCover(4))
+	d := a.OnAccess(3, time.Second, 0, fixedCover(4))
+	if len(d.Launches) != 1 {
+		t.Fatalf("ramp-up first batch = %d launches, want 1", len(d.Launches))
+	}
+	// Next trigger: coverage now ends at 8 (first launch); the lead is 2
+	// steps, so the trigger fires when the analysis reaches step 6.
+	a.OnAccess(4, 1500*time.Millisecond, 0, fixedCover(8))
+	a.OnAccess(5, 2*time.Second, 0, fixedCover(8))
+	d = a.OnAccess(6, 2500*time.Millisecond, 0, fixedCover(8))
+	if len(d.Launches) != 2 {
+		t.Fatalf("ramp-up second batch = %d launches, want 2", len(d.Launches))
+	}
+}
+
+func TestSMaxCapsLaunches(t *testing.T) {
+	a := exampleAgent(false, 1)
+	a.OnAccess(1, 0, 0, fixedCover(4))
+	a.OnAccess(2, 500*time.Millisecond, 0, fixedCover(4))
+	d := a.OnAccess(3, time.Second, 0, fixedCover(4))
+	if len(d.Launches) != 1 {
+		t.Errorf("smax=1 should cap launches to 1, got %d", len(d.Launches))
+	}
+}
+
+func TestLaunchesClampedToTimeline(t *testing.T) {
+	g := model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 10} // only 10 output steps
+	est := fixedEst{alpha: 2 * time.Second, tau: time.Second, defP: 1, maxP: 1}
+	a := NewAgent(g, est, 8, false, 0.5)
+	a.OnAccess(7, 0, 0, fixedCover(8))
+	a.OnAccess(8, 500*time.Millisecond, 0, fixedCover(8))
+	d := a.OnAccess(9, time.Second, 0, fixedCover(8))
+	for _, r := range d.Launches {
+		if r.Last > 10 || r.First < 1 {
+			t.Errorf("launch %+v escapes the timeline", r)
+		}
+	}
+}
+
+func TestStrategy1RaisesParallelism(t *testing.T) {
+	g := model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 1 << 20}
+	// Simulation scales up to 8 nodes; analysis is 4× faster than the
+	// default simulation speed → parallelism should rise toward 4.
+	est := fixedEst{alpha: 2 * time.Second, tau: time.Second, defP: 1, maxP: 8}
+	a := NewAgent(g, est, 8, false, 0.5)
+	a.OnAccess(1, 0, 0, fixedCover(4))
+	a.OnAccess(2, 250*time.Millisecond, 0, fixedCover(4))
+	d := a.OnAccess(3, 500*time.Millisecond, 0, fixedCover(4))
+	if len(d.Launches) == 0 {
+		t.Fatal("launches expected")
+	}
+	if d.Parallelism < 4 {
+		t.Errorf("parallelism = %d, want ≥4 (strategy 1)", d.Parallelism)
+	}
+}
+
+func TestAgentResetClearsEverything(t *testing.T) {
+	a := exampleAgent(false, 8)
+	walk(a, []int{1, 2, 3}, 500*time.Millisecond, 1000)
+	a.Reset()
+	if a.Direction() != 0 || a.Stride() != 0 || a.TauCli() != 0 {
+		t.Error("Reset did not clear agent state")
+	}
+}

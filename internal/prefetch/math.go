@@ -1,0 +1,158 @@
+// Package prefetch implements SimFS's prefetching strategies (paper
+// Sec. IV): pure closed-form functions for the re-simulation length n, the
+// prefetching step, the optimal parallel-simulation count sopt, the
+// backward-analysis s/n trade-off and the warm-up time bounds (Tpre,
+// Tsingle, Tlower) — plus the per-analysis prefetch Agent that detects
+// access patterns and decides when and what to prefetch.
+package prefetch
+
+import (
+	"time"
+
+	"simfs/internal/model"
+)
+
+// stepTime returns the analysis processing time per (k-strided) output
+// step: max(k·τsim, τcli) — limited by either the simulation's production
+// speed or the analysis's own speed (Sec. IV-B1a).
+func stepTime(k int, tauSim, tauCli time.Duration) time.Duration {
+	kt := time.Duration(k) * tauSim
+	if kt > tauCli {
+		return kt
+	}
+	return tauCli
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive durations.
+func ceilDiv(a, b time.Duration) int {
+	if b <= 0 {
+		return 0
+	}
+	return int((a + b - 1) / b)
+}
+
+// ForwardResimLength returns the re-simulation length n (in output steps)
+// for a forward k-strided analysis: enough that analyzing ⌊n/k⌋ steps
+// covers the restart latency of the next re-simulation, with two accesses
+// reserved to confirm prefetching validity, rounded up to the nearest
+// restart-interval multiple:
+//
+//	n = R(⌈αsim/max(k·τsim, τcli) + 2⌉·k + Δr/Δd)
+func ForwardResimLength(g model.Grid, k int, alpha, tauSim, tauCli time.Duration) int {
+	if k < 1 {
+		k = 1
+	}
+	st := stepTime(k, tauSim, tauCli)
+	n := (ceilDiv(alpha, st) + 2) * k
+	return g.ExtendToRestart(n)
+}
+
+// PrefetchLead returns how many output steps before the end of the current
+// re-simulation's coverage the next prefetch must be triggered:
+// ⌈αsim/max(k·τsim, τcli)⌉·k. The prefetching step of the paper is
+// di + n − PrefetchLead.
+func PrefetchLead(k int, alpha, tauSim, tauCli time.Duration) int {
+	if k < 1 {
+		k = 1
+	}
+	lead := ceilDiv(alpha, stepTime(k, tauSim, tauCli)) * k
+	if lead < k {
+		lead = k
+	}
+	return lead
+}
+
+// ForwardSOpt returns the ideal number of parallel re-simulations to match
+// a forward analysis's bandwidth: sopt = ⌈k·τsim/τcli⌉ (Sec. IV-B1b).
+func ForwardSOpt(k int, tauSim, tauCli time.Duration) int {
+	if tauCli <= 0 {
+		tauCli = 1
+	}
+	s := ceilDiv(time.Duration(k)*tauSim, tauCli)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// BackwardResimLength returns the minimum re-simulation length n for a
+// backward analysis that is slower than the simulation (τcli/k > τsim):
+// n = k·αsim/(τcli − k·τsim), rounded up to the next restart step
+// (Sec. IV-B2). ok is false when the analysis is not slower than the
+// simulation, in which case the s/n trade-off of BackwardS applies.
+func BackwardResimLength(g model.Grid, k int, alpha, tauSim, tauCli time.Duration) (n int, ok bool) {
+	if k < 1 {
+		k = 1
+	}
+	gap := tauCli - time.Duration(k)*tauSim
+	if gap <= 0 {
+		return 0, false
+	}
+	n = ceilDiv(time.Duration(k)*alpha, gap)
+	return g.ExtendToRestart(n), true
+}
+
+// BackwardS returns the minimum number of parallel re-simulations of
+// length n each that lets a backward analysis run at full speed:
+// s = k·αsim/(n·τcli) + k·τsim/τcli (Sec. IV-B2).
+func BackwardS(n, k int, alpha, tauSim, tauCli time.Duration) int {
+	if k < 1 {
+		k = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	if tauCli <= 0 {
+		tauCli = 1
+	}
+	num := float64(k)*float64(alpha)/(float64(n)*float64(tauCli)) +
+		float64(k)*float64(tauSim)/float64(tauCli)
+	s := int(num)
+	if float64(s) < num {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TSingle is the reference time of a single simulation serving all m
+// analysis accesses: αsim + m·τsim (paper Sec. VI, Fig. 17).
+func TSingle(alpha, tauSim time.Duration, m int) time.Duration {
+	return alpha + time.Duration(m)*tauSim
+}
+
+// TLower is the lower bound of the prefetching strategy: the restart
+// latency plus serving all m output steps with smax simulations in
+// parallel: αsim + m·τsim/smax (paper Sec. VI, Fig. 17).
+func TLower(alpha, tauSim time.Duration, m, smax int) time.Duration {
+	if smax < 1 {
+		smax = 1
+	}
+	return alpha + time.Duration(m)*tauSim/time.Duration(smax)
+}
+
+// ForwardWarmup approximates the forward prefetching warm-up time
+// T_pre ≈ 2·αsim + n·τsim (Sec. IV-C1a).
+func ForwardWarmup(alpha, tauSim time.Duration, n int) time.Duration {
+	return 2*alpha + time.Duration(n)*tauSim
+}
+
+// BackwardWarmup approximates the backward prefetching warm-up time
+// T_pre ≈ 2·αsim + Di·τsim + n·τsim, where Di is the distance of the first
+// missed step from its restart step (Sec. IV-C1b).
+func BackwardWarmup(alpha, tauSim time.Duration, di, n int) time.Duration {
+	return 2*alpha + time.Duration(di)*tauSim + time.Duration(n)*tauSim
+}
+
+// ForwardAnalysisTime approximates the total forward analysis time with
+// prefetching: T ≈ T_pre + (m−n)·τsim/s (Sec. IV-C1a), clamped so that
+// m ≤ n degenerates to the warm-up alone.
+func ForwardAnalysisTime(alpha, tauSim time.Duration, m, n, s int) time.Duration {
+	t := ForwardWarmup(alpha, tauSim, n)
+	if m > n && s > 0 {
+		t += time.Duration(m-n) * tauSim / time.Duration(s)
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"simfs/internal/model"
+)
+
+// The paper's worked example (Figs. 7-9): Δr=4 timesteps, Δd=1, αsim=2,
+// τsim=1, τcli=1/2, k=1. Units are arbitrary; we use seconds.
+var (
+	exGrid = model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 1 << 20}
+	exA    = 2 * time.Second
+	exTau  = 1 * time.Second
+	exCli  = 500 * time.Millisecond
+)
+
+func TestForwardResimLengthPaperExample(t *testing.T) {
+	// n ≥ ⌈α/max(k·τsim,τcli) + 2⌉·k = ⌈2/1 + 2⌉ = 4, already a restart
+	// multiple → n = 4, matching SIM #2..#5 producing 4 steps each in
+	// Fig. 8.
+	n := ForwardResimLength(exGrid, 1, exA, exTau, exCli)
+	if n != 4 {
+		t.Errorf("n = %d, want 4 (paper Fig. 8)", n)
+	}
+}
+
+func TestForwardSOptPaperExample(t *testing.T) {
+	// sopt = ⌈k·τsim/τcli⌉ = ⌈1/0.5⌉ = 2, matching Fig. 9 ("the prefetch
+	// agent now starts sopt = 2 new re-simulations at each prefetching
+	// step").
+	if s := ForwardSOpt(1, exTau, exCli); s != 2 {
+		t.Errorf("sopt = %d, want 2 (paper Fig. 9)", s)
+	}
+}
+
+func TestBackwardSPaperExample(t *testing.T) {
+	// Fig. 10: α=2, τsim=1, τcli=1/2, k=1, n=4 → s = k·α/(n·τcli) +
+	// k·τsim/τcli = 2/2 + 2 = 3 parallel re-simulations.
+	if s := BackwardS(4, 1, exA, exTau, exCli); s != 3 {
+		t.Errorf("s = %d, want 3 (paper Fig. 10)", s)
+	}
+}
+
+func TestBackwardResimLengthSlowAnalysis(t *testing.T) {
+	// Analysis slower than simulation: τcli=3, k=1, τsim=1, α=2 →
+	// n = k·α/(τcli−k·τsim) = 2/2 = 1, extended to the restart interval 4.
+	n, ok := BackwardResimLength(exGrid, 1, exA, exTau, 3*time.Second)
+	if !ok || n != 4 {
+		t.Errorf("n = %d ok=%v, want 4 true", n, ok)
+	}
+	// Analysis faster than simulation: the formula does not apply.
+	if _, ok := BackwardResimLength(exGrid, 1, exA, exTau, exCli); ok {
+		t.Error("fast analysis should report ok=false")
+	}
+}
+
+func TestPrefetchLead(t *testing.T) {
+	// lead = ⌈α/max(k·τsim,τcli)⌉·k = ⌈2/1⌉ = 2 for the paper example.
+	if l := PrefetchLead(1, exA, exTau, exCli); l != 2 {
+		t.Errorf("lead = %d, want 2", l)
+	}
+	// Stride scales the lead.
+	if l := PrefetchLead(3, exA, exTau, exCli); l != 3 {
+		// max(3·1s, 0.5s)=3s; ⌈2/3⌉=1; ·k=3
+		t.Errorf("lead k=3 = %d, want 3", l)
+	}
+	// Lead is at least one stride.
+	if l := PrefetchLead(2, 0, exTau, exCli); l != 2 {
+		t.Errorf("zero-alpha lead = %d, want k", l)
+	}
+}
+
+func TestReferenceTimes(t *testing.T) {
+	if got := TSingle(13*time.Second, 3*time.Second, 72); got != 13*time.Second+216*time.Second {
+		t.Errorf("TSingle = %v", got)
+	}
+	if got := TLower(13*time.Second, 3*time.Second, 72, 8); got != 13*time.Second+27*time.Second {
+		t.Errorf("TLower = %v", got)
+	}
+	if got := TLower(10*time.Second, time.Second, 10, 0); got != 20*time.Second {
+		t.Errorf("TLower smax<1 = %v, want clamp to 1", got)
+	}
+	if got := ForwardWarmup(exA, exTau, 4); got != 8*time.Second {
+		t.Errorf("ForwardWarmup = %v, want 2·2+4·1 = 8s", got)
+	}
+	if got := BackwardWarmup(exA, exTau, 2, 4); got != 10*time.Second {
+		t.Errorf("BackwardWarmup = %v, want 10s", got)
+	}
+}
+
+func TestForwardAnalysisTime(t *testing.T) {
+	// T ≈ 2α + n·τsim + (m−n)·τsim/s
+	got := ForwardAnalysisTime(exA, exTau, 12, 4, 2)
+	want := 8*time.Second + 4*time.Second
+	if got != want {
+		t.Errorf("ForwardAnalysisTime = %v, want %v", got, want)
+	}
+	// m ≤ n: warm-up only.
+	if got := ForwardAnalysisTime(exA, exTau, 3, 4, 2); got != 8*time.Second {
+		t.Errorf("short analysis = %v, want warm-up only", got)
+	}
+}
+
+// Property: n is always a positive multiple of the restart interval and
+// grows monotonically with α.
+func TestForwardResimLengthProperties(t *testing.T) {
+	f := func(aMs, tauMs, cliMs uint16, kRaw, ddRaw, drRaw uint8) bool {
+		g := model.Grid{
+			DeltaD:    int(ddRaw%8) + 1,
+			DeltaR:    int(drRaw%64) + 1,
+			Timesteps: 1 << 20,
+		}
+		k := int(kRaw%4) + 1
+		alpha := time.Duration(aMs) * time.Millisecond
+		tau := time.Duration(tauMs+1) * time.Millisecond
+		cli := time.Duration(cliMs+1) * time.Millisecond
+		n := ForwardResimLength(g, k, alpha, tau, cli)
+		if n < 1 || n%g.OutputsPerRestart() != 0 {
+			return false
+		}
+		n2 := ForwardResimLength(g, k, alpha+time.Second, tau, cli)
+		return n2 >= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sopt ≥ 1 and is nonincreasing in τcli.
+func TestSOptProperties(t *testing.T) {
+	f := func(tauMs, cliMs uint16, kRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		tau := time.Duration(tauMs+1) * time.Millisecond
+		cli := time.Duration(cliMs+1) * time.Millisecond
+		s1 := ForwardSOpt(k, tau, cli)
+		s2 := ForwardSOpt(k, tau, cli*2)
+		return s1 >= 1 && s2 <= s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BackwardS covers the inequality s·(n/k)·τcli ≥ α + n·τsim.
+func TestBackwardSSatisfiesInequality(t *testing.T) {
+	f := func(aMs, tauMs, cliMs uint16, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		alpha := time.Duration(aMs) * time.Millisecond
+		tau := time.Duration(tauMs+1) * time.Millisecond
+		cli := time.Duration(cliMs+1) * time.Millisecond
+		s := BackwardS(n, 1, alpha, tau, cli)
+		lhs := float64(s) * float64(n) * float64(cli)
+		rhs := float64(alpha) + float64(n)*float64(tau)
+		return lhs >= rhs-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

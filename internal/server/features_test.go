@@ -1,0 +1,194 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"simfs/internal/dvlib"
+	"simfs/internal/model"
+)
+
+func TestGuidedPrefetchOverTCP(t *testing.T) {
+	_, addr := testStack(t)
+	c, err := dvlib.Dial(addr, "hinter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init("clim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hint three files in distinct restart intervals: three launches.
+	n, err := ctx.Prefetch(ctx.Filename(2), ctx.Filename(10), ctx.Filename(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("prefetch launched %d, want 3", n)
+	}
+	// Hinting the same files again joins the running simulations.
+	n, err = ctx.Prefetch(ctx.Filename(2), ctx.Filename(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("duplicate hint launched %d, want 0", n)
+	}
+	// The hinted files eventually materialize and the later Open hits.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := ctx.Open(ctx.Filename(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Close(ctx.Filename(10))
+		if res.Available {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hinted file never materialized")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Bad hints are rejected.
+	if _, err := ctx.Prefetch("garbage"); err == nil {
+		t.Error("unparseable hint accepted")
+	}
+	if _, err := ctx.Prefetch(); err == nil {
+		t.Error("empty hint accepted")
+	}
+}
+
+func TestNonReproducibleSimulatorFailsBitrep(t *testing.T) {
+	mctx := &model.Context{
+		Name:               "chaotic",
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 32},
+		OutputBytes:        256,
+		RestartBytes:       64,
+		Tau:                2 * time.Millisecond,
+		Alpha:              4 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+		NonReproducible:    true,
+	}
+	st, err := NewStack(t.TempDir(), 1, "DCL", mctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial simulation registers the "original" checksums (from the
+	// deterministic stream, standing in for the first run's output).
+	if err := st.RunInitialSimulation("chaotic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go st.Server.Serve()
+	defer func() {
+		st.Close()
+		st.Launcher.Wait()
+	}()
+
+	c, err := dvlib.Dial(st.Server.Addr(), "chaos-analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init("chaotic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(5)
+	if _, err := ctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Read(file); err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close(file)
+	// The re-simulated file must NOT match the original: the analysis
+	// detects the divergence through SIMFS_Bitrep (paper Sec. I: "The
+	// analysis can check if the re-simulated data differs").
+	same, err := ctx.Bitrep(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("non-reproducible simulator produced bitwise-identical output")
+	}
+}
+
+func TestDaemonRestartRecovery(t *testing.T) {
+	// Files cached by a first daemon instance survive a restart: the new
+	// instance rescans the storage area and serves them as hits.
+	dir := t.TempDir()
+	mk := func() *Stack {
+		ctx := &model.Context{
+			Name:               "persist",
+			Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 64},
+			OutputBytes:        128,
+			RestartBytes:       64,
+			Tau:                2 * time.Millisecond,
+			Alpha:              4 * time.Millisecond,
+			DefaultParallelism: 1,
+			MaxParallelism:     1,
+			SMax:               4,
+		}
+		st, err := NewStack(dir, 1, "DCL", ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		go st.Server.Serve()
+		return st
+	}
+
+	st1 := mk()
+	c1, _ := dvlib.Dial(st1.Server.Addr(), "gen1")
+	ctx1, _ := c1.Init("persist")
+	file := ctx1.Filename(9)
+	if _, err := ctx1.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx1.Read(file); err != nil {
+		t.Fatal(err)
+	}
+	ctx1.Close(file)
+	c1.Close()
+	st1.Close()
+	st1.Launcher.Wait()
+
+	// "Crash" and restart on the same storage area.
+	st2 := mk()
+	defer func() {
+		st2.Close()
+		st2.Launcher.Wait()
+	}()
+	c2, _ := dvlib.Dial(st2.Server.Addr(), "gen2")
+	defer c2.Close()
+	ctx2, _ := c2.Init("persist")
+	n, err := ctx2.Rescan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("rescan recovered %d files, want ≥1", n)
+	}
+	res, err := ctx2.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Available {
+		t.Error("recovered file should be served as a hit without re-simulation")
+	}
+	ctx2.Close(file)
+	stats, _ := ctx2.Stats()
+	if stats.Restarts != 0 {
+		t.Errorf("restart recovery triggered %d re-simulations", stats.Restarts)
+	}
+}

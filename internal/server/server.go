@@ -1,0 +1,420 @@
+// Package server implements the DV daemon (paper Sec. III): a TCP server
+// exposing the Virtualizer to DVLib clients over the netproto wire
+// protocol. Each connection serves one analysis application; waits and
+// acquires are answered asynchronously over the same connection when
+// re-simulations produce the requested files.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"simfs/internal/core"
+	"simfs/internal/netproto"
+)
+
+// Server is the DV daemon front-end.
+type Server struct {
+	v  *core.Virtualizer
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+}
+
+// New wraps a Virtualizer. logf may be nil to silence logging.
+func New(v *core.Virtualizer, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{v: v, conns: map[net.Conn]bool{}, logf: logf}
+}
+
+// Listen binds the daemon to addr (e.g. "127.0.0.1:7878"). Use port 0 for
+// an ephemeral port; Addr reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// session is one client connection with a serialized writer.
+type session struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	srv  *Server
+	// client is the peer-declared client name, remembered so references
+	// can be cleaned up on disconnect.
+	client string
+	// held tracks open references (context → files → count) for
+	// disconnect cleanup: a crashed analysis must not pin files forever.
+	held map[string]map[string]int
+}
+
+func (s *session) send(resp netproto.Response) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := netproto.WriteFrame(s.conn, resp); err != nil {
+		s.srv.logf("server: write to %s: %v", s.conn.RemoteAddr(), err)
+		s.conn.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sess := &session{conn: conn, srv: s, held: map[string]map[string]int{}}
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		// Release references held by the departed client.
+		for ctx, files := range sess.held {
+			for file, n := range files {
+				for i := 0; i < n; i++ {
+					if err := s.v.Release(sess.client, ctx, file); err != nil {
+						break
+					}
+				}
+			}
+		}
+	}()
+	for {
+		var req netproto.Request
+		if err := netproto.ReadFrame(conn, &req); err != nil {
+			if err != io.EOF {
+				s.logf("server: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if req.Client != "" {
+			sess.client = req.Client
+		}
+		s.dispatch(sess, req)
+	}
+}
+
+func (s *Server) dispatch(sess *session, req netproto.Request) {
+	fail := func(err error) {
+		sess.send(netproto.Response{ID: req.ID, Err: err.Error()})
+	}
+	oneFile := func() (string, bool) {
+		if len(req.Files) != 1 {
+			fail(fmt.Errorf("op %s requires exactly one file", req.Op))
+			return "", false
+		}
+		return req.Files[0], true
+	}
+
+	switch req.Op {
+	case netproto.OpPing:
+		sess.send(netproto.Response{ID: req.ID, OK: true})
+
+	case netproto.OpContexts:
+		sess.send(netproto.Response{ID: req.ID, OK: true, Names: s.v.ContextNames()})
+
+	case netproto.OpContextInfo:
+		ctx, ok := s.v.Context(req.Context)
+		if !ok {
+			fail(fmt.Errorf("unknown context %q", req.Context))
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
+			Name:        ctx.Name,
+			StorageDir:  ctx.StorageDir,
+			FilePrefix:  ctx.FilePrefix,
+			FileSuffix:  ctx.FileSuffix,
+			DeltaD:      ctx.Grid.DeltaD,
+			DeltaR:      ctx.Grid.DeltaR,
+			Timesteps:   ctx.Grid.Timesteps,
+			OutputBytes: ctx.OutputBytes,
+		}})
+
+	case netproto.OpOpen:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		res, err := s.v.Open(req.Client, req.Context, file)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.trackRef(req.Context, file, +1)
+		sess.send(netproto.Response{ID: req.ID, OK: true, Available: res.Available, EstWaitNs: int64(res.EstWait)})
+
+	case netproto.OpWait:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		err := s.v.WaitFile(req.Client, req.Context, file, func(st core.Status) {
+			sess.send(netproto.Response{ID: req.ID, OK: st.Err == "", Err: st.Err, Ready: st.Ready, Done: true, File: file})
+		})
+		if err != nil {
+			fail(err)
+		}
+
+	case netproto.OpRelease:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		if err := s.v.Release(req.Client, req.Context, file); err != nil {
+			fail(err)
+			return
+		}
+		sess.trackRef(req.Context, file, -1)
+		sess.send(netproto.Response{ID: req.ID, OK: true})
+
+	case netproto.OpAcquire:
+		if len(req.Files) == 0 {
+			fail(errors.New("acquire requires at least one file"))
+			return
+		}
+		// Per-file readiness notifications let the client implement
+		// Waitsome/Testsome; the fan-in below sends the final frame.
+		files := append([]string(nil), req.Files...)
+		err := s.acquireWithPerFile(sess, req, files)
+		if err != nil {
+			fail(err)
+		}
+
+	case netproto.OpEstWait:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		w, err := s.v.EstWait(req.Context, file)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, EstWaitNs: int64(w)})
+
+	case netproto.OpBitrep:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		content, err := s.readStorage(req.Context, file)
+		if err != nil {
+			fail(err)
+			return
+		}
+		same, err := s.v.Bitrep(req.Context, file, content)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, Flag: same})
+
+	case netproto.OpRegSum:
+		file, ok := oneFile()
+		if !ok {
+			return
+		}
+		if err := s.v.RegisterChecksum(req.Context, file, req.Sum); err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true})
+
+	case netproto.OpStats:
+		st, err := s.v.Stats(req.Context)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, Stats: &netproto.Stats{
+			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
+			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
+			PrefetchLaunches: st.PrefetchLaunches, DroppedPrefetch: st.DroppedPrefetch,
+			StepsProduced: st.StepsProduced, Evictions: st.Evictions,
+			Kills: st.Kills, Failures: st.Failures, PollutionResets: st.PollutionResets,
+		}})
+
+	case netproto.OpPrefetch:
+		if len(req.Files) == 0 {
+			fail(errors.New("prefetch requires at least one file"))
+			return
+		}
+		n, err := s.v.GuidedPrefetch(req.Client, req.Context, req.Files)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, Count: n})
+
+	case netproto.OpRescan:
+		n, err := s.v.RescanStorageArea(req.Context)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true, Count: n})
+
+	default:
+		fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// acquireWithPerFile implements the acquire subscription: a per-file
+// ready frame for each missing file plus a final done frame.
+func (s *Server) acquireWithPerFile(sess *session, req netproto.Request, files []string) error {
+	// Open every file (taking references) so re-simulations start.
+	var missing []string
+	for i, f := range files {
+		res, err := s.v.Open(req.Client, req.Context, f)
+		if err != nil {
+			// Roll back references taken so far.
+			for _, g := range files[:i] {
+				_ = s.v.Release(req.Client, req.Context, g)
+			}
+			return err
+		}
+		sess.trackRef(req.Context, f, +1)
+		if !res.Available {
+			missing = append(missing, f)
+		} else {
+			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+		}
+	}
+	if len(missing) == 0 {
+		sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		return nil
+	}
+	var mu sync.Mutex
+	remaining := len(missing)
+	failed := false
+	for _, f := range missing {
+		f := f
+		err := s.v.WaitFile(req.Client, req.Context, f, func(st core.Status) {
+			mu.Lock()
+			if failed {
+				mu.Unlock()
+				return
+			}
+			if st.Err != "" {
+				failed = true
+				mu.Unlock()
+				sess.send(netproto.Response{ID: req.ID, Err: st.Err, Done: true, File: f})
+				return
+			}
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+			if last {
+				sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+			}
+		})
+		if err != nil {
+			// Became resident between Open and WaitFile.
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+			if last {
+				sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+			}
+		}
+	}
+	return nil
+}
+
+// readStorage reads a file's content from the context's storage area.
+func (s *Server) readStorage(ctxName, file string) ([]byte, error) {
+	fs, err := s.v.StorageArea(ctxName)
+	if err != nil {
+		return nil, err
+	}
+	if fs == nil {
+		return nil, fmt.Errorf("context %q has no storage area", ctxName)
+	}
+	return fs.Read(file)
+}
+
+func (sess *session) trackRef(ctx, file string, delta int) {
+	m := sess.held[ctx]
+	if m == nil {
+		m = map[string]int{}
+		sess.held[ctx] = m
+	}
+	m[file] += delta
+	if m[file] <= 0 {
+		delete(m, file)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"simfs/internal/core"
+	"simfs/internal/des"
+	"simfs/internal/model"
+	"simfs/internal/simulator"
+	"simfs/internal/vfs"
+)
+
+// Stack is a fully wired wall-clock SimFS instance: the Virtualizer, an
+// in-process real-time launcher writing real files into per-context disk
+// storage areas, and the TCP front-end. It is what cmd/simfs-dv runs and
+// what the examples connect to.
+type Stack struct {
+	V        *core.Virtualizer
+	Launcher *simulator.RealTimeLauncher
+	Areas    map[string]*vfs.Disk
+	Server   *Server
+	// resimGen numbers re-simulation writes, used to perturb the content
+	// of non-reproducible contexts (each re-simulated file differs from
+	// the initial run).
+	resimGen atomic.Int64
+}
+
+// NewStack builds a daemon stack rooted at baseDir: each context gets the
+// storage area <baseDir>/<context-name>. timeScale divides all simulated
+// durations (1000 turns a 13 s restart latency into 13 ms), letting the
+// examples and integration tests run the published COSMO/FLASH timings in
+// milliseconds. policy names the replacement scheme (Sec. III-D).
+func NewStack(baseDir string, timeScale int, policy string, ctxs ...*model.Context) (*Stack, error) {
+	if len(ctxs) == 0 {
+		return nil, fmt.Errorf("server: stack needs at least one context")
+	}
+	st := &Stack{Areas: map[string]*vfs.Disk{}}
+	st.Launcher = &simulator.RealTimeLauncher{TimeScale: timeScale}
+	st.V = core.New(des.NewWallClock(), st.Launcher)
+	st.Launcher.Events = st.V
+	st.Launcher.Write = func(ctx *model.Context, step int) error {
+		area, ok := st.Areas[ctx.Name]
+		if !ok {
+			return fmt.Errorf("server: no storage area for context %q", ctx.Name)
+		}
+		name := ctx.Filename(step)
+		if ctx.NonReproducible {
+			// A non-reproducible simulator (paper Sec. I) produces
+			// different bits on every run: perturb the content with the
+			// re-simulation generation so SIMFS_Bitrep flags it.
+			gen := st.resimGen.Add(1)
+			data := vfs.Content(fmt.Sprintf("%s#resim%d", name, gen), ctx.OutputBytes)
+			return area.WriteRaw(name, data)
+		}
+		return area.Create(name, ctx.OutputBytes)
+	}
+	for _, ctx := range ctxs {
+		ctx.ApplyDefaults()
+		area, err := vfs.NewDisk(filepath.Join(baseDir, ctx.Name))
+		if err != nil {
+			return nil, err
+		}
+		ctx.StorageDir = area.Dir()
+		st.Areas[ctx.Name] = area
+		if err := st.V.AddContext(ctx, policy, area); err != nil {
+			return nil, err
+		}
+	}
+	st.Server = New(st.V, nil)
+	return st, nil
+}
+
+// RunInitialSimulation models the initial simulation of a context (paper
+// Fig. 2, "initial simulation, write restart files"): it writes the
+// restart files into the storage area and registers the original output
+// checksums so SIMFS_Bitrep can verify later re-simulations. Output steps
+// themselves are not stored — that is the point of SimFS.
+func (st *Stack) RunInitialSimulation(ctxName string) error {
+	ctx, ok := st.V.Context(ctxName)
+	if !ok {
+		return fmt.Errorf("server: unknown context %q", ctxName)
+	}
+	area := st.Areas[ctxName]
+	drv := simulator.NewSynthetic(ctx)
+	for t := ctx.Grid.DeltaR; t <= ctx.Grid.Timesteps; t += ctx.Grid.DeltaR {
+		if err := area.Create(ctx.RestartFilename(t), ctx.RestartBytes); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= ctx.Grid.NumOutputSteps(); i++ {
+		name := ctx.Filename(i)
+		sum := drv.Checksum(vfs.Content(name, ctx.OutputBytes))
+		if err := st.V.RegisterChecksum(ctxName, name, sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListenAndServe binds the TCP front-end and serves until Close.
+func (st *Stack) ListenAndServe(addr string) error {
+	if err := st.Server.Listen(addr); err != nil {
+		return err
+	}
+	return st.Server.Serve()
+}
+
+// Close shuts down the front-end and waits for running simulations.
+func (st *Stack) Close() {
+	st.Server.Close()
+}

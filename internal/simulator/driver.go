@@ -1,0 +1,170 @@
+// Package simulator implements the simulator side of SimFS: the
+// simulation driver interface (paper Sec. III-B, written as LUA scripts in
+// the original system and as Go values here), a configurable synthetic
+// simulator with the published COSMO and FLASH parameters, and two
+// launchers that execute re-simulations — one over the discrete-event
+// engine (virtual time, used by all experiments) and one spawning real
+// goroutines that write files to a storage area (used by the daemon,
+// examples and integration tests).
+package simulator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"simfs/internal/model"
+)
+
+// Driver provides the simulator-specific functionality SimFS needs: the
+// naming convention (Key must be monotone in production order), the
+// simulation job script, and the checksum used by SIMFS_Bitrep.
+type Driver interface {
+	// Name identifies the simulator.
+	Name() string
+	// Key maps an output file name to an integer such that files produced
+	// later have strictly larger keys.
+	Key(filename string) (int, error)
+	// JobScript renders the script the DV would hand to the batch system
+	// to simulate output steps (first, last] at the given parallelism
+	// level. In the original system the DV executes it; here it documents
+	// the launch and is exercised by the control utility.
+	JobScript(first, last, parallelism int) string
+	// Nodes translates a parallelism level (0..max level) into a concrete
+	// node count, enforcing simulator-specific allocation constraints.
+	Nodes(parallelismLevel int) int
+	// Checksum computes the simulator-specific checksum of file content.
+	Checksum(content []byte) uint64
+}
+
+// Synthetic is the synthetic simulator of the paper's Sec. VI ("We use a
+// synthetic simulator that can be configured to produce output steps at a
+// given rate and after a given restart latency"), bound to a model
+// context for its naming convention and timing.
+type Synthetic struct {
+	Ctx *model.Context
+}
+
+// NewSynthetic returns a driver over the given context.
+func NewSynthetic(ctx *model.Context) *Synthetic { return &Synthetic{Ctx: ctx} }
+
+// Name implements Driver.
+func (s *Synthetic) Name() string { return s.Ctx.Name }
+
+// Key implements Driver.
+func (s *Synthetic) Key(filename string) (int, error) { return s.Ctx.Key(filename) }
+
+// JobScript implements Driver.
+func (s *Synthetic) JobScript(first, last, parallelism int) string {
+	return fmt.Sprintf("#!/bin/sh\n# simulation driver: %s\nsimulate --context %s --from-restart %d --to-step %d --nodes %d\n",
+		s.Ctx.Name, s.Ctx.Name, s.Ctx.Grid.RestartBefore(first), last, s.Nodes(parallelism))
+}
+
+// Nodes implements Driver: parallelism levels map to power-of-two node
+// multiples of the default allocation, a common simulator constraint the
+// paper cites ("square or power of two number of processes").
+func (s *Synthetic) Nodes(level int) int {
+	n := s.Ctx.DefaultParallelism
+	for i := 0; i < level && n*2 <= s.Ctx.MaxParallelism; i++ {
+		n *= 2
+	}
+	return n
+}
+
+// Checksum implements Driver with FNV-1a, standing in for the
+// simulator-specific checksum of the paper's SIMFS_Bitrep support.
+func (s *Synthetic) Checksum(content []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(content)
+	return h.Sum64()
+}
+
+// Published experiment configurations (paper Secs. V-A and VI). Sizes are
+// model quantities: the virtual-time experiments never materialize them,
+// and the real-time launcher writes scaled-down files.
+
+// CosmoScaling returns the COSMO configuration of the strong-scaling
+// experiment (Fig. 16): 1-minute timesteps, one output step every 5
+// minutes, one restart per hour, τsim = 3 s, αsim = 13 s on P = 100 nodes.
+func CosmoScaling() *model.Context {
+	c := &model.Context{
+		Name: "cosmo",
+		Grid: model.Grid{DeltaD: 5, DeltaR: 60, Timesteps: 5760}, // 4 simulated days
+		// so = 6 GiB from the cost-model calibration; the scaling
+		// experiment never stores data volumes, only counts.
+		OutputBytes:        6 << 30,
+		RestartBytes:       36 << 30,
+		Tau:                3 * time.Second,
+		Alpha:              13 * time.Second,
+		DefaultParallelism: 100,
+		MaxParallelism:     100,
+		SMax:               8,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+// CosmoCost returns the COSMO configuration used to calibrate the cost
+// models (Sec. V-A): 20 s timesteps, Δd = 15, τsim(100) = 20 s, 50 TiB
+// total output.
+func CosmoCost() *model.Context {
+	c := &model.Context{
+		Name: "cosmo-cost",
+		// 30-day simulation at 20s timesteps: 129600 timesteps, Δd=15 →
+		// 8640 output steps × 6 GiB ≈ 50 TiB, the paper's total volume.
+		// Δr=8h (1440 timesteps) by default → 90 restarts × 36 GiB =
+		// 3.16 TiB, matching the restart-space axis of Fig. 15b; the
+		// experiments override Δr for the 4h/16h variants.
+		Grid:               model.Grid{DeltaD: 15, DeltaR: 1440, Timesteps: 129600},
+		OutputBytes:        6 << 30,
+		RestartBytes:       36 << 30,
+		Tau:                20 * time.Second,
+		Alpha:              13 * time.Second,
+		DefaultParallelism: 100,
+		MaxParallelism:     100,
+		SMax:               8,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+// Flash returns the FLASH Sedov blast-wave configuration (Fig. 18):
+// 0.005 s timesteps, one output step per timestep, one restart every 0.1 s
+// (Δr = 20), τsim = 14 s, αsim = 7 s.
+func Flash() *model.Context {
+	c := &model.Context{
+		Name:               "flash",
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 20, Timesteps: 1200},
+		OutputBytes:        1 << 30,
+		RestartBytes:       2 << 30,
+		Tau:                14 * time.Second,
+		Alpha:              7 * time.Second,
+		DefaultParallelism: 54,
+		MaxParallelism:     54,
+		SMax:               8,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+// CacheEval returns the configuration of the replacement-scheme evaluation
+// (Fig. 5): a 4-day simulation producing an output step every 5 minutes
+// and a restart file every 4 hours, with the cache set to 25% of the data
+// volume.
+func CacheEval() *model.Context {
+	c := &model.Context{
+		Name: "cache-eval",
+		// 1-minute timesteps over 4 days: Δd=5 (5 min), Δr=240 (4 h).
+		Grid:               model.Grid{DeltaD: 5, DeltaR: 240, Timesteps: 5760},
+		OutputBytes:        1 << 30,
+		RestartBytes:       4 << 30,
+		Tau:                3 * time.Second,
+		Alpha:              13 * time.Second,
+		DefaultParallelism: 100,
+		MaxParallelism:     100,
+		SMax:               8,
+	}
+	c.MaxCacheBytes = c.TotalOutputBytes() / 4
+	c.ApplyDefaults()
+	return c
+}

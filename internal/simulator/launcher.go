@@ -1,0 +1,279 @@
+package simulator
+
+import (
+	"sync"
+	"time"
+
+	"simfs/internal/batch"
+	"simfs/internal/des"
+	"simfs/internal/model"
+)
+
+// Outcome classifies how a re-simulation ended.
+type Outcome int
+
+// Simulation outcomes.
+const (
+	Completed Outcome = iota // produced its whole range
+	Killed                   // killed by the DV (over-prefetch, reset)
+	Failed                   // crashed (failure injection)
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case Killed:
+		return "killed"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// Events receives simulation life-cycle callbacks. The DV core implements
+// it; launchers call it. StepProduced corresponds to DVLib intercepting
+// the simulator's close call and notifying the DV (paper Sec. III-A).
+type Events interface {
+	// SimStarted fires when the restart latency has elapsed and
+	// production begins (after any batch queueing delay).
+	SimStarted(simID int64)
+	// StepProduced fires when output step `step` is written and closed.
+	StepProduced(simID int64, step int)
+	// SimEnded fires exactly once per simulation.
+	SimEnded(simID int64, outcome Outcome)
+}
+
+// DESLauncher executes re-simulations in virtual time on a DES engine.
+// It is single-threaded by construction (the engine is).
+type DESLauncher struct {
+	Engine *des.Engine
+	Events Events
+	// Queue samples per-job batch queueing delays added to αsim
+	// (nil = no queueing).
+	Queue batch.Sampler
+	// Pool optionally bounds total nodes in use (nil = unlimited).
+	Pool *batch.Pool
+	// FailEvery injects a crash into every n-th launched simulation
+	// (0 = never), after it produced half of its range.
+	FailEvery int
+
+	nextID  int64
+	running map[int64]*desRun
+}
+
+type desRun struct {
+	timers  []*des.Timer
+	ticket  *batch.Ticket
+	nodes   int
+	ended   bool
+	queued  bool
+	started bool
+}
+
+// Launch implements the DV core's Launcher contract: start a
+// re-simulation producing output steps [first, last] of ctx at the given
+// parallelism (node count). It returns the simulation id immediately; all
+// progress is reported through Events.
+func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) int64 {
+	if l.running == nil {
+		l.running = map[int64]*desRun{}
+	}
+	l.nextID++
+	id := l.nextID
+	run := &desRun{nodes: parallelism}
+	l.running[id] = run
+
+	start := func() {
+		if run.ended {
+			return
+		}
+		run.queued = false
+		var delay time.Duration
+		if l.Queue != nil {
+			delay = l.Queue.Next()
+		}
+		alpha := ctx.Alpha
+		tau := ctx.TauAt(parallelism)
+		failAt := -1
+		if l.FailEvery > 0 && id%int64(l.FailEvery) == 0 {
+			failAt = first + (last-first)/2
+		}
+		run.timers = append(run.timers, l.Engine.Schedule(delay+alpha, func() {
+			run.started = true
+			l.Events.SimStarted(id)
+		}))
+		for s := first; s <= last; s++ {
+			s := s
+			prodAt := delay + alpha + time.Duration(s-first+1)*tau
+			if failAt >= 0 && s > failAt {
+				break
+			}
+			run.timers = append(run.timers, l.Engine.Schedule(prodAt, func() {
+				l.Events.StepProduced(id, s)
+			}))
+		}
+		endAt := delay + alpha + time.Duration(last-first+1)*tau
+		outcome := Completed
+		if failAt >= 0 {
+			endAt = delay + alpha + time.Duration(failAt-first+1)*tau
+			outcome = Failed
+		}
+		run.timers = append(run.timers, l.Engine.Schedule(endAt, func() {
+			l.end(id, outcome)
+		}))
+	}
+
+	if l.Pool != nil {
+		run.queued = true
+		ticket, err := l.Pool.Submit(parallelism, start)
+		if err != nil {
+			// Request exceeds the whole machine: fail immediately, at the
+			// current virtual time, through the normal event path.
+			l.Engine.Schedule(0, func() { l.end(id, Failed) })
+			return id
+		}
+		run.ticket = ticket
+		return id
+	}
+	start()
+	return id
+}
+
+// Kill implements the DV core's Launcher contract. The termination event
+// is delivered asynchronously (at the current virtual time) so that
+// callers holding locks never receive a synchronous SimEnded callback.
+func (l *DESLauncher) Kill(simID int64) {
+	run, ok := l.running[simID]
+	if !ok || run.ended {
+		return
+	}
+	// Stop further production immediately; report the end via the engine.
+	for _, t := range run.timers {
+		t.Stop()
+	}
+	if run.queued && run.ticket != nil {
+		l.Pool.Cancel(run.ticket)
+	}
+	l.Engine.Schedule(0, func() { l.end(simID, Killed) })
+}
+
+// RunningCount returns the number of simulations not yet ended.
+func (l *DESLauncher) RunningCount() int { return len(l.running) }
+
+func (l *DESLauncher) end(simID int64, outcome Outcome) {
+	run, ok := l.running[simID]
+	if !ok || run.ended {
+		return
+	}
+	run.ended = true
+	for _, t := range run.timers {
+		t.Stop()
+	}
+	if l.Pool != nil && run.ticket != nil && run.ticket.Granted() {
+		l.Pool.Release(run.ticket)
+	}
+	delete(l.running, simID)
+	l.Events.SimEnded(simID, outcome)
+}
+
+// RealTimeLauncher executes re-simulations as goroutines over wall-clock
+// time, writing real files through a FileWriter. It is used by the daemon
+// and the examples, with time scaled down so a "3 s per output step"
+// simulation produces a file every few milliseconds.
+type RealTimeLauncher struct {
+	Events Events
+	// Write is called to materialize one output step; typically it wraps
+	// vfs.Disk.Create with the context's naming convention.
+	Write func(ctx *model.Context, step int) error
+	// TimeScale divides all durations (0 or 1 = real time). A scale of
+	// 1000 turns αsim = 13 s into 13 ms.
+	TimeScale int
+	// Queue samples per-job batch queueing delays (nil = none).
+	Queue batch.Sampler
+
+	mu      sync.Mutex
+	nextID  int64
+	cancels map[int64]chan struct{}
+	wg      sync.WaitGroup
+}
+
+func (l *RealTimeLauncher) scale(d time.Duration) time.Duration {
+	if l.TimeScale > 1 {
+		return d / time.Duration(l.TimeScale)
+	}
+	return d
+}
+
+// Launch implements the DV core's Launcher contract.
+func (l *RealTimeLauncher) Launch(ctx *model.Context, first, last, parallelism int) int64 {
+	l.mu.Lock()
+	if l.cancels == nil {
+		l.cancels = map[int64]chan struct{}{}
+	}
+	l.nextID++
+	id := l.nextID
+	cancel := make(chan struct{})
+	l.cancels[id] = cancel
+	l.mu.Unlock()
+
+	var delay time.Duration
+	l.mu.Lock()
+	if l.Queue != nil {
+		delay = l.Queue.Next()
+	}
+	l.mu.Unlock()
+
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		sleep := func(d time.Duration) bool {
+			select {
+			case <-time.After(d):
+				return true
+			case <-cancel:
+				return false
+			}
+		}
+		if !sleep(l.scale(delay + ctx.Alpha)) {
+			l.finish(id, Killed)
+			return
+		}
+		l.Events.SimStarted(id)
+		tau := l.scale(ctx.TauAt(parallelism))
+		for s := first; s <= last; s++ {
+			if !sleep(tau) {
+				l.finish(id, Killed)
+				return
+			}
+			if err := l.Write(ctx, s); err != nil {
+				l.finish(id, Failed)
+				return
+			}
+			l.Events.StepProduced(id, s)
+		}
+		l.finish(id, Completed)
+	}()
+	return id
+}
+
+// Kill implements the DV core's Launcher contract. It is idempotent and
+// safe to call concurrently with the simulation ending on its own.
+func (l *RealTimeLauncher) Kill(simID int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cancel, ok := l.cancels[simID]; ok {
+		delete(l.cancels, simID)
+		close(cancel)
+	}
+}
+
+// Wait blocks until all launched simulations have ended.
+func (l *RealTimeLauncher) Wait() { l.wg.Wait() }
+
+func (l *RealTimeLauncher) finish(id int64, outcome Outcome) {
+	l.mu.Lock()
+	delete(l.cancels, id)
+	l.mu.Unlock()
+	l.Events.SimEnded(id, outcome)
+}

@@ -1,0 +1,330 @@
+package simulator
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simfs/internal/batch"
+	"simfs/internal/des"
+	"simfs/internal/model"
+	"simfs/internal/vfs"
+)
+
+func TestSyntheticDriverKeyRoundTrip(t *testing.T) {
+	ctx := CosmoScaling()
+	d := NewSynthetic(ctx)
+	name := ctx.Filename(7)
+	k, err := d.Key(name)
+	if err != nil || k != 7 {
+		t.Fatalf("Key = %d, %v", k, err)
+	}
+	if _, err := d.Key("garbage"); err == nil {
+		t.Error("bad name should fail")
+	}
+}
+
+func TestSyntheticJobScript(t *testing.T) {
+	ctx := CosmoScaling()
+	d := NewSynthetic(ctx)
+	script := d.JobScript(13, 24, 0)
+	for _, want := range []string{"--context cosmo", "--to-step 24", "--nodes 100"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+}
+
+func TestSyntheticNodesPowerOfTwo(t *testing.T) {
+	ctx := &model.Context{
+		Name: "n", Grid: model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 100},
+		OutputBytes: 1, Tau: time.Second,
+		DefaultParallelism: 4, MaxParallelism: 32,
+	}
+	ctx.ApplyDefaults()
+	d := NewSynthetic(ctx)
+	want := []int{4, 8, 16, 32, 32} // levels 0..4, clamped at max
+	for lvl, w := range want {
+		if got := d.Nodes(lvl); got != w {
+			t.Errorf("Nodes(%d) = %d, want %d", lvl, got, w)
+		}
+	}
+}
+
+func TestSyntheticChecksum(t *testing.T) {
+	d := NewSynthetic(CosmoScaling())
+	a := d.Checksum([]byte("hello"))
+	b := d.Checksum([]byte("hello"))
+	c := d.Checksum([]byte("world"))
+	if a != b || a == c {
+		t.Error("checksum not deterministic or not discriminating")
+	}
+}
+
+func TestPresetsValidate(t *testing.T) {
+	for _, ctx := range []*model.Context{CosmoScaling(), CosmoCost(), Flash(), CacheEval()} {
+		if err := ctx.Validate(); err != nil {
+			t.Errorf("preset %s: %v", ctx.Name, err)
+		}
+	}
+	// Published parameters spot checks.
+	if c := CosmoScaling(); c.Grid.OutputsPerRestart() != 12 {
+		t.Errorf("COSMO outputs/restart = %d, want 12 (Δd=5min, Δr=60min)", c.Grid.OutputsPerRestart())
+	}
+	if f := Flash(); f.Grid.OutputsPerRestart() != 20 {
+		t.Errorf("FLASH outputs/restart = %d, want 20", f.Grid.OutputsPerRestart())
+	}
+	if ce := CacheEval(); ce.Grid.NumOutputSteps() != 1152 {
+		t.Errorf("cache-eval output steps = %d, want 1152 (4 days / 5 min)", ce.Grid.NumOutputSteps())
+	}
+}
+
+// recorder collects launcher events.
+type recorder struct {
+	mu       sync.Mutex
+	started  []int64
+	produced map[int64][]int
+	ended    map[int64]Outcome
+}
+
+func newRecorder() *recorder {
+	return &recorder{produced: map[int64][]int{}, ended: map[int64]Outcome{}}
+}
+func (r *recorder) SimStarted(id int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.started = append(r.started, id)
+}
+func (r *recorder) StepProduced(id int64, step int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.produced[id] = append(r.produced[id], step)
+}
+func (r *recorder) SimEnded(id int64, o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ended[id] = o
+}
+
+func testCtx() *model.Context {
+	c := &model.Context{
+		Name: "t", Grid: model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 100},
+		OutputBytes: 1, Tau: time.Second, Alpha: 2 * time.Second,
+		DefaultParallelism: 1, MaxParallelism: 1,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+func TestDESLauncherTiming(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec}
+	ctx := testCtx()
+	id := l.Launch(ctx, 1, 4, 1)
+	eng.Run(0)
+	if len(rec.started) != 1 || rec.started[0] != id {
+		t.Fatalf("started = %v", rec.started)
+	}
+	if got := rec.produced[id]; len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("produced = %v", got)
+	}
+	if rec.ended[id] != Completed {
+		t.Errorf("outcome = %v", rec.ended[id])
+	}
+	// α=2s + 4·τ(1s) = 6s total.
+	if eng.Now() != 6*time.Second {
+		t.Errorf("end time = %v, want 6s", eng.Now())
+	}
+}
+
+func TestDESLauncherQueueDelay(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec, Queue: batch.Constant(5 * time.Second)}
+	l.Launch(testCtx(), 1, 1, 1)
+	eng.Run(0)
+	// 5s queue + 2s α + 1s τ = 8s.
+	if eng.Now() != 8*time.Second {
+		t.Errorf("end time = %v, want 8s", eng.Now())
+	}
+}
+
+func TestDESLauncherKill(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec}
+	ctx := testCtx()
+	id := l.Launch(ctx, 1, 10, 1)
+	// Kill after the 3rd step (t = 2+3 = 5s).
+	eng.Schedule(5500*time.Millisecond, func() { l.Kill(id) })
+	eng.Run(0)
+	if got := rec.produced[id]; len(got) != 3 {
+		t.Fatalf("produced = %v, want 3 steps before the kill", got)
+	}
+	if rec.ended[id] != Killed {
+		t.Errorf("outcome = %v, want Killed", rec.ended[id])
+	}
+	if l.RunningCount() != 0 {
+		t.Errorf("running = %d", l.RunningCount())
+	}
+	// Double kill is a no-op.
+	l.Kill(id)
+}
+
+func TestDESLauncherFailureInjection(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec, FailEvery: 1}
+	id := l.Launch(testCtx(), 1, 10, 1)
+	eng.Run(0)
+	if rec.ended[id] != Failed {
+		t.Fatalf("outcome = %v, want Failed", rec.ended[id])
+	}
+	if got := rec.produced[id]; len(got) >= 10 || len(got) == 0 {
+		t.Errorf("failed sim produced %d steps, want partial output", len(got))
+	}
+}
+
+func TestDESLauncherPoolSerializes(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	pool := batch.NewPool(1)
+	l := &DESLauncher{Engine: eng, Events: rec, Pool: pool}
+	ctx := testCtx()
+	a := l.Launch(ctx, 1, 2, 1)
+	b := l.Launch(ctx, 3, 4, 1)
+	eng.Run(0)
+	if rec.ended[a] != Completed || rec.ended[b] != Completed {
+		t.Fatal("both sims should complete")
+	}
+	// Serialized: 2·(α 2s + 2·τ 1s) = 8s.
+	if eng.Now() != 8*time.Second {
+		t.Errorf("end time = %v, want 8s (serialized)", eng.Now())
+	}
+}
+
+func TestDESLauncherPoolKillQueued(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	pool := batch.NewPool(1)
+	l := &DESLauncher{Engine: eng, Events: rec, Pool: pool}
+	ctx := testCtx()
+	a := l.Launch(ctx, 1, 2, 1)
+	b := l.Launch(ctx, 3, 4, 1)
+	l.Kill(b) // still queued
+	eng.Run(0)
+	if rec.ended[a] != Completed {
+		t.Error("first sim should complete")
+	}
+	if rec.ended[b] != Killed {
+		t.Errorf("queued sim outcome = %v, want Killed", rec.ended[b])
+	}
+	if len(rec.produced[b]) != 0 {
+		t.Error("killed queued sim produced output")
+	}
+}
+
+func TestDESLauncherPoolOversizedRequestFails(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec, Pool: batch.NewPool(2)}
+	id := l.Launch(testCtx(), 1, 2, 5)
+	eng.Run(0)
+	if rec.ended[id] != Failed {
+		t.Errorf("outcome = %v, want Failed for oversized request", rec.ended[id])
+	}
+}
+
+func TestRealTimeLauncherProducesFiles(t *testing.T) {
+	area := vfs.NewMem()
+	rec := newRecorder()
+	ctx := testCtx()
+	ctx.Tau = 2 * time.Millisecond
+	ctx.Alpha = time.Millisecond
+	l := &RealTimeLauncher{
+		Events: rec,
+		Write: func(c *model.Context, step int) error {
+			return area.Create(c.Filename(step), 64)
+		},
+	}
+	id := l.Launch(ctx, 1, 3, 1)
+	l.Wait()
+	if rec.ended[id] != Completed {
+		t.Fatalf("outcome = %v", rec.ended[id])
+	}
+	for s := 1; s <= 3; s++ {
+		if !area.Exists(ctx.Filename(s)) {
+			t.Errorf("file for step %d missing", s)
+		}
+	}
+}
+
+func TestRealTimeLauncherKill(t *testing.T) {
+	rec := newRecorder()
+	ctx := testCtx() // α=2s: plenty of time to kill before production
+	l := &RealTimeLauncher{
+		Events: rec,
+		Write:  func(c *model.Context, step int) error { return nil },
+	}
+	id := l.Launch(ctx, 1, 100, 1)
+	l.Kill(id)
+	l.Kill(id) // idempotent
+	l.Wait()
+	if rec.ended[id] != Killed {
+		t.Fatalf("outcome = %v, want Killed", rec.ended[id])
+	}
+	if len(rec.produced[id]) != 0 {
+		t.Error("killed sim produced output")
+	}
+}
+
+func TestRealTimeLauncherTimeScale(t *testing.T) {
+	rec := newRecorder()
+	ctx := testCtx() // α=2s, τ=1s → 12s unscaled for 10 steps
+	l := &RealTimeLauncher{
+		Events:    rec,
+		TimeScale: 1000, // → 12ms
+		Write:     func(c *model.Context, step int) error { return nil },
+	}
+	start := time.Now()
+	id := l.Launch(ctx, 1, 10, 1)
+	l.Wait()
+	if rec.ended[id] != Completed {
+		t.Fatal("sim did not complete")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("time scaling ineffective: took %v", elapsed)
+	}
+}
+
+func TestRealTimeLauncherWriteFailure(t *testing.T) {
+	rec := newRecorder()
+	ctx := testCtx()
+	ctx.Alpha, ctx.Tau = time.Millisecond, time.Millisecond
+	failing := func(c *model.Context, step int) error {
+		if step == 2 {
+			return vfs.NewMem().Remove("nonexistent") // any error
+		}
+		return nil
+	}
+	l := &RealTimeLauncher{Events: rec, Write: failing}
+	id := l.Launch(ctx, 1, 5, 1)
+	l.Wait()
+	if rec.ended[id] != Failed {
+		t.Fatalf("outcome = %v, want Failed", rec.ended[id])
+	}
+	if got := rec.produced[id]; len(got) != 1 {
+		t.Errorf("produced = %v, want just step 1", got)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{Completed: "completed", Killed: "killed", Failed: "failed", Outcome(99): "unknown"}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+}

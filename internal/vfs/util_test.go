@@ -1,0 +1,9 @@
+package vfs
+
+import "os"
+
+// writeFile is a tiny test helper kept out of the main test file so the
+// conformance suite stays backend-agnostic.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

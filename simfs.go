@@ -1,0 +1,116 @@
+// Package simfs is a Go implementation of SimFS, the simulation-data
+// virtualizing file system interface of Di Girolamo, Schmid, Schulthess
+// and Hoefler (IPDPS 2019). SimFS exposes a virtualized view of a
+// simulation's output: instead of storing every output step, it keeps
+// restart checkpoints plus a bounded cache of output files, and
+// re-simulates missing data on demand — trading storage for computation.
+//
+// The package re-exports the system's public surface:
+//
+//   - Context / Grid describe a simulation configuration (Δd, Δr,
+//     timeline, sizes, performance model, prefetching limits).
+//   - NewDaemon builds a Data Virtualizer daemon: the Virtualizer state
+//     machine, per-context disk storage areas, an in-process simulator
+//     launcher, and a TCP front-end for DVLib clients.
+//   - Dial / Client / AnalysisContext are the DVLib client library:
+//     transparent open/read/close plus the SIMFS_* API (Acquire,
+//     AcquireNB, Wait, Test, Waitsome, Testsome, Release, Bitrep).
+//   - NCOpen / H5Fopen / AdiosOpen are the Table-I I/O-library bindings.
+//   - CosmoScaling / CosmoCost / Flash / CacheEval are the paper's
+//     published experiment configurations.
+//
+// See the examples directory for runnable end-to-end scenarios and
+// DESIGN.md / EXPERIMENTS.md for the reproduction details.
+package simfs
+
+import (
+	"simfs/internal/dvlib"
+	"simfs/internal/ioshim"
+	"simfs/internal/model"
+	"simfs/internal/server"
+	"simfs/internal/simulator"
+)
+
+// Context is a simulation context: a simulator plus one configuration
+// (paper Sec. II-A). Fill in the Grid, sizes and performance model, then
+// register it with a daemon.
+type Context = model.Context
+
+// Grid is the temporal discretization of a simulation configuration:
+// output interval Δd, restart interval Δr and total timesteps.
+type Grid = model.Grid
+
+// Daemon is a fully wired SimFS instance: Virtualizer, storage areas,
+// in-process simulator launcher and TCP front-end.
+type Daemon = server.Stack
+
+// NewDaemon builds a daemon rooted at baseDir (one storage-area directory
+// per context). timeScale divides all simulated durations — 1000 turns
+// the published COSMO 13 s restart latency into 13 ms, convenient for
+// local experimentation. policy selects the cache replacement scheme:
+// LRU, LIRS, ARC, BCL or DCL (the paper's default).
+func NewDaemon(baseDir string, timeScale int, policy string, ctxs ...*Context) (*Daemon, error) {
+	return server.NewStack(baseDir, timeScale, policy, ctxs...)
+}
+
+// Client is a DVLib connection to the daemon.
+type Client = dvlib.Client
+
+// AnalysisContext is an open simulation context on a client (the handle
+// SIMFS_Init returns).
+type AnalysisContext = dvlib.Context
+
+// Status mirrors SIMFS_Status: error state and estimated waiting time.
+type Status = dvlib.Status
+
+// Req is a non-blocking acquire handle (SIMFS_Req).
+type Req = dvlib.Req
+
+// Dial connects an analysis application to the daemon. clientName
+// identifies the application: the DV associates its prefetch agent and
+// reference counts with it.
+func Dial(addr, clientName string) (*Client, error) {
+	return dvlib.Dial(addr, clientName)
+}
+
+// NCFile is a netCDF-style file handle whose I/O is interposed onto the
+// DV (Table I).
+type NCFile = ioshim.NCFile
+
+// H5File is an HDF5-style file handle (Table I).
+type H5File = ioshim.H5File
+
+// AdiosFile is an ADIOS-style read handle with deferred reads (Table I).
+type AdiosFile = ioshim.AdiosFile
+
+// NCOpen corresponds to nc_open: non-blocking open through the DV.
+func NCOpen(ctx *AnalysisContext, path string) (*NCFile, error) { return ioshim.NCOpen(ctx, path) }
+
+// H5Fopen corresponds to H5Fopen.
+func H5Fopen(ctx *AnalysisContext, path string) (*H5File, error) { return ioshim.H5Fopen(ctx, path) }
+
+// AdiosOpen corresponds to adios_open in read mode.
+func AdiosOpen(ctx *AnalysisContext, path string) (*AdiosFile, error) {
+	return ioshim.AdiosOpen(ctx, path)
+}
+
+// MeanVar computes mean and variance of a field — the analysis kernel of
+// the paper's evaluation.
+func MeanVar(xs []float64) (mean, variance float64) { return ioshim.MeanVar(xs) }
+
+// Published experiment configurations (paper Secs. V-A and VI).
+
+// CosmoScaling is the COSMO strong-scaling configuration (Fig. 16).
+func CosmoScaling() *Context { return simulator.CosmoScaling() }
+
+// CosmoCost is the COSMO cost-model calibration (Sec. V-A, 50 TiB).
+func CosmoCost() *Context { return simulator.CosmoCost() }
+
+// Flash is the FLASH Sedov blast-wave configuration (Fig. 18).
+func Flash() *Context { return simulator.Flash() }
+
+// CacheEval is the replacement-scheme evaluation configuration (Fig. 5).
+func CacheEval() *Context { return simulator.CacheEval() }
+
+// Policies lists the available cache replacement schemes.
+func Policies() []string { return []string{"ARC", "BCL", "DCL", "LIRS", "LRU"} }

@@ -1,0 +1,103 @@
+package simfs
+
+import (
+	"testing"
+	"time"
+)
+
+// demoContext returns a tiny, fast context for facade tests.
+func demoContext() *Context {
+	return &Context{
+		Name:               "demo",
+		Grid:               Grid{DeltaD: 1, DeltaR: 4, Timesteps: 32},
+		OutputBytes:        128,
+		RestartBytes:       64,
+		Tau:                2 * time.Millisecond,
+		Alpha:              4 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	}
+}
+
+// TestPublicAPIEndToEnd drives the whole system through the facade only:
+// daemon up, client dial, virtualized read, SIMFS_* API, Table-I shim.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, err := NewDaemon(t.TempDir(), 1, "DCL", demoContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunInitialSimulation("demo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go d.Server.Serve()
+	defer func() {
+		d.Close()
+		d.Launcher.Wait()
+	}()
+
+	c, err := Dial(d.Server.Addr(), "facade-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transparent mode through the netCDF shim.
+	f, err := NCOpen(ctx, ctx.Filename(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := f.VaraGetDouble(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, variance := MeanVar(vals)
+	_ = mean
+	if variance < 0 {
+		t.Error("variance cannot be negative")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIMFS_* API.
+	st, err := ctx.Acquire(ctx.Filename(3), ctx.Filename(12))
+	if err != nil || !st.Ready {
+		t.Fatalf("acquire: %+v, %v", st, err)
+	}
+	for _, file := range []string{ctx.Filename(3), ctx.Filename(12)} {
+		same, err := ctx.Bitrep(file)
+		if err != nil || !same {
+			t.Errorf("bitrep %s = %v, %v", file, same, err)
+		}
+		if err := ctx.Release(file); err != nil {
+			t.Error(err)
+		}
+	}
+
+	stats, err := ctx.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Restarts == 0 || stats.StepsProduced == 0 {
+		t.Errorf("no re-simulation recorded: %+v", stats)
+	}
+}
+
+func TestPresetsExposed(t *testing.T) {
+	for _, ctx := range []*Context{CosmoScaling(), CosmoCost(), Flash(), CacheEval()} {
+		if err := ctx.Validate(); err != nil {
+			t.Errorf("%s: %v", ctx.Name, err)
+		}
+	}
+	if len(Policies()) != 5 {
+		t.Errorf("policies = %v", Policies())
+	}
+}

@@ -1,0 +1,99 @@
+package simfs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTable1Mapping verifies the paper's Table I: the data-access
+// operations of each supported I/O library map onto the DV's
+// open/create/read/close protocol with the correct semantics — open is
+// non-blocking even for missing files, read blocks until the file is
+// re-simulated, close releases the reference.
+func TestTable1Mapping(t *testing.T) {
+	d, err := NewDaemon(t.TempDir(), 1, "DCL", &Context{
+		Name:               "t1",
+		Grid:               Grid{DeltaD: 1, DeltaR: 4, Timesteps: 32},
+		OutputBytes:        128,
+		RestartBytes:       64,
+		Tau:                2 * time.Millisecond,
+		Alpha:              10 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go d.Server.Serve()
+	defer func() {
+		d.Close()
+		d.Launcher.Wait()
+	}()
+	c, err := Dial(d.Server.Addr(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row "(P)NetCDF": nc_open → nc_vara_get_double → nc_close.
+	t.Run("NetCDF", func(t *testing.T) {
+		start := time.Now()
+		f, err := NCOpen(ctx, ctx.Filename(3)) // missing: open must not block
+		if err != nil {
+			t.Fatal(err)
+		}
+		// αsim is 10ms: an open returning well before that proves the
+		// call did not wait for the re-simulation.
+		if time.Since(start) >= 10*time.Millisecond {
+			t.Error("open appears to have blocked on the missing file")
+		}
+		vals, err := f.VaraGetDouble(0, 16) // read blocks until re-simulated
+		if err != nil || len(vals) != 16 {
+			t.Fatalf("vara_get: %d, %v", len(vals), err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Row "(P)HDF5": H5Fopen → H5Dread → H5Fclose.
+	t.Run("HDF5", func(t *testing.T) {
+		f, err := H5Fopen(ctx, ctx.Filename(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := f.H5Dread()
+		if err != nil || len(raw) != 128 {
+			t.Fatalf("H5Dread: %d, %v", len(raw), err)
+		}
+		if err := f.H5Fclose(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Row "ADIOS": adios_open(r) → adios_schedule_read → adios_close.
+	t.Run("ADIOS", func(t *testing.T) {
+		f, err := AdiosOpen(ctx, ctx.Filename(15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, 16)
+		if err := f.ScheduleRead(0, 16, dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.PerformReads(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
