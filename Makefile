@@ -1,0 +1,43 @@
+# SimFS build entry points. CI (.github/workflows/ci.yml) invokes these
+# same targets, so a green `make check` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test test-short test-race bench lint fmt vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# test runs the full suite (the experiments package replays the paper's
+# figures and takes ~20 s); test-short gates those behind -short.
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# test-race is the concurrency gate: the sharded Virtualizer stress
+# tests run under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+lint: fmt vet
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# check is the full local gate: what CI runs, in one target.
+check: build lint test-short test-race
+
+clean:
+	$(GO) clean ./...

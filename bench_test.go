@@ -8,6 +8,7 @@ package simfs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -334,6 +335,74 @@ func BenchmarkVirtualizerOpenHit(b *testing.B) {
 		if err := v.Release("c", "bench", name); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkVirtualizerMultiClient measures aggregate open/release
+// throughput of concurrent clients spread over a varying number of
+// contexts. With the sharded Virtualizer each context is an independent
+// lock domain, so aggregate ops/sec grows as the same client population
+// spreads over more contexts; contexts=1 is the single-lock baseline.
+// The reported lock-contended metric shows the contention collapsing.
+func BenchmarkVirtualizerMultiClient(b *testing.B) {
+	const clients = 8
+	for _, nctx := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("contexts=%d", nctx), func(b *testing.B) {
+			launcher := &simulator.RealTimeLauncher{
+				Write: func(*model.Context, int) error { return nil },
+			}
+			v := core.New(des.NewWallClock(), launcher)
+			launcher.Events = v
+			names := make([]string, nctx)
+			files := make([][]string, nctx)
+			for i := 0; i < nctx; i++ {
+				ctx := &model.Context{
+					Name:        fmt.Sprintf("shard%d", i),
+					Grid:        model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 4096},
+					OutputBytes: 1, Tau: time.Second, Alpha: time.Second,
+					DefaultParallelism: 1, MaxParallelism: 1, SMax: 4, NoPrefetch: true,
+				}
+				ctx.ApplyDefaults()
+				if err := v.AddContext(ctx, "DCL", nil); err != nil {
+					b.Fatal(err)
+				}
+				names[i] = ctx.Name
+				steps := make([]int, ctx.Grid.NumOutputSteps())
+				files[i] = make([]string, len(steps))
+				for s := range steps {
+					steps[s] = s + 1
+					files[i][s] = ctx.Filename(s + 1)
+				}
+				if err := v.Preload(ctx.Name, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Int64
+			b.SetParallelism(clients) // goroutines per GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				me := int(next.Add(1)-1) % nctx
+				name, fs := names[me], files[me]
+				cli := fmt.Sprintf("cli%d", me)
+				i := 0
+				for pb.Next() {
+					f := fs[i%len(fs)]
+					i++
+					if _, err := v.Open(cli, name, f); err != nil {
+						b.Fatal(err)
+					}
+					if err := v.Release(cli, name, f); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			ls := v.TotalLockStats()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			if ls.Acquisitions > 0 {
+				b.ReportMetric(100*float64(ls.Contended)/float64(ls.Acquisitions), "%lock-contended")
+			}
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"simfs"
 )
@@ -51,6 +52,8 @@ func main() {
 		fmt.Fprintf(w, "opens\t%d\nhits\t%d\nmisses\t%d\nrestarts\t%d\n", st.Opens, st.Hits, st.Misses, st.Restarts)
 		fmt.Fprintf(w, "demand restarts\t%d\nprefetch launches\t%d\ndropped prefetch\t%d\n", st.DemandRestarts, st.PrefetchLaunches, st.DroppedPrefetch)
 		fmt.Fprintf(w, "steps produced\t%d\nevictions\t%d\nkills\t%d\nfailures\t%d\npollution resets\t%d\n", st.StepsProduced, st.Evictions, st.Kills, st.Failures, st.PollutionResets)
+		fmt.Fprintf(w, "shard lock acquisitions\t%d\nshard lock contended\t%d\nshard lock wait\t%s\n",
+			st.LockAcquisitions, st.LockContended, time.Duration(st.LockWaitNs))
 		w.Flush()
 	case "estwait":
 		needFile(args)

@@ -1,0 +1,3 @@
+module simfs
+
+go 1.24

@@ -11,12 +11,11 @@ import "fmt"
 // RegisterChecksum stores the original checksum of a file, as computed by
 // the simulator-specific driver checksum at initial-simulation time.
 func (v *Virtualizer) RegisterChecksum(ctxName, filename string, sum uint64) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
 	}
+	defer cs.mu.Unlock()
 	if _, err := cs.ctx.Key(filename); err != nil {
 		return err
 	}
@@ -26,12 +25,11 @@ func (v *Virtualizer) RegisterChecksum(ctxName, filename string, sum uint64) err
 
 // RegisteredChecksum returns the stored original checksum for a file.
 func (v *Virtualizer) RegisteredChecksum(ctxName, filename string) (uint64, bool, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return 0, false, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return 0, false, err
 	}
+	defer cs.mu.Unlock()
 	sum, found := cs.checksums[filename]
 	return sum, found, nil
 }
@@ -40,17 +38,16 @@ func (v *Virtualizer) RegisteredChecksum(ctxName, filename string) (uint64, bool
 // file content matches the originally produced file, by comparing the
 // driver-computed checksums. The returned flag is true when the contents
 // are bitwise identical. An error is returned if no original checksum was
-// registered for the file.
+// registered for the file. The checksum itself is computed outside the
+// shard lock.
 func (v *Virtualizer) Bitrep(ctxName, filename string, content []byte) (bool, error) {
-	v.mu.Lock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		v.mu.Unlock()
-		return false, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return false, err
 	}
 	orig, found := cs.checksums[filename]
 	driver := cs.driver
-	v.mu.Unlock()
+	cs.mu.Unlock()
 	if !found {
 		return false, fmt.Errorf("core: no registered checksum for %q (run the checksum utility after the initial simulation)", filename)
 	}

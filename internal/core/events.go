@@ -8,8 +8,8 @@ import (
 )
 
 // estimator adapts a context's observed state to the prefetch.Estimator
-// interface. It is only used under the Virtualizer's lock.
-type estimator struct{ cs *ctxState }
+// interface. It is only used under the shard's lock.
+type estimator struct{ cs *shard }
 
 func (e *estimator) AlphaEstimate() time.Duration {
 	return time.Duration(e.cs.alphaEMA.Value(float64(e.cs.ctx.Alpha)))
@@ -18,15 +18,12 @@ func (e *estimator) TauEstimate(p int) time.Duration { return e.cs.ctx.TauAt(p) 
 func (e *estimator) DefaultParallelism() int         { return e.cs.ctx.DefaultParallelism }
 func (e *estimator) MaxParallelism() int             { return e.cs.ctx.MaxParallelism }
 
-// placeholder IDs (< pendingSimID) identify pipeline-pending simulations
-// that have not been handed to the Launcher yet.
-var placeholderSeq = int64(-2)
-
 // startSim creates the simulation record and, if its upstream inputs are
 // available (pipeline virtualization, Sec. III-E), hands it to the
 // Launcher; otherwise it acquires the upstream files first and launches
-// when they are all on disk. Caller holds the lock.
-func (v *Virtualizer) startSim(cs *ctxState, first, last, parallelism int, prefetchFor string) {
+// when they are all on disk. Caller holds cs's lock; the upstream shard
+// is locked inside (downstream→upstream order).
+func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, prefetchFor string) {
 	now := v.clock.Now()
 	sim := &simState{
 		ctxName:     cs.ctx.Name,
@@ -38,7 +35,8 @@ func (v *Virtualizer) startSim(cs *ctxState, first, last, parallelism int, prefe
 	}
 
 	if cs.ctx.Upstream != "" {
-		ucs := v.contexts[cs.ctx.Upstream]
+		ucs, _ := v.shardOf(cs.ctx.Upstream)
+		ucs.mu.Lock()
 		usteps := neededUpstreamSteps(cs.ctx.Grid, ucs.ctx.Grid, first, last)
 		var missing []int
 		for _, us := range usteps {
@@ -52,10 +50,8 @@ func (v *Virtualizer) startSim(cs *ctxState, first, last, parallelism int, prefe
 		}
 		if len(missing) > 0 {
 			sim.pendingUpstream = len(missing)
-			placeholderSeq--
-			sim.id = placeholderSeq
-			v.sims[sim.id] = sim
-			cs.runningSims[sim.id] = true
+			sim.id = v.placeholderSeq.Add(-1)
+			cs.sims[sim.id] = sim
 			v.markPromised(cs, sim.first, sim.last, sim.id)
 			for _, us := range missing {
 				if _, p := ucs.promised[us]; !p {
@@ -68,47 +64,47 @@ func (v *Virtualizer) startSim(cs *ctxState, first, last, parallelism int, prefe
 				simID := sim.id
 				ucs.waiters[us] = append(ucs.waiters[us], waiter{
 					client: "pipeline:" + cs.ctx.Name,
-					cb:     func(st Status) { v.upstreamReady(simID, st) },
+					cb:     func(st Status) { v.upstreamReady(cs, simID, st) },
 				})
 			}
+			ucs.mu.Unlock()
 			return
 		}
+		ucs.mu.Unlock()
 	}
 	v.doLaunch(cs, sim)
 }
 
-// upstreamReady is a waiter callback (invoked without the lock) fired for
-// each upstream file a pipeline-pending simulation needed.
-func (v *Virtualizer) upstreamReady(placeholderID int64, st Status) {
-	v.mu.Lock()
-	sim, ok := v.sims[placeholderID]
+// upstreamReady is a waiter callback (invoked without any shard lock)
+// fired for each upstream file a pipeline-pending simulation needed.
+func (v *Virtualizer) upstreamReady(cs *shard, placeholderID int64, st Status) {
+	cs.mu.Lock()
+	sim, ok := cs.sims[placeholderID]
 	if !ok {
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		return
 	}
-	cs := v.contexts[sim.ctxName]
 	if st.Err != "" {
 		// Upstream production failed: fail this simulation.
-		delete(v.sims, placeholderID)
-		delete(cs.runningSims, placeholderID)
-		v.releaseUpstream(sim)
+		delete(cs.sims, placeholderID)
+		v.releaseUpstream(cs, sim)
 		msg := "upstream re-simulation failed: " + st.Err
-		cbs := v.failPromised(cs, sim, msg)
+		cbs, failed := v.failPromised(cs, sim, msg)
 		v.drainPending(cs)
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		for _, cb := range cbs {
 			cb(Status{Err: msg})
 		}
+		v.publishFailed(cs.ctx.Name, failed, msg)
 		return
 	}
 	sim.pendingUpstream--
 	if sim.pendingUpstream > 0 {
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		return
 	}
 	// All inputs on disk: hand to the Launcher under the real ID.
-	delete(v.sims, placeholderID)
-	delete(cs.runningSims, placeholderID)
+	delete(cs.sims, placeholderID)
 	// Clear placeholder promises; doLaunch re-marks them under the real ID.
 	for s := sim.first; s <= sim.last; s++ {
 		if cs.promised[s] == placeholderID {
@@ -116,16 +112,20 @@ func (v *Virtualizer) upstreamReady(placeholderID int64, st Status) {
 		}
 	}
 	v.doLaunch(cs, sim)
-	v.mu.Unlock()
+	cs.mu.Unlock()
 }
 
-// doLaunch hands the simulation to the Launcher. Caller holds the lock.
-func (v *Virtualizer) doLaunch(cs *ctxState, sim *simState) {
+// doLaunch hands the simulation to the Launcher. Caller holds cs's lock.
+// simMu is held across Launch so a concurrent event callback for the new
+// id finds its route before the id is even returned to us.
+func (v *Virtualizer) doLaunch(cs *shard, sim *simState) {
 	sim.launched = true
+	v.simMu.Lock()
 	id := v.launcher.Launch(cs.ctx, sim.first, sim.last, sim.parallelism)
 	sim.id = id
-	v.sims[id] = sim
-	cs.runningSims[id] = true
+	v.simDir[id] = cs
+	v.simMu.Unlock()
+	cs.sims[id] = sim
 	cs.stats.Restarts++
 	if sim.prefetchFor == "" {
 		cs.stats.DemandRestarts++
@@ -136,8 +136,8 @@ func (v *Virtualizer) doLaunch(cs *ctxState, sim *simState) {
 }
 
 // markPromised registers promised markers for uncovered steps in the
-// range. Caller holds the lock.
-func (v *Virtualizer) markPromised(cs *ctxState, first, last int, simID int64) {
+// range. Caller holds the shard lock.
+func (v *Virtualizer) markPromised(cs *shard, first, last int, simID int64) {
 	for s := first; s <= last; s++ {
 		if cs.resident(s) {
 			continue
@@ -168,13 +168,18 @@ func neededUpstreamSteps(down, up model.Grid, first, last int) []int {
 }
 
 // releaseUpstream drops the upstream references a pipeline simulation
-// held. Caller holds the lock.
-func (v *Virtualizer) releaseUpstream(sim *simState) {
-	cs := v.contexts[sim.ctxName]
+// held. Caller holds cs's lock; the upstream shard is locked inside
+// (downstream→upstream order).
+func (v *Virtualizer) releaseUpstream(cs *shard, sim *simState) {
 	if cs.ctx.Upstream == "" || len(sim.upstreamFiles) == 0 {
 		return
 	}
-	ucs := v.contexts[cs.ctx.Upstream]
+	ucs, ok := v.shardOf(cs.ctx.Upstream)
+	if !ok {
+		return
+	}
+	ucs.mu.Lock()
+	defer ucs.mu.Unlock()
 	for _, name := range sim.upstreamFiles {
 		step, err := ucs.ctx.Key(name)
 		if err != nil {
@@ -197,13 +202,16 @@ func (v *Virtualizer) releaseUpstream(sim *simState) {
 // (restart latency elapsed). The observed latency feeds the EMA the
 // prefetch agents use (Sec. IV-C1c).
 func (v *Virtualizer) SimStarted(simID int64) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	sim, ok := v.sims[simID]
+	cs := v.simShard(simID)
+	if cs == nil {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	sim, ok := cs.sims[simID]
 	if !ok {
 		return
 	}
-	cs := v.contexts[sim.ctxName]
 	now := v.clock.Now()
 	sim.started = true
 	sim.startedAt = now
@@ -212,15 +220,20 @@ func (v *Virtualizer) SimStarted(simID int64) {
 
 // StepProduced implements the launcher Events contract: one output step
 // was written and closed. The step enters the cache (evicting as needed),
-// waiters are notified, and prefetch bookkeeping is updated.
+// waiters are notified, the hub publishes file-ready, and prefetch
+// bookkeeping is updated. Waiter callbacks and the hub publish run after
+// the shard lock is released.
 func (v *Virtualizer) StepProduced(simID int64, step int) {
-	v.mu.Lock()
-	sim, ok := v.sims[simID]
-	if !ok {
-		v.mu.Unlock()
+	cs := v.simShard(simID)
+	if cs == nil {
 		return
 	}
-	cs := v.contexts[sim.ctxName]
+	cs.mu.Lock()
+	sim, ok := cs.sims[simID]
+	if !ok {
+		cs.mu.Unlock()
+		return
+	}
 	sim.produced++
 	cs.stats.StepsProduced++
 	v.insertStep(cs, step)
@@ -230,35 +243,42 @@ func (v *Virtualizer) StepProduced(simID int64, step int) {
 			cs.prefetched[step] = sim.prefetchFor
 		}
 	}
-	if id, p := cs.promised[step]; p && (id == simID || id == pendingSimID) {
-		delete(cs.promised, step)
-	}
+	// Production by any simulation satisfies the promise, even when an
+	// overlapping simulation registered it: the file is on disk, which is
+	// all a promise guarantees. (Keeping the marker until the owner also
+	// produced the step left it both resident and promised.)
+	delete(cs.promised, step)
 	ws := cs.waiters[step]
 	delete(cs.waiters, step)
 	now := v.clock.Now()
 	for _, w := range ws {
 		cs.lastReady[w.client] = now
 	}
-	v.mu.Unlock()
+	cs.mu.Unlock()
 	for _, w := range ws {
 		w.cb(Status{Ready: true})
 	}
+	v.publishReady(cs.ctx.Name, []int{step})
 }
 
 // SimEnded implements the launcher Events contract.
 func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
-	v.mu.Lock()
-	sim, ok := v.sims[simID]
-	if !ok {
-		v.mu.Unlock()
+	cs := v.simShard(simID)
+	if cs == nil {
 		return
 	}
-	cs := v.contexts[sim.ctxName]
-	delete(v.sims, simID)
-	delete(cs.runningSims, simID)
-	v.releaseUpstream(sim)
+	cs.mu.Lock()
+	sim, ok := cs.sims[simID]
+	if !ok {
+		cs.mu.Unlock()
+		v.dropSimRoute(simID)
+		return
+	}
+	delete(cs.sims, simID)
+	v.releaseUpstream(cs, sim)
 
 	var cbs []func(Status)
+	var failed []int
 	var errMsg string
 	switch outcome {
 	case simulator.Completed:
@@ -271,35 +291,40 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 		errMsg = "re-simulation failed"
 	}
 	if errMsg != "" {
-		cbs = v.failPromised(cs, sim, errMsg)
+		cbs, failed = v.failPromised(cs, sim, errMsg)
 	}
 	v.drainPending(cs)
-	v.mu.Unlock()
+	cs.mu.Unlock()
+	v.dropSimRoute(simID)
 	for _, cb := range cbs {
 		cb(Status{Err: errMsg})
 	}
+	v.publishFailed(cs.ctx.Name, failed, errMsg)
 }
 
-// failPromised clears the promises of a dead simulation and collects the
-// waiter callbacks to notify. Caller holds the lock.
-func (v *Virtualizer) failPromised(cs *ctxState, sim *simState, msg string) []func(Status) {
+// failPromised clears the promises of a dead simulation, collecting the
+// waiter callbacks to notify and the orphaned steps to publish as failed.
+// Caller holds the shard lock.
+func (v *Virtualizer) failPromised(cs *shard, sim *simState, msg string) ([]func(Status), []int) {
 	var cbs []func(Status)
+	var failed []int
 	for s := sim.first; s <= sim.last; s++ {
 		if id, p := cs.promised[s]; p && id == sim.id {
 			delete(cs.promised, s)
+			failed = append(failed, s)
 			for _, w := range cs.waiters[s] {
 				cbs = append(cbs, w.cb)
 			}
 			delete(cs.waiters, s)
 		}
 	}
-	return cbs
+	return cbs, failed
 }
 
 // drainPending starts queued demand launches while capacity allows.
-// Caller holds the lock.
-func (v *Virtualizer) drainPending(cs *ctxState) {
-	for len(cs.pending) > 0 && len(cs.runningSims) < cs.ctx.SMax {
+// Caller holds the shard lock.
+func (v *Virtualizer) drainPending(cs *shard) {
+	for len(cs.pending) > 0 && len(cs.sims) < cs.ctx.SMax {
 		p := cs.pending[0]
 		cs.pending = cs.pending[1:]
 		// Clear the pending markers; startSim re-marks what it launches.
@@ -315,11 +340,14 @@ func (v *Virtualizer) drainPending(cs *ctxState) {
 // killPrefetchedFor kills running prefetch simulations of the given client
 // whose remaining output nobody waits for (Sec. IV-C: "A simulation can be
 // killed only if there are no other analyses waiting for the files that
-// are going to be produced by it"). Caller holds the lock.
-func (v *Virtualizer) killPrefetchedFor(cs *ctxState, client string) {
-	for id := range cs.runningSims {
-		sim := v.sims[id]
-		if sim == nil || sim.prefetchFor != client {
+// are going to be produced by it"). It returns the steps whose promises
+// were dismantled locally; the caller must publish them as failed once
+// the shard lock is released (launched kills reach subscribers through
+// SimEnded instead). Caller holds the shard lock.
+func (v *Virtualizer) killPrefetchedFor(cs *shard, client string) []int {
+	var orphaned []int
+	for id, sim := range cs.sims {
+		if sim.prefetchFor != client {
 			continue
 		}
 		needed := false
@@ -336,15 +364,16 @@ func (v *Virtualizer) killPrefetchedFor(cs *ctxState, client string) {
 			v.launcher.Kill(id)
 		} else {
 			// Pipeline-pending: dismantle locally.
-			delete(v.sims, id)
-			delete(cs.runningSims, id)
-			v.releaseUpstream(sim)
+			delete(cs.sims, id)
+			v.releaseUpstream(cs, sim)
 			for s := sim.first; s <= sim.last; s++ {
 				if cs.promised[s] == id {
 					delete(cs.promised, s)
+					orphaned = append(orphaned, s)
 				}
 			}
 			cs.stats.Kills++
 		}
 	}
+	return orphaned
 }

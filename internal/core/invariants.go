@@ -4,9 +4,11 @@ import "fmt"
 
 // CheckInvariants audits the Virtualizer's internal consistency. It is
 // primarily exercised by the property tests, but can be called in
-// production (it only reads state under the lock) when debugging.
+// production (it only reads state under each shard's lock) when
+// debugging. Shards are audited one at a time, so under concurrent load
+// the check is per-shard consistent rather than a global snapshot.
 //
-// Invariants:
+// Invariants (per shard):
 //
 //  1. A step is never both resident and promised.
 //  2. Every promise points at a live simulation (or a pending marker).
@@ -14,72 +16,73 @@ import "fmt"
 //     cache pin count.
 //  4. The cache never exceeds its capacity unless pins forced an
 //     overflow.
-//  5. Every running simulation is registered in the global table with a
-//     well-formed range, and vice versa.
+//  5. Every simulation in the shard table has a well-formed range and
+//     belongs to this shard's context.
 //  6. Waiters only wait for promised (in-flight) steps.
 func (v *Virtualizer) CheckInvariants() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-
+	v.ctxMu.RLock()
+	shards := make(map[string]*shard, len(v.contexts))
 	for name, cs := range v.contexts {
-		for step, simID := range cs.promised {
-			if cs.resident(step) {
-				return fmt.Errorf("core: %s step %d both resident and promised", name, step)
-			}
-			if simID == pendingSimID {
-				continue
-			}
-			if _, ok := v.sims[simID]; !ok {
-				return fmt.Errorf("core: %s step %d promised by unknown simulation %d", name, step, simID)
-			}
+		shards[name] = cs
+	}
+	v.ctxMu.RUnlock()
+
+	for name, cs := range shards {
+		if err := cs.checkInvariants(name); err != nil {
+			return err
 		}
-		for step, n := range cs.refs {
-			if n <= 0 {
-				return fmt.Errorf("core: %s step %d has non-positive refcount %d", name, step, n)
-			}
-			if cs.resident(step) {
-				if pins := cs.cache.PinCount(cs.ctx.Filename(step)); pins != n {
-					return fmt.Errorf("core: %s step %d refcount %d != pin count %d", name, step, n, pins)
-				}
-			}
+	}
+	return nil
+}
+
+func (cs *shard) checkInvariants(name string) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	for step, simID := range cs.promised {
+		if cs.resident(step) {
+			return fmt.Errorf("core: %s step %d both resident and promised", name, step)
 		}
-		if max := cs.cache.MaxBytes(); max > 0 && cs.cache.UsedBytes() > max {
-			if cs.cache.Stats().PinBlocked == 0 {
-				return fmt.Errorf("core: %s cache over capacity (%d > %d) without pin pressure",
-					name, cs.cache.UsedBytes(), max)
-			}
+		if simID == pendingSimID {
+			continue
 		}
-		for id := range cs.runningSims {
-			sim, ok := v.sims[id]
-			if !ok {
-				return fmt.Errorf("core: %s running simulation %d missing from the global table", name, id)
-			}
-			if sim.ctxName != name {
-				return fmt.Errorf("core: simulation %d filed under %s but belongs to %s", id, name, sim.ctxName)
-			}
-			if sim.first > sim.last || sim.first < 1 {
-				return fmt.Errorf("core: simulation %d has malformed range [%d,%d]", id, sim.first, sim.last)
-			}
+		if _, ok := cs.sims[simID]; !ok {
+			return fmt.Errorf("core: %s step %d promised by unknown simulation %d", name, step, simID)
 		}
-		for step, ws := range cs.waiters {
-			if len(ws) == 0 {
-				continue
-			}
-			if cs.resident(step) {
-				return fmt.Errorf("core: %s step %d resident but still has %d waiters", name, step, len(ws))
-			}
-			if _, promised := cs.promised[step]; !promised {
-				return fmt.Errorf("core: %s step %d has waiters but no promise", name, step)
+	}
+	for step, n := range cs.refs {
+		if n <= 0 {
+			return fmt.Errorf("core: %s step %d has non-positive refcount %d", name, step, n)
+		}
+		if cs.resident(step) {
+			if pins := cs.cache.PinCount(cs.ctx.Filename(step)); pins != n {
+				return fmt.Errorf("core: %s step %d refcount %d != pin count %d", name, step, n, pins)
 			}
 		}
 	}
-	for id, sim := range v.sims {
-		cs, ok := v.contexts[sim.ctxName]
-		if !ok {
-			return fmt.Errorf("core: simulation %d references unknown context %q", id, sim.ctxName)
+	if max := cs.cache.MaxBytes(); max > 0 && cs.cache.UsedBytes() > max {
+		if cs.cache.Stats().PinBlocked == 0 {
+			return fmt.Errorf("core: %s cache over capacity (%d > %d) without pin pressure",
+				name, cs.cache.UsedBytes(), max)
 		}
-		if !cs.runningSims[id] {
-			return fmt.Errorf("core: simulation %d not tracked by its context", id)
+	}
+	for id, sim := range cs.sims {
+		if sim.ctxName != name {
+			return fmt.Errorf("core: simulation %d filed under %s but belongs to %s", id, name, sim.ctxName)
+		}
+		if sim.first > sim.last || sim.first < 1 {
+			return fmt.Errorf("core: simulation %d has malformed range [%d,%d]", id, sim.first, sim.last)
+		}
+	}
+	for step, ws := range cs.waiters {
+		if len(ws) == 0 {
+			continue
+		}
+		if cs.resident(step) {
+			return fmt.Errorf("core: %s step %d resident but still has %d waiters", name, step, len(ws))
+		}
+		if _, promised := cs.promised[step]; !promised {
+			return fmt.Errorf("core: %s step %d has waiters but no promise", name, step)
 		}
 	}
 	return nil

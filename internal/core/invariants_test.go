@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,88 +11,105 @@ import (
 	"simfs/internal/model"
 )
 
-// TestInvariantsUnderRandomWorkload fuzzes the Virtualizer with random
-// client behavior — opens, waits, releases, guided prefetches, direction
-// flips — interleaved with engine progress, auditing CheckInvariants
-// after every step.
-func TestInvariantsUnderRandomWorkload(t *testing.T) {
-	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		ctx := &model.Context{
-			Name:               "fuzz",
-			Grid:               model.Grid{DeltaD: 1 + int(seed&1)*2, DeltaR: 8, Timesteps: 256},
-			OutputBytes:        1,
-			MaxCacheBytes:      int64(8 + rng.Intn(32)),
-			Tau:                time.Second,
-			Alpha:              2 * time.Second,
-			DefaultParallelism: 1,
-			MaxParallelism:     1,
-			SMax:               1 + rng.Intn(4),
-		}
-		ctx.ApplyDefaults()
-		eng, v := newFuzzStack(t, ctx, rng.Intn(3) == 0)
+// fuzzInvariants drives the Virtualizer with random client behavior —
+// opens, waits, releases, guided prefetches, direction flips —
+// interleaved with engine progress, auditing CheckInvariants after every
+// step. It returns nil when the run stayed consistent.
+func fuzzInvariants(t *testing.T, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ctx := &model.Context{
+		Name:               "fuzz",
+		Grid:               model.Grid{DeltaD: 1 + int(seed&1)*2, DeltaR: 8, Timesteps: 256},
+		OutputBytes:        1,
+		MaxCacheBytes:      int64(8 + rng.Intn(32)),
+		Tau:                time.Second,
+		Alpha:              2 * time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               1 + rng.Intn(4),
+	}
+	ctx.ApplyDefaults()
+	eng, v := newFuzzStack(t, ctx, rng.Intn(3) == 0)
 
-		clients := []string{"c0", "c1", "c2"}
-		held := map[string][]string{}
-		no := ctx.Grid.NumOutputSteps()
+	clients := []string{"c0", "c1", "c2"}
+	held := map[string][]string{}
+	no := ctx.Grid.NumOutputSteps()
 
-		for i := 0; i < 150; i++ {
-			client := clients[rng.Intn(len(clients))]
-			switch rng.Intn(10) {
-			case 0, 1, 2, 3: // open (maybe wait)
-				step := rng.Intn(no) + 1
-				file := ctx.Filename(step)
-				res, err := v.Open(client, "fuzz", file)
-				if err != nil {
-					t.Logf("seed %d: open: %v", seed, err)
-					return false
-				}
-				held[client] = append(held[client], file)
-				if !res.Available && rng.Intn(2) == 0 {
-					v.WaitFile(client, "fuzz", file, func(Status) {})
-				}
-			case 4, 5: // release something held
-				hs := held[client]
-				if len(hs) > 0 {
-					file := hs[len(hs)-1]
-					held[client] = hs[:len(hs)-1]
-					if err := v.Release(client, "fuzz", file); err != nil {
-						t.Logf("seed %d: release: %v", seed, err)
-						return false
-					}
-				}
-			case 6: // guided prefetch hint
-				step := rng.Intn(no) + 1
-				if _, err := v.GuidedPrefetch(client, "fuzz", []string{ctx.Filename(step)}); err != nil {
-					t.Logf("seed %d: prefetch: %v", seed, err)
-					return false
-				}
-			case 7, 8: // let simulations progress
-				for j := 0; j < rng.Intn(20)+1; j++ {
-					if !eng.Step() {
-						break
-					}
-				}
-			case 9: // audit mid-flight
+	for i := 0; i < 150; i++ {
+		client := clients[rng.Intn(len(clients))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // open (maybe wait)
+			step := rng.Intn(no) + 1
+			file := ctx.Filename(step)
+			res, err := v.Open(client, "fuzz", file)
+			if err != nil {
+				return fmt.Errorf("step %d: open: %v", i, err)
 			}
-			if err := v.CheckInvariants(); err != nil {
-				t.Logf("seed %d step %d: %v", seed, i, err)
-				return false
+			held[client] = append(held[client], file)
+			if !res.Available && rng.Intn(2) == 0 {
+				v.WaitFile(client, "fuzz", file, func(Status) {})
 			}
-		}
-		// Drain and re-audit.
-		if !eng.Run(2_000_000) {
-			t.Logf("seed %d: engine did not drain", seed)
-			return false
+		case 4, 5: // release something held
+			hs := held[client]
+			if len(hs) > 0 {
+				file := hs[len(hs)-1]
+				held[client] = hs[:len(hs)-1]
+				if err := v.Release(client, "fuzz", file); err != nil {
+					return fmt.Errorf("step %d: release: %v", i, err)
+				}
+			}
+		case 6: // guided prefetch hint
+			step := rng.Intn(no) + 1
+			if _, err := v.GuidedPrefetch(client, "fuzz", []string{ctx.Filename(step)}); err != nil {
+				return fmt.Errorf("step %d: prefetch: %v", i, err)
+			}
+		case 7, 8: // let simulations progress
+			for j := 0; j < rng.Intn(20)+1; j++ {
+				if !eng.Step() {
+					break
+				}
+			}
+		case 9: // audit mid-flight
 		}
 		if err := v.CheckInvariants(); err != nil {
-			t.Logf("seed %d final: %v", seed, err)
+			return fmt.Errorf("step %d: %v", i, err)
+		}
+	}
+	// Drain and re-audit.
+	if !eng.Run(2_000_000) {
+		return fmt.Errorf("engine did not drain")
+	}
+	if err := v.CheckInvariants(); err != nil {
+		return fmt.Errorf("final: %v", err)
+	}
+	return nil
+}
+
+// TestInvariantsUnderRandomWorkload fuzzes with fresh random seeds.
+func TestInvariantsUnderRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		if err := fuzzInvariants(t, seed); err != nil {
+			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInvariantsRegressionSeeds replays seeds that once found bugs.
+func TestInvariantsRegressionSeeds(t *testing.T) {
+	seeds := []int64{
+		// Overlapping re-simulations: a step produced by a non-owning
+		// simulation stayed promised while resident.
+		5624992012996912267,
+	}
+	for _, seed := range seeds {
+		if err := fuzzInvariants(t, seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
 	}
 }
 

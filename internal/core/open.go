@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"simfs/internal/model"
@@ -13,12 +14,15 @@ import (
 // (or joins) a re-simulation and returns an estimated wait. It also feeds
 // the client's prefetch agent.
 func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return OpenResult{}, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return OpenResult{}, err
 	}
+	// Promises dismantled by a prefetch reset must reach hub subscribers;
+	// registered before the unlock defer so it publishes lock-free.
+	var orphaned []int
+	defer func() { v.publishFailed(ctxName, orphaned, "re-simulation killed") }()
+	defer cs.mu.Unlock()
 	step, err := cs.ctx.Key(filename)
 	if err != nil {
 		return OpenResult{}, err
@@ -54,7 +58,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	if lr, ok := cs.lastReady[client]; ok && now > lr {
 		procTime = now - lr
 	}
-	v.runAgent(cs, client, step, now, procTime)
+	orphaned = v.runAgent(cs, client, step, now, procTime)
 	if hit {
 		cs.lastReady[client] = now
 	}
@@ -86,42 +90,41 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 // WaitFile subscribes cb to the availability of filename: it fires
 // immediately if the file is on disk, or when a re-simulation produces it
 // (or fails). This is the blocking-read path of transparent mode and the
-// notification path of SIMFS_Wait.
+// notification path of SIMFS_Wait. The TCP front-end waits through the
+// notify hub instead; this in-process path remains for embedded users and
+// the pipeline coordinator.
 func (v *Virtualizer) WaitFile(client, ctxName, filename string, cb func(Status)) error {
-	v.mu.Lock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		v.mu.Unlock()
-		return fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
 	}
 	step, err := cs.ctx.Key(filename)
 	if err != nil {
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		return err
 	}
 	if cs.resident(step) {
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		cb(Status{Ready: true})
 		return nil
 	}
 	if _, promised := cs.promised[step]; !promised {
-		v.mu.Unlock()
+		cs.mu.Unlock()
 		return fmt.Errorf("core: %q is neither on disk nor being produced; call Open or Acquire first", filename)
 	}
 	cs.waiters[step] = append(cs.waiters[step], waiter{client: client, cb: cb})
-	v.mu.Unlock()
+	cs.mu.Unlock()
 	return nil
 }
 
 // Release drops a client's reference to a file (close in transparent
 // mode, SIMFS_Release in API mode).
 func (v *Virtualizer) Release(client, ctxName, filename string) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
 	}
+	defer cs.mu.Unlock()
 	step, err := cs.ctx.Key(filename)
 	if err != nil {
 		return err
@@ -185,18 +188,20 @@ func (v *Virtualizer) Acquire(client, ctxName string, filenames []string, cb fun
 		return nil
 	}
 	// Fan-in: one waiter per missing file, cb fired on the last one (or
-	// on the first failure).
+	// on the first failure). The fan-in state has its own lock — waiter
+	// callbacks run outside shard locks and may arrive from any shard.
+	var fanMu sync.Mutex
 	done := false
 	var fanIn func(Status)
 	fanIn = func(st Status) {
-		v.mu.Lock()
+		fanMu.Lock()
 		if done {
-			v.mu.Unlock()
+			fanMu.Unlock()
 			return
 		}
 		if st.Err != "" {
 			done = true
-			v.mu.Unlock()
+			fanMu.Unlock()
 			cb(st)
 			return
 		}
@@ -205,7 +210,7 @@ func (v *Virtualizer) Acquire(client, ctxName string, filenames []string, cb fun
 		if fire {
 			done = true
 		}
-		v.mu.Unlock()
+		fanMu.Unlock()
 		if fire {
 			cb(Status{Ready: true})
 		}
@@ -215,8 +220,14 @@ func (v *Virtualizer) Acquire(client, ctxName string, filenames []string, cb fun
 			continue
 		}
 		if err := v.WaitFile(client, ctxName, s.file, fanIn); err != nil {
-			// The file may have become resident between Open and WaitFile.
-			fanIn(Status{Ready: true})
+			// The file may have become resident between Open and WaitFile —
+			// but the producing simulation may also have died in that
+			// window, so check which it was instead of assuming success.
+			if resident, _, serr := v.FileState(ctxName, s.file); serr == nil && resident {
+				fanIn(Status{Ready: true})
+			} else {
+				fanIn(Status{Err: "re-simulation failed before wait registration"})
+			}
 		}
 	}
 	return nil
@@ -230,12 +241,11 @@ func (v *Virtualizer) Acquire(client, ctxName string, filenames []string, cb fun
 // references and without blocking. Hints beyond smax are dropped, like
 // agent prefetches. It returns the number of re-simulations launched.
 func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string) (int, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return 0, err
 	}
+	defer cs.mu.Unlock()
 	launched := 0
 	for _, f := range filenames {
 		step, err := cs.ctx.Key(f)
@@ -271,12 +281,11 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 // EstWait returns the estimated wait for a file (exposed via
 // SIMFS_Status).
 func (v *Virtualizer) EstWait(ctxName, filename string) (time.Duration, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return 0, err
 	}
+	defer cs.mu.Unlock()
 	step, err := cs.ctx.Key(filename)
 	if err != nil {
 		return 0, err
@@ -288,13 +297,13 @@ func (v *Virtualizer) EstWait(ctxName, filename string) (time.Duration, error) {
 }
 
 // estWaitLocked estimates availability time of a step from its producing
-// simulation's progress. Caller holds the lock.
-func (v *Virtualizer) estWaitLocked(cs *ctxState, step int, now time.Duration) time.Duration {
+// simulation's progress. Caller holds the shard lock.
+func (v *Virtualizer) estWaitLocked(cs *shard, step int, now time.Duration) time.Duration {
 	simID, promised := cs.promised[step]
 	if !promised {
 		return 0
 	}
-	sim, ok := v.sims[simID]
+	sim, ok := cs.sims[simID]
 	if !ok {
 		// Pending (smax or pipeline): assume a full restart plus the
 		// production run from its restart step.
@@ -318,10 +327,12 @@ func (v *Virtualizer) estWaitLocked(cs *ctxState, step int, now time.Duration) t
 }
 
 // runAgent feeds one access into the client's prefetch agent and applies
-// its decision. Caller holds the lock.
-func (v *Virtualizer) runAgent(cs *ctxState, client string, step int, now, procTime time.Duration) {
+// its decision. It returns the steps orphaned by a prefetch reset, for
+// the caller to publish as failed after unlocking. Caller holds the
+// shard lock.
+func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime time.Duration) []int {
 	if cs.ctx.NoPrefetch {
-		return
+		return nil
 	}
 	ag, ok := cs.agents[client]
 	if !ok {
@@ -330,18 +341,32 @@ func (v *Virtualizer) runAgent(cs *ctxState, client string, step int, now, procT
 	}
 	cover := func(dir, k int) int { return v.coveredUntil(cs, step, dir, k) }
 	d := ag.OnAccess(step, now, procTime, cover)
+	var orphaned []int
 	if d.Reset {
-		v.killPrefetchedFor(cs, client)
+		orphaned = v.killPrefetchedFor(cs, client)
 	}
 	for _, r := range d.Launches {
 		v.launch(cs, r.First, r.Last, d.Parallelism, client)
 	}
+	// The agent's follow-up launches may have re-promised some orphaned
+	// steps; those are in flight again, not failed.
+	kept := orphaned[:0]
+	for _, s := range orphaned {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; p {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
 }
 
 // coveredUntil walks the trajectory from `from` along dir with stride k
 // and returns the furthest step that is resident or promised contiguously.
-// Caller holds the lock.
-func (v *Virtualizer) coveredUntil(cs *ctxState, from, dir, k int) int {
+// Caller holds the shard lock.
+func (v *Virtualizer) coveredUntil(cs *shard, from, dir, k int) int {
 	if k < 1 {
 		k = 1
 	}
@@ -363,8 +388,8 @@ func (v *Virtualizer) coveredUntil(cs *ctxState, from, dir, k int) int {
 // launch starts (or queues) a re-simulation covering output steps
 // [first, last], realigned to restart-step boundaries. prefetchFor is the
 // requesting client's name for prefetches, "" for demand misses. Caller
-// holds the lock.
-func (v *Virtualizer) launch(cs *ctxState, first, last, parallelism int, prefetchFor string) {
+// holds the shard lock.
+func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, prefetchFor string) {
 	g := cs.ctx.Grid
 	if first < 1 {
 		first = 1
@@ -408,7 +433,7 @@ func (v *Virtualizer) launch(cs *ctxState, first, last, parallelism int, prefetc
 		parallelism = cs.ctx.DefaultParallelism
 	}
 
-	if len(cs.runningSims)+len(cs.pending) >= cs.ctx.SMax {
+	if len(cs.sims)+len(cs.pending) >= cs.ctx.SMax {
 		if prefetchFor != "" {
 			// "Once smax simulations are running, SimFS will not be able
 			// to prefetch new ones" (Sec. VI).

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"simfs/internal/des"
+	"simfs/internal/model"
+	"simfs/internal/notify"
+	"simfs/internal/simulator"
+)
+
+// stressContext returns a context tuned so re-simulations complete in
+// tens of microseconds under the real-time launcher.
+func stressContext(name string) *model.Context {
+	c := &model.Context{
+		Name:               name,
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 128},
+		OutputBytes:        1,
+		RestartBytes:       1,
+		MaxCacheBytes:      64,
+		Tau:                time.Second,
+		Alpha:              time.Second,
+		DefaultParallelism: 1,
+		MaxParallelism:     2,
+		SMax:               4,
+		NoPrefetch:         true,
+	}
+	c.ApplyDefaults()
+	return c
+}
+
+// TestConcurrentMultiContextStress hammers Open/Acquire/Release across
+// multiple contexts from many goroutines while real-time simulations
+// complete concurrently, auditing invariants throughout. Run under
+// -race (CI does) it validates the sharded locking discipline, including
+// the cross-shard pipeline path and the notify hub.
+func TestConcurrentMultiContextStress(t *testing.T) {
+	launcher := &simulator.RealTimeLauncher{
+		TimeScale: 50_000, // 1 s of simulated time ≈ 20 µs
+		Write:     func(*model.Context, int) error { return nil },
+	}
+	v := New(des.NewWallClock(), launcher)
+	launcher.Events = v
+
+	names := []string{"s0", "s1", "s2"}
+	for _, name := range names {
+		if err := v.AddContext(stressContext(name), "LRU", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One context with active prefetch agents (kill/reset paths) …
+	pf := stressContext("pf")
+	pf.NoPrefetch = false
+	if err := v.AddContext(pf, "DCL", nil); err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "pf")
+	// … and one pipeline context whose re-simulations acquire files of
+	// s0 first (cross-shard lock ordering under load).
+	pipe := stressContext("pipe")
+	pipe.Upstream = "s0"
+	if err := v.AddContext(pipe, "LRU", nil); err != nil {
+		t.Fatal(err)
+	}
+	names = append(names, "pipe")
+
+	opsPerWorker := 150
+	if testing.Short() {
+		opsPerWorker = 40
+	}
+	const workersPerCtx = 3
+	waitTimeout := 30 * time.Second
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*workersPerCtx)
+	for ci, name := range names {
+		ctx, _ := v.Context(name)
+		steps := ctx.Grid.NumOutputSteps()
+		for w := 0; w < workersPerCtx; w++ {
+			wg.Add(1)
+			go func(name string, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				client := fmt.Sprintf("cli-%s-%d", name, seed)
+				await := func(file string) error {
+					done := make(chan Status, 1)
+					if err := v.WaitFile(client, name, file, func(st Status) { done <- st }); err != nil {
+						return nil // became resident in between
+					}
+					select {
+					case <-done:
+						return nil
+					case <-time.After(waitTimeout):
+						return fmt.Errorf("%s: wait for %s timed out", client, file)
+					}
+				}
+				for i := 0; i < opsPerWorker; i++ {
+					file := ctx.Filename(rng.Intn(steps) + 1)
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4: // open → wait → release
+						res, err := v.Open(client, name, file)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !res.Available {
+							if err := await(file); err != nil {
+								errs <- err
+								return
+							}
+						}
+						if err := v.Release(client, name, file); err != nil {
+							errs <- err
+							return
+						}
+					case 5, 6: // multi-file acquire
+						files := []string{
+							ctx.Filename(rng.Intn(steps) + 1),
+							ctx.Filename(rng.Intn(steps) + 1),
+							ctx.Filename(rng.Intn(steps) + 1),
+						}
+						done := make(chan Status, 1)
+						if err := v.Acquire(client, name, files, func(st Status) { done <- st }); err != nil {
+							errs <- err
+							return
+						}
+						select {
+						case <-done:
+						case <-time.After(waitTimeout):
+							errs <- fmt.Errorf("%s: acquire timed out", client)
+							return
+						}
+						for _, f := range files {
+							if err := v.Release(client, name, f); err != nil {
+								errs <- err
+								return
+							}
+						}
+					case 7: // guided prefetch
+						if _, err := v.GuidedPrefetch(client, name, []string{file}); err != nil {
+							errs <- err
+							return
+						}
+					default: // hub-based wait (subscribe, then check state)
+						topic, err := v.FileTopic(name, file)
+						if err != nil {
+							errs <- err
+							return
+						}
+						sub := v.Hub().Subscribe(topic)
+						resident, promised, err := v.FileState(name, file)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if resident || !promised {
+							sub.Close()
+							continue
+						}
+						select {
+						case <-sub.C():
+						case <-time.After(waitTimeout):
+							errs <- fmt.Errorf("%s: hub wait for %s timed out", client, file)
+							return
+						}
+						sub.Close()
+					}
+				}
+			}(name, int64(ci*workersPerCtx+w+1))
+		}
+	}
+
+	// Audit invariants concurrently with the load.
+	stop := make(chan struct{})
+	auditDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				auditDone <- nil
+				return
+			default:
+				if err := v.CheckInvariants(); err != nil {
+					auditDone <- err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-auditDone; err != nil {
+		t.Fatalf("invariants violated under load: %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	launcher.Wait()
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after drain: %v", err)
+	}
+
+	// The workload must have spread over the shards; every shard lock saw
+	// traffic and the totals add up.
+	var total uint64
+	for _, name := range names {
+		ls, err := v.LockStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls.Acquisitions == 0 {
+			t.Errorf("shard %s never locked", name)
+		}
+		total += ls.Acquisitions
+	}
+	if got := v.TotalLockStats().Acquisitions; got != total {
+		t.Errorf("TotalLockStats = %d, sum of shards = %d", got, total)
+	}
+	for _, name := range names {
+		st, err := v.Stats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Opens == 0 {
+			t.Errorf("context %s saw no opens", name)
+		}
+	}
+}
+
+// TestHubPublishesReadiness checks the Virtualizer's hub publications:
+// ready on production and preload, failed on simulation death.
+func TestHubPublishesReadiness(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+
+	// Production → FileReady.
+	topic, err := h.v.FileTopic("c", ctx.Filename(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := h.v.Hub().Subscribe(topic)
+	if _, err := h.v.Open("a1", "c", ctx.Filename(2)); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run(0)
+	ev, ok := <-sub.C()
+	if !ok || ev.Kind != notify.FileReady || ev.Topic != topic {
+		t.Fatalf("event = %+v (ok=%v), want FileReady for %+v", ev, ok, topic)
+	}
+
+	// Preload → FileReady.
+	topic9, _ := h.v.FileTopic("c", ctx.Filename(9))
+	sub9 := h.v.Hub().Subscribe(topic9)
+	if err := h.v.Preload("c", []int{9}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-sub9.C(); ev.Kind != notify.FileReady {
+		t.Fatalf("preload published %+v, want FileReady", ev)
+	}
+
+	// Failure → FileFailed with the reason. The injected crash hits
+	// halfway through the re-simulated interval (48,52], so step 52 is
+	// never produced.
+	h.l.FailEvery = 1
+	fileFar := ctx.Filename(52)
+	topicFar, _ := h.v.FileTopic("c", fileFar)
+	subFar := h.v.Hub().Subscribe(topicFar)
+	if _, err := h.v.Open("a1", "c", fileFar); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run(0)
+	evFar, ok := <-subFar.C()
+	if !ok || evFar.Kind != notify.FileFailed || evFar.Err == "" {
+		t.Fatalf("event = %+v (ok=%v), want FileFailed with reason", evFar, ok)
+	}
+}
+
+// TestFileState covers the subscribe-then-check query.
+func TestFileState(t *testing.T) {
+	ctx := testContext("c")
+	h := newHarness(t, ctx)
+	h.v.Preload("c", []int{1})
+
+	resident, promised, err := h.v.FileState("c", ctx.Filename(1))
+	if err != nil || !resident || promised {
+		t.Errorf("preloaded file: resident=%v promised=%v err=%v", resident, promised, err)
+	}
+	resident, promised, err = h.v.FileState("c", ctx.Filename(7))
+	if err != nil || resident || promised {
+		t.Errorf("untouched file: resident=%v promised=%v err=%v", resident, promised, err)
+	}
+	h.v.Open("a1", "c", ctx.Filename(7))
+	resident, promised, err = h.v.FileState("c", ctx.Filename(7))
+	if err != nil || resident || !promised {
+		t.Errorf("opened-missing file: resident=%v promised=%v err=%v", resident, promised, err)
+	}
+	if _, _, err := h.v.FileState("nope", "x"); err == nil {
+		t.Error("unknown context accepted")
+	}
+	if _, _, err := h.v.FileState("c", "garbage"); err == nil {
+		t.Error("unparseable filename accepted")
+	}
+	if _, err := h.v.FileTopic("c", ctx.Filename(9999)); err == nil {
+		t.Error("out-of-range step accepted by FileTopic")
+	}
+}

@@ -9,17 +9,32 @@
 // injected Clock and starts/kills simulations through an injected
 // Launcher, so the same state machine runs under the TCP daemon in wall
 // time and under the discrete-event engine in virtual time.
+//
+// # Concurrency
+//
+// The Virtualizer is sharded per context: every registered context owns a
+// shard with its own lock, cache, storage area, prefetch agents and
+// simulation table, so analyses of different contexts never serialize on
+// a shared mutex. Cross-shard work (pipeline virtualization, Sec. III-E)
+// locks shards in downstream→upstream order; since a context's upstream
+// must be registered before it, the upstream graph is acyclic and the
+// ordering is deadlock-free. The small simMu directory that routes
+// launcher events to shards is never held while acquiring a shard lock.
+// File-ready and file-failed notifications are published to the notify
+// hub after all shard locks are released.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simfs/internal/cache"
 	"simfs/internal/des"
 	"simfs/internal/metrics"
 	"simfs/internal/model"
+	"simfs/internal/notify"
 	"simfs/internal/prefetch"
 	"simfs/internal/simulator"
 	"simfs/internal/vfs"
@@ -100,7 +115,11 @@ type pendingLaunch struct {
 	prefetchFor              string
 }
 
-type ctxState struct {
+// shard is the per-context slice of the Virtualizer: one context's whole
+// state behind one lock. All fields below mu are guarded by it.
+type shard struct {
+	mu metrics.ContendedMutex
+
 	ctx    *model.Context
 	driver simulator.Driver
 	cache  *cache.Cache
@@ -120,34 +139,59 @@ type ctxState struct {
 	everProduced map[int]bool
 	// lastReady records, per client, when its most recent file became
 	// available — the baseline for the wait-excluded τcli measurement.
-	lastReady   map[string]time.Duration
-	pending     []pendingLaunch
-	runningSims map[int64]bool
-	alphaEMA    *metrics.EMA
-	stats       CtxStats
-	checksums   map[string]uint64
+	lastReady map[string]time.Duration
+	pending   []pendingLaunch
+	// sims holds this shard's live simulations: launched ones under their
+	// launcher id and pipeline-pending ones under negative placeholder ids.
+	sims      map[int64]*simState
+	alphaEMA  *metrics.EMA
+	stats     CtxStats
+	checksums map[string]uint64
 }
 
 // Virtualizer is the DV state machine. All exported methods are safe for
 // concurrent use.
+//
+// Lock ordering (outermost first): shard locks in downstream→upstream
+// pipeline order, then ctxMu (reads), then simMu. ctxMu and simMu are
+// never held while acquiring a shard lock.
 type Virtualizer struct {
-	mu       sync.Mutex
 	clock    des.Clock
 	launcher Launcher
-	contexts map[string]*ctxState
-	sims     map[int64]*simState
+	hub      *notify.Hub
+
+	ctxMu    sync.RWMutex
+	contexts map[string]*shard
+
+	// simMu guards simDir, the launcher-id → shard routing table for
+	// simulator event callbacks. It is held across Launcher.Launch so an
+	// event arriving concurrently with the launch finds the route.
+	simMu  sync.Mutex
+	simDir map[int64]*shard
+
+	// placeholderSeq generates ids (< pendingSimID) for pipeline-pending
+	// simulations not yet handed to the Launcher.
+	placeholderSeq atomic.Int64
 }
 
 // New returns a Virtualizer reading time from clock and running
 // simulations through launcher.
 func New(clock des.Clock, launcher Launcher) *Virtualizer {
-	return &Virtualizer{
+	v := &Virtualizer{
 		clock:    clock,
 		launcher: launcher,
-		contexts: map[string]*ctxState{},
-		sims:     map[int64]*simState{},
+		hub:      notify.NewHub(),
+		contexts: map[string]*shard{},
+		simDir:   map[int64]*shard{},
 	}
+	v.placeholderSeq.Store(pendingSimID)
+	return v
 }
+
+// Hub returns the notification hub the Virtualizer publishes file-ready
+// and file-failed events to. Subscribe before checking FileState to avoid
+// lost wakeups.
+func (v *Virtualizer) Hub() *notify.Hub { return v.hub }
 
 // AddContext registers a simulation context with a replacement policy
 // named by policyName (Sec. III-D) and an optional storage-area mirror
@@ -165,8 +209,8 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 	if err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.ctxMu.Lock()
+	defer v.ctxMu.Unlock()
 	if _, dup := v.contexts[ctx.Name]; dup {
 		return fmt.Errorf("core: duplicate context %q", ctx.Name)
 	}
@@ -175,7 +219,7 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 			return fmt.Errorf("core: context %q names unknown upstream %q", ctx.Name, ctx.Upstream)
 		}
 	}
-	v.contexts[ctx.Name] = &ctxState{
+	v.contexts[ctx.Name] = &shard{
 		ctx:          ctx,
 		driver:       simulator.NewSynthetic(ctx),
 		cache:        cache.New(pol, ctx.MaxCacheBytes),
@@ -187,18 +231,50 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 		prefetched:   map[int]string{},
 		everProduced: map[int]bool{},
 		lastReady:    map[string]time.Duration{},
-		runningSims:  map[int64]bool{},
+		sims:         map[int64]*simState{},
 		alphaEMA:     metrics.NewEMA(ctx.AlphaSmoothing),
 		checksums:    map[string]uint64{},
 	}
 	return nil
 }
 
+// shardOf returns the shard of a context (unlocked).
+func (v *Virtualizer) shardOf(name string) (*shard, bool) {
+	v.ctxMu.RLock()
+	cs, ok := v.contexts[name]
+	v.ctxMu.RUnlock()
+	return cs, ok
+}
+
+// lockedShard returns the shard of a context with its lock held.
+func (v *Virtualizer) lockedShard(name string) (*shard, error) {
+	cs, ok := v.shardOf(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown context %q", name)
+	}
+	cs.mu.Lock()
+	return cs, nil
+}
+
+// simShard routes a launcher simulation id to its shard (nil if the
+// simulation is unknown or already ended).
+func (v *Virtualizer) simShard(simID int64) *shard {
+	v.simMu.Lock()
+	cs := v.simDir[simID]
+	v.simMu.Unlock()
+	return cs
+}
+
+// dropSimRoute removes an ended simulation from the event routing table.
+func (v *Virtualizer) dropSimRoute(simID int64) {
+	v.simMu.Lock()
+	delete(v.simDir, simID)
+	v.simMu.Unlock()
+}
+
 // Context returns the registered context by name.
 func (v *Virtualizer) Context(name string) (*model.Context, bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[name]
+	cs, ok := v.shardOf(name)
 	if !ok {
 		return nil, false
 	}
@@ -207,8 +283,8 @@ func (v *Virtualizer) Context(name string) (*model.Context, bool) {
 
 // ContextNames lists registered contexts.
 func (v *Virtualizer) ContextNames() []string {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.ctxMu.RLock()
+	defer v.ctxMu.RUnlock()
 	names := make([]string, 0, len(v.contexts))
 	for n := range v.contexts {
 		names = append(names, n)
@@ -218,70 +294,144 @@ func (v *Virtualizer) ContextNames() []string {
 
 // Stats returns a copy of the context's counters.
 func (v *Virtualizer) Stats(ctxName string) (CtxStats, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return CtxStats{}, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return CtxStats{}, err
 	}
+	defer cs.mu.Unlock()
 	return cs.stats, nil
+}
+
+// LockStats returns the shard-lock counters of a context: how often its
+// lock was taken, how often that acquisition contended, and the
+// cumulative contended wait. A heavily contended shard indicates a
+// workload serializing on one context.
+func (v *Virtualizer) LockStats(ctxName string) (metrics.LockStats, error) {
+	cs, ok := v.shardOf(ctxName)
+	if !ok {
+		return metrics.LockStats{}, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	return cs.mu.Stats(), nil
+}
+
+// TotalLockStats sums the shard-lock counters over all contexts.
+func (v *Virtualizer) TotalLockStats() metrics.LockStats {
+	v.ctxMu.RLock()
+	shards := make([]*shard, 0, len(v.contexts))
+	for _, cs := range v.contexts {
+		shards = append(shards, cs)
+	}
+	v.ctxMu.RUnlock()
+	var total metrics.LockStats
+	for _, cs := range shards {
+		total.Add(cs.mu.Stats())
+	}
+	return total
 }
 
 // CacheStats returns the cache engine counters of a context.
 func (v *Virtualizer) CacheStats(ctxName string) (cache.Stats, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return cache.Stats{}, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return cache.Stats{}, err
 	}
+	defer cs.mu.Unlock()
 	return cs.cache.Stats(), nil
 }
 
 // StorageArea returns the context's storage-area file system (nil when
 // running without one, as the virtual-time experiments do).
 func (v *Virtualizer) StorageArea(ctxName string) (vfs.FS, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
+	cs, ok := v.shardOf(ctxName)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown context %q", ctxName)
 	}
 	return cs.fs, nil
 }
 
+// FileState reports whether a file is resident on disk and/or promised by
+// a live (or queued) re-simulation. Combined with a prior hub
+// subscription it gives a race-free wait: subscribe, then check — a file
+// neither resident nor promised will never produce an event.
+func (v *Virtualizer) FileState(ctxName, filename string) (resident, promised bool, err error) {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return false, false, err
+	}
+	defer cs.mu.Unlock()
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		return false, false, err
+	}
+	_, p := cs.promised[step]
+	return cs.resident(step), p, nil
+}
+
+// NoteClientReady records that a client observed filename become
+// available after waiting for it. The hub carries no client identity, so
+// front-ends that deliver ready notifications stamp the baseline of the
+// wait-excluded processing-time measurement (τcli) explicitly — the
+// in-process WaitFile path stamps it in StepProduced instead.
+func (v *Virtualizer) NoteClientReady(client, ctxName, filename string) {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return
+	}
+	defer cs.mu.Unlock()
+	if _, err := cs.ctx.Key(filename); err != nil {
+		return
+	}
+	cs.lastReady[client] = v.clock.Now()
+}
+
+// FileTopic returns the notify-hub topic of a context's file.
+func (v *Virtualizer) FileTopic(ctxName, filename string) (notify.Topic, error) {
+	cs, ok := v.shardOf(ctxName)
+	if !ok {
+		return notify.Topic{}, fmt.Errorf("core: unknown context %q", ctxName)
+	}
+	step, err := cs.ctx.Key(filename)
+	if err != nil {
+		return notify.Topic{}, err
+	}
+	if !cs.ctx.Grid.ValidOutput(step) {
+		return notify.Topic{}, fmt.Errorf("core: %q is outside the simulated timeline", filename)
+	}
+	return notify.Topic{Context: ctxName, Step: step}, nil
+}
+
 // Preload marks output steps as already on disk (e.g. produced by the
 // initial simulation), inserting them into the cache without counting
 // re-simulation work.
 func (v *Virtualizer) Preload(ctxName string, steps []int) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
 	}
 	for _, s := range steps {
 		if !cs.ctx.Grid.ValidOutput(s) {
+			cs.mu.Unlock()
 			return fmt.Errorf("core: preload step %d out of range", s)
 		}
 		v.insertStep(cs, s)
 	}
+	cs.mu.Unlock()
+	v.publishReady(ctxName, steps)
 	return nil
 }
 
 // RescanStorageArea synchronizes the cache with the files present in the
 // context's storage area (daemon restart recovery).
 func (v *Virtualizer) RescanStorageArea(ctxName string) (int, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	cs, ok := v.contexts[ctxName]
-	if !ok {
-		return 0, fmt.Errorf("core: unknown context %q", ctxName)
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return 0, err
 	}
 	if cs.fs == nil {
+		cs.mu.Unlock()
 		return 0, fmt.Errorf("core: context %q has no storage area", ctxName)
 	}
-	n := 0
+	var added []int
 	for _, name := range cs.fs.List() {
 		step, err := cs.ctx.Key(name)
 		if err != nil {
@@ -289,15 +439,33 @@ func (v *Virtualizer) RescanStorageArea(ctxName string) (int, error) {
 		}
 		if !cs.cache.Contains(name) {
 			v.insertStep(cs, step)
-			n++
+			added = append(added, step)
 		}
 	}
-	return n, nil
+	cs.mu.Unlock()
+	v.publishReady(ctxName, added)
+	return len(added), nil
+}
+
+// publishReady announces file availability on the hub. Callers must not
+// hold shard locks.
+func (v *Virtualizer) publishReady(ctxName string, steps []int) {
+	for _, s := range steps {
+		v.hub.Publish(notify.Event{Topic: notify.Topic{Context: ctxName, Step: s}, Kind: notify.FileReady})
+	}
+}
+
+// publishFailed announces production failures on the hub. Callers must
+// not hold shard locks.
+func (v *Virtualizer) publishFailed(ctxName string, steps []int, msg string) {
+	for _, s := range steps {
+		v.hub.Publish(notify.Event{Topic: notify.Topic{Context: ctxName, Step: s}, Kind: notify.FileFailed, Err: msg})
+	}
 }
 
 // insertStep makes a step resident, applying eviction and pinning for
-// current references. Caller holds the lock.
-func (v *Virtualizer) insertStep(cs *ctxState, step int) {
+// current references. Caller holds the shard lock.
+func (v *Virtualizer) insertStep(cs *shard, step int) {
 	name := cs.ctx.Filename(step)
 	cost := cs.ctx.Grid.MissCost(step)
 	// Overlapping re-simulations may produce the same step twice; the
@@ -323,7 +491,8 @@ func (v *Virtualizer) insertStep(cs *ctxState, step int) {
 	}
 }
 
-// resident reports whether a step's file is on disk. Caller holds the lock.
-func (cs *ctxState) resident(step int) bool {
+// resident reports whether a step's file is on disk. Caller holds the
+// shard lock.
+func (cs *shard) resident(step int) bool {
 	return cs.cache.Contains(cs.ctx.Filename(step))
 }

@@ -58,7 +58,7 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 		doneCh:   make(chan struct{}),
 		consumed: map[int]bool{},
 	}
-	err := ctx.c.subscribe(
+	_, err := ctx.c.subscribe(
 		netproto.Request{Op: netproto.OpAcquire, Context: ctx.name, Files: r.files},
 		func(resp netproto.Response) {
 			r.mu.Lock()

@@ -134,12 +134,13 @@ func (c *Client) call(req netproto.Request) (netproto.Response, error) {
 }
 
 // subscribe sends a request whose responses stream to fn until a Done
-// frame arrives.
-func (c *Client) subscribe(req netproto.Request, fn func(netproto.Response)) error {
+// frame arrives. It returns the request ID, which names the subscription
+// in an unsubscribe.
+func (c *Client) subscribe(req netproto.Request, fn func(netproto.Response)) (uint64, error) {
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
 		c.mu.Unlock()
-		return errors.New("dvlib: client closed")
+		return 0, errors.New("dvlib: client closed")
 	}
 	c.nextID++
 	req.ID = c.nextID
@@ -150,9 +151,24 @@ func (c *Client) subscribe(req netproto.Request, fn func(netproto.Response)) err
 		c.mu.Lock()
 		delete(c.subs, req.ID)
 		c.mu.Unlock()
-		return err
+		return 0, err
 	}
-	return nil
+	return req.ID, nil
+}
+
+// cancelSub removes a local subscription and, if it was still live,
+// delivers a synthetic Done frame to its handler. The map removal is the
+// exclusion point: whoever removes the entry delivers the Done.
+func (c *Client) cancelSub(id uint64, reason string) {
+	c.mu.Lock()
+	fn, ok := c.subs[id]
+	if ok {
+		delete(c.subs, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		fn(netproto.Response{ID: id, Err: reason, Done: true})
+	}
 }
 
 func (c *Client) write(req netproto.Request) error {
@@ -229,21 +245,99 @@ func (ctx *Context) Open(file string) (OpenResult, error) {
 }
 
 // WaitAvailable blocks until the file is on disk (the blocking part of a
-// transparent-mode read). The file must have been opened first.
+// transparent-mode read). The file must have been opened first. It rides
+// the daemon's notification hub via a file subscription (SIMFS_Wait).
 func (ctx *Context) WaitAvailable(file string) error {
-	done := make(chan error, 1)
-	err := ctx.c.subscribe(netproto.Request{Op: netproto.OpWait, Context: ctx.name, Files: []string{file}},
-		func(resp netproto.Response) {
-			if resp.Err != "" {
-				done <- errors.New(resp.Err)
-				return
-			}
-			done <- nil
-		})
+	w, err := ctx.Watch(file)
 	if err != nil {
 		return err
 	}
-	return <-done
+	for ev := range w.Events() {
+		if ev.Err != "" {
+			return errors.New(ev.Err)
+		}
+		if ev.File == file && ev.Ready {
+			return nil
+		}
+	}
+	return errors.New("dvlib: watch ended before the file became available")
+}
+
+// WatchEvent is one notification from a file watch: a per-file
+// resolution (File set, Ready or Err) or the final completion (Done).
+type WatchEvent struct {
+	File  string
+	Ready bool
+	Err   string
+	Done  bool
+}
+
+// Watch is a notification-only subscription to file availability,
+// served by the daemon's notify hub. Unlike Acquire it takes no
+// references; the watched files must be resident or already promised by
+// a re-simulation (e.g. after Open or Prefetch).
+type Watch struct {
+	ctx *Context
+	id  uint64
+	ch  chan WatchEvent
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Watch subscribes to the given files. Events arrive on Events(): one
+// per file as it becomes ready (or fails), then a final Done event, after
+// which the channel closes. A file that is neither on disk nor being
+// produced resolves immediately with a per-file error event.
+func (ctx *Context) Watch(files ...string) (*Watch, error) {
+	if len(files) == 0 {
+		return nil, errors.New("dvlib: watch of zero files")
+	}
+	// One slot per file plus the Done event: the daemon resolves each
+	// file at most once, so delivery below never blocks the read loop.
+	w := &Watch{ctx: ctx, ch: make(chan WatchEvent, len(files)+1)}
+	id, err := ctx.c.subscribe(
+		netproto.Request{Op: netproto.OpSubscribe, Context: ctx.name, Files: append([]string(nil), files...)},
+		w.deliver)
+	if err != nil {
+		return nil, err
+	}
+	w.id = id
+	return w, nil
+}
+
+// Events returns the watch's event stream.
+func (w *Watch) Events() <-chan WatchEvent { return w.ch }
+
+// Cancel tears down the watch: the daemon drops the subscription and the
+// event channel closes after a final Done event. Canceling a completed
+// watch is a no-op.
+func (w *Watch) Cancel() error {
+	w.ctx.c.cancelSub(w.id, "unsubscribed")
+	_, err := w.ctx.c.call(netproto.Request{Op: netproto.OpUnsubscribe, SubID: w.id})
+	return err
+}
+
+// deliver translates wire frames into watch events. It serializes with
+// itself (read loop vs. cancel) and never sends after close.
+func (w *Watch) deliver(resp netproto.Response) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	if resp.File != "" {
+		w.ch <- WatchEvent{File: resp.File, Ready: resp.Ready, Err: resp.Err}
+	}
+	if resp.Done {
+		w.closed = true
+		if resp.Err != "" && resp.File == "" {
+			w.ch <- WatchEvent{Err: resp.Err, Done: true}
+		} else {
+			w.ch <- WatchEvent{Done: true}
+		}
+		close(w.ch)
+	}
 }
 
 // Read is the transparent-mode read: it blocks until the file is available

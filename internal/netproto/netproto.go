@@ -32,6 +32,15 @@ const (
 	OpStats       = "stats"    // context counters
 	OpRescan      = "rescan"   // rescan the storage area
 	OpPrefetch    = "prefetch" // guided prefetching hint
+
+	// OpSubscribe registers a notification-only subscription: the daemon
+	// sends one frame per file as it becomes ready (or fails), then a
+	// final Done frame. Unlike wait/acquire it takes no references; the
+	// files must already be resident or promised (opened by someone).
+	OpSubscribe = "subscribe"
+	// OpUnsubscribe cancels an active subscription; SubID names the
+	// subscribe request's ID.
+	OpUnsubscribe = "unsubscribe"
 )
 
 // Request is a client→daemon frame.
@@ -42,6 +51,8 @@ type Request struct {
 	Context string   `json:"context,omitempty"`
 	Files   []string `json:"files,omitempty"`
 	Sum     uint64   `json:"sum,omitempty"`
+	// SubID references an earlier subscribe request (unsubscribe only).
+	SubID uint64 `json:"sub_id,omitempty"`
 }
 
 // ContextInfo carries the context parameters a client needs for
@@ -71,6 +82,12 @@ type Stats struct {
 	Kills            int64 `json:"kills"`
 	Failures         int64 `json:"failures"`
 	PollutionResets  int64 `json:"pollution_resets"`
+
+	// Shard-lock counters of the context (sharded Virtualizer): total
+	// lock acquisitions, how many contended, and the cumulative wait.
+	LockAcquisitions uint64 `json:"lock_acquisitions,omitempty"`
+	LockContended    uint64 `json:"lock_contended,omitempty"`
+	LockWaitNs       int64  `json:"lock_wait_ns,omitempty"`
 }
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon

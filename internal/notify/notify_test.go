@@ -1,0 +1,158 @@
+package notify
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubscribeReceivesPublishedEvent(t *testing.T) {
+	h := NewHub()
+	top := Topic{Context: "c", Step: 7}
+	sub := h.Subscribe(top)
+	if n := h.Publish(Event{Topic: top, Kind: FileReady}); n != 1 {
+		t.Fatalf("Publish delivered to %d subscribers, want 1", n)
+	}
+	ev, ok := <-sub.C()
+	if !ok || ev.Topic != top || ev.Kind != FileReady {
+		t.Fatalf("received %+v (ok=%v)", ev, ok)
+	}
+	// One-shot: the subscription completed and its channel closed.
+	if _, ok := <-sub.C(); ok {
+		t.Error("channel should be closed after the last topic delivered")
+	}
+}
+
+func TestPublishWithoutSubscribersIsNoop(t *testing.T) {
+	h := NewHub()
+	if n := h.Publish(Event{Topic: Topic{Context: "c", Step: 1}}); n != 0 {
+		t.Fatalf("delivered %d, want 0", n)
+	}
+	st := h.Stats()
+	if st.Published != 1 || st.Delivered != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOneShotPerTopic(t *testing.T) {
+	h := NewHub()
+	a := Topic{Context: "c", Step: 1}
+	b := Topic{Context: "c", Step: 2}
+	sub := h.Subscribe(a, b)
+	h.Publish(Event{Topic: a, Kind: FileReady})
+	h.Publish(Event{Topic: a, Kind: FileFailed, Err: "again"}) // no subscriber anymore
+	if sub.Subscribed(a) {
+		t.Error("topic a should be consumed after first delivery")
+	}
+	if !sub.Subscribed(b) {
+		t.Error("topic b should still be live")
+	}
+	h.Publish(Event{Topic: b, Kind: FileFailed, Err: "boom"})
+	var got []Event
+	for ev := range sub.C() {
+		got = append(got, ev)
+	}
+	if len(got) != 2 {
+		t.Fatalf("received %d events, want 2 (one per topic)", len(got))
+	}
+	if got[0].Topic != a || got[1].Topic != b || got[1].Err != "boom" {
+		t.Errorf("events = %+v", got)
+	}
+	if st := h.Stats(); st.Dropped != 0 || st.Subscribers != 0 || st.Topics != 0 {
+		t.Errorf("hub should be empty after completion: %+v", st)
+	}
+}
+
+func TestDuplicateTopicsCollapse(t *testing.T) {
+	h := NewHub()
+	top := Topic{Context: "c", Step: 3}
+	sub := h.Subscribe(top, top, top)
+	h.Publish(Event{Topic: top, Kind: FileReady})
+	n := 0
+	for range sub.C() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("received %d events for a duplicated topic, want 1", n)
+	}
+}
+
+func TestCloseUnsubscribes(t *testing.T) {
+	h := NewHub()
+	top := Topic{Context: "c", Step: 1}
+	sub := h.Subscribe(top)
+	sub.Close()
+	sub.Close() // idempotent
+	if n := h.Publish(Event{Topic: top, Kind: FileReady}); n != 0 {
+		t.Fatalf("closed subscription still reachable (%d deliveries)", n)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Error("closed subscription's channel should be closed")
+	}
+	if st := h.Stats(); st.Subscribers != 0 || st.Topics != 0 {
+		t.Errorf("hub not empty after close: %+v", st)
+	}
+}
+
+func TestBufferedEventSurvivesClose(t *testing.T) {
+	h := NewHub()
+	top := Topic{Context: "c", Step: 9}
+	sub := h.Subscribe(top, Topic{Context: "c", Step: 10})
+	h.Publish(Event{Topic: top, Kind: FileReady})
+	sub.Close()
+	ev, ok := <-sub.C()
+	if !ok || ev.Topic != top {
+		t.Fatalf("buffered event lost on close: %+v (ok=%v)", ev, ok)
+	}
+}
+
+func TestMultipleSubscribersAllNotified(t *testing.T) {
+	h := NewHub()
+	top := Topic{Context: "c", Step: 5}
+	subs := make([]*Sub, 8)
+	for i := range subs {
+		subs[i] = h.Subscribe(top)
+	}
+	if n := h.Publish(Event{Topic: top, Kind: FileReady}); n != len(subs) {
+		t.Fatalf("delivered to %d, want %d", n, len(subs))
+	}
+	for i, sub := range subs {
+		if ev, ok := <-sub.C(); !ok || ev.Topic != top {
+			t.Errorf("subscriber %d missed the event", i)
+		}
+	}
+}
+
+// TestConcurrentPublishSubscribe hammers the hub from many goroutines;
+// run under -race it validates the locking discipline.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	h := NewHub()
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				top := Topic{Context: "c", Step: i % 17}
+				switch w % 3 {
+				case 0:
+					h.Publish(Event{Topic: top, Kind: FileReady})
+				case 1:
+					sub := h.Subscribe(top)
+					h.Publish(Event{Topic: top, Kind: FileReady})
+					<-sub.C() // delivered by us or a concurrent publisher
+					sub.Close()
+				default:
+					sub := h.Subscribe(top, Topic{Context: "d", Step: i})
+					sub.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := h.Stats(); st.Subscribers != 0 {
+		t.Errorf("leaked subscribers: %+v", st)
+	}
+}

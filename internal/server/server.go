@@ -1,8 +1,13 @@
 // Package server implements the DV daemon (paper Sec. III): a TCP server
 // exposing the Virtualizer to DVLib clients over the netproto wire
-// protocol. Each connection serves one analysis application; waits and
-// acquires are answered asynchronously over the same connection when
-// re-simulations produce the requested files.
+// protocol. Each connection serves one analysis application; waits,
+// acquires and subscriptions are answered asynchronously over the same
+// connection when re-simulations produce the requested files.
+//
+// Readiness notifications ride the Virtualizer's notify hub: handlers
+// subscribe to the files' (context, step) topics first and then query
+// FileState, so no wakeup is lost and no waiter list is scanned under the
+// Virtualizer's shard locks.
 package server
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"simfs/internal/core"
 	"simfs/internal/netproto"
+	"simfs/internal/notify"
 )
 
 // Server is the DV daemon front-end.
@@ -121,6 +127,43 @@ type session struct {
 	// held tracks open references (context → files → count) for
 	// disconnect cleanup: a crashed analysis must not pin files forever.
 	held map[string]map[string]int
+	// mu guards subs: live hub subscriptions by request ID, closed on
+	// unsubscribe and on disconnect so their pump goroutines exit.
+	mu   sync.Mutex
+	subs map[uint64]*notify.Sub
+}
+
+// addSub registers a live subscription for cleanup.
+func (sess *session) addSub(id uint64, sub *notify.Sub) {
+	sess.mu.Lock()
+	if sess.subs == nil {
+		sess.subs = map[uint64]*notify.Sub{}
+	}
+	sess.subs[id] = sub
+	sess.mu.Unlock()
+}
+
+// dropSub forgets (and returns) a subscription.
+func (sess *session) dropSub(id uint64) *notify.Sub {
+	sess.mu.Lock()
+	sub := sess.subs[id]
+	delete(sess.subs, id)
+	sess.mu.Unlock()
+	return sub
+}
+
+// closeSubs closes every live subscription (disconnect cleanup).
+func (sess *session) closeSubs() {
+	sess.mu.Lock()
+	subs := make([]*notify.Sub, 0, len(sess.subs))
+	for _, sub := range sess.subs {
+		subs = append(subs, sub)
+	}
+	sess.subs = nil
+	sess.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
 }
 
 func (s *session) send(resp netproto.Response) {
@@ -139,7 +182,9 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		// Release references held by the departed client.
+		// Tear down notification subscriptions, then release references
+		// held by the departed client.
+		sess.closeSubs()
 		for ctx, files := range sess.held {
 			for file, n := range files {
 				for i := 0; i < n; i++ {
@@ -219,10 +264,7 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 		if !ok {
 			return
 		}
-		err := s.v.WaitFile(req.Client, req.Context, file, func(st core.Status) {
-			sess.send(netproto.Response{ID: req.ID, OK: st.Err == "", Err: st.Err, Ready: st.Ready, Done: true, File: file})
-		})
-		if err != nil {
+		if err := s.waitFile(sess, req, file); err != nil {
 			fail(err)
 		}
 
@@ -297,12 +339,15 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 			fail(err)
 			return
 		}
+		ls, _ := s.v.LockStats(req.Context)
 		sess.send(netproto.Response{ID: req.ID, OK: true, Stats: &netproto.Stats{
 			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
 			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
 			PrefetchLaunches: st.PrefetchLaunches, DroppedPrefetch: st.DroppedPrefetch,
 			StepsProduced: st.StepsProduced, Evictions: st.Evictions,
 			Kills: st.Kills, Failures: st.Failures, PollutionResets: st.PollutionResets,
+			LockAcquisitions: ls.Acquisitions, LockContended: ls.Contended,
+			LockWaitNs: int64(ls.Wait),
 		}})
 
 	case netproto.OpPrefetch:
@@ -325,74 +370,240 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 		}
 		sess.send(netproto.Response{ID: req.ID, OK: true, Count: n})
 
+	case netproto.OpSubscribe:
+		if len(req.Files) == 0 {
+			fail(errors.New("subscribe requires at least one file"))
+			return
+		}
+		if err := s.subscribeFiles(sess, req, req.Files); err != nil {
+			fail(err)
+		}
+
+	case netproto.OpUnsubscribe:
+		if sub := sess.dropSub(req.SubID); sub != nil {
+			sub.Close()
+		}
+		sess.send(netproto.Response{ID: req.ID, OK: true})
+
 	default:
 		fail(fmt.Errorf("unknown op %q", req.Op))
 	}
 }
 
-// acquireWithPerFile implements the acquire subscription: a per-file
-// ready frame for each missing file plus a final done frame.
+// waitFile implements OpWait on the notify hub: subscribe to the file's
+// topic, then check its state — any event published after the
+// subscription is buffered, so no wakeup is lost.
+func (s *Server) waitFile(sess *session, req netproto.Request, file string) error {
+	topic, err := s.v.FileTopic(req.Context, file)
+	if err != nil {
+		return err
+	}
+	sub := s.v.Hub().Subscribe(topic)
+	resident, promised, err := s.v.FileState(req.Context, file)
+	if err != nil {
+		sub.Close()
+		return err
+	}
+	if resident {
+		sub.Close()
+		sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, Done: true, File: file})
+		return nil
+	}
+	finish := func(ev notify.Event) {
+		sess.send(netproto.Response{ID: req.ID, OK: ev.Err == "", Err: ev.Err,
+			Ready: ev.Kind == notify.FileReady, Done: true, File: file})
+	}
+	if !promised {
+		// The producing simulation may have resolved the file between
+		// Subscribe and FileState; the event would be buffered.
+		select {
+		case ev := <-sub.C():
+			sub.Close()
+			finish(ev)
+			return nil
+		default:
+			sub.Close()
+			return fmt.Errorf("%q is neither on disk nor being produced; call open or acquire first", file)
+		}
+	}
+	sess.addSub(req.ID, sub)
+	go func() {
+		defer sess.dropSub(req.ID)
+		if ev, ok := <-sub.C(); ok {
+			if ev.Kind == notify.FileReady {
+				s.v.NoteClientReady(req.Client, req.Context, file)
+			}
+			finish(ev)
+			sub.Close()
+		}
+	}()
+	return nil
+}
+
+// fileWatch is the shared subscribe-then-check machinery of OpAcquire and
+// OpSubscribe: per-file readiness streamed over the connection, a final
+// Done frame once every file has resolved.
+type fileWatch struct {
+	srv      *Server
+	client   string
+	ctxName  string
+	sub      *notify.Sub
+	names    map[notify.Topic]string // topic → file, for frame rendering
+	resolved map[notify.Topic]bool
+	pending  int
+}
+
+// watchTopics subscribes to every file's topic. The caller resolves the
+// initial states before pumping events.
+func (s *Server) watchTopics(client, ctxName string, files []string) (*fileWatch, error) {
+	topics := make([]notify.Topic, len(files))
+	for i, f := range files {
+		t, err := s.v.FileTopic(ctxName, f)
+		if err != nil {
+			return nil, err
+		}
+		topics[i] = t
+	}
+	w := &fileWatch{
+		srv:      s,
+		client:   client,
+		ctxName:  ctxName,
+		names:    make(map[notify.Topic]string, len(files)),
+		resolved: map[notify.Topic]bool{},
+	}
+	for i, t := range topics {
+		w.names[t] = files[i]
+	}
+	w.sub = s.v.Hub().Subscribe(topics...)
+	return w, nil
+}
+
+// pump streams buffered and future events as per-file frames until every
+// topic has resolved, then sends the Done frame. failFast terminates the
+// stream on the first failure (OpAcquire's legacy contract); otherwise
+// each file resolves individually and Done still arrives (OpSubscribe).
+func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
+	defer sess.dropSub(reqID)
+	for ev := range w.sub.C() {
+		f, ok := w.names[ev.Topic]
+		if !ok || w.resolved[ev.Topic] {
+			continue
+		}
+		w.resolved[ev.Topic] = true
+		w.pending--
+		if ev.Kind == notify.FileFailed {
+			if failFast {
+				sess.send(netproto.Response{ID: reqID, Err: ev.Err, Done: true, File: f})
+				w.sub.Close()
+				return
+			}
+			sess.send(netproto.Response{ID: reqID, Err: ev.Err, File: f})
+		} else {
+			// The client was blocked on this file: reset its τcli
+			// baseline, as the in-process waiter path does.
+			w.srv.v.NoteClientReady(w.client, w.ctxName, f)
+			sess.send(netproto.Response{ID: reqID, OK: true, Ready: true, File: f})
+		}
+		if w.pending == 0 {
+			sess.send(netproto.Response{ID: reqID, OK: true, Done: true})
+			w.sub.Close()
+			return
+		}
+	}
+}
+
+// acquireWithPerFile implements the acquire subscription: references are
+// taken via Open (starting re-simulations), then readiness rides the
+// notify hub — a per-file ready frame for each missing file plus a final
+// done frame.
 func (s *Server) acquireWithPerFile(sess *session, req netproto.Request, files []string) error {
+	w, err := s.watchTopics(req.Client, req.Context, files)
+	if err != nil {
+		return err
+	}
 	// Open every file (taking references) so re-simulations start.
-	var missing []string
 	for i, f := range files {
 		res, err := s.v.Open(req.Client, req.Context, f)
 		if err != nil {
-			// Roll back references taken so far.
+			// Roll back references taken so far, including the
+			// disconnect-cleanup bookkeeping.
 			for _, g := range files[:i] {
 				_ = s.v.Release(req.Client, req.Context, g)
+				sess.trackRef(req.Context, g, -1)
 			}
+			w.sub.Close()
 			return err
 		}
 		sess.trackRef(req.Context, f, +1)
-		if !res.Available {
-			missing = append(missing, f)
-		} else {
-			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+		if res.Available {
+			topic, _ := s.v.FileTopic(req.Context, f)
+			if !w.resolved[topic] {
+				w.resolved[topic] = true
+				sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+			}
 		}
 	}
-	if len(missing) == 0 {
+	// A missing file may have been produced between Open and now; its
+	// event is buffered in the subscription, so only count what is still
+	// unresolved and let pump drain the buffer.
+	w.pending = len(w.names) - len(w.resolved)
+	if w.pending == 0 {
 		sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		w.sub.Close()
 		return nil
 	}
-	var mu sync.Mutex
-	remaining := len(missing)
-	failed := false
-	for _, f := range missing {
-		f := f
-		err := s.v.WaitFile(req.Client, req.Context, f, func(st core.Status) {
-			mu.Lock()
-			if failed {
-				mu.Unlock()
-				return
-			}
-			if st.Err != "" {
-				failed = true
-				mu.Unlock()
-				sess.send(netproto.Response{ID: req.ID, Err: st.Err, Done: true, File: f})
-				return
-			}
-			remaining--
-			last := remaining == 0
-			mu.Unlock()
-			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
-			if last {
-				sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
-			}
-		})
+	sess.addSub(req.ID, w.sub)
+	go w.pump(sess, req.ID, true)
+	return nil
+}
+
+// subscribeFiles implements OpSubscribe: notification-only readiness
+// frames with no references taken. Files must be resident or promised;
+// files that are neither resolve immediately with a per-file error frame.
+func (s *Server) subscribeFiles(sess *session, req netproto.Request, files []string) error {
+	w, err := s.watchTopics(req.Client, req.Context, files)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		topic, _ := s.v.FileTopic(req.Context, f)
+		if w.resolved[topic] {
+			continue
+		}
+		resident, promised, err := s.v.FileState(req.Context, f)
 		if err != nil {
-			// Became resident between Open and WaitFile.
-			mu.Lock()
-			remaining--
-			last := remaining == 0
-			mu.Unlock()
+			w.sub.Close()
+			return err
+		}
+		switch {
+		case resident:
+			w.resolved[topic] = true
 			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
-			if last {
-				sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		case !promised:
+			// Not being produced — unless its event raced into the
+			// subscription buffer, which pump will deliver.
+			if !bufferedEvent(w.sub, topic) {
+				w.resolved[topic] = true
+				sess.send(netproto.Response{ID: req.ID, Err: "file is not being produced", File: f})
 			}
 		}
 	}
+	w.pending = len(w.names) - len(w.resolved)
+	if w.pending == 0 {
+		sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		w.sub.Close()
+		return nil
+	}
+	sess.addSub(req.ID, w.sub)
+	go w.pump(sess, req.ID, false)
 	return nil
+}
+
+// bufferedEvent reports whether the subscription already holds an event
+// for the topic. The hub's one-shot contract means a delivered topic is
+// no longer subscribed, which is exactly the case this probes.
+func bufferedEvent(sub *notify.Sub, topic notify.Topic) bool {
+	return !sub.Subscribed(topic)
 }
 
 // readStorage reads a file's content from the context's storage area.

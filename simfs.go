@@ -5,16 +5,29 @@
 // restart checkpoints plus a bounded cache of output files, and
 // re-simulates missing data on demand — trading storage for computation.
 //
+// The Data Virtualizer is sharded per simulation context: every context
+// owns its own lock, storage area, cache policy instance, prefetch
+// agents and simulation table, so concurrent analyses of different
+// contexts never serialize on a shared mutex (pipeline virtualization
+// coordinates across shards with a fixed downstream→upstream lock
+// order). File readiness is announced through a publish/subscribe
+// notification hub: waits, acquires and the Watch API subscribe to
+// (context, step) topics and simulator progress is published without
+// holding shard locks. Per-shard lock-contention counters travel with
+// the usual statistics.
+//
 // The package re-exports the system's public surface:
 //
 //   - Context / Grid describe a simulation configuration (Δd, Δr,
 //     timeline, sizes, performance model, prefetching limits).
-//   - NewDaemon builds a Data Virtualizer daemon: the Virtualizer state
-//     machine, per-context disk storage areas, an in-process simulator
-//     launcher, and a TCP front-end for DVLib clients.
+//   - NewDaemon builds a Data Virtualizer daemon: the sharded
+//     Virtualizer state machine, per-context disk storage areas, an
+//     in-process simulator launcher, and a TCP front-end for DVLib
+//     clients.
 //   - Dial / Client / AnalysisContext are the DVLib client library:
 //     transparent open/read/close plus the SIMFS_* API (Acquire,
-//     AcquireNB, Wait, Test, Waitsome, Testsome, Release, Bitrep).
+//     AcquireNB, Wait, Test, Waitsome, Testsome, Release, Bitrep) and
+//     the notification-only Watch subscription.
 //   - NCOpen / H5Fopen / AdiosOpen are the Table-I I/O-library bindings.
 //   - CosmoScaling / CosmoCost / Flash / CacheEval are the paper's
 //     published experiment configurations.
@@ -65,6 +78,13 @@ type Status = dvlib.Status
 
 // Req is a non-blocking acquire handle (SIMFS_Req).
 type Req = dvlib.Req
+
+// Watch is a notification-only subscription to file availability,
+// served by the daemon's notification hub.
+type Watch = dvlib.Watch
+
+// WatchEvent is one notification from a Watch.
+type WatchEvent = dvlib.WatchEvent
 
 // Dial connects an analysis application to the daemon. clientName
 // identifies the application: the DV associates its prefetch agent and
