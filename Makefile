@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke benchstat lint fmt vet check clean
 
 all: build
 
@@ -25,6 +25,28 @@ test-race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke runs every benchmark exactly once; CI uses it to catch
+# benchmarks that stop compiling or start failing, in seconds.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+
+# benchstat saves benchstat-comparable output. First run: the result is
+# copied to bench-before.txt as the baseline. Later runs write
+# bench-after.txt and, if benchstat is installed, print the comparison.
+# Narrow the set with BENCH='BenchmarkReplayECMWF|BenchmarkDESEngine'.
+BENCH ?= .
+benchstat:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 6 . > bench-after.txt || { cat bench-after.txt; rm -f bench-after.txt; exit 1; }
+	@cat bench-after.txt
+	@if [ ! -f bench-before.txt ]; then \
+		cp bench-after.txt bench-before.txt; \
+		echo "saved baseline to bench-before.txt"; \
+	elif command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-before.txt bench-after.txt; \
+	else \
+		echo "bench-after.txt saved; install benchstat (golang.org/x/perf) to compare against bench-before.txt"; \
+	fi
 
 lint: fmt vet
 

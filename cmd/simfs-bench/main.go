@@ -27,7 +27,9 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1|5|12|13|14|15a|15b|15c|16|17|18|19|ablations|multi|all")
 	reps := flag.Int("reps", 20, "repetitions for the Fig. 5 caching study (paper: 100)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
+	jobs := flag.Int("j", 0, "experiment worker pool size (0 = GOMAXPROCS); any value prints identical tables")
 	flag.Parse()
+	experiments.SetWorkers(*jobs)
 
 	runs := map[string]func() error{
 		"1":   func() error { return renderTable(fig01()) },

@@ -7,15 +7,18 @@ package cache
 // adaptation target p, shifting capacity between recency and frequency at
 // runtime "in order to adapt to the observed access pattern" (paper
 // Sec. III-D).
-type ARC struct {
+type arcOf[K comparable] struct {
 	c     int // capacity in entries
 	p     int // target size of T1
-	t1    list
-	t2    list
-	b1    list
-	b2    list
-	where map[string]*arcEntry
+	t1    list[K]
+	t2    list[K]
+	b1    list[K]
+	b2    list[K]
+	where map[K]*arcEntry[K]
 }
+
+// ARC is the string-keyed ARC policy used by the Virtualizer.
+type ARC = arcOf[string]
 
 type arcList int
 
@@ -26,23 +29,26 @@ const (
 	inB2
 )
 
-type arcEntry struct {
-	nd *node
+type arcEntry[K comparable] struct {
+	nd *node[K]
 	l  arcList
 }
 
-// NewARC returns an empty ARC policy with the given capacity in entries.
-func NewARC(capacity int) *ARC {
+// NewARC returns an empty string-keyed ARC policy with the given capacity
+// in entries.
+func NewARC(capacity int) *ARC { return newARC[string](capacity) }
+
+func newARC[K comparable](capacity int) *arcOf[K] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &ARC{c: capacity, where: map[string]*arcEntry{}}
+	return &arcOf[K]{c: capacity, where: map[K]*arcEntry[K]{}}
 }
 
-// Name implements Policy.
-func (p *ARC) Name() string { return "ARC" }
+// Name implements PolicyOf.
+func (p *arcOf[K]) Name() string { return "ARC" }
 
-func (p *ARC) listOf(l arcList) *list {
+func (p *arcOf[K]) listOf(l arcList) *list[K] {
 	switch l {
 	case inT1:
 		return &p.t1
@@ -55,8 +61,9 @@ func (p *ARC) listOf(l arcList) *list {
 	}
 }
 
-// Access implements Policy: a hit moves the entry to the MRU position of T2.
-func (p *ARC) Access(key string) {
+// Access implements PolicyOf: a hit moves the entry to the MRU position
+// of T2.
+func (p *arcOf[K]) Access(key K) {
 	e, ok := p.where[key]
 	if !ok || (e.l != inT1 && e.l != inT2) {
 		return
@@ -66,10 +73,10 @@ func (p *ARC) Access(key string) {
 	p.t2.pushFront(e.nd)
 }
 
-// Insert implements Policy. Ghost hits adapt the target p exactly as in
+// Insert implements PolicyOf. Ghost hits adapt the target p exactly as in
 // the original algorithm; the engine performs the actual eviction via
 // Victim/Evict, so REPLACE here only trims ghost lists.
-func (p *ARC) Insert(key string, cost int) {
+func (p *arcOf[K]) Insert(key K, cost int) {
 	if e, ok := p.where[key]; ok {
 		switch e.l {
 		case inT1, inT2:
@@ -109,12 +116,12 @@ func (p *ARC) Insert(key string, cost int) {
 			p.dropLRUGhost(&p.b2)
 		}
 	}
-	nd := &node{key: key}
-	p.where[key] = &arcEntry{nd: nd, l: inT1}
+	nd := &node[K]{key: key}
+	p.where[key] = &arcEntry[K]{nd: nd, l: inT1}
 	p.t1.pushFront(nd)
 }
 
-func (p *ARC) dropLRUGhost(l *list) {
+func (p *arcOf[K]) dropLRUGhost(l *list[K]) {
 	nd := l.back
 	if nd == nil {
 		return
@@ -123,19 +130,19 @@ func (p *ARC) dropLRUGhost(l *list) {
 	delete(p.where, nd.key)
 }
 
-// Victim implements Policy, following ARC's REPLACE rule: evict from T1
+// Victim implements PolicyOf, following ARC's REPLACE rule: evict from T1
 // when |T1| exceeds the target p, else from T2; within a list, prefer the
 // LRU unpinned entry; fall back to the other list if the preferred one is
 // fully pinned.
-func (p *ARC) Victim(pinned func(string) bool) (string, bool) {
-	isPinned := func(k string) bool { return pinned != nil && pinned(k) }
-	scan := func(l *list) (string, bool) {
+func (p *arcOf[K]) Victim(pinned func(K) bool) (K, bool) {
+	scan := func(l *list[K]) (K, bool) {
 		for nd := l.back; nd != nil; nd = nd.prev {
-			if !isPinned(nd.key) {
+			if pinned == nil || !pinned(nd.key) {
 				return nd.key, true
 			}
 		}
-		return "", false
+		var zero K
+		return zero, false
 	}
 	first, second := &p.t1, &p.t2
 	if p.t1.len() == 0 || (p.t1.len() <= p.p && p.t2.len() > 0) {
@@ -147,8 +154,9 @@ func (p *ARC) Victim(pinned func(string) bool) (string, bool) {
 	return scan(second)
 }
 
-// Evict implements Policy: the entry retires into the matching ghost list.
-func (p *ARC) Evict(key string) {
+// Evict implements PolicyOf: the entry retires into the matching ghost
+// list.
+func (p *arcOf[K]) Evict(key K) {
 	e, ok := p.where[key]
 	if !ok {
 		return
@@ -165,8 +173,8 @@ func (p *ARC) Evict(key string) {
 	}
 }
 
-// Remove implements Policy.
-func (p *ARC) Remove(key string) {
+// Remove implements PolicyOf.
+func (p *arcOf[K]) Remove(key K) {
 	e, ok := p.where[key]
 	if !ok {
 		return
@@ -175,14 +183,24 @@ func (p *ARC) Remove(key string) {
 	delete(p.where, key)
 }
 
-// Contains implements Policy.
-func (p *ARC) Contains(key string) bool {
+// Contains implements PolicyOf.
+func (p *arcOf[K]) Contains(key K) bool {
 	e, ok := p.where[key]
 	return ok && (e.l == inT1 || e.l == inT2)
 }
 
-// Len implements Policy.
-func (p *ARC) Len() int { return p.t1.len() + p.t2.len() }
+// Len implements PolicyOf.
+func (p *arcOf[K]) Len() int { return p.t1.len() + p.t2.len() }
+
+// Reset implements PolicyOf.
+func (p *arcOf[K]) Reset() {
+	clear(p.where)
+	p.t1 = list[K]{}
+	p.t2 = list[K]{}
+	p.b1 = list[K]{}
+	p.b2 = list[K]{}
+	p.p = 0
+}
 
 func min(a, b int) int {
 	if a < b {

@@ -16,45 +16,60 @@ type Stats struct {
 	PinBlocked int64
 }
 
-// Cache is the byte-accounting eviction engine that SimFS runs over one
-// storage area. It combines a replacement Policy with file sizes and
-// reference counts (pins): an output step "can be evicted only if its
-// reference counter is zero" (paper Sec. III-A).
-type Cache struct {
-	policy   Policy
+// CacheOf is the byte-accounting eviction engine that SimFS runs over one
+// storage area, generic over the key type. It combines a replacement
+// policy with file sizes and reference counts (pins): an output step "can
+// be evicted only if its reference counter is zero" (paper Sec. III-A).
+type CacheOf[K comparable] struct {
+	policy   PolicyOf[K]
 	maxBytes int64
 	used     int64
-	sizes    map[string]int64
-	pins     map[string]int
+	sizes    map[K]int64
+	pins     map[K]int
 	stats    Stats
+	// pinnedFn is the isPinned method value, bound once: taking it per
+	// Victim call would allocate a closure on every eviction.
+	pinnedFn func(K) bool
 }
 
-// New creates a cache with the given policy and byte capacity. A zero or
-// negative capacity means unbounded (pure on-disk mode).
-func New(policy Policy, maxBytes int64) *Cache {
-	return &Cache{
+// Cache is the string-keyed engine used by the Virtualizer, whose keys
+// are file names.
+type Cache = CacheOf[string]
+
+// New creates a string-keyed cache with the given policy and byte
+// capacity. A zero or negative capacity means unbounded (pure on-disk
+// mode).
+func New(policy Policy, maxBytes int64) *Cache { return NewOf(policy, maxBytes) }
+
+// NewOf creates a cache over any comparable key type. The experiment
+// replay paths use integer output-step keys to keep file-name formatting
+// off the per-access hot path.
+func NewOf[K comparable](policy PolicyOf[K], maxBytes int64) *CacheOf[K] {
+	c := &CacheOf[K]{
 		policy:   policy,
 		maxBytes: maxBytes,
-		sizes:    map[string]int64{},
-		pins:     map[string]int{},
+		sizes:    map[K]int64{},
+		pins:     map[K]int{},
 	}
+	c.pinnedFn = c.isPinned
+	return c
 }
 
 // ErrTooLarge is returned when a single file exceeds the cache capacity.
 var ErrTooLarge = errors.New("cache: file larger than cache capacity")
 
 // Policy returns the underlying replacement policy.
-func (c *Cache) Policy() Policy { return c.policy }
+func (c *CacheOf[K]) Policy() PolicyOf[K] { return c.policy }
 
 // Contains reports whether key is resident, without touching recency state.
-func (c *Cache) Contains(key string) bool {
+func (c *CacheOf[K]) Contains(key K) bool {
 	_, ok := c.sizes[key]
 	return ok
 }
 
 // Touch records an access. It returns true on a hit (and updates the
 // policy's recency state) and false on a miss.
-func (c *Cache) Touch(key string) bool {
+func (c *CacheOf[K]) Touch(key K) bool {
 	if c.Contains(key) {
 		c.policy.Access(key)
 		c.stats.Hits++
@@ -69,42 +84,65 @@ func (c *Cache) Touch(key string) bool {
 // already resident it is touched and its cost refreshed. If capacity
 // cannot be reached because all candidates are pinned, the cache overflows
 // and the event is counted in Stats.PinBlocked.
-func (c *Cache) Insert(key string, size int64, cost int) (evicted []string, err error) {
+func (c *CacheOf[K]) Insert(key K, size int64, cost int) (evicted []K, err error) {
+	if err := c.admit(key, size, cost, &evicted); err != nil {
+		return nil, err
+	}
+	return evicted, nil
+}
+
+// InsertDiscard inserts like Insert but reports only the number of
+// evictions, sparing the evicted-keys allocation. It is the hot-path
+// variant for callers (the experiment replay loop) that only count
+// evictions and never act on the evicted keys.
+func (c *CacheOf[K]) InsertDiscard(key K, size int64, cost int) (evictions int, err error) {
+	before := c.stats.Evictions
+	if err := c.admit(key, size, cost, nil); err != nil {
+		return 0, err
+	}
+	return int(c.stats.Evictions - before), nil
+}
+
+// admit implements Insert; when out is non-nil the evicted keys are
+// appended to it.
+func (c *CacheOf[K]) admit(key K, size int64, cost int, out *[]K) error {
 	if size < 0 {
-		return nil, fmt.Errorf("cache: negative size %d for %q", size, key)
+		return fmt.Errorf("cache: negative size %d for %v", size, key)
 	}
 	if c.Contains(key) {
 		c.policy.Insert(key, cost)
-		return nil, nil
+		return nil
 	}
 	if c.maxBytes > 0 && size > c.maxBytes {
-		return nil, fmt.Errorf("%w: %q is %d bytes, capacity %d", ErrTooLarge, key, size, c.maxBytes)
+		return fmt.Errorf("%w: %v is %d bytes, capacity %d", ErrTooLarge, key, size, c.maxBytes)
 	}
 	if c.maxBytes > 0 {
 		for c.used+size > c.maxBytes {
-			victim, ok := c.policy.Victim(c.isPinned)
+			victim, ok := c.policy.Victim(c.pinnedFn)
 			if !ok {
 				c.stats.PinBlocked++
 				break
 			}
 			c.evict(victim)
-			evicted = append(evicted, victim)
+			if out != nil {
+				*out = append(*out, victim)
+			}
 		}
 	}
 	c.sizes[key] = size
 	c.used += size
 	c.policy.Insert(key, cost)
-	return evicted, nil
+	return nil
 }
 
 // EnsureSpace evicts until at least size bytes are free, returning the
 // evicted keys. ok is false if it could not free enough space (pins).
-func (c *Cache) EnsureSpace(size int64) (evicted []string, ok bool) {
+func (c *CacheOf[K]) EnsureSpace(size int64) (evicted []K, ok bool) {
 	if c.maxBytes <= 0 {
 		return nil, true
 	}
 	for c.used+size > c.maxBytes {
-		victim, vok := c.policy.Victim(c.isPinned)
+		victim, vok := c.policy.Victim(c.pinnedFn)
 		if !vok {
 			c.stats.PinBlocked++
 			return evicted, false
@@ -115,7 +153,7 @@ func (c *Cache) EnsureSpace(size int64) (evicted []string, ok bool) {
 	return evicted, true
 }
 
-func (c *Cache) evict(key string) {
+func (c *CacheOf[K]) evict(key K) {
 	c.policy.Evict(key)
 	c.used -= c.sizes[key]
 	delete(c.sizes, key)
@@ -124,7 +162,7 @@ func (c *Cache) evict(key string) {
 }
 
 // Remove withdraws a key without counting an eviction (external deletion).
-func (c *Cache) Remove(key string) {
+func (c *CacheOf[K]) Remove(key K) {
 	if _, ok := c.sizes[key]; !ok {
 		return
 	}
@@ -136,9 +174,9 @@ func (c *Cache) Remove(key string) {
 
 // Pin increments key's reference counter, protecting it from eviction.
 // Pinning a non-resident key is an error.
-func (c *Cache) Pin(key string) error {
+func (c *CacheOf[K]) Pin(key K) error {
 	if !c.Contains(key) {
-		return fmt.Errorf("cache: pin of non-resident key %q", key)
+		return fmt.Errorf("cache: pin of non-resident key %v", key)
 	}
 	c.pins[key]++
 	return nil
@@ -146,13 +184,13 @@ func (c *Cache) Pin(key string) error {
 
 // Unpin decrements key's reference counter. Unpinning below zero or a
 // non-resident key is an error.
-func (c *Cache) Unpin(key string) error {
+func (c *CacheOf[K]) Unpin(key K) error {
 	n, ok := c.pins[key]
 	if !ok || n <= 0 {
 		if !c.Contains(key) {
-			return fmt.Errorf("cache: unpin of non-resident key %q", key)
+			return fmt.Errorf("cache: unpin of non-resident key %v", key)
 		}
-		return fmt.Errorf("cache: unpin of unpinned key %q", key)
+		return fmt.Errorf("cache: unpin of unpinned key %v", key)
 	}
 	if n == 1 {
 		delete(c.pins, key)
@@ -162,23 +200,23 @@ func (c *Cache) Unpin(key string) error {
 	return nil
 }
 
-func (c *Cache) isPinned(key string) bool { return c.pins[key] > 0 }
+func (c *CacheOf[K]) isPinned(key K) bool { return c.pins[key] > 0 }
 
 // PinCount returns key's current reference count.
-func (c *Cache) PinCount(key string) int { return c.pins[key] }
+func (c *CacheOf[K]) PinCount(key K) int { return c.pins[key] }
 
 // UsedBytes returns the current resident volume.
-func (c *Cache) UsedBytes() int64 { return c.used }
+func (c *CacheOf[K]) UsedBytes() int64 { return c.used }
 
 // MaxBytes returns the configured capacity (0 = unbounded).
-func (c *Cache) MaxBytes() int64 { return c.maxBytes }
+func (c *CacheOf[K]) MaxBytes() int64 { return c.maxBytes }
 
 // Len returns the number of resident entries.
-func (c *Cache) Len() int { return len(c.sizes) }
+func (c *CacheOf[K]) Len() int { return len(c.sizes) }
 
 // Keys returns the resident keys in unspecified order.
-func (c *Cache) Keys() []string {
-	keys := make([]string, 0, len(c.sizes))
+func (c *CacheOf[K]) Keys() []K {
+	keys := make([]K, 0, len(c.sizes))
 	for k := range c.sizes {
 		keys = append(keys, k)
 	}
@@ -186,7 +224,18 @@ func (c *Cache) Keys() []string {
 }
 
 // Stats returns a copy of the event counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *CacheOf[K]) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the event counters.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *CacheOf[K]) ResetStats() { c.stats = Stats{} }
+
+// Reset empties the cache and its policy and zeroes the counters,
+// retaining allocated map storage. The replay rep loops reset one cache
+// per replay instead of allocating a fresh policy+cache pair.
+func (c *CacheOf[K]) Reset() {
+	c.policy.Reset()
+	clear(c.sizes)
+	clear(c.pins)
+	c.used = 0
+	c.stats = Stats{}
+}

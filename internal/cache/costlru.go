@@ -17,41 +17,44 @@ package cache
 // entry is still resident and has not been re-accessed — evidence that
 // sparing it was the wrong call.
 
-// costLRU is the shared machinery of BCL and DCL.
-type costLRU struct {
+// costLRUOf is the shared machinery of BCL and DCL.
+type costLRUOf[K comparable] struct {
 	name    string
 	dynamic bool // false: BCL, true: DCL
-	byKey   map[string]*node
-	rec     list // MRU front … LRU back
+	byKey   map[K]*node[K]
+	rec     list[K] // MRU front … LRU back
 	// pendingDepr maps an evicted victim key to the LRU key that was
 	// spared at that eviction (DCL only).
-	pendingDepr map[string]string
+	pendingDepr map[K]K
 	// deprBy maps the spared-LRU key to the cost to subtract if the
 	// depreciation triggers (DCL only).
-	deprBy map[string]int
+	deprBy map[K]int
 }
 
-func newCostLRU(name string, dynamic bool) *costLRU {
-	return &costLRU{
+// costLRU is the string-keyed instantiation (referenced by tests).
+type costLRU = costLRUOf[string]
+
+func newCostLRU[K comparable](name string, dynamic bool) *costLRUOf[K] {
+	return &costLRUOf[K]{
 		name:        name,
 		dynamic:     dynamic,
-		byKey:       map[string]*node{},
-		pendingDepr: map[string]string{},
-		deprBy:      map[string]int{},
+		byKey:       map[K]*node[K]{},
+		pendingDepr: map[K]K{},
+		deprBy:      map[K]int{},
 	}
 }
 
-// NewBCL returns the Basic Cost-Sensitive LRU policy.
-func NewBCL() Policy { return newCostLRU("BCL", false) }
+// NewBCL returns the string-keyed Basic Cost-Sensitive LRU policy.
+func NewBCL() Policy { return newCostLRU[string]("BCL", false) }
 
-// NewDCL returns the Dynamic Cost-Sensitive LRU policy.
-func NewDCL() Policy { return newCostLRU("DCL", true) }
+// NewDCL returns the string-keyed Dynamic Cost-Sensitive LRU policy.
+func NewDCL() Policy { return newCostLRU[string]("DCL", true) }
 
-// Name implements Policy.
-func (p *costLRU) Name() string { return p.name }
+// Name implements PolicyOf.
+func (p *costLRUOf[K]) Name() string { return p.name }
 
-// Access implements Policy.
-func (p *costLRU) Access(key string) {
+// Access implements PolicyOf.
+func (p *costLRUOf[K]) Access(key K) {
 	nd, ok := p.byKey[key]
 	if !ok {
 		return
@@ -64,8 +67,8 @@ func (p *costLRU) Access(key string) {
 	}
 }
 
-// Insert implements Policy.
-func (p *costLRU) Insert(key string, cost int) {
+// Insert implements PolicyOf.
+func (p *costLRUOf[K]) Insert(key K, cost int) {
 	if nd, ok := p.byKey[key]; ok {
 		nd.cost = cost
 		p.Access(key)
@@ -86,30 +89,32 @@ func (p *costLRU) Insert(key string, cost int) {
 			delete(p.deprBy, key)
 		}
 	}
-	nd := &node{key: key, cost: cost}
+	nd := &node[K]{key: key, cost: cost}
 	p.byKey[key] = nd
 	p.rec.pushFront(nd)
 }
 
-// Victim implements Policy: the first entry from the LRU end with cost
+// Victim implements PolicyOf: the first entry from the LRU end with cost
 // strictly lower than the (unpinned) LRU entry; the LRU is the fallback.
-func (p *costLRU) Victim(pinned func(string) bool) (string, bool) {
-	isPinned := func(k string) bool { return pinned != nil && pinned(k) }
+func (p *costLRUOf[K]) Victim(pinned func(K) bool) (K, bool) {
+	// The pinned checks are written inline (no wrapper closure): Victim
+	// runs once per eviction on the replay hot path.
 
 	// Find the effective LRU: the least recently used unpinned entry.
-	var lru *node
+	var lru *node[K]
 	for nd := p.rec.back; nd != nil; nd = nd.prev {
-		if !isPinned(nd.key) {
+		if pinned == nil || !pinned(nd.key) {
 			lru = nd
 			break
 		}
 	}
 	if lru == nil {
-		return "", false
+		var zero K
+		return zero, false
 	}
 	// Scan from the LRU end towards the MRU end for a cheaper entry.
 	for nd := p.rec.back; nd != nil; nd = nd.prev {
-		if nd == lru || isPinned(nd.key) {
+		if nd == lru || (pinned != nil && pinned(nd.key)) {
 			continue
 		}
 		if nd.cost < lru.cost {
@@ -121,7 +126,7 @@ func (p *costLRU) Victim(pinned func(string) bool) (string, bool) {
 }
 
 // sparedLRU records that lru was spared in favor of evicting victim.
-func (p *costLRU) sparedLRU(lru, victim *node) {
+func (p *costLRUOf[K]) sparedLRU(lru, victim *node[K]) {
 	if !p.dynamic {
 		// BCL: depreciate immediately.
 		lru.cost -= victim.cost
@@ -138,7 +143,7 @@ func (p *costLRU) sparedLRU(lru, victim *node) {
 }
 
 // cancelPendingFor drops pending depreciations that target lruKey.
-func (p *costLRU) cancelPendingFor(lruKey string) {
+func (p *costLRUOf[K]) cancelPendingFor(lruKey K) {
 	for victim, target := range p.pendingDepr {
 		if target == lruKey {
 			delete(p.pendingDepr, victim)
@@ -147,11 +152,11 @@ func (p *costLRU) cancelPendingFor(lruKey string) {
 	}
 }
 
-// Evict implements Policy.
-func (p *costLRU) Evict(key string) { p.removeResident(key) }
+// Evict implements PolicyOf.
+func (p *costLRUOf[K]) Evict(key K) { p.removeResident(key) }
 
-// Remove implements Policy.
-func (p *costLRU) Remove(key string) {
+// Remove implements PolicyOf.
+func (p *costLRUOf[K]) Remove(key K) {
 	p.removeResident(key)
 	if p.dynamic {
 		delete(p.pendingDepr, key)
@@ -160,22 +165,30 @@ func (p *costLRU) Remove(key string) {
 	}
 }
 
-func (p *costLRU) removeResident(key string) {
+func (p *costLRUOf[K]) removeResident(key K) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.remove(nd)
 		delete(p.byKey, key)
 	}
 }
 
-// Contains implements Policy.
-func (p *costLRU) Contains(key string) bool { _, ok := p.byKey[key]; return ok }
+// Contains implements PolicyOf.
+func (p *costLRUOf[K]) Contains(key K) bool { _, ok := p.byKey[key]; return ok }
 
-// Len implements Policy.
-func (p *costLRU) Len() int { return p.rec.len() }
+// Len implements PolicyOf.
+func (p *costLRUOf[K]) Len() int { return p.rec.len() }
 
-// cost returns the current (possibly depreciated) cost of a resident key;
+// Reset implements PolicyOf.
+func (p *costLRUOf[K]) Reset() {
+	clear(p.byKey)
+	clear(p.pendingDepr)
+	clear(p.deprBy)
+	p.rec = list[K]{}
+}
+
+// costOf returns the current (possibly depreciated) cost of a resident key;
 // exported for tests via the package-internal helper.
-func (p *costLRU) costOf(key string) (int, bool) {
+func (p *costLRUOf[K]) costOf(key K) (int, bool) {
 	nd, ok := p.byKey[key]
 	if !ok {
 		return 0, false

@@ -16,22 +16,27 @@ package cache
 // promoted to LIR and the bottom LIR entry is demoted to HIR. The stack is
 // pruned so its bottom is always LIR. Ghost entries in S are bounded to
 // 2× capacity to cap metadata.
-type LIRS struct {
+type lirsOf[K comparable] struct {
 	cap   int // total resident capacity (entries)
 	lCap  int // target LIR set size
-	byKey map[string]*node
-	s     list // recency stack, front = most recent
-	q     list // resident HIR queue, front = next victim
+	byKey map[K]*node[K]
+	s     list[K] // recency stack, front = most recent
+	q     list[K] // resident HIR queue, front = next victim
 	// qByKey tracks nodes linked into q via shadow nodes.
-	qByKey map[string]*node
+	qByKey map[K]*node[K]
 	nLIR   int
 	ghosts int
 }
 
-// NewLIRS returns an empty LIRS policy sized for the given capacity in
-// entries. The HIR target is 1% of capacity (at least one entry), per the
-// original paper's recommendation.
-func NewLIRS(capacity int) *LIRS {
+// LIRS is the string-keyed LIRS policy used by the Virtualizer.
+type LIRS = lirsOf[string]
+
+// NewLIRS returns an empty string-keyed LIRS policy sized for the given
+// capacity in entries. The HIR target is 1% of capacity (at least one
+// entry), per the original paper's recommendation.
+func NewLIRS(capacity int) *LIRS { return newLIRS[string](capacity) }
+
+func newLIRS[K comparable](capacity int) *lirsOf[K] {
 	if capacity < 2 {
 		capacity = 2
 	}
@@ -39,26 +44,26 @@ func NewLIRS(capacity int) *LIRS {
 	if hCap < 1 {
 		hCap = 1
 	}
-	return &LIRS{
+	return &lirsOf[K]{
 		cap:    capacity,
 		lCap:   capacity - hCap,
-		byKey:  map[string]*node{},
-		qByKey: map[string]*node{},
+		byKey:  map[K]*node[K]{},
+		qByKey: map[K]*node[K]{},
 	}
 }
 
-// Name implements Policy.
-func (p *LIRS) Name() string { return "LIRS" }
+// Name implements PolicyOf.
+func (p *lirsOf[K]) Name() string { return "LIRS" }
 
 // stack nodes are shared between bookkeeping maps; queue membership is
 // represented by separate shadow nodes to keep the intrusive links simple.
 
-func (p *LIRS) inS(nd *node) bool {
+func (p *lirsOf[K]) inS(nd *node[K]) bool {
 	return nd.prev != nil || nd.next != nil || p.s.front == nd
 }
 
-// Access implements Policy.
-func (p *LIRS) Access(key string) {
+// Access implements PolicyOf.
+func (p *lirsOf[K]) Access(key K) {
 	nd, ok := p.byKey[key]
 	if !ok || !nd.resident {
 		return
@@ -89,8 +94,8 @@ func (p *LIRS) Access(key string) {
 	}
 }
 
-// Insert implements Policy.
-func (p *LIRS) Insert(key string, cost int) {
+// Insert implements PolicyOf.
+func (p *lirsOf[K]) Insert(key K, cost int) {
 	if nd, ok := p.byKey[key]; ok && nd.resident {
 		p.Access(key)
 		return
@@ -111,7 +116,7 @@ func (p *LIRS) Insert(key string, cost int) {
 		// Ghost fully aged out of the stack: treat as brand new below.
 		delete(p.byKey, key)
 	}
-	nd := &node{key: key, resident: true}
+	nd := &node[K]{key: key, resident: true}
 	p.byKey[key] = nd
 	if p.nLIR < p.lCap {
 		// Cold start: fill the LIR set first.
@@ -126,27 +131,27 @@ func (p *LIRS) Insert(key string, cost int) {
 	p.bound()
 }
 
-// Victim implements Policy: the front of Q; if every queued entry is
+// Victim implements PolicyOf: the front of Q; if every queued entry is
 // pinned, fall back to the deepest unpinned LIR entry on the stack.
-func (p *LIRS) Victim(pinned func(string) bool) (string, bool) {
-	isPinned := func(k string) bool { return pinned != nil && pinned(k) }
+func (p *lirsOf[K]) Victim(pinned func(K) bool) (K, bool) {
 	for qn := p.q.front; qn != nil; qn = qn.next {
-		if !isPinned(qn.key) {
+		if pinned == nil || !pinned(qn.key) {
 			return qn.key, true
 		}
 	}
 	for nd := p.s.back; nd != nil; nd = nd.prev {
-		if nd.resident && !isPinned(nd.key) {
+		if nd.resident && (pinned == nil || !pinned(nd.key)) {
 			return nd.key, true
 		}
 	}
-	return "", false
+	var zero K
+	return zero, false
 }
 
-// Evict implements Policy: the entry becomes a non-resident ghost if it is
-// still on the stack (so LIRS can observe its reuse distance); otherwise it
-// is forgotten.
-func (p *LIRS) Evict(key string) {
+// Evict implements PolicyOf: the entry becomes a non-resident ghost if it
+// is still on the stack (so LIRS can observe its reuse distance);
+// otherwise it is forgotten.
+func (p *lirsOf[K]) Evict(key K) {
 	nd, ok := p.byKey[key]
 	if !ok || !nd.resident {
 		return
@@ -166,8 +171,8 @@ func (p *LIRS) Evict(key string) {
 	}
 }
 
-// Remove implements Policy.
-func (p *LIRS) Remove(key string) {
+// Remove implements PolicyOf.
+func (p *lirsOf[K]) Remove(key K) {
 	nd, ok := p.byKey[key]
 	if !ok {
 		return
@@ -187,14 +192,14 @@ func (p *LIRS) Remove(key string) {
 	p.prune()
 }
 
-// Contains implements Policy.
-func (p *LIRS) Contains(key string) bool {
+// Contains implements PolicyOf.
+func (p *lirsOf[K]) Contains(key K) bool {
 	nd, ok := p.byKey[key]
 	return ok && nd.resident
 }
 
-// Len implements Policy.
-func (p *LIRS) Len() int {
+// Len implements PolicyOf.
+func (p *lirsOf[K]) Len() int {
 	n := 0
 	for _, nd := range p.byKey {
 		if nd.resident {
@@ -204,9 +209,19 @@ func (p *LIRS) Len() int {
 	return n
 }
 
+// Reset implements PolicyOf.
+func (p *lirsOf[K]) Reset() {
+	clear(p.byKey)
+	clear(p.qByKey)
+	p.s = list[K]{}
+	p.q = list[K]{}
+	p.nLIR = 0
+	p.ghosts = 0
+}
+
 // demoteIfNeeded demotes the bottom LIR entry to resident HIR when the LIR
 // set exceeds its target size.
-func (p *LIRS) demoteIfNeeded() {
+func (p *lirsOf[K]) demoteIfNeeded() {
 	for p.nLIR > p.lCap {
 		bottom := p.s.back
 		for bottom != nil && !bottom.lir {
@@ -230,7 +245,7 @@ func (p *LIRS) demoteIfNeeded() {
 
 // prune removes non-LIR entries from the stack bottom, forgetting ghosts
 // that fall off.
-func (p *LIRS) prune() {
+func (p *lirsOf[K]) prune() {
 	for p.s.back != nil && !p.s.back.lir {
 		nd := p.s.back
 		p.s.remove(nd)
@@ -244,9 +259,9 @@ func (p *LIRS) prune() {
 }
 
 // bound caps ghost metadata at 2× capacity by aging the deepest ghosts.
-func (p *LIRS) bound() {
+func (p *lirsOf[K]) bound() {
 	for p.ghosts > 2*p.cap {
-		var oldest *node
+		var oldest *node[K]
 		for nd := p.s.back; nd != nil; nd = nd.prev {
 			if !nd.resident {
 				oldest = nd
@@ -262,16 +277,16 @@ func (p *LIRS) bound() {
 	}
 }
 
-func (p *LIRS) enqueue(key string) {
+func (p *lirsOf[K]) enqueue(key K) {
 	if _, ok := p.qByKey[key]; ok {
 		return
 	}
-	qn := &node{key: key}
+	qn := &node[K]{key: key}
 	p.qByKey[key] = qn
 	p.q.pushBack(qn)
 }
 
-func (p *LIRS) dequeue(key string) {
+func (p *lirsOf[K]) dequeue(key K) {
 	if qn, ok := p.qByKey[key]; ok {
 		p.q.remove(qn)
 		delete(p.qByKey, key)

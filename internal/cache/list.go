@@ -1,9 +1,11 @@
 package cache
 
-// node is an element of an intrusive doubly-linked recency list.
-type node struct {
-	key        string
-	prev, next *node
+// node is an element of an intrusive doubly-linked recency list, generic
+// over the key type: the Virtualizer keys entries by file name, the
+// experiment replay paths by integer output-step index.
+type node[K comparable] struct {
+	key        K
+	prev, next *node[K]
 	// cost is the miss cost for cost-aware schemes; auxiliary state for
 	// others (LIRS uses lir/resident flags instead).
 	cost int
@@ -14,12 +16,12 @@ type node struct {
 
 // list is a doubly-linked list with sentinel-free head/tail pointers,
 // ordered MRU (front) to LRU (back).
-type list struct {
-	front, back *node
+type list[K comparable] struct {
+	front, back *node[K]
 	n           int
 }
 
-func (l *list) pushFront(nd *node) {
+func (l *list[K]) pushFront(nd *node[K]) {
 	nd.prev = nil
 	nd.next = l.front
 	if l.front != nil {
@@ -32,7 +34,7 @@ func (l *list) pushFront(nd *node) {
 	l.n++
 }
 
-func (l *list) pushBack(nd *node) {
+func (l *list[K]) pushBack(nd *node[K]) {
 	nd.next = nil
 	nd.prev = l.back
 	if l.back != nil {
@@ -45,7 +47,7 @@ func (l *list) pushBack(nd *node) {
 	l.n++
 }
 
-func (l *list) remove(nd *node) {
+func (l *list[K]) remove(nd *node[K]) {
 	if nd.prev != nil {
 		nd.prev.next = nd.next
 	} else {
@@ -60,7 +62,7 @@ func (l *list) remove(nd *node) {
 	l.n--
 }
 
-func (l *list) moveToFront(nd *node) {
+func (l *list[K]) moveToFront(nd *node[K]) {
 	if l.front == nd {
 		return
 	}
@@ -68,4 +70,4 @@ func (l *list) moveToFront(nd *node) {
 	l.pushFront(nd)
 }
 
-func (l *list) len() int { return l.n }
+func (l *list[K]) len() int { return l.n }

@@ -1,61 +1,73 @@
 package cache
 
-// LRU is the Least-Recently-Used replacement scheme: the victim is the
+// lruOf is the Least-Recently-Used replacement scheme: the victim is the
 // resident entry whose last access is the furthest in the past.
-type LRU struct {
-	byKey map[string]*node
-	rec   list // MRU front … LRU back
+type lruOf[K comparable] struct {
+	byKey map[K]*node[K]
+	rec   list[K] // MRU front … LRU back
 }
 
-// NewLRU returns an empty LRU policy.
-func NewLRU() *LRU {
-	return &LRU{byKey: map[string]*node{}}
+// LRU is the string-keyed LRU policy used by the Virtualizer.
+type LRU = lruOf[string]
+
+// NewLRU returns an empty string-keyed LRU policy.
+func NewLRU() *LRU { return newLRU[string]() }
+
+func newLRU[K comparable]() *lruOf[K] {
+	return &lruOf[K]{byKey: map[K]*node[K]{}}
 }
 
-// Name implements Policy.
-func (p *LRU) Name() string { return "LRU" }
+// Name implements PolicyOf.
+func (p *lruOf[K]) Name() string { return "LRU" }
 
-// Access implements Policy.
-func (p *LRU) Access(key string) {
+// Access implements PolicyOf.
+func (p *lruOf[K]) Access(key K) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.moveToFront(nd)
 	}
 }
 
-// Insert implements Policy.
-func (p *LRU) Insert(key string, cost int) {
+// Insert implements PolicyOf.
+func (p *lruOf[K]) Insert(key K, cost int) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.moveToFront(nd)
 		return
 	}
-	nd := &node{key: key, cost: cost}
+	nd := &node[K]{key: key, cost: cost}
 	p.byKey[key] = nd
 	p.rec.pushFront(nd)
 }
 
-// Victim implements Policy: the least recently used unpinned entry.
-func (p *LRU) Victim(pinned func(string) bool) (string, bool) {
+// Victim implements PolicyOf: the least recently used unpinned entry.
+func (p *lruOf[K]) Victim(pinned func(K) bool) (K, bool) {
 	for nd := p.rec.back; nd != nil; nd = nd.prev {
 		if pinned == nil || !pinned(nd.key) {
 			return nd.key, true
 		}
 	}
-	return "", false
+	var zero K
+	return zero, false
 }
 
-// Evict implements Policy.
-func (p *LRU) Evict(key string) { p.Remove(key) }
+// Evict implements PolicyOf.
+func (p *lruOf[K]) Evict(key K) { p.Remove(key) }
 
-// Remove implements Policy.
-func (p *LRU) Remove(key string) {
+// Remove implements PolicyOf.
+func (p *lruOf[K]) Remove(key K) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.remove(nd)
 		delete(p.byKey, key)
 	}
 }
 
-// Contains implements Policy.
-func (p *LRU) Contains(key string) bool { _, ok := p.byKey[key]; return ok }
+// Contains implements PolicyOf.
+func (p *lruOf[K]) Contains(key K) bool { _, ok := p.byKey[key]; return ok }
 
-// Len implements Policy.
-func (p *LRU) Len() int { return p.rec.len() }
+// Len implements PolicyOf.
+func (p *lruOf[K]) Len() int { return p.rec.len() }
+
+// Reset implements PolicyOf.
+func (p *lruOf[K]) Reset() {
+	clear(p.byKey)
+	p.rec = list[K]{}
+}

@@ -8,11 +8,16 @@
 // Five replacement policies are provided, matching the paper's evaluation:
 // LRU, LIRS (Jiang & Zhang), ARC (Megiddo & Modha), and the cost-sensitive
 // BCL and DCL of Jeong & Dubois adapted to fully associative caches.
+//
+// All policies are generic over the key type. The Virtualizer keys entries
+// by file name (the string-keyed Policy/Cache aliases below); the
+// experiment replay hot paths key by integer output-step index, which
+// avoids formatting a file name per access.
 package cache
 
 import "fmt"
 
-// Policy is a fully associative replacement policy over string keys.
+// PolicyOf is a fully associative replacement policy over keys of type K.
 // Implementations track resident entries (and, for LIRS/ARC, ghost
 // history) but never account for bytes or pins — the Cache engine does.
 //
@@ -21,48 +26,64 @@ import "fmt"
 // with ghost lists can retire the entry into history), and Remove withdraws
 // a key that disappeared for external reasons (file deleted by an
 // operator, context reset).
-type Policy interface {
+type PolicyOf[K comparable] interface {
 	// Name returns the scheme's short name (LRU, LIRS, ARC, BCL, DCL).
 	Name() string
 	// Access records a hit on a resident key. Calling it for an absent
 	// key is a no-op.
-	Access(key string)
+	Access(key K)
 	// Insert records key becoming resident, with the given miss cost
 	// (output steps from the closest previous restart step). Inserting an
 	// already-resident key behaves like Access.
-	Insert(key string, cost int)
+	Insert(key K, cost int)
 	// Victim proposes the next eviction victim among resident entries for
 	// which pinned(key) is false. ok is false if every resident entry is
 	// pinned (or the cache is empty).
-	Victim(pinned func(string) bool) (victim string, ok bool)
+	Victim(pinned func(K) bool) (victim K, ok bool)
 	// Evict removes a key previously returned by Victim. Ghost-keeping
 	// policies retire it into their history.
-	Evict(key string)
+	Evict(key K)
 	// Remove withdraws a key without keeping history.
-	Remove(key string)
+	Remove(key K)
 	// Contains reports whether key is resident.
-	Contains(key string) bool
+	Contains(key K) bool
 	// Len returns the number of resident entries.
 	Len() int
+	// Reset forgets all resident entries, ghosts and adaptation state,
+	// returning the policy to its freshly constructed condition while
+	// keeping allocated map storage for reuse (the replay rep loops reset
+	// one policy per replay instead of allocating a fresh one).
+	Reset()
 }
 
-// NewPolicy constructs a policy by name. capacity is the cache size in
-// entries; it parameterizes the internal targets of LIRS and ARC and is
-// ignored by the pure-recency and cost-based schemes.
-func NewPolicy(name string, capacity int) (Policy, error) {
+// Policy is the string-keyed policy used by the Virtualizer, whose cache
+// keys are file names under the context's naming convention.
+type Policy = PolicyOf[string]
+
+// NewPolicyOf constructs a policy by name over any comparable key type.
+// capacity is the cache size in entries; it parameterizes the internal
+// targets of LIRS and ARC and is ignored by the pure-recency and
+// cost-based schemes.
+func NewPolicyOf[K comparable](name string, capacity int) (PolicyOf[K], error) {
 	switch name {
 	case "LRU":
-		return NewLRU(), nil
+		return newLRU[K](), nil
 	case "LIRS":
-		return NewLIRS(capacity), nil
+		return newLIRS[K](capacity), nil
 	case "ARC":
-		return NewARC(capacity), nil
+		return newARC[K](capacity), nil
 	case "BCL":
-		return NewBCL(), nil
+		return newCostLRU[K]("BCL", false), nil
 	case "DCL":
-		return NewDCL(), nil
+		return newCostLRU[K]("DCL", true), nil
 	}
 	return nil, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// NewPolicy constructs a string-keyed policy by name (the Virtualizer's
+// adapter over the generic implementations).
+func NewPolicy(name string, capacity int) (Policy, error) {
+	return NewPolicyOf[string](name, capacity)
 }
 
 // PolicyNames lists the available replacement schemes in the order the

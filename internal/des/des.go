@@ -5,10 +5,16 @@
 // latency relationships (αsim, τsim, τcli) the paper's formulas are built
 // on. The DV core is time-source agnostic: it reads time through the Clock
 // interface, which either this engine or the wall clock implements.
+//
+// The scheduler stores events in a slab indexed by small integers and
+// orders them with an inlined 4-ary min-heap over slab indices. Freed
+// slots are recycled through a free list, so steady-state scheduling does
+// not allocate: a self-rescheduling event loop (the shape of every DES
+// experiment) runs at ~0 allocs/event. Timer handles are values carrying a
+// generation counter, so a handle to a fired or stopped event is inert.
 package des
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -28,38 +34,52 @@ func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
 // Now implements Clock.
 func (w *WallClock) Now() time.Duration { return time.Since(w.epoch) }
 
-// Timer is a cancellable scheduled event.
+// Timer is a cancellable handle to a scheduled event. It is a small value
+// (no per-event heap allocation); the zero Timer is inert.
 type Timer struct {
+	e    *Engine
+	at   time.Duration
+	slot int32
+	gen  uint32
+}
+
+// Stop cancels the timer if it has not fired, removing it from the event
+// queue immediately. It reports whether the call prevented the event from
+// firing.
+func (t Timer) Stop() bool {
+	if t.e == nil {
+		return false
+	}
+	return t.e.stop(t.slot, t.gen)
+}
+
+// When returns the virtual time the timer was scheduled to fire at.
+func (t Timer) When() time.Duration { return t.at }
+
+// slot holds one scheduled event in the engine's slab. gen invalidates
+// Timer handles once the slot is recycled; heapIdx is the slot's current
+// position in the heap (-1 when not queued).
+type slot struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
-	stopped bool
-	index   int // heap index, -1 once popped
+	gen     uint32
+	heapIdx int32
 }
-
-// Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the event from firing.
-func (t *Timer) Stop() bool {
-	if t.stopped || t.index == -1 {
-		return false
-	}
-	t.stopped = true
-	return true
-}
-
-// When returns the virtual time the timer fires at.
-func (t *Timer) When() time.Duration { return t.at }
 
 // Engine is a single-threaded discrete-event scheduler. Events scheduled
 // for the same instant fire in scheduling order (stable FIFO tie-break),
 // which keeps experiments deterministic.
 type Engine struct {
 	now time.Duration
-	pq  eventQueue
 	seq uint64
 	// processed counts fired events, for introspection and runaway
 	// detection in tests.
 	processed uint64
+
+	slab []slot
+	free []int32 // recycled slab indices
+	heap []int32 // 4-ary min-heap of slab indices, ordered by (at, seq)
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -73,13 +93,13 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still scheduled (including
-// stopped-but-unreaped timers).
-func (e *Engine) Pending() int { return e.pq.Len() }
+// Pending returns the number of events still scheduled. Stopped timers
+// are reaped from the queue immediately, so they are never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule enqueues fn to run after delay. Negative delays run "now" (at
 // the current virtual time, after already-queued events for that time).
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -88,29 +108,39 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 
 // At enqueues fn to run at absolute virtual time t. Times in the past are
 // clamped to now.
-func (e *Engine) At(t time.Duration, fn func()) *Timer {
+func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.pq, tm)
-	return tm
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slab = append(e.slab, slot{})
+		idx = int32(len(e.slab) - 1)
+	}
+	s := &e.slab[idx]
+	s.at, s.seq, s.fn = t, e.seq, fn
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+	return Timer{e: e, at: t, slot: idx, gen: s.gen}
 }
 
 // Step fires the next event. It reports whether an event was fired.
 func (e *Engine) Step() bool {
-	for e.pq.Len() > 0 {
-		tm := heap.Pop(&e.pq).(*Timer)
-		if tm.stopped {
-			continue
-		}
-		e.now = tm.at
-		e.processed++
-		tm.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.removeAt(0)
+	s := &e.slab[idx]
+	e.now = s.at
+	e.processed++
+	fn := s.fn
+	e.release(idx)
+	fn()
+	return true
 }
 
 // Run fires events until none remain. maxEvents bounds runaway loops
@@ -118,7 +148,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(maxEvents uint64) bool {
 	for {
 		if maxEvents > 0 && e.processed >= maxEvents {
-			return e.pq.Len() == 0
+			return len(e.heap) == 0
 		}
 		if !e.Step() {
 			return true
@@ -128,9 +158,8 @@ func (e *Engine) Run(maxEvents uint64) bool {
 
 // RunUntil fires events with timestamps ≤ t, then advances the clock to t.
 func (e *Engine) RunUntil(t time.Duration) {
-	for e.pq.Len() > 0 {
-		tm := e.pq[0]
-		if tm.at > t {
+	for len(e.heap) > 0 {
+		if e.slab[e.heap[0]].at > t {
 			break
 		}
 		e.Step()
@@ -140,32 +169,106 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 }
 
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*Timer
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// stop cancels the event in the given slot if the generation still
+// matches, reaping it from the heap in place. Eager reaping keeps the
+// queue from growing unboundedly when long virtual runs cancel many
+// prefetch timers.
+func (e *Engine) stop(idx int32, gen uint32) bool {
+	if int(idx) >= len(e.slab) {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	s := &e.slab[idx]
+	if s.gen != gen || s.heapIdx < 0 {
+		return false
+	}
+	e.removeAt(int(s.heapIdx))
+	e.release(idx)
+	return true
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// release recycles a slab slot, invalidating outstanding Timer handles.
+func (e *Engine) release(idx int32) {
+	s := &e.slab[idx]
+	s.fn = nil
+	s.gen++
+	s.heapIdx = -1
+	e.free = append(e.free, idx)
 }
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
+
+// less orders slab slots by (at, seq): earliest deadline first, FIFO on
+// ties.
+func (e *Engine) less(a, b int32) bool {
+	x, y := &e.slab[a], &e.slab[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+
+// removeAt deletes the heap element at position i and returns its slab
+// index. The caller is responsible for releasing or re-queueing the slot.
+func (e *Engine) removeAt(i int) int32 {
+	n := len(e.heap) - 1
+	idx := e.heap[i]
+	if i != n {
+		e.heap[i] = e.heap[n]
+		e.slab[e.heap[i]].heapIdx = int32(i)
+		e.heap = e.heap[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		e.heap = e.heap[:n]
+	}
+	e.slab[idx].heapIdx = -1
+	return idx
+}
+
+// siftUp restores the heap property upward from position i.
+func (e *Engine) siftUp(i int) {
+	idx := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(idx, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.slab[e.heap[i]].heapIdx = int32(i)
+		i = p
+	}
+	e.heap[i] = idx
+	e.slab[idx].heapIdx = int32(i)
+}
+
+// siftDown restores the heap property downward from position i; it
+// reports whether the element moved.
+func (e *Engine) siftDown(i int) bool {
+	idx := e.heap[i]
+	n := len(e.heap)
+	start := i
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if e.less(e.heap[k], e.heap[best]) {
+				best = k
+			}
+		}
+		if !e.less(e.heap[best], idx) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.slab[e.heap[i]].heapIdx = int32(i)
+		i = best
+	}
+	e.heap[i] = idx
+	e.slab[idx].heapIdx = int32(i)
+	return i > start
 }

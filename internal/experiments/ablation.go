@@ -13,6 +13,8 @@ import (
 
 // Ablation studies for the design choices DESIGN.md calls out. They are
 // not paper figures; they quantify how much each mechanism contributes.
+// Like the figure runners, each sweep fans its independent cells across
+// the worker pool and merges in configuration order.
 
 // AblationPrefetchStrategies compares analysis completion time with
 // prefetching disabled, with a single prefetched simulation (masking
@@ -32,14 +34,20 @@ func AblationPrefetchStrategies() (*metrics.Table, error) {
 		{"bandwidth (smax=4)", func(c *model.Context) { c.SMax = 4 }},
 		{"bandwidth (smax=8)", func(c *model.Context) { c.SMax = 8 }},
 	}
-	for _, mode := range modes {
+	results, err := RunCells(0, len(modes), func(i int) (time.Duration, error) {
 		ctx := scalingCtx(simulator.CosmoScaling, 8)
-		mode.mut(ctx)
+		modes[i].mut(ctx)
 		elapsed, err := runAnalysis(ctx, Forward(1, m), tauCli, nil)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", mode.name, err)
+			return 0, fmt.Errorf("ablation %s: %w", modes[i].name, err)
 		}
-		tab.Series("forward").Add(mode.name, elapsed.Seconds())
+		return elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		tab.Series("forward").Add(mode.name, results[i].Seconds())
 	}
 	return tab, nil
 }
@@ -51,7 +59,14 @@ func AblationDoubling() (*metrics.Table, error) {
 	tab := metrics.NewTable("Ablation — ramp-up vs immediate sopt (COSMO, m=144)", "mode", "value")
 	const m = 144
 	tauCli := 100 * time.Millisecond
-	for _, rampUp := range []bool{false, true} {
+	modes := []bool{false, true}
+	type result struct {
+		elapsed  time.Duration
+		produced float64
+		launches float64
+	}
+	results, err := RunCells(0, len(modes), func(i int) (result, error) {
+		rampUp := modes[i]
 		ctx := scalingCtx(simulator.CosmoScaling, 8)
 		ctx.RampUp = rampUp
 		name := "immediate"
@@ -60,20 +75,30 @@ func AblationDoubling() (*metrics.Table, error) {
 		}
 		eng, v, err := stackFor(ctx)
 		if err != nil {
-			return nil, err
+			return result{}, err
 		}
 		var elapsed time.Duration
 		a := &Analysis{Engine: eng, V: v, Ctx: ctx, Client: "abl", Steps: Forward(1, m), TauCli: tauCli,
 			OnDone: func(d time.Duration) { elapsed = d }}
 		a.Start()
 		if !eng.Run(20_000_000) {
-			return nil, fmt.Errorf("ablation doubling (%s): runaway", name)
+			return result{}, fmt.Errorf("ablation doubling (%s): runaway", name)
 		}
 		st, _ := v.Stats(ctx.Name)
-		tab.Series("running time (s)").Add(name, elapsed.Seconds())
+		return result{elapsed, float64(st.StepsProduced), float64(st.Restarts)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rampUp := range modes {
+		name := "immediate"
+		if rampUp {
+			name = "doubling"
+		}
+		tab.Series("running time (s)").Add(name, results[i].elapsed.Seconds())
 		// Wasted work: produced steps beyond what the analysis read.
-		tab.Series("steps produced").Add(name, float64(st.StepsProduced))
-		tab.Series("launches").Add(name, float64(st.Restarts))
+		tab.Series("steps produced").Add(name, results[i].produced)
+		tab.Series("launches").Add(name, results[i].launches)
 	}
 	return tab, nil
 }
@@ -84,32 +109,48 @@ func AblationDoubling() (*metrics.Table, error) {
 func AblationPinPressure() (*metrics.Table, error) {
 	tab := metrics.NewTable("Ablation — eviction under pin pressure", "pinned fraction", "overflow events")
 	const capacity = 64
+	fracs := []float64{0, 0.25, 0.5, 0.9}
+	type cell struct {
+		pol  string
+		frac float64
+	}
+	var cells []cell
 	for _, pol := range cache.PolicyNames() {
-		for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
-			p, err := cache.NewPolicy(pol, capacity)
-			if err != nil {
-				return nil, err
-			}
-			c := cache.New(p, capacity) // 1-byte entries
-			pinned := int(frac * capacity)
-			for i := 0; i < capacity; i++ {
-				if _, err := c.Insert(fmt.Sprintf("base%03d", i), 1, 1); err != nil {
-					return nil, err
-				}
-			}
-			n := 0
-			for i := 0; i < capacity && n < pinned; i++ {
-				if c.Pin(fmt.Sprintf("base%03d", i)) == nil {
-					n++
-				}
-			}
-			for i := 0; i < 4*capacity; i++ {
-				if _, err := c.Insert(fmt.Sprintf("new%04d", i), 1, i%12+1); err != nil {
-					return nil, err
-				}
-			}
-			tab.Series(pol).Add(fmt.Sprintf("%.0f%%", frac*100), float64(c.Stats().PinBlocked))
+		for _, frac := range fracs {
+			cells = append(cells, cell{pol, frac})
 		}
+	}
+	results, err := RunCells(0, len(cells), func(i int) (float64, error) {
+		pol, frac := cells[i].pol, cells[i].frac
+		p, err := cache.NewPolicy(pol, capacity)
+		if err != nil {
+			return 0, err
+		}
+		c := cache.New(p, capacity) // 1-byte entries
+		pinned := int(frac * capacity)
+		for i := 0; i < capacity; i++ {
+			if _, err := c.Insert(fmt.Sprintf("base%03d", i), 1, 1); err != nil {
+				return 0, err
+			}
+		}
+		n := 0
+		for i := 0; i < capacity && n < pinned; i++ {
+			if c.Pin(fmt.Sprintf("base%03d", i)) == nil {
+				n++
+			}
+		}
+		for i := 0; i < 4*capacity; i++ {
+			if _, err := c.Insert(fmt.Sprintf("new%04d", i), 1, i%12+1); err != nil {
+				return 0, err
+			}
+		}
+		return float64(c.Stats().PinBlocked), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cl := range cells {
+		tab.Series(cl.pol).Add(fmt.Sprintf("%.0f%%", cl.frac*100), results[i])
 	}
 	return tab, nil
 }
@@ -120,15 +161,23 @@ func AblationPinPressure() (*metrics.Table, error) {
 func AblationEMA() (*metrics.Table, error) {
 	tab := metrics.NewTable("Ablation — EMA smoothing under queueing noise (COSMO, m=144)", "smoothing", "running time (s)")
 	const m = 144
-	for _, f := range []float64{0.1, 0.3, 0.5, 0.9} {
+	factors := []float64{0.1, 0.3, 0.5, 0.9}
+	results, err := RunCells(0, len(factors), func(i int) (time.Duration, error) {
+		f := factors[i]
 		ctx := scalingCtx(simulator.CosmoScaling, 8)
 		ctx.AlphaSmoothing = f
 		queue := batch.NewExponential(60*time.Second, 7)
 		elapsed, err := runAnalysis(ctx, Forward(1, m), 100*time.Millisecond, queue)
 		if err != nil {
-			return nil, fmt.Errorf("ablation EMA f=%.1f: %w", f, err)
+			return 0, fmt.Errorf("ablation EMA f=%.1f: %w", f, err)
 		}
-		tab.Series("forward").Add(fmt.Sprintf("%.1f", f), elapsed.Seconds())
+		return elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range factors {
+		tab.Series("forward").Add(fmt.Sprintf("%.1f", f), results[i].Seconds())
 	}
 	return tab, nil
 }
@@ -140,23 +189,44 @@ func AblationPolicyOnWorkloads() (*metrics.Table, error) {
 	cfg := DefaultFig05()
 	cfg.Reps = 5
 	ctx := simulator.CacheEval()
-	for _, pat := range cfg.Patterns {
+	traces, err := fig05Traces(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	type cell struct {
+		patIdx int
+		pol    string
+	}
+	var cells []cell
+	for p := range cfg.Patterns {
+		for _, pol := range cfg.Policies {
+			cells = append(cells, cell{p, pol})
+		}
+	}
+	results, err := RunCells(0, len(cells), func(i int) ([]float64, error) {
+		c := cells[i]
+		st, err := NewReplayState(ctx, c.pol)
+		if err != nil {
+			return nil, err
+		}
+		rates := make([]float64, cfg.Reps)
 		for rep := 0; rep < cfg.Reps; rep++ {
-			tr, err := generateFig05Trace(ctx, pat, cfg.Seed+int64(rep)*7919)
+			res, err := ReplayInto(st, ctx, traces[c.patIdx*cfg.Reps+rep])
 			if err != nil {
 				return nil, err
 			}
-			for _, pol := range cfg.Policies {
-				res, err := Replay(ctx, pol, tr)
-				if err != nil {
-					return nil, err
-				}
-				rate := 0.0
-				if res.Accesses > 0 {
-					rate = float64(res.Hits) / float64(res.Accesses)
-				}
-				tab.Series(pol).Add(string(pat), rate)
+			if res.Accesses > 0 {
+				rates[rep] = float64(res.Hits) / float64(res.Accesses)
 			}
+		}
+		return rates, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		for _, rate := range results[i] {
+			tab.Series(c.pol).Add(string(cfg.Patterns[c.patIdx]), rate)
 		}
 	}
 	return tab, nil

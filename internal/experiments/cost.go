@@ -87,6 +87,24 @@ func resimVolume(ctx *model.Context, w CostWorkload) (int, error) {
 	return res.ProducedSteps, nil
 }
 
+// drFrac is one (restart interval, cache fraction) point of a cost-model
+// grid; the replay-heavy V(γ∆t) term of each point is an independent
+// experiment cell.
+type drFrac struct {
+	drh  int
+	frac float64
+}
+
+// resimVolumeGrid computes V(γ∆t) for every grid point on the worker
+// pool, in grid order. Each cell rebuilds its context and workload from
+// the cell parameters alone, so the result is independent of the worker
+// count.
+func resimVolumeGrid(cells []drFrac, workload func(cell int) CostWorkload) ([]int, error) {
+	return RunCells(0, len(cells), func(i int) (int, error) {
+		return resimVolume(costCtx(cells[i].drh, cells[i].frac), workload(i))
+	})
+}
+
 // Months for the availability-period axis of Figs. 1 and 12.
 var availabilityMonths = []struct {
 	label  string
@@ -116,20 +134,25 @@ func Fig01(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 }
 
 // Fig12 sweeps the availability period for Δr ∈ {4h, 8h, 16h} and SimFS
-// cache sizes of 25% and 50%.
+// cache sizes of 25% and 50%. The six (Δr, cache) volumes run in
+// parallel.
 func Fig12(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 	tab := metrics.NewTable("Fig. 12 — cost vs availability period", "availability", "cost (x1000$)")
+	var cells []drFrac
 	for _, drh := range []int{4, 8, 16} {
 		for _, frac := range []float64{0.25, 0.50} {
-			ctx := costCtx(drh, frac)
-			v, err := resimVolume(ctx, w)
-			if err != nil {
-				return nil, err
-			}
-			name := fmt.Sprintf("SimFS(%d%%) Δr=%dh", int(frac*100), drh)
-			for _, am := range availabilityMonths {
-				tab.Series(name).Add(am.label, costmodel.SimFS(ctx, am.months, frac, v, p)/1000)
-			}
+			cells = append(cells, drFrac{drh, frac})
+		}
+	}
+	vols, err := resimVolumeGrid(cells, func(int) CostWorkload { return w })
+	if err != nil {
+		return nil, err
+	}
+	for i, cell := range cells {
+		ctx := costCtx(cell.drh, cell.frac)
+		name := fmt.Sprintf("SimFS(%d%%) Δr=%dh", int(cell.frac*100), cell.drh)
+		for _, am := range availabilityMonths {
+			tab.Series(name).Add(am.label, costmodel.SimFS(ctx, am.months, cell.frac, vols[i], p)/1000)
 		}
 	}
 	ref := costCtx(8, 0.25)
@@ -142,23 +165,39 @@ func Fig12(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 	return tab, nil
 }
 
-// Fig13 sweeps the analyses execution overlap at ∆t = 2 years.
+// Fig13 sweeps the analyses execution overlap at ∆t = 2 years. All
+// (overlap, Δr, cache) volumes run in parallel.
 func Fig13(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 	tab := metrics.NewTable("Fig. 13 — cost vs analyses overlap (∆t=2y)", "overlap %", "cost (x1000$)")
 	const months = 24.0
-	for _, overlapPct := range []int{0, 25, 50, 75, 100} {
+	overlaps := []int{0, 25, 50, 75, 100}
+	var cells []drFrac
+	var works []CostWorkload
+	for _, overlapPct := range overlaps {
+		wo := w
+		wo.Overlap = float64(overlapPct) / 100
+		for _, drh := range []int{4, 8, 16} {
+			for _, frac := range []float64{0.25, 0.50} {
+				cells = append(cells, drFrac{drh, frac})
+				works = append(works, wo)
+			}
+		}
+	}
+	vols, err := resimVolumeGrid(cells, func(i int) CostWorkload { return works[i] })
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, overlapPct := range overlaps {
 		wo := w
 		wo.Overlap = float64(overlapPct) / 100
 		x := fmt.Sprintf("%d", overlapPct)
 		for _, drh := range []int{4, 8, 16} {
 			for _, frac := range []float64{0.25, 0.50} {
 				ctx := costCtx(drh, frac)
-				v, err := resimVolume(ctx, wo)
-				if err != nil {
-					return nil, err
-				}
 				name := fmt.Sprintf("SimFS(%d%%) Δr=%dh", int(frac*100), drh)
-				tab.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, v, p)/1000)
+				tab.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, vols[i], p)/1000)
+				i++
 			}
 		}
 		ref := costCtx(8, 0.25)
@@ -170,22 +209,38 @@ func Fig13(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 }
 
 // Fig14 sweeps the number of analyses at ∆t = 2 years and 50% overlap.
+// All (analyses, Δr, cache) volumes run in parallel.
 func Fig14(w CostWorkload, p costmodel.Prices) (*metrics.Table, error) {
 	tab := metrics.NewTable("Fig. 14 — cost vs number of analyses (∆t=2y)", "analyses", "cost (x1000$)")
 	const months = 24.0
-	for _, n := range []int{1, 5, 10, 20, 40, 60, 80, 100, 125} {
+	counts := []int{1, 5, 10, 20, 40, 60, 80, 100, 125}
+	var cells []drFrac
+	var works []CostWorkload
+	for _, n := range counts {
+		wn := w
+		wn.NumAnalyses = n
+		for _, drh := range []int{4, 8, 16} {
+			for _, frac := range []float64{0.25, 0.50} {
+				cells = append(cells, drFrac{drh, frac})
+				works = append(works, wn)
+			}
+		}
+	}
+	vols, err := resimVolumeGrid(cells, func(i int) CostWorkload { return works[i] })
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range counts {
 		wn := w
 		wn.NumAnalyses = n
 		x := fmt.Sprintf("%d", n)
 		for _, drh := range []int{4, 8, 16} {
 			for _, frac := range []float64{0.25, 0.50} {
 				ctx := costCtx(drh, frac)
-				v, err := resimVolume(ctx, wn)
-				if err != nil {
-					return nil, err
-				}
 				name := fmt.Sprintf("SimFS(%d%%) Δr=%dh", int(frac*100), drh)
-				tab.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, v, p)/1000)
+				tab.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, vols[i], p)/1000)
+				i++
 			}
 		}
 		ref := costCtx(8, 0.25)
@@ -224,23 +279,33 @@ func Fig15a(w CostWorkload) (*metrics.Heatmap, error) {
 
 // Fig15bc sweeps the restart interval (restart-file space) for cache sizes
 // of 25% and 50%, reporting the total cost (15b) and the aggregate
-// re-simulation compute time (15c) at ∆t = 3y.
+// re-simulation compute time (15c) at ∆t = 3y. The eight (Δr, cache)
+// volumes run in parallel.
 func Fig15bc(w CostWorkload, p costmodel.Prices) (cost, ctime *metrics.Table, err error) {
 	cost = metrics.NewTable("Fig. 15b — cost over restart space (∆t=3y)", "Δr (restart space)", "cost (x1000$)")
 	ctime = metrics.NewTable("Fig. 15c — re-simulation time over restart space", "Δr (restart space)", "compute time (hours)")
 	const months = 36.0
-	for _, drh := range []int{4, 8, 16, 32} {
+	drhs := []int{4, 8, 16, 32}
+	var cells []drFrac
+	for _, drh := range drhs {
+		for _, frac := range []float64{0.25, 0.50} {
+			cells = append(cells, drFrac{drh, frac})
+		}
+	}
+	vols, verr := resimVolumeGrid(cells, func(int) CostWorkload { return w })
+	if verr != nil {
+		return nil, nil, verr
+	}
+	i := 0
+	for _, drh := range drhs {
 		ref := costCtx(drh, 0.25)
 		x := fmt.Sprintf("%dh (%.2f TiB)", drh, costmodel.RestartSpaceGiB(ref)/1024)
 		for _, frac := range []float64{0.25, 0.50} {
 			ctx := costCtx(drh, frac)
-			v, err := resimVolume(ctx, w)
-			if err != nil {
-				return nil, nil, err
-			}
 			name := fmt.Sprintf("cache %d%%", int(frac*100))
-			cost.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, v, p)/1000)
-			ctime.Series(name).Add(x, costmodel.ResimTime(v, ctx.Tau).Hours())
+			cost.Series(name).Add(x, costmodel.SimFS(ctx, months, frac, vols[i], p)/1000)
+			ctime.Series(name).Add(x, costmodel.ResimTime(vols[i], ctx.Tau).Hours())
+			i++
 		}
 		cost.Series("on-disk").Add(x, costmodel.OnDisk(ref, months, p)/1000)
 	}

@@ -32,6 +32,10 @@ type Fig05Config struct {
 	Seed     int64
 	Policies []string
 	Patterns []trace.Pattern
+	// Workers bounds the experiment worker pool (0 = the package default,
+	// see SetWorkers). Any value produces identical tables; cells are
+	// seeded per (pattern, rep) and merged in a fixed order.
+	Workers int
 }
 
 // DefaultFig05 returns the paper's configuration with a bench-friendly
@@ -46,9 +50,26 @@ func DefaultFig05() Fig05Config {
 	}
 }
 
+// fig05Traces generates the pattern×rep trace matrix on the worker pool:
+// traces[p*reps+rep] is the trace of (Patterns[p], rep). Generating them
+// once up front keeps the replay cells — which share each trace across
+// all policies — from recomputing the same deterministic trace per
+// policy.
+func fig05Traces(ctx *model.Context, cfg Fig05Config) ([][]trace.Access, error) {
+	return RunCells(cfg.Workers, len(cfg.Patterns)*cfg.Reps, func(i int) ([]trace.Access, error) {
+		pat, rep := cfg.Patterns[i/cfg.Reps], i%cfg.Reps
+		return generateFig05Trace(ctx, pat, cfg.Seed+int64(rep)*7919)
+	})
+}
+
 // Fig05 runs the comparison and returns two tables: re-simulated output
 // steps (the bars of Fig. 5) and simulation restarts (the points), one row
 // per access pattern and one column per replacement scheme.
+//
+// The pattern×policy grid runs on the worker pool; each cell replays all
+// Reps traces of its pattern on one reused ReplayState. Traces depend
+// only on (pattern, Seed, rep), so the merged tables are bit-identical to
+// a sequential run.
 func Fig05(cfg Fig05Config) (steps, restarts *metrics.Table, err error) {
 	if cfg.Reps < 1 {
 		cfg.Reps = 1
@@ -57,20 +78,52 @@ func Fig05(cfg Fig05Config) (steps, restarts *metrics.Table, err error) {
 	steps = metrics.NewTable("Fig. 5 — re-simulated output steps", "pattern", "output steps")
 	restarts = metrics.NewTable("Fig. 5 — simulation restarts", "pattern", "restarts")
 
-	for _, pat := range cfg.Patterns {
+	traces, err := fig05Traces(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	type cell struct {
+		patIdx int
+		pol    string
+	}
+	var cells []cell
+	for p := range cfg.Patterns {
+		for _, pol := range cfg.Policies {
+			cells = append(cells, cell{p, pol})
+		}
+	}
+	type cellResult struct {
+		steps    []float64
+		restarts []float64
+	}
+	results, err := RunCells(cfg.Workers, len(cells), func(i int) (cellResult, error) {
+		c := cells[i]
+		st, err := NewReplayState(ctx, c.pol)
+		if err != nil {
+			return cellResult{}, err
+		}
+		r := cellResult{
+			steps:    make([]float64, cfg.Reps),
+			restarts: make([]float64, cfg.Reps),
+		}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			tr, err := generateFig05Trace(ctx, pat, cfg.Seed+int64(rep)*7919)
+			res, err := ReplayInto(st, ctx, traces[c.patIdx*cfg.Reps+rep])
 			if err != nil {
-				return nil, nil, err
+				return cellResult{}, fmt.Errorf("fig05 %s/%s: %w", cfg.Patterns[c.patIdx], c.pol, err)
 			}
-			for _, pol := range cfg.Policies {
-				res, err := Replay(ctx, pol, tr)
-				if err != nil {
-					return nil, nil, fmt.Errorf("fig05 %s/%s: %w", pat, pol, err)
-				}
-				steps.Series(pol).Add(string(pat), float64(res.ProducedSteps))
-				restarts.Series(pol).Add(string(pat), float64(res.Restarts))
-			}
+			r.steps[rep] = float64(res.ProducedSteps)
+			r.restarts[rep] = float64(res.Restarts)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, c := range cells {
+		pat := string(cfg.Patterns[c.patIdx])
+		for rep := 0; rep < cfg.Reps; rep++ {
+			steps.Series(c.pol).Add(pat, results[i].steps[rep])
+			restarts.Series(c.pol).Add(pat, results[i].restarts[rep])
 		}
 	}
 	return steps, restarts, nil

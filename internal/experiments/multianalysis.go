@@ -88,16 +88,24 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 
 // MultiAnalysisSweep produces a table of median completion time and
 // re-simulated steps as the client count grows — cache-interference made
-// visible in virtual time.
+// visible in virtual time. Each client count is one cell on the worker
+// pool (every cell builds its own Virtualizer stack, so cells share
+// nothing but the immutable context).
 func MultiAnalysisSweep(ctx *model.Context, clients []int, stepsEach int, tauCli time.Duration, seed int64) (*metrics.Table, error) {
 	tab := metrics.NewTable("Concurrent analyses — interference sweep", "clients", "value")
-	for _, n := range clients {
-		r, err := MultiAnalysis(ctx, MultiAnalysisConfig{
-			Clients: n, Steps: stepsEach, TauCli: tauCli, Seed: seed, Backward: 0.25,
+	results, err := RunCells(0, len(clients), func(i int) (MultiAnalysisResult, error) {
+		// Context is a value struct; a per-cell copy keeps AddContext's
+		// in-place defaulting off the shared instance.
+		cctx := *ctx
+		return MultiAnalysis(&cctx, MultiAnalysisConfig{
+			Clients: clients[i], Steps: stepsEach, TauCli: tauCli, Seed: seed, Backward: 0.25,
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range clients {
+		r := results[i]
 		x := fmt.Sprintf("%d", n)
 		var xs []float64
 		for _, d := range r.Completion {

@@ -20,6 +20,30 @@ type ReplayResult struct {
 	Evictions     int
 }
 
+// ReplayState is a reusable policy+cache pair for repeated replays. The
+// cache is keyed by integer output-step index, so the per-access file-name
+// formatting of the string-keyed path (the Virtualizer's view) never runs
+// here; the rep loops of the caching study reset and reuse one state per
+// (pattern, policy) cell instead of allocating a fresh policy and cache
+// per replay.
+type ReplayState struct {
+	c *cache.CacheOf[int]
+}
+
+// NewReplayState builds a replay state for one context and replacement
+// scheme.
+func NewReplayState(ctx *model.Context, policyName string) (*ReplayState, error) {
+	capacity := ctx.CacheCapacitySteps()
+	if capacity == 0 {
+		capacity = ctx.Grid.NumOutputSteps()
+	}
+	pol, err := cache.NewPolicyOf[int](policyName, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayState{c: cache.NewOf(pol, ctx.MaxCacheBytes)}, nil
+}
+
 // Replay runs an access trace through the caching layer without timing,
 // modeling the DV's behavior as seen by a sequential analysis:
 //
@@ -39,17 +63,22 @@ type ReplayResult struct {
 // distance from the closest previous restart step, which is exactly what
 // the cost-aware replacement schemes (BCL/DCL) optimize for.
 func Replay(ctx *model.Context, policyName string, accesses []trace.Access) (ReplayResult, error) {
-	var res ReplayResult
-	g := ctx.Grid
-	capacity := ctx.CacheCapacitySteps()
-	if capacity == 0 {
-		capacity = g.NumOutputSteps()
-	}
-	pol, err := cache.NewPolicy(policyName, capacity)
+	st, err := NewReplayState(ctx, policyName)
 	if err != nil {
-		return res, err
+		return ReplayResult{}, err
 	}
-	c := cache.New(pol, ctx.MaxCacheBytes)
+	return ReplayInto(st, ctx, accesses)
+}
+
+// ReplayInto replays a trace on a reused state (see Replay for the
+// model). The state is reset first, so each call is independent; reusing
+// one state across the repetitions of an experiment cell keeps the
+// policy/cache construction out of the rep loop.
+func ReplayInto(st *ReplayState, ctx *model.Context, accesses []trace.Access) (ReplayResult, error) {
+	var res ReplayResult
+	st.c.Reset()
+	g := ctx.Grid
+	c := st.c
 
 	// The running simulation: produced steps in (simFirst-1, simUpTo],
 	// can lazily extend to simLast.
@@ -58,11 +87,11 @@ func Replay(ctx *model.Context, policyName string, accesses []trace.Access) (Rep
 	produce := func(from, to int) error {
 		for s := from; s <= to; s++ {
 			res.ProducedSteps++
-			evicted, err := c.Insert(ctx.Filename(s), ctx.OutputBytes, g.MissCost(s))
+			evictions, err := c.InsertDiscard(s, ctx.OutputBytes, g.MissCost(s))
 			if err != nil {
 				return err
 			}
-			res.Evictions += len(evicted)
+			res.Evictions += evictions
 		}
 		return nil
 	}
@@ -72,8 +101,7 @@ func Replay(ctx *model.Context, policyName string, accesses []trace.Access) (Rep
 			return res, fmt.Errorf("replay: access to invalid step %d", acc.Step)
 		}
 		res.Accesses++
-		name := ctx.Filename(acc.Step)
-		if c.Touch(name) {
+		if c.Touch(acc.Step) {
 			res.Hits++
 			continue
 		}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment runner. Every figure of the evaluation is a
+// grid of independent cells — (pattern × policy) for the caching study,
+// (Δr × cache fraction) for the cost sweeps, (smax) or (m × αsim) for the
+// scaling experiments — and each cell derives all of its randomness from
+// its own parameters (a per-cell seed, never a shared RNG). RunCells fans
+// the cells across a worker pool and merges results in cell order, so the
+// output is bit-identical to a sequential run regardless of the worker
+// count or scheduling.
+
+// configuredWorkers holds the -j override; 0 means GOMAXPROCS.
+var configuredWorkers atomic.Int32
+
+// SetWorkers sets the default worker count used by RunCells when a
+// config does not specify one. n ≤ 0 restores the automatic default
+// (GOMAXPROCS). It is the backing of cmd/simfs-bench's -j flag.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	configuredWorkers.Store(int32(n))
+}
+
+// Workers returns the effective default worker count.
+func Workers() int {
+	if n := configuredWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCells runs n independent experiment cells on a pool of workers and
+// returns the per-cell results in cell order. workers ≤ 0 uses the
+// package default (SetWorkers / GOMAXPROCS).
+//
+// Determinism contract: run(i) must compute everything from the cell
+// index i (configuration lookup, per-cell seeds) and must not mutate
+// state shared with other cells. Under that contract the returned slice —
+// and any table built from it in index order — is byte-identical to a
+// sequential for-loop, for any worker count.
+//
+// If any cell fails, RunCells reports the error of the lowest-numbered
+// failing cell (again independent of scheduling) and stops claiming new
+// cells; in-flight cells run to completion.
+func RunCells[T any](workers, n int, run func(cell int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := run(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := run(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

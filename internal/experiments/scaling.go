@@ -79,26 +79,32 @@ func scalingCtx(base func() *model.Context, smax int) *model.Context {
 // (FLASH): the completion time of a forward and a backward analysis over
 // m output steps as a function of smax, against the full forward
 // re-simulation reference (a single simulation producing the same
-// sequence).
+// sequence). Each smax point runs its two DES simulations as one
+// independent cell on the worker pool.
 func Scaling(title string, base func() *model.Context, m int, tauCli time.Duration, smaxes []int) (*metrics.Table, error) {
 	tab := metrics.NewTable(title, "smax", "running time (s)")
 	ref := base()
 	single := prefetch.TSingle(ref.Alpha, ref.Tau, m)
-	for _, smax := range smaxes {
-		x := fmt.Sprintf("%d", smax)
-
+	type pair struct{ fwd, bwd time.Duration }
+	results, err := RunCells(0, len(smaxes), func(i int) (pair, error) {
+		smax := smaxes[i]
 		fwd, err := runAnalysis(scalingCtx(base, smax), Forward(1, m), tauCli, nil)
 		if err != nil {
-			return nil, fmt.Errorf("scaling smax=%d forward: %w", smax, err)
+			return pair{}, fmt.Errorf("scaling smax=%d forward: %w", smax, err)
 		}
-		tab.Series("Forward").Add(x, fwd.Seconds())
-
 		bwd, err := runAnalysis(scalingCtx(base, smax), BackwardSeq(m, m), tauCli, nil)
 		if err != nil {
-			return nil, fmt.Errorf("scaling smax=%d backward: %w", smax, err)
+			return pair{}, fmt.Errorf("scaling smax=%d backward: %w", smax, err)
 		}
-		tab.Series("Backward").Add(x, bwd.Seconds())
-
+		return pair{fwd, bwd}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, smax := range smaxes {
+		x := fmt.Sprintf("%d", smax)
+		tab.Series("Forward").Add(x, results[i].fwd.Seconds())
+		tab.Series("Backward").Add(x, results[i].bwd.Seconds())
 		tab.Series("Full Forward Resimulation").Add(x, single.Seconds())
 	}
 	return tab, nil
@@ -122,19 +128,42 @@ func Fig18() (*metrics.Table, error) {
 // (FLASH): the analysis running time under increasing αsim (modeling job
 // queueing times) for several analysis lengths, with smax = 8, against
 // the analytic references Tsingle, Tpre and Tlower.
+// The (m, αsim) grid runs on the worker pool, one DES simulation per
+// cell.
 func Latency(title string, base func() *model.Context, ms []int, alphas []time.Duration, tauCli time.Duration) ([]*metrics.Table, error) {
+	type cell struct {
+		m     int
+		alpha time.Duration
+	}
+	var cells []cell
+	for _, m := range ms {
+		for _, alpha := range alphas {
+			cells = append(cells, cell{m, alpha})
+		}
+	}
+	results, err := RunCells(0, len(cells), func(i int) (time.Duration, error) {
+		c := cells[i]
+		ctx := scalingCtx(base, 8)
+		ctx.Alpha = c.alpha
+		elapsed, err := runAnalysis(ctx, Forward(1, c.m), tauCli, nil)
+		if err != nil {
+			return 0, fmt.Errorf("latency m=%d α=%v: %w", c.m, c.alpha, err)
+		}
+		return elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []*metrics.Table
+	i := 0
 	for _, m := range ms {
 		tab := metrics.NewTable(fmt.Sprintf("%s (m=%d)", title, m), "αsim (s)", "running time (s)")
 		for _, alpha := range alphas {
 			x := fmt.Sprintf("%.0f", alpha.Seconds())
 			ctx := scalingCtx(base, 8)
 			ctx.Alpha = alpha
-			elapsed, err := runAnalysis(ctx, Forward(1, m), tauCli, nil)
-			if err != nil {
-				return nil, fmt.Errorf("latency m=%d α=%v: %w", m, alpha, err)
-			}
-			tab.Series("SimFS").Add(x, elapsed.Seconds())
+			tab.Series("SimFS").Add(x, results[i].Seconds())
+			i++
 
 			n := prefetch.ForwardResimLength(ctx.Grid, 1, alpha, ctx.Tau, tauCli)
 			tab.Series("Tsingle").Add(x, prefetch.TSingle(alpha, ctx.Tau, m).Seconds())

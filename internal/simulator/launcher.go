@@ -63,7 +63,7 @@ type DESLauncher struct {
 }
 
 type desRun struct {
-	timers  []*des.Timer
+	timers  []des.Timer
 	ticket  *batch.Ticket
 	nodes   int
 	ended   bool
