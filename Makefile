@@ -27,7 +27,9 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # bench-smoke runs every benchmark exactly once; CI uses it to catch
-# benchmarks that stop compiling or start failing, in seconds.
+# benchmarks that stop compiling or start failing, in seconds. The ./...
+# sweep includes the scheduler's BenchmarkSchedulerLaunchStorm
+# (internal/sched) and the RunCells-based multi-client stress benches.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 

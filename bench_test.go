@@ -8,7 +8,6 @@ package simfs
 
 import (
 	"fmt"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -344,6 +343,10 @@ func BenchmarkVirtualizerOpenHit(b *testing.B) {
 // lock domain, so aggregate ops/sec grows as the same client population
 // spreads over more contexts; contexts=1 is the single-lock baseline.
 // The reported lock-contended metric shows the contention collapsing.
+//
+// The client fan-out rides experiments.RunCells — the same worker pool
+// the figure runners use — with one cell per client doing b.N operations,
+// so the stress harness and the experiment harness share one machinery.
 func BenchmarkVirtualizerMultiClient(b *testing.B) {
 	const clients = 8
 	for _, nctx := range []int{1, 2, 4, 8} {
@@ -377,33 +380,110 @@ func BenchmarkVirtualizerMultiClient(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			var next atomic.Int64
-			b.SetParallelism(clients) // goroutines per GOMAXPROCS
+			// b.N total operations split across the client cells, so the
+			// framework ns/op stays per-operation (benchstat-comparable
+			// with the pre-RunCells version of this bench).
+			per := (b.N + clients - 1) / clients
 			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				me := int(next.Add(1)-1) % nctx
+			if _, err := experiments.RunCells(clients, clients, func(c int) (struct{}, error) {
+				me := c % nctx
 				name, fs := names[me], files[me]
-				cli := fmt.Sprintf("cli%d", me)
-				i := 0
-				for pb.Next() {
+				cli := fmt.Sprintf("cli%d", c)
+				for i := 0; i < per; i++ {
 					f := fs[i%len(fs)]
-					i++
 					if _, err := v.Open(cli, name, f); err != nil {
-						b.Fatal(err)
+						return struct{}{}, err
 					}
 					if err := v.Release(cli, name, f); err != nil {
-						b.Fatal(err)
+						return struct{}{}, err
 					}
 				}
-			})
+				return struct{}{}, nil
+			}); err != nil {
+				b.Fatal(err)
+			}
 			b.StopTimer()
 			ls := v.TotalLockStats()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			b.ReportMetric(float64(clients)*float64(per)/b.Elapsed().Seconds(), "ops/sec")
 			if ls.Acquisitions > 0 {
 				b.ReportMetric(100*float64(ls.Contended)/float64(ls.Acquisitions), "%lock-contended")
 			}
 		})
 	}
+}
+
+// BenchmarkServerMultiClientTCP is the daemon-side stress bench on the
+// same worker pool: concurrent DVLib clients, each on its own TCP
+// connection, hammering warm open/close round trips against one daemon.
+// One RunCells cell per client keeps the fan-out deterministic and
+// shared with the experiment harness.
+func BenchmarkServerMultiClientTCP(b *testing.B) {
+	const clients = 4
+	ctx := &model.Context{
+		Name: "wire", Grid: model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 1024},
+		OutputBytes: 64, RestartBytes: 64,
+		Tau: time.Millisecond, Alpha: time.Millisecond,
+		DefaultParallelism: 1, MaxParallelism: 1, SMax: 4, NoPrefetch: true,
+	}
+	st, err := server.NewStack(b.TempDir(), 1, "DCL", ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go st.Server.Serve()
+	defer func() {
+		st.Close()
+		st.Launcher.Wait()
+	}()
+	addr := st.Server.Addr()
+
+	// Warm one file per client so the measured loop is pure hit traffic.
+	conns := make([]*dvlib.Context, clients)
+	warm := make([]string, clients)
+	for c := 0; c < clients; c++ {
+		cli, err := dvlib.Dial(addr, fmt.Sprintf("bench%d", c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		actx, err := cli.Init("wire")
+		if err != nil {
+			b.Fatal(err)
+		}
+		file := actx.Filename(c*8 + 1)
+		if _, err := actx.Open(file); err != nil {
+			b.Fatal(err)
+		}
+		if err := actx.WaitAvailable(file); err != nil {
+			b.Fatal(err)
+		}
+		if err := actx.Close(file); err != nil {
+			b.Fatal(err)
+		}
+		conns[c], warm[c] = actx, file
+	}
+	// b.N total round trips split across the client cells (ns/op stays
+	// per round trip).
+	per := (b.N + clients - 1) / clients
+	b.ResetTimer()
+	if _, err := experiments.RunCells(clients, clients, func(c int) (struct{}, error) {
+		actx, file := conns[c], warm[c]
+		for i := 0; i < per; i++ {
+			if _, err := actx.Open(file); err != nil {
+				return struct{}{}, err
+			}
+			if err := actx.Close(file); err != nil {
+				return struct{}{}, err
+			}
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(clients)*float64(per)/b.Elapsed().Seconds(), "roundtrips/sec")
 }
 
 // BenchmarkReplayECMWF measures trace-replay throughput on the ECMWF-like

@@ -54,6 +54,10 @@ func main() {
 		fmt.Fprintf(w, "steps produced\t%d\nevictions\t%d\nkills\t%d\nfailures\t%d\npollution resets\t%d\n", st.StepsProduced, st.Evictions, st.Kills, st.Failures, st.PollutionResets)
 		fmt.Fprintf(w, "shard lock acquisitions\t%d\nshard lock contended\t%d\nshard lock wait\t%s\n",
 			st.LockAcquisitions, st.LockContended, time.Duration(st.LockWaitNs))
+		fmt.Fprintf(w, "sched queue depth\t%d\nsched coalesced\t%d\nsched dropped\t%d\nsched canceled\t%d\n",
+			st.SchedQueueDepth, st.SchedCoalesced, st.SchedDropped, st.SchedCanceled)
+		fmt.Fprintf(w, "sched wait demand/guided/agent\t%s/%s/%s\n",
+			time.Duration(st.SchedDemandWaitNs), time.Duration(st.SchedGuidedWaitNs), time.Duration(st.SchedAgentWaitNs))
 		w.Flush()
 	case "estwait":
 		needFile(args)

@@ -30,13 +30,23 @@ func main() {
 	config := flag.String("config", "", "JSON file with custom context definitions")
 	policy := flag.String("policy", "DCL", "cache replacement scheme: LRU | LIRS | ARC | BCL | DCL")
 	timescale := flag.Int("timescale", 1000, "divide simulated durations by this factor (1 = real time)")
+	// The daemon deliberately defaults to the production scheduling
+	// policy (coalescing + priority queueing), not the paper-exact zero
+	// config the library and experiments default to: real multi-client
+	// traffic benefits from merged restarts and demand-first draining.
+	// `-sched-coalesce=false -sched-priorities=false` restores the
+	// paper's inline rules bit for bit.
+	coalesce := flag.Bool("sched-coalesce", true, "merge overlapping queued re-simulation requests into one job")
+	priorities := flag.Bool("sched-priorities", true, "drain the launch queue in priority order (demand > guided > agent prefetch); false = paper-exact prefetch dropping")
+	nodes := flag.Int("sched-nodes", 0, "global node budget shared by all contexts (0 = unlimited)")
 	flag.Parse()
 
 	ctxs, err := loadContexts(*preset, *config)
 	if err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}
-	d, err := simfs.NewDaemon(*data, *timescale, *policy, ctxs...)
+	schedCfg := simfs.SchedConfig{Coalesce: *coalesce, Priorities: *priorities, TotalNodes: *nodes}
+	d, err := simfs.NewScheduledDaemon(*data, *timescale, *policy, schedCfg, ctxs...)
 	if err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}
@@ -50,7 +60,8 @@ func main() {
 		log.Printf("simfs-dv: context %s ready (Δd=%d Δr=%d steps=%d, storage %s)",
 			ctx.Name, ctx.Grid.DeltaD, ctx.Grid.DeltaR, ctx.Grid.NumOutputSteps(), ctx.StorageDir)
 	}
-	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d)", *addr, *policy, *timescale)
+	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d, sched coalesce=%v priorities=%v nodes=%d)",
+		*addr, *policy, *timescale, schedCfg.Coalesce, schedCfg.Priorities, schedCfg.TotalNodes)
 	if err := d.ListenAndServe(*addr); err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}

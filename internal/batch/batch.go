@@ -1,12 +1,13 @@
 // Package batch models the batch system SimFS submits re-simulation jobs
 // to (paper Sec. III-B, IV-C1): queueing delays — the dominant,
-// system-dependent component of the restart latency αsim on HPC machines —
-// and a bounded node pool enforcing FIFO admission. Both are pure
-// bookkeeping so they compose with either virtual (DES) or wall-clock time.
+// system-dependent component of the restart latency αsim on HPC machines.
+// The samplers are pure bookkeeping so they compose with either virtual
+// (DES) or wall-clock time. The bounded node pool that used to live here
+// was absorbed by the re-simulation scheduler (internal/sched), which
+// enforces FIFO node admission above the launchers.
 package batch
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 )
@@ -63,114 +64,4 @@ func (e *Exponential) Next() time.Duration {
 		return 0
 	}
 	return time.Duration(e.Rng.ExpFloat64() * float64(e.Mean))
-}
-
-// Ticket represents one job submission awaiting (or holding) nodes.
-type Ticket struct {
-	nodes    int
-	fn       func()
-	canceled bool
-	granted  bool
-}
-
-// Granted reports whether the job was admitted.
-func (t *Ticket) Granted() bool { return t.granted }
-
-// Pool is a FIFO node pool: jobs requesting more nodes than currently free
-// wait in submission order (no backfilling, conservatively modeling a
-// crowded HPC partition). A zero-capacity pool admits everything
-// immediately.
-type Pool struct {
-	capacity int
-	free     int
-	queue    []*Ticket
-}
-
-// NewPool returns a pool with the given node capacity (0 = unlimited).
-func NewPool(capacity int) *Pool {
-	return &Pool{capacity: capacity, free: capacity}
-}
-
-// Capacity returns the configured node count (0 = unlimited).
-func (p *Pool) Capacity() int { return p.capacity }
-
-// Free returns the currently idle node count (meaningless for unlimited
-// pools).
-func (p *Pool) Free() int { return p.free }
-
-// Queued returns the number of jobs waiting for nodes.
-func (p *Pool) Queued() int {
-	n := 0
-	for _, t := range p.queue {
-		if !t.canceled {
-			n++
-		}
-	}
-	return n
-}
-
-// Submit requests nodes for a job; fn runs (synchronously) as soon as the
-// nodes are granted — possibly immediately. Requests exceeding the total
-// capacity are rejected.
-func (p *Pool) Submit(nodes int, fn func()) (*Ticket, error) {
-	if nodes <= 0 {
-		return nil, fmt.Errorf("batch: job must request at least one node, got %d", nodes)
-	}
-	if p.capacity > 0 && nodes > p.capacity {
-		return nil, fmt.Errorf("batch: job requests %d nodes, pool capacity is %d", nodes, p.capacity)
-	}
-	t := &Ticket{nodes: nodes, fn: fn}
-	if p.capacity == 0 || (len(p.queue) == 0 && p.free >= nodes) {
-		p.grant(t)
-		return t, nil
-	}
-	p.queue = append(p.queue, t)
-	return t, nil
-}
-
-// Release returns a granted job's nodes to the pool and admits queued jobs
-// in FIFO order.
-func (p *Pool) Release(t *Ticket) {
-	if !t.granted {
-		return
-	}
-	t.granted = false
-	if p.capacity > 0 {
-		p.free += t.nodes
-	}
-	p.drain()
-}
-
-// Cancel withdraws a queued job. It reports whether the job was removed
-// before being granted.
-func (p *Pool) Cancel(t *Ticket) bool {
-	if t.granted || t.canceled {
-		return false
-	}
-	t.canceled = true
-	p.drain() // a canceled head may unblock followers
-	return true
-}
-
-func (p *Pool) grant(t *Ticket) {
-	t.granted = true
-	if p.capacity > 0 {
-		p.free -= t.nodes
-	}
-	t.fn()
-}
-
-func (p *Pool) drain() {
-	for len(p.queue) > 0 {
-		head := p.queue[0]
-		if head.canceled {
-			p.queue = p.queue[1:]
-			continue
-		}
-		if p.capacity > 0 && p.free < head.nodes {
-			return
-		}
-		p.queue = p.queue[1:]
-		p.grant(head)
-	}
 }

@@ -2,7 +2,6 @@ package batch
 
 import (
 	"testing"
-	"testing/quick"
 	"time"
 )
 
@@ -49,161 +48,5 @@ func TestSamplerDeterminism(t *testing.T) {
 		if a.Next() != b.Next() {
 			t.Fatal("same seed must give same sequence")
 		}
-	}
-}
-
-func TestPoolImmediateGrant(t *testing.T) {
-	p := NewPool(10)
-	ran := false
-	tk, err := p.Submit(4, func() { ran = true })
-	if err != nil || !ran || !tk.Granted() {
-		t.Fatalf("immediate grant failed: err=%v ran=%v", err, ran)
-	}
-	if p.Free() != 6 {
-		t.Errorf("free = %d, want 6", p.Free())
-	}
-	p.Release(tk)
-	if p.Free() != 10 {
-		t.Errorf("free after release = %d", p.Free())
-	}
-	p.Release(tk) // double release is a no-op
-	if p.Free() != 10 {
-		t.Error("double release corrupted accounting")
-	}
-}
-
-func TestPoolFIFOQueueing(t *testing.T) {
-	p := NewPool(4)
-	var order []int
-	t1, _ := p.Submit(4, func() { order = append(order, 1) })
-	p.Submit(2, func() { order = append(order, 2) })
-	p.Submit(2, func() { order = append(order, 3) })
-	if len(order) != 1 {
-		t.Fatalf("only job 1 should have run, got %v", order)
-	}
-	if p.Queued() != 2 {
-		t.Errorf("queued = %d", p.Queued())
-	}
-	p.Release(t1)
-	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
-		t.Errorf("order = %v, want FIFO", order)
-	}
-}
-
-func TestPoolNoBackfill(t *testing.T) {
-	p := NewPool(4)
-	t1, _ := p.Submit(3, func() {})
-	small := false
-	var big *Ticket
-	big, _ = p.Submit(4, func() {}) // cannot fit: queues
-	p.Submit(1, func() { small = true })
-	if small {
-		t.Error("small job backfilled past a blocked head (should be strict FIFO)")
-	}
-	p.Release(t1)
-	if small {
-		t.Error("small job must still wait behind the granted 4-node head")
-	}
-	if !big.Granted() {
-		t.Fatal("4-node head should be granted after the release")
-	}
-	p.Release(big)
-	if !small {
-		t.Error("queue did not drain in order")
-	}
-}
-
-func TestPoolCancel(t *testing.T) {
-	p := NewPool(2)
-	t1, _ := p.Submit(2, func() {})
-	ran2 := false
-	t2, _ := p.Submit(2, func() { ran2 = true })
-	ran3 := false
-	p.Submit(1, func() { ran3 = true })
-	if !p.Cancel(t2) {
-		t.Error("cancel of queued job should succeed")
-	}
-	if p.Cancel(t2) {
-		t.Error("double cancel should fail")
-	}
-	if p.Cancel(t1) {
-		t.Error("cancel of granted job should fail")
-	}
-	p.Release(t1)
-	if ran2 {
-		t.Error("canceled job ran")
-	}
-	if !ran3 {
-		t.Error("job behind canceled head did not run")
-	}
-}
-
-func TestPoolRejects(t *testing.T) {
-	p := NewPool(4)
-	if _, err := p.Submit(5, func() {}); err == nil {
-		t.Error("oversized job should be rejected")
-	}
-	if _, err := p.Submit(0, func() {}); err == nil {
-		t.Error("zero-node job should be rejected")
-	}
-}
-
-func TestPoolUnlimited(t *testing.T) {
-	p := NewPool(0)
-	n := 0
-	for i := 0; i < 100; i++ {
-		if _, err := p.Submit(1000, func() { n++ }); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if n != 100 {
-		t.Errorf("unlimited pool granted %d of 100", n)
-	}
-}
-
-// Property: free nodes never go negative and total grants never exceed
-// capacity at any instant, across random submit/release/cancel sequences.
-func TestPoolInvariantProperty(t *testing.T) {
-	f := func(ops []uint8) bool {
-		p := NewPool(8)
-		var held []*Ticket
-		inUse := 0
-		for _, op := range ops {
-			switch op % 3 {
-			case 0:
-				nodes := int(op%8) + 1
-				tk, err := p.Submit(nodes, func() {})
-				if err != nil {
-					return false
-				}
-				if tk.Granted() {
-					inUse += nodes
-					held = append(held, tk)
-				} else if op%2 == 0 {
-					p.Cancel(tk)
-				} else {
-					held = append(held, tk)
-				}
-			case 1:
-				if len(held) > 0 {
-					tk := held[0]
-					held = held[1:]
-					if tk.Granted() {
-						p.Release(tk)
-					}
-				}
-			case 2:
-				if p.Free() < 0 {
-					return false
-				}
-			}
-			if p.Free() < 0 || p.Free() > 8 {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"simfs/internal/model"
+	"simfs/internal/sched"
 	"simfs/internal/simulator"
 )
 
@@ -52,12 +53,15 @@ func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, prefetch
 			sim.pendingUpstream = len(missing)
 			sim.id = v.placeholderSeq.Add(-1)
 			cs.sims[sim.id] = sim
+			// A parked simulation keeps its context slot but returns its
+			// nodes: the upstream work it waits for needs the budget.
+			v.sched.ParkNodes(sim.parallelism)
 			v.markPromised(cs, sim.first, sim.last, sim.id)
 			for _, us := range missing {
 				if _, p := ucs.promised[us]; !p {
 					if iv, err := ucs.ctx.Grid.ResimInterval(us); err == nil {
 						if f, l, ok := ucs.ctx.Grid.OutputsIn(iv); ok {
-							v.launch(ucs, f, l, ucs.ctx.DefaultParallelism, "")
+							v.launch(ucs, f, l, ucs.ctx.DefaultParallelism, sched.Demand, "")
 						}
 					}
 				}
@@ -85,13 +89,15 @@ func (v *Virtualizer) upstreamReady(cs *shard, placeholderID int64, st Status) {
 		return
 	}
 	if st.Err != "" {
-		// Upstream production failed: fail this simulation.
+		// Upstream production failed: fail this simulation. Its nodes
+		// are parked, so only the context slot returns.
 		delete(cs.sims, placeholderID)
 		v.releaseUpstream(cs, sim)
 		msg := "upstream re-simulation failed: " + st.Err
 		cbs, failed := v.failPromised(cs, sim, msg)
-		v.drainPending(cs)
 		cs.mu.Unlock()
+		v.sched.ReleaseSlot(cs.ctx.Name)
+		v.drainScheduler()
 		for _, cb := range cbs {
 			cb(Status{Err: msg})
 		}
@@ -103,13 +109,36 @@ func (v *Virtualizer) upstreamReady(cs *shard, placeholderID int64, st Status) {
 		cs.mu.Unlock()
 		return
 	}
-	// All inputs on disk: hand to the Launcher under the real ID.
+	// All inputs on disk: re-claim the parked nodes and hand to the
+	// Launcher under the real ID.
 	delete(cs.sims, placeholderID)
-	// Clear placeholder promises; doLaunch re-marks them under the real ID.
+	// Clear placeholder promises; doLaunch (or the requeued launch)
+	// re-marks them.
 	for s := sim.first; s <= sim.last; s++ {
 		if cs.promised[s] == placeholderID {
 			delete(cs.promised, s)
 		}
+	}
+	if !v.sched.ClaimNodes(sim.parallelism) {
+		// The node budget filled up while the inputs were produced: give
+		// the slot back and requeue; the job launches through the normal
+		// drain once nodes free, re-walking its upstream inputs then
+		// (they are resident now; if evicted meanwhile the walk simply
+		// re-acquires them).
+		class := sched.Demand
+		if sim.prefetchFor != "" {
+			class = sched.Agent
+		}
+		v.releaseUpstream(cs, sim)
+		v.sched.ReleaseSlot(cs.ctx.Name)
+		v.sched.Enqueue(sched.Request{
+			Ctx: cs.ctx.Name, First: sim.first, Last: sim.last,
+			Parallelism: sim.parallelism, Class: class, Client: sim.prefetchFor,
+		})
+		v.markPromised(cs, sim.first, sim.last, pendingSimID)
+		cs.mu.Unlock()
+		v.drainScheduler()
+		return
 	}
 	v.doLaunch(cs, sim)
 	cs.mu.Unlock()
@@ -293,8 +322,9 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 	if errMsg != "" {
 		cbs, failed = v.failPromised(cs, sim, errMsg)
 	}
-	v.drainPending(cs)
 	cs.mu.Unlock()
+	v.sched.SimDone(cs.ctx.Name, sim.parallelism)
+	v.drainScheduler()
 	v.dropSimRoute(simID)
 	for _, cb := range cbs {
 		cb(Status{Err: errMsg})
@@ -321,59 +351,140 @@ func (v *Virtualizer) failPromised(cs *shard, sim *simState, msg string) ([]func
 	return cbs, failed
 }
 
-// drainPending starts queued demand launches while capacity allows.
-// Caller holds the shard lock.
-func (v *Virtualizer) drainPending(cs *shard) {
-	for len(cs.pending) > 0 && len(cs.sims) < cs.ctx.SMax {
-		p := cs.pending[0]
-		cs.pending = cs.pending[1:]
+// drainScheduler starts queued launches while the scheduler admits them.
+// It must be called WITHOUT any shard lock held: each admitted job locks
+// its own shard (jobs of any context may become admissible when capacity
+// frees up). Prefetch-class jobs are revalidated at admission — work that
+// was produced in the meantime is dropped, not launched.
+func (v *Virtualizer) drainScheduler() {
+	for {
+		job, ok := v.sched.Next()
+		if !ok {
+			return
+		}
+		cs, found := v.shardOf(job.Ctx)
+		if !found {
+			v.sched.Release(job)
+			continue
+		}
+		cs.mu.Lock()
 		// Clear the pending markers; startSim re-marks what it launches.
-		for s := p.first; s <= p.last; s++ {
+		for s := job.First; s <= job.Last; s++ {
 			if cs.promised[s] == pendingSimID {
 				delete(cs.promised, s)
 			}
 		}
-		v.startSim(cs, p.first, p.last, p.parallelism, p.prefetchFor)
+		if job.Class != sched.Demand && !v.uncovered(cs, job.First, job.Last) {
+			// Stale prefetch: everything it would produce is already on
+			// disk or promised by a live simulation.
+			v.remarkQueued(cs)
+			v.sched.Release(job)
+			cs.mu.Unlock()
+			continue
+		}
+		v.startSim(cs, job.First, job.Last, job.Parallelism, prefetchForOf(job.Class, job.Client))
+		cs.mu.Unlock()
+	}
+}
+
+// remarkQueued restores the pending markers of the shard's still-queued
+// jobs (after a job's markers were cleared for a launch or cancellation
+// that overlapped them). Caller holds the shard lock.
+func (v *Virtualizer) remarkQueued(cs *shard) {
+	for _, r := range v.sched.QueuedRanges(cs.ctx.Name) {
+		for s := r[0]; s <= r[1]; s++ {
+			if cs.resident(s) {
+				continue
+			}
+			if _, p := cs.promised[s]; !p {
+				cs.promised[s] = pendingSimID
+			}
+		}
 	}
 }
 
 // killPrefetchedFor kills running prefetch simulations of the given client
 // whose remaining output nobody waits for (Sec. IV-C: "A simulation can be
 // killed only if there are no other analyses waiting for the files that
-// are going to be produced by it"). It returns the steps whose promises
-// were dismantled locally; the caller must publish them as failed once
-// the shard lock is released (launched kills reach subscribers through
-// SimEnded instead). Caller holds the shard lock.
-func (v *Virtualizer) killPrefetchedFor(cs *shard, client string) []int {
-	var orphaned []int
+// are going to be produced by it"), and de-queues the client's queued
+// prefetch jobs under the same no-waiters rule. It returns the steps
+// whose promises were dismantled locally — the caller must publish them
+// as failed once the shard lock is released (launched kills reach
+// subscribers through SimEnded instead) — and whether scheduler capacity
+// was freed synchronously (de-queued jobs or dismantled placeholders),
+// in which case the caller must drain the scheduler after unlocking.
+// Caller holds the shard lock.
+func (v *Virtualizer) killPrefetchedFor(cs *shard, client string) ([]int, bool) {
+	// The no-waiters rule, shared by queued jobs and running sims: a
+	// range someone waits for (or references) survives.
+	keep := func(first, last int) bool {
+		for s := first; s <= last; s++ {
+			if len(cs.waiters[s]) > 0 || cs.refs[s] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	// cleared collects every promise marker dismantled below; it is
+	// reconciled against surviving queued jobs once, at the end. freed
+	// records synchronous capacity release (launched kills free theirs
+	// asynchronously through SimEnded).
+	var cleared []int
+	freed := false
+
+	// De-queue queued prefetch jobs first so the drains triggered by the
+	// kills below cannot re-admit work the client no longer wants.
+	for _, job := range v.sched.CancelClient(cs.ctx.Name, client, keep) {
+		freed = true
+		for s := job.First; s <= job.Last; s++ {
+			if cs.promised[s] == pendingSimID {
+				delete(cs.promised, s)
+				cleared = append(cleared, s)
+			}
+		}
+	}
+
 	for id, sim := range cs.sims {
 		if sim.prefetchFor != client {
 			continue
 		}
-		needed := false
-		for s := sim.first; s <= sim.last; s++ {
-			if len(cs.waiters[s]) > 0 || cs.refs[s] > 0 {
-				needed = true
-				break
-			}
-		}
-		if needed {
+		if keep(sim.first, sim.last) {
 			continue
 		}
 		if sim.launched {
 			v.launcher.Kill(id)
 		} else {
-			// Pipeline-pending: dismantle locally.
+			// Pipeline-pending: dismantle locally. The placeholder's
+			// nodes are parked, so only the context slot returns.
 			delete(cs.sims, id)
 			v.releaseUpstream(cs, sim)
+			v.sched.ReleaseSlot(cs.ctx.Name)
+			freed = true
 			for s := sim.first; s <= sim.last; s++ {
 				if cs.promised[s] == id {
 					delete(cs.promised, s)
-					orphaned = append(orphaned, s)
+					cleared = append(cleared, s)
 				}
 			}
 			cs.stats.Kills++
 		}
 	}
-	return orphaned
+	if len(cleared) == 0 {
+		return nil, freed
+	}
+	// Steps a surviving queued job still covers were only over-cleared:
+	// restore their markers, then report what is truly orphaned.
+	v.remarkQueued(cs)
+	var orphaned []int
+	for _, s := range cleared {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; p {
+			continue
+		}
+		orphaned = append(orphaned, s)
+	}
+	return orphaned, freed
 }

@@ -20,6 +20,9 @@ import "fmt"
 //     belongs to this shard's context.
 //  6. Waiters only wait for promised (in-flight) steps.
 func (v *Virtualizer) CheckInvariants() error {
+	if err := v.sched.CheckInvariants(); err != nil {
+		return err
+	}
 	v.ctxMu.RLock()
 	shards := make(map[string]*shard, len(v.contexts))
 	for name, cs := range v.contexts {

@@ -7,6 +7,7 @@ import (
 
 	"simfs/internal/model"
 	"simfs/internal/prefetch"
+	"simfs/internal/sched"
 )
 
 // Open handles a client's open of an output step file (paper Sec. III-A):
@@ -18,9 +19,19 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	if err != nil {
 		return OpenResult{}, err
 	}
-	// Promises dismantled by a prefetch reset must reach hub subscribers;
-	// registered before the unlock defer so it publishes lock-free.
+	// An agent reset inside this Open may dismantle queued or
+	// pipeline-pending prefetch work; when it does, the freed capacity is
+	// drained after the lock-free publish (hit traffic never pays for the
+	// global scheduler lock). Promises dismantled by the reset must reach
+	// hub subscribers; registered before the unlock defer so it publishes
+	// lock-free.
 	var orphaned []int
+	var freedCapacity bool
+	defer func() {
+		if freedCapacity {
+			v.drainScheduler()
+		}
+	}()
 	defer func() { v.publishFailed(ctxName, orphaned, "re-simulation killed") }()
 	defer cs.mu.Unlock()
 	step, err := cs.ctx.Key(filename)
@@ -58,7 +69,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	if lr, ok := cs.lastReady[client]; ok && now > lr {
 		procTime = now - lr
 	}
-	orphaned = v.runAgent(cs, client, step, now, procTime)
+	orphaned, freedCapacity = v.runAgent(cs, client, step, now, procTime)
 	if hit {
 		cs.lastReady[client] = now
 	}
@@ -82,7 +93,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 			cs.refs[step]--
 			return OpenResult{}, fmt.Errorf("core: no outputs in re-simulation interval for %q", filename)
 		}
-		v.launch(cs, first, last, cs.ctx.DefaultParallelism, "")
+		v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Demand, "")
 	}
 	return OpenResult{Available: false, EstWait: v.estWaitLocked(cs, step, now)}, nil
 }
@@ -270,7 +281,7 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 		if !ok {
 			continue
 		}
-		v.launch(cs, first, last, cs.ctx.DefaultParallelism, client)
+		v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Guided, client)
 		if cs.stats.Restarts > before {
 			launched++
 		}
@@ -328,11 +339,12 @@ func (v *Virtualizer) estWaitLocked(cs *shard, step int, now time.Duration) time
 
 // runAgent feeds one access into the client's prefetch agent and applies
 // its decision. It returns the steps orphaned by a prefetch reset, for
-// the caller to publish as failed after unlocking. Caller holds the
-// shard lock.
-func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime time.Duration) []int {
+// the caller to publish as failed after unlocking, and whether the reset
+// freed scheduler capacity (the caller must then drain, also after
+// unlocking). Caller holds the shard lock.
+func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime time.Duration) ([]int, bool) {
 	if cs.ctx.NoPrefetch {
-		return nil
+		return nil, false
 	}
 	ag, ok := cs.agents[client]
 	if !ok {
@@ -342,11 +354,12 @@ func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime
 	cover := func(dir, k int) int { return v.coveredUntil(cs, step, dir, k) }
 	d := ag.OnAccess(step, now, procTime, cover)
 	var orphaned []int
+	freed := false
 	if d.Reset {
-		orphaned = v.killPrefetchedFor(cs, client)
+		orphaned, freed = v.killPrefetchedFor(cs, client)
 	}
 	for _, r := range d.Launches {
-		v.launch(cs, r.First, r.Last, d.Parallelism, client)
+		v.launch(cs, r.First, r.Last, d.Parallelism, sched.Agent, client)
 	}
 	// The agent's follow-up launches may have re-promised some orphaned
 	// steps; those are in flight again, not failed.
@@ -360,7 +373,7 @@ func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime
 		}
 		kept = append(kept, s)
 	}
-	return kept
+	return kept, freed
 }
 
 // coveredUntil walks the trajectory from `from` along dir with stride k
@@ -385,11 +398,13 @@ func (v *Virtualizer) coveredUntil(cs *shard, from, dir, k int) int {
 	}
 }
 
-// launch starts (or queues) a re-simulation covering output steps
-// [first, last], realigned to restart-step boundaries. prefetchFor is the
-// requesting client's name for prefetches, "" for demand misses. Caller
-// holds the shard lock.
-func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, prefetchFor string) {
+// launch builds a launch request covering output steps [first, last],
+// realigned to restart-step boundaries, and hands it to the scheduler;
+// when the scheduler admits it the simulation starts immediately, when it
+// queues it the steps are marked pending. client names the requesting
+// client for prefetch classes, "" for demand misses. Caller holds the
+// shard lock.
+func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sched.Class, client string) {
 	g := cs.ctx.Grid
 	if first < 1 {
 		first = 1
@@ -416,32 +431,24 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, prefetchFo
 	// promised. Partially covered ranges still launch in full: the
 	// re-simulation must boot from the restart step and recompute the
 	// covered steps anyway, so trimming would only distort the timing.
-	uncovered := false
-	for s := first; s <= last; s++ {
-		if cs.resident(s) {
-			continue
-		}
-		if _, p := cs.promised[s]; !p {
-			uncovered = true
-			break
-		}
-	}
-	if !uncovered {
+	if !v.uncovered(cs, first, last) {
 		return
 	}
 	if parallelism <= 0 {
 		parallelism = cs.ctx.DefaultParallelism
 	}
+	if max := v.sched.MaxJobNodes(); max > 0 && parallelism > max {
+		parallelism = max
+	}
 
-	if len(cs.sims)+len(cs.pending) >= cs.ctx.SMax {
-		if prefetchFor != "" {
-			// "Once smax simulations are running, SimFS will not be able
-			// to prefetch new ones" (Sec. VI).
-			cs.stats.DroppedPrefetch++
-			return
-		}
-		// Demand misses must eventually be served: queue the launch.
-		cs.pending = append(cs.pending, pendingLaunch{first: first, last: last, parallelism: parallelism, prefetchFor: prefetchFor})
+	req := sched.Request{
+		Ctx: cs.ctx.Name, First: first, Last: last,
+		Parallelism: parallelism, Class: class, Client: client,
+	}
+	switch v.sched.Submit(req) {
+	case sched.Admitted:
+		v.startSim(cs, first, last, parallelism, prefetchForOf(class, client))
+	case sched.Queued:
 		for s := first; s <= last; s++ {
 			if !cs.resident(s) {
 				if _, p := cs.promised[s]; !p {
@@ -449,9 +456,32 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, prefetchFo
 				}
 			}
 		}
-		return
+	case sched.Dropped:
+		cs.stats.DroppedPrefetch++
 	}
-	v.startSim(cs, first, last, parallelism, prefetchFor)
+}
+
+// uncovered reports whether any step in [first, last] is neither resident
+// nor promised. Caller holds the shard lock.
+func (v *Virtualizer) uncovered(cs *shard, first, last int) bool {
+	for s := first; s <= last; s++ {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; !p {
+			return true
+		}
+	}
+	return false
+}
+
+// prefetchForOf derives the simState.prefetchFor tag from a request's
+// class: demand work carries no client, prefetch work the requester.
+func prefetchForOf(class sched.Class, client string) string {
+	if class == sched.Demand {
+		return ""
+	}
+	return client
 }
 
 // pendingSimID marks steps promised by a not-yet-launched simulation.

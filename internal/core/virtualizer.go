@@ -36,6 +36,7 @@ import (
 	"simfs/internal/model"
 	"simfs/internal/notify"
 	"simfs/internal/prefetch"
+	"simfs/internal/sched"
 	"simfs/internal/simulator"
 	"simfs/internal/vfs"
 )
@@ -110,11 +111,6 @@ type simState struct {
 	launched        bool     // handed to the Launcher (vs pipeline-pending)
 }
 
-type pendingLaunch struct {
-	first, last, parallelism int
-	prefetchFor              string
-}
-
 // shard is the per-context slice of the Virtualizer: one context's whole
 // state behind one lock. All fields below mu are guarded by it.
 type shard struct {
@@ -140,7 +136,6 @@ type shard struct {
 	// lastReady records, per client, when its most recent file became
 	// available — the baseline for the wait-excluded τcli measurement.
 	lastReady map[string]time.Duration
-	pending   []pendingLaunch
 	// sims holds this shard's live simulations: launched ones under their
 	// launcher id and pipeline-pending ones under negative placeholder ids.
 	sims      map[int64]*simState
@@ -159,6 +154,7 @@ type Virtualizer struct {
 	clock    des.Clock
 	launcher Launcher
 	hub      *notify.Hub
+	sched    *sched.Scheduler
 
 	ctxMu    sync.RWMutex
 	contexts map[string]*shard
@@ -175,12 +171,22 @@ type Virtualizer struct {
 }
 
 // New returns a Virtualizer reading time from clock and running
-// simulations through launcher.
+// simulations through launcher, scheduling re-simulations with the
+// default (paper-exact) policy: FIFO demand queueing at smax, prefetch
+// dropped at capacity, no coalescing, unlimited nodes.
 func New(clock des.Clock, launcher Launcher) *Virtualizer {
+	return NewScheduled(clock, launcher, sched.Config{})
+}
+
+// NewScheduled returns a Virtualizer whose re-simulation launches are
+// coordinated by a scheduler with the given policy (coalescing, priority
+// classes, node-capacity admission — see internal/sched).
+func NewScheduled(clock des.Clock, launcher Launcher, cfg sched.Config) *Virtualizer {
 	v := &Virtualizer{
 		clock:    clock,
 		launcher: launcher,
 		hub:      notify.NewHub(),
+		sched:    sched.New(clock, cfg),
 		contexts: map[string]*shard{},
 		simDir:   map[int64]*shard{},
 	}
@@ -219,6 +225,7 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 			return fmt.Errorf("core: context %q names unknown upstream %q", ctx.Name, ctx.Upstream)
 		}
 	}
+	v.sched.Register(ctx.Name, ctx.SMax)
 	v.contexts[ctx.Name] = &shard{
 		ctx:          ctx,
 		driver:       simulator.NewSynthetic(ctx),
@@ -327,6 +334,56 @@ func (v *Virtualizer) TotalLockStats() metrics.LockStats {
 		total.Add(cs.mu.Stats())
 	}
 	return total
+}
+
+// SchedStats returns the re-simulation scheduler counters: queue depth,
+// coalescing effectiveness, dropped/canceled prefetches and per-priority
+// queueing delays. The scheduler is shared by all contexts.
+func (v *Virtualizer) SchedStats() metrics.SchedStats {
+	return v.sched.Stats()
+}
+
+// Scheduler exposes the launch scheduler (tests and diagnostics).
+func (v *Virtualizer) Scheduler() *sched.Scheduler { return v.sched }
+
+// ClientDisconnected tells the DV that a client is gone: its queued
+// prefetch jobs are de-queued and its running prefetch simulations are
+// killed in every context, unless other clients wait for (or reference)
+// the output. Front-ends call it after releasing the client's file
+// references.
+func (v *Virtualizer) ClientDisconnected(client string) {
+	v.ctxMu.RLock()
+	shards := make([]*shard, 0, len(v.contexts))
+	for _, cs := range v.contexts {
+		shards = append(shards, cs)
+	}
+	v.ctxMu.RUnlock()
+	anyFreed := false
+	for _, cs := range shards {
+		cs.mu.Lock()
+		orphaned, freed := v.killPrefetchedFor(cs, client)
+		anyFreed = anyFreed || freed
+		// Drop the departed client's per-shard learning state: its
+		// prefetch agent, its τcli baseline, and its pollution-tracking
+		// entries would otherwise accumulate per unique client name for
+		// the daemon's lifetime.
+		delete(cs.agents, client)
+		delete(cs.lastReady, client)
+		for s, c := range cs.prefetched {
+			if c == client {
+				delete(cs.prefetched, s)
+			}
+		}
+		name := cs.ctx.Name
+		cs.mu.Unlock()
+		v.publishFailed(name, orphaned, "re-simulation killed")
+	}
+	if anyFreed {
+		// De-queued jobs and dismantled placeholders freed capacity; one
+		// drain covers every shard (launched kills drain through their
+		// SimEnded events instead).
+		v.drainScheduler()
+	}
 }
 
 // CacheStats returns the cache engine counters of a context.

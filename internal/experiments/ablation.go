@@ -189,10 +189,6 @@ func AblationPolicyOnWorkloads() (*metrics.Table, error) {
 	cfg := DefaultFig05()
 	cfg.Reps = 5
 	ctx := simulator.CacheEval()
-	traces, err := fig05Traces(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
 	type cell struct {
 		patIdx int
 		pol    string
@@ -211,7 +207,11 @@ func AblationPolicyOnWorkloads() (*metrics.Table, error) {
 		}
 		rates := make([]float64, cfg.Reps)
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := ReplayInto(st, ctx, traces[c.patIdx*cfg.Reps+rep])
+			tr, err := st.GenerateTrace(cfg.Patterns[c.patIdx], fig05TraceConfig(ctx, cfg.Seed, rep))
+			if err != nil {
+				return nil, err
+			}
+			res, err := ReplayInto(st, ctx, tr)
 			if err != nil {
 				return nil, err
 			}

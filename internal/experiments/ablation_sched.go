@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/metrics"
+	"simfs/internal/sched"
+	"simfs/internal/simulator"
+)
+
+// AblationScheduler quantifies the re-simulation scheduler's design
+// choices — interval coalescing and priority-ordered queueing — on the
+// multi-analysis workload: many concurrent analyses with overlapping
+// working sets contending for a small smax, the regime where the launch
+// queue actually forms. The 2×2 grid (coalescing × priorities) runs as
+// independent cells on the worker pool; the baseline cell is the
+// paper-exact policy, so the row differences are exactly what the
+// scheduler buys.
+func AblationScheduler(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("Ablation — re-simulation scheduler (coalescing × priorities)", "mode", "value")
+	modes := []struct {
+		name string
+		cfg  sched.Config
+	}{
+		{"baseline", sched.Config{}},
+		{"+coalesce", sched.Config{Coalesce: true}},
+		{"+priorities", sched.Config{Priorities: true}},
+		{"+both", sched.Config{Coalesce: true, Priorities: true}},
+	}
+	results, err := RunCells(0, len(modes), func(i int) (MultiAnalysisResult, error) {
+		ctx := simulator.CosmoScaling()
+		ctx.MaxCacheBytes = 128 * ctx.OutputBytes
+		ctx.SMax = 4 // tight capacity: the queue is where the action is
+		res, err := MultiAnalysis(ctx, MultiAnalysisConfig{
+			Clients: 10, Steps: 48, TauCli: 100 * time.Millisecond,
+			Seed: seed, Backward: 0.25, Sched: modes[i].cfg,
+		})
+		if err != nil {
+			return MultiAnalysisResult{}, fmt.Errorf("scheduler ablation %s: %w", modes[i].name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		r := results[i]
+		var xs []float64
+		for _, d := range r.Completion {
+			xs = append(xs, d.Seconds())
+		}
+		tab.Series("median completion (s)").Add(mode.name, metrics.Summarize(xs).Median)
+		tab.Series("restarts").Add(mode.name, float64(r.Stats.Restarts))
+		tab.Series("steps produced").Add(mode.name, float64(r.Stats.StepsProduced))
+		tab.Series("dropped prefetch").Add(mode.name, float64(r.Stats.DroppedPrefetch))
+		tab.Series("coalesced").Add(mode.name, float64(r.Sched.Coalesced))
+		tab.Series("queued jobs").Add(mode.name, float64(r.Sched.Queued))
+		tab.Series("demand wait (s)").Add(mode.name, r.Sched.DemandWait.Wait.Seconds())
+	}
+	return tab, nil
+}

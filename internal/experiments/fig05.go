@@ -9,17 +9,21 @@ import (
 	"simfs/internal/trace"
 )
 
-// generateFig05Trace builds one concatenated analysis trace for the
-// caching study: 50 analyses of 100–400 accesses each.
-func generateFig05Trace(ctx *model.Context, pat trace.Pattern, seed int64) ([]trace.Access, error) {
-	return trace.Generate(pat, trace.Config{
+// fig05TraceConfig parameterizes one concatenated analysis trace of the
+// caching study — 50 analyses of 100–400 accesses each — for a given
+// repetition. Traces depend only on (pattern, seed, rep), so every cell
+// that needs one regenerates it deterministically instead of sharing a
+// pre-materialized matrix: generation is ~0.3% of a replay's cost and a
+// cell-local buffer (ReplayState.GenerateTrace) makes it allocation-free.
+func fig05TraceConfig(ctx *model.Context, seed int64, rep int) trace.Config {
+	return trace.Config{
 		NumSteps:    ctx.Grid.NumOutputSteps(),
 		NumAnalyses: 50,
 		MinLen:      100,
 		MaxLen:      400,
 		Stride:      1,
-		Seed:        seed,
-	})
+		Seed:        seed + int64(rep)*7919,
+	}
 }
 
 // Fig05Config parameterizes the replacement-scheme comparison (Fig. 5):
@@ -50,26 +54,15 @@ func DefaultFig05() Fig05Config {
 	}
 }
 
-// fig05Traces generates the pattern×rep trace matrix on the worker pool:
-// traces[p*reps+rep] is the trace of (Patterns[p], rep). Generating them
-// once up front keeps the replay cells — which share each trace across
-// all policies — from recomputing the same deterministic trace per
-// policy.
-func fig05Traces(ctx *model.Context, cfg Fig05Config) ([][]trace.Access, error) {
-	return RunCells(cfg.Workers, len(cfg.Patterns)*cfg.Reps, func(i int) ([]trace.Access, error) {
-		pat, rep := cfg.Patterns[i/cfg.Reps], i%cfg.Reps
-		return generateFig05Trace(ctx, pat, cfg.Seed+int64(rep)*7919)
-	})
-}
-
 // Fig05 runs the comparison and returns two tables: re-simulated output
 // steps (the bars of Fig. 5) and simulation restarts (the points), one row
 // per access pattern and one column per replacement scheme.
 //
 // The pattern×policy grid runs on the worker pool; each cell replays all
-// Reps traces of its pattern on one reused ReplayState. Traces depend
-// only on (pattern, Seed, rep), so the merged tables are bit-identical to
-// a sequential run.
+// Reps traces of its pattern on one reused ReplayState, regenerating each
+// rep's trace into the state's worker-pinned scratch buffer. Traces
+// depend only on (pattern, Seed, rep), so the merged tables are
+// bit-identical to a sequential run.
 func Fig05(cfg Fig05Config) (steps, restarts *metrics.Table, err error) {
 	if cfg.Reps < 1 {
 		cfg.Reps = 1
@@ -78,10 +71,6 @@ func Fig05(cfg Fig05Config) (steps, restarts *metrics.Table, err error) {
 	steps = metrics.NewTable("Fig. 5 — re-simulated output steps", "pattern", "output steps")
 	restarts = metrics.NewTable("Fig. 5 — simulation restarts", "pattern", "restarts")
 
-	traces, err := fig05Traces(ctx, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
 	type cell struct {
 		patIdx int
 		pol    string
@@ -107,7 +96,11 @@ func Fig05(cfg Fig05Config) (steps, restarts *metrics.Table, err error) {
 			restarts: make([]float64, cfg.Reps),
 		}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			res, err := ReplayInto(st, ctx, traces[c.patIdx*cfg.Reps+rep])
+			tr, err := st.GenerateTrace(cfg.Patterns[c.patIdx], fig05TraceConfig(ctx, cfg.Seed, rep))
+			if err != nil {
+				return cellResult{}, err
+			}
+			res, err := ReplayInto(st, ctx, tr)
 			if err != nil {
 				return cellResult{}, fmt.Errorf("fig05 %s/%s: %w", cfg.Patterns[c.patIdx], c.pol, err)
 			}

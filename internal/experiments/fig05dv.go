@@ -18,6 +18,11 @@ import (
 // Fig05. It cross-validates the replay's lazy-production model: the same
 // ordering of schemes must emerge from the real machinery. It is slower
 // than Fig05, so it defaults to fewer, shorter traces.
+//
+// The pattern×policy grid runs as independent cells on the experiment
+// worker pool; each cell regenerates its per-rep traces (deterministic in
+// pattern and seed+rep) into cell-local buffers, so the merged tables are
+// bit-identical to a sequential run for any worker count.
 func Fig05DV(reps, analyses int, seed int64, policies []string, patterns []trace.Pattern) (steps, restarts *metrics.Table, err error) {
 	if reps < 1 {
 		reps = 1
@@ -29,9 +34,33 @@ func Fig05DV(reps, analyses int, seed int64, policies []string, patterns []trace
 	steps = metrics.NewTable("Fig. 5 (full DV) — re-simulated output steps", "pattern", "output steps")
 	restarts = metrics.NewTable("Fig. 5 (full DV) — simulation restarts", "pattern", "restarts")
 
-	for _, pat := range patterns {
+	type cell struct {
+		patIdx int
+		pol    string
+	}
+	var cells []cell
+	for p := range patterns {
+		for _, pol := range policies {
+			cells = append(cells, cell{p, pol})
+		}
+	}
+	type cellResult struct {
+		steps    []float64
+		restarts []float64
+	}
+	results, err := RunCells(0, len(cells), func(i int) (cellResult, error) {
+		c := cells[i]
+		r := cellResult{
+			steps:    make([]float64, reps),
+			restarts: make([]float64, reps),
+		}
+		// Worker-pinned scratch: the trace and its step sequence are
+		// regenerated into these buffers for every rep of this cell.
+		var tr []trace.Access
+		var accesses []int
 		for rep := 0; rep < reps; rep++ {
-			tr, err := trace.Generate(pat, trace.Config{
+			var err error
+			tr, err = trace.GenerateInto(tr, patterns[c.patIdx], trace.Config{
 				NumSteps:    base.Grid.NumOutputSteps(),
 				NumAnalyses: analyses,
 				MinLen:      100,
@@ -40,20 +69,29 @@ func Fig05DV(reps, analyses int, seed int64, policies []string, patterns []trace
 				Seed:        seed + int64(rep)*104729,
 			})
 			if err != nil {
-				return nil, nil, err
+				return cellResult{}, err
 			}
-			accesses := make([]int, len(tr))
-			for i, a := range tr {
-				accesses[i] = a.Step
+			accesses = accesses[:0]
+			for _, a := range tr {
+				accesses = append(accesses, a.Step)
 			}
-			for _, pol := range policies {
-				st, err := runTraceThroughDV(base, pol, accesses)
-				if err != nil {
-					return nil, nil, fmt.Errorf("fig05dv %s/%s: %w", pat, pol, err)
-				}
-				steps.Series(pol).Add(string(pat), float64(st.StepsProduced))
-				restarts.Series(pol).Add(string(pat), float64(st.Restarts))
+			st, err := runTraceThroughDV(base, c.pol, accesses)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("fig05dv %s/%s: %w", patterns[c.patIdx], c.pol, err)
 			}
+			r.steps[rep] = float64(st.StepsProduced)
+			r.restarts[rep] = float64(st.Restarts)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, c := range cells {
+		pat := string(patterns[c.patIdx])
+		for rep := 0; rep < reps; rep++ {
+			steps.Series(c.pol).Add(pat, results[i].steps[rep])
+			restarts.Series(c.pol).Add(pat, results[i].restarts[rep])
 		}
 	}
 	return steps, restarts, nil

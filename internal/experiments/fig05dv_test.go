@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
 
 	"simfs/internal/trace"
@@ -47,5 +48,33 @@ func TestFig05DVCrossValidatesReplay(t *testing.T) {
 				t.Errorf("%s/%s: restarts missing or zero", pol, pat)
 			}
 		}
+	}
+}
+
+// TestFig05DVParallelDeterminism locks the worker-pool port of Fig05DV:
+// the rendered tables must not depend on the worker count.
+func TestFig05DVParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Fig05DV twice in -short mode")
+	}
+	render := func(workers int) string {
+		SetWorkers(workers)
+		defer SetWorkers(0)
+		steps, restarts, err := Fig05DV(2, 4, 1,
+			[]string{"DCL", "LRU"}, []trace.Pattern{trace.Forward, trace.Random})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := steps.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := restarts.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if seq, par := render(1), render(4); seq != par {
+		t.Errorf("Fig05DV tables depend on worker count:\n-- j1 --\n%s\n-- j4 --\n%s", seq, par)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"simfs/internal/core"
 	"simfs/internal/metrics"
 	"simfs/internal/model"
+	"simfs/internal/sched"
 )
 
 // MultiAnalysisConfig parameterizes the concurrent-analyses experiment:
@@ -19,12 +20,16 @@ type MultiAnalysisConfig struct {
 	TauCli   time.Duration
 	Seed     int64
 	Backward float64 // fraction of clients scanning backward
+	// Sched selects the re-simulation scheduling policy (zero value =
+	// the paper-exact default); the scheduler ablation sweeps it.
+	Sched sched.Config
 }
 
 // MultiAnalysisResult aggregates the run.
 type MultiAnalysisResult struct {
 	Completion []time.Duration
 	Stats      core.CtxStats
+	Sched      metrics.SchedStats
 }
 
 // MultiAnalysis runs several concurrent analyses over one shared
@@ -35,7 +40,7 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 	if cfg.Clients < 1 {
 		return MultiAnalysisResult{}, fmt.Errorf("multianalysis: need at least one client")
 	}
-	eng, v, err := stackFor(ctx)
+	eng, v, err := stackSched(ctx, cfg.Sched)
 	if err != nil {
 		return MultiAnalysisResult{}, err
 	}
@@ -78,6 +83,7 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 		return res, err
 	}
 	res.Stats = st
+	res.Sched = v.SchedStats()
 	for i, d := range res.Completion {
 		if d == 0 {
 			return res, fmt.Errorf("multianalysis: analysis %d never completed", i)

@@ -25,9 +25,26 @@ type ReplayResult struct {
 // formatting of the string-keyed path (the Virtualizer's view) never runs
 // here; the rep loops of the caching study reset and reuse one state per
 // (pattern, policy) cell instead of allocating a fresh policy and cache
-// per replay.
+// per replay. The state also carries a trace scratch buffer: a cell runs
+// wholly on one worker of the experiment pool, so the buffer is
+// worker-pinned and the rep loops regenerate each repetition's trace into
+// it instead of allocating (or pre-materializing) one slice per rep.
 type ReplayState struct {
-	c *cache.CacheOf[int]
+	c        *cache.CacheOf[int]
+	traceBuf []trace.Access
+}
+
+// GenerateTrace regenerates a deterministic trace into the state's
+// reusable buffer. The accesses are identical to trace.Generate's for the
+// same (pattern, config); the returned slice is only valid until the next
+// GenerateTrace call on this state.
+func (st *ReplayState) GenerateTrace(p trace.Pattern, cfg trace.Config) ([]trace.Access, error) {
+	tr, err := trace.GenerateInto(st.traceBuf, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.traceBuf = tr
+	return tr, nil
 }
 
 // NewReplayState builds a replay state for one context and replacement

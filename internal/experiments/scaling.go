@@ -10,14 +10,22 @@ import (
 	"simfs/internal/metrics"
 	"simfs/internal/model"
 	"simfs/internal/prefetch"
+	"simfs/internal/sched"
 	"simfs/internal/simulator"
 )
 
-// stackFor wires a fresh virtual-time SimFS instance around one context.
+// stackFor wires a fresh virtual-time SimFS instance around one context
+// with the default (paper-exact) launch scheduling.
 func stackFor(ctx *model.Context) (*des.Engine, *core.Virtualizer, error) {
+	return stackSched(ctx, sched.Config{})
+}
+
+// stackSched wires a fresh virtual-time SimFS instance with an explicit
+// re-simulation scheduler policy (the scheduler ablation's knob).
+func stackSched(ctx *model.Context, cfg sched.Config) (*des.Engine, *core.Virtualizer, error) {
 	eng := des.NewEngine()
 	l := &simulator.DESLauncher{Engine: eng}
-	v := core.New(eng, l)
+	v := core.NewScheduled(eng, l, cfg)
 	l.Events = v
 	if err := v.AddContext(ctx, "DCL", nil); err != nil {
 		return nil, nil, err

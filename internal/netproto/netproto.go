@@ -88,6 +88,20 @@ type Stats struct {
 	LockAcquisitions uint64 `json:"lock_acquisitions,omitempty"`
 	LockContended    uint64 `json:"lock_contended,omitempty"`
 	LockWaitNs       int64  `json:"lock_wait_ns,omitempty"`
+
+	// Re-simulation scheduler counters (internal/sched). The scheduler is
+	// shared by all contexts of the daemon, so these are DV-global: the
+	// current queue depth, how many requests were coalesced into queued
+	// jobs, how many prefetches were dropped at capacity or canceled
+	// before launch, and the cumulative enqueue→admission wait per
+	// priority class.
+	SchedQueueDepth   int    `json:"sched_queue_depth,omitempty"`
+	SchedCoalesced    uint64 `json:"sched_coalesced,omitempty"`
+	SchedDropped      uint64 `json:"sched_dropped,omitempty"`
+	SchedCanceled     uint64 `json:"sched_canceled,omitempty"`
+	SchedDemandWaitNs int64  `json:"sched_demand_wait_ns,omitempty"`
+	SchedGuidedWaitNs int64  `json:"sched_guided_wait_ns,omitempty"`
+	SchedAgentWaitNs  int64  `json:"sched_agent_wait_ns,omitempty"`
 }
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSchedulerLaunchStorm hammers the scheduler with the traffic
+// shape of a saturated multi-client daemon: bursts of demand and prefetch
+// requests over several contexts at capacity, interleaved with sim
+// completions that drain the queue. It measures the per-request cost of
+// admission, coalescing and queue maintenance — the scheduler work added
+// to every miss on the DV hot path.
+func BenchmarkSchedulerLaunchStorm(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"legacy", Config{}},
+		{"coalesce+priorities", Config{Coalesce: true, Priorities: true}},
+		{"nodes=64", Config{Coalesce: true, Priorities: true, TotalNodes: 64}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const contexts = 8
+			clk := &manualClock{}
+			s := New(clk, cfg.c)
+			names := make([]string, contexts)
+			running := make([][]int, contexts) // node counts of admitted sims
+			for i := range names {
+				names[i] = fmt.Sprintf("ctx%d", i)
+				s.Register(names[i], 4)
+			}
+			classes := []Class{Demand, Agent, Demand, Guided}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := i % contexts
+				first := 1 + (i%97)*4
+				r := Request{
+					Ctx: names[c], First: first, Last: first + 11,
+					Parallelism: 1 + i%8,
+					Class:       classes[i%len(classes)],
+					Client:      "cli",
+				}
+				if s.Submit(r) == Admitted {
+					running[c] = append(running[c], r.Parallelism)
+				}
+				// Every third request a simulation completes, draining the
+				// queue — the contexts hover at capacity so the queued and
+				// coalescing paths stay hot.
+				if i%3 == 0 && len(running[c]) > 0 {
+					nodes := running[c][len(running[c])-1]
+					running[c] = running[c][:len(running[c])-1]
+					s.SimDone(names[c], nodes)
+					for {
+						j, ok := s.Next()
+						if !ok {
+							break
+						}
+						for k, n := range names {
+							if n == j.Ctx {
+								running[k] = append(running[k], j.Parallelism)
+							}
+						}
+					}
+				}
+			}
+			b.StopTimer()
+			if err := s.CheckInvariants(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

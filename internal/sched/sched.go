@@ -1,0 +1,674 @@
+// Package sched is the re-simulation scheduler of the Data Virtualizer:
+// the layer between the DV core and any Launcher that decides which
+// re-simulation jobs start now, which wait, and which are never launched
+// at all. The paper's DV makes those decisions inline per context (start
+// on demand miss, drop prefetches beyond smax, Sec. IV-C/VI); this
+// subsystem generalizes them for a multi-client daemon:
+//
+//   - Admission control. Per-context capacity (the paper's smax) plus an
+//     optional global node budget shared by all contexts (the role the
+//     batch-system pool used to play at the launcher level). Admission is
+//     FIFO without backfilling across contexts, so one hot context cannot
+//     starve the others of nodes.
+//   - Priority classes. Demand misses outrank guided-prefetch hints,
+//     which outrank speculative agent prefetches. With Priorities enabled
+//     the queue is drained in class order; without it the scheduler
+//     reproduces the paper's rule exactly — demand waits in FIFO order,
+//     prefetch beyond capacity is dropped.
+//   - Interval coalescing. With Coalesce enabled, a queued job absorbs
+//     overlapping or adjacent requests for the same context instead of
+//     spawning duplicate restarts: both requests are served by one
+//     restart-aligned simulation.
+//   - Cancellation. Queued prefetch jobs are de-queued when their
+//     requesting client resets or disconnects, and re-validated at
+//     admission so stale work is never launched.
+//
+// The scheduler is deliberately passive: it never starts simulations
+// itself and never calls back into the DV. The core submits requests
+// (Submit) while holding the owning shard's lock, and drains admitted
+// jobs (Next) holding no shard lock; the scheduler's own mutex is the
+// innermost lock and is never held across foreign code. Under the
+// discrete-event engine every method runs on the single event thread, so
+// scheduling decisions — and therefore whole experiments — are
+// deterministic.
+//
+// The zero Config reproduces the pre-scheduler DV semantics bit for bit
+// (no coalescing, no priority queueing, unlimited nodes); experiment
+// tables are unchanged by routing launches through it.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"simfs/internal/des"
+	"simfs/internal/metrics"
+)
+
+// Class is a job priority class, ordered most- to least-urgent.
+type Class uint8
+
+// Priority classes: a demand miss blocks a client right now, a guided
+// prefetch is an explicit client hint, an agent prefetch is speculative.
+const (
+	Demand Class = iota
+	Guided
+	Agent
+)
+
+func (c Class) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case Guided:
+		return "guided"
+	case Agent:
+		return "agent"
+	}
+	return "unknown"
+}
+
+// Request asks for one re-simulation of Ctx producing output steps
+// [First, Last] (already realigned to restart boundaries by the core) at
+// the given parallelism. Client names the requesting client for prefetch
+// classes ("" for demand).
+type Request struct {
+	Ctx         string
+	First, Last int
+	Parallelism int
+	Class       Class
+	Client      string
+}
+
+// Job is a queued (possibly coalesced) request.
+type Job struct {
+	Request
+	// Coalesced counts the extra requests merged into this job.
+	Coalesced int
+
+	// cons are the distinct prefetch constituents (client, class) this
+	// job serves (empty for pure demand jobs). Cancellation only removes
+	// a job once every constituent client has withdrawn, and a surviving
+	// job's class/client are recomputed from the remaining constituents.
+	cons       []constituent
+	seq        uint64
+	enqueuedAt time.Duration
+}
+
+// constituent is one prefetch request folded into a job.
+type constituent struct {
+	client string
+	class  Class
+}
+
+// addConstituent records a prefetch constituent, keeping the most urgent
+// class per client.
+func (j *Job) addConstituent(client string, class Class) {
+	for i := range j.cons {
+		if j.cons[i].client == client {
+			if class < j.cons[i].class {
+				j.cons[i].class = class
+			}
+			return
+		}
+	}
+	j.cons = append(j.cons, constituent{client: client, class: class})
+}
+
+// Decision is the outcome of Submit.
+type Decision uint8
+
+const (
+	// Admitted: capacity was available; the caller must start the
+	// simulation now (the scheduler has reserved its capacity).
+	Admitted Decision = iota
+	// Queued: the request waits in the queue (new job or coalesced into
+	// an existing one); the caller should mark its steps as pending.
+	Queued
+	// Dropped: a prefetch request rejected at capacity.
+	Dropped
+)
+
+// Config selects the scheduling policy. The zero value reproduces the
+// paper's inline rules exactly.
+type Config struct {
+	// Coalesce merges overlapping or adjacent queued requests of one
+	// context into a single job.
+	Coalesce bool
+	// Priorities drains the queue in class order (demand > guided >
+	// agent) and queues prefetch requests at capacity instead of
+	// dropping them.
+	Priorities bool
+	// TotalNodes bounds the summed parallelism of running simulations
+	// across all contexts (0 = unlimited). Jobs wider than TotalNodes
+	// are clamped by the core via MaxJobNodes.
+	TotalNodes int
+}
+
+// ctxState is the per-context admission ledger and queue. Keeping one
+// queue per context makes every pop O(#contexts) — a context whose smax
+// blocks its whole queue is skipped in one step instead of being
+// rescanned job by job on every drain of a busy neighbour.
+type ctxState struct {
+	smax     int // max in-flight + queued jobs (0 = unlimited)
+	inflight int // admitted, not yet reported done
+	jobs     []*Job
+}
+
+// Scheduler coordinates re-simulation launches. All methods are safe for
+// concurrent use; the internal mutex is the innermost lock in the system.
+type Scheduler struct {
+	clock des.Clock
+	cfg   Config
+
+	mu    sync.Mutex
+	ctxs  map[string]*ctxState
+	depth int // total queued jobs across contexts
+	seq   uint64
+	nodes int // summed parallelism of in-flight jobs
+	stats metrics.SchedStats
+}
+
+// New returns a scheduler reading time from clock (for queue-wait
+// accounting) with the given policy.
+func New(clock des.Clock, cfg Config) *Scheduler {
+	return &Scheduler{clock: clock, cfg: cfg, ctxs: map[string]*ctxState{}}
+}
+
+// Config returns the scheduling policy in effect.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Register declares a context and its per-context capacity (the paper's
+// smax; 0 = unlimited). Submitting for an unregistered context registers
+// it with unlimited capacity.
+func (s *Scheduler) Register(ctx string, smax int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctxOf(ctx).smax = smax
+}
+
+func (s *Scheduler) ctxOf(name string) *ctxState {
+	cs, ok := s.ctxs[name]
+	if !ok {
+		cs = &ctxState{}
+		s.ctxs[name] = cs
+	}
+	return cs
+}
+
+// MaxJobNodes returns the widest parallelism a single job may request
+// (0 = unbounded). The core clamps requests before submitting, so a job
+// wider than the whole machine degrades to using the whole machine
+// instead of being rejected.
+func (s *Scheduler) MaxJobNodes() int { return s.cfg.TotalNodes }
+
+func jobNodes(par int) int {
+	if par < 1 {
+		return 1
+	}
+	return par
+}
+
+// Submit decides the fate of a launch request: start now (Admitted),
+// wait (Queued), or reject (Dropped, prefetch only). The caller holds
+// the shard lock of req.Ctx; on Admitted it must start the simulation
+// and later report it via SimDone.
+func (s *Scheduler) Submit(req Request) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.ctxOf(req.Ctx)
+	s.stats.Submitted++
+
+	atCtxCap := cs.smax > 0 && cs.inflight+len(cs.jobs) >= cs.smax
+	// Under a node budget, admission is strictly FIFO: a request never
+	// overtakes a job already waiting for nodes, even if it would fit
+	// (matching the no-backfill pool it replaces). Jobs queued only by
+	// their own context's smax don't count — a full context never gates
+	// its neighbours — so the test is for a node-blocked queue head, not
+	// for any queued job. Without a budget, contexts are independent and
+	// only their own smax gates them.
+	atNodeCap := s.cfg.TotalNodes > 0 &&
+		(s.nodes+jobNodes(req.Parallelism) > s.cfg.TotalNodes || s.nodeBlockedHead())
+	if !atCtxCap && !atNodeCap {
+		cs.inflight++
+		s.nodes += jobNodes(req.Parallelism)
+		s.stats.Admitted++
+		return Admitted
+	}
+	if req.Class != Demand && !s.cfg.Priorities {
+		// The paper's rule: "Once smax simulations are running, SimFS
+		// will not be able to prefetch new ones" (Sec. VI).
+		s.stats.Dropped++
+		return Dropped
+	}
+	s.enqueue(req)
+	return Queued
+}
+
+// nodeBlockedHead reports whether some context's queue head is admissible
+// by its smax and therefore waiting on the node budget. Caller holds
+// s.mu.
+func (s *Scheduler) nodeBlockedHead() bool {
+	for _, cs := range s.ctxs {
+		if len(cs.jobs) > 0 && (cs.smax == 0 || cs.inflight < cs.smax) {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue inserts (or coalesces) a request into its context's queue.
+// Caller holds s.mu.
+func (s *Scheduler) enqueue(req Request) {
+	cs := s.ctxOf(req.Ctx)
+	if s.cfg.Coalesce && s.absorb(cs, req) {
+		s.stats.Coalesced++
+		return
+	}
+	s.seq++
+	job := &Job{Request: req, seq: s.seq, enqueuedAt: s.clock.Now()}
+	if req.Class != Demand {
+		job.addConstituent(req.Client, req.Class)
+	}
+	s.insert(cs, job)
+	s.depth++
+	s.stats.Queued++
+	if s.depth > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = s.depth
+	}
+}
+
+// absorb tries to merge req into a queued job of the same context with an
+// overlapping or adjacent step range. It reports whether a merge
+// happened; the merged job keeps its queue position (earliest constituent
+// wins) unless a class promotion reorders it.
+func (s *Scheduler) absorb(cs *ctxState, req Request) bool {
+	for i, job := range cs.jobs {
+		if req.First > job.Last+1 || job.First > req.Last+1 {
+			continue // disjoint and not adjacent
+		}
+		if req.First < job.First {
+			job.First = req.First
+		}
+		if req.Last > job.Last {
+			job.Last = req.Last
+		}
+		if req.Parallelism > job.Parallelism {
+			job.Parallelism = req.Parallelism
+		}
+		if req.Class < job.Class {
+			// The job takes the identity of its most urgent constituent:
+			// a demand miss folded into a queued prefetch turns the whole
+			// job into demand work.
+			job.Class = req.Class
+			job.Client = req.Client
+		}
+		if req.Class != Demand {
+			job.addConstituent(req.Client, req.Class)
+		}
+		job.Coalesced++
+		s.removeAt(cs, i)
+		// The grown interval may now touch further queued jobs: cascade.
+		for {
+			j := overlapping(cs, job)
+			if j < 0 {
+				break
+			}
+			other := cs.jobs[j]
+			if other.First < job.First {
+				job.First = other.First
+			}
+			if other.Last > job.Last {
+				job.Last = other.Last
+			}
+			if other.Parallelism > job.Parallelism {
+				job.Parallelism = other.Parallelism
+			}
+			if other.Class < job.Class {
+				job.Class = other.Class
+				job.Client = other.Client
+			}
+			for _, c := range other.cons {
+				job.addConstituent(c.client, c.class)
+			}
+			if other.seq < job.seq {
+				job.seq = other.seq
+			}
+			if other.enqueuedAt < job.enqueuedAt {
+				job.enqueuedAt = other.enqueuedAt
+			}
+			job.Coalesced += other.Coalesced + 1
+			s.removeAt(cs, j)
+			s.depth--
+		}
+		s.insert(cs, job)
+		return true
+	}
+	return false
+}
+
+// overlapping returns the index of a queued job of cs overlapping or
+// adjacent to job, or -1.
+func overlapping(cs *ctxState, job *Job) int {
+	for i, other := range cs.jobs {
+		if other == job {
+			continue
+		}
+		if other.First > job.Last+1 || job.First > other.Last+1 {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// less orders a context's queue: class-major when Priorities is on,
+// submission order within a class (and overall when off).
+func (s *Scheduler) less(a, b *Job) bool {
+	if s.cfg.Priorities && a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.seq < b.seq
+}
+
+// insert places job at its ordered position in cs's queue. Caller holds
+// s.mu.
+func (s *Scheduler) insert(cs *ctxState, job *Job) {
+	i := len(cs.jobs)
+	for i > 0 && s.less(job, cs.jobs[i-1]) {
+		i--
+	}
+	cs.jobs = append(cs.jobs, nil)
+	copy(cs.jobs[i+1:], cs.jobs[i:])
+	cs.jobs[i] = job
+}
+
+// removeAt deletes the i-th entry of cs's queue preserving order. Caller
+// holds s.mu.
+func (s *Scheduler) removeAt(cs *ctxState, i int) {
+	copy(cs.jobs[i:], cs.jobs[i+1:])
+	cs.jobs[len(cs.jobs)-1] = nil
+	cs.jobs = cs.jobs[:len(cs.jobs)-1]
+}
+
+// Next pops the most urgent admissible queued job, reserving its
+// capacity: the caller must either start the simulation (and later call
+// SimDone) or return the reservation with Release. Contexts at their smax
+// are skipped whole — a full context never blocks its neighbours — and
+// among the remaining contexts' queue heads the best (class, submission)
+// order wins, which is cross-context FIFO fairness within a priority
+// class. Node admission is FIFO: when the chosen head does not fit the
+// node budget nothing behind it runs either (no backfilling, matching a
+// conservatively crowded HPC partition).
+func (s *Scheduler) Next() (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *ctxState
+	for _, cs := range s.ctxs {
+		if len(cs.jobs) == 0 {
+			continue
+		}
+		if cs.smax > 0 && cs.inflight >= cs.smax {
+			continue
+		}
+		if best == nil || s.less(cs.jobs[0], best.jobs[0]) {
+			best = cs
+		}
+	}
+	if best == nil {
+		return Job{}, false
+	}
+	job := best.jobs[0]
+	if s.cfg.TotalNodes > 0 && s.nodes+jobNodes(job.Parallelism) > s.cfg.TotalNodes {
+		return Job{}, false
+	}
+	s.removeAt(best, 0)
+	s.depth--
+	best.inflight++
+	s.nodes += jobNodes(job.Parallelism)
+	wait := s.clock.Now() - job.enqueuedAt
+	if wait < 0 {
+		wait = 0
+	}
+	cw := s.classWait(job.Class)
+	cw.Jobs++
+	cw.Wait += wait
+	return *job, true
+}
+
+func (s *Scheduler) classWait(c Class) *metrics.SchedClassWait {
+	switch c {
+	case Demand:
+		return &s.stats.DemandWait
+	case Guided:
+		return &s.stats.GuidedWait
+	default:
+		return &s.stats.AgentWait
+	}
+}
+
+// Release returns the capacity reserved by Next for a job the caller
+// decided not to start (admission-time revalidation found it stale).
+func (s *Scheduler) Release(job Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctxOf(job.Ctx).inflight--
+	s.nodes -= jobNodes(job.Parallelism)
+	s.stats.Canceled++
+}
+
+// SimDone reports that a launched simulation ended (completed, failed or
+// killed), freeing its context slot and nodes. nodes must be the
+// parallelism the job was admitted with. For admitted jobs dismantled
+// before launch — parked pipeline placeholders — use ReleaseSlot: their
+// nodes were already returned by ParkNodes.
+func (s *Scheduler) SimDone(ctx string, nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.ctxOf(ctx)
+	cs.inflight--
+	s.nodes -= jobNodes(nodes)
+}
+
+// ParkNodes returns an admitted job's nodes to the budget while it waits
+// for upstream inputs (pipeline virtualization): a parked simulation
+// consumes its context slot but no nodes, so the upstream re-simulation
+// it depends on can be admitted — holding the budget across the
+// dependency would deadlock the pipeline.
+func (s *Scheduler) ParkNodes(nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes -= jobNodes(nodes)
+}
+
+// ClaimNodes tries to re-reserve a parked job's nodes once its inputs are
+// ready. On false the budget is busy: the caller must give up its slot
+// (ReleaseSlot) and requeue the work (Enqueue) instead of launching.
+func (s *Scheduler) ClaimNodes(nodes int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.TotalNodes > 0 && s.nodes+jobNodes(nodes) > s.cfg.TotalNodes {
+		return false
+	}
+	s.nodes += jobNodes(nodes)
+	return true
+}
+
+// ReleaseSlot frees the context slot of an admitted-but-never-launched
+// job whose nodes are already parked (pipeline placeholder dismantled or
+// requeued).
+func (s *Scheduler) ReleaseSlot(ctx string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctxOf(ctx).inflight--
+}
+
+// Enqueue queues a request unconditionally, bypassing admission — used to
+// requeue a pipeline job whose upstream inputs became ready while the
+// node budget was busy. It drains like any queued job once capacity
+// frees.
+func (s *Scheduler) Enqueue(req Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Submitted++
+	s.enqueue(req)
+}
+
+// CancelClient withdraws one client's interest from the queued prefetch
+// jobs of a context. A job is de-queued only when its last constituent
+// client withdraws (a coalesced job may serve several) and only if keep
+// reports nobody else wants its range (waiters or references in the
+// core), mirroring the paper's rule that a simulation is killed only
+// when nobody waits for its output. The removed jobs are returned so the
+// core can dismantle their pending markers.
+//
+// keep runs without the scheduler lock held (the scheduler mutex is the
+// innermost lock and never wraps foreign code); candidates are
+// re-checked for membership before removal, so a job popped by a
+// concurrent drain in the meantime is simply no longer cancelable.
+func (s *Scheduler) CancelClient(ctx, client string, keep func(first, last int) bool) []Job {
+	s.mu.Lock()
+	cs, ok := s.ctxs[ctx]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	var candidates []*Job
+	for _, job := range cs.jobs {
+		if job.Class == Demand {
+			continue
+		}
+		for _, c := range job.cons {
+			if c.client == client {
+				candidates = append(candidates, job)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	kept := make([]bool, len(candidates))
+	for i, job := range candidates {
+		kept[i] = keep != nil && keep(job.First, job.Last)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var removed []Job
+	for i, job := range candidates {
+		if kept[i] {
+			continue
+		}
+		// The job may have been admitted (or merged away) while keep ran.
+		idx := -1
+		for j, q := range cs.jobs {
+			if q == job {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		// Withdraw this client; other constituents keep the job alive,
+		// with class and client identity recomputed from what remains
+		// (the priority position follows the class, so the job is
+		// re-inserted when it changes).
+		cons := job.cons[:0]
+		for _, c := range job.cons {
+			if c.client != client {
+				cons = append(cons, c)
+			}
+		}
+		job.cons = cons
+		if len(job.cons) > 0 {
+			best := job.cons[0]
+			for _, c := range job.cons[1:] {
+				if c.class < best.class {
+					best = c
+				}
+			}
+			reorder := job.Class != best.class
+			job.Class = best.class
+			job.Client = best.client
+			if reorder {
+				s.removeAt(cs, idx)
+				s.insert(cs, job)
+			}
+			continue
+		}
+		removed = append(removed, *job)
+		s.removeAt(cs, idx)
+		s.depth--
+		s.stats.Canceled++
+	}
+	return removed
+}
+
+// QueuedRanges lists the step ranges of a context's queued jobs (for the
+// core to reconcile its pending-step markers after a cancellation).
+func (s *Scheduler) QueuedRanges(ctx string) [][2]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.ctxs[ctx]
+	if !ok {
+		return nil
+	}
+	var rs [][2]int
+	for _, job := range cs.jobs {
+		rs = append(rs, [2]int{job.First, job.Last})
+	}
+	return rs
+}
+
+// QueueDepth returns the current number of queued jobs.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() metrics.SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = s.depth
+	return st
+}
+
+// CheckInvariants audits the internal ledgers (used by the core's
+// property tests).
+func (s *Scheduler) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for name, cs := range s.ctxs {
+		if cs.inflight < 0 {
+			return fmt.Errorf("sched: context %q has negative inflight %d", name, cs.inflight)
+		}
+		total += len(cs.jobs)
+		for i, job := range cs.jobs {
+			if job.First > job.Last || job.First < 1 {
+				return fmt.Errorf("sched: %q job %d has malformed range [%d,%d]", name, i, job.First, job.Last)
+			}
+			if job.Ctx != name {
+				return fmt.Errorf("sched: job for %q filed under %q", job.Ctx, name)
+			}
+			if i > 0 && s.less(job, cs.jobs[i-1]) {
+				return fmt.Errorf("sched: %q queue out of order at %d", name, i)
+			}
+		}
+	}
+	if total != s.depth {
+		return fmt.Errorf("sched: depth ledger %d != queue contents %d", s.depth, total)
+	}
+	if s.nodes < 0 {
+		return fmt.Errorf("sched: negative node usage %d", s.nodes)
+	}
+	return nil
+}

@@ -194,6 +194,12 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 		}
+		// With the references gone, the client's speculative work can be
+		// dismantled: queued prefetch jobs are de-queued and running
+		// prefetch simulations nobody else waits for are killed.
+		if sess.client != "" {
+			s.v.ClientDisconnected(sess.client)
+		}
 	}()
 	for {
 		var req netproto.Request
@@ -340,6 +346,7 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 			return
 		}
 		ls, _ := s.v.LockStats(req.Context)
+		ss := s.v.SchedStats()
 		sess.send(netproto.Response{ID: req.ID, OK: true, Stats: &netproto.Stats{
 			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
 			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
@@ -347,7 +354,12 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 			StepsProduced: st.StepsProduced, Evictions: st.Evictions,
 			Kills: st.Kills, Failures: st.Failures, PollutionResets: st.PollutionResets,
 			LockAcquisitions: ls.Acquisitions, LockContended: ls.Contended,
-			LockWaitNs: int64(ls.Wait),
+			LockWaitNs:      int64(ls.Wait),
+			SchedQueueDepth: ss.QueueDepth, SchedCoalesced: ss.Coalesced,
+			SchedDropped: ss.Dropped, SchedCanceled: ss.Canceled,
+			SchedDemandWaitNs: int64(ss.DemandWait.Wait),
+			SchedGuidedWaitNs: int64(ss.GuidedWait.Wait),
+			SchedAgentWaitNs:  int64(ss.AgentWait.Wait),
 		}})
 
 	case netproto.OpPrefetch:

@@ -8,6 +8,7 @@ import (
 	"simfs/internal/core"
 	"simfs/internal/des"
 	"simfs/internal/model"
+	"simfs/internal/sched"
 	"simfs/internal/simulator"
 	"simfs/internal/vfs"
 )
@@ -31,14 +32,24 @@ type Stack struct {
 // storage area <baseDir>/<context-name>. timeScale divides all simulated
 // durations (1000 turns a 13 s restart latency into 13 ms), letting the
 // examples and integration tests run the published COSMO/FLASH timings in
-// milliseconds. policy names the replacement scheme (Sec. III-D).
+// milliseconds. policy names the replacement scheme (Sec. III-D). The
+// launch scheduler runs the default (paper-exact) policy; use
+// NewScheduledStack to enable coalescing, priority queueing or a node
+// budget.
 func NewStack(baseDir string, timeScale int, policy string, ctxs ...*model.Context) (*Stack, error) {
+	return NewScheduledStack(baseDir, timeScale, policy, sched.Config{}, ctxs...)
+}
+
+// NewScheduledStack is NewStack with an explicit re-simulation scheduler
+// policy (see internal/sched): coalescing of overlapping launch requests,
+// priority-ordered queueing, and a global node budget across contexts.
+func NewScheduledStack(baseDir string, timeScale int, policy string, schedCfg sched.Config, ctxs ...*model.Context) (*Stack, error) {
 	if len(ctxs) == 0 {
 		return nil, fmt.Errorf("server: stack needs at least one context")
 	}
 	st := &Stack{Areas: map[string]*vfs.Disk{}}
 	st.Launcher = &simulator.RealTimeLauncher{TimeScale: timeScale}
-	st.V = core.New(des.NewWallClock(), st.Launcher)
+	st.V = core.NewScheduled(des.NewWallClock(), st.Launcher, schedCfg)
 	st.Launcher.Events = st.V
 	st.Launcher.Write = func(ctx *model.Context, step int) error {
 		area, ok := st.Areas[ctx.Name]

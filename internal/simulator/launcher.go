@@ -45,15 +45,15 @@ type Events interface {
 }
 
 // DESLauncher executes re-simulations in virtual time on a DES engine.
-// It is single-threaded by construction (the engine is).
+// It is single-threaded by construction (the engine is). Node-capacity
+// admission lives in the scheduler (internal/sched) above the DV core,
+// so the launcher runs everything it is handed.
 type DESLauncher struct {
 	Engine *des.Engine
 	Events Events
 	// Queue samples per-job batch queueing delays added to αsim
 	// (nil = no queueing).
 	Queue batch.Sampler
-	// Pool optionally bounds total nodes in use (nil = unlimited).
-	Pool *batch.Pool
 	// FailEvery injects a crash into every n-th launched simulation
 	// (0 = never), after it produced half of its range.
 	FailEvery int
@@ -64,10 +64,8 @@ type DESLauncher struct {
 
 type desRun struct {
 	timers  []des.Timer
-	ticket  *batch.Ticket
 	nodes   int
 	ended   bool
-	queued  bool
 	started bool
 }
 
@@ -88,7 +86,6 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 		if run.ended {
 			return
 		}
-		run.queued = false
 		var delay time.Duration
 		if l.Queue != nil {
 			delay = l.Queue.Next()
@@ -124,18 +121,6 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 		}))
 	}
 
-	if l.Pool != nil {
-		run.queued = true
-		ticket, err := l.Pool.Submit(parallelism, start)
-		if err != nil {
-			// Request exceeds the whole machine: fail immediately, at the
-			// current virtual time, through the normal event path.
-			l.Engine.Schedule(0, func() { l.end(id, Failed) })
-			return id
-		}
-		run.ticket = ticket
-		return id
-	}
 	start()
 	return id
 }
@@ -152,9 +137,6 @@ func (l *DESLauncher) Kill(simID int64) {
 	for _, t := range run.timers {
 		t.Stop()
 	}
-	if run.queued && run.ticket != nil {
-		l.Pool.Cancel(run.ticket)
-	}
 	l.Engine.Schedule(0, func() { l.end(simID, Killed) })
 }
 
@@ -169,9 +151,6 @@ func (l *DESLauncher) end(simID int64, outcome Outcome) {
 	run.ended = true
 	for _, t := range run.timers {
 		t.Stop()
-	}
-	if l.Pool != nil && run.ticket != nil && run.ticket.Granted() {
-		l.Pool.Release(run.ticket)
 	}
 	delete(l.running, simID)
 	l.Events.SimEnded(simID, outcome)

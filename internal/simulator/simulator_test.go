@@ -187,53 +187,73 @@ func TestDESLauncherFailureInjection(t *testing.T) {
 	}
 }
 
-func TestDESLauncherPoolSerializes(t *testing.T) {
+func TestDESLauncherKillBeforeStart(t *testing.T) {
 	eng := des.NewEngine()
 	rec := newRecorder()
-	pool := batch.NewPool(1)
-	l := &DESLauncher{Engine: eng, Events: rec, Pool: pool}
-	ctx := testCtx()
-	a := l.Launch(ctx, 1, 2, 1)
-	b := l.Launch(ctx, 3, 4, 1)
+	l := &DESLauncher{Engine: eng, Events: rec}
+	ctx := testCtx() // α=2s: the kill lands during the restart latency
+	id := l.Launch(ctx, 1, 10, 1)
+	eng.Schedule(time.Second, func() { l.Kill(id) })
 	eng.Run(0)
-	if rec.ended[a] != Completed || rec.ended[b] != Completed {
-		t.Fatal("both sims should complete")
+	if len(rec.started) != 0 {
+		t.Error("killed-before-start sim reported SimStarted")
 	}
-	// Serialized: 2·(α 2s + 2·τ 1s) = 8s.
-	if eng.Now() != 8*time.Second {
-		t.Errorf("end time = %v, want 8s (serialized)", eng.Now())
+	if len(rec.produced[id]) != 0 {
+		t.Errorf("produced = %v, want none before the restart latency", rec.produced[id])
+	}
+	if rec.ended[id] != Killed {
+		t.Errorf("outcome = %v, want Killed", rec.ended[id])
+	}
+	if l.RunningCount() != 0 {
+		t.Errorf("running = %d", l.RunningCount())
 	}
 }
 
-func TestDESLauncherPoolKillQueued(t *testing.T) {
+func TestDESLauncherKillUnknownIDIsNoop(t *testing.T) {
+	eng := des.NewEngine()
+	l := &DESLauncher{Engine: eng, Events: newRecorder()}
+	l.Kill(42) // never launched
+	eng.Run(0)
+}
+
+func TestDESLauncherFailEveryPattern(t *testing.T) {
 	eng := des.NewEngine()
 	rec := newRecorder()
-	pool := batch.NewPool(1)
-	l := &DESLauncher{Engine: eng, Events: rec, Pool: pool}
+	l := &DESLauncher{Engine: eng, Events: rec, FailEvery: 2}
 	ctx := testCtx()
-	a := l.Launch(ctx, 1, 2, 1)
-	b := l.Launch(ctx, 3, 4, 1)
-	l.Kill(b) // still queued
+	a := l.Launch(ctx, 1, 8, 1) // id 1: survives
+	b := l.Launch(ctx, 1, 8, 1) // id 2: injected crash
+	c := l.Launch(ctx, 1, 8, 1) // id 3: survives
 	eng.Run(0)
-	if rec.ended[a] != Completed {
-		t.Error("first sim should complete")
+	if rec.ended[a] != Completed || rec.ended[c] != Completed {
+		t.Errorf("odd sims = %v/%v, want Completed", rec.ended[a], rec.ended[c])
 	}
-	if rec.ended[b] != Killed {
-		t.Errorf("queued sim outcome = %v, want Killed", rec.ended[b])
+	if rec.ended[b] != Failed {
+		t.Fatalf("second sim = %v, want Failed", rec.ended[b])
 	}
-	if len(rec.produced[b]) != 0 {
-		t.Error("killed queued sim produced output")
+	// The crash is injected after half the range: steps 1..4 of [1,8]
+	// (failAt = first + (last-first)/2).
+	if got := rec.produced[b]; len(got) != 4 || got[len(got)-1] != 4 {
+		t.Errorf("failed sim produced %v, want steps 1..4", got)
+	}
+	if got := rec.produced[a]; len(got) != 8 {
+		t.Errorf("surviving sim produced %d steps, want 8", len(got))
 	}
 }
 
-func TestDESLauncherPoolOversizedRequestFails(t *testing.T) {
+func TestDESLauncherKillAfterEndIsNoop(t *testing.T) {
 	eng := des.NewEngine()
 	rec := newRecorder()
-	l := &DESLauncher{Engine: eng, Events: rec, Pool: batch.NewPool(2)}
-	id := l.Launch(testCtx(), 1, 2, 5)
+	l := &DESLauncher{Engine: eng, Events: rec}
+	id := l.Launch(testCtx(), 1, 2, 1)
 	eng.Run(0)
-	if rec.ended[id] != Failed {
-		t.Errorf("outcome = %v, want Failed for oversized request", rec.ended[id])
+	if rec.ended[id] != Completed {
+		t.Fatalf("outcome = %v", rec.ended[id])
+	}
+	l.Kill(id) // already ended
+	eng.Run(0)
+	if rec.ended[id] != Completed {
+		t.Error("kill after completion changed the outcome")
 	}
 }
 

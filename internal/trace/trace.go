@@ -90,27 +90,36 @@ func (c Config) withDefaults() Config {
 
 // Generate produces the concatenated trace for the given pattern.
 func Generate(p Pattern, cfg Config) ([]Access, error) {
+	return GenerateInto(nil, p, cfg)
+}
+
+// GenerateInto is Generate appending into dst's storage (the trace starts
+// at dst[:0]); it returns the filled slice. The generated accesses are
+// identical to Generate's for the same pattern and configuration — only
+// the allocation behavior differs, letting rep loops reuse one buffer
+// across repetitions instead of allocating a fresh trace slice per rep.
+func GenerateInto(dst []Access, p Pattern, cfg Config) ([]Access, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	dst = dst[:0]
 	switch p {
 	case Forward:
-		return scans(cfg, rng, +1), nil
+		return scans(dst, cfg, rng, +1), nil
 	case Backward:
-		return scans(cfg, rng, -1), nil
+		return scans(dst, cfg, rng, -1), nil
 	case Random:
-		return randoms(cfg, rng), nil
+		return randoms(dst, cfg, rng), nil
 	case ECMWF:
-		return ecmwfLike(cfg, rng), nil
+		return ecmwfLike(dst, cfg, rng), nil
 	}
 	return nil, fmt.Errorf("trace: unknown pattern %q", p)
 }
 
 // scans builds NumAnalyses directional scans and concatenates them.
-func scans(cfg Config, rng *rand.Rand, dir int) []Access {
-	var out []Access
+func scans(out []Access, cfg Config, rng *rand.Rand, dir int) []Access {
 	for a := 0; a < cfg.NumAnalyses; a++ {
 		n := cfg.MinLen
 		if cfg.MaxLen > cfg.MinLen {
@@ -130,8 +139,7 @@ func scans(cfg Config, rng *rand.Rand, dir int) []Access {
 }
 
 // randoms builds uniformly random accesses.
-func randoms(cfg Config, rng *rand.Rand) []Access {
-	var out []Access
+func randoms(out []Access, cfg Config, rng *rand.Rand) []Access {
 	for a := 0; a < cfg.NumAnalyses; a++ {
 		n := cfg.MinLen
 		if cfg.MaxLen > cfg.MinLen {
@@ -151,11 +159,10 @@ func randoms(cfg Config, rng *rand.Rand) []Access {
 // temporally adjacent steps (weather analyses read consecutive forecast
 // steps). Popularity ranks are shuffled across the timeline so hot files
 // are not all near t=0.
-func ecmwfLike(cfg Config, rng *rand.Rand) []Access {
+func ecmwfLike(out []Access, cfg Config, rng *rand.Rand) []Access {
 	// Zipf over ranks; map rank → step through a fixed shuffle.
 	perm := rng.Perm(cfg.NumSteps)
 	zipf := rand.NewZipf(rng, 1.1, 1, uint64(cfg.NumSteps-1))
-	var out []Access
 	for a := 0; a < cfg.NumAnalyses; a++ {
 		n := cfg.MinLen
 		if cfg.MaxLen > cfg.MinLen {

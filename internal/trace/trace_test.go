@@ -255,3 +255,31 @@ func TestSummarize(t *testing.T) {
 		t.Errorf("empty stats = %+v", z)
 	}
 }
+
+func TestGenerateIntoMatchesGenerate(t *testing.T) {
+	cfg := Config{NumSteps: 500, NumAnalyses: 10, MinLen: 20, MaxLen: 60, Stride: 1, Seed: 7}
+	var buf []Access
+	for _, p := range Patterns() {
+		want, err := Generate(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reusing one buffer across patterns must still reproduce each
+		// pattern's trace exactly.
+		buf, err = GenerateInto(buf, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != len(want) {
+			t.Fatalf("%s: GenerateInto %d accesses, Generate %d", p, len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("%s: access %d = %+v, want %+v", p, i, buf[i], want[i])
+			}
+		}
+	}
+	if _, err := GenerateInto(nil, Pattern("nope"), cfg); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"simfs/internal/dvlib"
 	"simfs/internal/ioshim"
 	"simfs/internal/model"
+	"simfs/internal/sched"
 	"simfs/internal/server"
 	"simfs/internal/simulator"
 )
@@ -64,6 +65,18 @@ type Daemon = server.Stack
 // LRU, LIRS, ARC, BCL or DCL (the paper's default).
 func NewDaemon(baseDir string, timeScale int, policy string, ctxs ...*Context) (*Daemon, error) {
 	return server.NewStack(baseDir, timeScale, policy, ctxs...)
+}
+
+// SchedConfig selects the re-simulation scheduling policy of a daemon:
+// coalescing of overlapping launch requests, priority-ordered queueing
+// (demand > guided prefetch > agent prefetch) and a global node budget
+// shared by all contexts. The zero value reproduces the paper's inline
+// rules exactly.
+type SchedConfig = sched.Config
+
+// NewScheduledDaemon is NewDaemon with an explicit scheduling policy.
+func NewScheduledDaemon(baseDir string, timeScale int, policy string, cfg SchedConfig, ctxs ...*Context) (*Daemon, error) {
+	return server.NewScheduledStack(baseDir, timeScale, policy, cfg, ctxs...)
 }
 
 // Client is a DVLib connection to the daemon.
