@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-smoke benchstat lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke benchstat proto-fuzz lint fmt vet check clean
 
 all: build
 
@@ -49,6 +49,15 @@ benchstat:
 	else \
 		echo "bench-after.txt saved; install benchstat (golang.org/x/perf) to compare against bench-before.txt"; \
 	fi
+
+# proto-fuzz runs the wire-protocol fuzzer over the committed seed
+# corpus plus FUZZTIME of random exploration (CI smokes it at 10s; crank
+# FUZZTIME up locally after protocol changes). Regenerate the seed
+# corpus with SIMFS_REGEN_CORPUS=1 go test ./internal/netproto -run
+# TestRegenerateFuzzCorpus after adding ops or payloads.
+FUZZTIME ?= 10s
+proto-fuzz:
+	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
 
 lint: fmt vet
 

@@ -503,6 +503,7 @@ func BenchmarkReplayECMWF(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ReplayInto(st, ctx, tr); err != nil {
@@ -510,6 +511,58 @@ func BenchmarkReplayECMWF(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(tr)), "accesses/op")
+}
+
+// TestReplayECMWFAllocFree pins BenchmarkReplayECMWF's allocs/op at
+// zero: with the worker-pinned ReplayState (policy-node arena in every
+// replacement scheme) warmed by one replay, further replays of the same
+// trace allocate nothing. Every policy is pinned — a regression in any
+// scheme's node recycling fails here before it shows up as MB/op in the
+// benchmark. Trace regeneration is pinned separately: the worker-pinned
+// rng and buffer leave only the ECMWF pattern's rank permutation and
+// Zipf sampler (2 allocations).
+func TestReplayECMWFAllocFree(t *testing.T) {
+	ctx := simulator.CacheEval()
+	cfg := trace.Config{
+		NumSteps: ctx.Grid.NumOutputSteps(), NumAnalyses: 50,
+		MinLen: 100, MaxLen: 400, Stride: 1, Seed: 1,
+	}
+	for _, policy := range cache.PolicyNames() {
+		st, err := experiments.NewReplayState(ctx, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := st.GenerateTrace(trace.ECMWF, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay := func() {
+			if _, err := experiments.ReplayInto(st, ctx, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		replay() // warm the arena and the cache's map storage
+		if allocs := testing.AllocsPerRun(3, replay); allocs > 0 {
+			t.Errorf("%s: %v allocs per warmed replay, want 0", policy, allocs)
+		}
+	}
+	// Regeneration on a warmed state: only the ECMWF pattern's own
+	// permutation + Zipf sampler remain.
+	st, err := experiments.NewReplayState(ctx, "DCL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GenerateTrace(trace.ECMWF, cfg); err != nil {
+		t.Fatal(err)
+	}
+	regen := func() {
+		if _, err := st.GenerateTrace(trace.ECMWF, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(3, regen); allocs > 2 {
+		t.Errorf("trace regeneration: %v allocs, want ≤ 2 (perm + zipf)", allocs)
+	}
 }
 
 // BenchmarkProtocolRoundTrip measures one open+release cycle over a real

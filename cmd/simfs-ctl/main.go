@@ -1,17 +1,37 @@
 // Command simfs-ctl is the SimFS control utility: it inspects and manages
-// a running DV daemon (the command-line tool the paper mentions for
-// checksum registration and administration).
+// a running DV daemon over the versioned control-plane API — no restart
+// needed for any of it.
 //
-// Usage:
+// Inspection:
 //
 //	simfs-ctl -addr 127.0.0.1:7878 contexts
+//	simfs-ctl -addr ... -context demo info
 //	simfs-ctl -addr ... -context demo stats
 //	simfs-ctl -addr ... -context demo estwait demo_out_00000042.nc
 //	simfs-ctl -addr ... -context demo bitrep  demo_out_00000042.nc
 //	simfs-ctl -addr ... -context demo rescan
+//
+// Live reconfiguration (control plane):
+//
+//	simfs-ctl sched-get
+//	simfs-ctl sched-set -coalesce -priorities -nodes 16
+//	simfs-ctl cache-policy-set demo LIRS
+//	simfs-ctl ctx-register -config ctx.json -policy DCL -initial-sim
+//	simfs-ctl drain demo
+//	simfs-ctl resume demo
+//	simfs-ctl ctx-deregister demo
+//
+// sched-set flags are partial: only the flags given on the command line
+// change; everything else keeps its current value. ctx-deregister
+// requires a drained, quiescent context (the daemon answers "busy"
+// otherwise — drain first and retry once the workload has emptied).
+// Daemon errors are printed with their structured code, e.g.
+// "no_such_context".
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,20 +42,27 @@ import (
 	"simfs"
 )
 
+var (
+	addr    = flag.String("addr", "127.0.0.1:7878", "daemon address")
+	ctxName = flag.String("context", "", "simulation context name")
+	timeout = flag.Duration("timeout", 30*time.Second, "per-command deadline")
+)
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7878", "daemon address")
-	ctxName := flag.String("context", "", "simulation context name")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	c, err := simfs.Dial(*addr, "simfs-ctl")
+	cx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c, err := simfs.DialContext(cx, *addr, "simfs-ctl")
 	if err != nil {
 		log.Fatalf("simfs-ctl: %v", err)
 	}
 	defer c.Close()
+	admin := c.Admin()
 
 	switch args[0] {
 	case "contexts":
@@ -44,6 +71,18 @@ func main() {
 		for _, n := range names {
 			fmt.Println(n)
 		}
+
+	case "info":
+		ctx := open(c, *ctxName)
+		info := ctx.Info()
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "name\t%s\nstorage dir\t%s\nfile pattern\t%s########%s\n",
+			info.Name, info.StorageDir, info.FilePrefix, info.FileSuffix)
+		fmt.Fprintf(w, "delta d\t%d\ndelta r\t%d\ntimesteps\t%d\noutput bytes\t%d\n",
+			info.DeltaD, info.DeltaR, info.Timesteps, info.OutputBytes)
+		fmt.Fprintf(w, "cache policy\t%s\ndraining\t%v\n", info.Policy, info.Draining)
+		w.Flush()
+
 	case "stats":
 		ctx := open(c, *ctxName)
 		st, err := ctx.Stats()
@@ -59,14 +98,16 @@ func main() {
 		fmt.Fprintf(w, "sched wait demand/guided/agent\t%s/%s/%s\n",
 			time.Duration(st.SchedDemandWaitNs), time.Duration(st.SchedGuidedWaitNs), time.Duration(st.SchedAgentWaitNs))
 		w.Flush()
+
 	case "estwait":
-		needFile(args)
+		needArgs(args, 1, "<file>")
 		ctx := open(c, *ctxName)
 		w, err := ctx.EstWait(args[1])
 		check(err)
 		fmt.Printf("%s: estimated wait %v\n", args[1], w)
+
 	case "bitrep":
-		needFile(args)
+		needArgs(args, 1, "<file>")
 		ctx := open(c, *ctxName)
 		same, err := ctx.Bitrep(args[1])
 		check(err)
@@ -75,14 +116,95 @@ func main() {
 		} else {
 			fmt.Printf("%s: DIFFERS from the original simulation output\n", args[1])
 		}
+
 	case "rescan":
 		ctx := open(c, *ctxName)
 		n, err := ctx.Rescan()
 		check(err)
 		fmt.Printf("recovered %d output steps from the storage area\n", n)
+
+	case "sched-get":
+		cfg, err := admin.SchedConfig(cx)
+		check(err)
+		printSched(cfg)
+
+	case "sched-set":
+		fs := flag.NewFlagSet("sched-set", flag.ExitOnError)
+		coalesce := fs.Bool("coalesce", false, "merge overlapping queued re-simulation requests into one job")
+		priorities := fs.Bool("priorities", false, "drain the launch queue in priority order (demand > guided > agent)")
+		nodes := fs.Int("nodes", 0, "global node budget shared by all contexts (0 = unlimited)")
+		fs.Parse(args[1:])
+		// Partial update: only the flags the operator actually set travel.
+		var upd simfs.SchedUpdate
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "coalesce":
+				upd.Coalesce = coalesce
+			case "priorities":
+				upd.Priorities = priorities
+			case "nodes":
+				upd.TotalNodes = nodes
+			}
+		})
+		cfg, err := admin.SetSchedConfig(cx, upd)
+		check(err)
+		fmt.Println("scheduler reconfigured:")
+		printSched(cfg)
+
+	case "cache-policy-set":
+		needArgs(args, 2, "<context> <policy>")
+		check(admin.SetCachePolicy(cx, args[1], args[2]))
+		fmt.Printf("context %s now runs the %s replacement scheme (rebuilt from the resident set)\n", args[1], args[2])
+
+	case "ctx-register":
+		fs := flag.NewFlagSet("ctx-register", flag.ExitOnError)
+		config := fs.String("config", "", "JSON file with one context definition (required)")
+		policy := fs.String("policy", "DCL", "cache replacement scheme: LRU | LIRS | ARC | BCL | DCL")
+		initial := fs.Bool("initial-sim", false, "run the initial simulation (restart files + checksums) before serving")
+		fs.Parse(args[1:])
+		if *config == "" {
+			log.Fatal("simfs-ctl: ctx-register requires -config <file.json>")
+		}
+		raw, err := os.ReadFile(*config)
+		check(err)
+		var mc simfs.Context
+		check(json.Unmarshal(raw, &mc))
+		check(admin.RegisterContext(cx, &mc, *policy, *initial))
+		fmt.Printf("context %s registered (policy %s, initial sim %v)\n", mc.Name, *policy, *initial)
+
+	case "ctx-deregister":
+		needArgs(args, 1, "<context>")
+		err := admin.DeregisterContext(cx, args[1])
+		if simfs.ErrCodeOf(err) == simfs.CodeBusy {
+			log.Fatalf("simfs-ctl: %v\n(drain the context and retry once references, waiters and simulations are gone)", err)
+		}
+		check(err)
+		fmt.Printf("context %s deregistered (storage area kept on disk)\n", args[1])
+
+	case "drain":
+		needArgs(args, 1, "<context>")
+		check(admin.Drain(cx, args[1]))
+		fmt.Printf("context %s draining: new opens and prefetches are refused\n", args[1])
+
+	case "resume":
+		needArgs(args, 1, "<context>")
+		check(admin.Resume(cx, args[1]))
+		fmt.Printf("context %s resumed\n", args[1])
+
 	default:
 		usage()
 	}
+}
+
+func printSched(cfg simfs.SchedInfo) {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "coalesce\t%v\npriorities\t%v\n", cfg.Coalesce, cfg.Priorities)
+	if cfg.TotalNodes == 0 {
+		fmt.Fprintf(w, "node budget\tunlimited\n")
+	} else {
+		fmt.Fprintf(w, "node budget\t%d\n", cfg.TotalNodes)
+	}
+	w.Flush()
 }
 
 func open(c *simfs.Client, name string) *simfs.AnalysisContext {
@@ -94,19 +216,41 @@ func open(c *simfs.Client, name string) *simfs.AnalysisContext {
 	return ctx
 }
 
-func needFile(args []string) {
-	if len(args) < 2 {
-		log.Fatalf("simfs-ctl: %s requires a file name", args[0])
+func needArgs(args []string, n int, what string) {
+	if len(args) < n+1 {
+		log.Fatalf("simfs-ctl: %s requires %s", args[0], what)
 	}
 }
 
 func check(err error) {
 	if err != nil {
+		// Daemon errors already render their structured code, e.g.
+		// `unknown context "x" (no_such_context)`.
 		log.Fatalf("simfs-ctl: %v", err)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfs-ctl [-addr host:port] [-context name] contexts|stats|estwait <file>|bitrep <file>|rescan")
+	fmt.Fprintln(os.Stderr, `usage: simfs-ctl [-addr host:port] [-context name] [-timeout d] <command>
+
+inspection:
+  contexts                      list simulation contexts
+  info                          show one context's parameters (-context)
+  stats                         show one context's counters (-context)
+  estwait <file>                estimated availability delay (-context)
+  bitrep <file>                 bitwise-reproducibility check (-context)
+  rescan                        resync the cache with the storage area (-context)
+
+control plane (live, no restart):
+  sched-get                     show the re-simulation scheduler config
+  sched-set [-coalesce] [-priorities] [-nodes N]
+                                reconfigure the scheduler (partial: only given flags change)
+  cache-policy-set <ctx> <policy>
+                                swap the replacement scheme (LRU|LIRS|ARC|BCL|DCL)
+  ctx-register -config f.json [-policy P] [-initial-sim]
+                                add a simulation context
+  ctx-deregister <ctx>          remove a drained context
+  drain <ctx>                   refuse new opens/prefetches for a context
+  resume <ctx>                  lift a drain`)
 	os.Exit(2)
 }

@@ -14,13 +14,17 @@ type arcOf[K comparable] struct {
 	t2    list[K]
 	b1    list[K]
 	b2    list[K]
-	where map[K]*arcEntry[K]
+	where map[K]*node[K]
+	ar    arena[K]
 }
 
 // ARC is the string-keyed ARC policy used by the Virtualizer.
 type ARC = arcOf[string]
 
-type arcList int
+// arcList identifies which of the four lists a node is on; it is stored
+// in the node's cost field (ARC is cost-oblivious), which spares a
+// per-entry wrapper allocation.
+type arcList = int
 
 const (
 	inT1 arcList = iota
@@ -28,11 +32,6 @@ const (
 	inB1
 	inB2
 )
-
-type arcEntry[K comparable] struct {
-	nd *node[K]
-	l  arcList
-}
 
 // NewARC returns an empty string-keyed ARC policy with the given capacity
 // in entries.
@@ -42,7 +41,7 @@ func newARC[K comparable](capacity int) *arcOf[K] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &arcOf[K]{c: capacity, where: map[K]*arcEntry[K]{}}
+	return &arcOf[K]{c: capacity, where: map[K]*node[K]{}}
 }
 
 // Name implements PolicyOf.
@@ -64,21 +63,21 @@ func (p *arcOf[K]) listOf(l arcList) *list[K] {
 // Access implements PolicyOf: a hit moves the entry to the MRU position
 // of T2.
 func (p *arcOf[K]) Access(key K) {
-	e, ok := p.where[key]
-	if !ok || (e.l != inT1 && e.l != inT2) {
+	nd, ok := p.where[key]
+	if !ok || (nd.cost != inT1 && nd.cost != inT2) {
 		return
 	}
-	p.listOf(e.l).remove(e.nd)
-	e.l = inT2
-	p.t2.pushFront(e.nd)
+	p.listOf(nd.cost).remove(nd)
+	nd.cost = inT2
+	p.t2.pushFront(nd)
 }
 
 // Insert implements PolicyOf. Ghost hits adapt the target p exactly as in
 // the original algorithm; the engine performs the actual eviction via
 // Victim/Evict, so REPLACE here only trims ghost lists.
 func (p *arcOf[K]) Insert(key K, cost int) {
-	if e, ok := p.where[key]; ok {
-		switch e.l {
+	if nd, ok := p.where[key]; ok {
+		switch nd.cost {
 		case inT1, inT2:
 			p.Access(key)
 			return
@@ -89,9 +88,9 @@ func (p *arcOf[K]) Insert(key K, cost int) {
 				d = p.b2.len() / p.b1.len()
 			}
 			p.p = min(p.c, p.p+d)
-			p.b1.remove(e.nd)
-			e.l = inT2
-			p.t2.pushFront(e.nd)
+			p.b1.remove(nd)
+			nd.cost = inT2
+			p.t2.pushFront(nd)
 			return
 		case inB2:
 			// Ghost hit in B2: favor frequency.
@@ -100,9 +99,9 @@ func (p *arcOf[K]) Insert(key K, cost int) {
 				d = p.b1.len() / p.b2.len()
 			}
 			p.p = max(0, p.p-d)
-			p.b2.remove(e.nd)
-			e.l = inT2
-			p.t2.pushFront(e.nd)
+			p.b2.remove(nd)
+			nd.cost = inT2
+			p.t2.pushFront(nd)
 			return
 		}
 	}
@@ -116,8 +115,9 @@ func (p *arcOf[K]) Insert(key K, cost int) {
 			p.dropLRUGhost(&p.b2)
 		}
 	}
-	nd := &node[K]{key: key}
-	p.where[key] = &arcEntry[K]{nd: nd, l: inT1}
+	nd := p.ar.get()
+	nd.key, nd.cost = key, inT1
+	p.where[key] = nd
 	p.t1.pushFront(nd)
 }
 
@@ -128,6 +128,7 @@ func (p *arcOf[K]) dropLRUGhost(l *list[K]) {
 	}
 	l.remove(nd)
 	delete(p.where, nd.key)
+	p.ar.put(nd)
 }
 
 // Victim implements PolicyOf, following ARC's REPLACE rule: evict from T1
@@ -157,36 +158,37 @@ func (p *arcOf[K]) Victim(pinned func(K) bool) (K, bool) {
 // Evict implements PolicyOf: the entry retires into the matching ghost
 // list.
 func (p *arcOf[K]) Evict(key K) {
-	e, ok := p.where[key]
+	nd, ok := p.where[key]
 	if !ok {
 		return
 	}
-	switch e.l {
+	switch nd.cost {
 	case inT1:
-		p.t1.remove(e.nd)
-		e.l = inB1
-		p.b1.pushFront(e.nd)
+		p.t1.remove(nd)
+		nd.cost = inB1
+		p.b1.pushFront(nd)
 	case inT2:
-		p.t2.remove(e.nd)
-		e.l = inB2
-		p.b2.pushFront(e.nd)
+		p.t2.remove(nd)
+		nd.cost = inB2
+		p.b2.pushFront(nd)
 	}
 }
 
 // Remove implements PolicyOf.
 func (p *arcOf[K]) Remove(key K) {
-	e, ok := p.where[key]
+	nd, ok := p.where[key]
 	if !ok {
 		return
 	}
-	p.listOf(e.l).remove(e.nd)
+	p.listOf(nd.cost).remove(nd)
 	delete(p.where, key)
+	p.ar.put(nd)
 }
 
 // Contains implements PolicyOf.
 func (p *arcOf[K]) Contains(key K) bool {
-	e, ok := p.where[key]
-	return ok && (e.l == inT1 || e.l == inT2)
+	nd, ok := p.where[key]
+	return ok && (nd.cost == inT1 || nd.cost == inT2)
 }
 
 // Len implements PolicyOf.
@@ -195,10 +197,10 @@ func (p *arcOf[K]) Len() int { return p.t1.len() + p.t2.len() }
 // Reset implements PolicyOf.
 func (p *arcOf[K]) Reset() {
 	clear(p.where)
-	p.t1 = list[K]{}
-	p.t2 = list[K]{}
-	p.b1 = list[K]{}
-	p.b2 = list[K]{}
+	p.ar.drain(&p.t1)
+	p.ar.drain(&p.t2)
+	p.ar.drain(&p.b1)
+	p.ar.drain(&p.b2)
 	p.p = 0
 }
 

@@ -61,6 +61,33 @@ var ErrTooLarge = errors.New("cache: file larger than cache capacity")
 // Policy returns the underlying replacement policy.
 func (c *CacheOf[K]) Policy() PolicyOf[K] { return c.policy }
 
+// SetPolicy swaps the replacement policy live, rebuilding the new policy
+// from the resident set: every resident key is re-inserted with the cost
+// reported by costOf, in the order given by order (first = coldest, last
+// = most recently used) so the initial recency ranking is deterministic.
+// Keys in order that are not resident are skipped; residents missing
+// from order are appended in map order (callers that enumerate the whole
+// key space never hit this). Sizes, pins and byte accounting are
+// untouched — only the replacement ranking is rebuilt, so no file moves
+// or eviction happens during the swap.
+func (c *CacheOf[K]) SetPolicy(p PolicyOf[K], order []K, costOf func(K) int) {
+	p.Reset()
+	seen := make(map[K]bool, len(c.sizes))
+	for _, key := range order {
+		if _, resident := c.sizes[key]; !resident || seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.Insert(key, costOf(key))
+	}
+	for key := range c.sizes {
+		if !seen[key] {
+			p.Insert(key, costOf(key))
+		}
+	}
+	c.policy = p
+}
+
 // Contains reports whether key is resident, without touching recency state.
 func (c *CacheOf[K]) Contains(key K) bool {
 	_, ok := c.sizes[key]

@@ -29,6 +29,7 @@ type costLRUOf[K comparable] struct {
 	// deprBy maps the spared-LRU key to the cost to subtract if the
 	// depreciation triggers (DCL only).
 	deprBy map[K]int
+	ar     arena[K]
 }
 
 // costLRU is the string-keyed instantiation (referenced by tests).
@@ -89,7 +90,8 @@ func (p *costLRUOf[K]) Insert(key K, cost int) {
 			delete(p.deprBy, key)
 		}
 	}
-	nd := &node[K]{key: key, cost: cost}
+	nd := p.ar.get()
+	nd.key, nd.cost = key, cost
 	p.byKey[key] = nd
 	p.rec.pushFront(nd)
 }
@@ -169,6 +171,7 @@ func (p *costLRUOf[K]) removeResident(key K) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.remove(nd)
 		delete(p.byKey, key)
+		p.ar.put(nd)
 	}
 }
 
@@ -183,7 +186,7 @@ func (p *costLRUOf[K]) Reset() {
 	clear(p.byKey)
 	clear(p.pendingDepr)
 	clear(p.deprBy)
-	p.rec = list[K]{}
+	p.ar.drain(&p.rec)
 }
 
 // costOf returns the current (possibly depreciated) cost of a resident key;

@@ -26,6 +26,8 @@ type lirsOf[K comparable] struct {
 	qByKey map[K]*node[K]
 	nLIR   int
 	ghosts int
+	// ar recycles both stack nodes and queue shadow nodes.
+	ar arena[K]
 }
 
 // LIRS is the string-keyed LIRS policy used by the Virtualizer.
@@ -115,8 +117,10 @@ func (p *lirsOf[K]) Insert(key K, cost int) {
 		}
 		// Ghost fully aged out of the stack: treat as brand new below.
 		delete(p.byKey, key)
+		p.ar.put(nd)
 	}
-	nd := &node[K]{key: key, resident: true}
+	nd := p.ar.get()
+	nd.key, nd.resident = key, true
 	p.byKey[key] = nd
 	if p.nLIR < p.lCap {
 		// Cold start: fill the LIR set first.
@@ -168,6 +172,7 @@ func (p *lirsOf[K]) Evict(key K) {
 		p.bound()
 	} else {
 		delete(p.byKey, key)
+		p.ar.put(nd)
 	}
 }
 
@@ -189,6 +194,7 @@ func (p *lirsOf[K]) Remove(key K) {
 		p.s.remove(nd)
 	}
 	delete(p.byKey, key)
+	p.ar.put(nd)
 	p.prune()
 }
 
@@ -211,10 +217,16 @@ func (p *lirsOf[K]) Len() int {
 
 // Reset implements PolicyOf.
 func (p *lirsOf[K]) Reset() {
+	// Every stack node lives in byKey (resident HIR entries off the stack
+	// included), so recycling byKey's values covers the stack; the queue
+	// holds only shadow nodes, recycled by draining it.
+	for _, nd := range p.byKey {
+		p.ar.put(nd)
+	}
 	clear(p.byKey)
 	clear(p.qByKey)
 	p.s = list[K]{}
-	p.q = list[K]{}
+	p.ar.drain(&p.q)
 	p.nLIR = 0
 	p.ghosts = 0
 }
@@ -238,6 +250,7 @@ func (p *lirsOf[K]) demoteIfNeeded() {
 		} else {
 			delete(p.byKey, bottom.key)
 			p.ghosts--
+			p.ar.put(bottom)
 		}
 		p.prune()
 	}
@@ -252,6 +265,7 @@ func (p *lirsOf[K]) prune() {
 		if !nd.resident {
 			p.ghosts--
 			delete(p.byKey, nd.key)
+			p.ar.put(nd)
 		}
 		// Resident HIR entries falling off the stack stay in the queue
 		// and in byKey.
@@ -274,6 +288,7 @@ func (p *lirsOf[K]) bound() {
 		p.s.remove(oldest)
 		delete(p.byKey, oldest.key)
 		p.ghosts--
+		p.ar.put(oldest)
 	}
 }
 
@@ -281,7 +296,8 @@ func (p *lirsOf[K]) enqueue(key K) {
 	if _, ok := p.qByKey[key]; ok {
 		return
 	}
-	qn := &node[K]{key: key}
+	qn := p.ar.get()
+	qn.key = key
 	p.qByKey[key] = qn
 	p.q.pushBack(qn)
 }
@@ -290,5 +306,6 @@ func (p *lirsOf[K]) dequeue(key K) {
 	if qn, ok := p.qByKey[key]; ok {
 		p.q.remove(qn)
 		delete(p.qByKey, key)
+		p.ar.put(qn)
 	}
 }

@@ -71,3 +71,41 @@ func (l *list[K]) moveToFront(nd *node[K]) {
 }
 
 func (l *list[K]) len() int { return l.n }
+
+// arena is a policy-local free list of recency nodes. Policies recycle
+// nodes through it on eviction, removal and reset instead of letting the
+// garbage collector reclaim them: a ReplayState reused across the
+// repetitions of an experiment cell is pinned to one worker, so after
+// the first replay warms the arena the policy churn allocates nothing.
+// The singly-linked free chain reuses the nodes' own next pointers.
+type arena[K comparable] struct {
+	free *node[K]
+}
+
+// get returns a zeroed node, reusing a recycled one when available.
+func (a *arena[K]) get() *node[K] {
+	nd := a.free
+	if nd == nil {
+		return &node[K]{}
+	}
+	a.free = nd.next
+	*nd = node[K]{}
+	return nd
+}
+
+// put recycles one node.
+func (a *arena[K]) put(nd *node[K]) {
+	nd.prev = nil
+	nd.next = a.free
+	a.free = nd
+}
+
+// drain recycles every node of a list and empties it.
+func (a *arena[K]) drain(l *list[K]) {
+	for nd := l.front; nd != nil; {
+		next := nd.next
+		a.put(nd)
+		nd = next
+	}
+	*l = list[K]{}
+}

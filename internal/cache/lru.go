@@ -5,6 +5,7 @@ package cache
 type lruOf[K comparable] struct {
 	byKey map[K]*node[K]
 	rec   list[K] // MRU front … LRU back
+	ar    arena[K]
 }
 
 // LRU is the string-keyed LRU policy used by the Virtualizer.
@@ -33,7 +34,8 @@ func (p *lruOf[K]) Insert(key K, cost int) {
 		p.rec.moveToFront(nd)
 		return
 	}
-	nd := &node[K]{key: key, cost: cost}
+	nd := p.ar.get()
+	nd.key, nd.cost = key, cost
 	p.byKey[key] = nd
 	p.rec.pushFront(nd)
 }
@@ -57,6 +59,7 @@ func (p *lruOf[K]) Remove(key K) {
 	if nd, ok := p.byKey[key]; ok {
 		p.rec.remove(nd)
 		delete(p.byKey, key)
+		p.ar.put(nd)
 	}
 }
 
@@ -69,5 +72,5 @@ func (p *lruOf[K]) Len() int { return p.rec.len() }
 // Reset implements PolicyOf.
 func (p *lruOf[K]) Reset() {
 	clear(p.byKey)
-	p.rec = list[K]{}
+	p.ar.drain(&p.rec)
 }

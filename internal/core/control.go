@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"simfs/internal/cache"
+	"simfs/internal/sched"
+)
+
+// Sentinel errors of the DV control surface. Front-ends map them to
+// structured wire error codes with errors.Is instead of matching text.
+var (
+	// ErrUnknownContext: the named simulation context is not registered.
+	ErrUnknownContext = errors.New("unknown context")
+	// ErrDraining: the context refuses new opens and prefetches while it
+	// drains; running work completes and releases still land.
+	ErrDraining = errors.New("context draining")
+	// ErrBusy: the operation needs a quiescent context but references,
+	// waiters or simulations are still live.
+	ErrBusy = errors.New("context busy")
+	// ErrNotProduced: the file is neither on disk nor promised by a
+	// re-simulation.
+	ErrNotProduced = errors.New("file is not being produced")
+)
+
+// SchedConfig returns the re-simulation scheduler policy in effect.
+func (v *Virtualizer) SchedConfig() sched.Config { return v.sched.Config() }
+
+// SetSchedConfig swaps the scheduling policy on the live daemon. The
+// scheduler applies it at the next admission boundary (queued jobs are
+// re-ordered, in-flight simulations keep their reservations); a drain
+// pass afterwards starts anything the new policy admits — e.g. a raised
+// node budget frees queued jobs immediately.
+func (v *Virtualizer) SetSchedConfig(cfg sched.Config) {
+	v.sched.SetConfig(cfg)
+	v.drainScheduler()
+}
+
+// UpdateSchedConfig is SetSchedConfig for partial updates: mutate runs
+// atomically against the current config under the scheduler's mutex, so
+// concurrent partial reconfigurations compose instead of overwriting
+// each other. It returns the resulting config.
+func (v *Virtualizer) UpdateSchedConfig(mutate func(sched.Config) sched.Config) sched.Config {
+	cfg := v.sched.Update(mutate)
+	v.drainScheduler()
+	return cfg
+}
+
+// SetCachePolicy swaps a context's replacement scheme live. The new
+// policy is rebuilt from the resident set in ascending step order
+// (deterministic: later steps rank as more recently used), so no file
+// moves or is evicted by the swap itself; sizes, pins and byte
+// accounting carry over untouched.
+func (v *Virtualizer) SetCachePolicy(ctxName, policyName string) error {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
+	}
+	defer cs.mu.Unlock()
+	capacity := cs.ctx.CacheCapacitySteps()
+	if capacity == 0 {
+		capacity = cs.ctx.Grid.NumOutputSteps()
+	}
+	pol, err := cache.NewPolicy(policyName, capacity)
+	if err != nil {
+		return err
+	}
+	stepOf := func(name string) int {
+		step, err := cs.ctx.Key(name)
+		if err != nil {
+			return 0
+		}
+		return step
+	}
+	order := cs.cache.Keys()
+	sort.Slice(order, func(i, j int) bool { return stepOf(order[i]) < stepOf(order[j]) })
+	cs.cache.SetPolicy(pol, order, func(name string) int {
+		return cs.ctx.Grid.MissCost(stepOf(name))
+	})
+	return nil
+}
+
+// CachePolicyName reports the replacement scheme a context currently
+// runs.
+func (v *Virtualizer) CachePolicyName(ctxName string) (string, error) {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return "", err
+	}
+	defer cs.mu.Unlock()
+	return cs.cache.Policy().Name(), nil
+}
+
+// Drain stops admitting new opens and prefetches for a context. Running
+// simulations complete, existing waiters are served, and releases still
+// land, so a drained context empties out under its current workload.
+func (v *Virtualizer) Drain(ctxName string) error {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
+	}
+	defer cs.mu.Unlock()
+	cs.draining = true
+	return nil
+}
+
+// Resume lifts a drain.
+func (v *Virtualizer) Resume(ctxName string) error {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return err
+	}
+	defer cs.mu.Unlock()
+	cs.draining = false
+	return nil
+}
+
+// Draining reports whether a context is currently draining.
+func (v *Virtualizer) Draining(ctxName string) (bool, error) {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return false, err
+	}
+	defer cs.mu.Unlock()
+	return cs.draining, nil
+}
+
+// RemoveContext deregisters a drained context. It refuses (ErrBusy) while
+// files are referenced, waiters are registered, simulations run, or a
+// downstream context names it as upstream — drain first and retry once
+// the workload has emptied. Queued scheduler jobs of the context are
+// de-queued and their pending steps published as failed. The context's
+// storage area is left on disk.
+func (v *Virtualizer) RemoveContext(name string) error {
+	// Fast-fail on a downstream dependent before marking the context
+	// draining; the check is re-verified under ctxMu at the final
+	// deletion, where it is authoritative.
+	if dep := v.downstreamOf(name); dep != "" {
+		return fmt.Errorf("core: %w: %q is upstream of %q", ErrBusy, name, dep)
+	}
+
+	cs, err := v.lockedShard(name)
+	if err != nil {
+		return err
+	}
+	// No new work lands from here on, whether or not removal succeeds
+	// below: a deregistration attempt implies the context is retiring.
+	cs.draining = true
+	if n := len(cs.refs); n > 0 {
+		cs.mu.Unlock()
+		return fmt.Errorf("core: %w: %d files of %q still referenced", ErrBusy, n, name)
+	}
+	if n := len(cs.waiters); n > 0 {
+		cs.mu.Unlock()
+		return fmt.Errorf("core: %w: %d waiters registered on %q", ErrBusy, n, name)
+	}
+	if n := len(cs.sims); n > 0 {
+		cs.mu.Unlock()
+		return fmt.Errorf("core: %w: %d simulations of %q still live", ErrBusy, n, name)
+	}
+	// De-queue the context's scheduler jobs and dismantle their markers.
+	var orphaned []int
+	for _, job := range v.sched.DropContext(name) {
+		for s := job.First; s <= job.Last; s++ {
+			if cs.promised[s] == pendingSimID {
+				delete(cs.promised, s)
+				orphaned = append(orphaned, s)
+			}
+		}
+	}
+	cs.mu.Unlock()
+
+	// Deletion and the dependency re-check share one ctxMu critical
+	// section: AddContext validates upstreams under the same lock, so a
+	// concurrently registered downstream either sees this context (and
+	// blocks the removal here) or fails its own upstream validation —
+	// never a dangling upstream pointer.
+	v.ctxMu.Lock()
+	for other, ocs := range v.contexts {
+		if ocs.ctx.Upstream == name {
+			v.ctxMu.Unlock()
+			// The queued jobs are already dropped and their promises
+			// cleared — consistent on its own (a later open simply
+			// relaunches); tell subscribers the productions died.
+			v.publishFailed(name, orphaned, "re-simulation canceled")
+			return fmt.Errorf("core: %w: %q is upstream of %q", ErrBusy, name, other)
+		}
+	}
+	delete(v.contexts, name)
+	v.ctxMu.Unlock()
+	v.publishFailed(name, orphaned, "context deregistered")
+	return nil
+}
+
+// downstreamOf returns the name of a context that lists name as its
+// upstream ("" if none).
+func (v *Virtualizer) downstreamOf(name string) string {
+	v.ctxMu.RLock()
+	defer v.ctxMu.RUnlock()
+	for other, ocs := range v.contexts {
+		if ocs.ctx.Upstream == name {
+			return other
+		}
+	}
+	return ""
+}

@@ -354,8 +354,10 @@ func (v *Virtualizer) failPromised(cs *shard, sim *simState, msg string) ([]func
 // drainScheduler starts queued launches while the scheduler admits them.
 // It must be called WITHOUT any shard lock held: each admitted job locks
 // its own shard (jobs of any context may become admissible when capacity
-// frees up). Prefetch-class jobs are revalidated at admission — work that
-// was produced in the meantime is dropped, not launched.
+// frees up). Jobs are revalidated at admission — prefetch work that was
+// produced in the meantime is dropped, and a draining (or concurrently
+// deregistered — the flag outlives removal) context launches nothing new
+// unless the job is demand work someone still waits on.
 func (v *Virtualizer) drainScheduler() {
 	for {
 		job, ok := v.sched.Next()
@@ -369,10 +371,23 @@ func (v *Virtualizer) drainScheduler() {
 		}
 		cs.mu.Lock()
 		// Clear the pending markers; startSim re-marks what it launches.
+		var cleared []int
 		for s := job.First; s <= job.Last; s++ {
 			if cs.promised[s] == pendingSimID {
 				delete(cs.promised, s)
+				cleared = append(cleared, s)
 			}
+		}
+		if cs.draining && !(job.Class == sched.Demand && v.anyoneNeeds(cs, job.First, job.Last)) {
+			// The context is draining (or was removed while this job sat
+			// queued): nothing new starts. Demand work with live waiters
+			// or references is the exception — pre-drain work completes.
+			v.remarkQueued(cs)
+			orphaned := v.trulyOrphaned(cs, cleared)
+			v.sched.Release(job)
+			cs.mu.Unlock()
+			v.publishFailed(cs.ctx.Name, orphaned, "re-simulation canceled")
+			continue
 		}
 		if job.Class != sched.Demand && !v.uncovered(cs, job.First, job.Last) {
 			// Stale prefetch: everything it would produce is already on
@@ -385,6 +400,34 @@ func (v *Virtualizer) drainScheduler() {
 		v.startSim(cs, job.First, job.Last, job.Parallelism, prefetchForOf(job.Class, job.Client))
 		cs.mu.Unlock()
 	}
+}
+
+// anyoneNeeds reports whether any step in the range has waiters or
+// references. Caller holds the shard lock.
+func (v *Virtualizer) anyoneNeeds(cs *shard, first, last int) bool {
+	for s := first; s <= last; s++ {
+		if len(cs.waiters[s]) > 0 || cs.refs[s] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// trulyOrphaned filters cleared step markers down to those not covered
+// by residency, a live promise or a surviving queued job (remarkQueued
+// must have run). Caller holds the shard lock.
+func (v *Virtualizer) trulyOrphaned(cs *shard, cleared []int) []int {
+	var orphaned []int
+	for _, s := range cleared {
+		if cs.resident(s) {
+			continue
+		}
+		if _, p := cs.promised[s]; p {
+			continue
+		}
+		orphaned = append(orphaned, s)
+	}
+	return orphaned
 }
 
 // remarkQueued restores the pending markers of the shard's still-queued

@@ -34,6 +34,9 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	}()
 	defer func() { v.publishFailed(ctxName, orphaned, "re-simulation killed") }()
 	defer cs.mu.Unlock()
+	if cs.draining {
+		return OpenResult{}, fmt.Errorf("core: %w: %q refuses new opens", ErrDraining, ctxName)
+	}
 	step, err := cs.ctx.Key(filename)
 	if err != nil {
 		return OpenResult{}, err
@@ -121,7 +124,7 @@ func (v *Virtualizer) WaitFile(client, ctxName, filename string, cb func(Status)
 	}
 	if _, promised := cs.promised[step]; !promised {
 		cs.mu.Unlock()
-		return fmt.Errorf("core: %q is neither on disk nor being produced; call Open or Acquire first", filename)
+		return fmt.Errorf("core: %w: %q is neither on disk nor promised; call Open or Acquire first", ErrNotProduced, filename)
 	}
 	cs.waiters[step] = append(cs.waiters[step], waiter{client: client, cb: cb})
 	cs.mu.Unlock()
@@ -257,6 +260,9 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 		return 0, err
 	}
 	defer cs.mu.Unlock()
+	if cs.draining {
+		return 0, fmt.Errorf("core: %w: %q refuses new prefetches", ErrDraining, ctxName)
+	}
 	launched := 0
 	for _, f := range filenames {
 		step, err := cs.ctx.Key(f)

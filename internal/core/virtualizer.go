@@ -121,6 +121,10 @@ type shard struct {
 	cache  *cache.Cache
 	fs     vfs.FS // optional mirror of the storage area
 
+	// draining refuses new opens and prefetches (control-plane drain /
+	// deregistration); running work completes and releases still land.
+	draining bool
+
 	// promised maps a step to the simulation that will produce it.
 	// Pipeline- or smax-pending simulations are registered here too, so
 	// coverage queries see them.
@@ -257,7 +261,7 @@ func (v *Virtualizer) shardOf(name string) (*shard, bool) {
 func (v *Virtualizer) lockedShard(name string) (*shard, error) {
 	cs, ok := v.shardOf(name)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown context %q", name)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownContext, name)
 	}
 	cs.mu.Lock()
 	return cs, nil
@@ -316,7 +320,7 @@ func (v *Virtualizer) Stats(ctxName string) (CtxStats, error) {
 func (v *Virtualizer) LockStats(ctxName string) (metrics.LockStats, error) {
 	cs, ok := v.shardOf(ctxName)
 	if !ok {
-		return metrics.LockStats{}, fmt.Errorf("core: unknown context %q", ctxName)
+		return metrics.LockStats{}, fmt.Errorf("core: %w %q", ErrUnknownContext, ctxName)
 	}
 	return cs.mu.Stats(), nil
 }
@@ -401,7 +405,7 @@ func (v *Virtualizer) CacheStats(ctxName string) (cache.Stats, error) {
 func (v *Virtualizer) StorageArea(ctxName string) (vfs.FS, error) {
 	cs, ok := v.shardOf(ctxName)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown context %q", ctxName)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownContext, ctxName)
 	}
 	return cs.fs, nil
 }
@@ -445,7 +449,7 @@ func (v *Virtualizer) NoteClientReady(client, ctxName, filename string) {
 func (v *Virtualizer) FileTopic(ctxName, filename string) (notify.Topic, error) {
 	cs, ok := v.shardOf(ctxName)
 	if !ok {
-		return notify.Topic{}, fmt.Errorf("core: unknown context %q", ctxName)
+		return notify.Topic{}, fmt.Errorf("core: %w %q", ErrUnknownContext, ctxName)
 	}
 	step, err := cs.ctx.Key(filename)
 	if err != nil {

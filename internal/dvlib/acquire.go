@@ -1,6 +1,7 @@
 package dvlib
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -21,6 +22,8 @@ type Status struct {
 type Req struct {
 	ctx   *Context
 	files []string
+	// id is the wire subscription ID, used by Cancel to unsubscribe.
+	id uint64
 
 	mu      sync.Mutex
 	ready   map[string]bool
@@ -44,6 +47,24 @@ func (ctx *Context) Acquire(files ...string) (Status, error) {
 	return req.Wait()
 }
 
+// AcquireCtx is Acquire honoring a context deadline: when cx expires
+// before every file is available, the acquire is canceled — its
+// references are released and its subscription dropped, so the daemon
+// may dismantle re-simulations nobody else waits for — and cx's error is
+// returned alongside the partial status.
+func (ctx *Context) AcquireCtx(cx context.Context, files ...string) (Status, error) {
+	req, err := ctx.AcquireNB(files...)
+	if err != nil {
+		return Status{}, err
+	}
+	st, err := req.WaitCtx(cx)
+	if err != nil {
+		_ = req.Cancel()
+		return st, err
+	}
+	return st, nil
+}
+
 // AcquireNB implements SIMFS_Acquire_nb: like Acquire but it returns
 // immediately with a request handle to wait or test on.
 func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
@@ -58,8 +79,8 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 		doneCh:   make(chan struct{}),
 		consumed: map[int]bool{},
 	}
-	_, err := ctx.c.subscribe(
-		netproto.Request{Op: netproto.OpAcquire, Context: ctx.name, Files: r.files},
+	id, err := ctx.c.subscribe(netproto.OpAcquire,
+		netproto.FilesBody{Context: ctx.name, Files: r.files},
 		func(resp netproto.Response) {
 			r.mu.Lock()
 			if resp.File != "" && resp.Ready && !r.ready[resp.File] {
@@ -81,6 +102,7 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.id = id
 	return r, nil
 }
 
@@ -89,6 +111,37 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 func (r *Req) Wait() (Status, error) {
 	<-r.doneCh
 	return r.status(), nil
+}
+
+// WaitCtx is Wait honoring a context deadline: it returns the context's
+// error (and the partial status so far) when cx expires first. The
+// acquire itself keeps running; call Cancel to abandon it.
+func (r *Req) WaitCtx(cx context.Context) (Status, error) {
+	select {
+	case <-r.doneCh:
+		return r.status(), nil
+	case <-cx.Done():
+		return r.status(), cx.Err()
+	}
+}
+
+// Cancel abandons the acquire: the daemon-side subscription is dropped
+// and every file reference the acquire took is released, so the DV may
+// evict the files again — and dismantle re-simulations nobody else is
+// waiting for, through its client-cancellation path. Canceling a
+// completed acquire just releases the references. The wire side is
+// fire-and-forget: Cancel runs on the deadline path, where waiting for
+// an unresponsive daemon's acknowledgements would defeat the deadline
+// it serves — only frame-write failures are reported.
+func (r *Req) Cancel() error {
+	r.ctx.c.cancelSub(r.id, "canceled")
+	err := r.ctx.c.post(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: r.id})
+	for _, f := range r.files {
+		if perr := r.ctx.c.post(netproto.OpRelease, netproto.FileBody{Context: r.ctx.name, File: f}); err == nil {
+			err = perr
+		}
+	}
+	return err
 }
 
 // Test implements SIMFS_Test: flag is true when the acquire has completed.

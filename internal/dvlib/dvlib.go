@@ -5,9 +5,24 @@
 // the DV re-simulates them — and the explicit SIMFS_* API
 // (Init/Finalize/Acquire/Acquire_nb/Wait/Test/Waitsome/Testsome/Release/
 // Bitrep) for virtualization-aware applications.
+//
+// Connections speak the versioned envelope protocol (internal/netproto):
+// Dial performs the hello handshake — version and capability
+// negotiation — and fails with a CodeVersion *Error against daemons that
+// predate it. Failures surface as *Error values carrying the daemon's
+// structured error code, so callers dispatch on ErrCodeOf(err) instead
+// of matching message text. Cancellation and deadlines plumb through
+// context.Context: DialContext, AcquireCtx and Req.WaitCtx honor the
+// context, and a canceled acquire releases its references so the daemon
+// may dismantle re-simulations nobody else is waiting for.
+//
+// The Admin client (Client.Admin) exposes the daemon's control plane:
+// live scheduler reconfiguration, cache-policy swaps, context
+// registration/deregistration and per-context drain/resume.
 package dvlib
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -18,10 +33,38 @@ import (
 	"simfs/internal/vfs"
 )
 
+// Error is a structured daemon-reported failure: the machine-readable
+// code, the operation that failed, and the human-readable message.
+type Error struct {
+	Code netproto.ErrCode
+	Op   string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("dvlib: %s: %s (%s)", e.Op, e.Msg, e.Code)
+	}
+	return fmt.Sprintf("dvlib: %s: %s", e.Op, e.Msg)
+}
+
+// ErrCodeOf extracts the structured code from an error chain ("" when
+// the error did not come from the daemon).
+func ErrCodeOf(err error) netproto.ErrCode {
+	var de *Error
+	if errors.As(err, &de) {
+		return de.Code
+	}
+	return ""
+}
+
 // Client is a connection to the DV daemon. It is safe for concurrent use.
 type Client struct {
-	name string
-	conn net.Conn
+	name    string
+	conn    net.Conn
+	version int
+	caps    []string
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -36,7 +79,14 @@ type Client struct {
 // Dial connects to the daemon at addr under the given client name (the DV
 // uses it to associate prefetch agents and reference counts).
 func Dial(addr, clientName string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, clientName)
+}
+
+// DialContext is Dial honoring a context for both the TCP connect and
+// the protocol handshake.
+func DialContext(ctx context.Context, addr, clientName string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dvlib: %w", err)
 	}
@@ -47,12 +97,38 @@ func Dial(addr, clientName string) (*Client, error) {
 		subs:    map[uint64]func(netproto.Response){},
 	}
 	go c.readLoop()
-	if _, err := c.call(netproto.Request{Op: netproto.OpPing}); err != nil {
+	resp, err := c.callCtx(ctx, netproto.OpHello, netproto.HelloBody{
+		Version: netproto.ProtoVersion,
+		Client:  clientName,
+		Caps:    []string{netproto.CapAdmin, netproto.CapWatch},
+	})
+	if err != nil {
 		conn.Close()
+		var de *Error
+		if errors.As(err, &de) && de.Code == "" {
+			// The daemon answered the hello with a v1-style untyped
+			// error: it predates the versioned protocol.
+			return nil, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+				Msg: fmt.Sprintf("daemon does not speak the versioned protocol (client speaks %d): %s",
+					netproto.ProtoVersion, de.Msg)}
+		}
 		return nil, fmt.Errorf("dvlib: handshake: %w", err)
 	}
+	if resp.Proto == nil || resp.Proto.Version < netproto.MinProtoVersion {
+		conn.Close()
+		return nil, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+			Msg: "daemon sent no usable protocol version"}
+	}
+	c.version = resp.Proto.Version
+	c.caps = resp.Proto.Caps
 	return c, nil
 }
+
+// ProtoVersion returns the protocol version negotiated in the handshake.
+func (c *Client) ProtoVersion() int { return c.version }
+
+// Capabilities returns the capability flags the daemon advertised.
+func (c *Client) Capabilities() []string { return append([]string(nil), c.caps...) }
 
 // Close tears down the connection. The daemon releases any references the
 // client still holds.
@@ -100,7 +176,14 @@ func (c *Client) readLoop() {
 }
 
 // call sends a request expecting exactly one response.
-func (c *Client) call(req netproto.Request) (netproto.Response, error) {
+func (c *Client) call(op string, body any) (netproto.Response, error) {
+	return c.callCtx(context.Background(), op, body)
+}
+
+// callCtx is call honoring a context deadline/cancellation. A canceled
+// call abandons the response (the read loop drops it as unknown); the
+// request may still have taken effect on the daemon.
+func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Response, error) {
 	ch := make(chan netproto.Response, 1)
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
@@ -112,48 +195,81 @@ func (c *Client) call(req netproto.Request) (netproto.Response, error) {
 		return netproto.Response{}, err
 	}
 	c.nextID++
-	req.ID = c.nextID
-	req.Client = c.name
-	c.pending[req.ID] = ch
+	id := c.nextID
+	c.pending[id] = ch
 	c.mu.Unlock()
 
-	if err := c.write(req); err != nil {
+	env, err := netproto.NewEnvelope(id, op, body)
+	if err == nil {
+		err = c.write(env)
+	}
+	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, req.ID)
+		delete(c.pending, id)
 		c.mu.Unlock()
 		return netproto.Response{}, err
 	}
-	resp, ok := <-ch
-	if !ok {
-		return netproto.Response{}, errors.New("dvlib: connection lost")
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return netproto.Response{}, errors.New("dvlib: connection lost")
+		}
+		if resp.Err != "" {
+			return resp, &Error{Code: resp.Code, Op: op, Msg: resp.Err}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return netproto.Response{}, ctx.Err()
 	}
-	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+}
+
+// post sends a request without waiting for its response: no pending
+// entry is registered, so the read loop drops the answer as unknown.
+// Used on cancellation paths, where blocking on an unresponsive daemon
+// would defeat the deadline being enforced.
+func (c *Client) post(op string, body any) error {
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return errors.New("dvlib: client closed")
 	}
-	return resp, nil
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	env, err := netproto.NewEnvelope(id, op, body)
+	if err != nil {
+		return err
+	}
+	return c.write(env)
 }
 
 // subscribe sends a request whose responses stream to fn until a Done
 // frame arrives. It returns the request ID, which names the subscription
 // in an unsubscribe.
-func (c *Client) subscribe(req netproto.Request, fn func(netproto.Response)) (uint64, error) {
+func (c *Client) subscribe(op string, body any, fn func(netproto.Response)) (uint64, error) {
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
 		c.mu.Unlock()
 		return 0, errors.New("dvlib: client closed")
 	}
 	c.nextID++
-	req.ID = c.nextID
-	req.Client = c.name
-	c.subs[req.ID] = fn
+	id := c.nextID
+	c.subs[id] = fn
 	c.mu.Unlock()
-	if err := c.write(req); err != nil {
+	env, err := netproto.NewEnvelope(id, op, body)
+	if err == nil {
+		err = c.write(env)
+	}
+	if err != nil {
 		c.mu.Lock()
-		delete(c.subs, req.ID)
+		delete(c.subs, id)
 		c.mu.Unlock()
 		return 0, err
 	}
-	return req.ID, nil
+	return id, nil
 }
 
 // cancelSub removes a local subscription and, if it was still live,
@@ -171,19 +287,25 @@ func (c *Client) cancelSub(id uint64, reason string) {
 	}
 }
 
-func (c *Client) write(req netproto.Request) error {
+func (c *Client) write(env netproto.Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return netproto.WriteFrame(c.conn, req)
+	return netproto.WriteFrame(c.conn, env)
 }
 
 // Contexts lists the simulation contexts the daemon serves.
 func (c *Client) Contexts() ([]string, error) {
-	resp, err := c.call(netproto.Request{Op: netproto.OpContexts})
+	resp, err := c.call(netproto.OpContexts, nil)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Names, nil
+}
+
+// Ping checks daemon liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(netproto.OpPing, nil)
+	return err
 }
 
 // Context is an open simulation context (SIMFS_Init's handle).
@@ -198,9 +320,12 @@ type Context struct {
 // area is reachable as a local directory, transparent reads serve file
 // contents from it.
 func (c *Client) Init(contextName string) (*Context, error) {
-	resp, err := c.call(netproto.Request{Op: netproto.OpContextInfo, Context: contextName})
+	resp, err := c.call(netproto.OpContextInfo, netproto.CtxBody{Context: contextName})
 	if err != nil {
 		return nil, err
+	}
+	if resp.Info == nil {
+		return nil, &Error{Op: netproto.OpContextInfo, Msg: "daemon sent no context info"}
 	}
 	ctx := &Context{c: c, name: contextName, info: *resp.Info}
 	if resp.Info.StorageDir != "" {
@@ -237,7 +362,7 @@ type OpenResult struct {
 // with the DV (starting a re-simulation if the file is missing) and takes
 // a reference on the file.
 func (ctx *Context) Open(file string) (OpenResult, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpOpen, Context: ctx.name, Files: []string{file}})
+	resp, err := ctx.c.call(netproto.OpOpen, netproto.FileBody{Context: ctx.name, File: file})
 	if err != nil {
 		return OpenResult{}, err
 	}
@@ -296,8 +421,8 @@ func (ctx *Context) Watch(files ...string) (*Watch, error) {
 	// One slot per file plus the Done event: the daemon resolves each
 	// file at most once, so delivery below never blocks the read loop.
 	w := &Watch{ctx: ctx, ch: make(chan WatchEvent, len(files)+1)}
-	id, err := ctx.c.subscribe(
-		netproto.Request{Op: netproto.OpSubscribe, Context: ctx.name, Files: append([]string(nil), files...)},
+	id, err := ctx.c.subscribe(netproto.OpSubscribe,
+		netproto.FilesBody{Context: ctx.name, Files: append([]string(nil), files...)},
 		w.deliver)
 	if err != nil {
 		return nil, err
@@ -314,7 +439,7 @@ func (w *Watch) Events() <-chan WatchEvent { return w.ch }
 // watch is a no-op.
 func (w *Watch) Cancel() error {
 	w.ctx.c.cancelSub(w.id, "unsubscribed")
-	_, err := w.ctx.c.call(netproto.Request{Op: netproto.OpUnsubscribe, SubID: w.id})
+	_, err := w.ctx.c.call(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: w.id})
 	return err
 }
 
@@ -355,7 +480,7 @@ func (ctx *Context) Read(file string) ([]byte, error) {
 // Close is the transparent-mode close: it drops the file reference so the
 // DV may evict it (SIMFS_Release shares the implementation).
 func (ctx *Context) Close(file string) error {
-	_, err := ctx.c.call(netproto.Request{Op: netproto.OpRelease, Context: ctx.name, Files: []string{file}})
+	_, err := ctx.c.call(netproto.OpRelease, netproto.FileBody{Context: ctx.name, File: file})
 	return err
 }
 
@@ -364,7 +489,7 @@ func (ctx *Context) Release(file string) error { return ctx.Close(file) }
 
 // EstWait asks the DV for the estimated availability delay of a file.
 func (ctx *Context) EstWait(file string) (time.Duration, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpEstWait, Context: ctx.name, Files: []string{file}})
+	resp, err := ctx.c.call(netproto.OpEstWait, netproto.FileBody{Context: ctx.name, File: file})
 	if err != nil {
 		return 0, err
 	}
@@ -374,7 +499,7 @@ func (ctx *Context) EstWait(file string) (time.Duration, error) {
 // Bitrep checks whether a file's current content matches the originally
 // produced one (SIMFS_Bitrep). flag is true for a bitwise match.
 func (ctx *Context) Bitrep(file string) (bool, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpBitrep, Context: ctx.name, Files: []string{file}})
+	resp, err := ctx.c.call(netproto.OpBitrep, netproto.FileBody{Context: ctx.name, File: file})
 	if err != nil {
 		return false, err
 	}
@@ -384,7 +509,7 @@ func (ctx *Context) Bitrep(file string) (bool, error) {
 // RegisterChecksum stores a file's original checksum (used by the
 // checksum command-line utility at initial-simulation time).
 func (ctx *Context) RegisterChecksum(file string, sum uint64) error {
-	_, err := ctx.c.call(netproto.Request{Op: netproto.OpRegSum, Context: ctx.name, Files: []string{file}, Sum: sum})
+	_, err := ctx.c.call(netproto.OpRegSum, netproto.ChecksumBody{Context: ctx.name, File: file, Sum: sum})
 	return err
 }
 
@@ -393,7 +518,7 @@ func (ctx *Context) RegisterChecksum(file string, sum uint64) error {
 // now. It neither blocks nor takes references; it returns the number of
 // re-simulations launched.
 func (ctx *Context) Prefetch(files ...string) (int, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpPrefetch, Context: ctx.name, Files: files})
+	resp, err := ctx.c.call(netproto.OpPrefetch, netproto.FilesBody{Context: ctx.name, Files: files})
 	if err != nil {
 		return 0, err
 	}
@@ -402,9 +527,12 @@ func (ctx *Context) Prefetch(files ...string) (int, error) {
 
 // Stats fetches the context's DV counters.
 func (ctx *Context) Stats() (netproto.Stats, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpStats, Context: ctx.name})
+	resp, err := ctx.c.call(netproto.OpStats, netproto.CtxBody{Context: ctx.name})
 	if err != nil {
 		return netproto.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return netproto.Stats{}, &Error{Op: netproto.OpStats, Msg: "daemon sent no stats"}
 	}
 	return *resp.Stats, nil
 }
@@ -412,7 +540,7 @@ func (ctx *Context) Stats() (netproto.Stats, error) {
 // Rescan asks the daemon to resynchronize the context's cache with its
 // storage area (recovery utility).
 func (ctx *Context) Rescan() (int, error) {
-	resp, err := ctx.c.call(netproto.Request{Op: netproto.OpRescan, Context: ctx.name})
+	resp, err := ctx.c.call(netproto.OpRescan, netproto.CtxBody{Context: ctx.name})
 	if err != nil {
 		return 0, err
 	}

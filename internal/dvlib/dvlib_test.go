@@ -1,6 +1,7 @@
 package dvlib
 
 import (
+	"encoding/json"
 	"net"
 	"strings"
 	"sync"
@@ -10,9 +11,19 @@ import (
 	"simfs/internal/netproto"
 )
 
+// fakeReq is the scripted daemon's flattened view of a request envelope:
+// the body fields every data-plane op uses, decoded leniently.
+type fakeReq struct {
+	ID      uint64
+	Op      string
+	Context string
+	Files   []string
+}
+
 // fakeDV is a scripted daemon: handler receives each request and a send
-// function for responses (possibly several per request).
-func fakeDV(t *testing.T, handler func(req netproto.Request, send func(netproto.Response))) string {
+// function for responses (possibly several per request). The protocol
+// handshake and pings are answered automatically.
+func fakeDV(t *testing.T, handler func(req fakeReq, send func(netproto.Response))) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -34,13 +45,32 @@ func fakeDV(t *testing.T, handler func(req netproto.Request, send func(netproto.
 					netproto.WriteFrame(conn, resp)
 				}
 				for {
-					var req netproto.Request
-					if err := netproto.ReadFrame(conn, &req); err != nil {
+					var env netproto.Envelope
+					if err := netproto.ReadFrame(conn, &env); err != nil {
 						return
 					}
-					if req.Op == netproto.OpPing {
-						send(netproto.Response{ID: req.ID, OK: true})
+					switch env.Op {
+					case netproto.OpHello:
+						send(netproto.Response{ID: env.ID, OK: true,
+							Proto: &netproto.HelloInfo{Version: netproto.ProtoVersion}})
 						continue
+					case netproto.OpPing:
+						send(netproto.Response{ID: env.ID, OK: true})
+						continue
+					}
+					req := fakeReq{ID: env.ID, Op: env.Op}
+					var b struct {
+						Context string   `json:"context"`
+						File    string   `json:"file"`
+						Files   []string `json:"files"`
+					}
+					if len(env.Body) > 0 {
+						json.Unmarshal(env.Body, &b)
+					}
+					req.Context = b.Context
+					req.Files = b.Files
+					if b.File != "" {
+						req.Files = append(req.Files, b.File)
 					}
 					handler(req, send)
 				}
@@ -51,7 +81,7 @@ func fakeDV(t *testing.T, handler func(req netproto.Request, send func(netproto.
 }
 
 func TestDialHandshake(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {})
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {})
 	c, err := Dial(addr, "unit")
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +94,7 @@ func TestDialHandshake(t *testing.T) {
 }
 
 func TestCallErrorPropagation(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		send(netproto.Response{ID: req.ID, Err: "synthetic failure"})
 	})
 	c, err := Dial(addr, "unit")
@@ -78,7 +108,7 @@ func TestCallErrorPropagation(t *testing.T) {
 }
 
 func TestCallAfterClose(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {})
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {})
 	c, err := Dial(addr, "unit")
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +121,7 @@ func TestCallAfterClose(t *testing.T) {
 
 func TestConnectionLossFailsPendingCalls(t *testing.T) {
 	stop := make(chan struct{})
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		// Swallow the request and never answer; the test kills the
 		// connection from the client side instead.
 		close(stop)
@@ -121,12 +151,12 @@ func TestClientDemuxInterleaved(t *testing.T) {
 	// The daemon answers requests out of order; the demux must route each
 	// response to its caller by ID.
 	var mu sync.Mutex
-	var stash []netproto.Request
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	var stash []fakeReq
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		mu.Lock()
 		stash = append(stash, req)
 		two := len(stash) == 2
-		var a, b netproto.Request
+		var a, b fakeReq
 		if two {
 			a, b = stash[0], stash[1]
 			stash = nil
@@ -165,7 +195,7 @@ func TestClientDemuxInterleaved(t *testing.T) {
 }
 
 func TestAcquireSubscriptionStreaming(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		switch req.Op {
 		case netproto.OpContextInfo:
 			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
@@ -225,7 +255,7 @@ func TestAcquireSubscriptionStreaming(t *testing.T) {
 }
 
 func TestAcquireFailureStatus(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		switch req.Op {
 		case netproto.OpContextInfo:
 			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{Name: req.Context}})
@@ -250,7 +280,7 @@ func TestAcquireFailureStatus(t *testing.T) {
 
 func TestSubscriptionSurvivesConnectionLossWithError(t *testing.T) {
 	accepted := make(chan struct{})
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		switch req.Op {
 		case netproto.OpContextInfo:
 			send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{Name: req.Context}})
@@ -276,7 +306,7 @@ func TestSubscriptionSurvivesConnectionLossWithError(t *testing.T) {
 }
 
 func TestFilenameFollowsContextInfo(t *testing.T) {
-	addr := fakeDV(t, func(req netproto.Request, send func(netproto.Response)) {
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
 		send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
 			Name: req.Context, FilePrefix: "cosmo_out_", FileSuffix: ".h5",
 		}})

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"simfs/internal/cache"
 	"simfs/internal/model"
@@ -32,14 +33,19 @@ type ReplayResult struct {
 type ReplayState struct {
 	c        *cache.CacheOf[int]
 	traceBuf []trace.Access
+	rng      *rand.Rand
 }
 
 // GenerateTrace regenerates a deterministic trace into the state's
 // reusable buffer. The accesses are identical to trace.Generate's for the
 // same (pattern, config); the returned slice is only valid until the next
-// GenerateTrace call on this state.
+// GenerateTrace call on this state. The rng is worker-pinned alongside
+// the buffer, so a warmed state regenerates without allocating.
 func (st *ReplayState) GenerateTrace(p trace.Pattern, cfg trace.Config) ([]trace.Access, error) {
-	tr, err := trace.GenerateInto(st.traceBuf, p, cfg)
+	if st.rng == nil {
+		st.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	tr, err := trace.GenerateWith(st.rng, st.traceBuf, p, cfg)
 	if err != nil {
 		return nil, err
 	}

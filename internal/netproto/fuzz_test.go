@@ -1,0 +1,151 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simfs/internal/model"
+)
+
+// seedFrames returns one encoded frame per envelope shape the protocol
+// speaks: the hello handshake, every typed per-op payload, a legacy (v1)
+// request and a response — plus a bodyless ping. They seed the fuzz
+// corpus (see FuzzFrameRoundTrip and TestRegenerateFuzzCorpus).
+func seedFrames() ([][]byte, error) {
+	tv, nv := true, 16
+	mc := &model.Context{Name: "fz", Grid: model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 32}, OutputBytes: 64}
+	envs := []struct {
+		op   string
+		body any
+	}{
+		{OpHello, HelloBody{Version: ProtoVersion, Client: "fuzz", Caps: []string{CapAdmin, CapWatch}}},
+		{OpPing, nil},
+		{OpContexts, nil},
+		{OpContextInfo, CtxBody{Context: "fz"}},
+		{OpOpen, FileBody{Context: "fz", File: "fz_out_00000001.nc"}},
+		{OpWait, FileBody{Context: "fz", File: "fz_out_00000002.nc"}},
+		{OpRelease, FileBody{Context: "fz", File: "fz_out_00000001.nc"}},
+		{OpAcquire, FilesBody{Context: "fz", Files: []string{"a.nc", "b.nc"}}},
+		{OpEstWait, FileBody{Context: "fz", File: "fz_out_00000003.nc"}},
+		{OpBitrep, FileBody{Context: "fz", File: "fz_out_00000004.nc"}},
+		{OpRegSum, ChecksumBody{Context: "fz", File: "fz_out_00000005.nc", Sum: 0xdeadbeef}},
+		{OpStats, CtxBody{Context: "fz"}},
+		{OpRescan, CtxBody{Context: "fz"}},
+		{OpPrefetch, FilesBody{Context: "fz", Files: []string{"c.nc"}}},
+		{OpSubscribe, FilesBody{Context: "fz", Files: []string{"d.nc", "e.nc"}}},
+		{OpUnsubscribe, UnsubscribeBody{SubID: 9}},
+		{OpSchedGet, nil},
+		{OpSchedSet, SchedSetBody{Coalesce: &tv, TotalNodes: &nv}},
+		{OpCachePolicySet, CachePolicyBody{Context: "fz", Policy: "LIRS"}},
+		{OpCtxRegister, CtxRegisterBody{Context: mc, Policy: "DCL", InitialSim: true}},
+		{OpCtxDeregister, CtxBody{Context: "fz"}},
+		{OpDrain, CtxBody{Context: "fz"}},
+		{OpResume, CtxBody{Context: "fz"}},
+	}
+	var frames [][]byte
+	for i, e := range envs {
+		env, err := NewEnvelope(uint64(i+1), e.op, e.body)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			return nil, err
+		}
+		frames = append(frames, buf.Bytes())
+	}
+	// A v1 frame and a response frame: both must parse as envelopes
+	// without tripping the reader.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, LegacyRequest{ID: 99, Op: OpOpen, Client: "old", Context: "fz", Files: []string{"f"}}); err != nil {
+		return nil, err
+	}
+	frames = append(frames, append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	if err := WriteFrame(&buf, Response{ID: 3, Code: CodeBusy, Err: "context draining",
+		Proto: &HelloInfo{Version: ProtoVersion}, Sched: &SchedInfo{Coalesce: true}}); err != nil {
+		return nil, err
+	}
+	frames = append(frames, append([]byte(nil), buf.Bytes()...))
+	return frames, nil
+}
+
+// FuzzFrameRoundTrip feeds raw bytes to the frame reader: whatever
+// decodes must re-encode and decode to the same envelope, and whatever
+// fails must fail safely — recoverable errors only for complete frames,
+// never a panic, never a misaligned stream.
+func FuzzFrameRoundTrip(f *testing.F) {
+	frames, err := seedFrames()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fr := range frames {
+		f.Add(fr)
+	}
+	f.Add([]byte{0, 0, 0, 4, '{', '{', '{', '{'}) // recoverable garbage
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})         // oversize header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env Envelope
+		err := ReadFrame(bytes.NewReader(data), &env)
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) && fe.Recoverable && len(data) < 4 {
+				t.Fatalf("short input %x yielded a recoverable error", data)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, env); err != nil {
+			// Only a re-encoded frame exceeding MaxFrame may fail (JSON
+			// escaping can grow the payload past the limit).
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("re-encode of a decoded envelope failed oddly: %v", err)
+			}
+			return
+		}
+		var env2 Envelope
+		if err := ReadFrame(&buf, &env2); err != nil {
+			t.Fatalf("re-read of a re-encoded envelope failed: %v", err)
+		}
+		if env2.ID != env.ID || env2.Op != env.Op || !bytes.Equal(env2.Body, env.Body) {
+			t.Fatalf("round trip mismatch:\n in: %d %q %s\nout: %d %q %s",
+				env.ID, env.Op, env.Body, env2.ID, env2.Op, env2.Body)
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpus under
+// testdata/fuzz/FuzzFrameRoundTrip from seedFrames. Run with
+// SIMFS_REGEN_CORPUS=1 after changing the protocol surface; otherwise it
+// verifies the committed corpus is present and decodable.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameRoundTrip")
+	frames, err := seedFrames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("SIMFS_REGEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, fr := range frames {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", fr)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("regenerated %d corpus seeds in %s", len(frames), dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("committed fuzz corpus missing (run with SIMFS_REGEN_CORPUS=1 to regenerate): %v", err)
+	}
+}

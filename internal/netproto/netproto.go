@@ -1,9 +1,31 @@
 // Package netproto defines the wire protocol between DVLib clients and the
 // DV daemon (paper Sec. III: "Dashed arrows are control messages
 // (TCP/IP)"): length-prefixed JSON frames over a persistent TCP
-// connection. Requests carry client-assigned IDs; responses echo the ID,
-// which lets the daemon deliver asynchronous notifications (file-ready
-// events for wait/acquire) over the same connection.
+// connection.
+//
+// # Protocol version 2
+//
+// A connection starts with a hello handshake: the client sends an
+// OpHello envelope carrying its protocol version, client name and
+// requested capability flags; the daemon answers with the negotiated
+// version (the highest both sides speak) and its capabilities, or with a
+// CodeVersion error when no common version exists. Every subsequent
+// client frame is an Envelope — a fixed header (client-assigned request
+// ID plus operation name) and a typed per-op body. Responses echo the
+// ID, which lets the daemon deliver asynchronous notifications
+// (file-ready events for wait/acquire/subscribe) over the same
+// connection.
+//
+// Errors are structured: a failing Response carries a machine-readable
+// Code alongside the human-readable Err text, so clients dispatch on
+// CodeNoSuchContext or CodeBusy instead of string-matching error
+// messages.
+//
+// The pre-versioned protocol (a single untyped Request bag, no
+// handshake) is retained as LegacyRequest for version-skew detection: a
+// v1 client's first frame parses as an Envelope whose op is not
+// OpHello, which the daemon answers with a CodeVersion error before
+// closing.
 package netproto
 
 import (
@@ -11,6 +33,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"simfs/internal/model"
+)
+
+// ProtoVersion is the protocol version this build speaks. MinProtoVersion
+// is the oldest version the daemon still accepts in a hello; peers in
+// [MinProtoVersion, ProtoVersion] negotiate down to the smaller of the
+// two versions, anything else is rejected with CodeVersion.
+const (
+	ProtoVersion    = 2
+	MinProtoVersion = 2
 )
 
 // MaxFrame bounds a single frame to keep a misbehaving peer from forcing
@@ -19,6 +52,10 @@ const MaxFrame = 1 << 20
 
 // Operations understood by the daemon.
 const (
+	// OpHello is the mandatory first frame of a connection: version and
+	// capability negotiation plus the client's name.
+	OpHello = "hello"
+
 	OpPing        = "ping"
 	OpContexts    = "contexts" // list context names
 	OpContextInfo = "ctxinfo"  // fetch one context's parameters
@@ -41,18 +78,185 @@ const (
 	// OpUnsubscribe cancels an active subscription; SubID names the
 	// subscribe request's ID.
 	OpUnsubscribe = "unsubscribe"
+
+	// Control-plane (admin) operations, gated by CapAdmin.
+
+	// OpSchedGet reads the live re-simulation scheduler configuration.
+	OpSchedGet = "sched-get"
+	// OpSchedSet reconfigures the scheduler on the live daemon; unset
+	// fields keep their current value. The change applies at the next
+	// admission decision.
+	OpSchedSet = "sched-set"
+	// OpCachePolicySet swaps a context's cache replacement scheme live,
+	// rebuilding the new policy from the resident set.
+	OpCachePolicySet = "cache-policy-set"
+	// OpCtxRegister adds a simulation context to the running daemon.
+	OpCtxRegister = "ctx-register"
+	// OpCtxDeregister removes a drained context from the daemon.
+	OpCtxDeregister = "ctx-deregister"
+	// OpDrain stops admitting new opens/prefetches for a context;
+	// running work completes and releases still land.
+	OpDrain = "drain"
+	// OpResume lifts a drain.
+	OpResume = "resume"
 )
 
-// Request is a client→daemon frame.
-type Request struct {
-	ID      uint64   `json:"id"`
-	Op      string   `json:"op"`
+// Capability flags advertised in the hello handshake.
+const (
+	// CapAdmin marks the control-plane operations (sched-*,
+	// cache-policy-set, ctx-*, drain/resume).
+	CapAdmin = "admin"
+	// CapWatch marks the notification-only subscribe/unsubscribe pair.
+	CapWatch = "watch"
+)
+
+// ErrCode is a machine-readable error class. A failed Response carries
+// one so clients dispatch on the code instead of matching error text.
+type ErrCode string
+
+const (
+	// CodeVersion: protocol handshake failed (missing hello, or no
+	// common version).
+	CodeVersion ErrCode = "version_mismatch"
+	// CodeNoSuchContext: the named simulation context is not registered.
+	CodeNoSuchContext ErrCode = "no_such_context"
+	// CodeBadRequest: the request was malformed (wrong body, bad file
+	// name, out-of-range step).
+	CodeBadRequest ErrCode = "bad_request"
+	// CodeUnsupported: the operation is unknown or not offered by this
+	// daemon (e.g. ctx-register without a registrar).
+	CodeUnsupported ErrCode = "unsupported"
+	// CodeBusy: the context is draining or still holds references /
+	// running simulations; retry after the workload drains.
+	CodeBusy ErrCode = "busy"
+	// CodeNotProduced: the file is neither on disk nor promised by a
+	// re-simulation; open or acquire it first.
+	CodeNotProduced ErrCode = "not_produced"
+	// CodeFailed: a re-simulation failed or was killed.
+	CodeFailed ErrCode = "failed"
+	// CodeFrame: the peer sent an undecodable frame.
+	CodeFrame ErrCode = "bad_frame"
+	// CodeInternal: the daemon hit an unexpected internal error.
+	CodeInternal ErrCode = "internal"
+)
+
+// Envelope is the fixed header of every client→daemon frame: a
+// client-assigned request ID, the operation name, and the typed per-op
+// body (absent for bodyless ops like ping).
+type Envelope struct {
+	ID   uint64          `json:"id"`
+	Op   string          `json:"op"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// NewEnvelope marshals body into an envelope for op. A nil body yields a
+// bodyless envelope.
+func NewEnvelope(id uint64, op string, body any) (Envelope, error) {
+	env := Envelope{ID: id, Op: op}
+	if body == nil {
+		return env, nil
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, &FrameError{Op: op, ID: id, Err: fmt.Errorf("marshal body: %w", err)}
+	}
+	env.Body = raw
+	return env, nil
+}
+
+// Decode unmarshals the envelope's body into v, wrapping failures with
+// the offending op and request ID. A missing body decodes only into
+// nothing: ops with required bodies treat it as an error.
+func (e Envelope) Decode(v any) error {
+	if len(e.Body) == 0 {
+		return &FrameError{Op: e.Op, ID: e.ID, Recoverable: true, Err: fmt.Errorf("missing request body")}
+	}
+	if err := json.Unmarshal(e.Body, v); err != nil {
+		return &FrameError{Op: e.Op, ID: e.ID, Recoverable: true, Err: fmt.Errorf("decode body: %w", err)}
+	}
+	return nil
+}
+
+// Typed per-op request bodies.
+
+// HelloBody opens a connection: protocol version, client name (the DV
+// associates prefetch agents and reference counts with it) and the
+// capabilities the client intends to use.
+type HelloBody struct {
+	Version int      `json:"version"`
 	Client  string   `json:"client,omitempty"`
-	Context string   `json:"context,omitempty"`
-	Files   []string `json:"files,omitempty"`
-	Sum     uint64   `json:"sum,omitempty"`
-	// SubID references an earlier subscribe request (unsubscribe only).
-	SubID uint64 `json:"sub_id,omitempty"`
+	Caps    []string `json:"caps,omitempty"`
+}
+
+// HelloInfo is the daemon's half of the handshake, echoed in the
+// Response.Proto field: the negotiated version and the daemon's
+// capability flags.
+type HelloInfo struct {
+	Version int      `json:"version"`
+	Caps    []string `json:"caps,omitempty"`
+}
+
+// FileBody addresses one file of one context (open, wait, release,
+// estwait, bitrep).
+type FileBody struct {
+	Context string `json:"context"`
+	File    string `json:"file"`
+}
+
+// FilesBody addresses several files of one context (acquire, prefetch,
+// subscribe).
+type FilesBody struct {
+	Context string   `json:"context"`
+	Files   []string `json:"files"`
+}
+
+// CtxBody addresses a whole context (ctxinfo, stats, rescan, drain,
+// resume, ctx-deregister).
+type CtxBody struct {
+	Context string `json:"context"`
+}
+
+// ChecksumBody registers an original-output checksum (regsum).
+type ChecksumBody struct {
+	Context string `json:"context"`
+	File    string `json:"file"`
+	Sum     uint64 `json:"sum"`
+}
+
+// UnsubscribeBody cancels the subscription opened by request SubID.
+type UnsubscribeBody struct {
+	SubID uint64 `json:"sub_id"`
+}
+
+// SchedSetBody reconfigures the live scheduler. Nil fields keep the
+// current value, so a client can flip one knob without knowing the rest.
+type SchedSetBody struct {
+	Coalesce   *bool `json:"coalesce,omitempty"`
+	Priorities *bool `json:"priorities,omitempty"`
+	TotalNodes *int  `json:"total_nodes,omitempty"`
+}
+
+// SchedInfo mirrors the scheduler configuration on the wire (sched-get
+// and sched-set responses).
+type SchedInfo struct {
+	Coalesce   bool `json:"coalesce"`
+	Priorities bool `json:"priorities"`
+	TotalNodes int  `json:"total_nodes"`
+}
+
+// CachePolicyBody swaps a context's replacement scheme.
+type CachePolicyBody struct {
+	Context string `json:"context"`
+	Policy  string `json:"policy"`
+}
+
+// CtxRegisterBody adds a context at runtime. InitialSim asks the daemon
+// to run the initial simulation (restart files + checksum registration)
+// before the context serves clients.
+type CtxRegisterBody struct {
+	Context    *model.Context `json:"context"`
+	Policy     string         `json:"policy"`
+	InitialSim bool           `json:"initial_sim,omitempty"`
 }
 
 // ContextInfo carries the context parameters a client needs for
@@ -66,6 +270,10 @@ type ContextInfo struct {
 	DeltaR      int    `json:"delta_r"`
 	Timesteps   int    `json:"timesteps"`
 	OutputBytes int64  `json:"output_bytes"`
+	// Policy is the cache replacement scheme currently in effect.
+	Policy string `json:"policy,omitempty"`
+	// Draining reports whether the context currently refuses new work.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // Stats mirrors core.CtxStats on the wire.
@@ -106,10 +314,12 @@ type Stats struct {
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon
 // sends one frame per file as it becomes ready (File set, Done false) and
-// a final frame with Done true.
+// a final frame with Done true. A failing response carries both the
+// machine-readable Code and the human-readable Err.
 type Response struct {
 	ID        uint64       `json:"id"`
 	OK        bool         `json:"ok"`
+	Code      ErrCode      `json:"code,omitempty"`
 	Err       string       `json:"err,omitempty"`
 	Available bool         `json:"available,omitempty"`
 	Ready     bool         `json:"ready,omitempty"`
@@ -121,16 +331,64 @@ type Response struct {
 	Info      *ContextInfo `json:"info,omitempty"`
 	Stats     *Stats       `json:"stats,omitempty"`
 	Count     int          `json:"count,omitempty"`
+	// Proto carries the daemon's handshake half (hello responses only).
+	Proto *HelloInfo `json:"proto,omitempty"`
+	// Sched carries the scheduler configuration (sched-get / sched-set).
+	Sched *SchedInfo `json:"sched,omitempty"`
 }
 
-// WriteFrame writes one length-prefixed JSON frame.
+// LegacyRequest is the pre-versioned (v1) client frame: one untyped bag
+// of optional fields with no handshake. It is retained only so
+// version-skew tests can speak the old dialect; the daemon answers any
+// non-hello first frame with a CodeVersion error.
+type LegacyRequest struct {
+	ID      uint64   `json:"id"`
+	Op      string   `json:"op"`
+	Client  string   `json:"client,omitempty"`
+	Context string   `json:"context,omitempty"`
+	Files   []string `json:"files,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	SubID   uint64   `json:"sub_id,omitempty"`
+}
+
+// FrameError is a structured frame-layer failure. Op and ID identify the
+// offending request when known (empty/zero for undecodable raw frames).
+// Recoverable reports whether the stream is still aligned after the
+// error: a complete frame with a bad JSON payload is recoverable (the
+// reader consumed exactly the frame), while oversize or truncated frames
+// are not — the connection must be dropped.
+type FrameError struct {
+	Op          string
+	ID          uint64
+	Recoverable bool
+	Err         error
+}
+
+// Error implements the error interface.
+func (e *FrameError) Error() string {
+	if e.Op != "" {
+		return fmt.Sprintf("netproto: op %q id %d: %v", e.Op, e.ID, e.Err)
+	}
+	return fmt.Sprintf("netproto: %v", e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// WriteFrame writes one length-prefixed JSON frame. When v is an
+// Envelope, marshal and oversize failures are wrapped with its op and ID.
 func WriteFrame(w io.Writer, v any) error {
+	var op string
+	var id uint64
+	if env, ok := v.(Envelope); ok {
+		op, id = env.Op, env.ID
+	}
 	payload, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("netproto: marshal: %w", err)
+		return &FrameError{Op: op, ID: id, Err: fmt.Errorf("marshal: %w", err)}
 	}
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("netproto: frame of %d bytes exceeds limit", len(payload))
+		return &FrameError{Op: op, ID: id, Err: fmt.Errorf("frame of %d bytes exceeds limit", len(payload))}
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -141,7 +399,12 @@ func WriteFrame(w io.Writer, v any) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed JSON frame into v.
+// ReadFrame reads one length-prefixed JSON frame into v. A complete
+// frame whose payload fails to unmarshal yields a recoverable
+// *FrameError — the stream is still aligned and the caller may answer
+// with a CodeFrame response and keep reading. Oversize frames yield a
+// non-recoverable *FrameError; header/payload I/O errors (EOF,
+// truncation) pass through untouched.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -149,14 +412,14 @@ func ReadFrame(r io.Reader, v any) error {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return fmt.Errorf("netproto: incoming frame of %d bytes exceeds limit", n)
+		return &FrameError{Err: fmt.Errorf("incoming frame of %d bytes exceeds limit", n)}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return err
 	}
 	if err := json.Unmarshal(payload, v); err != nil {
-		return fmt.Errorf("netproto: unmarshal: %w", err)
+		return &FrameError{Recoverable: true, Err: fmt.Errorf("unmarshal: %w", err)}
 	}
 	return nil
 }

@@ -3,31 +3,52 @@ package netproto
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"strings"
 	"testing"
 	"testing/quick"
 )
 
-func TestFrameRoundTrip(t *testing.T) {
+// mustEnvelope builds an envelope or fails the test.
+func mustEnvelope(t *testing.T, id uint64, op string, body any) Envelope {
+	t.Helper()
+	env, err := NewEnvelope(id, op, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := Request{ID: 7, Op: OpOpen, Client: "a1", Context: "clim", Files: []string{"f1", "f2"}}
+	in := mustEnvelope(t, 7, OpOpen, FileBody{Context: "clim", File: "f1"})
 	if err := WriteFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
-	var out Request
+	var out Envelope
 	if err := ReadFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.ID != in.ID || out.Op != in.Op || out.Client != in.Client || len(out.Files) != 2 {
+	if out.ID != in.ID || out.Op != in.Op {
 		t.Errorf("round trip mismatch: %+v", out)
+	}
+	var body FileBody
+	if err := out.Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Context != "clim" || body.File != "f1" {
+		t.Errorf("body round trip mismatch: %+v", body)
 	}
 }
 
 func TestResponseRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := Response{ID: 9, OK: true, File: "x", Done: true, EstWaitNs: 123,
-		Info: &ContextInfo{Name: "c", DeltaD: 5}, Stats: &Stats{Hits: 3}}
+		Info:  &ContextInfo{Name: "c", DeltaD: 5, Policy: "DCL"},
+		Stats: &Stats{Hits: 3},
+		Proto: &HelloInfo{Version: ProtoVersion, Caps: []string{CapAdmin}},
+		Sched: &SchedInfo{Coalesce: true, TotalNodes: 4}}
 	if err := WriteFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
@@ -36,20 +57,38 @@ func TestResponseRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !out.OK || out.File != "x" || !out.Done || out.EstWaitNs != 123 ||
-		out.Info == nil || out.Info.DeltaD != 5 || out.Stats == nil || out.Stats.Hits != 3 {
+		out.Info == nil || out.Info.DeltaD != 5 || out.Info.Policy != "DCL" ||
+		out.Stats == nil || out.Stats.Hits != 3 ||
+		out.Proto == nil || out.Proto.Version != ProtoVersion ||
+		out.Sched == nil || !out.Sched.Coalesce || out.Sched.TotalNodes != 4 {
 		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestErrorResponseCarriesCode(t *testing.T) {
+	var buf bytes.Buffer
+	in := Response{ID: 4, Code: CodeNoSuchContext, Err: "unknown context \"x\""}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Response
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != CodeNoSuchContext || out.Err == "" || out.OK {
+		t.Errorf("structured error mangled: %+v", out)
 	}
 }
 
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	for i := uint64(0); i < 10; i++ {
-		if err := WriteFrame(&buf, Request{ID: i, Op: OpPing}); err != nil {
+		if err := WriteFrame(&buf, Envelope{ID: i, Op: OpPing}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 10; i++ {
-		var out Request
+		var out Envelope
 		if err := ReadFrame(&buf, &out); err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +96,7 @@ func TestMultipleFramesSequential(t *testing.T) {
 			t.Fatalf("frame %d read out of order as %d", i, out.ID)
 		}
 	}
-	var out Request
+	var out Envelope
 	if err := ReadFrame(&buf, &out); err != io.EOF {
 		t.Errorf("empty buffer should yield EOF, got %v", err)
 	}
@@ -68,59 +107,138 @@ func TestOversizedIncomingFrameRejected(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
 	buf.Write(hdr[:])
-	var out Request
-	if err := ReadFrame(&buf, &out); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
-		t.Errorf("oversized frame accepted: %v", err)
+	var out Envelope
+	err := ReadFrame(&buf, &out)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized frame should yield *FrameError, got %v", err)
+	}
+	if fe.Recoverable {
+		t.Error("oversized frame marked recoverable — the stream cannot be realigned")
+	}
+	if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("unexpected message: %v", err)
 	}
 }
 
 func TestOversizedOutgoingFrameRejected(t *testing.T) {
-	big := Request{Op: strings.Repeat("x", MaxFrame)}
-	if err := WriteFrame(io.Discard, big); err == nil {
-		t.Error("oversized outgoing frame accepted")
+	big := Envelope{ID: 12, Op: strings.Repeat("x", MaxFrame)}
+	err := WriteFrame(io.Discard, big)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized outgoing frame should yield *FrameError, got %v", err)
+	}
+	if fe.ID != 12 {
+		t.Errorf("FrameError lost the request ID: %+v", fe)
 	}
 }
 
 func TestTruncatedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	WriteFrame(&buf, Request{ID: 1, Op: OpPing})
+	WriteFrame(&buf, Envelope{ID: 1, Op: OpPing})
 	raw := buf.Bytes()[:buf.Len()-3] // cut the payload short
-	var out Request
-	if err := ReadFrame(bytes.NewReader(raw), &out); err == nil {
-		t.Error("truncated frame accepted")
+	var out Envelope
+	err := ReadFrame(bytes.NewReader(raw), &out)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	var fe *FrameError
+	if errors.As(err, &fe) && fe.Recoverable {
+		t.Error("truncated frame marked recoverable")
 	}
 }
 
-func TestGarbagePayload(t *testing.T) {
+func TestGarbagePayloadRecoverable(t *testing.T) {
 	var buf bytes.Buffer
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], 4)
 	buf.Write(hdr[:])
 	buf.WriteString("{{{{")
-	var out Request
-	if err := ReadFrame(&buf, &out); err == nil {
-		t.Error("garbage payload accepted")
+	// A well-formed frame follows the garbage one: after the recoverable
+	// error the stream must still be aligned.
+	WriteFrame(&buf, Envelope{ID: 2, Op: OpPing})
+	var out Envelope
+	err := ReadFrame(&buf, &out)
+	var fe *FrameError
+	if !errors.As(err, &fe) || !fe.Recoverable {
+		t.Fatalf("garbage payload should yield a recoverable *FrameError, got %v", err)
+	}
+	if err := ReadFrame(&buf, &out); err != nil || out.ID != 2 {
+		t.Errorf("stream misaligned after recoverable error: %v %+v", err, out)
 	}
 }
 
-// Property: any request survives a round trip bit-exactly.
+func TestDecodeErrorCarriesOpAndID(t *testing.T) {
+	env := mustEnvelope(t, 42, OpOpen, 17) // number body, not an object
+	var body FileBody
+	err := env.Decode(&body)
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("decode error should be a *FrameError, got %v", err)
+	}
+	if fe.Op != OpOpen || fe.ID != 42 {
+		t.Errorf("decode error lost op/id context: %+v", fe)
+	}
+	if !strings.Contains(err.Error(), OpOpen) || !strings.Contains(err.Error(), "42") {
+		t.Errorf("message should name op and id: %v", err)
+	}
+}
+
+func TestMissingBodyIsError(t *testing.T) {
+	env := Envelope{ID: 3, Op: OpOpen}
+	var body FileBody
+	if err := env.Decode(&body); err == nil {
+		t.Error("missing body decoded without error")
+	}
+}
+
+func TestLegacyRequestParsesAsEnvelope(t *testing.T) {
+	// A v1 client frame must decode as an envelope (id + op survive) so
+	// the daemon can answer its CodeVersion rejection to the right ID.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, LegacyRequest{ID: 5, Op: OpPing, Client: "old", Files: []string{"f"}}); err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := ReadFrame(&buf, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.ID != 5 || env.Op != OpPing {
+		t.Errorf("legacy frame mangled: %+v", env)
+	}
+}
+
+// Property: any envelope survives a round trip bit-exactly.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(id uint64, op, client, ctx string, files []string, sum uint64) bool {
+	f := func(id uint64, op, ctx string, files []string) bool {
 		var buf bytes.Buffer
-		in := Request{ID: id, Op: op, Client: client, Context: ctx, Files: files, Sum: sum}
-		if err := WriteFrame(&buf, in); err != nil {
-			return len(op)+len(client)+len(ctx) > MaxFrame/2 // only oversize may fail
+		in, err := NewEnvelope(id, op, FilesBody{Context: ctx, Files: files})
+		if err != nil {
+			return false
 		}
-		var out Request
+		if err := WriteFrame(&buf, in); err != nil {
+			var size int
+			for _, f := range files {
+				size += len(f)
+			}
+			return len(op)+len(ctx)+size > MaxFrame/2 // only oversize may fail
+		}
+		var out Envelope
 		if err := ReadFrame(&buf, &out); err != nil {
 			return false
 		}
-		if out.ID != in.ID || out.Op != in.Op || out.Client != in.Client ||
-			out.Context != in.Context || out.Sum != in.Sum || len(out.Files) != len(in.Files) {
+		if out.ID != in.ID || out.Op != in.Op {
 			return false
 		}
-		for i := range in.Files {
-			if out.Files[i] != in.Files[i] {
+		var body FilesBody
+		if err := out.Decode(&body); err != nil {
+			return false
+		}
+		if body.Context != ctx || len(body.Files) != len(files) {
+			return false
+		}
+		for i := range files {
+			if body.Files[i] != files[i] {
 				return false
 			}
 		}

@@ -39,6 +39,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -177,7 +178,45 @@ func New(clock des.Clock, cfg Config) *Scheduler {
 }
 
 // Config returns the scheduling policy in effect.
-func (s *Scheduler) Config() Config { return s.cfg }
+func (s *Scheduler) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// SetConfig swaps the scheduling policy on a live scheduler. The change
+// applies at the next admission boundary: in-flight simulations keep the
+// capacity they were admitted with, queued jobs are re-ordered under the
+// new policy (priority order gained or lost), and queued jobs wider than
+// a newly imposed node budget are clamped to it so they stay launchable.
+// Turning Priorities off leaves already-queued prefetch jobs queued —
+// the drop rule only applies to new submissions.
+func (s *Scheduler) SetConfig(cfg Config) {
+	s.Update(func(Config) Config { return cfg })
+}
+
+// Update is SetConfig for partial reconfiguration: mutate receives the
+// current config and returns the new one, atomically under the
+// scheduler's mutex, so concurrent partial updates cannot lose each
+// other's fields. The resulting config is returned.
+func (s *Scheduler) Update(mutate func(Config) Config) Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = mutate(s.cfg)
+	for _, cs := range s.ctxs {
+		if s.cfg.TotalNodes > 0 {
+			for _, job := range cs.jobs {
+				if jobNodes(job.Parallelism) > s.cfg.TotalNodes {
+					job.Parallelism = s.cfg.TotalNodes
+				}
+			}
+		}
+		// Re-sort under the new ordering; s.less ties on seq, so the sort
+		// is deterministic and stable with respect to submission order.
+		sort.SliceStable(cs.jobs, func(i, j int) bool { return s.less(cs.jobs[i], cs.jobs[j]) })
+	}
+	return s.cfg
+}
 
 // Register declares a context and its per-context capacity (the paper's
 // smax; 0 = unlimited). Submitting for an unregistered context registers
@@ -201,7 +240,11 @@ func (s *Scheduler) ctxOf(name string) *ctxState {
 // (0 = unbounded). The core clamps requests before submitting, so a job
 // wider than the whole machine degrades to using the whole machine
 // instead of being rejected.
-func (s *Scheduler) MaxJobNodes() int { return s.cfg.TotalNodes }
+func (s *Scheduler) MaxJobNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.TotalNodes
+}
 
 func jobNodes(par int) int {
 	if par < 1 {
@@ -449,11 +492,16 @@ func (s *Scheduler) classWait(c Class) *metrics.SchedClassWait {
 }
 
 // Release returns the capacity reserved by Next for a job the caller
-// decided not to start (admission-time revalidation found it stale).
+// decided not to start (admission-time revalidation found it stale). A
+// context dropped (deregistered) between the pop and the release keeps
+// only the node accounting — re-creating its ledger would leave a
+// negative inflight count behind.
 func (s *Scheduler) Release(job Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ctxOf(job.Ctx).inflight--
+	if cs, ok := s.ctxs[job.Ctx]; ok {
+		cs.inflight--
+	}
 	s.nodes -= jobNodes(job.Parallelism)
 	s.stats.Canceled++
 }
@@ -606,6 +654,28 @@ func (s *Scheduler) CancelClient(ctx, client string, keep func(first, last int) 
 		s.depth--
 		s.stats.Canceled++
 	}
+	return removed
+}
+
+// DropContext forgets a context being deregistered: its queued jobs are
+// removed (and returned, so the core can dismantle their pending
+// markers) and its admission ledger is deleted. The caller guarantees no
+// simulation of the context is in flight; a non-zero inflight count is a
+// ledger bug surfaced by CheckInvariants, so it is dropped regardless.
+func (s *Scheduler) DropContext(ctx string) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.ctxs[ctx]
+	if !ok {
+		return nil
+	}
+	var removed []Job
+	for _, job := range cs.jobs {
+		removed = append(removed, *job)
+		s.depth--
+		s.stats.Canceled++
+	}
+	delete(s.ctxs, ctx)
 	return removed
 }
 

@@ -4,6 +4,20 @@
 // acquires and subscriptions are answered asynchronously over the same
 // connection when re-simulations produce the requested files.
 //
+// A connection opens with the protocol handshake (netproto.OpHello):
+// version and capability negotiation plus the client's name. Any other
+// first frame — a pre-versioned client, or something else entirely — is
+// answered with a structured CodeVersion error before the connection
+// closes. After the handshake every frame is a typed envelope; requests
+// the daemon cannot decode are answered with structured errors, and the
+// connection is dropped only when the stream itself can no longer be
+// trusted (oversize or truncated frames).
+//
+// Besides the data-plane ops the daemon serves a control plane
+// (capability "admin"): live scheduler reconfiguration, cache-policy
+// swaps, context registration/deregistration and per-context
+// drain/resume — all without a restart.
+//
 // Readiness notifications ride the Virtualizer's notify hub: handlers
 // subscribe to the files' (context, step) topics first and then query
 // FileState, so no wakeup is lost and no waiter list is scanned under the
@@ -14,18 +28,41 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"sync"
 
 	"simfs/internal/core"
+	"simfs/internal/model"
 	"simfs/internal/netproto"
 	"simfs/internal/notify"
+	"simfs/internal/sched"
 )
+
+// ContextRegistrar provisions and retires simulation contexts at
+// runtime: it owns whatever surrounds the Virtualizer registration —
+// storage areas, launcher wiring, the initial simulation. *Stack
+// implements it; a bare Server without one refuses ctx-register with
+// CodeUnsupported and falls back to plain Virtualizer removal for
+// ctx-deregister.
+type ContextRegistrar interface {
+	// RegisterContext adds a context (creating its storage area) and, if
+	// initialSim is set, runs the initial simulation so restart files and
+	// original checksums exist before clients arrive.
+	RegisterContext(ctx *model.Context, policy string, initialSim bool) error
+	// DeregisterContext removes a drained context, keeping its storage
+	// area on disk.
+	DeregisterContext(name string) error
+}
 
 // Server is the DV daemon front-end.
 type Server struct {
 	v  *core.Virtualizer
 	ln net.Listener
+
+	// Registrar provisions contexts for ctx-register/ctx-deregister.
+	// Optional; NewStack wires the Stack in.
+	Registrar ContextRegistrar
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -121,9 +158,11 @@ type session struct {
 	conn net.Conn
 	wmu  sync.Mutex
 	srv  *Server
-	// client is the peer-declared client name, remembered so references
-	// can be cleaned up on disconnect.
+	// client is the client name declared in the hello handshake,
+	// remembered so references can be cleaned up on disconnect.
 	client string
+	// version is the negotiated protocol version (0 before the hello).
+	version int
 	// held tracks open references (context → files → count) for
 	// disconnect cleanup: a crashed analysis must not pin files forever.
 	held map[string]map[string]int
@@ -175,6 +214,26 @@ func (s *session) send(resp netproto.Response) {
 	}
 }
 
+// codeOf maps a handler error to its structured wire code. Filesystem
+// faults (storage provisioning, reading a storage area) are the
+// daemon's problem, not the client's: they classify as internal so a
+// client dispatching on the code does not mistake them for bad input.
+func codeOf(err error) netproto.ErrCode {
+	var pathErr *fs.PathError
+	switch {
+	case errors.Is(err, core.ErrUnknownContext):
+		return netproto.CodeNoSuchContext
+	case errors.Is(err, core.ErrDraining), errors.Is(err, core.ErrBusy):
+		return netproto.CodeBusy
+	case errors.Is(err, core.ErrNotProduced):
+		return netproto.CodeNotProduced
+	case errors.As(err, &pathErr):
+		return netproto.CodeInternal
+	default:
+		return netproto.CodeBadRequest
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	sess := &session{conn: conn, srv: s, held: map[string]map[string]int{}}
 	defer func() {
@@ -202,46 +261,104 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 	for {
-		var req netproto.Request
-		if err := netproto.ReadFrame(conn, &req); err != nil {
+		var env netproto.Envelope
+		if err := netproto.ReadFrame(conn, &env); err != nil {
+			var fe *netproto.FrameError
+			if errors.As(err, &fe) && fe.Recoverable {
+				// A complete frame with an undecodable payload: the
+				// stream is still aligned, so answer instead of dropping
+				// the connection.
+				sess.send(netproto.Response{ID: fe.ID, Code: netproto.CodeFrame, Err: err.Error()})
+				continue
+			}
 			if err != io.EOF {
 				s.logf("server: read from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		if req.Client != "" {
-			sess.client = req.Client
+		if sess.version == 0 && env.Op != netproto.OpHello {
+			// No handshake: a pre-versioned (v1) client or a foreign
+			// peer. Reject with a structured error it can surface, then
+			// close — nothing else it sends can be interpreted safely.
+			sess.send(netproto.Response{ID: env.ID, Code: netproto.CodeVersion,
+				Err: fmt.Sprintf("protocol handshake required: first frame must be %q (daemon speaks protocol %d)",
+					netproto.OpHello, netproto.ProtoVersion)})
+			return
 		}
-		s.dispatch(sess, req)
+		if !s.dispatch(sess, env) {
+			return
+		}
 	}
 }
 
-func (s *Server) dispatch(sess *session, req netproto.Request) {
+// dispatch serves one envelope; it reports whether the connection should
+// stay open.
+func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
+	id := env.ID
 	fail := func(err error) {
-		sess.send(netproto.Response{ID: req.ID, Err: err.Error()})
+		sess.send(netproto.Response{ID: id, Code: codeOf(err), Err: err.Error()})
 	}
-	oneFile := func() (string, bool) {
-		if len(req.Files) != 1 {
-			fail(fmt.Errorf("op %s requires exactly one file", req.Op))
-			return "", false
+	// decode unmarshals the typed body, answering a structured
+	// bad-request (with the op and request ID wrapped in) on failure.
+	decode := func(v any) bool {
+		if err := env.Decode(v); err != nil {
+			sess.send(netproto.Response{ID: id, Code: netproto.CodeBadRequest, Err: err.Error()})
+			return false
 		}
-		return req.Files[0], true
+		return true
 	}
 
-	switch req.Op {
+	switch env.Op {
+	case netproto.OpHello:
+		if sess.version != 0 {
+			// A second hello would rewrite the session's client identity
+			// under running wait/pump goroutines and orphan the first
+			// client's per-shard state at disconnect cleanup.
+			sess.send(netproto.Response{ID: id, Code: netproto.CodeBadRequest,
+				Err: "duplicate hello: the handshake already completed"})
+			return true
+		}
+		var hb netproto.HelloBody
+		if !decode(&hb) {
+			return true
+		}
+		if hb.Version < netproto.MinProtoVersion {
+			sess.send(netproto.Response{ID: id, Code: netproto.CodeVersion,
+				Err: fmt.Sprintf("peer speaks protocol %d; daemon requires %d..%d",
+					hb.Version, netproto.MinProtoVersion, netproto.ProtoVersion)})
+			return false
+		}
+		ver := hb.Version
+		if ver > netproto.ProtoVersion {
+			// A newer client downgrades to our version.
+			ver = netproto.ProtoVersion
+		}
+		sess.version = ver
+		sess.client = hb.Client
+		sess.send(netproto.Response{ID: id, OK: true, Proto: &netproto.HelloInfo{
+			Version: ver,
+			Caps:    []string{netproto.CapAdmin, netproto.CapWatch},
+		}})
+
 	case netproto.OpPing:
-		sess.send(netproto.Response{ID: req.ID, OK: true})
+		sess.send(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpContexts:
-		sess.send(netproto.Response{ID: req.ID, OK: true, Names: s.v.ContextNames()})
+		sess.send(netproto.Response{ID: id, OK: true, Names: s.v.ContextNames()})
 
 	case netproto.OpContextInfo:
-		ctx, ok := s.v.Context(req.Context)
-		if !ok {
-			fail(fmt.Errorf("unknown context %q", req.Context))
-			return
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true, Info: &netproto.ContextInfo{
+		ctx, ok := s.v.Context(b.Context)
+		if !ok {
+			fail(fmt.Errorf("%w %q", core.ErrUnknownContext, b.Context))
+			return true
+		}
+		policy, _ := s.v.CachePolicyName(b.Context)
+		draining, _ := s.v.Draining(b.Context)
+		sess.send(netproto.Response{ID: id, OK: true, Info: &netproto.ContextInfo{
 			Name:        ctx.Name,
 			StorageDir:  ctx.StorageDir,
 			FilePrefix:  ctx.FilePrefix,
@@ -250,104 +367,112 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 			DeltaR:      ctx.Grid.DeltaR,
 			Timesteps:   ctx.Grid.Timesteps,
 			OutputBytes: ctx.OutputBytes,
+			Policy:      policy,
+			Draining:    draining,
 		}})
 
 	case netproto.OpOpen:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.FileBody
+		if !decode(&b) {
+			return true
 		}
-		res, err := s.v.Open(req.Client, req.Context, file)
+		res, err := s.v.Open(sess.client, b.Context, b.File)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.trackRef(req.Context, file, +1)
-		sess.send(netproto.Response{ID: req.ID, OK: true, Available: res.Available, EstWaitNs: int64(res.EstWait)})
+		sess.trackRef(b.Context, b.File, +1)
+		sess.send(netproto.Response{ID: id, OK: true, Available: res.Available, EstWaitNs: int64(res.EstWait)})
 
 	case netproto.OpWait:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.FileBody
+		if !decode(&b) {
+			return true
 		}
-		if err := s.waitFile(sess, req, file); err != nil {
+		if err := s.waitFile(sess, id, b.Context, b.File); err != nil {
 			fail(err)
 		}
 
 	case netproto.OpRelease:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.FileBody
+		if !decode(&b) {
+			return true
 		}
-		if err := s.v.Release(req.Client, req.Context, file); err != nil {
+		if err := s.v.Release(sess.client, b.Context, b.File); err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.trackRef(req.Context, file, -1)
-		sess.send(netproto.Response{ID: req.ID, OK: true})
+		sess.trackRef(b.Context, b.File, -1)
+		sess.send(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpAcquire:
-		if len(req.Files) == 0 {
+		var b netproto.FilesBody
+		if !decode(&b) {
+			return true
+		}
+		if len(b.Files) == 0 {
 			fail(errors.New("acquire requires at least one file"))
-			return
+			return true
 		}
 		// Per-file readiness notifications let the client implement
 		// Waitsome/Testsome; the fan-in below sends the final frame.
-		files := append([]string(nil), req.Files...)
-		err := s.acquireWithPerFile(sess, req, files)
-		if err != nil {
+		if err := s.acquireWithPerFile(sess, id, b.Context, append([]string(nil), b.Files...)); err != nil {
 			fail(err)
 		}
 
 	case netproto.OpEstWait:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.FileBody
+		if !decode(&b) {
+			return true
 		}
-		w, err := s.v.EstWait(req.Context, file)
+		w, err := s.v.EstWait(b.Context, b.File)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true, EstWaitNs: int64(w)})
+		sess.send(netproto.Response{ID: id, OK: true, EstWaitNs: int64(w)})
 
 	case netproto.OpBitrep:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.FileBody
+		if !decode(&b) {
+			return true
 		}
-		content, err := s.readStorage(req.Context, file)
+		content, err := s.readStorage(b.Context, b.File)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		same, err := s.v.Bitrep(req.Context, file, content)
+		same, err := s.v.Bitrep(b.Context, b.File, content)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true, Flag: same})
+		sess.send(netproto.Response{ID: id, OK: true, Flag: same})
 
 	case netproto.OpRegSum:
-		file, ok := oneFile()
-		if !ok {
-			return
+		var b netproto.ChecksumBody
+		if !decode(&b) {
+			return true
 		}
-		if err := s.v.RegisterChecksum(req.Context, file, req.Sum); err != nil {
+		if err := s.v.RegisterChecksum(b.Context, b.File, b.Sum); err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true})
+		sess.send(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpStats:
-		st, err := s.v.Stats(req.Context)
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		st, err := s.v.Stats(b.Context)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		ls, _ := s.v.LockStats(req.Context)
+		ls, _ := s.v.LockStats(b.Context)
 		ss := s.v.SchedStats()
-		sess.send(netproto.Response{ID: req.ID, OK: true, Stats: &netproto.Stats{
+		sess.send(netproto.Response{ID: id, OK: true, Stats: &netproto.Stats{
 			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
 			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
 			PrefetchLaunches: st.PrefetchLaunches, DroppedPrefetch: st.DroppedPrefetch,
@@ -363,67 +488,199 @@ func (s *Server) dispatch(sess *session, req netproto.Request) {
 		}})
 
 	case netproto.OpPrefetch:
-		if len(req.Files) == 0 {
-			fail(errors.New("prefetch requires at least one file"))
-			return
+		var b netproto.FilesBody
+		if !decode(&b) {
+			return true
 		}
-		n, err := s.v.GuidedPrefetch(req.Client, req.Context, req.Files)
+		if len(b.Files) == 0 {
+			fail(errors.New("prefetch requires at least one file"))
+			return true
+		}
+		n, err := s.v.GuidedPrefetch(sess.client, b.Context, b.Files)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true, Count: n})
+		sess.send(netproto.Response{ID: id, OK: true, Count: n})
 
 	case netproto.OpRescan:
-		n, err := s.v.RescanStorageArea(req.Context)
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		n, err := s.v.RescanStorageArea(b.Context)
 		if err != nil {
 			fail(err)
-			return
+			return true
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true, Count: n})
+		sess.send(netproto.Response{ID: id, OK: true, Count: n})
 
 	case netproto.OpSubscribe:
-		if len(req.Files) == 0 {
-			fail(errors.New("subscribe requires at least one file"))
-			return
+		var b netproto.FilesBody
+		if !decode(&b) {
+			return true
 		}
-		if err := s.subscribeFiles(sess, req, req.Files); err != nil {
+		if len(b.Files) == 0 {
+			fail(errors.New("subscribe requires at least one file"))
+			return true
+		}
+		if err := s.subscribeFiles(sess, id, b.Context, b.Files); err != nil {
 			fail(err)
 		}
 
 	case netproto.OpUnsubscribe:
-		if sub := sess.dropSub(req.SubID); sub != nil {
+		var b netproto.UnsubscribeBody
+		if !decode(&b) {
+			return true
+		}
+		if sub := sess.dropSub(b.SubID); sub != nil {
 			sub.Close()
 		}
-		sess.send(netproto.Response{ID: req.ID, OK: true})
+		sess.send(netproto.Response{ID: id, OK: true})
+
+	case netproto.OpSchedGet:
+		cfg := s.v.SchedConfig()
+		sess.send(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
+
+	case netproto.OpSchedSet:
+		var b netproto.SchedSetBody
+		if !decode(&b) {
+			return true
+		}
+		if b.TotalNodes != nil && *b.TotalNodes < 0 {
+			fail(fmt.Errorf("total_nodes must be ≥ 0, got %d", *b.TotalNodes))
+			return true
+		}
+		// The partial update merges atomically under the scheduler's
+		// mutex: concurrent sched-sets compose instead of overwriting
+		// each other's fields with stale reads.
+		cfg := s.v.UpdateSchedConfig(func(cfg sched.Config) sched.Config {
+			if b.Coalesce != nil {
+				cfg.Coalesce = *b.Coalesce
+			}
+			if b.Priorities != nil {
+				cfg.Priorities = *b.Priorities
+			}
+			if b.TotalNodes != nil {
+				cfg.TotalNodes = *b.TotalNodes
+			}
+			return cfg
+		})
+		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d",
+			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes)
+		sess.send(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
+
+	case netproto.OpCachePolicySet:
+		var b netproto.CachePolicyBody
+		if !decode(&b) {
+			return true
+		}
+		if err := s.v.SetCachePolicy(b.Context, b.Policy); err != nil {
+			fail(err)
+			return true
+		}
+		s.logf("server: context %s cache policy swapped to %s by %s", b.Context, b.Policy, sess.client)
+		sess.send(netproto.Response{ID: id, OK: true})
+
+	case netproto.OpDrain:
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		if err := s.v.Drain(b.Context); err != nil {
+			fail(err)
+			return true
+		}
+		sess.send(netproto.Response{ID: id, OK: true})
+
+	case netproto.OpResume:
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		if err := s.v.Resume(b.Context); err != nil {
+			fail(err)
+			return true
+		}
+		sess.send(netproto.Response{ID: id, OK: true})
+
+	case netproto.OpCtxRegister:
+		var b netproto.CtxRegisterBody
+		if !decode(&b) {
+			return true
+		}
+		if b.Context == nil {
+			fail(errors.New("ctx-register requires a context definition"))
+			return true
+		}
+		if s.Registrar == nil {
+			sess.send(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
+				Err: "this daemon has no context registrar (storage provisioning unavailable)"})
+			return true
+		}
+		if err := s.Registrar.RegisterContext(b.Context, b.Policy, b.InitialSim); err != nil {
+			fail(err)
+			return true
+		}
+		s.logf("server: context %s registered by %s (policy %s)", b.Context.Name, sess.client, b.Policy)
+		sess.send(netproto.Response{ID: id, OK: true})
+
+	case netproto.OpCtxDeregister:
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		var err error
+		if s.Registrar != nil {
+			err = s.Registrar.DeregisterContext(b.Context)
+		} else {
+			err = s.v.RemoveContext(b.Context)
+		}
+		if err != nil {
+			fail(err)
+			return true
+		}
+		s.logf("server: context %s deregistered by %s", b.Context, sess.client)
+		sess.send(netproto.Response{ID: id, OK: true})
 
 	default:
-		fail(fmt.Errorf("unknown op %q", req.Op))
+		sess.send(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
+			Err: fmt.Sprintf("unknown op %q", env.Op)})
 	}
+	return true
+}
+
+// schedInfo mirrors a scheduler config onto the wire.
+func schedInfo(cfg sched.Config) *netproto.SchedInfo {
+	return &netproto.SchedInfo{Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes}
 }
 
 // waitFile implements OpWait on the notify hub: subscribe to the file's
 // topic, then check its state — any event published after the
 // subscription is buffered, so no wakeup is lost.
-func (s *Server) waitFile(sess *session, req netproto.Request, file string) error {
-	topic, err := s.v.FileTopic(req.Context, file)
+func (s *Server) waitFile(sess *session, id uint64, ctxName, file string) error {
+	topic, err := s.v.FileTopic(ctxName, file)
 	if err != nil {
 		return err
 	}
 	sub := s.v.Hub().Subscribe(topic)
-	resident, promised, err := s.v.FileState(req.Context, file)
+	resident, promised, err := s.v.FileState(ctxName, file)
 	if err != nil {
 		sub.Close()
 		return err
 	}
 	if resident {
 		sub.Close()
-		sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, Done: true, File: file})
+		sess.send(netproto.Response{ID: id, OK: true, Ready: true, Done: true, File: file})
 		return nil
 	}
 	finish := func(ev notify.Event) {
-		sess.send(netproto.Response{ID: req.ID, OK: ev.Err == "", Err: ev.Err,
-			Ready: ev.Kind == notify.FileReady, Done: true, File: file})
+		resp := netproto.Response{ID: id, OK: ev.Err == "", Err: ev.Err,
+			Ready: ev.Kind == notify.FileReady, Done: true, File: file}
+		if ev.Err != "" {
+			resp.Code = netproto.CodeFailed
+		}
+		sess.send(resp)
 	}
 	if !promised {
 		// The producing simulation may have resolved the file between
@@ -435,15 +692,16 @@ func (s *Server) waitFile(sess *session, req netproto.Request, file string) erro
 			return nil
 		default:
 			sub.Close()
-			return fmt.Errorf("%q is neither on disk nor being produced; call open or acquire first", file)
+			return fmt.Errorf("%w: %q is neither on disk nor promised; call open or acquire first",
+				core.ErrNotProduced, file)
 		}
 	}
-	sess.addSub(req.ID, sub)
+	sess.addSub(id, sub)
 	go func() {
-		defer sess.dropSub(req.ID)
+		defer sess.dropSub(id)
 		if ev, ok := <-sub.C(); ok {
 			if ev.Kind == notify.FileReady {
-				s.v.NoteClientReady(req.Client, req.Context, file)
+				s.v.NoteClientReady(sess.client, ctxName, file)
 			}
 			finish(ev)
 			sub.Close()
@@ -505,11 +763,11 @@ func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
 		w.pending--
 		if ev.Kind == notify.FileFailed {
 			if failFast {
-				sess.send(netproto.Response{ID: reqID, Err: ev.Err, Done: true, File: f})
+				sess.send(netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, Done: true, File: f})
 				w.sub.Close()
 				return
 			}
-			sess.send(netproto.Response{ID: reqID, Err: ev.Err, File: f})
+			sess.send(netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, File: f})
 		} else {
 			// The client was blocked on this file: reset its τcli
 			// baseline, as the in-process waiter path does.
@@ -528,30 +786,30 @@ func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
 // taken via Open (starting re-simulations), then readiness rides the
 // notify hub — a per-file ready frame for each missing file plus a final
 // done frame.
-func (s *Server) acquireWithPerFile(sess *session, req netproto.Request, files []string) error {
-	w, err := s.watchTopics(req.Client, req.Context, files)
+func (s *Server) acquireWithPerFile(sess *session, id uint64, ctxName string, files []string) error {
+	w, err := s.watchTopics(sess.client, ctxName, files)
 	if err != nil {
 		return err
 	}
 	// Open every file (taking references) so re-simulations start.
 	for i, f := range files {
-		res, err := s.v.Open(req.Client, req.Context, f)
+		res, err := s.v.Open(sess.client, ctxName, f)
 		if err != nil {
 			// Roll back references taken so far, including the
 			// disconnect-cleanup bookkeeping.
 			for _, g := range files[:i] {
-				_ = s.v.Release(req.Client, req.Context, g)
-				sess.trackRef(req.Context, g, -1)
+				_ = s.v.Release(sess.client, ctxName, g)
+				sess.trackRef(ctxName, g, -1)
 			}
 			w.sub.Close()
 			return err
 		}
-		sess.trackRef(req.Context, f, +1)
+		sess.trackRef(ctxName, f, +1)
 		if res.Available {
-			topic, _ := s.v.FileTopic(req.Context, f)
+			topic, _ := s.v.FileTopic(ctxName, f)
 			if !w.resolved[topic] {
 				w.resolved[topic] = true
-				sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+				sess.send(netproto.Response{ID: id, OK: true, Ready: true, File: f})
 			}
 		}
 	}
@@ -560,29 +818,29 @@ func (s *Server) acquireWithPerFile(sess *session, req netproto.Request, files [
 	// unresolved and let pump drain the buffer.
 	w.pending = len(w.names) - len(w.resolved)
 	if w.pending == 0 {
-		sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		sess.send(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
 	}
-	sess.addSub(req.ID, w.sub)
-	go w.pump(sess, req.ID, true)
+	sess.addSub(id, w.sub)
+	go w.pump(sess, id, true)
 	return nil
 }
 
 // subscribeFiles implements OpSubscribe: notification-only readiness
 // frames with no references taken. Files must be resident or promised;
 // files that are neither resolve immediately with a per-file error frame.
-func (s *Server) subscribeFiles(sess *session, req netproto.Request, files []string) error {
-	w, err := s.watchTopics(req.Client, req.Context, files)
+func (s *Server) subscribeFiles(sess *session, id uint64, ctxName string, files []string) error {
+	w, err := s.watchTopics(sess.client, ctxName, files)
 	if err != nil {
 		return err
 	}
 	for _, f := range files {
-		topic, _ := s.v.FileTopic(req.Context, f)
+		topic, _ := s.v.FileTopic(ctxName, f)
 		if w.resolved[topic] {
 			continue
 		}
-		resident, promised, err := s.v.FileState(req.Context, f)
+		resident, promised, err := s.v.FileState(ctxName, f)
 		if err != nil {
 			w.sub.Close()
 			return err
@@ -590,24 +848,25 @@ func (s *Server) subscribeFiles(sess *session, req netproto.Request, files []str
 		switch {
 		case resident:
 			w.resolved[topic] = true
-			sess.send(netproto.Response{ID: req.ID, OK: true, Ready: true, File: f})
+			sess.send(netproto.Response{ID: id, OK: true, Ready: true, File: f})
 		case !promised:
 			// Not being produced — unless its event raced into the
 			// subscription buffer, which pump will deliver.
 			if !bufferedEvent(w.sub, topic) {
 				w.resolved[topic] = true
-				sess.send(netproto.Response{ID: req.ID, Err: "file is not being produced", File: f})
+				sess.send(netproto.Response{ID: id, Code: netproto.CodeNotProduced,
+					Err: "file is not being produced", File: f})
 			}
 		}
 	}
 	w.pending = len(w.names) - len(w.resolved)
 	if w.pending == 0 {
-		sess.send(netproto.Response{ID: req.ID, OK: true, Done: true})
+		sess.send(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
 	}
-	sess.addSub(req.ID, w.sub)
-	go w.pump(sess, req.ID, false)
+	sess.addSub(id, w.sub)
+	go w.pump(sess, id, false)
 	return nil
 }
 

@@ -196,7 +196,7 @@ func TestBitrepOverTCP(t *testing.T) {
 		t.Fatalf("Bitrep after faithful re-simulation = %v, %v", same, err)
 	}
 	// Corrupt the on-disk file: Bitrep must now report a mismatch.
-	area := st.Areas["clim"]
+	area, _ := st.Area("clim")
 	path := filepath.Join(area.Dir(), file)
 	if err := os.WriteFile(path, []byte("corrupted"), 0o644); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"simfs/internal/core"
@@ -16,12 +18,21 @@ import (
 // Stack is a fully wired wall-clock SimFS instance: the Virtualizer, an
 // in-process real-time launcher writing real files into per-context disk
 // storage areas, and the TCP front-end. It is what cmd/simfs-dv runs and
-// what the examples connect to.
+// what the examples connect to. It implements ContextRegistrar, so the
+// control plane can add and retire contexts on the live daemon.
 type Stack struct {
 	V        *core.Virtualizer
 	Launcher *simulator.RealTimeLauncher
-	Areas    map[string]*vfs.Disk
 	Server   *Server
+
+	baseDir   string
+	timeScale int
+
+	// areasMu guards areas: contexts register and deregister at runtime
+	// while the launcher's write callback looks areas up concurrently.
+	areasMu sync.RWMutex
+	areas   map[string]*vfs.Disk
+
 	// resimGen numbers re-simulation writes, used to perturb the content
 	// of non-reproducible contexts (each re-simulated file differs from
 	// the initial run).
@@ -35,7 +46,7 @@ type Stack struct {
 // milliseconds. policy names the replacement scheme (Sec. III-D). The
 // launch scheduler runs the default (paper-exact) policy; use
 // NewScheduledStack to enable coalescing, priority queueing or a node
-// budget.
+// budget — or reconfigure the live daemon through the control plane.
 func NewStack(baseDir string, timeScale int, policy string, ctxs ...*model.Context) (*Stack, error) {
 	return NewScheduledStack(baseDir, timeScale, policy, sched.Config{}, ctxs...)
 }
@@ -47,12 +58,12 @@ func NewScheduledStack(baseDir string, timeScale int, policy string, schedCfg sc
 	if len(ctxs) == 0 {
 		return nil, fmt.Errorf("server: stack needs at least one context")
 	}
-	st := &Stack{Areas: map[string]*vfs.Disk{}}
+	st := &Stack{baseDir: baseDir, timeScale: timeScale, areas: map[string]*vfs.Disk{}}
 	st.Launcher = &simulator.RealTimeLauncher{TimeScale: timeScale}
 	st.V = core.NewScheduled(des.NewWallClock(), st.Launcher, schedCfg)
 	st.Launcher.Events = st.V
 	st.Launcher.Write = func(ctx *model.Context, step int) error {
-		area, ok := st.Areas[ctx.Name]
+		area, ok := st.Area(ctx.Name)
 		if !ok {
 			return fmt.Errorf("server: no storage area for context %q", ctx.Name)
 		}
@@ -68,19 +79,87 @@ func NewScheduledStack(baseDir string, timeScale int, policy string, schedCfg sc
 		return area.Create(name, ctx.OutputBytes)
 	}
 	for _, ctx := range ctxs {
-		ctx.ApplyDefaults()
-		area, err := vfs.NewDisk(filepath.Join(baseDir, ctx.Name))
-		if err != nil {
-			return nil, err
-		}
-		ctx.StorageDir = area.Dir()
-		st.Areas[ctx.Name] = area
-		if err := st.V.AddContext(ctx, policy, area); err != nil {
+		if err := st.addContext(ctx, policy); err != nil {
 			return nil, err
 		}
 	}
 	st.Server = New(st.V, nil)
+	st.Server.Registrar = st
 	return st, nil
+}
+
+// Area returns a context's storage area (nil, false when unknown).
+func (st *Stack) Area(name string) (*vfs.Disk, bool) {
+	st.areasMu.RLock()
+	defer st.areasMu.RUnlock()
+	area, ok := st.areas[name]
+	return area, ok
+}
+
+// addContext provisions the storage area and registers the context.
+func (st *Stack) addContext(ctx *model.Context, policy string) error {
+	// The context name becomes a directory under baseDir and arrives
+	// over the wire for runtime registrations: reject anything that
+	// could escape the storage root before any directory is created.
+	if name := ctx.Name; name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, `/\`) || filepath.Base(name) != name {
+		return fmt.Errorf("server: invalid context name %q", ctx.Name)
+	}
+	ctx.ApplyDefaults()
+	area, err := vfs.NewDisk(filepath.Join(st.baseDir, ctx.Name))
+	if err != nil {
+		return err
+	}
+	ctx.StorageDir = area.Dir()
+	// The area must be visible before the Virtualizer registration: the
+	// moment AddContext returns, other connections can open files and
+	// launch re-simulations whose Write looks the area up.
+	st.areasMu.Lock()
+	st.areas[ctx.Name] = area
+	st.areasMu.Unlock()
+	if err := st.V.AddContext(ctx, policy, area); err != nil {
+		st.areasMu.Lock()
+		delete(st.areas, ctx.Name)
+		st.areasMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// RegisterContext implements ContextRegistrar: it adds a context to the
+// running daemon, creating its storage area under the stack's base
+// directory, and optionally runs the initial simulation so restart files
+// and original checksums exist before clients arrive. Files already in
+// the storage area (a re-registered context) are recovered by a rescan.
+func (st *Stack) RegisterContext(ctx *model.Context, policy string, initialSim bool) error {
+	if ctx == nil {
+		return fmt.Errorf("server: register of a nil context")
+	}
+	if err := st.addContext(ctx, policy); err != nil {
+		return err
+	}
+	if initialSim {
+		if err := st.RunInitialSimulation(ctx.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := st.V.RescanStorageArea(ctx.Name); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeregisterContext implements ContextRegistrar: it removes a drained
+// context from the Virtualizer and forgets its storage area. The files
+// stay on disk — re-registering the context recovers them.
+func (st *Stack) DeregisterContext(name string) error {
+	if err := st.V.RemoveContext(name); err != nil {
+		return err
+	}
+	st.areasMu.Lock()
+	delete(st.areas, name)
+	st.areasMu.Unlock()
+	return nil
 }
 
 // RunInitialSimulation models the initial simulation of a context (paper
@@ -93,7 +172,10 @@ func (st *Stack) RunInitialSimulation(ctxName string) error {
 	if !ok {
 		return fmt.Errorf("server: unknown context %q", ctxName)
 	}
-	area := st.Areas[ctxName]
+	area, ok := st.Area(ctxName)
+	if !ok {
+		return fmt.Errorf("server: no storage area for context %q", ctxName)
+	}
 	drv := simulator.NewSynthetic(ctx)
 	for t := ctx.Grid.DeltaR; t <= ctx.Grid.Timesteps; t += ctx.Grid.DeltaR {
 		if err := area.Create(ctx.RestartFilename(t), ctx.RestartBytes); err != nil {

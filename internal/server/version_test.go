@@ -1,0 +1,214 @@
+package server
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"simfs/internal/dvlib"
+	"simfs/internal/netproto"
+)
+
+// rawConn dials the daemon without any client library: the tests below
+// speak the wire protocol (or the wrong one) by hand.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// A v1 client (no hello, untyped request bag) against the new daemon:
+// the first frame is answered with a structured CodeVersion error and
+// the connection closes.
+func TestVersionSkewOldClientNewDaemon(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	if err := netproto.WriteFrame(conn, netproto.LegacyRequest{ID: 7, Op: netproto.OpPing, Client: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 7 {
+		t.Errorf("rejection answered to id %d, want 7", resp.ID)
+	}
+	if resp.Code != netproto.CodeVersion || resp.Err == "" {
+		t.Errorf("old client got %+v, want a CodeVersion error", resp)
+	}
+	// The daemon closes the connection after the rejection.
+	if err := netproto.ReadFrame(conn, &resp); err != io.EOF {
+		t.Errorf("connection survived the version rejection: %v", err)
+	}
+}
+
+// A hello below the daemon's minimum version is rejected with
+// CodeVersion too.
+func TestVersionSkewTooOldHello(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	env, err := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.MinProtoVersion - 1, Client: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.WriteFrame(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != netproto.CodeVersion {
+		t.Errorf("too-old hello got %+v, want CodeVersion", resp)
+	}
+}
+
+// A newer client downgrades gracefully: the daemon answers with its own
+// (lower) version and keeps serving.
+func TestVersionSkewNewerClientDowngrades(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	env, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion + 5, Client: "future"})
+	if err := netproto.WriteFrame(conn, env); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Proto == nil || resp.Proto.Version != netproto.ProtoVersion {
+		t.Fatalf("downgrade handshake got %+v, want negotiated version %d", resp, netproto.ProtoVersion)
+	}
+	// The downgraded session works: a ping round-trips.
+	ping, _ := netproto.NewEnvelope(2, netproto.OpPing, nil)
+	if err := netproto.WriteFrame(conn, ping); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+		t.Errorf("ping after downgrade: %v %+v", err, resp)
+	}
+}
+
+// The new client against a daemon that predates the hello op: Dial
+// detects the v1-style untyped error and fails with CodeVersion.
+func TestVersionSkewNewClientOldDaemon(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// A v1 daemon reads the hello as an unknown op and answers with
+		// an untyped (code-less) error, like the old dispatch did.
+		var req netproto.LegacyRequest
+		if err := netproto.ReadFrame(conn, &req); err != nil {
+			return
+		}
+		netproto.WriteFrame(conn, netproto.Response{ID: req.ID, Err: `unknown op "hello"`})
+	}()
+	_, err = dvlib.Dial(ln.Addr().String(), "new-client")
+	if err == nil {
+		t.Fatal("dial to a pre-versioned daemon succeeded")
+	}
+	if code := dvlib.ErrCodeOf(err); code != netproto.CodeVersion {
+		t.Errorf("dial failed with code %q (%v), want %q", code, err, netproto.CodeVersion)
+	}
+}
+
+// A complete frame with a garbage payload must not cost the connection:
+// the daemon answers CodeFrame and keeps serving.
+func TestGarbageFrameRecovered(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "messy"})
+	if err := netproto.WriteFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	// Length-prefixed garbage: 4 bytes of non-JSON.
+	if _, err := conn.Write([]byte{0, 0, 0, 4, '{', '{', '{', '{'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != netproto.CodeFrame {
+		t.Errorf("garbage frame answered with %+v, want CodeFrame", resp)
+	}
+	// The session survives: a ping still round-trips.
+	ping, _ := netproto.NewEnvelope(2, netproto.OpPing, nil)
+	if err := netproto.WriteFrame(conn, ping); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 2 {
+		t.Errorf("ping after garbage frame: %v %+v", err, resp)
+	}
+}
+
+// A second hello on an established session is rejected: it would rewrite
+// the session's client identity under running goroutines.
+func TestDuplicateHelloRejected(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "a"})
+	netproto.WriteFrame(conn, hello)
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	again, _ := netproto.NewEnvelope(2, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "b"})
+	netproto.WriteFrame(conn, again)
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != netproto.CodeBadRequest {
+		t.Errorf("duplicate hello answered with %+v, want CodeBadRequest", resp)
+	}
+	// The original session keeps working.
+	ping, _ := netproto.NewEnvelope(3, netproto.OpPing, nil)
+	netproto.WriteFrame(conn, ping)
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+		t.Errorf("ping after rejected re-hello: %v %+v", err, resp)
+	}
+}
+
+// A malformed body on a known op is answered with CodeBadRequest naming
+// the op and id, and the connection survives.
+func TestBadBodyAnsweredStructured(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "messy"})
+	netproto.WriteFrame(conn, hello)
+	var resp netproto.Response
+	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	bad, _ := netproto.NewEnvelope(5, netproto.OpOpen, 42) // number, not an object
+	if err := netproto.WriteFrame(conn, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 5 || resp.Code != netproto.CodeBadRequest {
+		t.Errorf("bad body answered with %+v, want CodeBadRequest on id 5", resp)
+	}
+}

@@ -99,11 +99,19 @@ func Generate(p Pattern, cfg Config) ([]Access, error) {
 // the allocation behavior differs, letting rep loops reuse one buffer
 // across repetitions instead of allocating a fresh trace slice per rep.
 func GenerateInto(dst []Access, p Pattern, cfg Config) ([]Access, error) {
+	return GenerateWith(rand.New(rand.NewSource(cfg.Seed)), dst, p, cfg)
+}
+
+// GenerateWith is GenerateInto reusing a caller-owned rng, re-seeded
+// from cfg.Seed before use — the accesses are identical to Generate's
+// for the same pattern and configuration, and a worker-pinned rng makes
+// repeated regeneration allocation-free.
+func GenerateWith(rng *rand.Rand, dst []Access, p Pattern, cfg Config) ([]Access, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Seed(cfg.Seed)
 	dst = dst[:0]
 	switch p {
 	case Forward:

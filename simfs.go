@@ -16,6 +16,17 @@
 // holding shard locks. Per-shard lock-contention counters travel with
 // the usual statistics.
 //
+// Clients and daemon speak a versioned wire protocol: every connection
+// opens with a hello handshake (version + capability negotiation), every
+// request is a typed envelope, and failures carry machine-readable error
+// codes (ErrCodeOf) instead of free-text-only messages. The daemon also
+// serves a control plane — the Admin client reconfigures the
+// re-simulation scheduler, swaps cache replacement policies (rebuilt
+// live from the resident set), registers/deregisters simulation
+// contexts and drains/resumes them, all without a restart; cmd/simfs-ctl
+// is its command-line front-end. Cancellation and deadlines plumb
+// through context.Context (DialContext, AcquireCtx, Req.WaitCtx).
+//
 // The package re-exports the system's public surface:
 //
 //   - Context / Grid describe a simulation configuration (Δd, Δr,
@@ -24,10 +35,12 @@
 //     Virtualizer state machine, per-context disk storage areas, an
 //     in-process simulator launcher, and a TCP front-end for DVLib
 //     clients.
-//   - Dial / Client / AnalysisContext are the DVLib client library:
-//     transparent open/read/close plus the SIMFS_* API (Acquire,
-//     AcquireNB, Wait, Test, Waitsome, Testsome, Release, Bitrep) and
-//     the notification-only Watch subscription.
+//   - Dial / DialContext / Client / AnalysisContext are the DVLib
+//     client library: transparent open/read/close plus the SIMFS_* API
+//     (Acquire, AcquireNB, Wait, Test, Waitsome, Testsome, Release,
+//     Bitrep) and the notification-only Watch subscription.
+//   - Client.Admin is the control-plane client (scheduler, cache
+//     policies, context lifecycle).
 //   - NCOpen / H5Fopen / AdiosOpen are the Table-I I/O-library bindings.
 //   - CosmoScaling / CosmoCost / Flash / CacheEval are the paper's
 //     published experiment configurations.
@@ -37,9 +50,12 @@
 package simfs
 
 import (
+	"context"
+
 	"simfs/internal/dvlib"
 	"simfs/internal/ioshim"
 	"simfs/internal/model"
+	"simfs/internal/netproto"
 	"simfs/internal/sched"
 	"simfs/internal/server"
 	"simfs/internal/simulator"
@@ -79,6 +95,14 @@ func NewScheduledDaemon(baseDir string, timeScale int, policy string, cfg SchedC
 	return server.NewScheduledStack(baseDir, timeScale, policy, cfg, ctxs...)
 }
 
+// SchedInfo mirrors the daemon's live scheduler configuration on the
+// wire (Admin.SchedConfig / Admin.SetSchedConfig results).
+type SchedInfo = dvlib.SchedConfig
+
+// SchedUpdate is a partial scheduler reconfiguration for
+// Admin.SetSchedConfig: nil fields keep the daemon's current value.
+type SchedUpdate = dvlib.SchedUpdate
+
 // Client is a DVLib connection to the daemon.
 type Client = dvlib.Client
 
@@ -99,11 +123,45 @@ type Watch = dvlib.Watch
 // WatchEvent is one notification from a Watch.
 type WatchEvent = dvlib.WatchEvent
 
+// Admin is the control-plane client of a daemon connection
+// (Client.Admin): live scheduler reconfiguration, cache-policy swaps,
+// context registration/deregistration and drain/resume.
+type Admin = dvlib.Admin
+
+// Error is a structured daemon-reported failure carrying the
+// machine-readable error code alongside the message.
+type Error = dvlib.Error
+
+// ErrCode classifies daemon failures on the wire (CodeNoSuchContext,
+// CodeBusy, CodeVersion, …).
+type ErrCode = netproto.ErrCode
+
+// Structured error codes a daemon response may carry.
+const (
+	CodeVersion       = netproto.CodeVersion
+	CodeNoSuchContext = netproto.CodeNoSuchContext
+	CodeBadRequest    = netproto.CodeBadRequest
+	CodeUnsupported   = netproto.CodeUnsupported
+	CodeBusy          = netproto.CodeBusy
+	CodeNotProduced   = netproto.CodeNotProduced
+	CodeFailed        = netproto.CodeFailed
+)
+
+// ErrCodeOf extracts the structured code from an error chain ("" when
+// the error did not come from the daemon).
+func ErrCodeOf(err error) ErrCode { return dvlib.ErrCodeOf(err) }
+
 // Dial connects an analysis application to the daemon. clientName
 // identifies the application: the DV associates its prefetch agent and
 // reference counts with it.
 func Dial(addr, clientName string) (*Client, error) {
 	return dvlib.Dial(addr, clientName)
+}
+
+// DialContext is Dial honoring a context for the TCP connect and the
+// protocol handshake.
+func DialContext(ctx context.Context, addr, clientName string) (*Client, error) {
+	return dvlib.DialContext(ctx, addr, clientName)
 }
 
 // NCFile is a netCDF-style file handle whose I/O is interposed onto the
