@@ -28,8 +28,10 @@ bench:
 
 # bench-smoke runs every benchmark exactly once; CI uses it to catch
 # benchmarks that stop compiling or start failing, in seconds. The ./...
-# sweep includes the scheduler's BenchmarkSchedulerLaunchStorm
-# (internal/sched) and the RunCells-based multi-client stress benches.
+# sweep includes the scheduler's BenchmarkSchedulerLaunchStorm and
+# BenchmarkSchedulerPreemptStorm (internal/sched; the preempt-free fast
+# path is pinned at 0 allocs/op by TestPreemptFreeFastPathNoAllocs) and
+# the RunCells-based multi-client stress benches.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 

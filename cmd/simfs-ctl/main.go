@@ -93,10 +93,13 @@ func main() {
 		fmt.Fprintf(w, "steps produced\t%d\nevictions\t%d\nkills\t%d\nfailures\t%d\npollution resets\t%d\n", st.StepsProduced, st.Evictions, st.Kills, st.Failures, st.PollutionResets)
 		fmt.Fprintf(w, "shard lock acquisitions\t%d\nshard lock contended\t%d\nshard lock wait\t%s\n",
 			st.LockAcquisitions, st.LockContended, time.Duration(st.LockWaitNs))
+		fmt.Fprintf(w, "draining\t%v\ncache policy\t%s\n", st.Draining, st.CachePolicy)
 		fmt.Fprintf(w, "sched queue depth\t%d\nsched coalesced\t%d\nsched dropped\t%d\nsched canceled\t%d\n",
 			st.SchedQueueDepth, st.SchedCoalesced, st.SchedDropped, st.SchedCanceled)
 		fmt.Fprintf(w, "sched wait demand/guided/agent\t%s/%s/%s\n",
 			time.Duration(st.SchedDemandWaitNs), time.Duration(st.SchedGuidedWaitNs), time.Duration(st.SchedAgentWaitNs))
+		fmt.Fprintf(w, "sched preempted\t%d\nsched quota rounds/deferred\t%d/%d\n",
+			st.SchedPreempted, st.SchedQuotaRounds, st.SchedQuotaDeferred)
 		w.Flush()
 
 	case "estwait":
@@ -133,6 +136,8 @@ func main() {
 		coalesce := fs.Bool("coalesce", false, "merge overlapping queued re-simulation requests into one job")
 		priorities := fs.Bool("priorities", false, "drain the launch queue in priority order (demand > guided > agent)")
 		nodes := fs.Int("nodes", 0, "global node budget shared by all contexts (0 = unlimited)")
+		preempt := fs.String("preempt", "", "preemption victim policy: off | youngest | cheapest")
+		quantum := fs.Int("quantum", 0, "per-client deficit-round-robin quantum in output steps (0 = pure FIFO)")
 		fs.Parse(args[1:])
 		// Partial update: only the flags the operator actually set travel.
 		var upd simfs.SchedUpdate
@@ -144,6 +149,10 @@ func main() {
 				upd.Priorities = priorities
 			case "nodes":
 				upd.TotalNodes = nodes
+			case "preempt":
+				upd.PreemptPolicy = preempt
+			case "quantum":
+				upd.DRRQuantum = quantum
 			}
 		})
 		cfg, err := admin.SetSchedConfig(cx, upd)
@@ -204,6 +213,16 @@ func printSched(cfg simfs.SchedInfo) {
 	} else {
 		fmt.Fprintf(w, "node budget\t%d\n", cfg.TotalNodes)
 	}
+	preempt := cfg.PreemptPolicy
+	if preempt == "" {
+		preempt = "off"
+	}
+	fmt.Fprintf(w, "preempt policy\t%s\n", preempt)
+	if cfg.DRRQuantum == 0 {
+		fmt.Fprintf(w, "drr quantum\toff (pure FIFO)\n")
+	} else {
+		fmt.Fprintf(w, "drr quantum\t%d steps\n", cfg.DRRQuantum)
+	}
 	w.Flush()
 }
 
@@ -243,8 +262,9 @@ inspection:
 
 control plane (live, no restart):
   sched-get                     show the re-simulation scheduler config
-  sched-set [-coalesce] [-priorities] [-nodes N]
-                                reconfigure the scheduler (partial: only given flags change)
+  sched-set [-coalesce] [-priorities] [-nodes N] [-preempt P] [-quantum Q]
+                                reconfigure the scheduler (partial: only given flags change);
+                                -preempt off|youngest|cheapest, -quantum in output steps
   cache-policy-set <ctx> <policy>
                                 swap the replacement scheme (LRU|LIRS|ARC|BCL|DCL)
   ctx-register -config f.json [-policy P] [-initial-sim]

@@ -31,21 +31,40 @@ func main() {
 	policy := flag.String("policy", "DCL", "cache replacement scheme: LRU | LIRS | ARC | BCL | DCL")
 	timescale := flag.Int("timescale", 1000, "divide simulated durations by this factor (1 = real time)")
 	// The daemon deliberately defaults to the production scheduling
-	// policy (coalescing + priority queueing), not the paper-exact zero
-	// config the library and experiments default to: real multi-client
-	// traffic benefits from merged restarts and demand-first draining.
-	// `-sched-coalesce=false -sched-priorities=false` restores the
-	// paper's inline rules bit for bit.
+	// policy (coalescing + priority queueing + youngest-first demand
+	// preemption), not the paper-exact zero config the library and
+	// experiments default to: real multi-client traffic benefits from
+	// merged restarts and demand-first draining, and a blocking demand
+	// miss outranks speculative work hard enough to evict it. Note for
+	// operators upgrading with an existing -sched-nodes budget: that
+	// budget arms the preemption default — pass `-sched-preempt off` to
+	// keep the old wait-behind-prefetch behaviour.
+	// `-sched-coalesce=false -sched-priorities=false -sched-preempt off`
+	// restores the paper's inline rules bit for bit.
 	coalesce := flag.Bool("sched-coalesce", true, "merge overlapping queued re-simulation requests into one job")
 	priorities := flag.Bool("sched-priorities", true, "drain the launch queue in priority order (demand > guided > agent prefetch); false = paper-exact prefetch dropping")
 	nodes := flag.Int("sched-nodes", 0, "global node budget shared by all contexts (0 = unlimited)")
+	// Preemption only ever triggers under a -sched-nodes budget, so the
+	// "youngest" default is inert until one is configured.
+	preempt := flag.String("sched-preempt", "youngest", "kill a running agent prefetch for a node-blocked demand miss: off | youngest | cheapest (needs -sched-nodes)")
+	quantum := flag.Int("sched-quantum", 0, "per-client deficit-round-robin quantum in output steps inside a priority class (0 = pure FIFO)")
 	flag.Parse()
 
 	ctxs, err := loadContexts(*preset, *config)
 	if err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}
-	schedCfg := simfs.SchedConfig{Coalesce: *coalesce, Priorities: *priorities, TotalNodes: *nodes}
+	preemptPolicy, err := simfs.ParsePreemptPolicy(*preempt)
+	if err != nil {
+		log.Fatalf("simfs-dv: %v", err)
+	}
+	if *quantum < 0 {
+		log.Fatalf("simfs-dv: -sched-quantum must be ≥ 0, got %d", *quantum)
+	}
+	schedCfg := simfs.SchedConfig{
+		Coalesce: *coalesce, Priorities: *priorities, TotalNodes: *nodes,
+		Preempt: preemptPolicy, DRRQuantum: *quantum,
+	}
 	d, err := simfs.NewScheduledDaemon(*data, *timescale, *policy, schedCfg, ctxs...)
 	if err != nil {
 		log.Fatalf("simfs-dv: %v", err)
@@ -60,8 +79,9 @@ func main() {
 		log.Printf("simfs-dv: context %s ready (Δd=%d Δr=%d steps=%d, storage %s)",
 			ctx.Name, ctx.Grid.DeltaD, ctx.Grid.DeltaR, ctx.Grid.NumOutputSteps(), ctx.StorageDir)
 	}
-	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d, sched coalesce=%v priorities=%v nodes=%d)",
-		*addr, *policy, *timescale, schedCfg.Coalesce, schedCfg.Priorities, schedCfg.TotalNodes)
+	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d, sched coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d)",
+		*addr, *policy, *timescale, schedCfg.Coalesce, schedCfg.Priorities, schedCfg.TotalNodes,
+		schedCfg.Preempt, schedCfg.DRRQuantum)
 	if err := d.ListenAndServe(*addr); err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}

@@ -4,7 +4,11 @@
 // The samplers are pure bookkeeping so they compose with either virtual
 // (DES) or wall-clock time. The bounded node pool that used to live here
 // was absorbed by the re-simulation scheduler (internal/sched), which
-// enforces FIFO node admission above the launchers.
+// enforces FIFO node admission above the launchers. A job killed while
+// its sampled delay elapses (client cancellation or scheduler
+// preemption) simply abandons the draw; if the scheduler later requeues
+// its interval, the relaunch samples a fresh delay — a preempted job
+// re-enters the batch queue like any new submission.
 package batch
 
 import (

@@ -22,16 +22,20 @@ func (e *estimator) MaxParallelism() int             { return e.cs.ctx.MaxParall
 // startSim creates the simulation record and, if its upstream inputs are
 // available (pipeline virtualization, Sec. III-E), hands it to the
 // Launcher; otherwise it acquires the upstream files first and launches
-// when they are all on disk. Caller holds cs's lock; the upstream shard
-// is locked inside (downstream→upstream order).
-func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, prefetchFor string) {
+// when they are all on disk. It reports whether an upstream demand
+// launch was queued (node-blocked) so the probe cue reaches the caller.
+// Caller holds cs's lock; the upstream shard is locked inside
+// (downstream→upstream order).
+func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, class sched.Class, client string) (queuedDemand bool) {
 	now := v.clock.Now()
 	sim := &simState{
 		ctxName:     cs.ctx.Name,
 		first:       first,
 		last:        last,
 		parallelism: parallelism,
-		prefetchFor: prefetchFor,
+		prefetchFor: prefetchForOf(class, client),
+		class:       class,
+		client:      client,
 		launchedAt:  now,
 	}
 
@@ -61,7 +65,12 @@ func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, prefetch
 				if _, p := ucs.promised[us]; !p {
 					if iv, err := ucs.ctx.Grid.ResimInterval(us); err == nil {
 						if f, l, ok := ucs.ctx.Grid.OutputsIn(iv); ok {
-							v.launch(ucs, f, l, ucs.ctx.DefaultParallelism, sched.Demand, "")
+							// The upstream demand bills the client whose
+							// downstream sim induced it (DRR accounting);
+							// the launched sim itself stays client-less.
+							if v.launch(ucs, f, l, ucs.ctx.DefaultParallelism, sched.Demand, client) {
+								queuedDemand = true
+							}
 						}
 					}
 				}
@@ -72,11 +81,12 @@ func (v *Virtualizer) startSim(cs *shard, first, last, parallelism int, prefetch
 				})
 			}
 			ucs.mu.Unlock()
-			return
+			return queuedDemand
 		}
 		ucs.mu.Unlock()
 	}
 	v.doLaunch(cs, sim)
+	return false
 }
 
 // upstreamReady is a waiter callback (invoked without any shard lock)
@@ -125,15 +135,11 @@ func (v *Virtualizer) upstreamReady(cs *shard, placeholderID int64, st Status) {
 		// drain once nodes free, re-walking its upstream inputs then
 		// (they are resident now; if evicted meanwhile the walk simply
 		// re-acquires them).
-		class := sched.Demand
-		if sim.prefetchFor != "" {
-			class = sched.Agent
-		}
 		v.releaseUpstream(cs, sim)
 		v.sched.ReleaseSlot(cs.ctx.Name)
 		v.sched.Enqueue(sched.Request{
 			Ctx: cs.ctx.Name, First: sim.first, Last: sim.last,
-			Parallelism: sim.parallelism, Class: class, Client: sim.prefetchFor,
+			Parallelism: sim.parallelism, Class: sim.class, Client: sim.client,
 		})
 		v.markPromised(cs, sim.first, sim.last, pendingSimID)
 		cs.mu.Unlock()
@@ -314,16 +320,35 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 		// Normal completion: nothing outstanding.
 	case simulator.Killed:
 		cs.stats.Kills++
-		errMsg = "re-simulation killed"
+		if sim.preempted && !sim.killing {
+			// Preemption: the interval is requeued, not failed — the
+			// victim's promises come back as pending markers, so waiters
+			// that raced in after the kill are served by the requeued job
+			// instead of being failed. A cancellation kill that raced in
+			// after the preemption (sim.killing) wins instead: the owner
+			// reset or disconnected, so resurrecting the work would undo
+			// exactly what that cancellation dismantled.
+			cbs, failed = v.requeuePreempted(cs, sim)
+		} else {
+			errMsg = "re-simulation killed"
+			cbs, failed = v.failPromised(cs, sim, errMsg)
+		}
 	default:
 		cs.stats.Failures++
 		errMsg = "re-simulation failed"
-	}
-	if errMsg != "" {
 		cbs, failed = v.failPromised(cs, sim, errMsg)
 	}
+	if len(failed) > 0 && errMsg == "" {
+		errMsg = "re-simulation killed"
+	}
 	cs.mu.Unlock()
-	v.sched.SimDone(cs.ctx.Name, sim.parallelism)
+	if sim.preempted {
+		// One critical section returns the victim's nodes and settles
+		// the reclaim ledger: no observer sees them double-counted.
+		v.sched.SimDonePreempted(cs.ctx.Name, sim.parallelism)
+	} else {
+		v.sched.SimDone(cs.ctx.Name, sim.parallelism)
+	}
 	v.drainScheduler()
 	v.dropSimRoute(simID)
 	for _, cb := range cbs {
@@ -359,6 +384,10 @@ func (v *Virtualizer) failPromised(cs *shard, sim *simState, msg string) ([]func
 // deregistered — the flag outlives removal) context launches nothing new
 // unless the job is demand work someone still waits on.
 func (v *Virtualizer) drainScheduler() {
+	// Whatever stopped the drain, a demand job still blocked on the node
+	// budget may be allowed to make room for itself by killing a running
+	// agent prefetch (no-op unless Config.Preempt is set).
+	defer v.maybePreempt()
 	for {
 		job, ok := v.sched.Next()
 		if !ok {
@@ -397,7 +426,7 @@ func (v *Virtualizer) drainScheduler() {
 			cs.mu.Unlock()
 			continue
 		}
-		v.startSim(cs, job.First, job.Last, job.Parallelism, prefetchForOf(job.Class, job.Client))
+		v.startSim(cs, job.First, job.Last, job.Parallelism, job.Class, job.Client)
 		cs.mu.Unlock()
 	}
 }
@@ -496,6 +525,7 @@ func (v *Virtualizer) killPrefetchedFor(cs *shard, client string) ([]int, bool) 
 			continue
 		}
 		if sim.launched {
+			sim.killing = true
 			v.launcher.Kill(id)
 		} else {
 			// Pipeline-pending: dismantle locally. The placeholder's

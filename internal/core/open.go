@@ -26,7 +26,19 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	// hub subscribers; registered before the unlock defer so it publishes
 	// lock-free.
 	var orphaned []int
-	var freedCapacity bool
+	var freedCapacity, queuedDemand bool
+	// A demand miss queued behind an exhausted node budget may preempt a
+	// running agent prefetch. Only an Open that actually queued demand
+	// work probes (lock-free, after everything below) — hit traffic
+	// never pays for the scheduler mutex or the candidate scan, and
+	// while a blocked demand job waits for a victim to appear, the
+	// probes ride drainScheduler's capacity changes instead of the open
+	// rate.
+	defer func() {
+		if queuedDemand {
+			v.maybePreempt()
+		}
+	}()
 	defer func() {
 		if freedCapacity {
 			v.drainScheduler()
@@ -72,7 +84,9 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	if lr, ok := cs.lastReady[client]; ok && now > lr {
 		procTime = now - lr
 	}
-	orphaned, freedCapacity = v.runAgent(cs, client, step, now, procTime)
+	var agentQueuedDemand bool
+	orphaned, freedCapacity, agentQueuedDemand = v.runAgent(cs, client, step, now, procTime)
+	queuedDemand = queuedDemand || agentQueuedDemand
 	if hit {
 		cs.lastReady[client] = now
 	}
@@ -96,7 +110,12 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 			cs.refs[step]--
 			return OpenResult{}, fmt.Errorf("core: no outputs in re-simulation interval for %q", filename)
 		}
-		v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Demand, "")
+		// The client rides along for the scheduler's per-client quota
+		// accounting; demand simulations themselves stay client-less
+		// (prefetchFor derives from the class, not the field).
+		if v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Demand, client) {
+			queuedDemand = true
+		}
 	}
 	return OpenResult{Available: false, EstWait: v.estWaitLocked(cs, step, now)}, nil
 }
@@ -259,6 +278,15 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 	if err != nil {
 		return 0, err
 	}
+	// A guided hint on a pipeline context can queue node-blocked demand
+	// work for its upstream inputs; probe for preemption after the
+	// unlock when that happened.
+	queuedDemand := false
+	defer func() {
+		if queuedDemand {
+			v.maybePreempt()
+		}
+	}()
 	defer cs.mu.Unlock()
 	if cs.draining {
 		return 0, fmt.Errorf("core: %w: %q refuses new prefetches", ErrDraining, ctxName)
@@ -287,7 +315,9 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 		if !ok {
 			continue
 		}
-		v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Guided, client)
+		if v.launch(cs, first, last, cs.ctx.DefaultParallelism, sched.Guided, client) {
+			queuedDemand = true
+		}
 		if cs.stats.Restarts > before {
 			launched++
 		}
@@ -345,12 +375,14 @@ func (v *Virtualizer) estWaitLocked(cs *shard, step int, now time.Duration) time
 
 // runAgent feeds one access into the client's prefetch agent and applies
 // its decision. It returns the steps orphaned by a prefetch reset, for
-// the caller to publish as failed after unlocking, and whether the reset
+// the caller to publish as failed after unlocking, whether the reset
 // freed scheduler capacity (the caller must then drain, also after
-// unlocking). Caller holds the shard lock.
-func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime time.Duration) ([]int, bool) {
+// unlocking), and whether a launch queued node-blocked demand work (a
+// pipeline context's upstream inputs — the caller's preemption-probe
+// cue). Caller holds the shard lock.
+func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime time.Duration) ([]int, bool, bool) {
 	if cs.ctx.NoPrefetch {
-		return nil, false
+		return nil, false, false
 	}
 	ag, ok := cs.agents[client]
 	if !ok {
@@ -361,11 +393,14 @@ func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime
 	d := ag.OnAccess(step, now, procTime, cover)
 	var orphaned []int
 	freed := false
+	queuedDemand := false
 	if d.Reset {
 		orphaned, freed = v.killPrefetchedFor(cs, client)
 	}
 	for _, r := range d.Launches {
-		v.launch(cs, r.First, r.Last, d.Parallelism, sched.Agent, client)
+		if v.launch(cs, r.First, r.Last, d.Parallelism, sched.Agent, client) {
+			queuedDemand = true
+		}
 	}
 	// The agent's follow-up launches may have re-promised some orphaned
 	// steps; those are in flight again, not failed.
@@ -379,7 +414,7 @@ func (v *Virtualizer) runAgent(cs *shard, client string, step int, now, procTime
 		}
 		kept = append(kept, s)
 	}
-	return kept, freed
+	return kept, freed, queuedDemand
 }
 
 // coveredUntil walks the trajectory from `from` along dir with stride k
@@ -408,9 +443,10 @@ func (v *Virtualizer) coveredUntil(cs *shard, from, dir, k int) int {
 // realigned to restart-step boundaries, and hands it to the scheduler;
 // when the scheduler admits it the simulation starts immediately, when it
 // queues it the steps are marked pending. client names the requesting
-// client for prefetch classes, "" for demand misses. Caller holds the
-// shard lock.
-func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sched.Class, client string) {
+// client for prefetch classes, "" for demand misses. It reports whether
+// demand work was queued (the caller's cue to probe for preemption once
+// the shard lock is released). Caller holds the shard lock.
+func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sched.Class, client string) (queuedDemand bool) {
 	g := cs.ctx.Grid
 	if first < 1 {
 		first = 1
@@ -419,7 +455,7 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 		last = g.NumOutputSteps()
 	}
 	if first > last {
-		return
+		return false
 	}
 	// Realign to restart boundaries: simulations boot from a restart step
 	// and run to at least the next one.
@@ -429,7 +465,7 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 	}
 	f2, l2, ok := g.OutputsIn(iv)
 	if !ok {
-		return
+		return false
 	}
 	first, last = f2, l2
 
@@ -438,7 +474,7 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 	// re-simulation must boot from the restart step and recompute the
 	// covered steps anyway, so trimming would only distort the timing.
 	if !v.uncovered(cs, first, last) {
-		return
+		return false
 	}
 	if parallelism <= 0 {
 		parallelism = cs.ctx.DefaultParallelism
@@ -453,7 +489,9 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 	}
 	switch v.sched.Submit(req) {
 	case sched.Admitted:
-		v.startSim(cs, first, last, parallelism, prefetchForOf(class, client))
+		// An admitted pipeline job may still queue a node-blocked demand
+		// launch for its upstream inputs: that cue bubbles up.
+		return v.startSim(cs, first, last, parallelism, class, client)
 	case sched.Queued:
 		for s := first; s <= last; s++ {
 			if !cs.resident(s) {
@@ -462,9 +500,11 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 				}
 			}
 		}
+		return class == sched.Demand
 	case sched.Dropped:
 		cs.stats.DroppedPrefetch++
 	}
+	return false
 }
 
 // uncovered reports whether any step in [first, last] is neither resident

@@ -104,6 +104,21 @@ type simState struct {
 	// prefetchFor is the client whose agent prefetched this simulation
 	// ("" for demand re-simulations).
 	prefetchFor string
+	// class is the scheduling class the simulation was admitted under;
+	// preemption only ever targets sched.Agent work. client is the
+	// submitting client as the scheduler saw it — unlike prefetchFor it
+	// survives for demand work too, so a requeue (pipeline node-budget
+	// bounce, preemption) keeps charging the right per-client quota.
+	class  sched.Class
+	client string
+	// preempted marks a simulation killed by the preemption path: its
+	// SimEnded requeues the interval instead of failing its promises.
+	// killing marks a cancellation kill already in flight (agent or
+	// pollution reset, client disconnect) whose SimEnded has not landed
+	// yet — such a sim must not be picked as a preemption victim, or
+	// the requeue would resurrect the very work the reset dismantled.
+	preempted bool
+	killing   bool
 	// pipeline wait state: number of upstream files still missing before
 	// the simulation can actually be submitted.
 	pendingUpstream int
@@ -362,11 +377,24 @@ func (v *Virtualizer) ClientDisconnected(client string) {
 		shards = append(shards, cs)
 	}
 	v.ctxMu.RUnlock()
+	// The departed client's fairness accounting dies with it: its quota
+	// debt must not handicap an unrelated client reusing the name later.
+	v.sched.DropClientQuota(client)
 	anyFreed := false
 	for _, cs := range shards {
 		cs.mu.Lock()
 		orphaned, freed := v.killPrefetchedFor(cs, client)
 		anyFreed = anyFreed || freed
+		// Sims of the departed client that survive (live waiters keep
+		// them) lose their billing identity: a later requeue (pipeline
+		// bounce, preemption) must not re-plant the quota entry
+		// DropClientQuota just removed. prefetchFor stays — the kill
+		// bookkeeping still needs to recognize the owner.
+		for _, sim := range cs.sims {
+			if sim.client == client {
+				sim.client = ""
+			}
+		}
 		// Drop the departed client's per-shard learning state: its
 		// prefetch agent, its τcli baseline, and its pollution-tracking
 		// entries would otherwise accumulate per unique client name for

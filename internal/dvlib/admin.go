@@ -43,8 +43,15 @@ func (a *Admin) SchedConfig(ctx context.Context) (SchedConfig, error) {
 // SetSchedConfig applies a partial scheduler reconfiguration and returns
 // the resulting policy. The daemon applies it at the next admission
 // boundary: queued jobs are re-ordered, running simulations keep the
-// capacity they were admitted with.
+// capacity they were admitted with. The preemption/fairness fields ride
+// the "preempt" capability: against a daemon that does not advertise it,
+// sending them would be silently ignored (unknown JSON fields), so the
+// call fails client-side with CodeUnsupported instead.
 func (a *Admin) SetSchedConfig(ctx context.Context, upd SchedUpdate) (SchedConfig, error) {
+	if (upd.PreemptPolicy != nil || upd.DRRQuantum != nil) && !a.c.HasCapability(netproto.CapPreempt) {
+		return SchedConfig{}, &Error{Code: netproto.CodeUnsupported, Op: netproto.OpSchedSet,
+			Msg: "daemon does not advertise the preempt capability; preempt_policy/drr_quantum would be silently ignored"}
+	}
 	resp, err := a.c.callCtx(ctx, netproto.OpSchedSet, upd)
 	if err != nil {
 		return SchedConfig{}, err

@@ -130,6 +130,17 @@ func (c *Client) ProtoVersion() int { return c.version }
 // Capabilities returns the capability flags the daemon advertised.
 func (c *Client) Capabilities() []string { return append([]string(nil), c.caps...) }
 
+// HasCapability reports whether the daemon advertised the capability in
+// the hello handshake.
+func (c *Client) HasCapability(cap string) bool {
+	for _, have := range c.caps {
+		if have == cap {
+			return true
+		}
+	}
+	return false
+}
+
 // Close tears down the connection. The daemon releases any references the
 // client still holds.
 func (c *Client) Close() error {

@@ -44,6 +44,15 @@ type SchedStats struct {
 	// their requesting client reset or disconnected, or dropped at
 	// admission because their range had been produced meanwhile.
 	Canceled uint64
+	// Preempted counts running agent prefetches killed so a node-blocked
+	// demand miss could take their nodes (the victim's interval is
+	// requeued, not lost).
+	Preempted uint64
+	// QuotaRounds counts deficit-round-robin credit replenishments;
+	// QuotaDeferred counts pops where per-client fairness overrode pure
+	// submission order inside a priority class.
+	QuotaRounds   uint64
+	QuotaDeferred uint64
 	// QueueDepth is the current number of queued jobs; MaxQueueDepth the
 	// high-water mark.
 	QueueDepth    int

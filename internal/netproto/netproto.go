@@ -108,6 +108,12 @@ const (
 	CapAdmin = "admin"
 	// CapWatch marks the notification-only subscribe/unsubscribe pair.
 	CapWatch = "watch"
+	// CapPreempt marks the preemption/fairness scheduler knobs
+	// (SchedSetBody.PreemptPolicy / DRRQuantum). Clients must not send
+	// them to a daemon that does not advertise the capability: an older
+	// daemon would silently drop the unknown JSON fields, acknowledging
+	// a reconfiguration it never applied.
+	CapPreempt = "preempt"
 )
 
 // ErrCode is a machine-readable error class. A failed Response carries
@@ -230,18 +236,28 @@ type UnsubscribeBody struct {
 
 // SchedSetBody reconfigures the live scheduler. Nil fields keep the
 // current value, so a client can flip one knob without knowing the rest.
+// PreemptPolicy and DRRQuantum are gated by the CapPreempt capability:
+// send them only to a daemon that advertised it.
 type SchedSetBody struct {
 	Coalesce   *bool `json:"coalesce,omitempty"`
 	Priorities *bool `json:"priorities,omitempty"`
 	TotalNodes *int  `json:"total_nodes,omitempty"`
+	// PreemptPolicy names the demand-over-prefetch preemption victim
+	// policy: "off", "youngest" or "cheapest".
+	PreemptPolicy *string `json:"preempt_policy,omitempty"`
+	// DRRQuantum sets the per-client deficit-round-robin quantum in
+	// output steps (0 = pure FIFO within a class).
+	DRRQuantum *int `json:"drr_quantum,omitempty"`
 }
 
 // SchedInfo mirrors the scheduler configuration on the wire (sched-get
 // and sched-set responses).
 type SchedInfo struct {
-	Coalesce   bool `json:"coalesce"`
-	Priorities bool `json:"priorities"`
-	TotalNodes int  `json:"total_nodes"`
+	Coalesce      bool   `json:"coalesce"`
+	Priorities    bool   `json:"priorities"`
+	TotalNodes    int    `json:"total_nodes"`
+	PreemptPolicy string `json:"preempt_policy,omitempty"`
+	DRRQuantum    int    `json:"drr_quantum,omitempty"`
 }
 
 // CachePolicyBody swaps a context's replacement scheme.
@@ -276,7 +292,8 @@ type ContextInfo struct {
 	Draining bool `json:"draining,omitempty"`
 }
 
-// Stats mirrors core.CtxStats on the wire.
+// Stats mirrors core.CtxStats on the wire, plus the context's live
+// control-plane state and the daemon-global scheduler counters.
 type Stats struct {
 	Opens            int64 `json:"opens"`
 	Hits             int64 `json:"hits"`
@@ -290,6 +307,14 @@ type Stats struct {
 	Kills            int64 `json:"kills"`
 	Failures         int64 `json:"failures"`
 	PollutionResets  int64 `json:"pollution_resets"`
+
+	// Live control-plane state of the context: whether it is draining
+	// (refusing new opens/prefetches) and the cache replacement scheme
+	// currently in effect — the knobs `drain`/`resume` and
+	// `cache-policy-set` flip, reported back so operators can verify a
+	// reconfiguration landed.
+	Draining    bool   `json:"draining,omitempty"`
+	CachePolicy string `json:"cache_policy,omitempty"`
 
 	// Shard-lock counters of the context (sharded Virtualizer): total
 	// lock acquisitions, how many contended, and the cumulative wait.
@@ -310,6 +335,12 @@ type Stats struct {
 	SchedDemandWaitNs int64  `json:"sched_demand_wait_ns,omitempty"`
 	SchedGuidedWaitNs int64  `json:"sched_guided_wait_ns,omitempty"`
 	SchedAgentWaitNs  int64  `json:"sched_agent_wait_ns,omitempty"`
+	// Preemption and per-client fairness counters: running agent
+	// prefetches killed for node-blocked demand work, DRR credit rounds
+	// granted, and pops where quota fairness overrode FIFO order.
+	SchedPreempted     uint64 `json:"sched_preempted,omitempty"`
+	SchedQuotaRounds   uint64 `json:"sched_quota_rounds,omitempty"`
+	SchedQuotaDeferred uint64 `json:"sched_quota_deferred,omitempty"`
 }
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon

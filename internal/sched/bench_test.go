@@ -21,53 +21,91 @@ func BenchmarkSchedulerLaunchStorm(b *testing.B) {
 		{"nodes=64", Config{Coalesce: true, Priorities: true, TotalNodes: 64}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			const contexts = 8
-			clk := &manualClock{}
-			s := New(clk, cfg.c)
-			names := make([]string, contexts)
-			running := make([][]int, contexts) // node counts of admitted sims
-			for i := range names {
-				names[i] = fmt.Sprintf("ctx%d", i)
-				s.Register(names[i], 4)
+			runSchedStorm(b, cfg.c, false)
+		})
+	}
+}
+
+// BenchmarkSchedulerPreemptStorm is the launch storm with the PR 5 knobs
+// armed — node budget, preemption and per-client DRR quotas — so the
+// preempt-free fast path (Submit/Next/SimDone with WantsPreemption
+// probed each round, preemption armed but rarely firing) stays on the
+// scoreboard. TestPreemptFreeFastPathNoAllocs pins its steady state at
+// 0 allocs/op; the "kills" variant also cycles MarkPreempted/
+// SimDonePreempted the way a victim death does.
+func BenchmarkSchedulerPreemptStorm(b *testing.B) {
+	cfg := Config{
+		Coalesce: true, Priorities: true, TotalNodes: 64,
+		Preempt: PreemptYoungest, DRRQuantum: 16,
+	}
+	b.Run("fast-path", func(b *testing.B) {
+		runSchedStorm(b, cfg, false)
+	})
+	b.Run("kills", func(b *testing.B) {
+		runSchedStorm(b, cfg, true)
+	})
+}
+
+// runSchedStorm hammers the scheduler with the traffic shape of a
+// saturated multi-client daemon (see BenchmarkSchedulerLaunchStorm).
+// With kills set, every 16th completed simulation dies as a preemption
+// victim, exercising the MarkPreempted/SimDonePreempted ledger.
+func runSchedStorm(b *testing.B, cfg Config, kills bool) {
+	const contexts = 8
+	clk := &manualClock{}
+	s := New(clk, cfg)
+	names := make([]string, contexts)
+	running := make([][]int, contexts) // node counts of admitted sims
+	for i := range names {
+		names[i] = fmt.Sprintf("ctx%d", i)
+		s.Register(names[i], 4)
+	}
+	classes := []Class{Demand, Agent, Demand, Guided}
+	clients := []string{"cli-a", "cli-b", "cli-c"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i % contexts
+		first := 1 + (i%97)*4
+		r := Request{
+			Ctx: names[c], First: first, Last: first + 11,
+			Parallelism: 1 + i%8,
+			Class:       classes[i%len(classes)],
+			Client:      clients[i%len(clients)],
+		}
+		if s.Submit(r) == Admitted {
+			running[c] = append(running[c], r.Parallelism)
+		}
+		// The preemption probe the core runs after every demand miss.
+		s.WantsPreemption()
+		// Every third request a simulation completes, draining the
+		// queue — the contexts hover at capacity so the queued and
+		// coalescing paths stay hot.
+		if i%3 == 0 && len(running[c]) > 0 {
+			nodes := running[c][len(running[c])-1]
+			running[c] = running[c][:len(running[c])-1]
+			if kills && i%48 == 0 {
+				// A preemption victim dies: mark, then settle, as the
+				// core's kill → SimEnded pair does.
+				s.MarkPreempted(nodes)
+				s.SimDonePreempted(names[c], nodes)
+			} else {
+				s.SimDone(names[c], nodes)
 			}
-			classes := []Class{Demand, Agent, Demand, Guided}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				c := i % contexts
-				first := 1 + (i%97)*4
-				r := Request{
-					Ctx: names[c], First: first, Last: first + 11,
-					Parallelism: 1 + i%8,
-					Class:       classes[i%len(classes)],
-					Client:      "cli",
+			for {
+				j, ok := s.Next()
+				if !ok {
+					break
 				}
-				if s.Submit(r) == Admitted {
-					running[c] = append(running[c], r.Parallelism)
-				}
-				// Every third request a simulation completes, draining the
-				// queue — the contexts hover at capacity so the queued and
-				// coalescing paths stay hot.
-				if i%3 == 0 && len(running[c]) > 0 {
-					nodes := running[c][len(running[c])-1]
-					running[c] = running[c][:len(running[c])-1]
-					s.SimDone(names[c], nodes)
-					for {
-						j, ok := s.Next()
-						if !ok {
-							break
-						}
-						for k, n := range names {
-							if n == j.Ctx {
-								running[k] = append(running[k], j.Parallelism)
-							}
-						}
+				for k, n := range names {
+					if n == j.Ctx {
+						running[k] = append(running[k], j.Parallelism)
 					}
 				}
 			}
-			b.StopTimer()
-			if err := s.CheckInvariants(); err != nil {
-				b.Fatal(err)
-			}
-		})
+		}
+	}
+	b.StopTimer()
+	if err := s.CheckInvariants(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -22,6 +22,15 @@
 //   - Cancellation. Queued prefetch jobs are de-queued when their
 //     requesting client resets or disconnects, and re-validated at
 //     admission so stale work is never launched.
+//   - Preemption. With a victim policy configured (Config.Preempt), a
+//     demand miss blocked on the exhausted node budget may kill a
+//     running agent prefetch — youngest-first or
+//     cheapest-remaining-first on the cost model's estimate — under the
+//     no-waiters rule; the victim's interval is requeued, not lost.
+//   - Per-client fairness. A deficit-round-robin quantum
+//     (Config.DRRQuantum) replaces pure FIFO inside a priority class,
+//     so one greedy client cannot starve its neighbours; coalesced
+//     multi-client jobs charge each constituent its fair share.
 //
 // The scheduler is deliberately passive: it never starts simulations
 // itself and never calls back into the DV. The core submits requests
@@ -41,6 +50,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simfs/internal/des"
@@ -92,7 +102,22 @@ type Job struct {
 	// job serves (empty for pure demand jobs). Cancellation only removes
 	// a job once every constituent client has withdrawn, and a surviving
 	// job's class/client are recomputed from the remaining constituents.
-	cons       []constituent
+	cons []constituent
+	// payers are the distinct clients the DRR quota bills for this job —
+	// unlike cons it includes demand requesters, so a multi-client
+	// demand merge splits its cost instead of billing the first
+	// submitter. Maintained only while a quantum is configured; empty
+	// payers fall back to cons/Client at charge time (jobs queued before
+	// a live quantum enable).
+	payers []string
+	// prepaid marks a requeue of already-billed (or directly admitted,
+	// never-billed) work — a preemption victim's interval, a pipeline
+	// bounce. Its pop skips the DRR charge so one logical interval is
+	// billed at most once however often the system requeues it. Prepaid
+	// jobs are excluded from coalescing in both directions: absorbing
+	// one would lose the flag (double-billing the victim), and a fresh
+	// request merging into one would ride for free.
+	prepaid    bool
 	seq        uint64
 	enqueuedAt time.Duration
 }
@@ -101,6 +126,16 @@ type Job struct {
 type constituent struct {
 	client string
 	class  Class
+}
+
+// addPayer records a client on the job's quota-billing roster.
+func (j *Job) addPayer(client string) {
+	for _, p := range j.payers {
+		if p == client {
+			return
+		}
+	}
+	j.payers = append(j.payers, client)
 }
 
 // addConstituent records a prefetch constituent, keeping the most urgent
@@ -145,6 +180,20 @@ type Config struct {
 	// across all contexts (0 = unlimited). Jobs wider than TotalNodes
 	// are clamped by the core via MaxJobNodes.
 	TotalNodes int
+	// Preempt lets a demand miss blocked on an exhausted node budget
+	// kill a running agent prefetch (victim chosen by the policy; its
+	// interval is requeued). PreemptOff (zero) never preempts; a
+	// TotalNodes budget is required for preemption to ever trigger.
+	Preempt PreemptPolicy
+	// DRRQuantum enables deficit-round-robin fairness between clients
+	// inside a priority class: each client earns this many output steps
+	// of launch credit per round, so one greedy client cannot starve its
+	// neighbours with a burst of submissions. 0 keeps pure FIFO. The
+	// quantum only takes effect alongside Priorities — "within a class"
+	// presupposes class ordering; without it the queue is pure
+	// submission-order FIFO by definition, and letting credit reorder
+	// across classes would let speculative work overtake queued demand.
+	DRRQuantum int
 }
 
 // ctxState is the per-context admission ledger and queue. Keeping one
@@ -163,18 +212,32 @@ type Scheduler struct {
 	clock des.Clock
 	cfg   Config
 
-	mu    sync.Mutex
-	ctxs  map[string]*ctxState
-	depth int // total queued jobs across contexts
-	seq   uint64
-	nodes int // summed parallelism of in-flight jobs
-	stats metrics.SchedStats
+	// preemptOn caches cfg.Preempt != PreemptOff && cfg.TotalNodes > 0
+	// so WantsPreemption costs one atomic load on the hot path when
+	// preemption cannot trigger. demandWaiting is a sticky hint that a
+	// demand-class job may be queued: set (under mu) whenever one
+	// enqueues, cleared by WantsPreemption once it scans and finds none
+	// — so with preemption armed, hit-path Opens probing for preemption
+	// never touch the scheduler mutex while no demand work waits.
+	preemptOn     atomic.Bool
+	demandWaiting atomic.Bool
+
+	mu         sync.Mutex
+	ctxs       map[string]*ctxState
+	depth      int // total queued jobs across contexts
+	seq        uint64
+	nodes      int            // summed parallelism of in-flight jobs
+	reclaiming int            // nodes of preempt victims killed but not yet SimDone
+	quota      map[string]int // per-client DRR launch credit (deficit)
+	stats      metrics.SchedStats
 }
 
 // New returns a scheduler reading time from clock (for queue-wait
 // accounting) with the given policy.
 func New(clock des.Clock, cfg Config) *Scheduler {
-	return &Scheduler{clock: clock, cfg: cfg, ctxs: map[string]*ctxState{}}
+	s := &Scheduler{clock: clock, cfg: cfg, ctxs: map[string]*ctxState{}, quota: map[string]int{}}
+	s.preemptOn.Store(cfg.Preempt != PreemptOff && cfg.TotalNodes > 0)
+	return s
 }
 
 // Config returns the scheduling policy in effect.
@@ -203,11 +266,28 @@ func (s *Scheduler) Update(mutate func(Config) Config) Config {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg = mutate(s.cfg)
+	s.preemptOn.Store(s.cfg.Preempt != PreemptOff && s.cfg.TotalNodes > 0)
 	for _, cs := range s.ctxs {
 		if s.cfg.TotalNodes > 0 {
 			for _, job := range cs.jobs {
 				if jobNodes(job.Parallelism) > s.cfg.TotalNodes {
 					job.Parallelism = s.cfg.TotalNodes
+				}
+			}
+		}
+		if s.drrActive() {
+			// Quota entries normally materialize at enqueue; DRR
+			// enabled live must backfill them for the jobs already
+			// queued, or the backlog's clients would drain uncharged
+			// (and every pop would replenish over an empty ledger).
+			for _, job := range cs.jobs {
+				if _, ok := s.quota[job.Client]; !ok {
+					s.quota[job.Client] = 0
+				}
+				for _, c := range job.cons {
+					if _, ok := s.quota[c.client]; !ok {
+						s.quota[c.client] = 0
+					}
 				}
 			}
 		}
@@ -253,6 +333,13 @@ func jobNodes(par int) int {
 	return par
 }
 
+// drrActive reports whether deficit-round-robin fairness is in effect:
+// a quantum alone is inert — "within a priority class" needs the class
+// ordering Priorities provides. Caller holds s.mu.
+func (s *Scheduler) drrActive() bool {
+	return s.cfg.DRRQuantum > 0 && s.cfg.Priorities
+}
+
 // Submit decides the fate of a launch request: start now (Admitted),
 // wait (Queued), or reject (Dropped, prefetch only). The caller holds
 // the shard lock of req.Ctx; on Admitted it must start the simulation
@@ -285,7 +372,7 @@ func (s *Scheduler) Submit(req Request) Decision {
 		s.stats.Dropped++
 		return Dropped
 	}
-	s.enqueue(req)
+	s.enqueue(req, false)
 	return Queued
 }
 
@@ -303,16 +390,45 @@ func (s *Scheduler) nodeBlockedHead() bool {
 
 // enqueue inserts (or coalesces) a request into its context's queue.
 // Caller holds s.mu.
-func (s *Scheduler) enqueue(req Request) {
+// enqueue returns the freshly queued job, or nil when the request was
+// absorbed into an existing one. Prepaid requests (system requeues)
+// always become their own job — see Job.prepaid.
+func (s *Scheduler) enqueue(req Request, prepaid bool) *Job {
+	if s.drrActive() {
+		// Materialize the client's quota entry so DRR selection and
+		// replenishment see every client with queued work, not just the
+		// already-charged ones.
+		if _, ok := s.quota[req.Client]; !ok {
+			s.quota[req.Client] = 0
+		}
+	}
+	if req.Class == Demand {
+		// Covers both a new demand job and a demand merge promoting a
+		// queued prefetch job; a cascade absorbing an existing demand
+		// job finds the flag already set (it only clears once no demand
+		// job is queued at all).
+		s.demandWaiting.Store(true)
+	}
+	if s.cfg.TotalNodes > 0 && jobNodes(req.Parallelism) > s.cfg.TotalNodes {
+		// Same invariant Update enforces on a budget shrink: every
+		// queued job must stay launchable. Requeues that bypass the
+		// core's admission-time clamp (preemption, pipeline bounces)
+		// could otherwise wedge the no-backfill queue head forever
+		// after a live budget reduction.
+		req.Parallelism = s.cfg.TotalNodes
+	}
 	cs := s.ctxOf(req.Ctx)
-	if s.cfg.Coalesce && s.absorb(cs, req) {
+	if s.cfg.Coalesce && !prepaid && s.absorb(cs, req) {
 		s.stats.Coalesced++
-		return
+		return nil
 	}
 	s.seq++
-	job := &Job{Request: req, seq: s.seq, enqueuedAt: s.clock.Now()}
+	job := &Job{Request: req, prepaid: prepaid, seq: s.seq, enqueuedAt: s.clock.Now()}
 	if req.Class != Demand {
 		job.addConstituent(req.Client, req.Class)
+	}
+	if s.drrActive() {
+		job.addPayer(req.Client)
 	}
 	s.insert(cs, job)
 	s.depth++
@@ -320,6 +436,7 @@ func (s *Scheduler) enqueue(req Request) {
 	if s.depth > s.stats.MaxQueueDepth {
 		s.stats.MaxQueueDepth = s.depth
 	}
+	return job
 }
 
 // absorb tries to merge req into a queued job of the same context with an
@@ -328,6 +445,9 @@ func (s *Scheduler) enqueue(req Request) {
 // wins) unless a class promotion reorders it.
 func (s *Scheduler) absorb(cs *ctxState, req Request) bool {
 	for i, job := range cs.jobs {
+		if job.prepaid {
+			continue // billing-exempt requeues never merge
+		}
 		if req.First > job.Last+1 || job.First > req.Last+1 {
 			continue // disjoint and not adjacent
 		}
@@ -349,6 +469,9 @@ func (s *Scheduler) absorb(cs *ctxState, req Request) bool {
 		}
 		if req.Class != Demand {
 			job.addConstituent(req.Client, req.Class)
+		}
+		if s.drrActive() {
+			job.addPayer(req.Client)
 		}
 		job.Coalesced++
 		s.removeAt(cs, i)
@@ -375,6 +498,9 @@ func (s *Scheduler) absorb(cs *ctxState, req Request) bool {
 			for _, c := range other.cons {
 				job.addConstituent(c.client, c.class)
 			}
+			for _, p := range other.payers {
+				job.addPayer(p)
+			}
 			if other.seq < job.seq {
 				job.seq = other.seq
 			}
@@ -392,10 +518,11 @@ func (s *Scheduler) absorb(cs *ctxState, req Request) bool {
 }
 
 // overlapping returns the index of a queued job of cs overlapping or
-// adjacent to job, or -1.
+// adjacent to job, or -1. Prepaid requeues are never cascade-absorbed:
+// folding one into a billed job would lose its billing exemption.
 func overlapping(cs *ctxState, job *Job) int {
 	for i, other := range cs.jobs {
-		if other == job {
+		if other == job || other.prepaid {
 			continue
 		}
 		if other.First > job.Last+1 || job.First > other.Last+1 {
@@ -447,6 +574,9 @@ func (s *Scheduler) removeAt(cs *ctxState, i int) {
 func (s *Scheduler) Next() (Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.drrActive() {
+		return s.nextDRR()
+	}
 	var best *ctxState
 	for _, cs := range s.ctxs {
 		if len(cs.jobs) == 0 {
@@ -470,6 +600,13 @@ func (s *Scheduler) Next() (Job, bool) {
 	s.depth--
 	best.inflight++
 	s.nodes += jobNodes(job.Parallelism)
+	s.noteAdmitted(job)
+	return *job, true
+}
+
+// noteAdmitted books a popped job's queue wait into its class counters.
+// Caller holds s.mu.
+func (s *Scheduler) noteAdmitted(job *Job) {
 	wait := s.clock.Now() - job.enqueuedAt
 	if wait < 0 {
 		wait = 0
@@ -477,7 +614,6 @@ func (s *Scheduler) Next() (Job, bool) {
 	cw := s.classWait(job.Class)
 	cw.Jobs++
 	cw.Wait += wait
-	return *job, true
 }
 
 func (s *Scheduler) classWait(c Class) *metrics.SchedClassWait {
@@ -495,7 +631,8 @@ func (s *Scheduler) classWait(c Class) *metrics.SchedClassWait {
 // decided not to start (admission-time revalidation found it stale). A
 // context dropped (deregistered) between the pop and the release keeps
 // only the node accounting — re-creating its ledger would leave a
-// negative inflight count behind.
+// negative inflight count behind. The DRR charge the pop billed is
+// refunded: work that never ran must not count against its clients.
 func (s *Scheduler) Release(job Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -503,6 +640,9 @@ func (s *Scheduler) Release(job Job) {
 		cs.inflight--
 	}
 	s.nodes -= jobNodes(job.Parallelism)
+	if s.drrActive() && !job.prepaid {
+		s.refundQuota(&job)
+	}
 	s.stats.Canceled++
 }
 
@@ -510,12 +650,30 @@ func (s *Scheduler) Release(job Job) {
 // killed), freeing its context slot and nodes. nodes must be the
 // parallelism the job was admitted with. For admitted jobs dismantled
 // before launch — parked pipeline placeholders — use ReleaseSlot: their
-// nodes were already returned by ParkNodes.
+// nodes were already returned by ParkNodes. A context deregistered while
+// the simulation drained keeps only the node accounting: re-creating the
+// ledger would leave a ghost context with a negative inflight count.
 func (s *Scheduler) SimDone(ctx string, nodes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cs := s.ctxOf(ctx)
-	cs.inflight--
+	s.simDoneLocked(ctx, nodes)
+}
+
+// SimDonePreempted is SimDone for a preemption victim: the node return
+// and the reclaim-ledger settlement land in one critical section, so no
+// observer ever sees the victim's nodes both returned and still counted
+// as being reclaimed.
+func (s *Scheduler) SimDonePreempted(ctx string, nodes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simDoneLocked(ctx, nodes)
+	s.reclaiming -= jobNodes(nodes)
+}
+
+func (s *Scheduler) simDoneLocked(ctx string, nodes int) {
+	if cs, ok := s.ctxs[ctx]; ok {
+		cs.inflight--
+	}
 	s.nodes -= jobNodes(nodes)
 }
 
@@ -545,22 +703,32 @@ func (s *Scheduler) ClaimNodes(nodes int) bool {
 
 // ReleaseSlot frees the context slot of an admitted-but-never-launched
 // job whose nodes are already parked (pipeline placeholder dismantled or
-// requeued).
+// requeued). Like Release and SimDone it tolerates a context
+// deregistered between the admission and the release: the ledger is
+// gone, so there is no slot left to return — re-creating it here would
+// plant a ghost context with inflight −1 that CheckInvariants (and any
+// later re-registration) would trip over.
 func (s *Scheduler) ReleaseSlot(ctx string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ctxOf(ctx).inflight--
+	if cs, ok := s.ctxs[ctx]; ok {
+		cs.inflight--
+	}
 }
 
 // Enqueue queues a request unconditionally, bypassing admission — used to
-// requeue a pipeline job whose upstream inputs became ready while the
-// node budget was busy. It drains like any queued job once capacity
-// frees.
+// requeue work the system itself displaced: a pipeline job whose
+// upstream inputs became ready while the node budget was busy, or a
+// preemption victim's interval. It drains like any queued job once
+// capacity frees. The job is marked prepaid: requeued work is never
+// billed again by the DRR quota — the client already paid at the
+// original pop (or was admitted without queueing and owes nothing), and
+// system-initiated bounces are not the client's doing.
 func (s *Scheduler) Enqueue(req Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Submitted++
-	s.enqueue(req)
+	s.enqueue(req, true)
 }
 
 // CancelClient withdraws one client's interest from the queued prefetch
@@ -625,7 +793,8 @@ func (s *Scheduler) CancelClient(ctx, client string, keep func(first, last int) 
 		// Withdraw this client; other constituents keep the job alive,
 		// with class and client identity recomputed from what remains
 		// (the priority position follows the class, so the job is
-		// re-inserted when it changes).
+		// re-inserted when it changes). The billing roster shrinks with
+		// it — a withdrawn client must not keep paying for the job.
 		cons := job.cons[:0]
 		for _, c := range job.cons {
 			if c.client != client {
@@ -633,6 +802,13 @@ func (s *Scheduler) CancelClient(ctx, client string, keep func(first, last int) 
 			}
 		}
 		job.cons = cons
+		payers := job.payers[:0]
+		for _, p := range job.payers {
+			if p != client {
+				payers = append(payers, p)
+			}
+		}
+		job.payers = payers
 		if len(job.cons) > 0 {
 			best := job.cons[0]
 			for _, c := range job.cons[1:] {
@@ -739,6 +915,12 @@ func (s *Scheduler) CheckInvariants() error {
 	}
 	if s.nodes < 0 {
 		return fmt.Errorf("sched: negative node usage %d", s.nodes)
+	}
+	if s.reclaiming < 0 {
+		return fmt.Errorf("sched: negative preempt-reclaim ledger %d", s.reclaiming)
+	}
+	if s.reclaiming > s.nodes {
+		return fmt.Errorf("sched: reclaiming %d nodes but only %d in flight", s.reclaiming, s.nodes)
 	}
 	return nil
 }

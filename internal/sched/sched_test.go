@@ -259,6 +259,71 @@ func TestReleaseReturnsCapacity(t *testing.T) {
 	}
 }
 
+// A context deregistered between a pop and the release must not leave a
+// ghost ledger behind: Release keeps the node accounting, ReleaseSlot
+// and SimDone become no-ops for the missing context, and a later
+// re-registration starts with clean counters.
+func TestReleaseAfterContextDropped(t *testing.T) {
+	s := New(&manualClock{}, Config{Priorities: true, TotalNodes: 4})
+	s.Register("c", 1)
+	r := req("c", 1, 4, Demand, "")
+	r.Parallelism = 2
+	if d := s.Submit(r); d != Admitted {
+		t.Fatalf("demand = %v", d)
+	}
+	s.Submit(req("c", 9, 12, Demand, ""))
+	s.SimDone("c", 2)
+	j, ok := s.Next()
+	if !ok {
+		t.Fatal("expected the queued demand job")
+	}
+	// The context vanishes while the popped job is being revalidated.
+	s.DropContext("c")
+	s.Release(j)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("after release into a dropped ledger: %v", err)
+	}
+	if _, ok := s.ctxs["c"]; ok {
+		t.Fatal("Release re-created the dropped context's ledger")
+	}
+	// The nodes came back: a fresh registration has the full budget.
+	s.Register("c", 1)
+	r2 := req("c", 1, 4, Demand, "")
+	r2.Parallelism = 4
+	if d := s.Submit(r2); d != Admitted {
+		t.Fatalf("submit after re-register = %v, want Admitted (all 4 nodes free)", d)
+	}
+}
+
+// ReleaseSlot against a deregistered context (a pipeline placeholder
+// dismantled after its context was dropped) must not plant a ghost
+// ledger with inflight −1.
+func TestReleaseSlotAfterContextDropped(t *testing.T) {
+	s := New(&manualClock{}, Config{})
+	s.Register("c", 2)
+	if d := s.Submit(req("c", 1, 4, Demand, "")); d != Admitted {
+		t.Fatalf("demand = %v", d)
+	}
+	s.ParkNodes(1) // placeholder parked its nodes
+	s.DropContext("c")
+	s.ReleaseSlot("c")
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("after slot release into a dropped ledger: %v", err)
+	}
+	if _, ok := s.ctxs["c"]; ok {
+		t.Fatal("ReleaseSlot re-created the dropped context's ledger")
+	}
+	// SimDone takes the same guard: only the node accounting survives.
+	s.ClaimNodes(1)
+	s.SimDone("c", 1)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("after SimDone into a dropped ledger: %v", err)
+	}
+	if _, ok := s.ctxs["c"]; ok {
+		t.Fatal("SimDone re-created the dropped context's ledger")
+	}
+}
+
 func TestWaitTimesPerClass(t *testing.T) {
 	clk := &manualClock{}
 	s := New(clk, Config{Priorities: true})

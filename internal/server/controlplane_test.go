@@ -374,3 +374,121 @@ func TestContextLifecycleLiveDaemon(t *testing.T) {
 	}
 	dctx2.Close(f)
 }
+
+// TestStatsReportControlPlaneState: the stats frame reports the live
+// control-plane state an operator just reconfigured — drain status and
+// the active cache replacement policy (ROADMAP PR 4 follow-up: stats
+// used to omit both, leaving operators blind after drain or
+// cache-policy-set).
+func TestStatsReportControlPlaneState(t *testing.T) {
+	_, addr := controlStack(t)
+	c, err := dvlib.Dial(addr, "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	admin := c.Admin()
+	cx := context.Background()
+	ctx, err := c.Init("cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := ctx.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Draining || st.CachePolicy != "DCL" {
+		t.Fatalf("boot stats report draining=%v policy=%q, want false/DCL", st.Draining, st.CachePolicy)
+	}
+
+	if err := admin.Drain(cx, "cp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.SetCachePolicy(cx, "cp", "LIRS"); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = ctx.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Draining {
+		t.Error("stats frame does not report the drain just issued")
+	}
+	if st.CachePolicy != "LIRS" {
+		t.Errorf("stats frame reports policy %q, want the live-swapped LIRS", st.CachePolicy)
+	}
+
+	if err := admin.Resume(cx, "cp"); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = ctx.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Draining {
+		t.Error("stats frame still reports draining after resume")
+	}
+}
+
+// TestSchedSetValidation: malformed scheduler reconfigurations are
+// rejected with bad_request before any field is applied — a typo must
+// not half-apply a config or silently land garbage in the scheduler.
+func TestSchedSetValidation(t *testing.T) {
+	_, addr := controlStack(t)
+	c, err := dvlib.Dial(addr, "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	admin := c.Admin()
+	cx := context.Background()
+
+	intp := func(v int) *int { return &v }
+	strp := func(v string) *string { return &v }
+	boolp := func(v bool) *bool { return &v }
+
+	bad := []dvlib.SchedUpdate{
+		{TotalNodes: intp(-1)},
+		{DRRQuantum: intp(-8)},
+		{PreemptPolicy: strp("eldest")},
+		// A valid knob riding along with a bad one must not land.
+		{Coalesce: boolp(true), PreemptPolicy: strp("bogus")},
+	}
+	for i, upd := range bad {
+		if _, err := admin.SetSchedConfig(cx, upd); dvlib.ErrCodeOf(err) != netproto.CodeBadRequest {
+			t.Errorf("bad update %d: code %q (%v), want bad_request", i, dvlib.ErrCodeOf(err), err)
+		}
+	}
+	cfg, err := admin.SchedConfig(cx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Coalesce || cfg.TotalNodes != 0 || cfg.DRRQuantum != 0 || (cfg.PreemptPolicy != "" && cfg.PreemptPolicy != "off") {
+		t.Fatalf("rejected updates leaked into the config: %+v", cfg)
+	}
+
+	// The happy path lands and echoes.
+	cfg, err = admin.SetSchedConfig(cx, dvlib.SchedUpdate{
+		PreemptPolicy: strp("cheapest"), DRRQuantum: intp(16), TotalNodes: intp(64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PreemptPolicy != "cheapest" || cfg.DRRQuantum != 16 || cfg.TotalNodes != 64 {
+		t.Fatalf("sched-set echoed %+v, want cheapest/16/64", cfg)
+	}
+}
+
+// TestPreemptCapabilityAdvertised: the daemon advertises the preempt
+// capability in the hello, and the client refuses to send the gated
+// fields without it (they would be silently dropped by an old daemon).
+func TestPreemptCapabilityAdvertised(t *testing.T) {
+	_, addr := controlStack(t)
+	c, err := dvlib.Dial(addr, "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.HasCapability(netproto.CapPreempt) {
+		t.Fatalf("daemon caps = %v, want %q advertised", c.Capabilities(), netproto.CapPreempt)
+	}
+}

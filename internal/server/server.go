@@ -337,7 +337,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		sess.client = hb.Client
 		sess.send(netproto.Response{ID: id, OK: true, Proto: &netproto.HelloInfo{
 			Version: ver,
-			Caps:    []string{netproto.CapAdmin, netproto.CapWatch},
+			Caps:    []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt},
 		}})
 
 	case netproto.OpPing:
@@ -472,12 +472,18 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		ls, _ := s.v.LockStats(b.Context)
 		ss := s.v.SchedStats()
+		// The context resolved above, so the control-plane state lookups
+		// cannot fail; reporting them closes the loop for operators who
+		// just issued a drain or cache-policy-set.
+		draining, _ := s.v.Draining(b.Context)
+		policy, _ := s.v.CachePolicyName(b.Context)
 		sess.send(netproto.Response{ID: id, OK: true, Stats: &netproto.Stats{
 			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
 			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
 			PrefetchLaunches: st.PrefetchLaunches, DroppedPrefetch: st.DroppedPrefetch,
 			StepsProduced: st.StepsProduced, Evictions: st.Evictions,
 			Kills: st.Kills, Failures: st.Failures, PollutionResets: st.PollutionResets,
+			Draining: draining, CachePolicy: policy,
 			LockAcquisitions: ls.Acquisitions, LockContended: ls.Contended,
 			LockWaitNs:      int64(ls.Wait),
 			SchedQueueDepth: ss.QueueDepth, SchedCoalesced: ss.Coalesced,
@@ -485,6 +491,8 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			SchedDemandWaitNs: int64(ss.DemandWait.Wait),
 			SchedGuidedWaitNs: int64(ss.GuidedWait.Wait),
 			SchedAgentWaitNs:  int64(ss.AgentWait.Wait),
+			SchedPreempted:    ss.Preempted,
+			SchedQuotaRounds:  ss.QuotaRounds, SchedQuotaDeferred: ss.QuotaDeferred,
 		}})
 
 	case netproto.OpPrefetch:
@@ -547,9 +555,23 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		if !decode(&b) {
 			return true
 		}
+		// Validation happens in full before any field is applied: a
+		// sched-set is atomic — either every knob lands or none does.
 		if b.TotalNodes != nil && *b.TotalNodes < 0 {
 			fail(fmt.Errorf("total_nodes must be ≥ 0, got %d", *b.TotalNodes))
 			return true
+		}
+		if b.DRRQuantum != nil && *b.DRRQuantum < 0 {
+			fail(fmt.Errorf("drr_quantum must be ≥ 0, got %d", *b.DRRQuantum))
+			return true
+		}
+		var preempt sched.PreemptPolicy
+		if b.PreemptPolicy != nil {
+			var err error
+			if preempt, err = sched.ParsePreemptPolicy(*b.PreemptPolicy); err != nil {
+				fail(err)
+				return true
+			}
 		}
 		// The partial update merges atomically under the scheduler's
 		// mutex: concurrent sched-sets compose instead of overwriting
@@ -564,10 +586,16 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			if b.TotalNodes != nil {
 				cfg.TotalNodes = *b.TotalNodes
 			}
+			if b.PreemptPolicy != nil {
+				cfg.Preempt = preempt
+			}
+			if b.DRRQuantum != nil {
+				cfg.DRRQuantum = *b.DRRQuantum
+			}
 			return cfg
 		})
-		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d",
-			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes)
+		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d",
+			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes, cfg.Preempt, cfg.DRRQuantum)
 		sess.send(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
 
 	case netproto.OpCachePolicySet:
@@ -652,7 +680,10 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 
 // schedInfo mirrors a scheduler config onto the wire.
 func schedInfo(cfg sched.Config) *netproto.SchedInfo {
-	return &netproto.SchedInfo{Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes}
+	return &netproto.SchedInfo{
+		Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes,
+		PreemptPolicy: cfg.Preempt.String(), DRRQuantum: cfg.DRRQuantum,
+	}
 }
 
 // waitFile implements OpWait on the notify hub: subscribe to the file's

@@ -127,7 +127,12 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 
 // Kill implements the DV core's Launcher contract. The termination event
 // is delivered asynchronously (at the current virtual time) so that
-// callers holding locks never receive a synchronous SimEnded callback.
+// callers holding locks never receive a synchronous SimEnded callback —
+// the preemption path relies on this: it kills a victim under the
+// victim's shard lock and handles the requeue when SimEnded arrives.
+// Cancellation is cooperative at every stage: a sim still in the batch
+// queue, one waiting out its restart latency, and one mid-production all
+// stop producing immediately and report exactly one Killed outcome.
 func (l *DESLauncher) Kill(simID int64) {
 	run, ok := l.running[simID]
 	if !ok || run.ended {
@@ -237,7 +242,12 @@ func (l *RealTimeLauncher) Launch(ctx *model.Context, first, last, parallelism i
 }
 
 // Kill implements the DV core's Launcher contract. It is idempotent and
-// safe to call concurrently with the simulation ending on its own.
+// safe to call concurrently with the simulation ending on its own. The
+// cancellation is cooperative: the sim goroutine observes it between
+// sleeps (batch queue, restart latency, per-step production), so a
+// preempted sim stops after the step it is writing, keeps its produced
+// prefix on disk, and reports Killed from its own goroutine — never
+// synchronously from under the caller's locks.
 func (l *RealTimeLauncher) Kill(simID int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -86,6 +86,8 @@ type recorder struct {
 	started  []int64
 	produced map[int64][]int
 	ended    map[int64]Outcome
+	// onStep, if set, fires after each StepProduced (outside the lock).
+	onStep func()
 }
 
 func newRecorder() *recorder {
@@ -98,8 +100,12 @@ func (r *recorder) SimStarted(id int64) {
 }
 func (r *recorder) StepProduced(id int64, step int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.produced[id] = append(r.produced[id], step)
+	cb := r.onStep
+	r.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
 }
 func (r *recorder) SimEnded(id int64, o Outcome) {
 	r.mu.Lock()
@@ -209,6 +215,31 @@ func TestDESLauncherKillBeforeStart(t *testing.T) {
 	}
 }
 
+// A preemption kill may land while the victim still sits in the batch
+// queue (its queueing delay elapsing): the cancellation must be
+// cooperative there too — no start, no output, one Killed event.
+func TestDESLauncherKillDuringQueueDelay(t *testing.T) {
+	eng := des.NewEngine()
+	rec := newRecorder()
+	l := &DESLauncher{Engine: eng, Events: rec, Queue: batch.Constant(10 * time.Second)}
+	id := l.Launch(testCtx(), 1, 10, 1)
+	eng.Schedule(3*time.Second, func() { l.Kill(id) }) // mid-queueing
+	eng.Run(0)
+	if len(rec.started) != 0 {
+		t.Error("sim killed in the batch queue reported SimStarted")
+	}
+	if len(rec.produced[id]) != 0 {
+		t.Errorf("produced = %v, want none", rec.produced[id])
+	}
+	if rec.ended[id] != Killed {
+		t.Errorf("outcome = %v, want Killed", rec.ended[id])
+	}
+	// The kill is reported at the kill time, not after the queue delay.
+	if eng.Now() != 3*time.Second {
+		t.Errorf("end time = %v, want 3s", eng.Now())
+	}
+}
+
 func TestDESLauncherKillUnknownIDIsNoop(t *testing.T) {
 	eng := des.NewEngine()
 	l := &DESLauncher{Engine: eng, Events: newRecorder()}
@@ -297,6 +328,37 @@ func TestRealTimeLauncherKill(t *testing.T) {
 	}
 	if len(rec.produced[id]) != 0 {
 		t.Error("killed sim produced output")
+	}
+}
+
+// The preemption path kills sims that are mid-production: the goroutine
+// launcher must stop between steps, keep the produced prefix on disk and
+// report exactly one Killed outcome.
+func TestRealTimeLauncherKillMidProduction(t *testing.T) {
+	rec := newRecorder()
+	ctx := testCtx()
+	l := &RealTimeLauncher{
+		Events:    rec,
+		Write:     func(c *model.Context, step int) error { return nil },
+		TimeScale: 100, // α=20ms, τ=10ms
+	}
+	stepped := make(chan struct{}, 1)
+	rec.onStep = func() {
+		select {
+		case stepped <- struct{}{}:
+		default:
+		}
+	}
+	id := l.Launch(ctx, 1, 1000, 1)
+	<-stepped // at least one step is out
+	l.Kill(id)
+	l.Wait()
+	if rec.ended[id] != Killed {
+		t.Fatalf("outcome = %v, want Killed", rec.ended[id])
+	}
+	n := len(rec.produced[id])
+	if n == 0 || n >= 1000 {
+		t.Errorf("killed mid-production with %d steps, want a partial prefix", n)
 	}
 }
 

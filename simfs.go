@@ -85,10 +85,22 @@ func NewDaemon(baseDir string, timeScale int, policy string, ctxs ...*Context) (
 
 // SchedConfig selects the re-simulation scheduling policy of a daemon:
 // coalescing of overlapping launch requests, priority-ordered queueing
-// (demand > guided prefetch > agent prefetch) and a global node budget
-// shared by all contexts. The zero value reproduces the paper's inline
-// rules exactly.
+// (demand > guided prefetch > agent prefetch), a global node budget
+// shared by all contexts, demand-over-prefetch preemption and per-client
+// deficit-round-robin fairness. The zero value reproduces the paper's
+// inline rules exactly.
 type SchedConfig = sched.Config
+
+// PreemptPolicy selects the preemption victim when a node-blocked demand
+// miss may kill a running agent prefetch: youngest-first or
+// cheapest-remaining-first on the cost model's remaining-time estimate.
+type PreemptPolicy = sched.PreemptPolicy
+
+// ParsePreemptPolicy maps a flag/wire name ("off", "youngest",
+// "cheapest") to a PreemptPolicy.
+func ParsePreemptPolicy(name string) (PreemptPolicy, error) {
+	return sched.ParsePreemptPolicy(name)
+}
 
 // NewScheduledDaemon is NewDaemon with an explicit scheduling policy.
 func NewScheduledDaemon(baseDir string, timeScale int, policy string, cfg SchedConfig, ctxs ...*Context) (*Daemon, error) {
