@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-smoke benchstat proto-fuzz lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke bench-server benchstat proto-fuzz lint fmt vet check clean
 
 all: build
 
@@ -52,14 +52,27 @@ benchstat:
 		echo "bench-after.txt saved; install benchstat (golang.org/x/perf) to compare against bench-before.txt"; \
 	fi
 
-# proto-fuzz runs the wire-protocol fuzzer over the committed seed
-# corpus plus FUZZTIME of random exploration (CI smokes it at 10s; crank
-# FUZZTIME up locally after protocol changes). Regenerate the seed
-# corpus with SIMFS_REGEN_CORPUS=1 go test ./internal/netproto -run
-# TestRegenerateFuzzCorpus after adding ops or payloads.
+# bench-server regenerates BENCH_server.json, the wire-protocol
+# scoreboard: JSON-v2 baseline vs binary-v3, sequential vs batched.
+# bench2json takes the median across BENCH_COUNT repetitions; if
+# benchstat is installed the raw text output is also summarized.
+BENCH_COUNT ?= 5
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServerMultiClientTCP' -benchtime 1s -count $(BENCH_COUNT) . | tee bench-server.txt
+	$(GO) run ./cmd/bench2json -bench BenchmarkServerMultiClientTCP \
+		-base codec=json -target codec=binary+batch -out BENCH_server.json < bench-server.txt
+	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-server.txt; fi
+
+# proto-fuzz runs the wire-protocol fuzzers (one per frame codec) over
+# their committed seed corpora plus FUZZTIME of random exploration each
+# (CI smokes them at 10s; crank FUZZTIME up locally after protocol
+# changes). Regenerate the seed corpora with SIMFS_REGEN_CORPUS=1 go
+# test ./internal/netproto -run TestRegenerateFuzzCorpus after adding
+# ops or payloads.
 FUZZTIME ?= 10s
 proto-fuzz:
-	$(GO) test ./internal/netproto -run '^$$' -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netproto -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netproto -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime $(FUZZTIME)
 
 lint: fmt vet
 

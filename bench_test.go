@@ -416,8 +416,28 @@ func BenchmarkVirtualizerMultiClient(b *testing.B) {
 // same worker pool: concurrent DVLib clients, each on its own TCP
 // connection, hammering warm open/close round trips against one daemon.
 // One RunCells cell per client keeps the fan-out deterministic and
-// shared with the experiment harness.
+// shared with the experiment harness. The sub-benchmarks compare the
+// JSON v2 baseline against the binary v3 codec, with and without
+// client-side request batching (a window of pipelined open/release
+// pairs per flush).
 func BenchmarkServerMultiClientTCP(b *testing.B) {
+	b.Run("codec=json", func(b *testing.B) {
+		benchServerTCP(b, []dvlib.DialOption{dvlib.WithJSONCodec()}, 0)
+	})
+	b.Run("codec=binary", func(b *testing.B) {
+		benchServerTCP(b, nil, 0)
+	})
+	b.Run("codec=binary+batch", func(b *testing.B) {
+		benchServerTCP(b, nil, 16)
+	})
+}
+
+// benchServerTCP measures warm open/close round trips per codec. window
+// 0 runs strictly sequential calls; window > 0 pipelines that many
+// open/release pairs per batch, so all their request frames leave in
+// one write. Allocation numbers cover the whole process — both sides of
+// the protocol stack.
+func benchServerTCP(b *testing.B, opts []dvlib.DialOption, window int) {
 	const clients = 4
 	ctx := &model.Context{
 		Name: "wire", Grid: model.Grid{DeltaD: 1, DeltaR: 8, Timesteps: 1024},
@@ -443,7 +463,7 @@ func BenchmarkServerMultiClientTCP(b *testing.B) {
 	conns := make([]*dvlib.Context, clients)
 	warm := make([]string, clients)
 	for c := 0; c < clients; c++ {
-		cli, err := dvlib.Dial(addr, fmt.Sprintf("bench%d", c))
+		cli, err := dvlib.Dial(addr, fmt.Sprintf("bench%d", c), opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -467,16 +487,49 @@ func BenchmarkServerMultiClientTCP(b *testing.B) {
 	// b.N total round trips split across the client cells (ns/op stays
 	// per round trip).
 	per := (b.N + clients - 1) / clients
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := experiments.RunCells(clients, clients, func(c int) (struct{}, error) {
 		actx, file := conns[c], warm[c]
-		for i := 0; i < per; i++ {
-			if _, err := actx.Open(file); err != nil {
-				return struct{}{}, err
+		if window <= 0 {
+			for i := 0; i < per; i++ {
+				if _, err := actx.Open(file); err != nil {
+					return struct{}{}, err
+				}
+				if err := actx.Close(file); err != nil {
+					return struct{}{}, err
+				}
 			}
-			if err := actx.Close(file); err != nil {
-				return struct{}{}, err
+			return struct{}{}, nil
+		}
+		opens := make([]*dvlib.OpenCall, 0, window)
+		rels := make([]*dvlib.ReleaseCall, 0, window)
+		for done := 0; done < per; {
+			n := window
+			if rest := per - done; rest < n {
+				n = rest
 			}
+			opens, rels = opens[:0], rels[:0]
+			for i := 0; i < n; i++ {
+				oc, err := actx.OpenAsync(file)
+				if err != nil {
+					return struct{}{}, err
+				}
+				rc, err := actx.ReleaseAsync(file)
+				if err != nil {
+					return struct{}{}, err
+				}
+				opens, rels = append(opens, oc), append(rels, rc)
+			}
+			for i := 0; i < n; i++ {
+				if _, err := opens[i].Wait(); err != nil {
+					return struct{}{}, err
+				}
+				if err := rels[i].Wait(); err != nil {
+					return struct{}{}, err
+				}
+			}
+			done += n
 		}
 		return struct{}{}, nil
 	}); err != nil {

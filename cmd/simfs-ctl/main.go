@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -43,9 +44,10 @@ import (
 )
 
 var (
-	addr    = flag.String("addr", "127.0.0.1:7878", "daemon address")
-	ctxName = flag.String("context", "", "simulation context name")
-	timeout = flag.Duration("timeout", 30*time.Second, "per-command deadline")
+	addr     = flag.String("addr", "127.0.0.1:7878", "daemon address")
+	ctxName  = flag.String("context", "", "simulation context name")
+	timeout  = flag.Duration("timeout", 30*time.Second, "per-command deadline")
+	jsonOnly = flag.Bool("json", false, "speak JSON frames even if the daemon offers the binary codec")
 )
 
 func main() {
@@ -55,9 +57,13 @@ func main() {
 		usage()
 	}
 
+	var opts []simfs.DialOption
+	if *jsonOnly {
+		opts = append(opts, simfs.WithJSONCodec())
+	}
 	cx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c, err := simfs.DialContext(cx, *addr, "simfs-ctl")
+	c, err := simfs.DialContext(cx, *addr, "simfs-ctl", opts...)
 	if err != nil {
 		log.Fatalf("simfs-ctl: %v", err)
 	}
@@ -65,6 +71,12 @@ func main() {
 	admin := c.Admin()
 
 	switch args[0] {
+	case "proto":
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "protocol version\t%d\ncodec\t%s\n", c.ProtoVersion(), c.CodecName())
+		fmt.Fprintf(w, "daemon capabilities\t%s\n", strings.Join(c.Capabilities(), " "))
+		w.Flush()
+
 	case "contexts":
 		names, err := c.Contexts()
 		check(err)
@@ -250,9 +262,10 @@ func check(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: simfs-ctl [-addr host:port] [-context name] [-timeout d] <command>
+	fmt.Fprintln(os.Stderr, `usage: simfs-ctl [-addr host:port] [-context name] [-timeout d] [-json] <command>
 
 inspection:
+  proto                         show the negotiated protocol version, codec and capabilities
   contexts                      list simulation contexts
   info                          show one context's parameters (-context)
   stats                         show one context's counters (-context)

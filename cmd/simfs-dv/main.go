@@ -9,7 +9,9 @@
 //	simfs-dv -config contexts.json                # custom contexts
 //
 // The JSON config is a list of context objects; see Context in the simfs
-// package for the fields.
+// package for the fields. When running with -config, SIGHUP re-reads the
+// file and reconciles the live daemon against it (new contexts register,
+// dropped ones drain and deregister).
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"simfs"
@@ -48,6 +52,7 @@ func main() {
 	// "youngest" default is inert until one is configured.
 	preempt := flag.String("sched-preempt", "youngest", "kill a running agent prefetch for a node-blocked demand miss: off | youngest | cheapest (needs -sched-nodes)")
 	quantum := flag.Int("sched-quantum", 0, "per-client deficit-round-robin quantum in output steps inside a priority class (0 = pure FIFO)")
+	noBinary := flag.Bool("no-binary", false, "do not offer the binary fast-path codec; all sessions stay on JSON frames")
 	flag.Parse()
 
 	ctxs, err := loadContexts(*preset, *config)
@@ -69,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("simfs-dv: %v", err)
 	}
+	d.Server.DisableBinary = *noBinary
 	for _, ctx := range ctxs {
 		if err := d.RunInitialSimulation(ctx.Name); err != nil {
 			log.Fatalf("simfs-dv: initial simulation of %s: %v", ctx.Name, err)
@@ -79,8 +85,31 @@ func main() {
 		log.Printf("simfs-dv: context %s ready (Δd=%d Δr=%d steps=%d, storage %s)",
 			ctx.Name, ctx.Grid.DeltaD, ctx.Grid.DeltaR, ctx.Grid.NumOutputSteps(), ctx.StorageDir)
 	}
-	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d, sched coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d)",
-		*addr, *policy, *timescale, schedCfg.Coalesce, schedCfg.Priorities, schedCfg.TotalNodes,
+	if *config != "" {
+		// SIGHUP re-reads the config file and reconciles the live daemon
+		// against it: new contexts register (with their initial
+		// simulation), dropped ones drain and deregister. Presets are
+		// static, so the handler only arms with -config.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				next, err := loadContexts(*preset, *config)
+				if err != nil {
+					log.Printf("simfs-dv: reload: %v (keeping current contexts)", err)
+					continue
+				}
+				added, removed, err := d.SyncContexts(next, *policy, true)
+				if err != nil {
+					log.Printf("simfs-dv: reload: %v", err)
+				}
+				log.Printf("simfs-dv: reload: %d contexts added %v, %d removed %v",
+					len(added), added, len(removed), removed)
+			}
+		}()
+	}
+	log.Printf("simfs-dv: serving on %s (policy %s, timescale 1/%d, binary=%v, sched coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d)",
+		*addr, *policy, *timescale, !*noBinary, schedCfg.Coalesce, schedCfg.Priorities, schedCfg.TotalNodes,
 		schedCfg.Preempt, schedCfg.DRRQuantum)
 	if err := d.ListenAndServe(*addr); err != nil {
 		log.Fatalf("simfs-dv: %v", err)

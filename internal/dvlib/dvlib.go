@@ -9,12 +9,22 @@
 // Connections speak the versioned envelope protocol (internal/netproto):
 // Dial performs the hello handshake — version and capability
 // negotiation — and fails with a CodeVersion *Error against daemons that
-// predate it. Failures surface as *Error values carrying the daemon's
-// structured error code, so callers dispatch on ErrCodeOf(err) instead
-// of matching message text. Cancellation and deadlines plumb through
-// context.Context: DialContext, AcquireCtx and Req.WaitCtx honor the
-// context, and a canceled acquire releases its references so the daemon
-// may dismantle re-simulations nobody else is waiting for.
+// predate it. Against a protocol-3 daemon the connection negotiates the
+// binary fast-path codec by default (WithJSONCodec opts out); against
+// older daemons it stays on JSON. Failures surface as *Error values
+// carrying the daemon's structured error code, so callers dispatch on
+// ErrCodeOf(err) instead of matching message text. Cancellation and
+// deadlines plumb through context.Context: DialContext, AcquireCtx and
+// Req.WaitCtx honor the context, and a canceled acquire releases its
+// references so the daemon may dismantle re-simulations nobody else is
+// waiting for.
+//
+// Requests coalesce into batches: every call's frame lands in a write
+// buffer and is flushed — one syscall for however many frames queued —
+// when the caller blocks for a response (or by an explicit Flush). The
+// pipelined variants (Context.OpenAsync / Context.ReleaseAsync) expose
+// this: issue a window of calls, then Wait on the handles; the daemon
+// answers a connection's frames in order.
 //
 // The Admin client (Client.Admin) exposes the daemon's control plane:
 // live scheduler reconfiguration, cache-policy swaps, context
@@ -22,6 +32,8 @@
 package dvlib
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -59,14 +71,25 @@ func ErrCodeOf(err error) netproto.ErrCode {
 	return ""
 }
 
+// frameBufSize sizes the connection's read buffer; flushThreshold bounds
+// how many queued request bytes accumulate before an automatic flush.
+const (
+	frameBufSize   = 32 << 10
+	flushThreshold = 32 << 10
+)
+
 // Client is a connection to the DV daemon. It is safe for concurrent use.
 type Client struct {
 	name    string
 	conn    net.Conn
+	br      *bufio.Reader
+	codec   netproto.Codec // fixed after the handshake, before readLoop starts
+	binary  bool
 	version int
 	caps    []string
 
-	wmu sync.Mutex // serializes frame writes
+	wmu  sync.Mutex   // serializes frame encoding and writes
+	wbuf bytes.Buffer // queued request frames awaiting a flush
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -76,15 +99,34 @@ type Client struct {
 	readErr error
 }
 
+// dialConfig collects DialOption settings.
+type dialConfig struct {
+	jsonOnly bool
+}
+
+// DialOption customizes Dial/DialContext behavior.
+type DialOption func(*dialConfig)
+
+// WithJSONCodec disables binary-codec negotiation: the connection speaks
+// JSON frames even against a daemon that offers the fast path. Useful
+// for debugging with packet captures and for benchmark baselines.
+func WithJSONCodec() DialOption {
+	return func(cfg *dialConfig) { cfg.jsonOnly = true }
+}
+
 // Dial connects to the daemon at addr under the given client name (the DV
 // uses it to associate prefetch agents and reference counts).
-func Dial(addr, clientName string) (*Client, error) {
-	return DialContext(context.Background(), addr, clientName)
+func Dial(addr, clientName string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, clientName, opts...)
 }
 
 // DialContext is Dial honoring a context for both the TCP connect and
 // the protocol handshake.
-func DialContext(ctx context.Context, addr, clientName string) (*Client, error) {
+func DialContext(ctx context.Context, addr, clientName string, opts ...DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -93,36 +135,107 @@ func DialContext(ctx context.Context, addr, clientName string) (*Client, error) 
 	c := &Client{
 		name:    clientName,
 		conn:    conn,
+		br:      bufio.NewReaderSize(conn, frameBufSize),
+		codec:   netproto.JSON,
 		pending: map[uint64]chan netproto.Response{},
 		subs:    map[uint64]func(netproto.Response){},
 	}
-	go c.readLoop()
-	resp, err := c.callCtx(ctx, netproto.OpHello, netproto.HelloBody{
-		Version: netproto.ProtoVersion,
-		Client:  clientName,
-		Caps:    []string{netproto.CapAdmin, netproto.CapWatch},
-	})
+	// The handshake runs synchronously — no read loop yet — so the codec
+	// can switch after the hello without racing a concurrent reader.
+	stop := deadlineOnCancel(ctx, conn)
+	err = c.handshake(cfg)
+	stop()
 	if err != nil {
 		conn.Close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		var de *Error
-		if errors.As(err, &de) && de.Code == "" {
-			// The daemon answered the hello with a v1-style untyped
-			// error: it predates the versioned protocol.
-			return nil, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
-				Msg: fmt.Sprintf("daemon does not speak the versioned protocol (client speaks %d): %s",
-					netproto.ProtoVersion, de.Msg)}
+		if errors.As(err, &de) {
+			return nil, err
 		}
 		return nil, fmt.Errorf("dvlib: handshake: %w", err)
 	}
+	go c.readLoop()
+	return c, nil
+}
+
+// deadlineOnCancel makes ctx cancellation interrupt blocking conn I/O by
+// slamming the deadline into the past. The returned stop func waits for
+// the watcher to finish and clears any deadline it set.
+func deadlineOnCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-idle
+		conn.SetDeadline(time.Time{})
+	}
+}
+
+// handshake performs the hello exchange on the bare connection and, when
+// both sides agree, switches the session to the binary codec.
+func (c *Client) handshake(cfg dialConfig) error {
+	caps := []string{netproto.CapAdmin, netproto.CapWatch}
+	if !cfg.jsonOnly {
+		caps = append(caps, netproto.CapBinary)
+	}
+	env, err := netproto.NewEnvelope(1, netproto.OpHello, netproto.HelloBody{
+		Version: netproto.ProtoVersion,
+		Client:  c.name,
+		Caps:    caps,
+	})
+	if err != nil {
+		return err
+	}
+	if err := netproto.JSON.EncodeFrame(c.conn, env); err != nil {
+		return err
+	}
+	var resp netproto.Response
+	if err := netproto.JSON.DecodeFrame(c.br, &resp); err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		if resp.Code == "" {
+			// The daemon answered the hello with a v1-style untyped
+			// error: it predates the versioned protocol.
+			return &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+				Msg: fmt.Sprintf("daemon does not speak the versioned protocol (client speaks %d): %s",
+					netproto.ProtoVersion, resp.Err)}
+		}
+		return &Error{Code: resp.Code, Op: netproto.OpHello, Msg: resp.Err}
+	}
 	if resp.Proto == nil || resp.Proto.Version < netproto.MinProtoVersion {
-		conn.Close()
-		return nil, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+		return &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
 			Msg: "daemon sent no usable protocol version"}
 	}
 	c.version = resp.Proto.Version
 	c.caps = resp.Proto.Caps
-	return c, nil
+	c.nextID = 1 // the hello consumed ID 1
+	if !cfg.jsonOnly && c.version >= 3 && c.HasCapability(netproto.CapBinary) {
+		c.codec = netproto.Binary
+		c.binary = true
+	}
+	return nil
 }
+
+// UsesBinary reports whether the connection negotiated the binary
+// fast-path codec in the hello handshake.
+func (c *Client) UsesBinary() bool { return c.binary }
+
+// CodecName returns the name of the negotiated frame codec.
+func (c *Client) CodecName() string { return c.codec.Name() }
 
 // ProtoVersion returns the protocol version negotiated in the handshake.
 func (c *Client) ProtoVersion() int { return c.version }
@@ -153,7 +266,7 @@ func (c *Client) Close() error {
 func (c *Client) readLoop() {
 	for {
 		var resp netproto.Response
-		if err := netproto.ReadFrame(c.conn, &resp); err != nil {
+		if err := c.codec.DecodeFrame(c.br, &resp); err != nil {
 			c.mu.Lock()
 			c.readErr = err
 			for id, ch := range c.pending {
@@ -186,6 +299,14 @@ func (c *Client) readLoop() {
 	}
 }
 
+// pendingCall is an in-flight request: its frame is queued (and possibly
+// already flushed) and the read loop will route the response to ch.
+type pendingCall struct {
+	op string
+	id uint64
+	ch chan netproto.Response
+}
+
 // call sends a request expecting exactly one response.
 func (c *Client) call(op string, body any) (netproto.Response, error) {
 	return c.callCtx(context.Background(), op, body)
@@ -195,6 +316,18 @@ func (c *Client) call(op string, body any) (netproto.Response, error) {
 // call abandons the response (the read loop drops it as unknown); the
 // request may still have taken effect on the daemon.
 func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Response, error) {
+	p, err := c.start(op, body, false)
+	if err != nil {
+		return netproto.Response{}, err
+	}
+	return c.await(ctx, p)
+}
+
+// start registers a pending call and queues its request frame. When
+// flush is true the frame (and anything queued before it) goes out
+// immediately; otherwise it rides the write buffer until the caller
+// awaits, Flush is called, or the buffer fills.
+func (c *Client) start(op string, body any, flush bool) (*pendingCall, error) {
 	ch := make(chan netproto.Response, 1)
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
@@ -203,7 +336,7 @@ func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Res
 		if err == nil {
 			err = errors.New("dvlib: client closed")
 		}
-		return netproto.Response{}, err
+		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -212,26 +345,42 @@ func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Res
 
 	env, err := netproto.NewEnvelope(id, op, body)
 	if err == nil {
-		err = c.write(env)
+		if flush {
+			err = c.write(env)
+		} else {
+			err = c.queue(env)
+		}
 	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		return nil, err
+	}
+	return &pendingCall{op: op, id: id, ch: ch}, nil
+}
+
+// await flushes any queued frames (the daemon cannot answer a request it
+// has not received) and blocks for the call's response.
+func (c *Client) await(ctx context.Context, p *pendingCall) (netproto.Response, error) {
+	if err := c.Flush(); err != nil {
+		c.mu.Lock()
+		delete(c.pending, p.id)
+		c.mu.Unlock()
 		return netproto.Response{}, err
 	}
 	select {
-	case resp, ok := <-ch:
+	case resp, ok := <-p.ch:
 		if !ok {
 			return netproto.Response{}, errors.New("dvlib: connection lost")
 		}
 		if resp.Err != "" {
-			return resp, &Error{Code: resp.Code, Op: op, Msg: resp.Err}
+			return resp, &Error{Code: resp.Code, Op: p.op, Msg: resp.Err}
 		}
 		return resp, nil
 	case <-ctx.Done():
 		c.mu.Lock()
-		delete(c.pending, id)
+		delete(c.pending, p.id)
 		c.mu.Unlock()
 		return netproto.Response{}, ctx.Err()
 	}
@@ -298,10 +447,48 @@ func (c *Client) cancelSub(id uint64, reason string) {
 	}
 }
 
+// queue encodes env into the write buffer without sending it, so several
+// small requests coalesce into one conn.Write. The buffer auto-flushes
+// past flushThreshold to bound memory and keep the daemon busy.
+func (c *Client) queue(env netproto.Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.codec.EncodeFrame(&c.wbuf, env); err != nil {
+		return err
+	}
+	if c.wbuf.Len() >= flushThreshold {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// write queues env and flushes immediately (used for fire-and-forget
+// frames where nothing will await — and therefore flush — later).
 func (c *Client) write(env netproto.Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return netproto.WriteFrame(c.conn, env)
+	if err := c.codec.EncodeFrame(&c.wbuf, env); err != nil {
+		return err
+	}
+	return c.flushLocked()
+}
+
+// Flush sends all queued request frames in a single write. Callers only
+// need it when pipelining requests whose responses nothing is awaiting
+// yet; the blocking APIs flush implicitly.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Client) flushLocked() error {
+	if c.wbuf.Len() == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.wbuf.Bytes())
+	c.wbuf.Reset()
+	return err
 }
 
 // Contexts lists the simulation contexts the daemon serves.
@@ -378,6 +565,58 @@ func (ctx *Context) Open(file string) (OpenResult, error) {
 		return OpenResult{}, err
 	}
 	return OpenResult{Available: resp.Available, EstWait: time.Duration(resp.EstWaitNs)}, nil
+}
+
+// OpenCall is a pipelined Open in flight: the request frame is queued on
+// the connection; Wait flushes and blocks for the daemon's answer.
+type OpenCall struct {
+	c *Client
+	p *pendingCall
+}
+
+// OpenAsync queues an Open without waiting for the response, enabling
+// request pipelining: issue a window of OpenAsync/ReleaseAsync calls,
+// then Wait on the handles. All queued frames go out in one write on
+// the first Wait (or an explicit Client.Flush).
+func (ctx *Context) OpenAsync(file string) (*OpenCall, error) {
+	p, err := ctx.c.start(netproto.OpOpen, netproto.FileBody{Context: ctx.name, File: file}, false)
+	if err != nil {
+		return nil, err
+	}
+	return &OpenCall{c: ctx.c, p: p}, nil
+}
+
+// Wait flushes pending request frames and blocks for the open's result.
+// It must be called exactly once.
+func (oc *OpenCall) Wait() (OpenResult, error) {
+	resp, err := oc.c.await(context.Background(), oc.p)
+	if err != nil {
+		return OpenResult{}, err
+	}
+	return OpenResult{Available: resp.Available, EstWait: time.Duration(resp.EstWaitNs)}, nil
+}
+
+// ReleaseCall is a pipelined Release in flight.
+type ReleaseCall struct {
+	c *Client
+	p *pendingCall
+}
+
+// ReleaseAsync queues a Release without waiting for the response (the
+// pipelined variant of Release/Close).
+func (ctx *Context) ReleaseAsync(file string) (*ReleaseCall, error) {
+	p, err := ctx.c.start(netproto.OpRelease, netproto.FileBody{Context: ctx.name, File: file}, false)
+	if err != nil {
+		return nil, err
+	}
+	return &ReleaseCall{c: ctx.c, p: p}, nil
+}
+
+// Wait flushes pending request frames and blocks for the release's
+// acknowledgement. It must be called exactly once.
+func (rc *ReleaseCall) Wait() error {
+	_, err := rc.c.await(context.Background(), rc.p)
+	return err
 }
 
 // WaitAvailable blocks until the file is on disk (the blocking part of a

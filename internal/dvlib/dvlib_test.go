@@ -2,6 +2,7 @@ package dvlib
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -42,11 +43,11 @@ func fakeDV(t *testing.T, handler func(req fakeReq, send func(netproto.Response)
 				send := func(resp netproto.Response) {
 					wmu.Lock()
 					defer wmu.Unlock()
-					netproto.WriteFrame(conn, resp)
+					netproto.JSON.EncodeFrame(conn, resp)
 				}
 				for {
 					var env netproto.Envelope
-					if err := netproto.ReadFrame(conn, &env); err != nil {
+					if err := netproto.JSON.DecodeFrame(conn, &env); err != nil {
 						return
 					}
 					switch env.Op {
@@ -302,6 +303,127 @@ func TestSubscriptionSurvivesConnectionLossWithError(t *testing.T) {
 	}
 	if st.Ready || st.Err == "" {
 		t.Errorf("status after connection loss = %+v, want error", st)
+	}
+}
+
+func TestJSONFallbackAgainstCaplessDaemon(t *testing.T) {
+	// fakeDV advertises no capabilities, so even a binary-willing client
+	// must stay on the JSON codec.
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.UsesBinary() {
+		t.Error("client negotiated binary against a daemon that never offered it")
+	}
+	if c.CodecName() != "json" {
+		t.Errorf("CodecName = %q, want json", c.CodecName())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncCallsBatchUntilWait(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
+		mu.Lock()
+		got = append(got, req.Op)
+		mu.Unlock()
+		send(netproto.Response{ID: req.ID, OK: true, Available: true})
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := &Context{c: c, name: "any"}
+
+	// Queue a window of opens and releases: nothing goes on the wire yet.
+	var opens []*OpenCall
+	var rels []*ReleaseCall
+	for i := 0; i < 4; i++ {
+		oc, err := ctx.OpenAsync(fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opens = append(opens, oc)
+		rc, err := ctx.ReleaseAsync(fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, rc)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	seen := len(got)
+	mu.Unlock()
+	if seen != 0 {
+		t.Fatalf("%d frames reached the daemon before any Wait/Flush", seen)
+	}
+
+	// The first Wait flushes the whole batch; every handle resolves.
+	for i, oc := range opens {
+		res, err := oc.Wait()
+		if err != nil || !res.Available {
+			t.Fatalf("open %d: %+v %v", i, res, err)
+		}
+	}
+	for i, rc := range rels {
+		if err := rc.Wait(); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 8 {
+		t.Fatalf("daemon saw %d requests, want 8", len(got))
+	}
+	// The daemon must have seen the frames in issue order (pipelining
+	// preserves per-connection ordering).
+	for i, op := range got {
+		want := netproto.OpOpen
+		if i%2 == 1 {
+			want = netproto.OpRelease
+		}
+		if op != want {
+			t.Fatalf("request %d = %s, want %s (order: %v)", i, op, want, got)
+		}
+	}
+}
+
+func TestExplicitFlushSendsQueuedFrames(t *testing.T) {
+	delivered := make(chan string, 1)
+	addr := fakeDV(t, func(req fakeReq, send func(netproto.Response)) {
+		delivered <- req.Op
+		send(netproto.Response{ID: req.ID, OK: true})
+	})
+	c, err := Dial(addr, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := &Context{c: c, name: "any"}
+	oc, err := ctx.OpenAsync("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case op := <-delivered:
+		if op != netproto.OpOpen {
+			t.Fatalf("daemon saw %s, want %s", op, netproto.OpOpen)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("explicit Flush did not deliver the queued frame")
+	}
+	if _, err := oc.Wait(); err != nil {
+		t.Fatal(err)
 	}
 }
 

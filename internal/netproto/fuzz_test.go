@@ -53,7 +53,7 @@ func seedFrames() ([][]byte, error) {
 			return nil, err
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, env); err != nil {
+		if err := JSON.EncodeFrame(&buf, env); err != nil {
 			return nil, err
 		}
 		frames = append(frames, buf.Bytes())
@@ -61,12 +61,12 @@ func seedFrames() ([][]byte, error) {
 	// A v1 frame and a response frame: both must parse as envelopes
 	// without tripping the reader.
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, LegacyRequest{ID: 99, Op: OpOpen, Client: "old", Context: "fz", Files: []string{"f"}}); err != nil {
+	if err := JSON.EncodeFrame(&buf, LegacyRequest{ID: 99, Op: OpOpen, Client: "old", Context: "fz", Files: []string{"f"}}); err != nil {
 		return nil, err
 	}
 	frames = append(frames, append([]byte(nil), buf.Bytes()...))
 	buf.Reset()
-	if err := WriteFrame(&buf, Response{ID: 3, Code: CodeBusy, Err: "context draining",
+	if err := JSON.EncodeFrame(&buf, Response{ID: 3, Code: CodeBusy, Err: "context draining",
 		Proto: &HelloInfo{Version: ProtoVersion}, Sched: &SchedInfo{Coalesce: true}}); err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var env Envelope
-		err := ReadFrame(bytes.NewReader(data), &env)
+		err := JSON.DecodeFrame(bytes.NewReader(data), &env)
 		if err != nil {
 			var fe *FrameError
 			if errors.As(err, &fe) && fe.Recoverable && len(data) < 4 {
@@ -100,7 +100,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			return
 		}
 		var buf bytes.Buffer
-		if err := WriteFrame(&buf, env); err != nil {
+		if err := JSON.EncodeFrame(&buf, env); err != nil {
 			// Only a re-encoded frame exceeding MaxFrame may fail (JSON
 			// escaping can grow the payload past the limit).
 			var fe *FrameError
@@ -110,7 +110,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			return
 		}
 		var env2 Envelope
-		if err := ReadFrame(&buf, &env2); err != nil {
+		if err := JSON.DecodeFrame(&buf, &env2); err != nil {
 			t.Fatalf("re-read of a re-encoded envelope failed: %v", err)
 		}
 		if env2.ID != env.ID || env2.Op != env.Op || !bytes.Equal(env2.Body, env.Body) {
@@ -120,32 +120,165 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	})
 }
 
-// TestRegenerateFuzzCorpus rewrites the committed seed corpus under
-// testdata/fuzz/FuzzFrameRoundTrip from seedFrames. Run with
-// SIMFS_REGEN_CORPUS=1 after changing the protocol surface; otherwise it
-// verifies the committed corpus is present and decodable.
-func TestRegenerateFuzzCorpus(t *testing.T) {
-	dir := filepath.Join("testdata", "fuzz", "FuzzFrameRoundTrip")
-	frames, err := seedFrames()
-	if err != nil {
-		t.Fatal(err)
+// binSeedFrames returns one binary-encoded frame per hot-op shape plus
+// the common response shapes, and one JSON-inside-binary fallback frame.
+// They seed FuzzBinaryFrame's corpus.
+func binSeedFrames() ([][]byte, error) {
+	var frames [][]byte
+	add := func(v any) error {
+		var buf bytes.Buffer
+		if err := Binary.EncodeFrame(&buf, v); err != nil {
+			return err
+		}
+		frames = append(frames, append([]byte(nil), buf.Bytes()...))
+		return nil
 	}
-	if os.Getenv("SIMFS_REGEN_CORPUS") != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	envs := []struct {
+		op   string
+		body any
+	}{
+		{OpOpen, FileBody{Context: "fz", File: "fz_out_00000001.nc"}},
+		{OpWait, FileBody{Context: "fz", File: "fz_out_00000002.nc"}},
+		{OpRelease, FileBody{Context: "fz", File: "fz_out_00000001.nc"}},
+		{OpEstWait, FileBody{Context: "fz", File: "fz_out_00000003.nc"}},
+		{OpBitrep, FileBody{Context: "fz", File: "fz_out_00000004.nc"}},
+		{OpAcquire, FilesBody{Context: "fz", Files: []string{"a.nc", "b.nc"}}},
+		{OpSubscribe, FilesBody{Context: "fz", Files: []string{"d.nc"}}},
+		{OpPrefetch, FilesBody{Context: "fz", Files: []string{}}},
+		{OpUnsubscribe, UnsubscribeBody{SubID: 9}},
+		{OpPing, nil},
+	}
+	for i, e := range envs {
+		env, err := NewEnvelope(uint64(i+1), e.op, e.body)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(env); err != nil {
+			return nil, err
+		}
+	}
+	for _, resp := range []Response{
+		{ID: 1, OK: true},
+		{ID: 2, OK: true, Available: true, EstWaitNs: 13_000_000},
+		{ID: 3, OK: true, Ready: true, File: "fz_out_00000007.nc"},
+		{ID: 4, OK: true, Done: true, Count: 3},
+		{ID: 5, Code: CodeBusy, Err: "context draining"},
+		// A rich response falls back to JSON inside the binary stream:
+		// seed the sniffing path too.
+		{ID: 6, OK: true, Proto: &HelloInfo{Version: ProtoVersion, Caps: []string{CapBinary}}},
+	} {
+		if err := add(resp); err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// FuzzBinaryFrame feeds raw bytes to the binary decoder, as an envelope
+// and as a response. Whatever decodes must reach an encode fixed point —
+// re-encoding the decoded value and decoding it again reproduces the
+// same bytes — and whatever fails must fail safely: recoverable errors
+// only for complete frames, never a panic.
+func FuzzBinaryFrame(f *testing.F) {
+	frames, err := binSeedFrames()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fr := range frames {
+		f.Add(fr)
+	}
+	f.Add([]byte{0, 0, 0, 2, 0x7F, 0x01})         // unknown opcode
+	f.Add([]byte{0, 0, 0, 2, 0xB1, 0x01})         // truncated response flags
+	f.Add([]byte{0, 0, 0, 1, 0x01})               // open with no id
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})         // oversize header
+	f.Add([]byte{0, 0, 0, 4, '{', '{', '{', '{'}) // recoverable JSON garbage
+
+	fixedPoint := func(t *testing.T, data []byte, v1, v2 any, enc func(any) ([]byte, error), dec func([]byte, any) error) {
+		err := dec(data, v1)
+		if err != nil {
+			var fe *FrameError
+			if errors.As(err, &fe) && fe.Recoverable && len(data) < 4 {
+				t.Fatalf("short input %x yielded a recoverable error", data)
+			}
+			return
+		}
+		b1, err := enc(v1)
+		if err != nil {
+			// Only a re-encoded frame exceeding MaxFrame may fail.
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("re-encode of a decoded value failed oddly: %v", err)
+			}
+			return
+		}
+		if err := dec(b1, v2); err != nil {
+			t.Fatalf("re-read of a re-encoded frame failed: %v\nframe: %x", err, b1)
+		}
+		b2, err := enc(v2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode fixed point broken:\nb1: %x\nb2: %x", b1, b2)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		encEnv := func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			err := Binary.EncodeFrame(&buf, *v.(*Envelope))
+			return buf.Bytes(), err
+		}
+		decEnv := func(b []byte, v any) error {
+			return Binary.DecodeFrame(bytes.NewReader(b), v)
+		}
+		var e1, e2 Envelope
+		fixedPoint(t, data, &e1, &e2, encEnv, decEnv)
+
+		encResp := func(v any) ([]byte, error) {
+			var buf bytes.Buffer
+			err := Binary.EncodeFrame(&buf, *v.(*Response))
+			return buf.Bytes(), err
+		}
+		var r1, r2 Response
+		fixedPoint(t, data, &r1, &r2, encResp, decEnv)
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed seed corpora under
+// testdata/fuzz/ from seedFrames and binSeedFrames. Run with
+// SIMFS_REGEN_CORPUS=1 after changing the protocol surface; otherwise it
+// verifies the committed corpora are present.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	corpora := []struct {
+		fuzzer string
+		gen    func() ([][]byte, error)
+	}{
+		{"FuzzFrameRoundTrip", seedFrames},
+		{"FuzzBinaryFrame", binSeedFrames},
+	}
+	for _, c := range corpora {
+		dir := filepath.Join("testdata", "fuzz", c.fuzzer)
+		frames, err := c.gen()
+		if err != nil {
 			t.Fatal(err)
 		}
-		for i, fr := range frames {
-			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", fr)
-			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+		if os.Getenv("SIMFS_REGEN_CORPUS") != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
 				t.Fatal(err)
 			}
+			for i, fr := range frames {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", fr)
+				name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+				if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Logf("regenerated %d corpus seeds in %s", len(frames), dir)
+			continue
 		}
-		t.Logf("regenerated %d corpus seeds in %s", len(frames), dir)
-		return
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil || len(entries) == 0 {
-		t.Fatalf("committed fuzz corpus missing (run with SIMFS_REGEN_CORPUS=1 to regenerate): %v", err)
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("committed fuzz corpus for %s missing (run with SIMFS_REGEN_CORPUS=1 to regenerate): %v", c.fuzzer, err)
+		}
 	}
 }

@@ -1,9 +1,8 @@
 // Package netproto defines the wire protocol between DVLib clients and the
 // DV daemon (paper Sec. III: "Dashed arrows are control messages
-// (TCP/IP)"): length-prefixed JSON frames over a persistent TCP
-// connection.
+// (TCP/IP)"): length-prefixed frames over a persistent TCP connection.
 //
-// # Protocol version 2
+// # Protocol versions 2 and 3
 //
 // A connection starts with a hello handshake: the client sends an
 // OpHello envelope carrying its protocol version, client name and
@@ -15,6 +14,18 @@
 // ID, which lets the daemon deliver asynchronous notifications
 // (file-ready events for wait/acquire/subscribe) over the same
 // connection.
+//
+// Frames travel through a Codec. In version 2 every frame payload is
+// JSON (the JSON codec). Version 3 adds a binary fast path: when both
+// sides advertise CapBinary in the hello exchange — which itself is
+// always JSON — the connection switches to the Binary codec for every
+// frame after the handshake. The binary codec encodes the hot ops
+// (open/wait/release/acquire/estwait/bitrep/subscribe/prefetch/
+// unsubscribe/ping) and the common response shape without any JSON hop;
+// cold-path ops (admin, control plane) and rich responses (listings,
+// stats, scheduler info) stay JSON inside the binary connection's
+// frames — the decoder discriminates on the first payload byte, which
+// is '{' for JSON and never '{' for binary bodies.
 //
 // Errors are structured: a failing Response carries a machine-readable
 // Code alongside the human-readable Err text, so clients dispatch on
@@ -29,10 +40,8 @@
 package netproto
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"io"
 
 	"simfs/internal/model"
 )
@@ -40,9 +49,11 @@ import (
 // ProtoVersion is the protocol version this build speaks. MinProtoVersion
 // is the oldest version the daemon still accepts in a hello; peers in
 // [MinProtoVersion, ProtoVersion] negotiate down to the smaller of the
-// two versions, anything else is rejected with CodeVersion.
+// two versions, anything else is rejected with CodeVersion. Version 3
+// adds the CapBinary fast path; a negotiated version of 2 pins the
+// connection to JSON frames.
 const (
-	ProtoVersion    = 2
+	ProtoVersion    = 3
 	MinProtoVersion = 2
 )
 
@@ -114,6 +125,11 @@ const (
 	// daemon would silently drop the unknown JSON fields, acknowledging
 	// a reconfiguration it never applied.
 	CapPreempt = "preempt"
+	// CapBinary marks the protocol-v3 binary fast path. When the client
+	// requests it in its hello and the daemon advertises it back, both
+	// sides switch to the Binary codec for every frame after the (always
+	// JSON) hello exchange.
+	CapBinary = "bin"
 )
 
 // ErrCode is a machine-readable error class. A failed Response carries
@@ -149,31 +165,68 @@ const (
 // Envelope is the fixed header of every client→daemon frame: a
 // client-assigned request ID, the operation name, and the typed per-op
 // body (absent for bodyless ops like ping).
+//
+// The body lives in one of two places. Envelopes built by NewEnvelope
+// carry the typed value (val) and marshal it lazily at encode time, so
+// the binary codec serializes it directly with no JSON hop; envelopes
+// decoded from JSON frames carry the raw bytes (Body). Decode serves
+// both. When both are set, Body wins — it is what actually crossed the
+// wire.
 type Envelope struct {
 	ID   uint64          `json:"id"`
 	Op   string          `json:"op"`
 	Body json.RawMessage `json:"body,omitempty"`
+
+	// val is the typed body of a locally built or binary-decoded
+	// envelope; nil for bodyless ops and JSON-decoded frames.
+	val any
 }
 
-// NewEnvelope marshals body into an envelope for op. A nil body yields a
-// bodyless envelope.
+// NewEnvelope wraps body into an envelope for op. A nil body yields a
+// bodyless envelope. The body is kept as a typed value and serialized at
+// encode time by the connection's codec; the error return is retained
+// for call-site compatibility and is always nil (marshal failures
+// surface from EncodeFrame, wrapped with the op and ID).
 func NewEnvelope(id uint64, op string, body any) (Envelope, error) {
-	env := Envelope{ID: id, Op: op}
-	if body == nil {
-		return env, nil
-	}
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return Envelope{}, &FrameError{Op: op, ID: id, Err: fmt.Errorf("marshal body: %w", err)}
-	}
-	env.Body = raw
-	return env, nil
+	return Envelope{ID: id, Op: op, val: body}, nil
 }
 
 // Decode unmarshals the envelope's body into v, wrapping failures with
 // the offending op and request ID. A missing body decodes only into
-// nothing: ops with required bodies treat it as an error.
+// nothing: ops with required bodies treat it as an error. Binary-decoded
+// envelopes hand their typed body over without a JSON round-trip when v
+// matches the wire type.
 func (e Envelope) Decode(v any) error {
+	if len(e.Body) == 0 && e.val != nil {
+		switch src := e.val.(type) {
+		case FileBody:
+			if dst, ok := v.(*FileBody); ok {
+				*dst = src
+				return nil
+			}
+		case FilesBody:
+			if dst, ok := v.(*FilesBody); ok {
+				*dst = src
+				return nil
+			}
+		case UnsubscribeBody:
+			if dst, ok := v.(*UnsubscribeBody); ok {
+				*dst = src
+				return nil
+			}
+		}
+		// Mismatched or uncommon target type: fall back to a JSON
+		// round-trip so local (non-wire) envelopes decode like remote
+		// ones.
+		raw, err := json.Marshal(e.val)
+		if err != nil {
+			return &FrameError{Op: e.Op, ID: e.ID, Recoverable: true, Err: fmt.Errorf("decode body: %w", err)}
+		}
+		if err := json.Unmarshal(raw, v); err != nil {
+			return &FrameError{Op: e.Op, ID: e.ID, Recoverable: true, Err: fmt.Errorf("decode body: %w", err)}
+		}
+		return nil
+	}
 	if len(e.Body) == 0 {
 		return &FrameError{Op: e.Op, ID: e.ID, Recoverable: true, Err: fmt.Errorf("missing request body")}
 	}
@@ -405,52 +458,3 @@ func (e *FrameError) Error() string {
 
 // Unwrap exposes the cause.
 func (e *FrameError) Unwrap() error { return e.Err }
-
-// WriteFrame writes one length-prefixed JSON frame. When v is an
-// Envelope, marshal and oversize failures are wrapped with its op and ID.
-func WriteFrame(w io.Writer, v any) error {
-	var op string
-	var id uint64
-	if env, ok := v.(Envelope); ok {
-		op, id = env.Op, env.ID
-	}
-	payload, err := json.Marshal(v)
-	if err != nil {
-		return &FrameError{Op: op, ID: id, Err: fmt.Errorf("marshal: %w", err)}
-	}
-	if len(payload) > MaxFrame {
-		return &FrameError{Op: op, ID: id, Err: fmt.Errorf("frame of %d bytes exceeds limit", len(payload))}
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
-}
-
-// ReadFrame reads one length-prefixed JSON frame into v. A complete
-// frame whose payload fails to unmarshal yields a recoverable
-// *FrameError — the stream is still aligned and the caller may answer
-// with a CodeFrame response and keep reading. Oversize frames yield a
-// non-recoverable *FrameError; header/payload I/O errors (EOF,
-// truncation) pass through untouched.
-func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return &FrameError{Err: fmt.Errorf("incoming frame of %d bytes exceeds limit", n)}
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return err
-	}
-	if err := json.Unmarshal(payload, v); err != nil {
-		return &FrameError{Recoverable: true, Err: fmt.Errorf("unmarshal: %w", err)}
-	}
-	return nil
-}

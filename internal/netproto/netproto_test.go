@@ -23,11 +23,11 @@ func mustEnvelope(t *testing.T, id uint64, op string, body any) Envelope {
 func TestEnvelopeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := mustEnvelope(t, 7, OpOpen, FileBody{Context: "clim", File: "f1"})
-	if err := WriteFrame(&buf, in); err != nil {
+	if err := JSON.EncodeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
 	var out Envelope
-	if err := ReadFrame(&buf, &out); err != nil {
+	if err := JSON.DecodeFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.ID != in.ID || out.Op != in.Op {
@@ -49,11 +49,11 @@ func TestResponseRoundTrip(t *testing.T) {
 		Stats: &Stats{Hits: 3},
 		Proto: &HelloInfo{Version: ProtoVersion, Caps: []string{CapAdmin}},
 		Sched: &SchedInfo{Coalesce: true, TotalNodes: 4}}
-	if err := WriteFrame(&buf, in); err != nil {
+	if err := JSON.EncodeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
 	var out Response
-	if err := ReadFrame(&buf, &out); err != nil {
+	if err := JSON.DecodeFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !out.OK || out.File != "x" || !out.Done || out.EstWaitNs != 123 ||
@@ -68,11 +68,11 @@ func TestResponseRoundTrip(t *testing.T) {
 func TestErrorResponseCarriesCode(t *testing.T) {
 	var buf bytes.Buffer
 	in := Response{ID: 4, Code: CodeNoSuchContext, Err: "unknown context \"x\""}
-	if err := WriteFrame(&buf, in); err != nil {
+	if err := JSON.EncodeFrame(&buf, in); err != nil {
 		t.Fatal(err)
 	}
 	var out Response
-	if err := ReadFrame(&buf, &out); err != nil {
+	if err := JSON.DecodeFrame(&buf, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Code != CodeNoSuchContext || out.Err == "" || out.OK {
@@ -83,13 +83,13 @@ func TestErrorResponseCarriesCode(t *testing.T) {
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	for i := uint64(0); i < 10; i++ {
-		if err := WriteFrame(&buf, Envelope{ID: i, Op: OpPing}); err != nil {
+		if err := JSON.EncodeFrame(&buf, Envelope{ID: i, Op: OpPing}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(0); i < 10; i++ {
 		var out Envelope
-		if err := ReadFrame(&buf, &out); err != nil {
+		if err := JSON.DecodeFrame(&buf, &out); err != nil {
 			t.Fatal(err)
 		}
 		if out.ID != i {
@@ -97,7 +97,7 @@ func TestMultipleFramesSequential(t *testing.T) {
 		}
 	}
 	var out Envelope
-	if err := ReadFrame(&buf, &out); err != io.EOF {
+	if err := JSON.DecodeFrame(&buf, &out); err != io.EOF {
 		t.Errorf("empty buffer should yield EOF, got %v", err)
 	}
 }
@@ -108,7 +108,7 @@ func TestOversizedIncomingFrameRejected(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
 	buf.Write(hdr[:])
 	var out Envelope
-	err := ReadFrame(&buf, &out)
+	err := JSON.DecodeFrame(&buf, &out)
 	var fe *FrameError
 	if !errors.As(err, &fe) {
 		t.Fatalf("oversized frame should yield *FrameError, got %v", err)
@@ -123,7 +123,7 @@ func TestOversizedIncomingFrameRejected(t *testing.T) {
 
 func TestOversizedOutgoingFrameRejected(t *testing.T) {
 	big := Envelope{ID: 12, Op: strings.Repeat("x", MaxFrame)}
-	err := WriteFrame(io.Discard, big)
+	err := JSON.EncodeFrame(io.Discard, big)
 	var fe *FrameError
 	if !errors.As(err, &fe) {
 		t.Fatalf("oversized outgoing frame should yield *FrameError, got %v", err)
@@ -135,10 +135,10 @@ func TestOversizedOutgoingFrameRejected(t *testing.T) {
 
 func TestTruncatedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	WriteFrame(&buf, Envelope{ID: 1, Op: OpPing})
+	JSON.EncodeFrame(&buf, Envelope{ID: 1, Op: OpPing})
 	raw := buf.Bytes()[:buf.Len()-3] // cut the payload short
 	var out Envelope
-	err := ReadFrame(bytes.NewReader(raw), &out)
+	err := JSON.DecodeFrame(bytes.NewReader(raw), &out)
 	if err == nil {
 		t.Fatal("truncated frame accepted")
 	}
@@ -156,14 +156,14 @@ func TestGarbagePayloadRecoverable(t *testing.T) {
 	buf.WriteString("{{{{")
 	// A well-formed frame follows the garbage one: after the recoverable
 	// error the stream must still be aligned.
-	WriteFrame(&buf, Envelope{ID: 2, Op: OpPing})
+	JSON.EncodeFrame(&buf, Envelope{ID: 2, Op: OpPing})
 	var out Envelope
-	err := ReadFrame(&buf, &out)
+	err := JSON.DecodeFrame(&buf, &out)
 	var fe *FrameError
 	if !errors.As(err, &fe) || !fe.Recoverable {
 		t.Fatalf("garbage payload should yield a recoverable *FrameError, got %v", err)
 	}
-	if err := ReadFrame(&buf, &out); err != nil || out.ID != 2 {
+	if err := JSON.DecodeFrame(&buf, &out); err != nil || out.ID != 2 {
 		t.Errorf("stream misaligned after recoverable error: %v %+v", err, out)
 	}
 }
@@ -196,11 +196,11 @@ func TestLegacyRequestParsesAsEnvelope(t *testing.T) {
 	// A v1 client frame must decode as an envelope (id + op survive) so
 	// the daemon can answer its CodeVersion rejection to the right ID.
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, LegacyRequest{ID: 5, Op: OpPing, Client: "old", Files: []string{"f"}}); err != nil {
+	if err := JSON.EncodeFrame(&buf, LegacyRequest{ID: 5, Op: OpPing, Client: "old", Files: []string{"f"}}); err != nil {
 		t.Fatal(err)
 	}
 	var env Envelope
-	if err := ReadFrame(&buf, &env); err != nil {
+	if err := JSON.DecodeFrame(&buf, &env); err != nil {
 		t.Fatal(err)
 	}
 	if env.ID != 5 || env.Op != OpPing {
@@ -216,7 +216,7 @@ func TestRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if err := WriteFrame(&buf, in); err != nil {
+		if err := JSON.EncodeFrame(&buf, in); err != nil {
 			var size int
 			for _, f := range files {
 				size += len(f)
@@ -224,7 +224,7 @@ func TestRoundTripProperty(t *testing.T) {
 			return len(op)+len(ctx)+size > MaxFrame/2 // only oversize may fail
 		}
 		var out Envelope
-		if err := ReadFrame(&buf, &out); err != nil {
+		if err := JSON.DecodeFrame(&buf, &out); err != nil {
 			return false
 		}
 		if out.ID != in.ID || out.Op != in.Op {

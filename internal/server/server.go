@@ -25,6 +25,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -63,6 +65,13 @@ type Server struct {
 	// Registrar provisions contexts for ctx-register/ctx-deregister.
 	// Optional; NewStack wires the Stack in.
 	Registrar ContextRegistrar
+
+	// DisableBinary keeps every session on the JSON codec: the daemon
+	// stops advertising CapBinary and ignores clients requesting it.
+	// Set it before Serve (cmd/simfs-dv's -no-binary flag); it exists
+	// for debugging (greppable wire traffic) and as the versioned-JSON
+	// baseline in benchmarks and skew tests.
+	DisableBinary bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -153,10 +162,23 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// session is one client connection with a serialized writer.
+// session is one client connection with a serialized, write-coalescing
+// writer.
 type session struct {
 	conn net.Conn
-	wmu  sync.Mutex
+	// br buffers reads; the read loop peeks it (netproto.FrameBuffered)
+	// to answer a whole pipelined batch before flushing once.
+	br *bufio.Reader
+	// codec frames this session's traffic. It starts as JSON and may
+	// switch to Binary right after the hello response is encoded; only
+	// the read loop's goroutine reads it outside wmu.
+	codec netproto.Codec
+
+	wmu sync.Mutex
+	// wbuf accumulates encoded response frames between flushes. Every
+	// EncodeFrame appends a complete frame with a single Write, so the
+	// buffer never holds a torn frame.
+	wbuf bytes.Buffer
 	srv  *Server
 	// client is the client name declared in the hello handshake,
 	// remembered so references can be cleaned up on disconnect.
@@ -205,10 +227,52 @@ func (sess *session) closeSubs() {
 	}
 }
 
+// send encodes the response and flushes it to the connection
+// immediately. It is the path for asynchronous pushes (wait finishers,
+// acquire/subscribe pumps): those run off the read loop's goroutine, so
+// nothing else would flush their frames.
 func (s *session) send(resp netproto.Response) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := netproto.WriteFrame(s.conn, resp); err != nil {
+	if s.enqueueLocked(resp) {
+		s.flushLocked()
+	}
+}
+
+// reply encodes the response into the session's write buffer without
+// flushing. The read loop flushes before its next blocking read, so a
+// pipelined batch of requests is answered with one write syscall.
+func (s *session) reply(resp netproto.Response) {
+	s.wmu.Lock()
+	s.enqueueLocked(resp)
+	s.wmu.Unlock()
+}
+
+// flush pushes buffered response frames to the connection.
+func (s *session) flush() {
+	s.wmu.Lock()
+	s.flushLocked()
+	s.wmu.Unlock()
+}
+
+func (s *session) enqueueLocked(resp netproto.Response) bool {
+	if err := s.codec.EncodeFrame(&s.wbuf, resp); err != nil {
+		// EncodeFrame failures happen before any byte lands in wbuf, so
+		// previously buffered frames are still intact.
+		s.srv.logf("server: encode for %s: %v", s.conn.RemoteAddr(), err)
+		s.conn.Close()
+		return false
+	}
+	return true
+}
+
+func (s *session) flushLocked() {
+	if s.wbuf.Len() == 0 {
+		return
+	}
+	_, err := s.conn.Write(s.wbuf.Bytes())
+	s.wbuf.Reset()
+	if err != nil {
 		s.srv.logf("server: write to %s: %v", s.conn.RemoteAddr(), err)
 		s.conn.Close()
 	}
@@ -235,8 +299,17 @@ func codeOf(err error) netproto.ErrCode {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	sess := &session{conn: conn, srv: s, held: map[string]map[string]int{}}
+	sess := &session{
+		conn:  conn,
+		br:    bufio.NewReaderSize(conn, 32<<10),
+		codec: netproto.JSON,
+		srv:   s,
+		held:  map[string]map[string]int{},
+	}
 	defer func() {
+		// Replies queued by the final dispatch of a closing session
+		// (version rejections, failed hellos) must still reach the peer.
+		sess.flush()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -262,7 +335,7 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	for {
 		var env netproto.Envelope
-		if err := netproto.ReadFrame(conn, &env); err != nil {
+		if err := sess.codec.DecodeFrame(sess.br, &env); err != nil {
 			var fe *netproto.FrameError
 			if errors.As(err, &fe) && fe.Recoverable {
 				// A complete frame with an undecodable payload: the
@@ -288,6 +361,13 @@ func (s *Server) handle(conn net.Conn) {
 		if !s.dispatch(sess, env) {
 			return
 		}
+		// Flush batched replies only when the next read would block: a
+		// pipelined client's remaining frames are answered into the same
+		// buffer first. FrameBuffered insists on a complete frame, so a
+		// half-received one cannot deadlock both sides.
+		if !netproto.FrameBuffered(sess.br) {
+			sess.flush()
+		}
 	}
 }
 
@@ -296,13 +376,13 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 	id := env.ID
 	fail := func(err error) {
-		sess.send(netproto.Response{ID: id, Code: codeOf(err), Err: err.Error()})
+		sess.reply(netproto.Response{ID: id, Code: codeOf(err), Err: err.Error()})
 	}
 	// decode unmarshals the typed body, answering a structured
 	// bad-request (with the op and request ID wrapped in) on failure.
 	decode := func(v any) bool {
 		if err := env.Decode(v); err != nil {
-			sess.send(netproto.Response{ID: id, Code: netproto.CodeBadRequest, Err: err.Error()})
+			sess.reply(netproto.Response{ID: id, Code: netproto.CodeBadRequest, Err: err.Error()})
 			return false
 		}
 		return true
@@ -314,7 +394,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			// A second hello would rewrite the session's client identity
 			// under running wait/pump goroutines and orphan the first
 			// client's per-shard state at disconnect cleanup.
-			sess.send(netproto.Response{ID: id, Code: netproto.CodeBadRequest,
+			sess.reply(netproto.Response{ID: id, Code: netproto.CodeBadRequest,
 				Err: "duplicate hello: the handshake already completed"})
 			return true
 		}
@@ -323,7 +403,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if hb.Version < netproto.MinProtoVersion {
-			sess.send(netproto.Response{ID: id, Code: netproto.CodeVersion,
+			sess.reply(netproto.Response{ID: id, Code: netproto.CodeVersion,
 				Err: fmt.Sprintf("peer speaks protocol %d; daemon requires %d..%d",
 					hb.Version, netproto.MinProtoVersion, netproto.ProtoVersion)})
 			return false
@@ -335,16 +415,34 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		sess.version = ver
 		sess.client = hb.Client
-		sess.send(netproto.Response{ID: id, OK: true, Proto: &netproto.HelloInfo{
+		caps := []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt}
+		useBinary := false
+		if !s.DisableBinary {
+			caps = append(caps, netproto.CapBinary)
+			// The binary fast path needs both protocol ≥ 3 and the
+			// client's explicit request; a v2 or JSON-only peer keeps the
+			// session on JSON with nothing to negotiate.
+			useBinary = ver >= 3 && hasCapability(hb.Caps, netproto.CapBinary)
+		}
+		sess.reply(netproto.Response{ID: id, OK: true, Proto: &netproto.HelloInfo{
 			Version: ver,
-			Caps:    []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt},
+			Caps:    caps,
 		}})
+		if useBinary {
+			// The hello response is already JSON-encoded in the reply
+			// buffer (encoding happens at reply time), so flipping the
+			// codec here cannot reframe it; everything after speaks
+			// binary on both directions.
+			sess.wmu.Lock()
+			sess.codec = netproto.Binary
+			sess.wmu.Unlock()
+		}
 
 	case netproto.OpPing:
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpContexts:
-		sess.send(netproto.Response{ID: id, OK: true, Names: s.v.ContextNames()})
+		sess.reply(netproto.Response{ID: id, OK: true, Names: s.v.ContextNames()})
 
 	case netproto.OpContextInfo:
 		var b netproto.CtxBody
@@ -358,7 +456,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		policy, _ := s.v.CachePolicyName(b.Context)
 		draining, _ := s.v.Draining(b.Context)
-		sess.send(netproto.Response{ID: id, OK: true, Info: &netproto.ContextInfo{
+		sess.reply(netproto.Response{ID: id, OK: true, Info: &netproto.ContextInfo{
 			Name:        ctx.Name,
 			StorageDir:  ctx.StorageDir,
 			FilePrefix:  ctx.FilePrefix,
@@ -382,7 +480,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		sess.trackRef(b.Context, b.File, +1)
-		sess.send(netproto.Response{ID: id, OK: true, Available: res.Available, EstWaitNs: int64(res.EstWait)})
+		sess.reply(netproto.Response{ID: id, OK: true, Available: res.Available, EstWaitNs: int64(res.EstWait)})
 
 	case netproto.OpWait:
 		var b netproto.FileBody
@@ -403,7 +501,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		sess.trackRef(b.Context, b.File, -1)
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpAcquire:
 		var b netproto.FilesBody
@@ -430,7 +528,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true, EstWaitNs: int64(w)})
+		sess.reply(netproto.Response{ID: id, OK: true, EstWaitNs: int64(w)})
 
 	case netproto.OpBitrep:
 		var b netproto.FileBody
@@ -447,7 +545,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true, Flag: same})
+		sess.reply(netproto.Response{ID: id, OK: true, Flag: same})
 
 	case netproto.OpRegSum:
 		var b netproto.ChecksumBody
@@ -458,7 +556,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpStats:
 		var b netproto.CtxBody
@@ -477,7 +575,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		// just issued a drain or cache-policy-set.
 		draining, _ := s.v.Draining(b.Context)
 		policy, _ := s.v.CachePolicyName(b.Context)
-		sess.send(netproto.Response{ID: id, OK: true, Stats: &netproto.Stats{
+		sess.reply(netproto.Response{ID: id, OK: true, Stats: &netproto.Stats{
 			Opens: st.Opens, Hits: st.Hits, Misses: st.Misses,
 			Restarts: st.Restarts, DemandRestarts: st.DemandRestarts,
 			PrefetchLaunches: st.PrefetchLaunches, DroppedPrefetch: st.DroppedPrefetch,
@@ -509,7 +607,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true, Count: n})
+		sess.reply(netproto.Response{ID: id, OK: true, Count: n})
 
 	case netproto.OpRescan:
 		var b netproto.CtxBody
@@ -521,7 +619,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true, Count: n})
+		sess.reply(netproto.Response{ID: id, OK: true, Count: n})
 
 	case netproto.OpSubscribe:
 		var b netproto.FilesBody
@@ -544,11 +642,11 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		if sub := sess.dropSub(b.SubID); sub != nil {
 			sub.Close()
 		}
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpSchedGet:
 		cfg := s.v.SchedConfig()
-		sess.send(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
+		sess.reply(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
 
 	case netproto.OpSchedSet:
 		var b netproto.SchedSetBody
@@ -596,7 +694,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		})
 		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d",
 			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes, cfg.Preempt, cfg.DRRQuantum)
-		sess.send(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
+		sess.reply(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
 
 	case netproto.OpCachePolicySet:
 		var b netproto.CachePolicyBody
@@ -608,7 +706,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		s.logf("server: context %s cache policy swapped to %s by %s", b.Context, b.Policy, sess.client)
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpDrain:
 		var b netproto.CtxBody
@@ -619,7 +717,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpResume:
 		var b netproto.CtxBody
@@ -630,7 +728,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(err)
 			return true
 		}
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpCtxRegister:
 		var b netproto.CtxRegisterBody
@@ -642,7 +740,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if s.Registrar == nil {
-			sess.send(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
+			sess.reply(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
 				Err: "this daemon has no context registrar (storage provisioning unavailable)"})
 			return true
 		}
@@ -651,7 +749,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		s.logf("server: context %s registered by %s (policy %s)", b.Context.Name, sess.client, b.Policy)
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	case netproto.OpCtxDeregister:
 		var b netproto.CtxBody
@@ -669,13 +767,23 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		s.logf("server: context %s deregistered by %s", b.Context, sess.client)
-		sess.send(netproto.Response{ID: id, OK: true})
+		sess.reply(netproto.Response{ID: id, OK: true})
 
 	default:
-		sess.send(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
+		sess.reply(netproto.Response{ID: id, Code: netproto.CodeUnsupported,
 			Err: fmt.Sprintf("unknown op %q", env.Op)})
 	}
 	return true
+}
+
+// hasCapability reports whether caps contains want.
+func hasCapability(caps []string, want string) bool {
+	for _, c := range caps {
+		if c == want {
+			return true
+		}
+	}
+	return false
 }
 
 // schedInfo mirrors a scheduler config onto the wire.
@@ -702,9 +810,11 @@ func (s *Server) waitFile(sess *session, id uint64, ctxName, file string) error 
 	}
 	if resident {
 		sub.Close()
-		sess.send(netproto.Response{ID: id, OK: true, Ready: true, Done: true, File: file})
+		sess.reply(netproto.Response{ID: id, OK: true, Ready: true, Done: true, File: file})
 		return nil
 	}
+	// finish may run on the waiter goroutine, off the read loop: it must
+	// flush its own frame (send), not leave it in the reply buffer.
 	finish := func(ev notify.Event) {
 		resp := netproto.Response{ID: id, OK: ev.Err == "", Err: ev.Err,
 			Ready: ev.Kind == notify.FileReady, Done: true, File: file}
@@ -840,7 +950,7 @@ func (s *Server) acquireWithPerFile(sess *session, id uint64, ctxName string, fi
 			topic, _ := s.v.FileTopic(ctxName, f)
 			if !w.resolved[topic] {
 				w.resolved[topic] = true
-				sess.send(netproto.Response{ID: id, OK: true, Ready: true, File: f})
+				sess.reply(netproto.Response{ID: id, OK: true, Ready: true, File: f})
 			}
 		}
 	}
@@ -849,7 +959,7 @@ func (s *Server) acquireWithPerFile(sess *session, id uint64, ctxName string, fi
 	// unresolved and let pump drain the buffer.
 	w.pending = len(w.names) - len(w.resolved)
 	if w.pending == 0 {
-		sess.send(netproto.Response{ID: id, OK: true, Done: true})
+		sess.reply(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
 	}
@@ -879,20 +989,20 @@ func (s *Server) subscribeFiles(sess *session, id uint64, ctxName string, files 
 		switch {
 		case resident:
 			w.resolved[topic] = true
-			sess.send(netproto.Response{ID: id, OK: true, Ready: true, File: f})
+			sess.reply(netproto.Response{ID: id, OK: true, Ready: true, File: f})
 		case !promised:
 			// Not being produced — unless its event raced into the
 			// subscription buffer, which pump will deliver.
 			if !bufferedEvent(w.sub, topic) {
 				w.resolved[topic] = true
-				sess.send(netproto.Response{ID: id, Code: netproto.CodeNotProduced,
+				sess.reply(netproto.Response{ID: id, Code: netproto.CodeNotProduced,
 					Err: "file is not being produced", File: f})
 			}
 		}
 	}
 	w.pending = len(w.names) - len(w.resolved)
 	if w.pending == 0 {
-		sess.send(netproto.Response{ID: id, OK: true, Done: true})
+		sess.reply(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
 	}

@@ -18,6 +18,13 @@ import (
 // fast context and returns it with its address.
 func testStack(t *testing.T) (*Stack, string) {
 	t.Helper()
+	return testStackWith(t, nil)
+}
+
+// testStackWith is testStack with a hook to adjust the stack (e.g. set
+// Server.DisableBinary) after construction but before Serve starts.
+func testStackWith(t *testing.T, configure func(*Stack)) (*Stack, string) {
+	t.Helper()
 	ctx := &model.Context{
 		Name:               "clim",
 		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 64},
@@ -36,6 +43,9 @@ func testStack(t *testing.T) (*Stack, string) {
 	}
 	if err := st.RunInitialSimulation("clim"); err != nil {
 		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(st)
 	}
 	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -98,6 +108,102 @@ func TestTransparentModeEndToEnd(t *testing.T) {
 	}
 	if stats.Hits < 1 || stats.Misses < 1 || stats.DemandRestarts < 1 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// The default client negotiates the binary codec against the default
+// daemon; the transparent-mode flow and a pipelined open/release window
+// both work over binary frames.
+func TestBinaryEndToEndPipelined(t *testing.T) {
+	_, addr := testStack(t)
+	c, err := dvlib.Dial(addr, "analysis-bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.UsesBinary() {
+		t.Fatalf("default client against default daemon negotiated %q, want binary", c.CodecName())
+	}
+	ctx, err := c.Init("clim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(3)
+	if _, err := ctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	content, err := ctx.Read(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := vfs.Content(file, 512); !bytes.Equal(content, want) {
+		t.Error("binary session served wrong content")
+	}
+	if err := ctx.Close(file); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipelined window: queue a batch of opens, wait all, then the
+	// releases, twice — refcounts must come back to zero each round.
+	for round := 0; round < 2; round++ {
+		var opens []*dvlib.OpenCall
+		for i := 1; i <= 8; i++ {
+			oc, err := ctx.OpenAsync(ctx.Filename(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opens = append(opens, oc)
+		}
+		var rels []*dvlib.ReleaseCall
+		for i := 1; i <= 8; i++ {
+			rc, err := ctx.ReleaseAsync(ctx.Filename(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rels = append(rels, rc)
+		}
+		for i, oc := range opens {
+			if _, err := oc.Wait(); err != nil {
+				t.Fatalf("round %d open %d: %v", round, i, err)
+			}
+		}
+		for i, rc := range rels {
+			if err := rc.Wait(); err != nil {
+				t.Fatalf("round %d release %d: %v", round, i, err)
+			}
+		}
+	}
+}
+
+// The transparent-mode flow over an explicit JSON session against a
+// binary-capable daemon (WithJSONCodec opts out of the fast path).
+func TestTransparentModeJSONFallback(t *testing.T) {
+	_, addr := testStack(t)
+	c, err := dvlib.Dial(addr, "analysis-json", dvlib.WithJSONCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.UsesBinary() {
+		t.Fatal("WithJSONCodec client negotiated binary")
+	}
+	ctx, err := c.Init("clim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(5)
+	if _, err := ctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	content, err := ctx.Read(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := vfs.Content(file, 512); !bytes.Equal(content, want) {
+		t.Error("JSON fallback served wrong content")
+	}
+	if err := ctx.Close(file); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -160,6 +162,65 @@ func (st *Stack) DeregisterContext(name string) error {
 	delete(st.areas, name)
 	st.areasMu.Unlock()
 	return nil
+}
+
+// SyncContexts reconciles the running daemon against a desired context
+// set (the config-file reload path: SIGHUP → re-read config → diff).
+// Contexts in desired but not registered are added (with an initial
+// simulation when initialSim is set); registered contexts absent from
+// desired are drained and deregistered. A stale context still holding
+// references stays draining — its error is reported and the next reload
+// retries the removal. Existing contexts are left untouched: live
+// parameter changes go through the control plane instead.
+func (st *Stack) SyncContexts(desired []*model.Context, policy string, initialSim bool) (added, removed []string, err error) {
+	want := map[string]*model.Context{}
+	for _, ctx := range desired {
+		if ctx != nil {
+			want[ctx.Name] = ctx
+		}
+	}
+	have := map[string]bool{}
+	for _, name := range st.V.ContextNames() {
+		have[name] = true
+	}
+
+	var errs []error
+	var missing []string
+	for name := range want {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		if regErr := st.RegisterContext(want[name], policy, initialSim); regErr != nil {
+			errs = append(errs, fmt.Errorf("register %q: %w", name, regErr))
+			continue
+		}
+		added = append(added, name)
+	}
+
+	var stale []string
+	for name := range have {
+		if _, ok := want[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		if drainErr := st.V.Drain(name); drainErr != nil {
+			errs = append(errs, fmt.Errorf("drain %q: %w", name, drainErr))
+			continue
+		}
+		if remErr := st.DeregisterContext(name); remErr != nil {
+			// Still busy: the context stays draining (it admits no new
+			// clients) and the next sync retries the removal.
+			errs = append(errs, fmt.Errorf("deregister %q: %w", name, remErr))
+			continue
+		}
+		removed = append(removed, name)
+	}
+	return added, removed, errors.Join(errs...)
 }
 
 // RunInitialSimulation models the initial simulation of a context (paper

@@ -27,11 +27,11 @@ func rawConn(t *testing.T, addr string) net.Conn {
 func TestVersionSkewOldClientNewDaemon(t *testing.T) {
 	_, addr := testStack(t)
 	conn := rawConn(t, addr)
-	if err := netproto.WriteFrame(conn, netproto.LegacyRequest{ID: 7, Op: netproto.OpPing, Client: "old"}); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, netproto.LegacyRequest{ID: 7, Op: netproto.OpPing, Client: "old"}); err != nil {
 		t.Fatal(err)
 	}
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.ID != 7 {
@@ -41,7 +41,7 @@ func TestVersionSkewOldClientNewDaemon(t *testing.T) {
 		t.Errorf("old client got %+v, want a CodeVersion error", resp)
 	}
 	// The daemon closes the connection after the rejection.
-	if err := netproto.ReadFrame(conn, &resp); err != io.EOF {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != io.EOF {
 		t.Errorf("connection survived the version rejection: %v", err)
 	}
 }
@@ -56,11 +56,11 @@ func TestVersionSkewTooOldHello(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := netproto.WriteFrame(conn, env); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, env); err != nil {
 		t.Fatal(err)
 	}
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Code != netproto.CodeVersion {
@@ -75,11 +75,11 @@ func TestVersionSkewNewerClientDowngrades(t *testing.T) {
 	conn := rawConn(t, addr)
 	env, _ := netproto.NewEnvelope(1, netproto.OpHello,
 		netproto.HelloBody{Version: netproto.ProtoVersion + 5, Client: "future"})
-	if err := netproto.WriteFrame(conn, env); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, env); err != nil {
 		t.Fatal(err)
 	}
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if !resp.OK || resp.Proto == nil || resp.Proto.Version != netproto.ProtoVersion {
@@ -87,10 +87,10 @@ func TestVersionSkewNewerClientDowngrades(t *testing.T) {
 	}
 	// The downgraded session works: a ping round-trips.
 	ping, _ := netproto.NewEnvelope(2, netproto.OpPing, nil)
-	if err := netproto.WriteFrame(conn, ping); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, ping); err != nil {
 		t.Fatal(err)
 	}
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
 		t.Errorf("ping after downgrade: %v %+v", err, resp)
 	}
 }
@@ -112,10 +112,10 @@ func TestVersionSkewNewClientOldDaemon(t *testing.T) {
 		// A v1 daemon reads the hello as an unknown op and answers with
 		// an untyped (code-less) error, like the old dispatch did.
 		var req netproto.LegacyRequest
-		if err := netproto.ReadFrame(conn, &req); err != nil {
+		if err := netproto.JSON.DecodeFrame(conn, &req); err != nil {
 			return
 		}
-		netproto.WriteFrame(conn, netproto.Response{ID: req.ID, Err: `unknown op "hello"`})
+		netproto.JSON.EncodeFrame(conn, netproto.Response{ID: req.ID, Err: `unknown op "hello"`})
 	}()
 	_, err = dvlib.Dial(ln.Addr().String(), "new-client")
 	if err == nil {
@@ -133,18 +133,18 @@ func TestGarbageFrameRecovered(t *testing.T) {
 	conn := rawConn(t, addr)
 	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
 		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "messy"})
-	if err := netproto.WriteFrame(conn, hello); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, hello); err != nil {
 		t.Fatal(err)
 	}
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
 		t.Fatalf("handshake: %v %+v", err, resp)
 	}
 	// Length-prefixed garbage: 4 bytes of non-JSON.
 	if _, err := conn.Write([]byte{0, 0, 0, 4, '{', '{', '{', '{'}); err != nil {
 		t.Fatal(err)
 	}
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Code != netproto.CodeFrame {
@@ -152,10 +152,10 @@ func TestGarbageFrameRecovered(t *testing.T) {
 	}
 	// The session survives: a ping still round-trips.
 	ping, _ := netproto.NewEnvelope(2, netproto.OpPing, nil)
-	if err := netproto.WriteFrame(conn, ping); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, ping); err != nil {
 		t.Fatal(err)
 	}
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 2 {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 2 {
 		t.Errorf("ping after garbage frame: %v %+v", err, resp)
 	}
 }
@@ -167,15 +167,15 @@ func TestDuplicateHelloRejected(t *testing.T) {
 	conn := rawConn(t, addr)
 	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
 		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "a"})
-	netproto.WriteFrame(conn, hello)
+	netproto.JSON.EncodeFrame(conn, hello)
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
 		t.Fatalf("handshake: %v %+v", err, resp)
 	}
 	again, _ := netproto.NewEnvelope(2, netproto.OpHello,
 		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "b"})
-	netproto.WriteFrame(conn, again)
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	netproto.JSON.EncodeFrame(conn, again)
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.OK || resp.Code != netproto.CodeBadRequest {
@@ -183,9 +183,126 @@ func TestDuplicateHelloRejected(t *testing.T) {
 	}
 	// The original session keeps working.
 	ping, _ := netproto.NewEnvelope(3, netproto.OpPing, nil)
-	netproto.WriteFrame(conn, ping)
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+	netproto.JSON.EncodeFrame(conn, ping)
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
 		t.Errorf("ping after rejected re-hello: %v %+v", err, resp)
+	}
+}
+
+// A JSON-only v2 client against a binary-capable v3 daemon: the daemon
+// advertises the binary capability but — because the client never asked
+// for it — keeps the session on JSON frames for its whole life.
+func TestVersionSkewJSONClientBinaryDaemon(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.MinProtoVersion, Client: "v2-json",
+			Caps: []string{netproto.CapAdmin, netproto.CapWatch}})
+	if err := netproto.JSON.EncodeFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	if resp.Proto == nil || !hasCapability(resp.Proto.Caps, netproto.CapBinary) {
+		t.Fatalf("daemon did not advertise %q: %+v", netproto.CapBinary, resp.Proto)
+	}
+	// Hot ops still round-trip as JSON frames.
+	open, _ := netproto.NewEnvelope(2, netproto.OpOpen,
+		netproto.FileBody{Context: "clim", File: "clim_out_00000003.nc"})
+	if err := netproto.JSON.EncodeFrame(conn, open); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 2 {
+		t.Fatalf("JSON open on a binary-capable daemon: %v %+v", err, resp)
+	}
+	ping, _ := netproto.NewEnvelope(3, netproto.OpPing, nil)
+	netproto.JSON.EncodeFrame(conn, ping)
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 3 {
+		t.Errorf("JSON ping: %v %+v", err, resp)
+	}
+}
+
+// A binary-requesting client against a daemon not offering the
+// capability: the handshake succeeds and the session falls back to JSON
+// cleanly.
+func TestVersionSkewBinaryClientNoBinDaemon(t *testing.T) {
+	_, addr := testStackWith(t, func(st *Stack) { st.Server.DisableBinary = true })
+	c, err := dvlib.Dial(addr, "wants-binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.UsesBinary() {
+		t.Fatal("client negotiated binary against a DisableBinary daemon")
+	}
+	if c.HasCapability(netproto.CapBinary) {
+		t.Error("DisableBinary daemon advertised the binary capability")
+	}
+	// The JSON fallback serves the full data plane.
+	names, err := c.Contexts()
+	if err != nil || len(names) != 1 || names[0] != "clim" {
+		t.Fatalf("Contexts over JSON fallback = %v, %v", names, err)
+	}
+	ctx, err := c.Init("clim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Open(ctx.Filename(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Close(ctx.Filename(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A raw binary session: hello negotiates the codec switch, hot ops
+// round-trip as binary frames, and a garbage binary frame is answered
+// with CodeFrame without costing the connection.
+func TestBinarySessionRawFrames(t *testing.T) {
+	_, addr := testStack(t)
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "raw-bin",
+			Caps: []string{netproto.CapBinary}})
+	if err := netproto.JSON.EncodeFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	// From here the session speaks binary both ways.
+	ping, _ := netproto.NewEnvelope(2, netproto.OpPing, nil)
+	if err := netproto.Binary.EncodeFrame(conn, ping); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.Binary.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 2 {
+		t.Fatalf("binary ping: %v %+v", err, resp)
+	}
+	open, _ := netproto.NewEnvelope(3, netproto.OpOpen,
+		netproto.FileBody{Context: "clim", File: "clim_out_00000003.nc"})
+	if err := netproto.Binary.EncodeFrame(conn, open); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.Binary.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 3 {
+		t.Fatalf("binary open: %v %+v", err, resp)
+	}
+	// An unknown binary opcode is a recoverable frame error.
+	if _, err := conn.Write([]byte{0, 0, 0, 2, 0x7F, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.Binary.DecodeFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != netproto.CodeFrame {
+		t.Errorf("garbage binary frame answered with %+v, want CodeFrame", resp)
+	}
+	ping2, _ := netproto.NewEnvelope(4, netproto.OpPing, nil)
+	netproto.Binary.EncodeFrame(conn, ping2)
+	if err := netproto.Binary.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 4 {
+		t.Errorf("binary ping after garbage frame: %v %+v", err, resp)
 	}
 }
 
@@ -196,16 +313,16 @@ func TestBadBodyAnsweredStructured(t *testing.T) {
 	conn := rawConn(t, addr)
 	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
 		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "messy"})
-	netproto.WriteFrame(conn, hello)
+	netproto.JSON.EncodeFrame(conn, hello)
 	var resp netproto.Response
-	if err := netproto.ReadFrame(conn, &resp); err != nil || !resp.OK {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
 		t.Fatalf("handshake: %v %+v", err, resp)
 	}
 	bad, _ := netproto.NewEnvelope(5, netproto.OpOpen, 42) // number, not an object
-	if err := netproto.WriteFrame(conn, bad); err != nil {
+	if err := netproto.JSON.EncodeFrame(conn, bad); err != nil {
 		t.Fatal(err)
 	}
-	if err := netproto.ReadFrame(conn, &resp); err != nil {
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.ID != 5 || resp.Code != netproto.CodeBadRequest {

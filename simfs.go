@@ -38,7 +38,9 @@
 //   - Dial / DialContext / Client / AnalysisContext are the DVLib
 //     client library: transparent open/read/close plus the SIMFS_* API
 //     (Acquire, AcquireNB, Wait, Test, Waitsome, Testsome, Release,
-//     Bitrep) and the notification-only Watch subscription.
+//     Bitrep) and the notification-only Watch subscription. Sessions
+//     negotiate the binary fast-path codec automatically (WithJSONCodec
+//     opts out); OpenAsync/ReleaseAsync pipeline batched requests.
 //   - Client.Admin is the control-plane client (scheduler, cache
 //     policies, context lifecycle).
 //   - NCOpen / H5Fopen / AdiosOpen are the Table-I I/O-library bindings.
@@ -163,17 +165,42 @@ const (
 // the error did not come from the daemon).
 func ErrCodeOf(err error) ErrCode { return dvlib.ErrCodeOf(err) }
 
+// DialOption customizes Dial behavior (e.g. WithJSONCodec).
+type DialOption = dvlib.DialOption
+
+// WithJSONCodec disables binary-codec negotiation: the connection speaks
+// JSON frames even against a daemon offering the fast path.
+func WithJSONCodec() DialOption { return dvlib.WithJSONCodec() }
+
+// Codec frames protocol messages on the wire; JSONCodec and BinaryCodec
+// are the two implementations a session can negotiate.
+type Codec = netproto.Codec
+
+// JSONCodec returns the self-describing JSON frame codec (protocol v2).
+func JSONCodec() Codec { return netproto.JSON }
+
+// BinaryCodec returns the binary fast-path frame codec (protocol v3):
+// hot data-plane ops travel as compact binary frames, everything else
+// falls back to JSON inside the same length-prefixed framing.
+func BinaryCodec() Codec { return netproto.Binary }
+
+// OpenCall is a pipelined AnalysisContext.OpenAsync in flight.
+type OpenCall = dvlib.OpenCall
+
+// ReleaseCall is a pipelined AnalysisContext.ReleaseAsync in flight.
+type ReleaseCall = dvlib.ReleaseCall
+
 // Dial connects an analysis application to the daemon. clientName
 // identifies the application: the DV associates its prefetch agent and
 // reference counts with it.
-func Dial(addr, clientName string) (*Client, error) {
-	return dvlib.Dial(addr, clientName)
+func Dial(addr, clientName string, opts ...DialOption) (*Client, error) {
+	return dvlib.Dial(addr, clientName, opts...)
 }
 
 // DialContext is Dial honoring a context for the TCP connect and the
 // protocol handshake.
-func DialContext(ctx context.Context, addr, clientName string) (*Client, error) {
-	return dvlib.DialContext(ctx, addr, clientName)
+func DialContext(ctx context.Context, addr, clientName string, opts ...DialOption) (*Client, error) {
+	return dvlib.DialContext(ctx, addr, clientName, opts...)
 }
 
 // NCFile is a netCDF-style file handle whose I/O is interposed onto the
