@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-server benchstat proto-fuzz lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke bench-server benchstat proto-fuzz chaos-smoke lint fmt vet check clean
 
 all: build
 
@@ -73,6 +73,15 @@ FUZZTIME ?= 10s
 proto-fuzz:
 	$(GO) test ./internal/netproto -run '^$$' -fuzz '^FuzzFrameRoundTrip$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netproto -run '^$$' -fuzz '^FuzzBinaryFrame$$' -fuzztime $(FUZZTIME)
+
+# chaos-smoke runs the fault-tolerance gate under the race detector: the
+# seeded chaos schedules (storage faults, simulation crash plans,
+# connection cuts) through the contended multi-client workload, the
+# daemon kill-and-restart ride-through, and the client reconnect suite.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosWorkloadUnderFaults|TestDaemonRestartMidWorkload|TestCloseDrainsPendingWaiters' ./internal/server
+	$(GO) test -race -run 'TestReconnect|TestDoubleReleaseRefused' ./internal/dvlib
+	$(GO) test -race ./internal/faults
 
 lint: fmt vet
 

@@ -114,6 +114,38 @@ func main() {
 			st.SchedPreempted, st.SchedQuotaRounds, st.SchedQuotaDeferred)
 		w.Flush()
 
+	case "health":
+		// The fault-tolerance view of one context: failure/retry/
+		// quarantine counters from the stats frame, compact enough to
+		// watch in a loop during an incident.
+		ctx := open(c, *ctxName)
+		st, err := ctx.Stats()
+		check(err)
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "sim failures\t%d\nsched retries\t%d\nsched quarantined\t%d\n",
+			st.Failures, st.SchedRetries, st.SchedQuarantined)
+		fmt.Fprintf(w, "restarts\t%d\nkills\t%d\ndropped prefetch\t%d\ndraining\t%v\n",
+			st.Restarts, st.Kills, st.DroppedPrefetch, st.Draining)
+		w.Flush()
+		if st.SchedQuarantined > 0 {
+			fmt.Println("\nintervals have been quarantined; once the underlying fault is fixed,")
+			fmt.Println("`simfs-ctl quarantine-reset` re-admits them before the cooldown elapses")
+		}
+
+	case "quarantine-reset":
+		// Optional context argument; no argument resets every context.
+		name := ""
+		if len(args) > 1 {
+			name = args[1]
+		}
+		n, err := admin.ResetQuarantine(cx, name)
+		check(err)
+		scope := name
+		if scope == "" {
+			scope = "all contexts"
+		}
+		fmt.Printf("quarantine reset on %s: %d quarantined interval(s) released\n", scope, n)
+
 	case "estwait":
 		needArgs(args, 1, "<file>")
 		ctx := open(c, *ctxName)
@@ -269,6 +301,7 @@ inspection:
   contexts                      list simulation contexts
   info                          show one context's parameters (-context)
   stats                         show one context's counters (-context)
+  health                        fault-tolerance counters: failures, retries, quarantines (-context)
   estwait <file>                estimated availability delay (-context)
   bitrep <file>                 bitwise-reproducibility check (-context)
   rescan                        resync the cache with the storage area (-context)
@@ -284,6 +317,7 @@ control plane (live, no restart):
                                 add a simulation context
   ctx-deregister <ctx>          remove a drained context
   drain <ctx>                   refuse new opens/prefetches for a context
-  resume <ctx>                  lift a drain`)
+  resume <ctx>                  lift a drain
+  quarantine-reset [ctx]        clear the re-simulation failure ledger (all contexts if omitted)`)
 	os.Exit(2)
 }

@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"simfs"
+	"simfs/internal/faults"
 )
 
 func main() {
@@ -53,6 +56,23 @@ func main() {
 	preempt := flag.String("sched-preempt", "youngest", "kill a running agent prefetch for a node-blocked demand miss: off | youngest | cheapest (needs -sched-nodes)")
 	quantum := flag.Int("sched-quantum", 0, "per-client deficit-round-robin quantum in output steps inside a priority class (0 = pure FIFO)")
 	noBinary := flag.Bool("no-binary", false, "do not offer the binary fast-path codec; all sessions stay on JSON frames")
+	// Failure ledger: retry failed re-simulations with backoff, then
+	// quarantine the interval (circuit breaker). Off by default — the
+	// zero policy reproduces the fail-immediately behavior exactly.
+	retryMax := flag.Int("retry-max", 0, "retry a failed re-simulation up to N times before quarantining its interval (0 = no retry, fail immediately)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "delay before the first retry; doubles per retry up to -retry-max-backoff")
+	retryMaxBackoff := flag.Duration("retry-max-backoff", 5*time.Second, "ceiling for the retry backoff")
+	retryJitter := flag.Float64("retry-jitter", 0.2, "spread each retry delay by ±fraction (0..1)")
+	retryCooldown := flag.Duration("retry-cooldown", 10*time.Second, "how long a quarantined interval refuses demand opens before a half-open probe")
+	// Fault injection, for chaos-testing a deployment end to end. All
+	// schedules are deterministic for a given -fault-seed.
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the probabilistic fault schedules")
+	faultSimEvery := flag.Int("fault-sim-every", 0, "crash every n-th launched re-simulation halfway through (0 = off)")
+	faultSimProb := flag.Float64("fault-sim-prob", 0, "crash each re-simulation with this probability at a seeded random step (0 = off)")
+	faultStorageProb := flag.Float64("fault-storage-prob", 0, "fail each output-step write with this probability (0 = off)")
+	faultConnCut := flag.Float64("fault-conn-cut", 0, "sever each client connection with this probability per I/O call (0 = off)")
+	faultConnDelay := flag.Duration("fault-conn-delay", 0, "delay injected into client connection I/O (with -fault-conn-delay-prob)")
+	faultConnDelayProb := flag.Float64("fault-conn-delay-prob", 0, "probability a connection I/O call is delayed by -fault-conn-delay")
 	flag.Parse()
 
 	ctxs, err := loadContexts(*preset, *config)
@@ -75,6 +95,54 @@ func main() {
 		log.Fatalf("simfs-dv: %v", err)
 	}
 	d.Server.DisableBinary = *noBinary
+	if *retryMax > 0 {
+		d.V.SetRetryPolicy(simfs.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseBackoff: *retryBackoff,
+			MaxBackoff:  *retryMaxBackoff,
+			Jitter:      *retryJitter,
+			Cooldown:    *retryCooldown,
+			Seed:        *faultSeed,
+		})
+		log.Printf("simfs-dv: re-simulation retry enabled (max %d attempts, backoff %v..%v, quarantine cooldown %v)",
+			*retryMax, *retryBackoff, *retryMaxBackoff, *retryCooldown)
+	}
+	if *faultSimEvery > 0 || *faultSimProb > 0 {
+		plan := faults.NewSimPlan().WithEvery(*faultSimEvery)
+		if *faultSimProb > 0 {
+			plan = plan.WithRandom(*faultSeed, *faultSimProb)
+		}
+		d.Launcher.FailAt = plan.FailAt
+		log.Printf("simfs-dv: FAULT INJECTION: re-simulation crashes armed (every=%d prob=%g seed=%d)",
+			*faultSimEvery, *faultSimProb, *faultSeed)
+	}
+	if *faultStorageProb > 0 {
+		var mu sync.Mutex
+		rng := rand.New(rand.NewSource(*faultSeed))
+		orig := d.Launcher.Write
+		d.Launcher.Write = func(ctx *simfs.Context, step int) error {
+			mu.Lock()
+			fail := rng.Float64() < *faultStorageProb
+			mu.Unlock()
+			if fail {
+				return &faults.InjectedError{Op: "create", Name: ctx.Filename(step)}
+			}
+			return orig(ctx, step)
+		}
+		log.Printf("simfs-dv: FAULT INJECTION: storage write failures armed (prob=%g seed=%d)",
+			*faultStorageProb, *faultSeed)
+	}
+	if *faultConnCut > 0 || *faultConnDelayProb > 0 {
+		d.Server.WrapConn = (&faults.ConnPlan{
+			Seed:      *faultSeed,
+			CutProb:   *faultConnCut,
+			Partial:   true,
+			Delay:     *faultConnDelay,
+			DelayProb: *faultConnDelayProb,
+		}).Wrap
+		log.Printf("simfs-dv: FAULT INJECTION: connection faults armed (cut=%g delay=%v@%g seed=%d)",
+			*faultConnCut, *faultConnDelay, *faultConnDelayProb, *faultSeed)
+	}
 	for _, ctx := range ctxs {
 		if err := d.RunInitialSimulation(ctx.Name); err != nil {
 			log.Fatalf("simfs-dv: initial simulation of %s: %v", ctx.Name, err)

@@ -315,9 +315,13 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 	var cbs []func(Status)
 	var failed []int
 	var errMsg string
+	var attempts int
+	var retryAfter time.Duration
+	var armRetry func()
 	switch outcome {
 	case simulator.Completed:
-		// Normal completion: nothing outstanding.
+		// Normal completion: the interval's failure-ledger slate wipes.
+		v.clearFailure(cs, sim.first, sim.last)
 	case simulator.Killed:
 		cs.stats.Kills++
 		if sim.preempted && !sim.killing {
@@ -335,8 +339,31 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 		}
 	default:
 		cs.stats.Failures++
-		errMsg = "re-simulation failed"
-		cbs, failed = v.failPromised(cs, sim, errMsg)
+		delay, qerr, retry := v.noteFailure(cs, sim)
+		switch {
+		case retry:
+			// The ledger grants another attempt: keep the promises alive
+			// as pending markers (waiters ride through the backoff; no
+			// demand open storms a duplicate launch) and arm the delayed
+			// re-submission once the locks are gone.
+			v.repromise(cs, sim)
+			first, last, par := sim.first, sim.last, sim.parallelism
+			class, client := sim.class, sim.client
+			armRetry = func() {
+				v.after(delay, func() {
+					v.retryLaunch(cs.ctx.Name, first, last, par, class, client)
+				})
+			}
+		case qerr != nil:
+			// Budget exhausted: the breaker opened. Fail the waiters with
+			// the structured error so clients see attempts + retry-after.
+			errMsg = qerr.Error()
+			attempts, retryAfter = qerr.Attempts, qerr.RetryAfter
+			cbs, failed = v.failPromised(cs, sim, errMsg)
+		default:
+			errMsg = "re-simulation failed"
+			cbs, failed = v.failPromised(cs, sim, errMsg)
+		}
 	}
 	if len(failed) > 0 && errMsg == "" {
 		errMsg = "re-simulation killed"
@@ -351,10 +378,13 @@ func (v *Virtualizer) SimEnded(simID int64, outcome simulator.Outcome) {
 	}
 	v.drainScheduler()
 	v.dropSimRoute(simID)
-	for _, cb := range cbs {
-		cb(Status{Err: errMsg})
+	if armRetry != nil {
+		armRetry()
 	}
-	v.publishFailed(cs.ctx.Name, failed, errMsg)
+	for _, cb := range cbs {
+		cb(Status{Err: errMsg, Attempts: attempts, RetryAfter: retryAfter})
+	}
+	v.publishFailedDetail(cs.ctx.Name, failed, errMsg, attempts, retryAfter)
 }
 
 // failPromised clears the promises of a dead simulation, collecting the

@@ -110,6 +110,15 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 			cs.refs[step]--
 			return OpenResult{}, fmt.Errorf("core: no outputs in re-simulation interval for %q", filename)
 		}
+		// Circuit breaker: an interval that exhausted its retry budget
+		// fails fast with the structured quarantine error instead of
+		// launching a simulation that will not produce.
+		if qf, ql, okq := alignLaunchRange(cs, first, last); okq {
+			if qerr := v.quarantineErr(cs, qf, ql); qerr != nil {
+				cs.refs[step]--
+				return OpenResult{}, qerr
+			}
+		}
 		// The client rides along for the scheduler's per-client quota
 		// accounting; demand simulations themselves stay client-less
 		// (prefetchFor derives from the class, not the field).
@@ -447,27 +456,16 @@ func (v *Virtualizer) coveredUntil(cs *shard, from, dir, k int) int {
 // demand work was queued (the caller's cue to probe for preemption once
 // the shard lock is released). Caller holds the shard lock.
 func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sched.Class, client string) (queuedDemand bool) {
-	g := cs.ctx.Grid
-	if first < 1 {
-		first = 1
-	}
-	if last > g.NumOutputSteps() {
-		last = g.NumOutputSteps()
-	}
-	if first > last {
-		return false
-	}
-	// Realign to restart boundaries: simulations boot from a restart step
-	// and run to at least the next one.
-	iv := model.Interval{Start: g.RestartBefore(first), End: g.RestartAfter(last)}
-	if iv.End > g.Timesteps {
-		iv.End = g.Timesteps
-	}
-	f2, l2, ok := g.OutputsIn(iv)
+	first, last, ok := alignLaunchRange(cs, first, last)
 	if !ok {
 		return false
 	}
-	first, last = f2, l2
+	if class != sched.Demand && v.quarantineErr(cs, first, last) != nil {
+		// A prefetch of a quarantined interval would only feed the
+		// breaker; demand work is gated at Open with a structured error.
+		cs.stats.DroppedPrefetch++
+		return false
+	}
 
 	// Skip the launch when every step in the range is already resident or
 	// promised. Partially covered ranges still launch in full: the
@@ -505,6 +503,29 @@ func (v *Virtualizer) launch(cs *shard, first, last, parallelism int, class sche
 		cs.stats.DroppedPrefetch++
 	}
 	return false
+}
+
+// alignLaunchRange clamps a requested output range to the timeline and
+// realigns it to restart boundaries: simulations boot from a restart
+// step and run to at least the next one. The result is the interval a
+// launch actually covers — and the failure ledger's key. Caller holds
+// the shard lock.
+func alignLaunchRange(cs *shard, first, last int) (int, int, bool) {
+	g := cs.ctx.Grid
+	if first < 1 {
+		first = 1
+	}
+	if last > g.NumOutputSteps() {
+		last = g.NumOutputSteps()
+	}
+	if first > last {
+		return 0, 0, false
+	}
+	iv := model.Interval{Start: g.RestartBefore(first), End: g.RestartAfter(last)}
+	if iv.End > g.Timesteps {
+		iv.End = g.Timesteps
+	}
+	return g.OutputsIn(iv)
 }
 
 // uncovered reports whether any step in [first, last] is neither resident

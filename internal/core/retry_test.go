@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"simfs/internal/faults"
+)
+
+// retryHarness is the DES harness with the failure ledger enabled and
+// the retry timer wired into virtual time.
+func retryHarness(t *testing.T, p RetryPolicy, ctxs ...string) *harness {
+	t.Helper()
+	h := newHarness(t)
+	for _, name := range ctxs {
+		if err := h.v.AddContext(testContext(name), "DCL", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.v.SetRetryPolicy(p)
+	h.v.after = func(d time.Duration, f func()) { h.eng.Schedule(d, f) }
+	return h
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	h := retryHarness(t, RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Millisecond, Cooldown: time.Minute}, "c")
+	ctx, _ := h.v.Context("c")
+	// The first two launches of the interval covering step 4 crash
+	// before producing anything; the third succeeds.
+	h.l.FailAt = faults.NewSimPlan().WithFailN("c", 4, 2, 0).FailAt
+
+	file := ctx.Filename(4)
+	if _, err := h.v.Open("a1", "c", file); err != nil {
+		t.Fatal(err)
+	}
+	var st *Status
+	if err := h.v.WaitFile("a1", "c", file, func(s Status) { st = &s }); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run(0)
+	if st == nil {
+		t.Fatal("waiter never notified")
+	}
+	if st.Err != "" || !st.Ready {
+		t.Fatalf("waiter should ride through the retries, got %+v", *st)
+	}
+	stats, _ := h.v.Stats("c")
+	retries, quarantined, _ := h.v.RetryStats("c")
+	if stats.Failures != 2 || retries != 2 || quarantined != 0 {
+		t.Errorf("failures/retries/quarantined = %d/%d/%d, want 2/2/0",
+			stats.Failures, retries, quarantined)
+	}
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuarantineFailsWaitersStructured(t *testing.T) {
+	h := retryHarness(t, RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, Cooldown: time.Minute}, "c")
+	ctx, _ := h.v.Context("c")
+	h.l.FailAt = faults.NewSimPlan().WithCrashAt("c", -1, 0).FailAt // permanent
+
+	file := ctx.Filename(4)
+	if _, err := h.v.Open("a1", "c", file); err != nil {
+		t.Fatal(err)
+	}
+	var st *Status
+	if err := h.v.WaitFile("a1", "c", file, func(s Status) { st = &s }); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.Run(0)
+	if st == nil {
+		t.Fatal("waiter never notified")
+	}
+	if st.Err == "" || st.Attempts != 3 || st.RetryAfter != time.Minute {
+		t.Fatalf("waiter should carry the structured quarantine error, got %+v", *st)
+	}
+	stats, _ := h.v.Stats("c")
+	retries, quarantined, _ := h.v.RetryStats("c")
+	if stats.Failures != 3 || retries != 2 || quarantined != 1 {
+		t.Errorf("failures/retries/quarantined = %d/%d/%d, want 3/2/1",
+			stats.Failures, retries, quarantined)
+	}
+
+	// Demand opens now fail fast with the structured error and launch
+	// nothing.
+	before := stats.Restarts
+	_, err := h.v.Open("a1", "c", file)
+	var qerr *QuarantineError
+	if !errors.As(err, &qerr) {
+		t.Fatalf("open during quarantine = %v, want QuarantineError", err)
+	}
+	if qerr.Attempts != 3 || qerr.RetryAfter <= 0 {
+		t.Errorf("quarantine error = %+v", qerr)
+	}
+	stats, _ = h.v.Stats("c")
+	if stats.Restarts != before {
+		t.Error("quarantined open must not launch")
+	}
+	// The failed-fast open must not leak its reference: only the first
+	// (pre-quarantine) open's ref remains.
+	if err := h.v.Release("a1", "c", file); err != nil {
+		t.Errorf("release of first open's ref: %v", err)
+	}
+	if err := h.v.Release("a1", "c", file); err == nil {
+		t.Error("reference was not rolled back on quarantine fail-fast")
+	}
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuarantineHalfOpensAfterCooldown(t *testing.T) {
+	h := retryHarness(t, RetryPolicy{MaxAttempts: 1, BaseBackoff: 10 * time.Millisecond, Cooldown: 30 * time.Second}, "c")
+	ctx, _ := h.v.Context("c")
+	// Two failures exhaust the budget (1 retry), then the fault heals.
+	h.l.FailAt = faults.NewSimPlan().WithFailN("c", 4, 2, 0).FailAt
+
+	file := ctx.Filename(4)
+	h.v.Open("a1", "c", file)
+	h.eng.Run(0)
+	if _, err := h.v.Open("a1", "c", file); err == nil {
+		t.Fatal("interval should be quarantined")
+	}
+
+	// Ride past the cooldown in virtual time: the breaker half-opens and
+	// the next open launches a probe, which succeeds and clears the slate.
+	h.eng.Schedule(31*time.Second, func() {})
+	h.eng.Run(0)
+	if _, err := h.v.Open("a1", "c", file); err != nil {
+		t.Fatalf("open after cooldown = %v, want probe launch", err)
+	}
+	var st *Status
+	h.v.WaitFile("a1", "c", file, func(s Status) { st = &s })
+	h.eng.Run(0)
+	if st == nil || st.Err != "" || !st.Ready {
+		t.Fatalf("probe launch should produce the file, got %+v", st)
+	}
+	// A later failure starts a fresh ledger entry (slate cleared).
+	if _, quarantined, _ := h.v.RetryStats("c"); quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", quarantined)
+	}
+	if err := h.v.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetQuarantine(t *testing.T) {
+	h := retryHarness(t, RetryPolicy{MaxAttempts: 1, BaseBackoff: 10 * time.Millisecond, Cooldown: time.Hour}, "c")
+	ctx, _ := h.v.Context("c")
+	plan := faults.NewSimPlan().WithFailN("c", 4, 2, 0)
+	h.l.FailAt = plan.FailAt
+
+	file := ctx.Filename(4)
+	h.v.Open("a1", "c", file)
+	h.eng.Run(0)
+	if _, err := h.v.Open("a1", "c", file); err == nil {
+		t.Fatal("interval should be quarantined")
+	}
+
+	if n, err := h.v.ResetQuarantine(""); err != nil || n != 1 {
+		t.Fatalf("ResetQuarantine = %d, %v, want 1 released", n, err)
+	}
+	if _, err := h.v.Open("a1", "c", file); err != nil {
+		t.Fatalf("open after reset = %v", err)
+	}
+	h.eng.Run(0)
+	if resident, _, _ := h.v.FileState("c", file); !resident {
+		t.Error("post-reset launch should produce the file")
+	}
+
+	if _, err := h.v.ResetQuarantine("nope"); err == nil {
+		t.Error("unknown context accepted")
+	}
+}
+
+func TestPrefetchSkipsQuarantinedInterval(t *testing.T) {
+	h := retryHarness(t, RetryPolicy{MaxAttempts: 1, BaseBackoff: 10 * time.Millisecond, Cooldown: time.Hour}, "c")
+	ctx, _ := h.v.Context("c")
+	h.l.FailAt = faults.NewSimPlan().WithCrashAt("c", -1, 0).FailAt
+
+	h.v.Open("a1", "c", ctx.Filename(4))
+	h.eng.Run(0)
+	stats, _ := h.v.Stats("c")
+	if _, quarantined, _ := h.v.RetryStats("c"); quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", quarantined)
+	}
+	before := stats.Restarts
+	dropped := stats.DroppedPrefetch
+	if n, err := h.v.GuidedPrefetch("a1", "c", []string{ctx.Filename(3)}); err != nil || n != 0 {
+		t.Fatalf("GuidedPrefetch = %d, %v, want 0 launches", n, err)
+	}
+	stats, _ = h.v.Stats("c")
+	if stats.Restarts != before {
+		t.Error("guided prefetch must not launch into a quarantined interval")
+	}
+	if stats.DroppedPrefetch != dropped+1 {
+		t.Errorf("dropped prefetch = %d, want %d", stats.DroppedPrefetch, dropped+1)
+	}
+}

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,11 @@ type Status struct {
 	Err string
 	// EstWait estimates how long until the file becomes available.
 	EstWait time.Duration
+	// Attempts and RetryAfter detail a failure from a quarantined
+	// interval: consecutive launch failures and the time until the
+	// circuit breaker half-opens (zero outside quarantine).
+	Attempts   int
+	RetryAfter time.Duration
 }
 
 // OpenResult is returned by Open: whether the file is immediately
@@ -161,6 +167,15 @@ type shard struct {
 	alphaEMA  *metrics.EMA
 	stats     CtxStats
 	checksums map[string]uint64
+	// failures is the per-interval failure ledger (keyed by the launch
+	// interval) driving retry backoff and quarantine; empty unless a
+	// RetryPolicy is installed. retries counts ledger re-submissions,
+	// quarantined counts circuit-breaker openings — kept out of CtxStats
+	// so the experiment tables (rendered with %+v) stay byte-identical
+	// to the pre-ledger goldens.
+	failures    map[[2]int]*failureRec
+	retries     int64
+	quarantined int64
 }
 
 // Virtualizer is the DV state machine. All exported methods are safe for
@@ -187,6 +202,15 @@ type Virtualizer struct {
 	// placeholderSeq generates ids (< pendingSimID) for pipeline-pending
 	// simulations not yet handed to the Launcher.
 	placeholderSeq atomic.Int64
+
+	// retryMu guards the failure-ledger policy and its jitter rng
+	// (innermost: taken under shard locks, never the reverse).
+	retryMu  sync.Mutex
+	retry    RetryPolicy
+	retryRng *rand.Rand
+	// after arms a delayed callback (retry backoff). The default uses
+	// wall-clock time.AfterFunc; tests inject their own timer.
+	after func(time.Duration, func())
 }
 
 // New returns a Virtualizer reading time from clock and running
@@ -208,7 +232,9 @@ func NewScheduled(clock des.Clock, launcher Launcher, cfg sched.Config) *Virtual
 		sched:    sched.New(clock, cfg),
 		contexts: map[string]*shard{},
 		simDir:   map[int64]*shard{},
+		retryRng: rand.New(rand.NewSource(0)),
 	}
+	v.after = func(d time.Duration, f func()) { time.AfterFunc(d, f) }
 	v.placeholderSeq.Store(pendingSimID)
 	return v
 }
@@ -260,6 +286,7 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 		sims:         map[int64]*simState{},
 		alphaEMA:     metrics.NewEMA(ctx.AlphaSmoothing),
 		checksums:    map[string]uint64{},
+		failures:     map[[2]int]*failureRec{},
 	}
 	return nil
 }
@@ -326,6 +353,18 @@ func (v *Virtualizer) Stats(ctxName string) (CtxStats, error) {
 	}
 	defer cs.mu.Unlock()
 	return cs.stats, nil
+}
+
+// RetryStats returns the context's failure-ledger counters: launches
+// re-submitted after a failure and circuit-breaker openings. Both stay
+// zero unless a RetryPolicy is installed.
+func (v *Virtualizer) RetryStats(ctxName string) (retries, quarantined int64, err error) {
+	cs, err := v.lockedShard(ctxName)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cs.mu.Unlock()
+	return cs.retries, cs.quarantined, nil
 }
 
 // LockStats returns the shard-lock counters of a context: how often its
@@ -547,8 +586,17 @@ func (v *Virtualizer) publishReady(ctxName string, steps []int) {
 // publishFailed announces production failures on the hub. Callers must
 // not hold shard locks.
 func (v *Virtualizer) publishFailed(ctxName string, steps []int, msg string) {
+	v.publishFailedDetail(ctxName, steps, msg, 0, 0)
+}
+
+// publishFailedDetail is publishFailed carrying quarantine details
+// (attempts and time until the breaker half-opens) on each event.
+func (v *Virtualizer) publishFailedDetail(ctxName string, steps []int, msg string, attempts int, retryAfter time.Duration) {
 	for _, s := range steps {
-		v.hub.Publish(notify.Event{Topic: notify.Topic{Context: ctxName, Step: s}, Kind: notify.FileFailed, Err: msg})
+		v.hub.Publish(notify.Event{
+			Topic: notify.Topic{Context: ctxName, Step: s}, Kind: notify.FileFailed,
+			Err: msg, Attempts: attempts, RetryAfter: int64(retryAfter),
+		})
 	}
 }
 

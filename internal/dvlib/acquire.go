@@ -3,6 +3,7 @@ package dvlib
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -93,11 +94,20 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 			if resp.Err != "" {
 				r.err = resp.Err
 			}
+			completed := false
 			if resp.Done && !r.done {
 				r.done = true
+				completed = r.err == ""
 				close(r.doneCh)
 			}
 			r.mu.Unlock()
+			if completed {
+				// The acquire holds one reference per file until they are
+				// released; record them so a reconnect restores them.
+				for _, f := range r.files {
+					r.ctx.c.trackHeld(r.ctx.name, f, +1)
+				}
+			}
 		})
 	if err != nil {
 		return nil, err
@@ -107,10 +117,17 @@ func (ctx *Context) AcquireNB(files ...string) (*Req, error) {
 }
 
 // Wait implements SIMFS_Wait: it blocks until the acquire completes and
-// returns its status.
+// returns its status. An acquire interrupted by a connection reset fails
+// with ErrReconnecting: its references were released by the daemon's
+// disconnect cleanup, so the caller must re-acquire rather than assume
+// the files are pinned.
 func (r *Req) Wait() (Status, error) {
 	<-r.doneCh
-	return r.status(), nil
+	st := r.status()
+	if st.Err == ErrReconnecting.Error() {
+		return st, fmt.Errorf("dvlib: %s: %w", netproto.OpAcquire, ErrReconnecting)
+	}
+	return st, nil
 }
 
 // WaitCtx is Wait honoring a context deadline: it returns the context's
@@ -134,11 +151,20 @@ func (r *Req) WaitCtx(cx context.Context) (Status, error) {
 // an unresponsive daemon's acknowledgements would defeat the deadline
 // it serves — only frame-write failures are reported.
 func (r *Req) Cancel() error {
+	r.mu.Lock()
+	// References are ledgered only once the acquire completes cleanly; a
+	// canceled in-flight acquire releases server-side references the
+	// ledger never counted.
+	counted := r.done && r.err == ""
+	r.mu.Unlock()
 	r.ctx.c.cancelSub(r.id, "canceled")
 	err := r.ctx.c.post(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: r.id})
 	for _, f := range r.files {
 		if perr := r.ctx.c.post(netproto.OpRelease, netproto.FileBody{Context: r.ctx.name, File: f}); err == nil {
 			err = perr
+		}
+		if counted {
+			r.ctx.c.trackHeld(r.ctx.name, f, -1)
 		}
 	}
 	return err

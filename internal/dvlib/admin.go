@@ -101,3 +101,17 @@ func (a *Admin) Resume(ctx context.Context, name string) error {
 	_, err := a.c.callCtx(ctx, netproto.OpResume, netproto.CtxBody{Context: name})
 	return err
 }
+
+// ResetQuarantine clears the re-simulation failure ledger of a context
+// ("" = every context), closing open circuit breakers so demand opens
+// launch fresh re-simulations again — the operator override once the
+// underlying fault (full file system, broken module environment) is
+// fixed before the cooldown elapses. It returns how many quarantined
+// intervals were released.
+func (a *Admin) ResetQuarantine(ctx context.Context, name string) (int, error) {
+	resp, err := a.c.callCtx(ctx, netproto.OpQuarantineReset, netproto.CtxBody{Context: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}

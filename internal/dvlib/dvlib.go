@@ -45,6 +45,22 @@ import (
 	"simfs/internal/vfs"
 )
 
+// ErrReconnecting reports that the connection was reset while a
+// non-idempotent operation (release, acquire, admin) was in flight. The
+// client has reconnected (or is reconnecting) and resynced its reference
+// state with the daemon, but it cannot know whether the operation took
+// effect before the reset — the caller must decide whether to retry.
+// Idempotent operations (open, wait, est-wait, ping and the read-only
+// queries) never fail with this: they are replayed transparently.
+var ErrReconnecting = errors.New("connection reset while the request was in flight; state resynced — retry if still wanted")
+
+// ErrNotHeld reports a release of a file the client-side reference
+// ledger does not hold. With auto-reconnect enabled the ledger is
+// authoritative: after a reconnect the daemon's references are rebuilt
+// from it, so a double release would otherwise silently corrupt the
+// recovered state.
+var ErrNotHeld = errors.New("file is not held by this client (double release?)")
+
 // Error is a structured daemon-reported failure: the machine-readable
 // code, the operation that failed, and the human-readable message.
 type Error struct {
@@ -80,28 +96,47 @@ const (
 
 // Client is a connection to the DV daemon. It is safe for concurrent use.
 type Client struct {
-	name    string
+	name string
+	addr string
+
+	// conn/br/codec are swapped atomically on reconnect: readers of the
+	// stream run only on the readLoop goroutine (which performs the swap
+	// itself), writers encode under wmu (held across the swap).
 	conn    net.Conn
 	br      *bufio.Reader
-	codec   netproto.Codec // fixed after the handshake, before readLoop starts
+	codec   netproto.Codec
 	binary  bool
 	version int
 	caps    []string
+	dialCfg dialConfig
 
 	wmu  sync.Mutex   // serializes frame encoding and writes
 	wbuf bytes.Buffer // queued request frames awaiting a flush
 
 	mu      sync.Mutex
+	recCond *sync.Cond // signals the end of a reconnect (guards reconnecting)
 	nextID  uint64
-	pending map[uint64]chan netproto.Response
+	pending map[uint64]*pendingCall
 	subs    map[uint64]func(netproto.Response) // multi-frame subscriptions
-	closed  bool
-	readErr error
+	// watches maps subscription IDs to their Watch handles, so a
+	// reconnect can re-subscribe them (unlike acquires, watches hold no
+	// references and are safe to re-issue).
+	watches map[uint64]*Watch
+	// held is the client-side reference ledger (context → file → count).
+	// After a reconnect the daemon has released everything this session
+	// held (disconnect cleanup), so the ledger is replayed as opens to
+	// rebuild the reference state — and consulted to refuse releases of
+	// files not held.
+	held         map[string]map[string]int
+	reconnecting bool
+	closed       bool
+	readErr      error
 }
 
 // dialConfig collects DialOption settings.
 type dialConfig struct {
-	jsonOnly bool
+	jsonOnly  bool
+	reconnect *ReconnectConfig
 }
 
 // DialOption customizes Dial/DialContext behavior.
@@ -112,6 +147,45 @@ type DialOption func(*dialConfig)
 // for debugging with packet captures and for benchmark baselines.
 func WithJSONCodec() DialOption {
 	return func(cfg *dialConfig) { cfg.jsonOnly = true }
+}
+
+// ReconnectConfig tunes WithReconnect's backoff loop. The zero value
+// gets sensible defaults (50ms base doubling to 2s, ±20% jitter, give
+// up after 30s).
+type ReconnectConfig struct {
+	BaseBackoff time.Duration // delay before the second attempt (first is immediate)
+	MaxBackoff  time.Duration // cap on the doubled delay
+	Jitter      float64       // ±fraction applied to each delay
+	MaxElapsed  time.Duration // total budget before the client gives up for good
+	Seed        int64         // roots the jitter rng (pinned in chaos tests)
+}
+
+func (cfg ReconnectConfig) withDefaults() ReconnectConfig {
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.MaxElapsed <= 0 {
+		cfg.MaxElapsed = 30 * time.Second
+	}
+	return cfg
+}
+
+// WithReconnect makes the client survive connection loss: when the read
+// loop hits a broken stream, the client redials with exponential backoff,
+// re-runs the hello handshake (same codec negotiation), re-opens every
+// file in its reference ledger, re-subscribes active watches, and
+// transparently replays idempotent in-flight calls (open, wait, est-wait,
+// ping, the read-only queries). Non-idempotent in-flight calls (release,
+// acquire, admin ops) fail with ErrReconnecting instead — the client
+// cannot know whether they took effect — and releases are checked against
+// the ledger so a double release is refused rather than corrupting the
+// resynced state.
+func WithReconnect(cfg ReconnectConfig) DialOption {
+	c := cfg.withDefaults()
+	return func(d *dialConfig) { d.reconnect = &c }
 }
 
 // Dial connects to the daemon at addr under the given client name (the DV
@@ -134,18 +208,23 @@ func DialContext(ctx context.Context, addr, clientName string, opts ...DialOptio
 	}
 	c := &Client{
 		name:    clientName,
+		addr:    addr,
 		conn:    conn,
 		br:      bufio.NewReaderSize(conn, frameBufSize),
 		codec:   netproto.JSON,
-		pending: map[uint64]chan netproto.Response{},
+		dialCfg: cfg,
+		pending: map[uint64]*pendingCall{},
 		subs:    map[uint64]func(netproto.Response){},
+		watches: map[uint64]*Watch{},
+		held:    map[string]map[string]int{},
 	}
+	c.recCond = sync.NewCond(&c.mu)
 	// The handshake runs synchronously — no read loop yet — so the codec
 	// can switch after the hello without racing a concurrent reader.
-	stop := deadlineOnCancel(ctx, conn)
-	err = c.handshake(cfg)
-	stop()
-	if err != nil {
+	stop := closeOnCancel(ctx, conn)
+	hs, err := helloOn(conn, c.br, 1, c.name, cfg)
+	canceled := stop()
+	if err != nil || canceled {
 		conn.Close()
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -156,78 +235,107 @@ func DialContext(ctx context.Context, addr, clientName string, opts ...DialOptio
 		}
 		return nil, fmt.Errorf("dvlib: handshake: %w", err)
 	}
+	c.applyHello(hs)
+	c.nextID = 1 // the hello consumed ID 1
 	go c.readLoop()
 	return c, nil
 }
 
-// deadlineOnCancel makes ctx cancellation interrupt blocking conn I/O by
-// slamming the deadline into the past. The returned stop func waits for
-// the watcher to finish and clears any deadline it set.
-func deadlineOnCancel(ctx context.Context, conn net.Conn) (stop func()) {
+// closeOnCancel makes ctx cancellation interrupt blocking conn I/O by
+// closing the connection — the pre-handshake connection carries no state
+// worth preserving, so a hard teardown is the honest cancellation. The
+// returned stop func ends the watch and reports whether it fired.
+func closeOnCancel(ctx context.Context, conn net.Conn) (stop func() bool) {
 	if ctx.Done() == nil {
-		return func() {}
+		return func() bool { return false }
 	}
 	done := make(chan struct{})
-	idle := make(chan struct{})
+	fired := make(chan bool, 1)
 	go func() {
-		defer close(idle)
 		select {
 		case <-ctx.Done():
-			conn.SetDeadline(time.Unix(1, 0))
+			conn.Close()
+			fired <- true
 		case <-done:
+			fired <- false
 		}
 	}()
-	return func() {
+	return func() bool {
 		close(done)
-		<-idle
-		conn.SetDeadline(time.Time{})
+		return <-fired
 	}
 }
 
-// handshake performs the hello exchange on the bare connection and, when
-// both sides agree, switches the session to the binary codec.
-func (c *Client) handshake(cfg dialConfig) error {
+// helloResult is a successful hello negotiation, ready to apply to the
+// client once the connection is adopted.
+type helloResult struct {
+	version int
+	caps    []string
+	binary  bool
+}
+
+// helloOn performs the hello exchange on a bare connection — the initial
+// dial and every reconnect share it. It never touches the Client, so a
+// reconnect can negotiate on a candidate connection before swapping it
+// in.
+func helloOn(conn net.Conn, br *bufio.Reader, id uint64, name string, cfg dialConfig) (helloResult, error) {
 	caps := []string{netproto.CapAdmin, netproto.CapWatch}
 	if !cfg.jsonOnly {
 		caps = append(caps, netproto.CapBinary)
 	}
-	env, err := netproto.NewEnvelope(1, netproto.OpHello, netproto.HelloBody{
+	env, err := netproto.NewEnvelope(id, netproto.OpHello, netproto.HelloBody{
 		Version: netproto.ProtoVersion,
-		Client:  c.name,
+		Client:  name,
 		Caps:    caps,
 	})
 	if err != nil {
-		return err
+		return helloResult{}, err
 	}
-	if err := netproto.JSON.EncodeFrame(c.conn, env); err != nil {
-		return err
+	if err := netproto.JSON.EncodeFrame(conn, env); err != nil {
+		return helloResult{}, err
 	}
 	var resp netproto.Response
-	if err := netproto.JSON.DecodeFrame(c.br, &resp); err != nil {
-		return err
+	if err := netproto.JSON.DecodeFrame(br, &resp); err != nil {
+		return helloResult{}, err
 	}
 	if resp.Err != "" {
 		if resp.Code == "" {
 			// The daemon answered the hello with a v1-style untyped
 			// error: it predates the versioned protocol.
-			return &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+			return helloResult{}, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
 				Msg: fmt.Sprintf("daemon does not speak the versioned protocol (client speaks %d): %s",
 					netproto.ProtoVersion, resp.Err)}
 		}
-		return &Error{Code: resp.Code, Op: netproto.OpHello, Msg: resp.Err}
+		return helloResult{}, &Error{Code: resp.Code, Op: netproto.OpHello, Msg: resp.Err}
 	}
 	if resp.Proto == nil || resp.Proto.Version < netproto.MinProtoVersion {
-		return &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
+		return helloResult{}, &Error{Code: netproto.CodeVersion, Op: netproto.OpHello,
 			Msg: "daemon sent no usable protocol version"}
 	}
-	c.version = resp.Proto.Version
-	c.caps = resp.Proto.Caps
-	c.nextID = 1 // the hello consumed ID 1
-	if !cfg.jsonOnly && c.version >= 3 && c.HasCapability(netproto.CapBinary) {
+	hs := helloResult{version: resp.Proto.Version, caps: resp.Proto.Caps}
+	hs.binary = !cfg.jsonOnly && hs.version >= 3 && hasCap(hs.caps, netproto.CapBinary)
+	return hs, nil
+}
+
+// applyHello installs a negotiated hello's outcome on the client.
+func (c *Client) applyHello(hs helloResult) {
+	c.version = hs.version
+	c.caps = hs.caps
+	c.binary = hs.binary
+	if hs.binary {
 		c.codec = netproto.Binary
-		c.binary = true
+	} else {
+		c.codec = netproto.JSON
 	}
-	return nil
+}
+
+func hasCap(caps []string, want string) bool {
+	for _, have := range caps {
+		if have == want {
+			return true
+		}
+	}
+	return false
 }
 
 // UsesBinary reports whether the connection negotiated the binary
@@ -259,6 +367,7 @@ func (c *Client) HasCapability(cap string) bool {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	c.recCond.Broadcast()
 	c.mu.Unlock()
 	return c.conn.Close()
 }
@@ -266,45 +375,113 @@ func (c *Client) Close() error {
 func (c *Client) readLoop() {
 	for {
 		var resp netproto.Response
+		// Only this goroutine reads codec/br, and only it swaps them (in
+		// tryReconnect), so the stream fields need no lock here.
 		if err := c.codec.DecodeFrame(c.br, &resp); err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
+			if c.tryReconnect() {
+				continue
 			}
-			for id, fn := range c.subs {
-				delete(c.subs, id)
-				go fn(netproto.Response{ID: id, Err: "connection lost", Done: true})
-			}
-			c.mu.Unlock()
+			c.die(err)
 			return
 		}
-		c.mu.Lock()
-		if ch, ok := c.pending[resp.ID]; ok {
-			delete(c.pending, resp.ID)
-			c.mu.Unlock()
-			ch <- resp
-			continue
-		}
-		if fn, ok := c.subs[resp.ID]; ok {
-			if resp.Done {
-				delete(c.subs, resp.ID)
-			}
-			c.mu.Unlock()
-			fn(resp)
-			continue
-		}
-		c.mu.Unlock()
+		c.route(resp)
 	}
 }
 
+// route delivers one response frame to its pending call or subscription.
+func (c *Client) route(resp netproto.Response) {
+	c.mu.Lock()
+	if p, ok := c.pending[resp.ID]; ok {
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		c.settle(p, resp)
+		p.ch <- resp
+		return
+	}
+	if fn, ok := c.subs[resp.ID]; ok {
+		if resp.Done {
+			delete(c.subs, resp.ID)
+			delete(c.watches, resp.ID)
+		}
+		c.mu.Unlock()
+		fn(resp)
+		return
+	}
+	c.mu.Unlock()
+}
+
+// settle updates the reference ledger from a completed call: a
+// successful open holds a reference, a successful release drops one.
+func (c *Client) settle(p *pendingCall, resp netproto.Response) {
+	if resp.Err != "" {
+		return
+	}
+	switch p.op {
+	case netproto.OpOpen:
+		if b, ok := p.body.(netproto.FileBody); ok {
+			c.trackHeld(b.Context, b.File, +1)
+		}
+	case netproto.OpRelease:
+		if b, ok := p.body.(netproto.FileBody); ok {
+			c.trackHeld(b.Context, b.File, -1)
+		}
+	}
+}
+
+// trackHeld adjusts the client-side reference ledger.
+func (c *Client) trackHeld(ctxName, file string, delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.held[ctxName]
+	if m == nil {
+		if delta <= 0 {
+			return
+		}
+		m = map[string]int{}
+		c.held[ctxName] = m
+	}
+	m[file] += delta
+	if m[file] <= 0 {
+		delete(m, file)
+	}
+}
+
+// heldCount reports the ledger's reference count for a file.
+func (c *Client) heldCount(ctxName, file string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.held[ctxName][file]
+}
+
+// die is the terminal connection-loss path (no reconnect, or reconnect
+// exhausted): every pending call and subscription fails.
+func (c *Client) die(err error) {
+	c.mu.Lock()
+	c.readErr = err
+	c.reconnecting = false
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		close(p.ch)
+	}
+	for id, fn := range c.subs {
+		delete(c.subs, id)
+		go fn(netproto.Response{ID: id, Err: "connection lost", Done: true})
+	}
+	c.watches = map[uint64]*Watch{}
+	c.recCond.Broadcast()
+	c.mu.Unlock()
+}
+
 // pendingCall is an in-flight request: its frame is queued (and possibly
-// already flushed) and the read loop will route the response to ch.
+// already flushed) and the read loop will route the response to ch. op
+// and body are retained so a reconnect can replay the request; err is
+// set (before ch closes) when the call fails locally with a typed error.
 type pendingCall struct {
-	op string
-	id uint64
-	ch chan netproto.Response
+	op   string
+	id   uint64
+	body any
+	ch   chan netproto.Response
+	err  error
 }
 
 // call sends a request expecting exactly one response.
@@ -323,6 +500,23 @@ func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Res
 	return c.await(ctx, p)
 }
 
+// startGate blocks while a reconnect is swapping the connection (new
+// requests must not interleave with the replay) and reports the terminal
+// error if the client is closed or dead. Caller must hold c.mu.
+func (c *Client) startGateLocked() error {
+	for c.reconnecting && !c.closed && c.readErr == nil {
+		c.recCond.Wait()
+	}
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		if err == nil {
+			err = errors.New("dvlib: client closed")
+		}
+		return err
+	}
+	return nil
+}
+
 // start registers a pending call and queues its request frame. When
 // flush is true the frame (and anything queued before it) goes out
 // immediately; otherwise it rides the write buffer until the caller
@@ -330,17 +524,14 @@ func (c *Client) callCtx(ctx context.Context, op string, body any) (netproto.Res
 func (c *Client) start(op string, body any, flush bool) (*pendingCall, error) {
 	ch := make(chan netproto.Response, 1)
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
-		err := c.readErr
+	if err := c.startGateLocked(); err != nil {
 		c.mu.Unlock()
-		if err == nil {
-			err = errors.New("dvlib: client closed")
-		}
 		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
-	c.pending[id] = ch
+	p := &pendingCall{op: op, id: id, body: body, ch: ch}
+	c.pending[id] = p
 	c.mu.Unlock()
 
 	env, err := netproto.NewEnvelope(id, op, body)
@@ -357,7 +548,7 @@ func (c *Client) start(op string, body any, flush bool) (*pendingCall, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	return &pendingCall{op: op, id: id, ch: ch}, nil
+	return p, nil
 }
 
 // await flushes any queued frames (the daemon cannot answer a request it
@@ -372,6 +563,9 @@ func (c *Client) await(ctx context.Context, p *pendingCall) (netproto.Response, 
 	select {
 	case resp, ok := <-p.ch:
 		if !ok {
+			if p.err != nil {
+				return netproto.Response{}, p.err
+			}
 			return netproto.Response{}, errors.New("dvlib: connection lost")
 		}
 		if resp.Err != "" {
@@ -392,9 +586,9 @@ func (c *Client) await(ctx context.Context, p *pendingCall) (netproto.Response, 
 // would defeat the deadline being enforced.
 func (c *Client) post(op string, body any) error {
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if err := c.startGateLocked(); err != nil {
 		c.mu.Unlock()
-		return errors.New("dvlib: client closed")
+		return err
 	}
 	c.nextID++
 	id := c.nextID
@@ -411,9 +605,9 @@ func (c *Client) post(op string, body any) error {
 // in an unsubscribe.
 func (c *Client) subscribe(op string, body any, fn func(netproto.Response)) (uint64, error) {
 	c.mu.Lock()
-	if c.closed || c.readErr != nil {
+	if err := c.startGateLocked(); err != nil {
 		c.mu.Unlock()
-		return 0, errors.New("dvlib: client closed")
+		return 0, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -432,6 +626,9 @@ func (c *Client) subscribe(op string, body any, fn func(netproto.Response)) (uin
 	return id, nil
 }
 
+// reconnectEnabled reports whether the client was dialed WithReconnect.
+func (c *Client) reconnectEnabled() bool { return c.dialCfg.reconnect != nil }
+
 // cancelSub removes a local subscription and, if it was still live,
 // delivers a synthetic Done frame to its handler. The map removal is the
 // exclusion point: whoever removes the entry delivers the Done.
@@ -441,6 +638,7 @@ func (c *Client) cancelSub(id uint64, reason string) {
 	if ok {
 		delete(c.subs, id)
 	}
+	delete(c.watches, id)
 	c.mu.Unlock()
 	if ok {
 		fn(netproto.Response{ID: id, Err: reason, Done: true})
@@ -488,6 +686,14 @@ func (c *Client) flushLocked() error {
 	}
 	_, err := c.conn.Write(c.wbuf.Bytes())
 	c.wbuf.Reset()
+	if err != nil && c.reconnectEnabled() {
+		// A write failure is survivable: pending calls are replayed from
+		// their retained bodies once the connection is back, and posts are
+		// fire-and-forget by contract. Close the connection so the read
+		// loop notices and reconnects, and report success to the caller.
+		c.conn.Close()
+		return nil
+	}
 	return err
 }
 
@@ -500,9 +706,17 @@ func (c *Client) Contexts() ([]string, error) {
 	return resp.Names, nil
 }
 
-// Ping checks daemon liveness.
+// pingTimeout bounds Ping: a liveness probe that blocks forever answers
+// the question the wrong way.
+const pingTimeout = 5 * time.Second
+
+// Ping checks daemon liveness. Unlike the data-plane calls it carries an
+// explicit deadline: it reports an unresponsive daemon within
+// pingTimeout instead of blocking until the connection dies.
 func (c *Client) Ping() error {
-	_, err := c.call(netproto.OpPing, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), pingTimeout)
+	defer cancel()
+	_, err := c.callCtx(ctx, netproto.OpPing, nil)
 	return err
 }
 
@@ -650,13 +864,18 @@ type WatchEvent struct {
 // Watch is a notification-only subscription to file availability,
 // served by the daemon's notify hub. Unlike Acquire it takes no
 // references; the watched files must be resident or already promised by
-// a re-simulation (e.g. after Open or Prefetch).
+// a re-simulation (e.g. after Open or Prefetch). With auto-reconnect,
+// watches survive connection loss: the client re-subscribes the files
+// not yet resolved, and per-file deduplication keeps a file that
+// resolved just before the reset from being reported twice.
 type Watch struct {
-	ctx *Context
-	id  uint64
-	ch  chan WatchEvent
+	ctx   *Context
+	id    uint64
+	files []string
+	ch    chan WatchEvent
 
 	mu     sync.Mutex
+	seen   map[string]bool // files already reported (dedup across re-subscribes)
 	closed bool
 }
 
@@ -669,8 +888,14 @@ func (ctx *Context) Watch(files ...string) (*Watch, error) {
 		return nil, errors.New("dvlib: watch of zero files")
 	}
 	// One slot per file plus the Done event: the daemon resolves each
-	// file at most once, so delivery below never blocks the read loop.
-	w := &Watch{ctx: ctx, ch: make(chan WatchEvent, len(files)+1)}
+	// file at most once (re-deliveries after a reconnect are deduped), so
+	// delivery below never blocks the read loop.
+	w := &Watch{
+		ctx:   ctx,
+		files: append([]string(nil), files...),
+		ch:    make(chan WatchEvent, len(files)+1),
+		seen:  map[string]bool{},
+	}
 	id, err := ctx.c.subscribe(netproto.OpSubscribe,
 		netproto.FilesBody{Context: ctx.name, Files: append([]string(nil), files...)},
 		w.deliver)
@@ -678,6 +903,13 @@ func (ctx *Context) Watch(files ...string) (*Watch, error) {
 		return nil, err
 	}
 	w.id = id
+	ctx.c.mu.Lock()
+	// The Done frame may already have raced in and removed the sub; a
+	// completed watch must not linger in the re-subscribe registry.
+	if _, live := ctx.c.subs[id]; live {
+		ctx.c.watches[id] = w
+	}
+	ctx.c.mu.Unlock()
 	return w, nil
 }
 
@@ -693,15 +925,32 @@ func (w *Watch) Cancel() error {
 	return err
 }
 
+// remaining returns the files the watch has not yet reported — what a
+// reconnect re-subscribes.
+func (w *Watch) remaining() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []string
+	for _, f := range w.files {
+		if !w.seen[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // deliver translates wire frames into watch events. It serializes with
-// itself (read loop vs. cancel) and never sends after close.
+// itself (read loop vs. cancel) and never sends after close. Per-file
+// frames are deduplicated: after a reconnect the re-subscription reports
+// already-resident files again.
 func (w *Watch) deliver(resp netproto.Response) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return
 	}
-	if resp.File != "" {
+	if resp.File != "" && !w.seen[resp.File] {
+		w.seen[resp.File] = true
 		w.ch <- WatchEvent{File: resp.File, Ready: resp.Ready, Err: resp.Err}
 	}
 	if resp.Done {
@@ -728,8 +977,15 @@ func (ctx *Context) Read(file string) ([]byte, error) {
 }
 
 // Close is the transparent-mode close: it drops the file reference so the
-// DV may evict it (SIMFS_Release shares the implementation).
+// DV may evict it (SIMFS_Release shares the implementation). With
+// auto-reconnect enabled the client-side ledger is consulted first: a
+// release of a file not held fails with ErrNotHeld instead of reaching
+// the daemon, because after a reconnect the daemon's reference state is
+// rebuilt from that ledger and a double release would corrupt it.
 func (ctx *Context) Close(file string) error {
+	if ctx.c.reconnectEnabled() && ctx.c.heldCount(ctx.name, file) == 0 {
+		return fmt.Errorf("dvlib: %s %q: %w", netproto.OpRelease, file, ErrNotHeld)
+	}
 	_, err := ctx.c.call(netproto.OpRelease, netproto.FileBody{Context: ctx.name, File: file})
 	return err
 }

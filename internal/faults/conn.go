@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnCut is returned from Read/Write on a connection the plan
+// severed; the peer observes a hard close (RST-like), clients observe a
+// mid-frame error — exactly the failure auto-reconnect must absorb.
+var ErrConnCut = errors.New("faults: injected connection cut")
+
+// ConnPlan schedules connection faults. Wrap is plugged into
+// server.Server.WrapConn (or any dialer): each wrapped connection gets
+// its own rng stream derived from Seed and the accept order, so a
+// multi-client chaos schedule replays deterministically per connection.
+type ConnPlan struct {
+	// Seed roots the per-connection rng streams.
+	Seed int64
+	// CutProb severs the connection with this probability per I/O call.
+	CutProb float64
+	// CutAfter severs each connection after this many I/O calls
+	// (0 = disabled). Combined with CutProb both schedules apply.
+	CutAfter int
+	// Delay sleeps this long before each I/O call with probability
+	// DelayProb, modeling a congested link.
+	Delay     time.Duration
+	DelayProb float64
+	// Partial delivers roughly half of a write before severing it, so
+	// the peer sees a truncated frame rather than a clean boundary.
+	Partial bool
+
+	mu       sync.Mutex
+	conns    int64
+	injected uint64
+}
+
+// Wrap returns c with the plan's faults applied. A nil plan (or one with
+// no schedule) returns c unchanged.
+func (p *ConnPlan) Wrap(c net.Conn) net.Conn {
+	if p == nil || (p.CutProb <= 0 && p.CutAfter <= 0 && p.DelayProb <= 0) {
+		return c
+	}
+	p.mu.Lock()
+	p.conns++
+	n := p.conns
+	p.mu.Unlock()
+	return &faultConn{Conn: c, plan: p, rng: seededRng(p.Seed + n*0x9E3779B9)}
+}
+
+// Injected returns how many cuts the plan performed.
+func (p *ConnPlan) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+func (p *ConnPlan) noteCut() {
+	p.mu.Lock()
+	p.injected++
+	p.mu.Unlock()
+}
+
+type faultConn struct {
+	net.Conn
+	plan *ConnPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int
+	cut bool
+}
+
+// step decides, under the conn's lock, what happens to the next I/O
+// call: a delay to apply, and whether the connection is severed now.
+func (c *faultConn) step() (delay time.Duration, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return 0, true
+	}
+	c.ops++
+	if c.plan.DelayProb > 0 && c.rng.Float64() < c.plan.DelayProb {
+		delay = c.plan.Delay
+	}
+	if c.plan.CutAfter > 0 && c.ops >= c.plan.CutAfter {
+		c.cut = true
+	}
+	if c.plan.CutProb > 0 && c.rng.Float64() < c.plan.CutProb {
+		c.cut = true
+	}
+	if c.cut {
+		c.plan.noteCut()
+	}
+	return delay, c.cut
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	delay, cut := c.step()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if cut {
+		c.Conn.Close()
+		return 0, ErrConnCut
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	delay, cut := c.step()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if cut {
+		n := 0
+		if c.plan.Partial && len(b) > 1 {
+			n, _ = c.Conn.Write(b[:len(b)/2])
+		}
+		c.Conn.Close()
+		return n, ErrConnCut
+	}
+	return c.Conn.Write(b)
+}

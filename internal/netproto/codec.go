@@ -188,9 +188,10 @@ func (jsonCodec) DecodeFrame(r io.Reader, v any) error {
 //	[0xB1] [id uvarint] [flags1 u8] [flags2 u8] [optional fields]
 //
 //	flags1: OK, Available, Ready, Flag, Done, hasFile, hasEst, hasCount
-//	flags2: hasErr
+//	flags2: hasErr, hasRetry
 //	fields in order when flagged: file string, est-wait uvarint,
-//	count uvarint, code string, err string
+//	count uvarint, code string, err string, attempts uvarint,
+//	retry-after-ns uvarint
 //
 // A string is [length uvarint][bytes]. Opcodes and the response tag
 // never collide with '{' (0x7B), the first byte of every JSON payload.
@@ -250,7 +251,14 @@ const (
 	rfCount
 )
 
-const rf2Err byte = 1 << 0
+const (
+	rf2Err byte = 1 << 0
+	// rf2Retry flags the quarantine details of a failed response:
+	// attempts uvarint + retry-after-ns uvarint, appended after the
+	// error strings. Decoders that predate the flag skip the extra
+	// bytes via the trailing-bytes rule.
+	rf2Retry byte = 1 << 1
+)
 
 type binCodec struct{}
 
@@ -437,6 +445,9 @@ func appendBinResponse(buf []byte, resp Response) ([]byte, bool) {
 	if resp.Code != "" || resp.Err != "" {
 		f2 |= rf2Err
 	}
+	if resp.Attempts != 0 || resp.RetryAfterNs != 0 {
+		f2 |= rf2Retry
+	}
 	buf = append(buf, binResponseTag)
 	buf = binary.AppendUvarint(buf, resp.ID)
 	buf = append(buf, f1, f2)
@@ -452,6 +463,10 @@ func appendBinResponse(buf []byte, resp Response) ([]byte, bool) {
 	if f2&rf2Err != 0 {
 		buf = appendBinString(buf, string(resp.Code))
 		buf = appendBinString(buf, resp.Err)
+	}
+	if f2&rf2Retry != 0 {
+		buf = binary.AppendUvarint(buf, uint64(resp.Attempts))
+		buf = binary.AppendUvarint(buf, uint64(resp.RetryAfterNs))
 	}
 	return buf, true
 }
@@ -508,6 +523,17 @@ func decodeBinResponse(p []byte, resp *Response) error {
 		if r.Err, p, ok = getBinString(p); !ok {
 			return fail("truncated error text")
 		}
+	}
+	if f2&rf2Retry != 0 {
+		var v uint64
+		if v, p, ok = getUvarint(p); !ok {
+			return fail("truncated attempts")
+		}
+		r.Attempts = int(v)
+		if v, p, ok = getUvarint(p); !ok {
+			return fail("truncated retry-after")
+		}
+		r.RetryAfterNs = int64(v)
 	}
 	_ = p // trailing bytes are ignored for forward compatibility
 	*resp = r

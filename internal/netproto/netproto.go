@@ -110,6 +110,10 @@ const (
 	OpDrain = "drain"
 	// OpResume lifts a drain.
 	OpResume = "resume"
+	// OpQuarantineReset clears the re-simulation quarantine ledger of a
+	// context ("" = all contexts), re-enabling launches for intervals the
+	// circuit breaker had opened.
+	OpQuarantineReset = "quarantine-reset"
 )
 
 // Capability flags advertised in the hello handshake.
@@ -154,8 +158,14 @@ const (
 	// CodeNotProduced: the file is neither on disk nor promised by a
 	// re-simulation; open or acquire it first.
 	CodeNotProduced ErrCode = "not_produced"
-	// CodeFailed: a re-simulation failed or was killed.
+	// CodeFailed: a re-simulation failed or was killed. When the failure
+	// exhausted the retry budget and quarantined the interval, the
+	// response also carries Attempts and RetryAfterNs.
 	CodeFailed ErrCode = "failed"
+	// CodeDraining: the daemon is shutting down; in-flight waits and
+	// subscriptions are released with this code instead of being dropped
+	// mid-frame. Reconnect and retry against the replacement daemon.
+	CodeDraining ErrCode = "draining"
 	// CodeFrame: the peer sent an undecodable frame.
 	CodeFrame ErrCode = "bad_frame"
 	// CodeInternal: the daemon hit an unexpected internal error.
@@ -394,6 +404,11 @@ type Stats struct {
 	SchedPreempted     uint64 `json:"sched_preempted,omitempty"`
 	SchedQuotaRounds   uint64 `json:"sched_quota_rounds,omitempty"`
 	SchedQuotaDeferred uint64 `json:"sched_quota_deferred,omitempty"`
+	// Failure-ledger counters (this context's shard): failed
+	// re-simulations retried with backoff, and intervals currently
+	// quarantined by the circuit breaker.
+	SchedRetries     uint64 `json:"sched_retries,omitempty"`
+	SchedQuarantined uint64 `json:"sched_quarantined,omitempty"`
 }
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon
@@ -419,6 +434,11 @@ type Response struct {
 	Proto *HelloInfo `json:"proto,omitempty"`
 	// Sched carries the scheduler configuration (sched-get / sched-set).
 	Sched *SchedInfo `json:"sched,omitempty"`
+	// Attempts and RetryAfterNs detail a CodeFailed response from a
+	// quarantined interval: how many launches failed consecutively and
+	// how long until the circuit breaker half-opens again.
+	Attempts     int   `json:"attempts,omitempty"`
+	RetryAfterNs int64 `json:"retry_after_ns,omitempty"`
 }
 
 // LegacyRequest is the pre-versioned (v1) client frame: one untyped bag

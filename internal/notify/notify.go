@@ -59,6 +59,11 @@ type Event struct {
 	Kind  Kind
 	// Err carries the failure reason for FileFailed events.
 	Err string
+	// Attempts and RetryAfter detail a FileFailed event from a
+	// quarantined interval: consecutive launch failures and the time
+	// until the circuit breaker half-opens (zero outside quarantine).
+	Attempts   int
+	RetryAfter int64 // nanoseconds
 }
 
 // Stats counts hub activity.

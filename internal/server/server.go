@@ -73,8 +73,13 @@ type Server struct {
 	// baseline in benchmarks and skew tests.
 	DisableBinary bool
 
+	// WrapConn, when set before Serve, wraps every accepted connection —
+	// the seam fault injectors (faults.ConnPlan) and instrumentation hook
+	// into without touching the accept loop.
+	WrapConn func(net.Conn) net.Conn
+
 	mu     sync.Mutex
-	conns  map[net.Conn]bool
+	conns  map[net.Conn]*session
 	closed bool
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
@@ -85,7 +90,7 @@ func New(v *core.Virtualizer, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{v: v, conns: map[net.Conn]bool{}, logf: logf}
+	return &Server{v: v, conns: map[net.Conn]*session{}, logf: logf}
 }
 
 // Listen binds the daemon to addr (e.g. "127.0.0.1:7878"). Use port 0 for
@@ -124,23 +129,37 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		if s.WrapConn != nil {
+			conn = s.WrapConn(conn)
+		}
+		sess := &session{
+			conn:  conn,
+			br:    bufio.NewReaderSize(conn, 32<<10),
+			codec: netproto.JSON,
+			srv:   s,
+			held:  map[string]map[string]int{},
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = true
+		s.conns[conn] = sess
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			s.handle(sess)
 		}()
 	}
 }
 
-// Close stops accepting, closes all connections and waits for handlers.
+// Close stops accepting and shuts down gracefully: every live session's
+// pending waits, acquires and subscriptions are failed with a structured
+// draining frame, buffered replies are flushed, and only then are the
+// connections closed. A client that receives draining knows its request
+// was not lost in flight — it can reconnect and retry.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -148,16 +167,17 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
+	sessions := make([]*session, 0, len(s.conns))
+	for _, sess := range s.conns {
+		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	for _, c := range conns {
-		c.Close()
+	for _, sess := range sessions {
+		sess.drain()
+		sess.conn.Close()
 	}
 	s.wg.Wait()
 }
@@ -211,6 +231,33 @@ func (sess *session) dropSub(id uint64) *notify.Sub {
 	delete(sess.subs, id)
 	sess.mu.Unlock()
 	return sub
+}
+
+// drain performs the graceful half of shutdown for one session: every
+// pending wait/acquire/subscribe request is answered with a terminal
+// draining frame (so the client's call returns with a retryable error
+// instead of a dead connection), and the coalesced reply buffer is
+// flushed so nothing the dispatch loop already answered is lost.
+func (sess *session) drain() {
+	sess.mu.Lock()
+	ids := make([]uint64, 0, len(sess.subs))
+	subs := make([]*notify.Sub, 0, len(sess.subs))
+	for id, sub := range sess.subs {
+		ids = append(ids, id)
+		subs = append(subs, sub)
+	}
+	sess.subs = nil
+	sess.mu.Unlock()
+	// Close the subscriptions first so their pump goroutines stop sending;
+	// then the draining frames below are the last word on each request ID.
+	for _, sub := range subs {
+		sub.Close()
+	}
+	for _, id := range ids {
+		sess.reply(netproto.Response{ID: id, Code: netproto.CodeDraining,
+			Err: "daemon shutting down", Done: true})
+	}
+	sess.flush()
 }
 
 // closeSubs closes every live subscription (disconnect cleanup).
@@ -284,7 +331,12 @@ func (s *session) flushLocked() {
 // client dispatching on the code does not mistake them for bad input.
 func codeOf(err error) netproto.ErrCode {
 	var pathErr *fs.PathError
+	var qerr *core.QuarantineError
 	switch {
+	case errors.As(err, &qerr):
+		// Quarantined intervals fail fast; the caller fills the structured
+		// Attempts/RetryAfterNs fields from the error.
+		return netproto.CodeFailed
 	case errors.Is(err, core.ErrUnknownContext):
 		return netproto.CodeNoSuchContext
 	case errors.Is(err, core.ErrDraining), errors.Is(err, core.ErrBusy):
@@ -298,14 +350,8 @@ func codeOf(err error) netproto.ErrCode {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
-	sess := &session{
-		conn:  conn,
-		br:    bufio.NewReaderSize(conn, 32<<10),
-		codec: netproto.JSON,
-		srv:   s,
-		held:  map[string]map[string]int{},
-	}
+func (s *Server) handle(sess *session) {
+	conn := sess.conn
 	defer func() {
 		// Replies queued by the final dispatch of a closing session
 		// (version rejections, failed hellos) must still reach the peer.
@@ -376,7 +422,13 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 	id := env.ID
 	fail := func(err error) {
-		sess.reply(netproto.Response{ID: id, Code: codeOf(err), Err: err.Error()})
+		resp := netproto.Response{ID: id, Code: codeOf(err), Err: err.Error()}
+		var qerr *core.QuarantineError
+		if errors.As(err, &qerr) {
+			resp.Attempts = qerr.Attempts
+			resp.RetryAfterNs = int64(qerr.RetryAfter)
+		}
+		sess.reply(resp)
 	}
 	// decode unmarshals the typed body, answering a structured
 	// bad-request (with the op and request ID wrapped in) on failure.
@@ -570,6 +622,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		ls, _ := s.v.LockStats(b.Context)
 		ss := s.v.SchedStats()
+		retries, quarantined, _ := s.v.RetryStats(b.Context)
 		// The context resolved above, so the control-plane state lookups
 		// cannot fail; reporting them closes the loop for operators who
 		// just issued a drain or cache-policy-set.
@@ -591,6 +644,8 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			SchedAgentWaitNs:  int64(ss.AgentWait.Wait),
 			SchedPreempted:    ss.Preempted,
 			SchedQuotaRounds:  ss.QuotaRounds, SchedQuotaDeferred: ss.QuotaDeferred,
+			SchedRetries:     uint64(retries),
+			SchedQuarantined: uint64(quarantined),
 		}})
 
 	case netproto.OpPrefetch:
@@ -730,6 +785,23 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		sess.reply(netproto.Response{ID: id, OK: true})
 
+	case netproto.OpQuarantineReset:
+		var b netproto.CtxBody
+		if !decode(&b) {
+			return true
+		}
+		n, err := s.v.ResetQuarantine(b.Context)
+		if err != nil {
+			fail(err)
+			return true
+		}
+		if b.Context == "" {
+			s.logf("server: quarantine reset on all contexts by %s (%d released)", sess.client, n)
+		} else {
+			s.logf("server: quarantine reset on context %s by %s (%d released)", b.Context, sess.client, n)
+		}
+		sess.reply(netproto.Response{ID: id, OK: true, Count: n})
+
 	case netproto.OpCtxRegister:
 		var b netproto.CtxRegisterBody
 		if !decode(&b) {
@@ -820,6 +892,8 @@ func (s *Server) waitFile(sess *session, id uint64, ctxName, file string) error 
 			Ready: ev.Kind == notify.FileReady, Done: true, File: file}
 		if ev.Err != "" {
 			resp.Code = netproto.CodeFailed
+			resp.Attempts = ev.Attempts
+			resp.RetryAfterNs = ev.RetryAfter
 		}
 		sess.send(resp)
 	}
@@ -903,12 +977,15 @@ func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
 		w.resolved[ev.Topic] = true
 		w.pending--
 		if ev.Kind == notify.FileFailed {
+			resp := netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, File: f,
+				Attempts: ev.Attempts, RetryAfterNs: ev.RetryAfter}
 			if failFast {
-				sess.send(netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, Done: true, File: f})
+				resp.Done = true
+				sess.send(resp)
 				w.sub.Close()
 				return
 			}
-			sess.send(netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, File: f})
+			sess.send(resp)
 		} else {
 			// The client was blocked on this file: reset its τcli
 			// baseline, as the in-process waiter path does.

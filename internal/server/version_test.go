@@ -4,8 +4,10 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"simfs/internal/dvlib"
+	"simfs/internal/model"
 	"simfs/internal/netproto"
 )
 
@@ -303,6 +305,66 @@ func TestBinarySessionRawFrames(t *testing.T) {
 	netproto.Binary.EncodeFrame(conn, ping2)
 	if err := netproto.Binary.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 4 {
 		t.Errorf("binary ping after garbage frame: %v %+v", err, resp)
+	}
+}
+
+// Graceful shutdown: a wait pending when the daemon closes is answered
+// with a terminal structured draining frame — not a silently dropped
+// connection — so the client knows the request can be retried elsewhere.
+func TestCloseDrainsPendingWaiters(t *testing.T) {
+	var st *Stack
+	_, addr := testStackWith(t, func(s *Stack) {
+		st = s
+		// Slow each produced step down so the wait below is still pending
+		// when Close fires.
+		inner := s.Launcher.Write
+		s.Launcher.Write = func(ctx *model.Context, step int) error {
+			time.Sleep(50 * time.Millisecond)
+			return inner(ctx, step)
+		}
+	})
+	conn := rawConn(t, addr)
+	hello, _ := netproto.NewEnvelope(1, netproto.OpHello,
+		netproto.HelloBody{Version: netproto.ProtoVersion, Client: "drainee"})
+	if err := netproto.JSON.EncodeFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	var resp netproto.Response
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK {
+		t.Fatalf("handshake: %v %+v", err, resp)
+	}
+	open, _ := netproto.NewEnvelope(2, netproto.OpOpen,
+		netproto.FileBody{Context: "clim", File: "clim_out_00000006.nc"})
+	if err := netproto.JSON.EncodeFrame(conn, open); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.Available {
+		t.Fatalf("open: %v %+v", err, resp)
+	}
+	wait, _ := netproto.NewEnvelope(3, netproto.OpWait,
+		netproto.FileBody{Context: "clim", File: "clim_out_00000006.nc"})
+	if err := netproto.JSON.EncodeFrame(conn, wait); err != nil {
+		t.Fatal(err)
+	}
+	// A ping round-trip pins the ordering: once its reply arrives the
+	// daemon has dispatched the wait, so Close finds it pending.
+	ping, _ := netproto.NewEnvelope(4, netproto.OpPing, nil)
+	if err := netproto.JSON.EncodeFrame(conn, ping); err != nil {
+		t.Fatal(err)
+	}
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil || !resp.OK || resp.ID != 4 {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+
+	st.Server.Close()
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != nil {
+		t.Fatalf("pending wait got no frame on shutdown: %v", err)
+	}
+	if resp.ID != 3 || resp.Code != netproto.CodeDraining || !resp.Done {
+		t.Errorf("pending wait answered with %+v, want a terminal CodeDraining frame on id 3", resp)
+	}
+	if err := netproto.JSON.DecodeFrame(conn, &resp); err != io.EOF {
+		t.Errorf("connection survived shutdown: %v %+v", err, resp)
 	}
 }
 

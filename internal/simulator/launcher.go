@@ -55,8 +55,16 @@ type DESLauncher struct {
 	// (nil = no queueing).
 	Queue batch.Sampler
 	// FailEvery injects a crash into every n-th launched simulation
-	// (0 = never), after it produced half of its range.
+	// (0 = never), after it produced half of its range. It is the
+	// fixed-schedule shorthand for FailAt.
 	FailEvery int
+	// FailAt, when set, decides per launch whether and where the run
+	// crashes (faults.SimPlan implements it): it returns the first step
+	// the run does NOT produce — steps first..crash-1 land before the
+	// failure, crash == first fails before producing anything — and a
+	// negative return (or one outside [first, last]) runs healthy.
+	// FailAt takes precedence over FailEvery.
+	FailAt func(ctxName string, first, last int) int
 
 	nextID  int64
 	running map[int64]*desRun
@@ -92,9 +100,13 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 		}
 		alpha := ctx.Alpha
 		tau := ctx.TauAt(parallelism)
-		failAt := -1
-		if l.FailEvery > 0 && id%int64(l.FailEvery) == 0 {
-			failAt = first + (last-first)/2
+		crash := -1 // first step not produced; -1 = healthy run
+		if l.FailAt != nil {
+			if c := l.FailAt(ctx.Name, first, last); c >= first && c <= last {
+				crash = c
+			}
+		} else if l.FailEvery > 0 && id%int64(l.FailEvery) == 0 {
+			crash = first + (last-first)/2 + 1
 		}
 		run.timers = append(run.timers, l.Engine.Schedule(delay+alpha, func() {
 			run.started = true
@@ -103,7 +115,7 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 		for s := first; s <= last; s++ {
 			s := s
 			prodAt := delay + alpha + time.Duration(s-first+1)*tau
-			if failAt >= 0 && s > failAt {
+			if crash >= 0 && s >= crash {
 				break
 			}
 			run.timers = append(run.timers, l.Engine.Schedule(prodAt, func() {
@@ -112,8 +124,8 @@ func (l *DESLauncher) Launch(ctx *model.Context, first, last, parallelism int) i
 		}
 		endAt := delay + alpha + time.Duration(last-first+1)*tau
 		outcome := Completed
-		if failAt >= 0 {
-			endAt = delay + alpha + time.Duration(failAt-first+1)*tau
+		if crash >= 0 {
+			endAt = delay + alpha + time.Duration(crash-first)*tau
 			outcome = Failed
 		}
 		run.timers = append(run.timers, l.Engine.Schedule(endAt, func() {
@@ -175,6 +187,11 @@ type RealTimeLauncher struct {
 	TimeScale int
 	// Queue samples per-job batch queueing delays (nil = none).
 	Queue batch.Sampler
+	// FailAt, when set, decides per launch whether and where the run
+	// crashes, with the same contract as DESLauncher.FailAt: the return
+	// value is the first step NOT produced; negative or out-of-range
+	// runs healthy.
+	FailAt func(ctxName string, first, last int) int
 
 	mu      sync.Mutex
 	nextID  int64
@@ -208,6 +225,13 @@ func (l *RealTimeLauncher) Launch(ctx *model.Context, first, last, parallelism i
 	}
 	l.mu.Unlock()
 
+	crash := -1 // first step not produced; -1 = healthy run
+	if l.FailAt != nil {
+		if c := l.FailAt(ctx.Name, first, last); c >= first && c <= last {
+			crash = c
+		}
+	}
+
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -228,6 +252,10 @@ func (l *RealTimeLauncher) Launch(ctx *model.Context, first, last, parallelism i
 		for s := first; s <= last; s++ {
 			if !sleep(tau) {
 				l.finish(id, Killed)
+				return
+			}
+			if crash >= 0 && s >= crash {
+				l.finish(id, Failed)
 				return
 			}
 			if err := l.Write(ctx, s); err != nil {

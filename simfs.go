@@ -54,6 +54,7 @@ package simfs
 import (
 	"context"
 
+	"simfs/internal/core"
 	"simfs/internal/dvlib"
 	"simfs/internal/ioshim"
 	"simfs/internal/model"
@@ -159,6 +160,7 @@ const (
 	CodeBusy          = netproto.CodeBusy
 	CodeNotProduced   = netproto.CodeNotProduced
 	CodeFailed        = netproto.CodeFailed
+	CodeDraining      = netproto.CodeDraining
 )
 
 // ErrCodeOf extracts the structured code from an error chain ("" when
@@ -171,6 +173,44 @@ type DialOption = dvlib.DialOption
 // WithJSONCodec disables binary-codec negotiation: the connection speaks
 // JSON frames even against a daemon offering the fast path.
 func WithJSONCodec() DialOption { return dvlib.WithJSONCodec() }
+
+// ReconnectConfig tunes client auto-reconnect: jittered exponential
+// backoff between redial attempts and the total budget before the
+// client gives up for good. The zero value uses sane defaults.
+type ReconnectConfig = dvlib.ReconnectConfig
+
+// WithReconnect makes the client survive connection loss: it redials
+// with backoff, re-runs the handshake (including codec negotiation),
+// re-opens every held file reference, re-subscribes active watches, and
+// transparently replays idempotent in-flight requests. Non-idempotent
+// requests in flight at the reset (release, acquire, control-plane ops)
+// fail with ErrReconnecting instead — the client cannot know whether
+// they landed, so the caller decides.
+func WithReconnect(cfg ReconnectConfig) DialOption { return dvlib.WithReconnect(cfg) }
+
+// ErrReconnecting marks a non-idempotent request that was in flight
+// when the connection reset. The client's state has been resynced with
+// the daemon; re-issue the request if it is still wanted.
+var ErrReconnecting = dvlib.ErrReconnecting
+
+// ErrNotHeld marks a release of a file the client does not hold — the
+// reconnect-mode guard against double releases silently corrupting
+// daemon-side reference counts.
+var ErrNotHeld = dvlib.ErrNotHeld
+
+// RetryPolicy configures the daemon's re-simulation failure ledger:
+// failed re-simulations retry with jittered exponential backoff, and an
+// interval failing persistently is quarantined by a circuit breaker
+// (demand opens fail fast with structured responses until the cooldown
+// elapses or an operator resets it). The zero value disables the ledger
+// — failures fail immediately, the pre-ledger behavior. Install it with
+// Daemon.V.SetRetryPolicy.
+type RetryPolicy = core.RetryPolicy
+
+// QuarantineError is the structured failure the daemon reports for an
+// interval held by the re-simulation circuit breaker, carrying the
+// attempt count and the remaining cooldown.
+type QuarantineError = core.QuarantineError
 
 // Codec frames protocol messages on the wire; JSONCodec and BinaryCodec
 // are the two implementations a session can negotiate.
