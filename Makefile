@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-server benchstat proto-fuzz chaos-smoke lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke bench-server bench-fed benchstat proto-fuzz chaos-smoke fed-smoke lint fmt vet check clean
 
 all: build
 
@@ -60,8 +60,23 @@ BENCH_COUNT ?= 5
 bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerMultiClientTCP' -benchtime 1s -count $(BENCH_COUNT) . | tee bench-server.txt
 	$(GO) run ./cmd/bench2json -bench BenchmarkServerMultiClientTCP \
-		-base codec=json -target codec=binary+batch -out BENCH_server.json < bench-server.txt
+		-compare 'codec=binary+batch vs codec=json' -out BENCH_server.json < bench-server.txt
 	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-server.txt; fi
+
+# bench-fed regenerates BENCH_federation.json, the scale-out figure:
+# aggregate roundtrips/s for 1, 2, and 4 daemons behind the
+# consistent-hash router, plus the router-overhead comparison against a
+# direct daemon dial at daemons=1. Each daemon runs a 2-node scheduler
+# budget, so the figure measures admission capacity scaling, not CPU.
+FED_BENCH_COUNT ?= 3
+bench-fed:
+	$(GO) test -run '^$$' -bench 'BenchmarkFederationTCP' -benchtime 2s -count $(FED_BENCH_COUNT) . | tee bench-fed.txt
+	$(GO) run ./cmd/bench2json -bench BenchmarkFederationTCP \
+		-compare 'daemons=2/mode=router vs daemons=1/mode=router' \
+		-compare 'daemons=4/mode=router vs daemons=1/mode=router' \
+		-compare 'daemons=1/mode=router vs daemons=1/mode=direct' \
+		-out BENCH_federation.json < bench-fed.txt
+	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-fed.txt; fi
 
 # proto-fuzz runs the wire-protocol fuzzers (one per frame codec) over
 # their committed seed corpora plus FUZZTIME of random exploration each
@@ -82,6 +97,14 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaosWorkloadUnderFaults|TestDaemonRestartMidWorkload|TestCloseDrainsPendingWaiters' ./internal/server
 	$(GO) test -race -run 'TestReconnect|TestDoubleReleaseRefused' ./internal/dvlib
 	$(GO) test -race ./internal/faults
+
+# fed-smoke is the federation gate under the race detector: router
+# proxying across sharded daemons, cross-daemon notify exactly-once
+# delivery, version-skew (binary-disabled daemon behind the router),
+# dead-peer isolation, and reconnecting clients riding through a router
+# restart.
+fed-smoke:
+	$(GO) test -race -count=1 -run 'TestFederation' ./internal/fed
 
 lint: fmt vet
 

@@ -18,7 +18,9 @@ import (
 	"simfs/internal/des"
 	"simfs/internal/dvlib"
 	"simfs/internal/experiments"
+	"simfs/internal/fed"
 	"simfs/internal/model"
+	"simfs/internal/sched"
 	"simfs/internal/server"
 	"simfs/internal/simulator"
 	"simfs/internal/trace"
@@ -530,6 +532,141 @@ func benchServerTCP(b *testing.B, opts []dvlib.DialOption, window int) {
 				}
 			}
 			done += n
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(clients)*float64(per)/b.Elapsed().Seconds(), "roundtrips/sec")
+}
+
+// BenchmarkFederationTCP is the scale-out figure: aggregate roundtrips
+// per second of a contended multi-client workload against 1, 2 and 4
+// daemons behind the consistent-hash router, plus the direct-dial
+// baseline that prices the router hop at daemons=1.
+//
+// The workload is deliberately miss-heavy: every open demands a fresh
+// re-simulation (forward sweep over never-produced steps), and each
+// daemon runs a 2-node scheduler budget, so aggregate throughput is
+// bounded by simulation slots — the resource federation multiplies.
+// Re-simulations are wall-clock launcher sleeps (Tau/Alpha scaled to
+// ~2 ms), not CPU, so the figure measures scale-out, not core count.
+func BenchmarkFederationTCP(b *testing.B) {
+	b.Run("daemons=1/mode=direct", func(b *testing.B) { benchFederationTCP(b, 1, false) })
+	b.Run("daemons=1/mode=router", func(b *testing.B) { benchFederationTCP(b, 1, true) })
+	b.Run("daemons=2/mode=router", func(b *testing.B) { benchFederationTCP(b, 2, true) })
+	b.Run("daemons=4/mode=router", func(b *testing.B) { benchFederationTCP(b, 4, true) })
+}
+
+func benchFederationTCP(b *testing.B, daemons int, viaRouter bool) {
+	const (
+		clients   = 8
+		timeScale = 50 // Tau/Alpha 100ms → 2ms wall-clock per sim phase
+	)
+	newCtx := func(name string) *model.Context {
+		return &model.Context{
+			Name:        name,
+			Grid:        model.Grid{DeltaD: 1, DeltaR: 1, Timesteps: 1024},
+			OutputBytes: 64, RestartBytes: 64,
+			MaxCacheBytes:      32 * 64, // wrap-around sweeps stay misses
+			Tau:                100 * time.Millisecond,
+			Alpha:              100 * time.Millisecond,
+			DefaultParallelism: 1, MaxParallelism: 1, SMax: 1, NoPrefetch: true,
+		}
+	}
+	stacks := make([]*server.Stack, daemons)
+	addrs := make([]string, daemons)
+	for d := range stacks {
+		st, err := server.NewScheduledStack(b.TempDir(), timeScale, "DCL",
+			sched.Config{TotalNodes: 2}, newCtx(fmt.Sprintf("fedseed%d", d)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		go st.Server.Serve()
+		defer func(st *server.Stack) {
+			st.Close()
+			st.Launcher.Wait()
+		}(st)
+		stacks[d], addrs[d] = st, st.Server.Addr()
+	}
+
+	ring := fed.NewRing(0, addrs...)
+	byAddr := map[string]int{}
+	for d, a := range addrs {
+		byAddr[a] = d
+	}
+	// One context per client, registered on its ring owner — the same
+	// placement the router will compute per request. Candidate names are
+	// scanned until each daemon holds an equal share, so the scaling
+	// figure measures daemon capacity rather than the small-sample luck
+	// of 8 specific names on the ring (real deployments hold many
+	// contexts, where the ring's balance averages out).
+	quota := clients / daemons
+	ctxNames := make([]string, 0, clients)
+	held := make([]int, daemons)
+	for i := 0; len(ctxNames) < clients; i++ {
+		ctx := newCtx(fmt.Sprintf("fedctx%d", i))
+		d := byAddr[ring.Owner(ctx.Name)]
+		if held[d] >= quota {
+			continue
+		}
+		held[d]++
+		ctxNames = append(ctxNames, ctx.Name)
+		if err := stacks[d].RegisterContext(ctx, "DCL", true); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	target := addrs[0]
+	if viaRouter {
+		r := fed.NewRouter(addrs, 0, nil)
+		if err := r.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		go r.Serve()
+		defer r.Close()
+		target = r.Addr()
+	}
+
+	conns := make([]*dvlib.Context, clients)
+	for c := range conns {
+		cli, err := dvlib.Dial(target, fmt.Sprintf("fedbench%d", c))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		actx, err := cli.Init(ctxNames[c])
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[c] = actx
+	}
+
+	// b.N total demand roundtrips split across the clients (ns/op stays
+	// per roundtrip); each client sweeps its own context forward, so
+	// every open demands a re-simulation.
+	per := (b.N + clients - 1) / clients
+	b.ResetTimer()
+	if _, err := experiments.RunCells(clients, clients, func(c int) (struct{}, error) {
+		actx := conns[c]
+		for i := 0; i < per; i++ {
+			file := actx.Filename(i%1024 + 1)
+			res, err := actx.Open(file)
+			if err != nil {
+				return struct{}{}, err
+			}
+			if !res.Available {
+				if err := actx.WaitAvailable(file); err != nil {
+					return struct{}{}, err
+				}
+			}
+			if err := actx.Close(file); err != nil {
+				return struct{}{}, err
+			}
 		}
 		return struct{}{}, nil
 	}); err != nil {

@@ -1,15 +1,19 @@
 // Command bench2json condenses `go test -bench` output into a committed
 // JSON scoreboard. It reads the benchmark text from stdin, takes the
 // median of each metric across -count repetitions, and emits one JSON
-// object per sub-benchmark plus a base-vs-target comparison (speedup and
-// allocation ratio). The Makefile's bench-server target drives it to
-// regenerate BENCH_server.json.
+// object per sub-benchmark plus any number of base-vs-target comparisons
+// (speedup, allocation ratio, throughput ratio). The Makefile's
+// bench-server and bench-fed targets drive it to regenerate
+// BENCH_server.json and BENCH_federation.json.
 //
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkServerMultiClientTCP -count 5 . |
 //	    bench2json -bench BenchmarkServerMultiClientTCP \
-//	        -base codec=json -target codec=binary+batch -out BENCH_server.json
+//	        -compare 'codec=binary+batch vs codec=json' -out BENCH_server.json
+//
+// -compare is repeatable; each occurrence is "target vs base" naming two
+// sub-benchmarks from the input.
 package main
 
 import (
@@ -39,24 +43,31 @@ type comparison struct {
 	Base        string  `json:"base"`
 	Target      string  `json:"target"`
 	Speedup     float64 `json:"speedup_ns_per_op"`
-	AllocsRatio float64 `json:"allocs_ratio"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
 	ThroughputX float64 `json:"throughput_ratio,omitempty"`
 }
 
 type report struct {
-	Benchmark  string             `json:"benchmark"`
-	Context    map[string]string  `json:"context,omitempty"`
-	Results    map[string]*result `json:"results"`
-	Comparison *comparison        `json:"comparison,omitempty"`
+	Benchmark   string             `json:"benchmark"`
+	Context     map[string]string  `json:"context,omitempty"`
+	Results     map[string]*result `json:"results"`
+	Comparisons []*comparison      `json:"comparisons,omitempty"`
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	bench := flag.String("bench", "", "benchmark name to collect (prefix before the first '/'; empty = all)")
-	base := flag.String("base", "", "sub-benchmark used as the comparison baseline")
-	target := flag.String("target", "", "sub-benchmark compared against -base")
 	out := flag.String("out", "", "output file (default stdout)")
+	var pairs [][2]string // {target, base}
+	flag.Func("compare", "repeatable \"target vs base\" pair of sub-benchmark names", func(s string) error {
+		target, base, ok := strings.Cut(s, " vs ")
+		if !ok {
+			return fmt.Errorf("want %q, got %q", "target vs base", s)
+		}
+		pairs = append(pairs, [2]string{strings.TrimSpace(target), strings.TrimSpace(base)})
+		return nil
+	})
 	flag.Parse()
 
 	samples := map[string]map[string][]float64{} // sub-bench -> unit -> values
@@ -128,13 +139,14 @@ func main() {
 		rep.Results[sub] = r
 	}
 
-	if *base != "" && *target != "" {
-		br, okB := rep.Results[*base]
-		tr, okT := rep.Results[*target]
+	for _, p := range pairs {
+		target, base := p[0], p[1]
+		tr, okT := rep.Results[target]
+		br, okB := rep.Results[base]
 		if !okB || !okT {
-			log.Fatalf("bench2json: comparison needs both %q and %q in the input", *base, *target)
+			log.Fatalf("bench2json: comparison needs both %q and %q in the input", base, target)
 		}
-		cmp := &comparison{Base: *base, Target: *target}
+		cmp := &comparison{Base: base, Target: target}
 		if tr.NsPerOp > 0 {
 			cmp.Speedup = round3(br.NsPerOp / tr.NsPerOp)
 		}
@@ -144,9 +156,9 @@ func main() {
 		if br.RoundtripsPerSc > 0 {
 			cmp.ThroughputX = round3(tr.RoundtripsPerSc / br.RoundtripsPerSc)
 		}
-		rep.Comparison = cmp
+		rep.Comparisons = append(rep.Comparisons, cmp)
 		fmt.Fprintf(os.Stderr, "bench2json: %s vs %s: %.2fx faster, %.2fx the allocations\n",
-			*target, *base, cmp.Speedup, cmp.AllocsRatio)
+			target, base, cmp.Speedup, cmp.AllocsRatio)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -127,10 +127,39 @@ func main() {
 		fmt.Fprintf(w, "restarts\t%d\nkills\t%d\ndropped prefetch\t%d\ndraining\t%v\n",
 			st.Restarts, st.Kills, st.DroppedPrefetch, st.Draining)
 		w.Flush()
+		if len(st.Ops) > 0 {
+			// Per-op service-time percentiles (log2 buckets, so ±2×):
+			// the daemon-side cost of each op, which is what separates
+			// "the daemon is slow" from "the network/router is slow".
+			fmt.Println("\nop latency (service time, log2-bucket precision):")
+			lw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+			fmt.Fprintf(lw, "op\tcount\tp50\tp99\n")
+			for _, l := range st.Ops {
+				fmt.Fprintf(lw, "%s\t%d\t%s\t%s\n",
+					l.Op, l.Count, time.Duration(l.P50Ns), time.Duration(l.P99Ns))
+			}
+			lw.Flush()
+		}
 		if st.SchedQuarantined > 0 {
 			fmt.Println("\nintervals have been quarantined; once the underlying fault is fixed,")
 			fmt.Println("`simfs-ctl quarantine-reset` re-admits them before the cooldown elapses")
 		}
+
+	case "peers":
+		// Federation links: ring members (on a router), outbound bridge
+		// connections and inbound fed-watch sessions (on a daemon).
+		infos, err := admin.Peers(cx)
+		check(err)
+		if len(infos) == 0 {
+			fmt.Println("not federated (no peers)")
+			break
+		}
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "addr\trole\tconnected\ttopics\tevents\n")
+		for _, p := range infos {
+			fmt.Fprintf(w, "%s\t%s\t%v\t%d\t%d\n", p.Addr, p.Role, p.Connected, p.Topics, p.Events)
+		}
+		w.Flush()
 
 	case "quarantine-reset":
 		// Optional context argument; no argument resets every context.
@@ -301,7 +330,8 @@ inspection:
   contexts                      list simulation contexts
   info                          show one context's parameters (-context)
   stats                         show one context's counters (-context)
-  health                        fault-tolerance counters: failures, retries, quarantines (-context)
+  health                        fault-tolerance counters + per-op latency percentiles (-context)
+  peers                         federation links (ring members / bridge connections / inbound watches)
   estwait <file>                estimated availability delay (-context)
   bitrep <file>                 bitwise-reproducibility check (-context)
   rescan                        resync the cache with the storage area (-context)

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -56,6 +57,11 @@ func main() {
 	preempt := flag.String("sched-preempt", "youngest", "kill a running agent prefetch for a node-blocked demand miss: off | youngest | cheapest (needs -sched-nodes)")
 	quantum := flag.Int("sched-quantum", 0, "per-client deficit-round-robin quantum in output steps inside a priority class (0 = pure FIFO)")
 	noBinary := flag.Bool("no-binary", false, "do not offer the binary fast-path codec; all sessions stay on JSON frames")
+	// Federation: when this daemon is one member behind simfs-router,
+	// -peers lists the OTHER members, so subscriptions to files a peer
+	// produces are forwarded there and their events come back.
+	peers := flag.String("peers", "", "comma-separated peer daemon addresses for cross-daemon notification (federation)")
+	fedName := flag.String("fed-name", "", "this daemon's name on its federation links (default: the listen address)")
 	// Failure ledger: retry failed re-simulations with backoff, then
 	// quarantine the interval (circuit breaker). Off by default — the
 	// zero policy reproduces the fail-immediately behavior exactly.
@@ -95,6 +101,20 @@ func main() {
 		log.Fatalf("simfs-dv: %v", err)
 	}
 	d.Server.DisableBinary = *noBinary
+	if *peers != "" {
+		var peerAddrs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerAddrs = append(peerAddrs, p)
+			}
+		}
+		name := *fedName
+		if name == "" {
+			name = *addr
+		}
+		d.EnablePeers(name, peerAddrs)
+		log.Printf("simfs-dv: federation enabled as %q, forwarding remote watches to %v", name, peerAddrs)
+	}
 	if *retryMax > 0 {
 		d.V.SetRetryPolicy(simfs.RetryPolicy{
 			MaxAttempts: *retryMax,

@@ -49,7 +49,7 @@ func (v *Virtualizer) Bitrep(ctxName, filename string, content []byte) (bool, er
 	driver := cs.driver
 	cs.mu.Unlock()
 	if !found {
-		return false, fmt.Errorf("core: no registered checksum for %q (run the checksum utility after the initial simulation)", filename)
+		return false, fmt.Errorf("core: %w: no registered checksum for %q (run the checksum utility after the initial simulation)", ErrInvalid, filename)
 	}
 	return driver.Checksum(content) == orig, nil
 }

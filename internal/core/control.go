@@ -23,6 +23,11 @@ var (
 	// ErrNotProduced: the file is neither on disk nor promised by a
 	// re-simulation.
 	ErrNotProduced = errors.New("file is not being produced")
+	// ErrInvalid: the request itself is malformed — a filename outside
+	// the simulated timeline, an unknown cache policy, a nil context
+	// definition. Front-ends map it to a bad-request error code;
+	// anything unclassified is treated as an internal daemon failure.
+	ErrInvalid = errors.New("invalid request")
 )
 
 // SchedConfig returns the re-simulation scheduler policy in effect.
@@ -65,7 +70,7 @@ func (v *Virtualizer) SetCachePolicy(ctxName, policyName string) error {
 	}
 	pol, err := cache.NewPolicy(policyName, capacity)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	stepOf := func(name string) int {
 		step, err := cs.ctx.Key(name)

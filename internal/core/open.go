@@ -54,7 +54,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 		return OpenResult{}, err
 	}
 	if !cs.ctx.Grid.ValidOutput(step) {
-		return OpenResult{}, fmt.Errorf("core: %q is outside the simulated timeline", filename)
+		return OpenResult{}, fmt.Errorf("core: %w: %q is outside the simulated timeline", ErrInvalid, filename)
 	}
 	now := v.clock.Now()
 	cs.stats.Opens++
@@ -108,7 +108,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 		first, last, ok := cs.ctx.Grid.OutputsIn(iv)
 		if !ok {
 			cs.refs[step]--
-			return OpenResult{}, fmt.Errorf("core: no outputs in re-simulation interval for %q", filename)
+			return OpenResult{}, fmt.Errorf("core: %w: no outputs in re-simulation interval for %q", ErrInvalid, filename)
 		}
 		// Circuit breaker: an interval that exhausted its retry budget
 		// fails fast with the structured quarantine error instead of
@@ -172,7 +172,7 @@ func (v *Virtualizer) Release(client, ctxName, filename string) error {
 		return err
 	}
 	if cs.refs[step] <= 0 {
-		return fmt.Errorf("core: release of unreferenced file %q", filename)
+		return fmt.Errorf("core: %w: release of unreferenced file %q", ErrInvalid, filename)
 	}
 	cs.refs[step]--
 	if cs.refs[step] == 0 {
@@ -307,7 +307,7 @@ func (v *Virtualizer) GuidedPrefetch(client, ctxName string, filenames []string)
 			return launched, err
 		}
 		if !cs.ctx.Grid.ValidOutput(step) {
-			return launched, fmt.Errorf("core: %q is outside the simulated timeline", f)
+			return launched, fmt.Errorf("core: %w: %q is outside the simulated timeline", ErrInvalid, f)
 		}
 		if cs.resident(step) {
 			continue

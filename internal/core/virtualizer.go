@@ -263,11 +263,11 @@ func (v *Virtualizer) AddContext(ctx *model.Context, policyName string, fs vfs.F
 	v.ctxMu.Lock()
 	defer v.ctxMu.Unlock()
 	if _, dup := v.contexts[ctx.Name]; dup {
-		return fmt.Errorf("core: duplicate context %q", ctx.Name)
+		return fmt.Errorf("core: %w: duplicate context %q", ErrInvalid, ctx.Name)
 	}
 	if ctx.Upstream != "" {
 		if _, ok := v.contexts[ctx.Upstream]; !ok {
-			return fmt.Errorf("core: context %q names unknown upstream %q", ctx.Name, ctx.Upstream)
+			return fmt.Errorf("core: %w: context %q names unknown upstream %q", ErrInvalid, ctx.Name, ctx.Upstream)
 		}
 	}
 	v.sched.Register(ctx.Name, ctx.SMax)
@@ -523,7 +523,7 @@ func (v *Virtualizer) FileTopic(ctxName, filename string) (notify.Topic, error) 
 		return notify.Topic{}, err
 	}
 	if !cs.ctx.Grid.ValidOutput(step) {
-		return notify.Topic{}, fmt.Errorf("core: %q is outside the simulated timeline", filename)
+		return notify.Topic{}, fmt.Errorf("core: %w: %q is outside the simulated timeline", ErrInvalid, filename)
 	}
 	return notify.Topic{Context: ctxName, Step: step}, nil
 }

@@ -102,6 +102,18 @@ func (a *Admin) Resume(ctx context.Context, name string) error {
 	return err
 }
 
+// Peers lists the daemon's (or router's) federation links: ring members
+// seen from a router, outbound bridge connections and inbound fed-watch
+// sessions seen from a daemon. An empty list means the endpoint is not
+// federated.
+func (a *Admin) Peers(ctx context.Context) ([]netproto.PeerInfo, error) {
+	resp, err := a.c.callCtx(ctx, netproto.OpPeers, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}
+
 // ResetQuarantine clears the re-simulation failure ledger of a context
 // ("" = every context), closing open circuit breakers so demand opens
 // launch fresh re-simulations again — the operator override once the

@@ -1,0 +1,535 @@
+// Integration tests for the federation tier: a consistent-hash router
+// in front of real daemons, exercised with the ordinary dvlib client.
+// Everything here is named TestFederation* so `make fed-smoke` can run
+// the whole tier under the race detector with one -run pattern.
+package fed_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"simfs/internal/dvlib"
+	"simfs/internal/fed"
+	"simfs/internal/model"
+	"simfs/internal/netproto"
+	"simfs/internal/server"
+)
+
+// fedCtx builds a small, fast context: 4 ms simulation start-up, 2 ms
+// per output step, 64 steps.
+func fedCtx(name string) *model.Context {
+	return &model.Context{
+		Name:               name,
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 64},
+		OutputBytes:        256,
+		RestartBytes:       128,
+		Tau:                2 * time.Millisecond,
+		Alpha:              4 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	}
+}
+
+// newFedStack starts one daemon with a seed context on an ephemeral
+// port. configure runs after construction, before Serve.
+func newFedStack(t *testing.T, seed string, configure func(*server.Stack)) (*server.Stack, string) {
+	t.Helper()
+	st, err := server.NewStack(t.TempDir(), 1, "DCL", fedCtx(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunInitialSimulation(seed); err != nil {
+		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(st)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go st.Server.Serve()
+	t.Cleanup(func() {
+		st.Close()
+		st.Launcher.Wait()
+	})
+	return st, st.Server.Addr()
+}
+
+// startRouter runs a router over the given daemons on an ephemeral port.
+func startRouter(t *testing.T, addrs ...string) (*fed.Router, string) {
+	t.Helper()
+	r := fed.NewRouter(addrs, 0, nil)
+	if err := r.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve()
+	t.Cleanup(r.Close)
+	return r, r.Addr()
+}
+
+// pickName generates a context name the ring places on the wanted owner.
+func pickName(t *testing.T, ring *fed.Ring, owner string, used map[string]bool) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("fedctx%d", i)
+		if used[name] {
+			continue
+		}
+		if ring.Owner(name) == owner {
+			used[name] = true
+			return name
+		}
+	}
+	t.Fatalf("no context name maps to %s", owner)
+	return ""
+}
+
+// TestFederationRouterProxy covers the data plane through the router:
+// contexts sharded across two daemons, open → wait → release on both
+// shards through one client connection, fan-out contexts and merged
+// stats.
+func TestFederationRouterProxy(t *testing.T) {
+	stA, addrA := newFedStack(t, "seed-a", nil)
+	stB, addrB := newFedStack(t, "seed-b", nil)
+	r, raddr := startRouter(t, addrA, addrB)
+
+	used := map[string]bool{}
+	nameA := pickName(t, r.Ring(), addrA, used)
+	nameB := pickName(t, r.Ring(), addrB, used)
+	if err := stA.RegisterContext(fedCtx(nameA), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.RegisterContext(fedCtx(nameB), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := dvlib.Dial(raddr, "fed-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.HasCapability(netproto.CapFed) {
+		t.Error("router does not advertise the fed capability")
+	}
+
+	names, err := c.Contexts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"seed-a", "seed-b", nameA, nameB} {
+		if !have[want] {
+			t.Errorf("contexts fan-out union %v is missing %q", names, want)
+		}
+	}
+
+	// One open→wait→release round per shard, then a re-open that must be
+	// a cache hit on the owning daemon.
+	for _, name := range []string{nameA, nameB} {
+		ctx, err := c.Init(name)
+		if err != nil {
+			t.Fatalf("init %s: %v", name, err)
+		}
+		file := ctx.Filename(3)
+		res, err := ctx.Open(file)
+		if err != nil {
+			t.Fatalf("open %s: %v", file, err)
+		}
+		if !res.Available {
+			if err := ctx.WaitAvailable(file); err != nil {
+				t.Fatalf("wait %s: %v", file, err)
+			}
+		}
+		if err := ctx.Release(file); err != nil {
+			t.Fatalf("release %s: %v", file, err)
+		}
+		res, err = ctx.Open(file)
+		if err != nil || !res.Available {
+			t.Fatalf("re-open %s = %+v, %v; want available", file, res, err)
+		}
+		ctx.Release(file)
+
+		st, err := ctx.Stats()
+		if err != nil {
+			t.Fatalf("stats %s: %v", name, err)
+		}
+		if st.Opens < 2 {
+			t.Errorf("merged stats for %s: opens = %d, want >= 2", name, st.Opens)
+		}
+		if len(st.Ops) == 0 {
+			t.Errorf("merged stats for %s carry no per-op latencies", name)
+		}
+	}
+
+	// The router's peers view lists both ring members as connected (the
+	// session dialed both while fanning out).
+	infos, err := c.Admin().Peers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("router peers = %+v, want 2 members", infos)
+	}
+	for _, p := range infos {
+		if p.Role != "member" || !p.Connected {
+			t.Errorf("router peer %+v, want connected member", p)
+		}
+	}
+}
+
+// TestFederationVersionSkew pins codec bridging: a JSON-only daemon
+// (DisableBinary, the deployed-previous-version shape) behind the
+// router still serves a client that negotiated the binary fast path
+// with the router.
+func TestFederationVersionSkew(t *testing.T) {
+	_, addr := newFedStack(t, "seed-old", func(st *server.Stack) {
+		st.Server.DisableBinary = true
+	})
+	_, raddr := startRouter(t, addr)
+
+	c, err := dvlib.Dial(raddr, "new-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.UsesBinary() {
+		t.Error("client should negotiate binary with the router even over a JSON-only daemon")
+	}
+	ctx, err := c.Init("seed-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(2)
+	if _, err := ctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.WaitAvailable(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(file); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFederationCrossDaemonNotify is the acceptance scenario: a client
+// watching through the router (subscription lands on the ring owner)
+// observes a file produced on a different daemon — exactly once.
+func TestFederationCrossDaemonNotify(t *testing.T) {
+	stA, addrA := newFedStack(t, "seed-a", nil)
+	stB, addrB := newFedStack(t, "seed-b", nil)
+	r, raddr := startRouter(t, addrA, addrB)
+
+	// The same context exists on both daemons (a sharded deployment
+	// where either member can run its simulations); the ring routes the
+	// client's subscription to A, the producer works directly on B.
+	name := pickName(t, r.Ring(), addrA, map[string]bool{})
+	if err := stA.RegisterContext(fedCtx(name), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.RegisterContext(fedCtx(name), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	stA.EnablePeers("A", []string{addrB})
+	stB.EnablePeers("B", []string{addrA})
+
+	c, err := dvlib.Dial(raddr, "watcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(5)
+	w, err := ctx.Watch(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the subscribe → remote-watch chain a moment to arm, then
+	// produce the file on the non-owning daemon.
+	time.Sleep(50 * time.Millisecond)
+	pc, err := dvlib.Dial(addrB, "producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pctx, err := pc.Init(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := pctx.WaitAvailable(file); err != nil {
+		t.Fatal(err)
+	}
+	defer pctx.Release(file)
+
+	// Count every event until the watch channel closes: the file must be
+	// reported ready exactly once.
+	ready, failed := 0, 0
+	timeout := time.After(15 * time.Second)
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				if ready != 1 || failed != 0 {
+					t.Fatalf("watch saw ready=%d failed=%d events, want exactly one ready", ready, failed)
+				}
+				// The owning daemon's bridge must account the delivery.
+				ac, err := dvlib.Dial(addrA, "inspector")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ac.Close()
+				infos, err := ac.Admin().Peers(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out *netproto.PeerInfo
+				for i := range infos {
+					if infos[i].Role == "out" && infos[i].Addr == addrB {
+						out = &infos[i]
+					}
+				}
+				if out == nil || !out.Connected || out.Events < 1 {
+					t.Errorf("daemon A peers = %+v, want a connected out link to B with >=1 event", infos)
+				}
+				return
+			}
+			if ev.File == file {
+				if ev.Ready {
+					ready++
+				} else {
+					failed++
+				}
+			}
+		case <-timeout:
+			t.Fatalf("no cross-daemon notification after 15s (ready=%d)", ready)
+		}
+	}
+}
+
+// TestFederationDeadPeer pins the failure semantics: ops routed to a
+// daemon that died answer with the retryable busy/draining codes, not a
+// hang or a silent success.
+func TestFederationDeadPeer(t *testing.T) {
+	_, addrA := newFedStack(t, "seed-a", nil)
+	stB, addrB := newFedStack(t, "seed-b", nil)
+	r, raddr := startRouter(t, addrA, addrB)
+
+	used := map[string]bool{}
+	nameB := pickName(t, r.Ring(), addrB, used)
+	if err := stB.RegisterContext(fedCtx(nameB), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := dvlib.Dial(raddr, "fed-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init(nameB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(2)
+	if _, err := ctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.WaitAvailable(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Release(file); err != nil {
+		t.Fatal(err)
+	}
+
+	stB.Close()
+	stB.Launcher.Wait()
+
+	// The in-flight generation fails as draining (synthesized for the
+	// broken conn), later ones as busy (redial refused). Either way the
+	// client sees a structured, retryable code.
+	sawErr := false
+	for i := 0; i < 10; i++ {
+		_, err := ctx.Open(ctx.Filename(3))
+		if err == nil {
+			ctx.Release(ctx.Filename(3))
+			continue
+		}
+		sawErr = true
+		code := dvlib.ErrCodeOf(err)
+		if code != netproto.CodeBusy && code != netproto.CodeDraining {
+			t.Fatalf("open against dead daemon: code %q (%v), want busy or draining", code, err)
+		}
+		break
+	}
+	if !sawErr {
+		t.Fatal("opens kept succeeding after the owning daemon closed")
+	}
+
+	// The healthy shard keeps serving through the same client.
+	ctxA, err := c.Init("seed-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileA := ctxA.Filename(2)
+	if _, err := ctxA.Open(fileA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctxA.WaitAvailable(fileA); err != nil {
+		t.Fatal(err)
+	}
+	ctxA.Release(fileA)
+}
+
+// TestFederationSmoke is the chaos path `make fed-smoke` runs under
+// -race: two daemons behind a router, reconnecting clients hammering
+// both shards, the router killed and restarted on the same address
+// mid-run. Clients must keep completing rounds after the restart.
+func TestFederationSmoke(t *testing.T) {
+	stA, addrA := newFedStack(t, "seed-a", nil)
+	stB, addrB := newFedStack(t, "seed-b", nil)
+	members := []string{addrA, addrB}
+
+	r1 := fed.NewRouter(members, 0, nil)
+	if err := r1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go r1.Serve()
+	raddr := r1.Addr()
+
+	used := map[string]bool{}
+	nameA := pickName(t, r1.Ring(), addrA, used)
+	nameB := pickName(t, r1.Ring(), addrB, used)
+	if err := stA.RegisterContext(fedCtx(nameA), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.RegisterContext(fedCtx(nameB), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+
+	reconnect := dvlib.ReconnectConfig{
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		MaxElapsed:  20 * time.Second,
+	}
+	type client struct {
+		ctx *dvlib.Context
+		cl  *dvlib.Client
+	}
+	clients := make([]client, 2)
+	for i, name := range []string{nameA, nameB} {
+		cfg := reconnect
+		cfg.Seed = int64(i) + 1
+		cl, err := dvlib.Dial(raddr, fmt.Sprintf("smoke-%d", i), dvlib.WithReconnect(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		ctx, err := cl.Init(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = client{ctx: ctx, cl: cl}
+	}
+
+	// round does one open→wait→release on a fresh step; errors during
+	// the outage are expected and reported to the caller.
+	round := func(c client, step int) error {
+		file := c.ctx.Filename(step%60 + 1)
+		if _, err := c.ctx.Open(file); err != nil {
+			return err
+		}
+		if err := c.ctx.WaitAvailable(file); err != nil {
+			return err
+		}
+		return c.ctx.Release(file)
+	}
+
+	var stop sync.WaitGroup
+	done := make(chan struct{})
+	var mu sync.Mutex
+	afterRestart := make([]int, len(clients))
+	restarted := make(chan struct{})
+	for i := range clients {
+		stop.Add(1)
+		go func(i int) {
+			defer stop.Done()
+			for step := 0; ; step++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				err := round(clients[i], step)
+				if err == nil {
+					select {
+					case <-restarted:
+						mu.Lock()
+						afterRestart[i]++
+						mu.Unlock()
+					default:
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+
+	// Let the workload run, then kill the router and bring a fresh one
+	// up on the same address.
+	time.Sleep(300 * time.Millisecond)
+	r1.Close()
+	r2 := fed.NewRouter(members, 0, nil)
+	var bindErr error
+	for i := 0; i < 100; i++ {
+		if bindErr = r2.Listen(raddr); bindErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if bindErr != nil {
+		t.Fatalf("rebind router on %s: %v", raddr, bindErr)
+	}
+	go r2.Serve()
+	t.Cleanup(r2.Close)
+	close(restarted)
+
+	deadline := time.After(20 * time.Second)
+	for {
+		mu.Lock()
+		ok := true
+		for _, n := range afterRestart {
+			if n < 3 {
+				ok = false
+			}
+		}
+		mu.Unlock()
+		if ok {
+			break
+		}
+		select {
+		case <-deadline:
+			mu.Lock()
+			counts := append([]int(nil), afterRestart...)
+			mu.Unlock()
+			t.Fatalf("clients did not recover after router restart: post-restart rounds = %v, want >= 3 each", counts)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	close(done)
+	stop.Wait()
+}

@@ -1,0 +1,106 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ctx-%d-%d", i, rng.Int63())
+	}
+	return keys
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := testKeys(200)
+	a := NewRing(64, "daemon-a", "daemon-b", "daemon-c")
+	b := NewRing(64, "daemon-c", "daemon-a", "daemon-b") // different order
+	c := NewRing(64, "daemon-b", "daemon-c", "daemon-a", "daemon-a")
+	for _, k := range keys {
+		oa, ob, oc := a.Owner(k), b.Owner(k), c.Owner(k)
+		if oa != ob || oa != oc {
+			t.Fatalf("placement of %q depends on member order: %q vs %q vs %q", k, oa, ob, oc)
+		}
+	}
+	// Rebuilding the identical ring yields identical placement.
+	d := NewRing(64, "daemon-a", "daemon-b", "daemon-c")
+	for _, k := range keys {
+		if a.Owner(k) != d.Owner(k) {
+			t.Fatalf("placement of %q not stable across ring rebuilds", k)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(16).Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	one := NewRing(16, "only")
+	for _, k := range testKeys(50) {
+		if got := one.Owner(k); got != "only" {
+			t.Fatalf("single-member ring owner = %q, want \"only\"", got)
+		}
+	}
+}
+
+// TestRingBalance is a property test: for member counts 1..8, every
+// member must own a reasonable share of a seeded key population. With
+// 128 virtual nodes the max/min skew is well under 3x.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(4000)
+	for n := 1; n <= 8; n++ {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("daemon-%c", 'a'+i)
+		}
+		r := NewRing(0, members...) // default replica count
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := len(keys) / n
+		for _, m := range members {
+			got := counts[m]
+			if got < fair/3 || got > fair*3 {
+				t.Errorf("n=%d: member %s owns %d keys, fair share %d (skew > 3x)", n, m, got, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a member must only move keys TO the
+// new member, and roughly 1/N of them; removing it restores the
+// original placement exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := testKeys(4000)
+	base := NewRing(0, "daemon-a", "daemon-b", "daemon-c")
+	grown := NewRing(0, "daemon-a", "daemon-b", "daemon-c", "daemon-d")
+
+	moved := 0
+	for _, k := range keys {
+		was, now := base.Owner(k), grown.Owner(k)
+		if was != now {
+			moved++
+			if now != "daemon-d" {
+				t.Fatalf("key %q moved %q -> %q on member add; keys may only move to the new member", k, was, now)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	if frac := float64(moved) / float64(len(keys)); frac > 0.5 {
+		t.Fatalf("%.0f%% of keys moved on adding 1 of 4 members; want roughly 25%%", frac*100)
+	}
+
+	shrunk := NewRing(0, "daemon-a", "daemon-b", "daemon-c")
+	for _, k := range keys {
+		if base.Owner(k) != shrunk.Owner(k) {
+			t.Fatalf("removing the added member did not restore placement for %q", k)
+		}
+	}
+}

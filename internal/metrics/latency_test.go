@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 99 observations around 1us, 1 around 1ms.
+	for i := 0; i < 99; i++ {
+		h.Record(time.Microsecond)
+	}
+	h.Record(time.Millisecond)
+
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < time.Microsecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want in [1us, 2us] (log2 bucket upper bound)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 > 2*time.Microsecond {
+		t.Errorf("p99 = %v, want <= 2us (99th of 100 obs is still the 1us bucket)", p99)
+	}
+	p100 := h.Quantile(1.0)
+	if p100 < time.Millisecond || p100 > 2*time.Millisecond {
+		t.Errorf("p100 = %v, want in [1ms, 2ms]", p100)
+	}
+}
+
+func TestHistogramEmptyAndNonPositive(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", got)
+	}
+	h.Record(0)
+	h.Record(-time.Second)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("non-positive observations p50 = %v, want 0", got)
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+}
+
+func TestLatencySetKnownAndOther(t *testing.T) {
+	s := NewLatencySet("open", "wait")
+	s.Record("open", 100*time.Nanosecond)
+	s.Record("open", 100*time.Nanosecond)
+	s.Record("wait", time.Millisecond)
+	s.Record("bitrep", time.Microsecond) // not in the set
+
+	sums := s.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("got %d summaries, want 3 (open, wait, other): %+v", len(sums), sums)
+	}
+	if sums[0].Op != "open" || sums[0].Count != 2 {
+		t.Errorf("first summary = %+v, want op=open count=2", sums[0])
+	}
+	if sums[1].Op != "wait" || sums[1].Count != 1 {
+		t.Errorf("second summary = %+v, want op=wait count=1", sums[1])
+	}
+	if sums[2].Op != "other" || sums[2].Count != 1 {
+		t.Errorf("third summary = %+v, want op=other count=1", sums[2])
+	}
+	if sums[1].P99 < time.Millisecond || sums[1].P99 > 2*time.Millisecond {
+		t.Errorf("wait p99 = %v, want in [1ms, 2ms]", sums[1].P99)
+	}
+	// Ops with zero observations are omitted.
+	s2 := NewLatencySet("open", "wait")
+	s2.Record("open", time.Microsecond)
+	if sums := s2.Summaries(); len(sums) != 1 || sums[0].Op != "open" {
+		t.Errorf("summaries with one recorded op = %+v, want just open", sums)
+	}
+}
+
+func TestLatencySetConcurrent(t *testing.T) {
+	s := NewLatencySet("open")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Record("open", time.Microsecond)
+				s.Record("stranger", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	sums := s.Summaries()
+	if len(sums) != 2 || sums[0].Count != 4000 || sums[1].Count != 4000 {
+		t.Fatalf("concurrent summaries = %+v, want open=4000 other=4000", sums)
+	}
+}

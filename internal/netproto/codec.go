@@ -411,10 +411,11 @@ func decodeBinEnvelope(p []byte, env *Envelope) error {
 }
 
 // appendBinResponse appends resp's binary encoding to buf. ok is false
-// for rich responses (names/info/stats/proto/sched), which stay JSON.
+// for rich responses (names/info/stats/proto/sched/peers), which stay
+// JSON.
 func appendBinResponse(buf []byte, resp Response) ([]byte, bool) {
 	if resp.Names != nil || resp.Info != nil || resp.Stats != nil ||
-		resp.Proto != nil || resp.Sched != nil {
+		resp.Proto != nil || resp.Sched != nil || resp.Peers != nil {
 		return buf, false
 	}
 	var f1, f2 byte

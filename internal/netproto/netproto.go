@@ -114,6 +114,17 @@ const (
 	// context ("" = all contexts), re-enabling launches for intervals the
 	// circuit breaker had opened.
 	OpQuarantineReset = "quarantine-reset"
+	// OpFedWatch is the daemon↔daemon variant of subscribe used by the
+	// federation bridge (FilesBody payload, per-file reply frames,
+	// canceled with OpUnsubscribe). Unlike subscribe it stays pending for
+	// files nobody has promised yet — the remote producer may not have
+	// been asked — and it never recurses into another remote watch, so
+	// peer meshes cannot form forwarding loops.
+	OpFedWatch = "fed-watch"
+	// OpPeers lists the federation links of a daemon or router: ring
+	// members, outbound bridge connections, and inbound peer watch
+	// sessions with their ledger counters.
+	OpPeers = "peers"
 )
 
 // Capability flags advertised in the hello handshake.
@@ -134,6 +145,10 @@ const (
 	// sides switch to the Binary codec for every frame after the (always
 	// JSON) hello exchange.
 	CapBinary = "bin"
+	// CapFed marks the federation operations (fed-watch, peers). Daemon↔
+	// daemon and router↔daemon links reuse the ordinary hello handshake
+	// and gate cross-daemon subscriptions on this flag.
+	CapFed = "fed"
 )
 
 // ErrCode is a machine-readable error class. A failed Response carries
@@ -409,6 +424,37 @@ type Stats struct {
 	// quarantined by the circuit breaker.
 	SchedRetries     uint64 `json:"sched_retries,omitempty"`
 	SchedQuarantined uint64 `json:"sched_quarantined,omitempty"`
+
+	// Ops carries per-operation service-time percentiles for the daemon's
+	// dispatch path (internal/metrics log2 histograms: p50/p99 are bucket
+	// upper bounds, exact to within 2x). A router answering stats merges
+	// the owning daemons' entries, so these attribute where wire time is
+	// spent across a federation.
+	Ops []OpLatency `json:"op_latencies,omitempty"`
+}
+
+// OpLatency is one per-operation latency summary inside Stats.
+type OpLatency struct {
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+}
+
+// PeerInfo describes one federation link in a peers response. Role is
+// "member" for a router's ring entries, "out" for a daemon's outbound
+// bridge connections and "in" for inbound peer watch sessions. Topics
+// counts live watch topics on the link; Events counts notify events
+// forwarded over it (for "out" links Events is the bridge-wide total of
+// events accepted from any peer, since duplicates are collapsed before
+// attribution).
+type PeerInfo struct {
+	Addr      string `json:"addr"`
+	Role      string `json:"role"`
+	Connected bool   `json:"connected,omitempty"`
+	Topics    int    `json:"topics,omitempty"`
+	Events    uint64 `json:"events,omitempty"`
+	Err       string `json:"err,omitempty"`
 }
 
 // Response is a daemon→client frame. For acquire subscriptions the daemon
@@ -439,6 +485,8 @@ type Response struct {
 	// how long until the circuit breaker half-opens again.
 	Attempts     int   `json:"attempts,omitempty"`
 	RetryAfterNs int64 `json:"retry_after_ns,omitempty"`
+	// Peers carries the federation link table (peers responses only).
+	Peers []PeerInfo `json:"peers,omitempty"`
 }
 
 // LegacyRequest is the pre-versioned (v1) client frame: one untyped bag

@@ -30,16 +30,33 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"io/fs"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"simfs/internal/core"
+	"simfs/internal/metrics"
 	"simfs/internal/model"
 	"simfs/internal/netproto"
 	"simfs/internal/notify"
 	"simfs/internal/sched"
 )
+
+// PeerNotifier is the federation seam: subscribeFiles hands files that
+// are neither resident nor promised locally to it, and it watches them
+// on peer daemons, republishing their ready/failed events into the
+// local notify hub. *fed.Bridge implements it; a daemon without one
+// keeps the strictly-local behavior (per-file not_produced replies).
+type PeerNotifier interface {
+	// WatchRemote registers interest in the files on every peer daemon.
+	// The returned cancel withdraws the interest; it is never nil and is
+	// safe to call more than once.
+	WatchRemote(ctxName string, files []string) (cancel func())
+	// PeerInfos lists the outbound peer links for the peers op.
+	PeerInfos() []netproto.PeerInfo
+}
 
 // ContextRegistrar provisions and retires simulation contexts at
 // runtime: it owns whatever surrounds the Virtualizer registration —
@@ -66,6 +83,11 @@ type Server struct {
 	// Optional; NewStack wires the Stack in.
 	Registrar ContextRegistrar
 
+	// Peers, when set before Serve (Stack.EnablePeers), federates the
+	// daemon: subscriptions to files no local simulation will produce
+	// are forwarded to peer daemons instead of failing not_produced.
+	Peers PeerNotifier
+
 	// DisableBinary keeps every session on the JSON codec: the daemon
 	// stops advertising CapBinary and ignores clients requesting it.
 	// Set it before Serve (cmd/simfs-dv's -no-binary flag); it exists
@@ -83,6 +105,10 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
+	// lat tracks per-op dispatch service time (the synchronous half of a
+	// request — async completions like a wait's ready frame are not
+	// attributed here), surfaced through the stats frame.
+	lat *metrics.LatencySet
 }
 
 // New wraps a Virtualizer. logf may be nil to silence logging.
@@ -90,7 +116,13 @@ func New(v *core.Virtualizer, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{v: v, conns: map[net.Conn]*session{}, logf: logf}
+	return &Server{v: v, conns: map[net.Conn]*session{}, logf: logf,
+		lat: metrics.NewLatencySet(
+			netproto.OpOpen, netproto.OpWait, netproto.OpRelease,
+			netproto.OpAcquire, netproto.OpEstWait, netproto.OpPrefetch,
+			netproto.OpSubscribe, netproto.OpFedWatch, netproto.OpStats,
+			netproto.OpPing,
+		)}
 }
 
 // Listen binds the daemon to addr (e.g. "127.0.0.1:7878"). Use port 0 for
@@ -212,6 +244,30 @@ type session struct {
 	// unsubscribe and on disconnect so their pump goroutines exit.
 	mu   sync.Mutex
 	subs map[uint64]*notify.Sub
+	// fedMu guards fedWatches: live fed-watch subscriptions by request
+	// ID, tracked separately from subs so the peers op can report the
+	// inbound federation ledger (live topics, forwarded events) per
+	// peer session. fedEvents counts events forwarded over this link.
+	fedMu      sync.Mutex
+	fedWatches map[uint64]*fileWatch
+	fedEvents  atomic.Uint64
+}
+
+// addFedWatch registers a live fed-watch for the inbound peer ledger.
+func (sess *session) addFedWatch(id uint64, w *fileWatch) {
+	sess.fedMu.Lock()
+	if sess.fedWatches == nil {
+		sess.fedWatches = map[uint64]*fileWatch{}
+	}
+	sess.fedWatches[id] = w
+	sess.fedMu.Unlock()
+}
+
+// dropFedWatch forgets a fed-watch once its pump ends.
+func (sess *session) dropFedWatch(id uint64) {
+	sess.fedMu.Lock()
+	delete(sess.fedWatches, id)
+	sess.fedMu.Unlock()
 }
 
 // addSub registers a live subscription for cleanup.
@@ -325,12 +381,13 @@ func (s *session) flushLocked() {
 	}
 }
 
-// codeOf maps a handler error to its structured wire code. Filesystem
-// faults (storage provisioning, reading a storage area) are the
-// daemon's problem, not the client's: they classify as internal so a
-// client dispatching on the code does not mistake them for bad input.
+// codeOf maps a handler error to its structured wire code. Client
+// mistakes are the wrapped sentinels (ErrInvalid and friends);
+// everything unclassified — filesystem faults, invariant violations,
+// anything a handler did not anticipate — is the daemon's problem and
+// classifies as internal, so a client dispatching on the code never
+// mistakes a daemon bug for bad input.
 func codeOf(err error) netproto.ErrCode {
-	var pathErr *fs.PathError
 	var qerr *core.QuarantineError
 	switch {
 	case errors.As(err, &qerr):
@@ -343,10 +400,10 @@ func codeOf(err error) netproto.ErrCode {
 		return netproto.CodeBusy
 	case errors.Is(err, core.ErrNotProduced):
 		return netproto.CodeNotProduced
-	case errors.As(err, &pathErr):
-		return netproto.CodeInternal
-	default:
+	case errors.Is(err, core.ErrInvalid):
 		return netproto.CodeBadRequest
+	default:
+		return netproto.CodeInternal
 	}
 }
 
@@ -404,7 +461,10 @@ func (s *Server) handle(sess *session) {
 					netproto.OpHello, netproto.ProtoVersion)})
 			return
 		}
-		if !s.dispatch(sess, env) {
+		t0 := time.Now()
+		open := s.dispatch(sess, env)
+		s.lat.Record(env.Op, time.Since(t0))
+		if !open {
 			return
 		}
 		// Flush batched replies only when the next read would block: a
@@ -467,7 +527,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		sess.version = ver
 		sess.client = hb.Client
-		caps := []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt}
+		caps := []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt, netproto.CapFed}
 		useBinary := false
 		if !s.DisableBinary {
 			caps = append(caps, netproto.CapBinary)
@@ -561,7 +621,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if len(b.Files) == 0 {
-			fail(errors.New("acquire requires at least one file"))
+			fail(fmt.Errorf("%w: acquire requires at least one file", core.ErrInvalid))
 			return true
 		}
 		// Per-file readiness notifications let the client implement
@@ -646,6 +706,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			SchedQuotaRounds:  ss.QuotaRounds, SchedQuotaDeferred: ss.QuotaDeferred,
 			SchedRetries:     uint64(retries),
 			SchedQuarantined: uint64(quarantined),
+			Ops:              opLatencies(s.lat.Summaries()),
 		}})
 
 	case netproto.OpPrefetch:
@@ -654,7 +715,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if len(b.Files) == 0 {
-			fail(errors.New("prefetch requires at least one file"))
+			fail(fmt.Errorf("%w: prefetch requires at least one file", core.ErrInvalid))
 			return true
 		}
 		n, err := s.v.GuidedPrefetch(sess.client, b.Context, b.Files)
@@ -682,12 +743,33 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if len(b.Files) == 0 {
-			fail(errors.New("subscribe requires at least one file"))
+			fail(fmt.Errorf("%w: subscribe requires at least one file", core.ErrInvalid))
 			return true
 		}
 		if err := s.subscribeFiles(sess, id, b.Context, b.Files); err != nil {
 			fail(err)
 		}
+
+	case netproto.OpFedWatch:
+		var b netproto.FilesBody
+		if !decode(&b) {
+			return true
+		}
+		if len(b.Files) == 0 {
+			fail(fmt.Errorf("%w: fed-watch requires at least one file", core.ErrInvalid))
+			return true
+		}
+		if err := s.fedWatchFiles(sess, id, b.Context, b.Files); err != nil {
+			fail(err)
+		}
+
+	case netproto.OpPeers:
+		var infos []netproto.PeerInfo
+		if s.Peers != nil {
+			infos = append(infos, s.Peers.PeerInfos()...)
+		}
+		infos = append(infos, s.inboundPeerInfos()...)
+		sess.reply(netproto.Response{ID: id, OK: true, Peers: infos})
 
 	case netproto.OpUnsubscribe:
 		var b netproto.UnsubscribeBody
@@ -711,18 +793,18 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		// Validation happens in full before any field is applied: a
 		// sched-set is atomic — either every knob lands or none does.
 		if b.TotalNodes != nil && *b.TotalNodes < 0 {
-			fail(fmt.Errorf("total_nodes must be ≥ 0, got %d", *b.TotalNodes))
+			fail(fmt.Errorf("%w: total_nodes must be ≥ 0, got %d", core.ErrInvalid, *b.TotalNodes))
 			return true
 		}
 		if b.DRRQuantum != nil && *b.DRRQuantum < 0 {
-			fail(fmt.Errorf("drr_quantum must be ≥ 0, got %d", *b.DRRQuantum))
+			fail(fmt.Errorf("%w: drr_quantum must be ≥ 0, got %d", core.ErrInvalid, *b.DRRQuantum))
 			return true
 		}
 		var preempt sched.PreemptPolicy
 		if b.PreemptPolicy != nil {
 			var err error
 			if preempt, err = sched.ParsePreemptPolicy(*b.PreemptPolicy); err != nil {
-				fail(err)
+				fail(fmt.Errorf("%w: %v", core.ErrInvalid, err))
 				return true
 			}
 		}
@@ -808,7 +890,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			return true
 		}
 		if b.Context == nil {
-			fail(errors.New("ctx-register requires a context definition"))
+			fail(fmt.Errorf("%w: ctx-register requires a context definition", core.ErrInvalid))
 			return true
 		}
 		if s.Registrar == nil {
@@ -864,6 +946,50 @@ func schedInfo(cfg sched.Config) *netproto.SchedInfo {
 		Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes,
 		PreemptPolicy: cfg.Preempt.String(), DRRQuantum: cfg.DRRQuantum,
 	}
+}
+
+// opLatencies mirrors per-op latency summaries onto the wire.
+func opLatencies(sums []metrics.OpLatency) []netproto.OpLatency {
+	if len(sums) == 0 {
+		return nil
+	}
+	out := make([]netproto.OpLatency, len(sums))
+	for i, l := range sums {
+		out[i] = netproto.OpLatency{Op: l.Op, Count: l.Count,
+			P50Ns: int64(l.P50), P99Ns: int64(l.P99)}
+	}
+	return out
+}
+
+// inboundPeerInfos reports the inbound half of the federation ledger:
+// one entry per connected session that carries fed-watch traffic, with
+// its live topic count and the events forwarded over the link.
+func (s *Server) inboundPeerInfos() []netproto.PeerInfo {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.conns))
+	for _, sess := range s.conns {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	var infos []netproto.PeerInfo
+	for _, sess := range sessions {
+		topics := 0
+		sess.fedMu.Lock()
+		for _, w := range sess.fedWatches {
+			topics += int(w.pending.Load())
+		}
+		sess.fedMu.Unlock()
+		events := sess.fedEvents.Load()
+		if topics == 0 && events == 0 {
+			continue
+		}
+		infos = append(infos, netproto.PeerInfo{
+			Addr: sess.conn.RemoteAddr().String(), Role: "in",
+			Connected: true, Topics: topics, Events: events,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Addr < infos[j].Addr })
+	return infos
 }
 
 // waitFile implements OpWait on the notify hub: subscribe to the file's
@@ -935,7 +1061,12 @@ type fileWatch struct {
 	sub      *notify.Sub
 	names    map[notify.Topic]string // topic → file, for frame rendering
 	resolved map[notify.Topic]bool
-	pending  int
+	// pending is atomic only so the peers op can read a live fed-watch's
+	// remaining topic count; pump is the sole writer.
+	pending atomic.Int64
+	// fed marks an inbound fed-watch (peer daemon subscription): its
+	// resolutions count into the session's forwarded-events ledger.
+	fed bool
 }
 
 // watchTopics subscribes to every file's topic. The caller resolves the
@@ -975,7 +1106,10 @@ func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
 			continue
 		}
 		w.resolved[ev.Topic] = true
-		w.pending--
+		w.pending.Add(-1)
+		if w.fed {
+			sess.fedEvents.Add(1)
+		}
 		if ev.Kind == notify.FileFailed {
 			resp := netproto.Response{ID: reqID, Code: netproto.CodeFailed, Err: ev.Err, File: f,
 				Attempts: ev.Attempts, RetryAfterNs: ev.RetryAfter}
@@ -992,7 +1126,7 @@ func (w *fileWatch) pump(sess *session, reqID uint64, failFast bool) {
 			w.srv.v.NoteClientReady(w.client, w.ctxName, f)
 			sess.send(netproto.Response{ID: reqID, OK: true, Ready: true, File: f})
 		}
-		if w.pending == 0 {
+		if w.pending.Load() == 0 {
 			sess.send(netproto.Response{ID: reqID, OK: true, Done: true})
 			w.sub.Close()
 			return
@@ -1034,8 +1168,8 @@ func (s *Server) acquireWithPerFile(sess *session, id uint64, ctxName string, fi
 	// A missing file may have been produced between Open and now; its
 	// event is buffered in the subscription, so only count what is still
 	// unresolved and let pump drain the buffer.
-	w.pending = len(w.names) - len(w.resolved)
-	if w.pending == 0 {
+	w.pending.Store(int64(len(w.names) - len(w.resolved)))
+	if w.pending.Load() == 0 {
 		sess.reply(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
@@ -1047,12 +1181,17 @@ func (s *Server) acquireWithPerFile(sess *session, id uint64, ctxName string, fi
 
 // subscribeFiles implements OpSubscribe: notification-only readiness
 // frames with no references taken. Files must be resident or promised;
-// files that are neither resolve immediately with a per-file error frame.
+// files that are neither resolve immediately with a per-file error
+// frame — unless the daemon is federated, in which case they stay
+// pending and the bridge watches them on the peer daemons (the local
+// hub republishes whatever a peer produces, so the pump below resolves
+// them exactly like local productions).
 func (s *Server) subscribeFiles(sess *session, id uint64, ctxName string, files []string) error {
 	w, err := s.watchTopics(sess.client, ctxName, files)
 	if err != nil {
 		return err
 	}
+	var remote []string
 	for _, f := range files {
 		topic, _ := s.v.FileTopic(ctxName, f)
 		if w.resolved[topic] {
@@ -1071,20 +1210,75 @@ func (s *Server) subscribeFiles(sess *session, id uint64, ctxName string, files 
 			// Not being produced — unless its event raced into the
 			// subscription buffer, which pump will deliver.
 			if !bufferedEvent(w.sub, topic) {
-				w.resolved[topic] = true
-				sess.reply(netproto.Response{ID: id, Code: netproto.CodeNotProduced,
-					Err: "file is not being produced", File: f})
+				if s.Peers != nil {
+					remote = append(remote, f)
+				} else {
+					w.resolved[topic] = true
+					sess.reply(netproto.Response{ID: id, Code: netproto.CodeNotProduced,
+						Err: "file is not being produced", File: f})
+				}
 			}
 		}
 	}
-	w.pending = len(w.names) - len(w.resolved)
-	if w.pending == 0 {
+	w.pending.Store(int64(len(w.names) - len(w.resolved)))
+	if w.pending.Load() == 0 {
 		sess.reply(netproto.Response{ID: id, OK: true, Done: true})
 		w.sub.Close()
 		return nil
 	}
+	var cancelRemote func()
+	if len(remote) > 0 {
+		cancelRemote = s.Peers.WatchRemote(ctxName, remote)
+	}
 	sess.addSub(id, w.sub)
-	go w.pump(sess, id, false)
+	go func() {
+		w.pump(sess, id, false)
+		if cancelRemote != nil {
+			cancelRemote()
+		}
+	}()
+	return nil
+}
+
+// fedWatchFiles implements OpFedWatch, the daemon↔daemon subscribe
+// variant behind the fed capability. Unlike subscribe it keeps files
+// nobody has promised yet pending — the remote daemon's producer may
+// only be asked later — and it never consults s.Peers, so a peer mesh
+// cannot forward an interest in circles: every interest bounces at
+// most once, from the daemon the client asked to the producing peer.
+func (s *Server) fedWatchFiles(sess *session, id uint64, ctxName string, files []string) error {
+	w, err := s.watchTopics(sess.client, ctxName, files)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		topic, _ := s.v.FileTopic(ctxName, f)
+		if w.resolved[topic] {
+			continue
+		}
+		resident, _, err := s.v.FileState(ctxName, f)
+		if err != nil {
+			w.sub.Close()
+			return err
+		}
+		if resident {
+			w.resolved[topic] = true
+			sess.reply(netproto.Response{ID: id, OK: true, Ready: true, File: f})
+		}
+	}
+	w.pending.Store(int64(len(w.names) - len(w.resolved)))
+	if w.pending.Load() == 0 {
+		sess.reply(netproto.Response{ID: id, OK: true, Done: true})
+		w.sub.Close()
+		return nil
+	}
+	w.fed = true
+	sess.addSub(id, w.sub)
+	sess.addFedWatch(id, w)
+	go func() {
+		w.pump(sess, id, false)
+		sess.dropFedWatch(id)
+	}()
 	return nil
 }
 

@@ -143,6 +143,15 @@ type WatchEvent = dvlib.WatchEvent
 // context registration/deregistration and drain/resume.
 type Admin = dvlib.Admin
 
+// PeerInfo is one federation link as reported by Admin.Peers: a
+// router's ring member, a daemon's outbound bridge connection ("out")
+// or an inbound fed-watch session ("in").
+type PeerInfo = netproto.PeerInfo
+
+// OpLatency is one per-op service-time summary in a Stats frame
+// (count, p50, p99 in nanoseconds).
+type OpLatency = netproto.OpLatency
+
 // Error is a structured daemon-reported failure carrying the
 // machine-readable error code alongside the message.
 type Error = dvlib.Error
