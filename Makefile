@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-server bench-fed benchstat proto-fuzz chaos-smoke fed-smoke lint fmt vet check clean
+.PHONY: all build test test-short test-race bench bench-smoke bench-server bench-fed bench-autoscale benchstat proto-fuzz chaos-smoke fed-smoke autoscale-smoke lint fmt vet check clean
 
 all: build
 
@@ -78,6 +78,22 @@ bench-fed:
 		-out BENCH_federation.json < bench-fed.txt
 	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-fed.txt; fi
 
+# bench-autoscale regenerates BENCH_autoscale.json, the closed-loop
+# control figure: the phase-changing ablation workload under the best
+# static configuration vs the autoscale controller, pinning the
+# headline cells (demand queue-wait, client blocked time, median
+# completion) as custom benchmark metrics. The DES replay is
+# deterministic, so the medians are exact; count > 1 only steadies
+# ns/op.
+AUTOSCALE_BENCH_COUNT ?= 3
+bench-autoscale:
+	$(GO) test -run '^$$' -bench 'BenchmarkAutoscalePhases' -benchtime 1x -count $(AUTOSCALE_BENCH_COUNT) . | tee bench-autoscale.txt
+	$(GO) run ./cmd/bench2json -bench BenchmarkAutoscalePhases \
+		-compare 'mode=controller vs mode=static-best' \
+		-compare 'mode=controller+join vs mode=static-best' \
+		-out BENCH_autoscale.json < bench-autoscale.txt
+	@if command -v benchstat >/dev/null 2>&1; then benchstat bench-autoscale.txt; fi
+
 # proto-fuzz runs the wire-protocol fuzzers (one per frame codec) over
 # their committed seed corpora plus FUZZTIME of random exploration each
 # (CI smokes them at 10s; crank FUZZTIME up locally after protocol
@@ -105,6 +121,14 @@ chaos-smoke:
 # restart.
 fed-smoke:
 	$(GO) test -race -count=1 -run 'TestFederation' ./internal/fed
+
+# autoscale-smoke is the closed-loop control gate under the race
+# detector: the whole controller/policy suite (including the live-daemon
+# AdminTarget round trips) plus the core-level demand-join and sunk-cost
+# integration tests.
+autoscale-smoke:
+	$(GO) test -race -count=1 ./internal/autoscale
+	$(GO) test -race -count=1 -run 'TestDemandJoin|TestPreemptSunkCost|TestPreemptGuided' ./internal/core
 
 lint: fmt vet
 

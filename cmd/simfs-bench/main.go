@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1|5|12|13|14|15a|15b|15c|16|17|18|19|ablations|sched|preempt|multi|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1|5|12|13|14|15a|15b|15c|16|17|18|19|ablations|sched|preempt|autoscale|multi|all")
 	reps := flag.Int("reps", 20, "repetitions for the Fig. 5 caching study (paper: 100)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	jobs := flag.Int("j", 0, "experiment worker pool size (0 = GOMAXPROCS); any value prints identical tables")
@@ -59,8 +59,9 @@ func main() {
 			fmt.Println()
 			return renderTable(experiments.AblationEMA())
 		},
-		"sched":   func() error { return renderTable(experiments.AblationScheduler(*seed)) },
-		"preempt": func() error { return renderTable(experiments.AblationPreempt(*seed)) },
+		"sched":     func() error { return renderTable(experiments.AblationScheduler(*seed)) },
+		"preempt":   func() error { return renderTable(experiments.AblationPreempt(*seed)) },
+		"autoscale": func() error { return renderTable(experiments.AblationAutoscale(*seed)) },
 		"multi": func() error {
 			ctx := simulator.CosmoScaling()
 			ctx.MaxCacheBytes = 128 * ctx.OutputBytes
@@ -68,7 +69,7 @@ func main() {
 				ctx, []int{1, 2, 4, 8}, 48, 100*time.Millisecond, *seed))
 		},
 	}
-	order := []string{"1", "5", "12", "13", "14", "15a", "15b", "15c", "16", "17", "18", "19", "ablations", "sched", "preempt", "multi"}
+	order := []string{"1", "5", "12", "13", "14", "15a", "15b", "15c", "16", "17", "18", "19", "ablations", "sched", "preempt", "autoscale", "multi"}
 
 	if *fig == "all" {
 		for _, f := range order {

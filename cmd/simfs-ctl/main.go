@@ -21,6 +21,10 @@
 //	simfs-ctl resume demo
 //	simfs-ctl ctx-deregister demo
 //
+// Closed-loop control (attach an autoscale controller to a live daemon):
+//
+//	simfs-ctl autoscale -tick 5s -budget 8:32 -preempt youngest -cache-policies DCL,LRU
+//
 // sched-set flags are partial: only the flags given on the command line
 // change; everything else keeps its current value. ctx-deregister
 // requires a drained, quiescent context (the daemon answers "busy"
@@ -36,11 +40,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"simfs"
+	"simfs/internal/autoscale"
+	"simfs/internal/des"
+	"simfs/internal/netproto"
+	"simfs/internal/sched"
 )
 
 var (
@@ -144,6 +154,16 @@ func main() {
 			fmt.Println("\nintervals have been quarantined; once the underlying fault is fixed,")
 			fmt.Println("`simfs-ctl quarantine-reset` re-admits them before the cooldown elapses")
 		}
+		if c.HasCapability(netproto.CapAutoscale) {
+			// The autoscale ledger is daemon-global: whether a controller
+			// is attached, what it armed, and its recent decision trail.
+			info, err := admin.AutoscaleStatus(cx)
+			check(err)
+			printAutoscale(info)
+		}
+
+	case "autoscale":
+		runAutoscale(c, admin, args[1:])
 
 	case "peers":
 		// Federation links: ring members (on a router), outbound bridge
@@ -278,6 +298,145 @@ func main() {
 	}
 }
 
+// runAutoscale attaches a closed-loop controller to the remote daemon:
+// every tick it samples the stats stream and steers whatever policies
+// the flags armed, printing one line per decision and (unless -report=
+// false) posting the trail to the daemon's ledger for `simfs-ctl
+// health`. It detaches cleanly — clearing the daemon's active flag — on
+// SIGINT/SIGTERM or after -duration.
+func runAutoscale(c *simfs.Client, admin *simfs.Admin, args []string) {
+	fs := flag.NewFlagSet("autoscale", flag.ExitOnError)
+	tick := fs.Duration("tick", 5*time.Second, "sampling interval")
+	duration := fs.Duration("duration", 0, "detach after this long (0 = run until interrupted)")
+	highWait := fs.Duration("high-wait", 500*time.Millisecond, "demand queue-wait per window that counts as contention")
+	calm := fs.Int("calm-ticks", 3, "consecutive calm windows before widen/arm decisions are undone")
+	cooldown := fs.Duration("cooldown", 30*time.Second, "minimum delay between a policy's actuations")
+	budget := fs.String("budget", "", "arm the node-budget governor: MIN:MAX nodes")
+	budgetStep := fs.Int("budget-step", 1, "nodes added/removed per budget actuation")
+	preempt := fs.String("preempt", "", "arm the preemption governor with this victim policy: youngest | cheapest")
+	sunkCost := fs.Float64("sunk-cost", 0.8, "completion fraction past which the governor spares a victim (with -preempt)")
+	preemptGuided := fs.Bool("preempt-guided", false, "let the governor also make guided prefetches preemptable (with -preempt)")
+	cachePolicies := fs.String("cache-policies", "", "arm the cache switcher: comma-separated rotation, e.g. DCL,LRU")
+	drr := fs.Int("drr", 0, "arm the DRR-quantum tuner with this quantum (output steps)")
+	demandJoin := fs.Bool("demand-join", false, "arm the demand-join promoter")
+	report := fs.Bool("report", true, "post decisions to the daemon's ledger (shown by `simfs-ctl health`)")
+	fs.Parse(args)
+
+	var pols []autoscale.Policy
+	if *budget != "" {
+		var min, max int
+		if _, err := fmt.Sscanf(*budget, "%d:%d", &min, &max); err != nil || min <= 0 || max < min {
+			log.Fatalf("simfs-ctl: -budget wants MIN:MAX with 0 < MIN <= MAX, got %q", *budget)
+		}
+		pols = append(pols, &autoscale.NodeBudget{Min: min, Max: max, Step: *budgetStep,
+			HighWait: *highWait, CalmTicks: *calm, Cooldown: *cooldown})
+	}
+	if *preempt != "" {
+		pol, err := sched.ParsePreemptPolicy(*preempt)
+		check(err)
+		pols = append(pols, &autoscale.PreemptGovernor{Policy: pol, SunkCost: *sunkCost,
+			Guided: *preemptGuided, HighWait: *highWait, CalmTicks: *calm, Cooldown: *cooldown})
+	}
+	if *cachePolicies != "" {
+		pols = append(pols, &autoscale.CacheSwitcher{Policies: strings.Split(*cachePolicies, ","),
+			Cooldown: *cooldown})
+	}
+	if *drr > 0 {
+		pols = append(pols, &autoscale.DRRTuner{Quantum: *drr, CalmTicks: *calm, Cooldown: *cooldown})
+	}
+	if *demandJoin {
+		pols = append(pols, &autoscale.DemandJoinPromoter{CalmTicks: *calm, Cooldown: *cooldown})
+	}
+	if len(pols) == 0 {
+		log.Fatal("simfs-ctl: autoscale with no policies armed would only watch; give at least one of -budget, -preempt, -cache-policies, -drr, -demand-join")
+	}
+
+	reporting := *report
+	if reporting && !c.HasCapability(netproto.CapAutoscale) {
+		log.Printf("simfs-ctl: daemon lacks the %s capability; decisions stay local", netproto.CapAutoscale)
+		reporting = false
+	}
+	post := func(body netproto.AutoscaleReportBody) {
+		rcx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := admin.ReportAutoscale(rcx, body); err != nil {
+			log.Printf("simfs-ctl: autoscale report: %v", err)
+		}
+	}
+
+	var pending []netproto.AutoscaleDecision
+	ctrl, err := autoscale.New(autoscale.NewAdminTarget(c), pols, autoscale.Options{
+		Clock: des.NewWallClock(),
+		OnDecision: func(d autoscale.Decision) {
+			fmt.Printf("%s  %-14s %s — %s\n", time.Now().Format("15:04:05"), d.Policy, d.Action, d.Reason)
+			pending = append(pending, netproto.AutoscaleDecision{
+				AtNs: int64(d.At), Policy: d.Policy, Action: d.Action, Reason: d.Reason,
+			})
+		},
+	})
+	check(err)
+
+	fmt.Printf("autoscale: steering %s every %v (policies: %s)\n", *addr, *tick, strings.Join(ctrl.Policies(), ", "))
+	if reporting {
+		post(netproto.AutoscaleReportBody{Active: true, Policies: ctrl.Policies()})
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			if err := ctrl.TickOnce(); err != nil {
+				log.Printf("simfs-ctl: autoscale tick: %v", err)
+				continue
+			}
+			if reporting && len(pending) > 0 {
+				post(netproto.AutoscaleReportBody{Active: true, Policies: ctrl.Policies(), Decisions: pending})
+				pending = nil
+			}
+		case <-stop:
+			break loop
+		case <-deadline:
+			break loop
+		}
+	}
+	if reporting {
+		// Detach: flush any tail decisions and clear the active flag (the
+		// daemon keeps the decision trail for post-mortem health queries).
+		post(netproto.AutoscaleReportBody{Active: false, Decisions: pending})
+	}
+	fmt.Printf("autoscale: detached after %d decision(s)\n", len(ctrl.Decisions()))
+}
+
+func printAutoscale(info netproto.AutoscaleInfo) {
+	if !info.Active && len(info.Decisions) == 0 {
+		return
+	}
+	fmt.Println()
+	if info.Active {
+		fmt.Printf("autoscale: active (source %s; policies %s)\n", info.Source, strings.Join(info.Policies, ", "))
+	} else {
+		fmt.Println("autoscale: detached (last controller's decision trail retained)")
+	}
+	if len(info.Decisions) == 0 {
+		fmt.Println("no decisions recorded yet")
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "at\tpolicy\taction\treason\n")
+	for _, d := range info.Decisions {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n",
+			time.Duration(d.AtNs).Round(time.Millisecond), d.Policy, d.Action, d.Reason)
+	}
+	w.Flush()
+}
+
 func printSched(cfg simfs.SchedInfo) {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "coalesce\t%v\npriorities\t%v\n", cfg.Coalesce, cfg.Priorities)
@@ -330,7 +489,8 @@ inspection:
   contexts                      list simulation contexts
   info                          show one context's parameters (-context)
   stats                         show one context's counters (-context)
-  health                        fault-tolerance counters + per-op latency percentiles (-context)
+  health                        fault-tolerance counters, per-op latency percentiles (-context),
+                                and the autoscale controller's state + recent decisions
   peers                         federation links (ring members / bridge connections / inbound watches)
   estwait <file>                estimated availability delay (-context)
   bitrep <file>                 bitwise-reproducibility check (-context)
@@ -348,6 +508,13 @@ control plane (live, no restart):
   ctx-deregister <ctx>          remove a drained context
   drain <ctx>                   refuse new opens/prefetches for a context
   resume <ctx>                  lift a drain
-  quarantine-reset [ctx]        clear the re-simulation failure ledger (all contexts if omitted)`)
+  quarantine-reset [ctx]        clear the re-simulation failure ledger (all contexts if omitted)
+
+closed-loop control:
+  autoscale [-tick d] [-duration d] [-budget MIN:MAX] [-preempt P] [-cache-policies A,B]
+            [-drr Q] [-demand-join] [-report=false] ...
+                                attach a controller that steers the daemon from its own
+                                stats stream until interrupted; decisions are printed and
+                                posted to the daemon's ledger (see health)`)
 	os.Exit(2)
 }

@@ -1,0 +1,440 @@
+package autoscale
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"simfs/internal/metrics"
+	"simfs/internal/sched"
+)
+
+// manualClock is a settable des.Clock.
+type manualClock struct{ now time.Duration }
+
+func (c *manualClock) Now() time.Duration { return c.now }
+
+// fakeTarget replays a scripted sample sequence and records actuations.
+type fakeTarget struct {
+	samples []Sample
+	i       int
+	err     error
+
+	patches  []SchedPatch
+	switches []CacheSwitch
+	applyErr error
+}
+
+func (f *fakeTarget) Sample() (Sample, error) {
+	if f.err != nil {
+		return Sample{}, f.err
+	}
+	if f.i >= len(f.samples) {
+		return f.samples[len(f.samples)-1], nil
+	}
+	s := f.samples[f.i]
+	f.i++
+	return s, nil
+}
+
+func (f *fakeTarget) ApplySched(p SchedPatch) error {
+	f.patches = append(f.patches, p)
+	return f.applyErr
+}
+
+func (f *fakeTarget) SetCachePolicy(ctx, policy string) error {
+	f.switches = append(f.switches, CacheSwitch{Ctx: ctx, Policy: policy})
+	return nil
+}
+
+// sampleWithWait builds a sample with the given cumulative demand wait
+// and scheduler config.
+func sampleWithWait(cfg sched.Config, wait time.Duration) Sample {
+	return Sample{
+		Cfg:   cfg,
+		Sched: metrics.SchedStats{DemandWait: metrics.SchedClassWait{Wait: wait}},
+	}
+}
+
+func newController(t *testing.T, target Target, clk *manualClock, policies ...Policy) *Controller {
+	t.Helper()
+	c, err := New(target, policies, Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tickN(t *testing.T, c *Controller, clk *manualClock, n int, step time.Duration) {
+	t.Helper()
+	for range make([]struct{}, n) {
+		clk.now += step
+		if err := c.TickOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestControllerNoPoliciesNeverActuates(t *testing.T) {
+	ft := &fakeTarget{samples: []Sample{sampleWithWait(sched.Config{TotalNodes: 4}, 0)}}
+	clk := &manualClock{}
+	c := newController(t, ft, clk)
+	tickN(t, c, clk, 10, time.Second)
+	if len(ft.patches) != 0 || len(ft.switches) != 0 {
+		t.Fatalf("zero-policy controller actuated: %d patches, %d switches", len(ft.patches), len(ft.switches))
+	}
+	if d := c.Decisions(); len(d) != 0 {
+		t.Fatalf("zero-policy controller recorded decisions: %v", d)
+	}
+}
+
+func TestControllerSampleErrorKeepsWindow(t *testing.T) {
+	cfg := sched.Config{TotalNodes: 2}
+	ft := &fakeTarget{samples: []Sample{
+		sampleWithWait(cfg, 0),
+		sampleWithWait(cfg, 2*time.Second),
+	}}
+	clk := &manualClock{}
+	c := newController(t, ft, clk, &NodeBudget{Min: 1, Max: 8})
+	tickN(t, c, clk, 1, time.Second) // baseline
+
+	ft.err = errors.New("daemon away")
+	clk.now += time.Second
+	if err := c.TickOnce(); err == nil {
+		t.Fatal("TickOnce with failing sample returned nil error")
+	}
+	ft.err = nil
+
+	// The failed tick must not have consumed the baseline: the next
+	// successful tick still sees the 2s wait growth and widens.
+	tickN(t, c, clk, 1, time.Second)
+	if len(ft.patches) != 1 || ft.patches[0].TotalNodes == nil || *ft.patches[0].TotalNodes != 3 {
+		t.Fatalf("patches after recovery = %+v, want one widen to 3", ft.patches)
+	}
+}
+
+func TestControllerMergesFirstPolicyWins(t *testing.T) {
+	cfg := sched.Config{TotalNodes: 2}
+	ft := &fakeTarget{samples: []Sample{
+		sampleWithWait(cfg, 0),
+		sampleWithWait(cfg, 2*time.Second),
+	}}
+	clk := &manualClock{}
+	// Two budget governors with different steps both claim TotalNodes;
+	// the first armed must win and only ONE ApplySched may happen.
+	c := newController(t, ft, clk,
+		&NodeBudget{Min: 1, Max: 8, Step: 1},
+		&NodeBudget{Min: 1, Max: 8, Step: 4})
+	tickN(t, c, clk, 2, time.Second)
+	if len(ft.patches) != 1 {
+		t.Fatalf("ApplySched called %d times in one tick, want 1 (single-writer rule)", len(ft.patches))
+	}
+	if *ft.patches[0].TotalNodes != 3 {
+		t.Fatalf("merged nodes = %d, want 3 (first policy's step)", *ft.patches[0].TotalNodes)
+	}
+	if len(c.Decisions()) != 2 {
+		t.Fatalf("decisions = %d, want 2 (both policies logged)", len(c.Decisions()))
+	}
+}
+
+func TestControllerDecisionRingBounded(t *testing.T) {
+	cfg := sched.Config{TotalNodes: 2}
+	var samples []Sample
+	for i := range make([]struct{}, 100) {
+		samples = append(samples, sampleWithWait(cfg, time.Duration(i)*2*time.Second))
+	}
+	ft := &fakeTarget{samples: samples}
+	clk := &manualClock{}
+	c, err := New(ft, []Policy{&NodeBudget{Min: 1, Max: 1000}}, Options{Clock: clk, LogSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickN(t, c, clk, 100, time.Second)
+	if got := len(c.Decisions()); got != 5 {
+		t.Fatalf("decision ring length = %d, want 5", got)
+	}
+}
+
+func TestNodeBudgetWidenShrinkBounds(t *testing.T) {
+	p := &NodeBudget{Min: 2, Max: 4, CalmTicks: 2, HighWait: time.Second}
+	cfg := sched.Config{TotalNodes: 2}
+	wait := time.Duration(0)
+	now := time.Duration(0)
+	tick := func(growth time.Duration) []Action {
+		prev := sampleWithWait(cfg, wait)
+		wait += growth
+		now += time.Second
+		return p.Evaluate(Tick{Now: now, Prev: prev, Cur: sampleWithWait(cfg, wait)})
+	}
+	apply := func(acts []Action) {
+		for _, a := range acts {
+			if a.Patch != nil && a.Patch.TotalNodes != nil {
+				cfg.TotalNodes = *a.Patch.TotalNodes
+			}
+		}
+	}
+
+	apply(tick(2 * time.Second)) // hot: widen 2→3
+	if cfg.TotalNodes != 3 {
+		t.Fatalf("after hot tick nodes = %d, want 3", cfg.TotalNodes)
+	}
+	apply(tick(2 * time.Second)) // hot: widen 3→4 (= Max)
+	apply(tick(2 * time.Second)) // hot but pinned at Max: no action
+	if cfg.TotalNodes != 4 {
+		t.Fatalf("nodes exceeded Max: %d", cfg.TotalNodes)
+	}
+	apply(tick(0)) // calm 1
+	if cfg.TotalNodes != 4 {
+		t.Fatalf("shrank before the calm streak completed: %d", cfg.TotalNodes)
+	}
+	apply(tick(0)) // calm 2: shrink 4→3
+	if cfg.TotalNodes != 3 {
+		t.Fatalf("after calm streak nodes = %d, want 3", cfg.TotalNodes)
+	}
+	apply(tick(0))
+	apply(tick(0)) // shrink 3→2 (= Min)
+	apply(tick(0))
+	apply(tick(0)) // calm but pinned at Min: no action
+	if cfg.TotalNodes != 2 {
+		t.Fatalf("nodes fell below Min: %d", cfg.TotalNodes)
+	}
+}
+
+func TestNodeBudgetInertWhenUnlimited(t *testing.T) {
+	p := &NodeBudget{Min: 1, Max: 8}
+	acts := p.Evaluate(Tick{
+		Now:  time.Second,
+		Prev: sampleWithWait(sched.Config{}, 0),
+		Cur:  sampleWithWait(sched.Config{}, time.Hour),
+	})
+	if len(acts) != 0 {
+		t.Fatalf("budget governor acted on an unlimited budget: %v", acts)
+	}
+}
+
+func TestNodeBudgetCooldown(t *testing.T) {
+	p := &NodeBudget{Min: 1, Max: 8, HighWait: time.Second, Cooldown: 10 * time.Second}
+	cfg := sched.Config{TotalNodes: 2}
+	hot := func(now time.Duration) []Action {
+		return p.Evaluate(Tick{Now: now,
+			Prev: sampleWithWait(cfg, 0),
+			Cur:  sampleWithWait(cfg, 2*time.Second)})
+	}
+	if acts := hot(time.Second); len(acts) != 1 {
+		t.Fatalf("first hot tick: %d actions, want 1", len(acts))
+	}
+	if acts := hot(2 * time.Second); len(acts) != 0 {
+		t.Fatalf("actuated inside the cooldown window: %v", acts)
+	}
+	if acts := hot(12 * time.Second); len(acts) != 1 {
+		t.Fatalf("cooldown expired but no action: %v", acts)
+	}
+}
+
+func TestPreemptGovernorArmDisarm(t *testing.T) {
+	p := &PreemptGovernor{SunkCost: 0.8, Guided: true, HighWait: time.Second, CalmTicks: 2}
+	cfg := sched.Config{}
+	now := time.Duration(0)
+	tick := func(growth time.Duration) []Action {
+		now += time.Second
+		prev := sampleWithWait(cfg, 0)
+		cur := sampleWithWait(cfg, growth)
+		return p.Evaluate(Tick{Now: now, Prev: prev, Cur: cur})
+	}
+
+	acts := tick(2 * time.Second)
+	if len(acts) != 1 {
+		t.Fatalf("contended tick: %d actions, want 1", len(acts))
+	}
+	patch := acts[0].Patch
+	if patch.Preempt == nil || *patch.Preempt != sched.PreemptYoungest {
+		t.Fatalf("arm patch preempt = %v, want youngest", patch.Preempt)
+	}
+	if patch.SunkCost == nil || *patch.SunkCost != 0.8 || patch.Guided == nil || !*patch.Guided {
+		t.Fatalf("arm patch missing guard fields: %+v", patch)
+	}
+	cfg = patch.apply(cfg)
+
+	if acts := tick(0); len(acts) != 0 { // calm 1 of 2
+		t.Fatalf("disarmed before calm streak: %v", acts)
+	}
+	acts = tick(0) // calm 2: disarm
+	if len(acts) != 1 {
+		t.Fatalf("calm streak complete: %d actions, want 1", len(acts))
+	}
+	patch = acts[0].Patch
+	if patch.Preempt == nil || *patch.Preempt != sched.PreemptOff {
+		t.Fatalf("disarm patch preempt = %v, want off", patch.Preempt)
+	}
+	if patch.SunkCost == nil || *patch.SunkCost != 0 || patch.Guided == nil || *patch.Guided {
+		t.Fatalf("disarm patch must clear the guards it armed: %+v", patch)
+	}
+}
+
+func TestPreemptGovernorRespectsOperatorConfig(t *testing.T) {
+	p := &PreemptGovernor{HighWait: time.Second}
+	cfg := sched.Config{Preempt: sched.PreemptCheapest} // operator's choice
+	acts := p.Evaluate(Tick{Now: time.Second,
+		Prev: sampleWithWait(cfg, 0),
+		Cur:  sampleWithWait(cfg, time.Hour)})
+	if len(acts) != 0 {
+		t.Fatalf("governor overrode operator preemption config: %v", acts)
+	}
+	// And it never disarms a policy it did not arm.
+	for i := 0; i < 10; i++ {
+		acts = p.Evaluate(Tick{Now: time.Duration(i+2) * time.Second,
+			Prev: sampleWithWait(cfg, 0),
+			Cur:  sampleWithWait(cfg, 0)})
+		if len(acts) != 0 {
+			t.Fatalf("governor disarmed operator preemption: %v", acts)
+		}
+	}
+}
+
+func cacheSample(cfg sched.Config, opens, hits int64, policy string) Sample {
+	return Sample{
+		Cfg:  cfg,
+		Ctxs: map[string]CtxSample{"c": {Opens: opens, Hits: hits, CachePolicy: policy}},
+	}
+}
+
+func TestCacheSwitcherRotatesOnLowHitRatio(t *testing.T) {
+	p := &CacheSwitcher{Policies: []string{"DCL", "LRU"}, LowHit: 0.5, MinOpens: 10, BadTicks: 2}
+	var cfg sched.Config
+	// Two windows of 20 opens / 2 hits each: bad streak reaches 2.
+	acts := p.Evaluate(Tick{Now: time.Second,
+		Prev: cacheSample(cfg, 0, 0, "DCL"),
+		Cur:  cacheSample(cfg, 20, 2, "DCL")})
+	if len(acts) != 0 {
+		t.Fatalf("switched after one bad window: %v", acts)
+	}
+	acts = p.Evaluate(Tick{Now: 2 * time.Second,
+		Prev: cacheSample(cfg, 20, 2, "DCL"),
+		Cur:  cacheSample(cfg, 40, 4, "DCL")})
+	if len(acts) != 1 || acts[0].Cache == nil {
+		t.Fatalf("bad streak complete: %v, want one cache switch", acts)
+	}
+	if acts[0].Cache.Ctx != "c" || acts[0].Cache.Policy != "LRU" {
+		t.Fatalf("switch = %+v, want c → LRU", acts[0].Cache)
+	}
+}
+
+func TestCacheSwitcherIgnoresQuietWindows(t *testing.T) {
+	p := &CacheSwitcher{Policies: []string{"DCL", "LRU"}, LowHit: 0.5, MinOpens: 10, BadTicks: 2}
+	var cfg sched.Config
+	p.Evaluate(Tick{Now: time.Second,
+		Prev: cacheSample(cfg, 0, 0, "DCL"),
+		Cur:  cacheSample(cfg, 20, 0, "DCL")}) // bad 1
+	// A quiet window (below MinOpens) resets the streak...
+	p.Evaluate(Tick{Now: 2 * time.Second,
+		Prev: cacheSample(cfg, 20, 0, "DCL"),
+		Cur:  cacheSample(cfg, 22, 0, "DCL")})
+	// ...so another bad window must NOT trigger yet.
+	acts := p.Evaluate(Tick{Now: 3 * time.Second,
+		Prev: cacheSample(cfg, 22, 0, "DCL"),
+		Cur:  cacheSample(cfg, 42, 0, "DCL")})
+	if len(acts) != 0 {
+		t.Fatalf("quiet window did not reset the bad streak: %v", acts)
+	}
+}
+
+func loadSample(cfg sched.Config, loads map[string]uint64) Sample {
+	return Sample{Cfg: cfg, Loads: loads}
+}
+
+func TestDRRTunerArmsOnSkewDisarmsOnEven(t *testing.T) {
+	p := &DRRTuner{Quantum: 8, HighSkew: 2, MinSteps: 10, CalmTicks: 2}
+	cfg := sched.Config{Priorities: true}
+	// Window: hog 90 steps, mouse 10 → skew = 90×2/100 = 1.8 < 2: no.
+	acts := p.Evaluate(Tick{Now: time.Second,
+		Prev: loadSample(cfg, nil),
+		Cur:  loadSample(cfg, map[string]uint64{"hog": 90, "mouse": 10})})
+	if len(acts) != 0 {
+		t.Fatalf("tuner armed below threshold: %v", acts)
+	}
+	// Window: hog 95, mouse 5 → skew = 95×2/100 = 1.9... still under.
+	// Use 3 clients: hog 90, m1 5, m2 5 → 90×3/100 = 2.7 ≥ 2: arm.
+	acts = p.Evaluate(Tick{Now: 2 * time.Second,
+		Prev: loadSample(cfg, map[string]uint64{"hog": 90, "mouse": 10}),
+		Cur:  loadSample(cfg, map[string]uint64{"hog": 180, "mouse": 15, "m2": 5})})
+	if len(acts) != 1 || acts[0].Patch.DRRQuantum == nil || *acts[0].Patch.DRRQuantum != 8 {
+		t.Fatalf("skewed window: %v, want quantum=8 armed", acts)
+	}
+	cfg.DRRQuantum = 8
+	// Even windows: disarm after the calm streak.
+	even := func(now time.Duration, base uint64) []Action {
+		return p.Evaluate(Tick{Now: now,
+			Prev: loadSample(cfg, map[string]uint64{"hog": base, "mouse": base}),
+			Cur:  loadSample(cfg, map[string]uint64{"hog": base + 50, "mouse": base + 50})})
+	}
+	if acts := even(3*time.Second, 200); len(acts) != 0 {
+		t.Fatalf("disarmed before calm streak: %v", acts)
+	}
+	acts = even(4*time.Second, 300)
+	if len(acts) != 1 || acts[0].Patch.DRRQuantum == nil || *acts[0].Patch.DRRQuantum != 0 {
+		t.Fatalf("calm streak complete: %v, want quantum=0", acts)
+	}
+}
+
+func TestDRRTunerRequiresPriorities(t *testing.T) {
+	p := &DRRTuner{HighSkew: 1.5, MinSteps: 10}
+	cfg := sched.Config{} // FIFO: DRR cannot apply
+	acts := p.Evaluate(Tick{Now: time.Second,
+		Prev: loadSample(cfg, nil),
+		Cur:  loadSample(cfg, map[string]uint64{"hog": 100, "mouse": 1})})
+	if len(acts) != 0 {
+		t.Fatalf("tuner armed without priority queueing: %v", acts)
+	}
+}
+
+func TestDemandJoinPromoterArmsOnBacklog(t *testing.T) {
+	p := &DemandJoinPromoter{CalmTicks: 2}
+	depth := func(cfg sched.Config, d int) Sample {
+		return Sample{Cfg: cfg, Sched: metrics.SchedStats{QueueDepth: d}}
+	}
+	cfg := sched.Config{}
+	acts := p.Evaluate(Tick{Now: time.Second, Prev: depth(cfg, 0), Cur: depth(cfg, 3)})
+	if len(acts) != 1 || acts[0].Patch.DemandJoin == nil || !*acts[0].Patch.DemandJoin {
+		t.Fatalf("backlogged tick: %v, want demand-join armed", acts)
+	}
+	cfg.DemandJoin = true
+	if acts := p.Evaluate(Tick{Now: 2 * time.Second, Prev: depth(cfg, 3), Cur: depth(cfg, 0)}); len(acts) != 0 {
+		t.Fatalf("disarmed before calm streak: %v", acts)
+	}
+	acts = p.Evaluate(Tick{Now: 3 * time.Second, Prev: depth(cfg, 0), Cur: depth(cfg, 0)})
+	if len(acts) != 1 || acts[0].Patch.DemandJoin == nil || *acts[0].Patch.DemandJoin {
+		t.Fatalf("calm streak complete: %v, want demand-join disarmed", acts)
+	}
+	// Operator-armed demand-join is left alone.
+	q := &DemandJoinPromoter{}
+	if acts := q.Evaluate(Tick{Now: time.Second, Prev: depth(cfg, 0), Cur: depth(cfg, 5)}); len(acts) != 0 {
+		t.Fatalf("promoter re-armed operator demand-join: %v", acts)
+	}
+}
+
+func TestSchedPatchStringAndBody(t *testing.T) {
+	p := SchedPatch{
+		TotalNodes: intPtr(6),
+		Preempt:    policyPtr(sched.PreemptYoungest),
+		SunkCost:   f64Ptr(0.8),
+		Guided:     boolPtr(true),
+		DRRQuantum: intPtr(4),
+		DemandJoin: boolPtr(true),
+	}
+	s := p.String()
+	for _, want := range []string{"nodes=6", "preempt=youngest", "sunkcost=0.8", "guided=true", "quantum=4", "demandjoin=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	b := p.Body()
+	if b.TotalNodes == nil || *b.TotalNodes != 6 ||
+		b.PreemptPolicy == nil || *b.PreemptPolicy != "youngest" ||
+		b.PreemptSunkCost == nil || *b.PreemptSunkCost != 0.8 ||
+		b.PreemptGuided == nil || !*b.PreemptGuided ||
+		b.DRRQuantum == nil || *b.DRRQuantum != 4 ||
+		b.DemandJoin == nil || !*b.DemandJoin {
+		t.Fatalf("Body() dropped fields: %+v", b)
+	}
+}

@@ -1,0 +1,100 @@
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeBudget governs the scheduler's global node budget: it widens when
+// demand-class queue wait grows across a tick and shrinks back after a
+// calm streak, within [Min, Max]. It is inert while the budget is
+// unlimited (TotalNodes == 0) — there is nothing to widen — and never
+// crosses its bounds, so an operator's hard ceiling holds.
+type NodeBudget struct {
+	// Min and Max bound the budget (Min must be ≥ 1).
+	Min, Max int
+	// Step is the widen/shrink increment (default 1).
+	Step int
+	// HighWait is the per-tick demand-wait growth that triggers widening
+	// (default 500ms).
+	HighWait time.Duration
+	// CalmTicks is the number of consecutive below-threshold ticks
+	// before shrinking (default 3) — the hysteresis band.
+	CalmTicks int
+	// Cooldown is the minimum controller time between actuations.
+	Cooldown time.Duration
+
+	calm    int
+	lastAct time.Duration
+	acted   bool
+}
+
+func (p *NodeBudget) Name() string { return "node-budget" }
+
+func (p *NodeBudget) step() int {
+	if p.Step > 0 {
+		return p.Step
+	}
+	return 1
+}
+
+func (p *NodeBudget) highWait() time.Duration {
+	if p.HighWait > 0 {
+		return p.HighWait
+	}
+	return 500 * time.Millisecond
+}
+
+func (p *NodeBudget) calmTicks() int {
+	if p.CalmTicks > 0 {
+		return p.CalmTicks
+	}
+	return 3
+}
+
+func (p *NodeBudget) Evaluate(t Tick) []Action {
+	if t.First {
+		return nil
+	}
+	nodes := t.Cur.Cfg.TotalNodes
+	if nodes == 0 {
+		return nil // unlimited budget: nothing to govern
+	}
+	if p.acted && t.Now-p.lastAct < p.Cooldown {
+		return nil
+	}
+	delta := t.demandWaitDelta()
+	if delta >= p.highWait() {
+		p.calm = 0
+		if p.Max > 0 && nodes >= p.Max {
+			return nil // pinned at the ceiling; keep watching
+		}
+		next := nodes + p.step()
+		if p.Max > 0 && next > p.Max {
+			next = p.Max
+		}
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{TotalNodes: intPtr(next)},
+			Reason: fmt.Sprintf("demand wait grew %v ≥ %v this tick", delta, p.highWait()),
+		}}
+	}
+	p.calm++
+	min := p.Min
+	if min < 1 {
+		min = 1
+	}
+	if p.calm >= p.calmTicks() && nodes > min {
+		next := nodes - p.step()
+		if next < min {
+			next = min
+		}
+		p.calm = 0
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{TotalNodes: intPtr(next)},
+			Reason: fmt.Sprintf("demand wait calm for %d ticks", p.calmTicks()),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// DemandJoinPromoter arms the scheduler's demand-join rule — a queued
+// prefetch job is lifted to demand class when a demand open lands inside
+// its range — while the queue carries a backlog, and disarms it once the
+// queue drains. With an empty queue the rule can never fire, so leaving
+// it off costs nothing and keeps the config at the paper's default; the
+// promoter only disarms what it armed.
+type DemandJoinPromoter struct {
+	// MinDepth is the queue depth that arms the rule (default 1).
+	MinDepth int
+	// CalmTicks is the empty-queue streak before disarming (default 3).
+	CalmTicks int
+	// Cooldown is the minimum controller time between actuations.
+	Cooldown time.Duration
+
+	armed   bool
+	calm    int
+	lastAct time.Duration
+	acted   bool
+}
+
+func (p *DemandJoinPromoter) Name() string { return "demand-join" }
+
+func (p *DemandJoinPromoter) minDepth() int {
+	if p.MinDepth > 0 {
+		return p.MinDepth
+	}
+	return 1
+}
+
+func (p *DemandJoinPromoter) calmTicks() int {
+	if p.CalmTicks > 0 {
+		return p.CalmTicks
+	}
+	return 3
+}
+
+func (p *DemandJoinPromoter) Evaluate(t Tick) []Action {
+	if t.First {
+		return nil
+	}
+	if p.acted && t.Now-p.lastAct < p.Cooldown {
+		return nil
+	}
+	depth := t.Cur.Sched.QueueDepth
+	switch {
+	case depth >= p.minDepth():
+		p.calm = 0
+		if t.Cur.Cfg.DemandJoin || p.armed {
+			return nil
+		}
+		p.armed = true
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{DemandJoin: boolPtr(true)},
+			Reason: fmt.Sprintf("queue depth %d ≥ %d", depth, p.minDepth()),
+		}}
+	case p.armed:
+		p.calm++
+		if p.calm < p.calmTicks() {
+			return nil
+		}
+		p.armed = false
+		p.calm = 0
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{DemandJoin: boolPtr(false)},
+			Reason: fmt.Sprintf("queue empty for %d ticks", p.calmTicks()),
+		}}
+	}
+	return nil
+}

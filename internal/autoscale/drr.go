@@ -1,0 +1,126 @@
+package autoscale
+
+import (
+	"fmt"
+	"time"
+)
+
+// DRRTuner arms the scheduler's deficit-round-robin quantum when the
+// measured per-client demand load is skewed — one client submitting a
+// dominant share of the window's demand steps — and disarms it when the
+// load evens out. It requires priority queueing (DRR is scoped inside a
+// priority class) and only disarms a quantum it armed itself.
+type DRRTuner struct {
+	// Quantum is the step credit to arm (default 4).
+	Quantum int
+	// HighSkew is the trigger: max per-client share of the window's
+	// steps, normalized by the active-client count, so 1.0 is a
+	// perfectly even split (default 3 — one client at 3× its fair
+	// share).
+	HighSkew float64
+	// MinSteps is the minimum demand steps in the window to judge
+	// (default 32).
+	MinSteps uint64
+	// CalmTicks is the even-load streak before disarming (default 3).
+	CalmTicks int
+	// Cooldown is the minimum controller time between actuations.
+	Cooldown time.Duration
+
+	armed   bool
+	calm    int
+	lastAct time.Duration
+	acted   bool
+}
+
+func (p *DRRTuner) Name() string { return "drr-tuner" }
+
+func (p *DRRTuner) quantum() int {
+	if p.Quantum > 0 {
+		return p.Quantum
+	}
+	return 4
+}
+
+func (p *DRRTuner) highSkew() float64 {
+	if p.HighSkew > 0 {
+		return p.HighSkew
+	}
+	return 3
+}
+
+func (p *DRRTuner) minSteps() uint64 {
+	if p.MinSteps > 0 {
+		return p.MinSteps
+	}
+	return 32
+}
+
+func (p *DRRTuner) calmTicks() int {
+	if p.CalmTicks > 0 {
+		return p.CalmTicks
+	}
+	return 3
+}
+
+// skew measures the window's per-client imbalance: the dominant client's
+// share of the delta steps, scaled by the number of active clients
+// (share × n), so an even split scores 1 regardless of client count.
+// Returns 0 when the window has too little traffic to judge.
+func (p *DRRTuner) skew(t Tick) float64 {
+	var total, max uint64
+	active := 0
+	for client, cur := range t.Cur.Loads {
+		d := cur - t.Prev.Loads[client]
+		if d == 0 {
+			continue
+		}
+		total += d
+		active++
+		if d > max {
+			max = d
+		}
+	}
+	if total < p.minSteps() || active < 2 {
+		return 0
+	}
+	return float64(max) * float64(active) / float64(total)
+}
+
+func (p *DRRTuner) Evaluate(t Tick) []Action {
+	if t.First {
+		return nil
+	}
+	if !t.Cur.Cfg.Priorities {
+		return nil // DRR is scoped inside priority classes
+	}
+	if p.acted && t.Now-p.lastAct < p.Cooldown {
+		return nil
+	}
+	skew := p.skew(t)
+	switch {
+	case skew >= p.highSkew():
+		p.calm = 0
+		if t.Cur.Cfg.DRRQuantum != 0 || p.armed {
+			return nil // operator already armed fairness, or we did
+		}
+		p.armed = true
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{DRRQuantum: intPtr(p.quantum())},
+			Reason: fmt.Sprintf("client skew %.1f ≥ %.1f this window", skew, p.highSkew()),
+		}}
+	case p.armed:
+		p.calm++
+		if p.calm < p.calmTicks() {
+			return nil
+		}
+		p.armed = false
+		p.calm = 0
+		p.lastAct, p.acted = t.Now, true
+		return []Action{{
+			Patch:  &SchedPatch{DRRQuantum: intPtr(0)},
+			Reason: fmt.Sprintf("client load even for %d ticks", p.calmTicks()),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package autoscale_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"simfs/internal/autoscale"
+	"simfs/internal/des"
+	"simfs/internal/dvlib"
+	"simfs/internal/model"
+	"simfs/internal/netproto"
+	"simfs/internal/sched"
+	"simfs/internal/server"
+)
+
+func testCtx(name string) *model.Context {
+	return &model.Context{
+		Name:               name,
+		Grid:               model.Grid{DeltaD: 1, DeltaR: 4, Timesteps: 64},
+		OutputBytes:        256,
+		RestartBytes:       128,
+		Tau:                2 * time.Millisecond,
+		Alpha:              4 * time.Millisecond,
+		DefaultParallelism: 1,
+		MaxParallelism:     1,
+		SMax:               4,
+	}
+}
+
+// startDaemon boots one daemon with a seed context on an ephemeral port.
+func startDaemon(t *testing.T) (*server.Stack, string) {
+	t.Helper()
+	st, err := server.NewStack(t.TempDir(), 1, "DCL", testCtx("wx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunInitialSimulation("wx"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go st.Server.Serve()
+	t.Cleanup(func() {
+		st.Close()
+		st.Launcher.Wait()
+	})
+	return st, st.Server.Addr()
+}
+
+// TestAutoscaleAdminTargetRoundTrip drives a controller over a live
+// daemon: the remote sample must mirror the daemon's scheduler config,
+// and an actuated patch must land on it.
+func TestAutoscaleAdminTargetRoundTrip(t *testing.T) {
+	_, addr := startDaemon(t)
+	c, err := dvlib.Dial(addr, "autoscale-e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.HasCapability(netproto.CapAutoscale) {
+		t.Fatal("daemon does not advertise the autoscale capability")
+	}
+
+	target := autoscale.NewAdminTarget(c)
+	s, err := target.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Ctxs["wx"]; !ok {
+		t.Fatalf("remote sample missing context wx: %+v", s.Ctxs)
+	}
+
+	nodes := 6
+	join := true
+	sunk := 0.75
+	if err := target.ApplySched(autoscale.SchedPatch{
+		TotalNodes: &nodes, DemandJoin: &join, SunkCost: &sunk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err = target.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.TotalNodes != 6 || !s.Cfg.DemandJoin || s.Cfg.PreemptSunkCost != 0.75 {
+		t.Fatalf("patch did not land: %+v", s.Cfg)
+	}
+
+	if err := target.SetCachePolicy("wx", "LRU"); err != nil {
+		t.Fatal(err)
+	}
+	s, err = target.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Ctxs["wx"].CachePolicy; got != "LRU" {
+		t.Fatalf("cache policy after switch = %q, want LRU", got)
+	}
+}
+
+// TestAutoscaleSunkCostValidation pins the daemon-side range check.
+func TestAutoscaleSunkCostValidation(t *testing.T) {
+	_, addr := startDaemon(t)
+	c, err := dvlib.Dial(addr, "autoscale-e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := 1.5
+	_, err = c.Admin().SetSchedConfig(context.Background(), dvlib.SchedUpdate{PreemptSunkCost: &bad})
+	if err == nil {
+		t.Fatal("sunk cost 1.5 accepted, want invalid-argument rejection")
+	}
+}
+
+// TestAutoscaleReportStatusLedger exercises the daemon's decision
+// ledger: a controller reports its decisions, another session reads
+// them back, and detaching clears the live state but keeps the trail.
+func TestAutoscaleReportStatusLedger(t *testing.T) {
+	_, addr := startDaemon(t)
+	c, err := dvlib.Dial(addr, "autoscale-ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bg := context.Background()
+
+	report := netproto.AutoscaleReportBody{
+		Active:   true,
+		Policies: []string{"node-budget", "cache-switcher"},
+		Decisions: []netproto.AutoscaleDecision{
+			{AtNs: int64(time.Second), Policy: "node-budget", Action: "sched{nodes=3}", Reason: "demand wait grew"},
+		},
+	}
+	if err := c.Admin().ReportAutoscale(bg, report); err != nil {
+		t.Fatal(err)
+	}
+
+	viewer, err := dvlib.Dial(addr, "health-viewer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+	info, err := viewer.Admin().AutoscaleStatus(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Active || info.Source != "autoscale-ctl" {
+		t.Fatalf("status = %+v, want active from autoscale-ctl", info)
+	}
+	if len(info.Policies) != 2 || len(info.Decisions) != 1 {
+		t.Fatalf("status carried %d policies / %d decisions, want 2 / 1", len(info.Policies), len(info.Decisions))
+	}
+	if d := info.Decisions[0]; d.Policy != "node-budget" || d.Action != "sched{nodes=3}" {
+		t.Fatalf("decision = %+v", d)
+	}
+
+	// Detach: live state clears, decision trail survives.
+	if err := c.Admin().ReportAutoscale(bg, netproto.AutoscaleReportBody{Active: false}); err != nil {
+		t.Fatal(err)
+	}
+	info, err = viewer.Admin().AutoscaleStatus(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Active || len(info.Policies) != 0 {
+		t.Fatalf("after detach status = %+v, want inactive with no policies", info)
+	}
+	if len(info.Decisions) != 1 {
+		t.Fatalf("detach dropped the decision trail: %+v", info.Decisions)
+	}
+}
+
+// TestAutoscaleControllerOverLiveDaemon runs the full loop end to end:
+// a wall-clock controller with a demand-join promoter attached over the
+// admin target must arm the scheduler rule once a backlog appears.
+func TestAutoscaleControllerOverLiveDaemon(t *testing.T) {
+	st, addr := startDaemon(t)
+	// Shrink the budget so queued work accumulates a visible depth.
+	st.V.UpdateSchedConfig(func(cfg sched.Config) sched.Config {
+		cfg.Priorities = true
+		cfg.TotalNodes = 1
+		return cfg
+	})
+
+	c, err := dvlib.Dial(addr, "autoscale-ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctrl, err := autoscale.New(autoscale.NewAdminTarget(c),
+		[]autoscale.Policy{&autoscale.DemandJoinPromoter{}},
+		autoscale.Options{Clock: des.NewWallClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wx, err := c.Init("wx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the single node with misses so a queue builds.
+	for step := 10; step < 40; step += 4 {
+		if _, err := wx.Open(wx.Filename(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := ctrl.TickOnce(); err != nil { // baseline
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := ctrl.TickOnce(); err != nil {
+			t.Fatal(err)
+		}
+		cfg := st.V.SchedConfig()
+		if cfg.DemandJoin {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("controller never armed demand-join; decisions: %+v", ctrl.Decisions())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(ctrl.Decisions()) == 0 {
+		t.Fatal("controller armed demand-join without recording a decision")
+	}
+}

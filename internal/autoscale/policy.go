@@ -1,0 +1,186 @@
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"simfs/internal/netproto"
+	"simfs/internal/sched"
+)
+
+// Tick is what a policy sees on each control iteration: the current
+// sample, the previous one (zero-valued when First), and the controller
+// clock. Policies derive rates from Cur−Prev deltas; on the first tick
+// there is no window yet, so stateful policies should observe and pass.
+type Tick struct {
+	Now   time.Duration
+	First bool
+	Prev  Sample
+	Cur   Sample
+}
+
+// demandWaitDelta is the growth of cumulative demand-class queueing
+// delay across the tick window — the controller's headline contention
+// signal.
+func (t Tick) demandWaitDelta() time.Duration {
+	return t.Cur.Sched.DemandWait.Wait - t.Prev.Sched.DemandWait.Wait
+}
+
+// CacheSwitch asks the target to swap one context's cache policy.
+type CacheSwitch struct {
+	Ctx    string
+	Policy string
+}
+
+// Action is one policy verdict: a scheduler patch, a cache switch, or
+// both, with the trigger spelled out for the decision log.
+type Action struct {
+	Patch  *SchedPatch
+	Cache  *CacheSwitch
+	Reason string
+}
+
+// describe renders the actuation half of an action for the decision log.
+func (a Action) describe() string {
+	var parts []string
+	if a.Patch != nil && !a.Patch.empty() {
+		parts = append(parts, a.Patch.String())
+	}
+	if a.Cache != nil {
+		parts = append(parts, fmt.Sprintf("cache{ctx=%s policy=%s}", a.Cache.Ctx, a.Cache.Policy))
+	}
+	if len(parts) == 0 {
+		return "observe"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Policy is one feedback rule. Evaluate runs on every tick with the
+// current window and returns zero or more actions; it must be
+// deterministic given the tick (policies may keep internal hysteresis
+// state, but no other side effects).
+type Policy interface {
+	Name() string
+	Evaluate(t Tick) []Action
+}
+
+// SchedPatch is a partial scheduler reconfiguration: nil fields keep the
+// target's current value. It is the policy-facing mirror of
+// netproto.SchedSetBody, kept separate so library users never touch the
+// wire layer.
+type SchedPatch struct {
+	TotalNodes *int
+	Preempt    *sched.PreemptPolicy
+	SunkCost   *float64
+	Guided     *bool
+	DRRQuantum *int
+	DemandJoin *bool
+}
+
+func (p SchedPatch) empty() bool {
+	return p.TotalNodes == nil && p.Preempt == nil && p.SunkCost == nil &&
+		p.Guided == nil && p.DRRQuantum == nil && p.DemandJoin == nil
+}
+
+// merge folds q into p without overwriting fields p already claims —
+// the single-writer rule's tie-break: the earlier policy wins.
+func (p *SchedPatch) merge(q SchedPatch) {
+	if p.TotalNodes == nil {
+		p.TotalNodes = q.TotalNodes
+	}
+	if p.Preempt == nil {
+		p.Preempt = q.Preempt
+	}
+	if p.SunkCost == nil {
+		p.SunkCost = q.SunkCost
+	}
+	if p.Guided == nil {
+		p.Guided = q.Guided
+	}
+	if p.DRRQuantum == nil {
+		p.DRRQuantum = q.DRRQuantum
+	}
+	if p.DemandJoin == nil {
+		p.DemandJoin = q.DemandJoin
+	}
+}
+
+// apply folds the patch into a scheduler config (the in-process target's
+// UpdateSchedConfig mutator).
+func (p SchedPatch) apply(cfg sched.Config) sched.Config {
+	if p.TotalNodes != nil {
+		cfg.TotalNodes = *p.TotalNodes
+	}
+	if p.Preempt != nil {
+		cfg.Preempt = *p.Preempt
+	}
+	if p.SunkCost != nil {
+		cfg.PreemptSunkCost = *p.SunkCost
+	}
+	if p.Guided != nil {
+		cfg.PreemptGuided = *p.Guided
+	}
+	if p.DRRQuantum != nil {
+		cfg.DRRQuantum = *p.DRRQuantum
+	}
+	if p.DemandJoin != nil {
+		cfg.DemandJoin = *p.DemandJoin
+	}
+	return cfg
+}
+
+// Body renders the patch as a wire-level partial sched-set (the remote
+// target's actuation payload).
+func (p SchedPatch) Body() netproto.SchedSetBody {
+	var b netproto.SchedSetBody
+	b.TotalNodes = p.TotalNodes
+	if p.Preempt != nil {
+		s := p.Preempt.String()
+		b.PreemptPolicy = &s
+	}
+	b.PreemptSunkCost = p.SunkCost
+	b.PreemptGuided = p.Guided
+	b.DRRQuantum = p.DRRQuantum
+	b.DemandJoin = p.DemandJoin
+	return b
+}
+
+func (p SchedPatch) String() string {
+	var parts []string
+	if p.TotalNodes != nil {
+		parts = append(parts, fmt.Sprintf("nodes=%d", *p.TotalNodes))
+	}
+	if p.Preempt != nil {
+		parts = append(parts, fmt.Sprintf("preempt=%s", *p.Preempt))
+	}
+	if p.SunkCost != nil {
+		parts = append(parts, fmt.Sprintf("sunkcost=%g", *p.SunkCost))
+	}
+	if p.Guided != nil {
+		parts = append(parts, fmt.Sprintf("guided=%v", *p.Guided))
+	}
+	if p.DRRQuantum != nil {
+		parts = append(parts, fmt.Sprintf("quantum=%d", *p.DRRQuantum))
+	}
+	if p.DemandJoin != nil {
+		parts = append(parts, fmt.Sprintf("demandjoin=%v", *p.DemandJoin))
+	}
+	return "sched{" + strings.Join(parts, " ") + "}"
+}
+
+// sortedCtxNames iterates a sample's contexts deterministically.
+func sortedCtxNames(ctxs map[string]CtxSample) []string {
+	names := make([]string, 0, len(ctxs))
+	for name := range ctxs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func intPtr(v int) *int                                    { return &v }
+func boolPtr(v bool) *bool                                 { return &v }
+func f64Ptr(v float64) *float64                            { return &v }
+func policyPtr(v sched.PreemptPolicy) *sched.PreemptPolicy { return &v }

@@ -1,0 +1,110 @@
+package autoscale
+
+import (
+	"fmt"
+	"time"
+
+	"simfs/internal/sched"
+)
+
+// PreemptGovernor flips the preemption policy on under sustained demand
+// contention and off again after a calm streak, arming the sunk-cost
+// guard and (optionally) guided-class victim eligibility alongside. It
+// only ever disarms what it armed: if the operator configured preemption
+// themselves, the governor observes and stays out of the way.
+type PreemptGovernor struct {
+	// Policy is the victim-selection policy to arm (default youngest).
+	Policy sched.PreemptPolicy
+	// SunkCost is the completion fraction past which a victim is spared
+	// (0 = no guard).
+	SunkCost float64
+	// Guided widens victim eligibility to guided-class prefetches.
+	Guided bool
+	// HighWait is the per-tick demand-wait growth that counts as
+	// contention (default 500ms).
+	HighWait time.Duration
+	// CalmTicks is the calm streak before disarming (default 3).
+	CalmTicks int
+	// Cooldown is the minimum controller time between actuations.
+	Cooldown time.Duration
+
+	armed   bool
+	calm    int
+	lastAct time.Duration
+	acted   bool
+}
+
+func (p *PreemptGovernor) Name() string { return "preempt-governor" }
+
+func (p *PreemptGovernor) policy() sched.PreemptPolicy {
+	if p.Policy != sched.PreemptOff {
+		return p.Policy
+	}
+	return sched.PreemptYoungest
+}
+
+func (p *PreemptGovernor) highWait() time.Duration {
+	if p.HighWait > 0 {
+		return p.HighWait
+	}
+	return 500 * time.Millisecond
+}
+
+func (p *PreemptGovernor) calmTicks() int {
+	if p.CalmTicks > 0 {
+		return p.CalmTicks
+	}
+	return 3
+}
+
+func (p *PreemptGovernor) Evaluate(t Tick) []Action {
+	if t.First {
+		return nil
+	}
+	if p.acted && t.Now-p.lastAct < p.Cooldown {
+		return nil
+	}
+	contended := t.demandWaitDelta() >= p.highWait()
+	switch {
+	case contended:
+		p.calm = 0
+		// Arm only when preemption is off; an operator-armed policy is
+		// not ours to manage (and arming again would be a no-op anyway).
+		if t.Cur.Cfg.Preempt != sched.PreemptOff || p.armed {
+			return nil
+		}
+		p.armed = true
+		p.lastAct, p.acted = t.Now, true
+		patch := &SchedPatch{Preempt: policyPtr(p.policy())}
+		if p.SunkCost > 0 {
+			patch.SunkCost = f64Ptr(p.SunkCost)
+		}
+		if p.Guided {
+			patch.Guided = boolPtr(true)
+		}
+		return []Action{{
+			Patch:  patch,
+			Reason: fmt.Sprintf("demand wait grew %v ≥ %v this tick", t.demandWaitDelta(), p.highWait()),
+		}}
+	case p.armed:
+		p.calm++
+		if p.calm < p.calmTicks() {
+			return nil
+		}
+		p.armed = false
+		p.calm = 0
+		p.lastAct, p.acted = t.Now, true
+		patch := &SchedPatch{Preempt: policyPtr(sched.PreemptOff)}
+		if p.SunkCost > 0 {
+			patch.SunkCost = f64Ptr(0)
+		}
+		if p.Guided {
+			patch.Guided = boolPtr(false)
+		}
+		return []Action{{
+			Patch:  patch,
+			Reason: fmt.Sprintf("demand wait calm for %d ticks", p.calmTicks()),
+		}}
+	}
+	return nil
+}

@@ -99,7 +99,17 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 	}
 
 	// Miss: join the producing simulation or start a demand one.
-	if _, promised := cs.promised[step]; !promised {
+	if simID, promised := cs.promised[step]; promised && simID == pendingSimID {
+		// The step is promised by a *queued* job — nothing to submit, so
+		// without this the demand interest would never reach the
+		// scheduler (not even Coalesce sees it). With DemandJoin armed
+		// the queued job is lifted to demand class so it drains ahead of
+		// speculative work; the promotion counts as queued demand for the
+		// preemption probe like any demand enqueue.
+		if v.sched.PromoteDemand(cs.ctx.Name, step, client) {
+			queuedDemand = true
+		}
+	} else if !promised {
 		iv, err := cs.ctx.Grid.ResimInterval(step)
 		if err != nil {
 			cs.refs[step]--

@@ -39,13 +39,13 @@ type victimRef struct {
 // off or no demand work is queued.
 func (v *Virtualizer) maybePreempt() {
 	for v.sched.WantsPreemption() {
-		policy := v.sched.Config().Preempt
-		refs := v.preemptCandidates(policy)
+		cfg := v.sched.Config()
+		refs := v.preemptCandidates(cfg)
 		vics := make([]sched.Victim, len(refs))
 		for i, r := range refs {
 			vics[i] = r.vic
 		}
-		i := policy.Choose(vics)
+		i := cfg.Preempt.Choose(vics)
 		if i < 0 {
 			return // nothing eligible: wait for natural completions
 		}
@@ -53,14 +53,26 @@ func (v *Virtualizer) maybePreempt() {
 	}
 }
 
-// preemptCandidates lists the killable running agent prefetches across
-// all shards: launched, no kill (preemption or cancellation) already in
-// flight, and — the no-waiters rule — nobody waiting for or referencing
-// their range. The cost-model remaining-time estimate is only computed
-// for the policy that reads it. The candidate order is map-random;
+// victimDone is a running simulation's completion fraction — the
+// sunk-cost guard's input. Caller holds the shard lock.
+func victimDone(sim *simState) float64 {
+	total := sim.last - sim.first + 1
+	if total <= 0 {
+		return 1
+	}
+	return float64(sim.produced) / float64(total)
+}
+
+// preemptCandidates lists the killable running prefetches across all
+// shards: launched, no kill (preemption or cancellation) already in
+// flight, class-eligible under the config (agent always, guided with
+// PreemptGuided, nothing past the sunk-cost threshold), and — the
+// no-waiters rule — nobody waiting for or referencing their range. The
+// cost-model remaining-time estimate is only computed for the policy
+// that reads it. The candidate order is map-random;
 // sched.PreemptPolicy.Choose is a total order (ties break on simulation
 // id), so the selection is deterministic anyway.
-func (v *Virtualizer) preemptCandidates(policy sched.PreemptPolicy) []victimRef {
+func (v *Virtualizer) preemptCandidates(cfg sched.Config) []victimRef {
 	v.ctxMu.RLock()
 	shards := make([]*shard, 0, len(v.contexts))
 	for _, cs := range v.contexts {
@@ -71,14 +83,17 @@ func (v *Virtualizer) preemptCandidates(policy sched.PreemptPolicy) []victimRef 
 	for _, cs := range shards {
 		cs.mu.Lock()
 		for id, sim := range cs.sims {
-			if !sim.launched || sim.preempted || sim.killing || sim.class != sched.Agent {
+			if !sim.launched || sim.preempted || sim.killing {
+				continue
+			}
+			if !cfg.VictimEligible(sim.class, victimDone(sim)) {
 				continue
 			}
 			if v.anyoneNeeds(cs, sim.first, sim.last) {
 				continue
 			}
 			vic := sched.Victim{SimID: id, LaunchedAt: sim.launchedAt}
-			if policy == sched.PreemptCheapest {
+			if cfg.Preempt == sched.PreemptCheapest {
 				vic.Remaining = v.remainingEstimate(cs, sim)
 			}
 			refs = append(refs, victimRef{cs: cs, vic: vic})
@@ -106,7 +121,8 @@ func (v *Virtualizer) remainingEstimate(cs *shard, sim *simState) time.Duration 
 
 // killVictim re-validates a candidate under its shard lock — it may have
 // completed, been preempted by a concurrent pass, been dealt a
-// cancellation kill, or acquired waiters between selection and kill —
+// cancellation kill, acquired waiters, or (on the realtime server)
+// produced past the sunk-cost threshold between selection and kill —
 // and kills it. The launcher delivers the death asynchronously;
 // SimEnded sees sim.preempted and requeues the interval instead of
 // failing its promises.
@@ -114,7 +130,10 @@ func (v *Virtualizer) killVictim(cs *shard, simID int64) bool {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	sim, ok := cs.sims[simID]
-	if !ok || sim.preempted || sim.killing || !sim.launched || sim.class != sched.Agent {
+	if !ok || sim.preempted || sim.killing || !sim.launched {
+		return false
+	}
+	if !v.sched.Config().VictimEligible(sim.class, victimDone(sim)) {
 		return false
 	}
 	if v.anyoneNeeds(cs, sim.first, sim.last) {

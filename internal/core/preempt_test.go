@@ -175,7 +175,7 @@ func TestPreemptVictimFinishedBetweenSelectionAndKill(t *testing.T) {
 	ctx := testContext("c")
 	h := schedHarness(t, sched.Config{Priorities: true, TotalNodes: 1, Preempt: sched.PreemptYoungest}, ctx)
 	injectAgentPrefetch(t, h, "c", "spec", 9, 12)
-	refs := h.v.preemptCandidates(sched.PreemptYoungest)
+	refs := h.v.preemptCandidates(h.v.sched.Config())
 	if len(refs) != 1 {
 		t.Fatalf("candidates = %d, want the running prefetch", len(refs))
 	}

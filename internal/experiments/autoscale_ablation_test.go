@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAblationAutoscaleEffects pins the PR's acceptance criterion on the
+// phase-changing workload: the closed-loop controller must undercut
+// every static configuration on cumulative demand queue-wait, and the
+// full policy set (controller+join) must deliver the best class-neutral
+// client outcomes while proving the demand-join mechanism actually
+// fired.
+func TestAblationAutoscaleEffects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-phase DES sweeps; skipped with -short")
+	}
+	tab, err := AblationAutoscale(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(series, mode string) float64 {
+		s, ok := tab.Series(series).At(mode)
+		if !ok {
+			t.Fatalf("missing cell %s/%s", series, mode)
+		}
+		return s.Median
+	}
+	statics := []string{"static dcl", "static lru", "static dcl+preempt", "static lru+preempt"}
+
+	// Acceptance criterion: the controller beats every static config on
+	// demand queue-wait.
+	ctlWait := at("demand wait (s)", "controller")
+	if ctlWait <= 0 {
+		t.Fatal("controller row shows no demand wait: the workload is not contended")
+	}
+	for _, mode := range statics {
+		if w := at("demand wait (s)", mode); ctlWait >= w {
+			t.Errorf("controller demand wait %.1fs did not undercut %s at %.1fs", ctlWait, mode, w)
+		}
+	}
+	if at("decisions", "controller") <= 0 {
+		t.Error("controller recorded no decisions: it never actually steered")
+	}
+	for _, mode := range statics {
+		if at("decisions", mode) != 0 {
+			t.Errorf("%s: static row recorded decisions", mode)
+		}
+	}
+
+	// The full policy set measures more demand wait by design (promoted
+	// jobs move prefetch-class waits into the demand ledger), so its win
+	// is judged on the class-neutral series: total client blocked time
+	// and median completion must beat every static row, and promotions
+	// must actually have fired.
+	if at("promoted", "controller+join") <= 0 {
+		t.Error("controller+join: demand-join never promoted a queued job")
+	}
+	joinBlocked := at("client blocked (s)", "controller+join")
+	joinMedian := at("median completion (s)", "controller+join")
+	for _, mode := range statics {
+		if b := at("client blocked (s)", mode); joinBlocked >= b {
+			t.Errorf("controller+join blocked %.0fs did not undercut %s at %.0fs", joinBlocked, mode, b)
+		}
+		if m := at("median completion (s)", mode); joinMedian >= m {
+			t.Errorf("controller+join median %.1fs did not undercut %s at %.1fs", joinMedian, mode, m)
+		}
+	}
+}
+
+// TestAblationAutoscaleParallelDeterminism: controller decisions ride
+// the DES event thread (clock-injected, sorted context iteration), so
+// the ablation's tables must not depend on the experiment worker count.
+func TestAblationAutoscaleParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the ablation twice; skipped with -short")
+	}
+	render := func(workers int) string {
+		SetWorkers(workers)
+		defer SetWorkers(0)
+		tab, err := AblationAutoscale(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if seq, par := render(1), render(6); seq != par {
+		t.Errorf("autoscale ablation tables depend on worker count:\n-- j1 --\n%s\n-- j6 --\n%s", seq, par)
+	}
+}

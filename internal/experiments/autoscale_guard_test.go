@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"simfs/internal/simulator"
+)
+
+// TestAutoscaleZeroConfigGolden is the zero-config guard: attaching a
+// controller with NO policies armed must leave the run byte-identical to
+// the golden tables — the controller samples, but a sample is not an
+// actuation. The expected bytes are the MultiAnalysis section of
+// sched_golden.txt, generated long before autoscale existed.
+func TestAutoscaleZeroConfigGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates a DES experiment; skipped with -short")
+	}
+	golden, err := os.ReadFile("testdata/sched_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenSection(string(golden), "== MultiAnalysis clients=6 steps=48 seed=1 backward=0.25")
+	if want == "" {
+		t.Fatal("golden file has no MultiAnalysis section")
+	}
+
+	ctx := simulator.CosmoScaling()
+	ctx.MaxCacheBytes = 128 * ctx.OutputBytes
+	res, err := MultiAnalysis(ctx, MultiAnalysisConfig{
+		Clients: 6, Steps: 48, TauCli: 100 * time.Millisecond, Seed: 1, Backward: 0.25,
+		// The guard under test: an attached, ticking, unarmed controller.
+		AutoscaleTick: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 0 {
+		t.Fatalf("unarmed controller took %d decisions: %+v", len(res.Decisions), res.Decisions)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "== MultiAnalysis clients=6 steps=48 seed=1 backward=0.25")
+	for i, d := range res.Completion {
+		fmt.Fprintf(&buf, "completion[%d]=%v\n", i, d)
+	}
+	fmt.Fprintf(&buf, "stats=%+v\n", res.Stats)
+	if got := buf.String(); got != want {
+		t.Errorf("unarmed controller perturbed the run:\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// goldenSection extracts one "== header"-delimited section (header line
+// included) from a golden report.
+func goldenSection(report, header string) string {
+	i := strings.Index(report, header)
+	if i < 0 {
+		return ""
+	}
+	rest := report[i:]
+	if j := strings.Index(rest[len(header):], "\n== "); j >= 0 {
+		return rest[:len(header)+j+1]
+	}
+	return rest
+}

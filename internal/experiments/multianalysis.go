@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"simfs/internal/autoscale"
 	"simfs/internal/core"
 	"simfs/internal/metrics"
 	"simfs/internal/model"
@@ -23,6 +24,14 @@ type MultiAnalysisConfig struct {
 	// Sched selects the re-simulation scheduling policy (zero value =
 	// the paper-exact default); the scheduler ablation sweeps it.
 	Sched sched.Config
+	// Autoscale attaches a closed-loop controller (internal/autoscale)
+	// to the run's Virtualizer, ticking in virtual time every
+	// AutoscaleTick while analyses are live. With a zero tick — or an
+	// empty policy set — the run is untouched: the autoscale ablation
+	// steers with it, the golden test pins that attaching an unarmed
+	// controller changes nothing.
+	Autoscale     []autoscale.Policy
+	AutoscaleTick time.Duration
 }
 
 // MultiAnalysisResult aggregates the run.
@@ -30,6 +39,8 @@ type MultiAnalysisResult struct {
 	Completion []time.Duration
 	Stats      core.CtxStats
 	Sched      metrics.SchedStats
+	// Decisions is the attached controller's log (nil without one).
+	Decisions []autoscale.Decision
 }
 
 // MultiAnalysis runs several concurrent analyses over one shared
@@ -48,6 +59,7 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 	no := ctx.Grid.NumOutputSteps()
 	res := MultiAnalysisResult{Completion: make([]time.Duration, cfg.Clients)}
 	var aborted error
+	remaining := cfg.Clients
 
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
@@ -64,7 +76,7 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 			Engine: eng, V: v, Ctx: ctx,
 			Client: fmt.Sprintf("multi-%d", i),
 			Steps:  steps, TauCli: cfg.TauCli,
-			OnDone:  func(d time.Duration) { res.Completion[i] = d },
+			OnDone:  func(d time.Duration) { res.Completion[i] = d; remaining-- },
 			OnAbort: func(msg string) { aborted = fmt.Errorf("analysis %d: %s", i, msg) },
 		}
 		// Stagger starts a little so the overlap is partial, as in the
@@ -72,8 +84,32 @@ func MultiAnalysis(ctx *model.Context, cfg MultiAnalysisConfig) (MultiAnalysisRe
 		delay := time.Duration(rng.Intn(60)) * time.Second
 		eng.Schedule(delay, a.Start)
 	}
+	var ctrl *autoscale.Controller
+	if cfg.AutoscaleTick > 0 {
+		var err error
+		ctrl, err = autoscale.New(autoscale.LocalTarget{V: v}, cfg.Autoscale,
+			autoscale.Options{Clock: eng})
+		if err != nil {
+			return res, err
+		}
+		// The tick re-arms itself only while analyses are live: a
+		// perpetual controller event would keep the DES from ever
+		// draining its heap.
+		var tick func()
+		tick = func() {
+			if remaining == 0 {
+				return
+			}
+			_ = ctrl.TickOnce() // LocalTarget sampling cannot fail mid-run
+			eng.Schedule(cfg.AutoscaleTick, tick)
+		}
+		eng.Schedule(cfg.AutoscaleTick, tick)
+	}
 	if !eng.Run(80_000_000) {
 		return res, fmt.Errorf("multianalysis: runaway event loop")
+	}
+	if ctrl != nil {
+		res.Decisions = ctrl.Decisions()
 	}
 	if aborted != nil {
 		return res, aborted

@@ -39,6 +39,11 @@ type Bridge struct {
 	conns    map[string]*PeerConn
 	lastFail map[string]time.Time
 	closed   bool
+	// groups is the live sublist: watch groups with undelivered files.
+	// A peer link that dropped and was redialed lost the sublist the old
+	// connection held, so every live group re-issues its remaining
+	// interests on the fresh conn (see WatchRemote).
+	groups map[*watchGroup]struct{}
 
 	// watched is the live sublist size (topics with an undelivered
 	// remote interest); delivered counts events accepted from any peer.
@@ -58,6 +63,7 @@ func NewBridge(name string, peerAddrs []string, publish func(ctxName, file strin
 		addrs:    addrs,
 		conns:    map[string]*PeerConn{},
 		lastFail: map[string]time.Time{},
+		groups:   map[*watchGroup]struct{}{},
 	}
 }
 
@@ -78,29 +84,39 @@ func (b *Bridge) Close() {
 }
 
 // peerLocked returns a live conn to addr, dialing if needed. Callers
-// hold b.mu. A nil return means the peer is currently unreachable.
-func (b *Bridge) peerLocked(addr string) *PeerConn {
+// hold b.mu. A nil conn means the peer is currently unreachable; fresh
+// reports that this call just (re)dialed, so the connection carries
+// none of the interests the previous link held.
+func (b *Bridge) peerLocked(addr string) (conn *PeerConn, fresh bool) {
 	if pc := b.conns[addr]; pc != nil && !pc.Broken() {
-		return pc
+		return pc, false
 	}
 	delete(b.conns, addr)
 	if time.Since(b.lastFail[addr]) < redialBackoff {
-		return nil
+		return nil, false
 	}
 	pc, err := DialPeer(addr, "fed:"+b.name, nil)
 	if err != nil {
 		b.lastFail[addr] = time.Now()
-		return nil
+		return nil, false
 	}
 	if !hasCap(pc.Caps(), netproto.CapFed) {
 		// An old daemon that cannot serve fed-watch.
 		pc.Close()
 		b.lastFail[addr] = time.Now()
-		return nil
+		return nil, false
 	}
 	delete(b.lastFail, addr)
 	b.conns[addr] = pc
-	return pc
+	return pc, true
+}
+
+// dropGroup removes a group from the live sublist once it has nothing
+// left to re-arm (fully delivered or canceled).
+func (b *Bridge) dropGroup(g *watchGroup) {
+	b.mu.Lock()
+	delete(b.groups, g)
+	b.mu.Unlock()
 }
 
 // watchGroup tracks one WatchRemote call: which files already resolved
@@ -109,6 +125,7 @@ func (b *Bridge) peerLocked(addr string) *PeerConn {
 type watchGroup struct {
 	b       *Bridge
 	ctxName string
+	files   []string
 
 	mu        sync.Mutex
 	delivered map[string]bool
@@ -129,8 +146,8 @@ type groupSub struct {
 // dial.
 func (b *Bridge) WatchRemote(ctxName string, files []string) func() {
 	g := &watchGroup{b: b, ctxName: ctxName,
+		files:     append([]string(nil), files...),
 		delivered: make(map[string]bool, len(files)), remaining: len(files)}
-	body := netproto.FilesBody{Context: ctxName, Files: append([]string(nil), files...)}
 
 	b.mu.Lock()
 	if b.closed {
@@ -138,30 +155,82 @@ func (b *Bridge) WatchRemote(ctxName string, files []string) func() {
 		return func() {}
 	}
 	peers := make([]*PeerConn, 0, len(b.addrs))
+	var freshPeers []*PeerConn
 	for _, addr := range b.addrs {
-		if pc := b.peerLocked(addr); pc != nil {
-			peers = append(peers, pc)
+		pc, fresh := b.peerLocked(addr)
+		if pc == nil {
+			continue
+		}
+		peers = append(peers, pc)
+		if fresh {
+			freshPeers = append(freshPeers, pc)
 		}
 	}
+	var rearm []*watchGroup
+	if len(freshPeers) > 0 {
+		rearm = make([]*watchGroup, 0, len(b.groups))
+		for og := range b.groups {
+			rearm = append(rearm, og)
+		}
+	}
+	b.groups[g] = struct{}{}
 	b.mu.Unlock()
 
+	// A peer that just came back (or joined) lost the sublist its old
+	// connection held: every still-live group re-issues its undelivered
+	// interests on the fresh link before the new group arms.
+	for _, pc := range freshPeers {
+		for _, og := range rearm {
+			og.subscribeOn(pc)
+		}
+	}
 	for _, pc := range peers {
-		id, err := pc.Subscribe(netproto.OpFedWatch, body, g.frameFrom(pc))
-		if err != nil {
-			continue
-		}
-		g.mu.Lock()
-		if g.canceled {
-			g.mu.Unlock()
-			pc.Post(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: id})
-			pc.Flush()
-			continue
-		}
-		g.subs = append(g.subs, groupSub{pc: pc, id: id})
-		g.mu.Unlock()
+		g.subscribeOn(pc)
 	}
 	b.watched.Add(int64(len(files)))
 	return g.cancel
+}
+
+// subscribeOn opens the group's fed-watch for its undelivered files on
+// one peer connection — at group creation on every reachable peer, and
+// again on any freshly redialed link (the peers' sublists are per
+// connection, so a dropped link forgot us).
+func (g *watchGroup) subscribeOn(pc *PeerConn) {
+	g.mu.Lock()
+	if g.canceled || g.remaining == 0 {
+		g.mu.Unlock()
+		return
+	}
+	for _, s := range g.subs {
+		if s.pc == pc {
+			// This exact connection already holds our interest (a group
+			// armed while the link was alive): nothing to re-issue.
+			g.mu.Unlock()
+			return
+		}
+	}
+	left := make([]string, 0, g.remaining)
+	for _, f := range g.files {
+		if !g.delivered[f] {
+			left = append(left, f)
+		}
+	}
+	g.mu.Unlock()
+
+	id, err := pc.Subscribe(netproto.OpFedWatch,
+		netproto.FilesBody{Context: g.ctxName, Files: left}, g.frameFrom(pc))
+	if err != nil {
+		return
+	}
+	g.mu.Lock()
+	if g.canceled {
+		g.mu.Unlock()
+		pc.Post(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: id})
+		pc.Flush()
+		return
+	}
+	g.subs = append(g.subs, groupSub{pc: pc, id: id})
+	g.mu.Unlock()
 }
 
 // frameFrom handles one peer's response frames for the group,
@@ -180,7 +249,11 @@ func (g *watchGroup) frameFrom(pc *PeerConn) func(netproto.Response) {
 		}
 		g.delivered[resp.File] = true
 		g.remaining--
+		done := g.remaining == 0
 		g.mu.Unlock()
+		if done {
+			g.b.dropGroup(g)
+		}
 		g.b.watched.Add(-1)
 		g.b.delivered.Add(1)
 		g.b.publish(g.ctxName, resp.File, resp.Ready, resp.Err, resp.Attempts, resp.RetryAfterNs)
@@ -200,6 +273,7 @@ func (g *watchGroup) cancel() {
 	left := g.remaining
 	g.remaining = 0
 	g.mu.Unlock()
+	g.b.dropGroup(g)
 	g.b.watched.Add(-int64(left))
 	for _, s := range subs {
 		if s.pc.Post(netproto.OpUnsubscribe, netproto.UnsubscribeBody{SubID: s.id}) == nil {

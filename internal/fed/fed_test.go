@@ -326,12 +326,19 @@ func TestFederationCrossDaemonNotify(t *testing.T) {
 // daemon that died answer with the retryable busy/draining codes, not a
 // hang or a silent success.
 func TestFederationDeadPeer(t *testing.T) {
-	_, addrA := newFedStack(t, "seed-a", nil)
+	stA, addrA := newFedStack(t, "seed-a", nil)
 	stB, addrB := newFedStack(t, "seed-b", nil)
 	r, raddr := startRouter(t, addrA, addrB)
 
 	used := map[string]bool{}
+	// Ring ownership depends on the randomly assigned listen ports, so
+	// both shards need picked names — the seed context may hash to
+	// either daemon.
+	nameA := pickName(t, r.Ring(), addrA, used)
 	nameB := pickName(t, r.Ring(), addrB, used)
+	if err := stA.RegisterContext(fedCtx(nameA), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
 	if err := stB.RegisterContext(fedCtx(nameB), "DCL", true); err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +388,7 @@ func TestFederationDeadPeer(t *testing.T) {
 	}
 
 	// The healthy shard keeps serving through the same client.
-	ctxA, err := c.Init("seed-a")
+	ctxA, err := c.Init(nameA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,4 +539,115 @@ func TestFederationSmoke(t *testing.T) {
 	}
 	close(done)
 	stop.Wait()
+}
+
+// TestFederationBridgeRearmAfterRedial pins the redial contract of the
+// outbound bridge: a peer link that drops and is later redialed lost
+// the sublist the old connection held on the peer, so the fresh link
+// must re-issue fed-watch subscriptions for every watch group still
+// live locally. The watcher here subscribes before the peer restarts;
+// without the re-arm its interest would be gone for good and the
+// production on the restarted peer would never be reported.
+func TestFederationBridgeRearmAfterRedial(t *testing.T) {
+	stA, addrA := newFedStack(t, "seed-a", nil)
+	stB, addrB := newFedStack(t, "seed-b", nil)
+	const name = "fedrearm"
+	if err := stA.RegisterContext(fedCtx(name), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := stB.RegisterContext(fedCtx(name), "DCL", true); err != nil {
+		t.Fatal(err)
+	}
+	// Only A needs a bridge: B merely answers A's fed-watch sessions.
+	stA.EnablePeers("A", []string{addrB})
+
+	c, err := dvlib.Dial(addrA, "watcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, err := c.Init(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := ctx.Filename(5)
+	w, err := ctx.Watch(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the subscribe → fed-watch chain arm on B's original link.
+	time.Sleep(50 * time.Millisecond)
+
+	// The peer dies and comes back on the same address with a blank
+	// slate: every interest the old connection registered is forgotten.
+	stB.Close()
+	stB.Launcher.Wait()
+	stB2, err := server.NewStack(t.TempDir(), 1, "DCL", fedCtx(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stB2.RunInitialSimulation(name); err != nil {
+		t.Fatal(err)
+	}
+	listenErr := error(nil)
+	for i := 0; i < 50; i++ {
+		if listenErr = stB2.Server.Listen(addrB); listenErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if listenErr != nil {
+		t.Fatalf("rebind %s: %v", addrB, listenErr)
+	}
+	go stB2.Server.Serve()
+	t.Cleanup(func() {
+		stB2.Close()
+		stB2.Launcher.Wait()
+	})
+	// Give A's bridge a moment to observe the broken link.
+	time.Sleep(50 * time.Millisecond)
+
+	// An unrelated interest triggers the redial; the bridge must re-arm
+	// the first group's still-undelivered files on the fresh connection.
+	if _, err := ctx.Watch(ctx.Filename(9)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Production on the restarted peer must now reach the original
+	// watcher through the re-issued subscription.
+	pc, err := dvlib.Dial(addrB, "producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	pctx, err := pc.Init(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pctx.Open(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := pctx.WaitAvailable(file); err != nil {
+		t.Fatal(err)
+	}
+	defer pctx.Release(file)
+
+	timeout := time.After(15 * time.Second)
+	for {
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatal("watch closed without reporting the file")
+			}
+			if ev.File == file {
+				if !ev.Ready {
+					t.Fatalf("watch reported failure for %s: %+v", file, ev)
+				}
+				return
+			}
+		case <-timeout:
+			t.Fatal("no notification after the peer redial: the bridge did not re-arm the live watch group")
+		}
+	}
 }

@@ -746,10 +746,19 @@ func mergeStats(dst, src *netproto.Stats) {
 	dst.SchedGuidedWaitNs += src.SchedGuidedWaitNs
 	dst.SchedAgentWaitNs += src.SchedAgentWaitNs
 	dst.SchedPreempted += src.SchedPreempted
+	dst.SchedPromoted += src.SchedPromoted
 	dst.SchedQuotaRounds += src.SchedQuotaRounds
 	dst.SchedQuotaDeferred += src.SchedQuotaDeferred
 	dst.SchedRetries += src.SchedRetries
 	dst.SchedQuarantined += src.SchedQuarantined
+	if len(src.SchedClientLoads) > 0 {
+		if dst.SchedClientLoads == nil {
+			dst.SchedClientLoads = make(map[string]uint64, len(src.SchedClientLoads))
+		}
+		for client, steps := range src.SchedClientLoads {
+			dst.SchedClientLoads[client] += steps
+		}
+	}
 	dst.Ops = mergeOpLatencies(dst.Ops, src.Ops)
 }
 

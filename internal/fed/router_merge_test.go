@@ -1,0 +1,119 @@
+package fed
+
+// White-box tests for the router's stats fan-out merge: how one
+// context's counters and per-op latency percentiles combine across the
+// federation members that host its shards. These pin the exact merge
+// algebra (counts sum, percentile bounds take the worst member,
+// deterministic op order) that TestFederationRouterStats exercises
+// end-to-end.
+
+import (
+	"reflect"
+	"testing"
+
+	"simfs/internal/netproto"
+)
+
+func TestMergeOpLatenciesCountsSumPercentilesMax(t *testing.T) {
+	a := []netproto.OpLatency{
+		{Op: "open", Count: 10, P50Ns: 1024, P99Ns: 16384},
+		{Op: "wait", Count: 3, P50Ns: 2048, P99Ns: 1 << 20},
+	}
+	b := []netproto.OpLatency{
+		{Op: "open", Count: 7, P50Ns: 4096, P99Ns: 8192},
+	}
+	got := mergeOpLatencies(a, b)
+	want := []netproto.OpLatency{
+		// Counts sum across members; each percentile independently takes
+		// the slowest member (here a's p99 but b's p50).
+		{Op: "open", Count: 17, P50Ns: 4096, P99Ns: 16384},
+		{Op: "wait", Count: 3, P50Ns: 2048, P99Ns: 1 << 20},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeOpLatencies = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeOpLatenciesDisjointOpsSorted(t *testing.T) {
+	a := []netproto.OpLatency{{Op: "wait", Count: 1, P50Ns: 10, P99Ns: 20}}
+	b := []netproto.OpLatency{
+		{Op: "release", Count: 2, P50Ns: 30, P99Ns: 40},
+		{Op: "open", Count: 4, P50Ns: 50, P99Ns: 60},
+	}
+	got := mergeOpLatencies(a, b)
+	want := []netproto.OpLatency{
+		{Op: "open", Count: 4, P50Ns: 50, P99Ns: 60},
+		{Op: "release", Count: 2, P50Ns: 30, P99Ns: 40},
+		{Op: "wait", Count: 1, P50Ns: 10, P99Ns: 20},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("disjoint merge = %+v, want union sorted by op %+v", got, want)
+	}
+}
+
+func TestMergeOpLatenciesEmptySides(t *testing.T) {
+	b := []netproto.OpLatency{{Op: "open", Count: 1, P50Ns: 10, P99Ns: 20}}
+	if got := mergeOpLatencies(nil, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("mergeOpLatencies(nil, b) = %+v, want b", got)
+	}
+	a := []netproto.OpLatency{{Op: "wait", Count: 2, P50Ns: 5, P99Ns: 6}}
+	if got := mergeOpLatencies(a, nil); !reflect.DeepEqual(got, a) {
+		t.Errorf("mergeOpLatencies(a, nil) = %+v, want a", got)
+	}
+}
+
+// TestMergeStatsAccumulates covers the counter algebra of the stats
+// fan-out, including the scheduler fields added for the autoscale
+// loop: SchedPromoted sums and the per-client DRR load ledger merges
+// by client name (a client opening against two shards on different
+// members must show its total, not one member's share).
+func TestMergeStatsAccumulates(t *testing.T) {
+	dst := &netproto.Stats{
+		Opens: 5, Hits: 3, Misses: 2,
+		CachePolicy:       "lru",
+		SchedDemandWaitNs: 100,
+		SchedPreempted:    1,
+		SchedPromoted:     2,
+		SchedClientLoads:  nil, // first member reported none
+		Ops:               []netproto.OpLatency{{Op: "open", Count: 5, P50Ns: 100, P99Ns: 200}},
+	}
+	src := &netproto.Stats{
+		Opens: 7, Hits: 1, Misses: 6,
+		Draining:          true,
+		SchedDemandWaitNs: 50,
+		SchedPreempted:    4,
+		SchedPromoted:     3,
+		SchedClientLoads:  map[string]uint64{"c1": 8, "c2": 2},
+		Ops:               []netproto.OpLatency{{Op: "open", Count: 2, P50Ns: 400, P99Ns: 150}},
+	}
+	mergeStats(dst, src)
+
+	if dst.Opens != 12 || dst.Hits != 4 || dst.Misses != 8 {
+		t.Errorf("counter sums = opens %d hits %d misses %d, want 12/4/8", dst.Opens, dst.Hits, dst.Misses)
+	}
+	if !dst.Draining {
+		t.Error("Draining should OR across members")
+	}
+	if dst.CachePolicy != "lru" {
+		t.Errorf("CachePolicy = %q, want first member's %q kept", dst.CachePolicy, "lru")
+	}
+	if dst.SchedDemandWaitNs != 150 || dst.SchedPreempted != 5 || dst.SchedPromoted != 5 {
+		t.Errorf("sched sums = wait %d preempted %d promoted %d, want 150/5/5",
+			dst.SchedDemandWaitNs, dst.SchedPreempted, dst.SchedPromoted)
+	}
+	wantLoads := map[string]uint64{"c1": 8, "c2": 2}
+	if !reflect.DeepEqual(dst.SchedClientLoads, wantLoads) {
+		t.Errorf("SchedClientLoads = %v, want %v", dst.SchedClientLoads, wantLoads)
+	}
+	wantOps := []netproto.OpLatency{{Op: "open", Count: 7, P50Ns: 400, P99Ns: 200}}
+	if !reflect.DeepEqual(dst.Ops, wantOps) {
+		t.Errorf("Ops = %+v, want %+v", dst.Ops, wantOps)
+	}
+
+	// A third member adds to an existing client and introduces a new one.
+	mergeStats(dst, &netproto.Stats{SchedClientLoads: map[string]uint64{"c1": 1, "c3": 4}})
+	wantLoads = map[string]uint64{"c1": 9, "c2": 2, "c3": 4}
+	if !reflect.DeepEqual(dst.SchedClientLoads, wantLoads) {
+		t.Errorf("after third member, SchedClientLoads = %v, want %v", dst.SchedClientLoads, wantLoads)
+	}
+}

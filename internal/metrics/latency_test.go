@@ -31,6 +31,83 @@ func TestHistogramQuantileBounds(t *testing.T) {
 	}
 }
 
+// TestHistogramExactQuantilesKnownStream pins the histogram's exact
+// semantics on a hand-computed sample stream: observation v lands in
+// log2 bucket bits.Len64(v) and Quantile reports that bucket's upper
+// bound 2^i, with rank = floor(q*total) clamped to [1, total]. The
+// stream below has bucket cumulative counts 10 (2ns bound), 90
+// (128ns), 99 (16.384us), 100 (~8.39ms), so every quantile is an
+// exact, stable value rather than a range.
+func TestHistogramExactQuantilesKnownStream(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Record(1 * time.Nanosecond) // bits.Len64(1)=1  -> bound 2ns
+	}
+	for i := 0; i < 80; i++ {
+		h.Record(100 * time.Nanosecond) // bits.Len64(100)=7 -> bound 128ns
+	}
+	for i := 0; i < 9; i++ {
+		h.Record(10 * time.Microsecond) // bits.Len64(10000)=14 -> bound 16384ns
+	}
+	h.Record(5 * time.Millisecond) // bits.Len64(5e6)=23 -> bound 8388608ns
+
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.01, 2 * time.Nanosecond}, // rank 1: first bucket
+		{0.10, 2 * time.Nanosecond}, // rank 10: still the 1ns bucket
+		{0.11, 128 * time.Nanosecond},
+		{0.50, 128 * time.Nanosecond},
+		{0.90, 128 * time.Nanosecond}, // rank 90: last obs of the 100ns bucket
+		{0.91, 16384 * time.Nanosecond},
+		{0.99, 16384 * time.Nanosecond},
+		{1.00, 8388608 * time.Nanosecond}, // rank 100: the lone 5ms outlier
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileRankClamp pins the rank clamp: with a single
+// observation every quantile — however small or large q — reports that
+// observation's bucket bound.
+func TestHistogramQuantileRankClamp(t *testing.T) {
+	var h Histogram
+	h.Record(100 * time.Nanosecond)
+	for _, q := range []float64{0.001, 0.5, 0.999, 1.0} {
+		if got := h.Quantile(q); got != 128*time.Nanosecond {
+			t.Errorf("Quantile(%v) = %v, want 128ns (single-observation clamp)", q, got)
+		}
+	}
+}
+
+func TestLatencySetExactPercentiles(t *testing.T) {
+	s := NewLatencySet("open", "wait")
+	// open: 99 fast ops at 100ns, one 1ms straggler — p50 sits in the
+	// 128ns bucket, p99 (rank 99) still does, only p100 sees the tail.
+	for i := 0; i < 99; i++ {
+		s.Record("open", 100*time.Nanosecond)
+	}
+	s.Record("open", time.Millisecond)
+
+	sums := s.Summaries()
+	if len(sums) != 1 || sums[0].Op != "open" || sums[0].Count != 100 {
+		t.Fatalf("summaries = %+v, want one open entry with count 100", sums)
+	}
+	if sums[0].P50 != 128*time.Nanosecond {
+		t.Errorf("open p50 = %v, want 128ns", sums[0].P50)
+	}
+	if sums[0].P99 != 128*time.Nanosecond {
+		t.Errorf("open p99 = %v, want 128ns (rank 99 of 100 is still the fast bucket)", sums[0].P99)
+	}
+}
+
 func TestHistogramEmptyAndNonPositive(t *testing.T) {
 	var h Histogram
 	if got := h.Quantile(0.99); got != 0 {

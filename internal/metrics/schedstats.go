@@ -48,6 +48,10 @@ type SchedStats struct {
 	// demand miss could take their nodes (the victim's interval is
 	// requeued, not lost).
 	Preempted uint64
+	// Promoted counts queued prefetch jobs lifted to demand class by a
+	// demand open landing inside their range (the scheduler's demand-join
+	// rule, armed by Config.DemandJoin).
+	Promoted uint64
 	// QuotaRounds counts deficit-round-robin credit replenishments;
 	// QuotaDeferred counts pops where per-client fairness overrode pure
 	// submission order inside a priority class.

@@ -415,7 +415,8 @@ func decodeBinEnvelope(p []byte, env *Envelope) error {
 // JSON.
 func appendBinResponse(buf []byte, resp Response) ([]byte, bool) {
 	if resp.Names != nil || resp.Info != nil || resp.Stats != nil ||
-		resp.Proto != nil || resp.Sched != nil || resp.Peers != nil {
+		resp.Proto != nil || resp.Sched != nil || resp.Peers != nil ||
+		resp.Autoscale != nil {
 		return buf, false
 	}
 	var f1, f2 byte

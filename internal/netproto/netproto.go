@@ -125,6 +125,16 @@ const (
 	// members, outbound bridge connections, and inbound peer watch
 	// sessions with their ledger counters.
 	OpPeers = "peers"
+	// OpAutoscaleReport records an autoscale controller's armed policies
+	// and latest decisions on the daemon (capability "autoscale"): the
+	// controller runs out-of-process (simfs-ctl autoscale), but every
+	// operator asking the daemon for health should see what last steered
+	// its config. Active=false detaches the controller; the decision log
+	// is retained.
+	OpAutoscaleReport = "autoscale-report"
+	// OpAutoscaleStatus reads the controller attachment state and the
+	// last recorded decisions.
+	OpAutoscaleStatus = "autoscale-status"
 )
 
 // Capability flags advertised in the hello handshake.
@@ -149,6 +159,13 @@ const (
 	// daemon and router↔daemon links reuse the ordinary hello handshake
 	// and gate cross-daemon subscriptions on this flag.
 	CapFed = "fed"
+	// CapAutoscale marks the autoscale surface: the
+	// autoscale-report/autoscale-status ops and the SchedSetBody
+	// sunk-cost/guided-eligibility/demand-join knobs that shipped with
+	// them. Like CapPreempt, clients must not send those fields to a
+	// daemon that does not advertise the capability — an older daemon
+	// would silently drop the unknown JSON fields.
+	CapAutoscale = "autoscale"
 )
 
 // ErrCode is a machine-readable error class. A failed Response carries
@@ -326,16 +343,28 @@ type SchedSetBody struct {
 	// DRRQuantum sets the per-client deficit-round-robin quantum in
 	// output steps (0 = pure FIFO within a class).
 	DRRQuantum *int `json:"drr_quantum,omitempty"`
+	// PreemptSunkCost sets the sunk-cost guard threshold: a preemption
+	// candidate whose completion fraction has reached it is spared
+	// (0 = guard off; valid range [0, 1]). PreemptGuided widens victim
+	// eligibility to guided-class prefetches. DemandJoin promotes a
+	// queued prefetch job to demand class when a demand open lands in
+	// its range. All three ride the "autoscale" capability.
+	PreemptSunkCost *float64 `json:"preempt_sunk_cost,omitempty"`
+	PreemptGuided   *bool    `json:"preempt_guided,omitempty"`
+	DemandJoin      *bool    `json:"demand_join,omitempty"`
 }
 
 // SchedInfo mirrors the scheduler configuration on the wire (sched-get
 // and sched-set responses).
 type SchedInfo struct {
-	Coalesce      bool   `json:"coalesce"`
-	Priorities    bool   `json:"priorities"`
-	TotalNodes    int    `json:"total_nodes"`
-	PreemptPolicy string `json:"preempt_policy,omitempty"`
-	DRRQuantum    int    `json:"drr_quantum,omitempty"`
+	Coalesce        bool    `json:"coalesce"`
+	Priorities      bool    `json:"priorities"`
+	TotalNodes      int     `json:"total_nodes"`
+	PreemptPolicy   string  `json:"preempt_policy,omitempty"`
+	DRRQuantum      int     `json:"drr_quantum,omitempty"`
+	PreemptSunkCost float64 `json:"preempt_sunk_cost,omitempty"`
+	PreemptGuided   bool    `json:"preempt_guided,omitempty"`
+	DemandJoin      bool    `json:"demand_join,omitempty"`
 }
 
 // CachePolicyBody swaps a context's replacement scheme.
@@ -414,11 +443,19 @@ type Stats struct {
 	SchedGuidedWaitNs int64  `json:"sched_guided_wait_ns,omitempty"`
 	SchedAgentWaitNs  int64  `json:"sched_agent_wait_ns,omitempty"`
 	// Preemption and per-client fairness counters: running agent
-	// prefetches killed for node-blocked demand work, DRR credit rounds
+	// prefetches killed for node-blocked demand work, queued prefetch
+	// jobs promoted to demand class by a joining open, DRR credit rounds
 	// granted, and pops where quota fairness overrode FIFO order.
 	SchedPreempted     uint64 `json:"sched_preempted,omitempty"`
+	SchedPromoted      uint64 `json:"sched_promoted,omitempty"`
 	SchedQuotaRounds   uint64 `json:"sched_quota_rounds,omitempty"`
 	SchedQuotaDeferred uint64 `json:"sched_quota_deferred,omitempty"`
+	// SchedClientLoads is the daemon's cumulative per-client offered
+	// load (output steps submitted to the scheduler). Monotone counters:
+	// an autoscale controller diffs two stats samples to measure client
+	// skew over a window. A router merging stats sums entries per
+	// client.
+	SchedClientLoads map[string]uint64 `json:"sched_client_loads,omitempty"`
 	// Failure-ledger counters (this context's shard): failed
 	// re-simulations retried with backoff, and intervals currently
 	// quarantined by the circuit breaker.
@@ -439,6 +476,38 @@ type OpLatency struct {
 	Count uint64 `json:"count"`
 	P50Ns int64  `json:"p50_ns"`
 	P99Ns int64  `json:"p99_ns"`
+}
+
+// AutoscaleDecision is one autoscale controller actuation on the wire:
+// what policy acted, what it did to the daemon's config, and why. AtNs
+// is the controller's clock (wall time for simfs-ctl autoscale, virtual
+// time for an in-process DES controller).
+type AutoscaleDecision struct {
+	AtNs   int64  `json:"at_ns"`
+	Policy string `json:"policy"`
+	Action string `json:"action"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// AutoscaleReportBody is an autoscale controller's heartbeat to the
+// daemon (autoscale-report): the attachment state, the armed policy
+// names, and the decisions taken since the last report. The daemon
+// keeps a bounded ring of recent decisions for health queries.
+type AutoscaleReportBody struct {
+	Active    bool                `json:"active"`
+	Policies  []string            `json:"policies,omitempty"`
+	Decisions []AutoscaleDecision `json:"decisions,omitempty"`
+}
+
+// AutoscaleInfo is the daemon's controller ledger (autoscale-status
+// responses): whether a controller is attached, which client it is,
+// what policies it armed, and the last recorded decisions
+// (oldest-first).
+type AutoscaleInfo struct {
+	Active    bool                `json:"active"`
+	Source    string              `json:"source,omitempty"`
+	Policies  []string            `json:"policies,omitempty"`
+	Decisions []AutoscaleDecision `json:"decisions,omitempty"`
 }
 
 // PeerInfo describes one federation link in a peers response. Role is
@@ -487,6 +556,8 @@ type Response struct {
 	RetryAfterNs int64 `json:"retry_after_ns,omitempty"`
 	// Peers carries the federation link table (peers responses only).
 	Peers []PeerInfo `json:"peers,omitempty"`
+	// Autoscale carries the controller ledger (autoscale-status only).
+	Autoscale *AutoscaleInfo `json:"autoscale,omitempty"`
 }
 
 // LegacyRequest is the pre-versioned (v1) client frame: one untyped bag

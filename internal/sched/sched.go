@@ -194,6 +194,44 @@ type Config struct {
 	// submission-order FIFO by definition, and letting credit reorder
 	// across classes would let speculative work overtake queued demand.
 	DRRQuantum int
+	// PreemptSunkCost is the sunk-cost guard on victim selection: a
+	// running candidate whose completion fraction (produced steps over
+	// its interval length) has reached this threshold is never killed —
+	// the compute is mostly spent, so killing it wastes more than the
+	// freed nodes are worth, and the requeued re-run would repeat almost
+	// the whole interval. 0 disables the guard (paper-exact zero value);
+	// thresholds at or above 1 only spare fully-produced simulations,
+	// which finish on their own anyway.
+	PreemptSunkCost float64
+	// PreemptGuided widens preemption eligibility to guided-class
+	// prefetches: explicit client hints may also be killed for
+	// node-blocked demand work, still under the no-waiters rule and the
+	// sunk-cost guard. Off (zero value), only speculative agent
+	// prefetches are eligible.
+	PreemptGuided bool
+	// DemandJoin promotes a *queued* prefetch job to demand class when a
+	// demand open lands inside its range. Without it the open merely
+	// rides the job's promise — no new request is submitted for a
+	// promised step, so even Coalesce never sees the demand interest —
+	// and the job keeps draining at prefetch priority behind the whole
+	// demand class while a client is blocked on it.
+	DemandJoin bool
+}
+
+// VictimEligible reports whether a running simulation of the given
+// class with completion fraction done may be offered as a preemption
+// victim under this config: speculative agent work is always in scope,
+// guided hints only with PreemptGuided, and the sunk-cost guard
+// (PreemptSunkCost > 0) spares any candidate past the threshold. The
+// paper's no-waiters rule is enforced by the core on top of this.
+func (c Config) VictimEligible(class Class, done float64) bool {
+	if class != Agent && !(c.PreemptGuided && class == Guided) {
+		return false
+	}
+	if c.PreemptSunkCost > 0 && done >= c.PreemptSunkCost {
+		return false
+	}
+	return true
 }
 
 // ctxState is the per-context admission ledger and queue. Keeping one
@@ -229,7 +267,12 @@ type Scheduler struct {
 	nodes      int            // summed parallelism of in-flight jobs
 	reclaiming int            // nodes of preempt victims killed but not yet SimDone
 	quota      map[string]int // per-client DRR launch credit (deficit)
-	stats      metrics.SchedStats
+	// loads accumulates per-client offered load (output steps submitted,
+	// demand and prefetch alike) — the skew signal the autoscale DRR
+	// tuner diffs between ticks. Purely observational: it never feeds
+	// back into scheduling decisions.
+	loads map[string]uint64
+	stats metrics.SchedStats
 }
 
 // New returns a scheduler reading time from clock (for queue-wait
@@ -349,6 +392,7 @@ func (s *Scheduler) Submit(req Request) Decision {
 	defer s.mu.Unlock()
 	cs := s.ctxOf(req.Ctx)
 	s.stats.Submitted++
+	s.noteLoad(req)
 
 	atCtxCap := cs.smax > 0 && cs.inflight+len(cs.jobs) >= cs.smax
 	// Under a node budget, admission is strictly FIFO: a request never
@@ -374,6 +418,107 @@ func (s *Scheduler) Submit(req Request) Decision {
 	}
 	s.enqueue(req, false)
 	return Queued
+}
+
+// loadCap bounds the per-client load ledger; beyond it new client names
+// fold into a shared overflow bucket so an ephemeral-client storm
+// cannot grow the map without bound.
+const loadCap = 4096
+
+// loadOverflow is the shared bucket for clients beyond loadCap.
+const loadOverflow = "~other"
+
+// noteLoad accrues a submission's output steps against its client for
+// the ClientLoads skew signal. Caller holds s.mu.
+func (s *Scheduler) noteLoad(req Request) {
+	client := req.Client
+	if client == "" {
+		return
+	}
+	if s.loads == nil {
+		s.loads = map[string]uint64{}
+	}
+	if _, ok := s.loads[client]; !ok && len(s.loads) >= loadCap {
+		client = loadOverflow
+	}
+	s.loads[client] += uint64(req.Last - req.First + 1)
+}
+
+// ClientLoads snapshots the cumulative per-client offered load (output
+// steps submitted, demand and prefetch alike) since the scheduler
+// started. Counters are monotone — a disconnect does not remove its
+// client — so two snapshots diff into a per-window load distribution,
+// which is how the autoscale DRR tuner measures client skew.
+func (s *Scheduler) ClientLoads() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.loads) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(s.loads))
+	for c, n := range s.loads {
+		out[c] = n
+	}
+	return out
+}
+
+// SetDRRQuantum adjusts only the deficit-round-robin quantum — the
+// autoscale tuner's knob — leaving every other policy field untouched,
+// and returns the resulting config.
+func (s *Scheduler) SetDRRQuantum(q int) Config {
+	return s.Update(func(cfg Config) Config {
+		cfg.DRRQuantum = q
+		return cfg
+	})
+}
+
+// PromoteDemand lifts a queued non-demand job whose range covers step
+// to demand class (Config.DemandJoin): a demand open landing inside a
+// queued prefetch job's promise joins that job, and the job must stop
+// draining at prefetch priority while a client blocks on it. The job is
+// re-inserted at its demand-order position, the opening client joins
+// the DRR billing roster, and the demand-waiting hint arms so the
+// caller's preemption probe sees the promoted head. Reports whether a
+// job was promoted.
+func (s *Scheduler) PromoteDemand(ctx string, step int, client string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cfg.DemandJoin {
+		return false
+	}
+	cs, ok := s.ctxs[ctx]
+	if !ok {
+		return false
+	}
+	for i, job := range cs.jobs {
+		if job.Class == Demand || step < job.First || step > job.Last {
+			continue
+		}
+		// Demand interest begins now: the wait accrued so far belongs to
+		// the job's prefetch class (book it there, as if the job retired
+		// and re-entered), so the demand-wait ledger only ever measures
+		// time a client actually blocked on queued work.
+		if wait := s.clock.Now() - job.enqueuedAt; wait > 0 {
+			cw := s.classWait(job.Class)
+			cw.Jobs++
+			cw.Wait += wait
+		}
+		job.enqueuedAt = s.clock.Now()
+		job.Class = Demand
+		job.Client = client
+		if s.drrActive() {
+			if _, ok := s.quota[client]; !ok {
+				s.quota[client] = 0
+			}
+			job.addPayer(client)
+		}
+		s.removeAt(cs, i)
+		s.insert(cs, job)
+		s.demandWaiting.Store(true)
+		s.stats.Promoted++
+		return true
+	}
+	return false
 }
 
 // nodeBlockedHead reports whether some context's queue head is admissible

@@ -105,6 +105,11 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
+	// asMu guards asInfo, the autoscale decision ledger: attachment
+	// state plus a bounded ring of recent decisions, maintained by
+	// autoscale-report and read by autoscale-status (simfs-ctl health).
+	asMu   sync.Mutex
+	asInfo netproto.AutoscaleInfo
 	// lat tracks per-op dispatch service time (the synchronous half of a
 	// request — async completions like a wait's ready frame are not
 	// attributed here), surfaced through the stats frame.
@@ -527,7 +532,7 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		sess.version = ver
 		sess.client = hb.Client
-		caps := []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt, netproto.CapFed}
+		caps := []string{netproto.CapAdmin, netproto.CapWatch, netproto.CapPreempt, netproto.CapFed, netproto.CapAutoscale}
 		useBinary := false
 		if !s.DisableBinary {
 			caps = append(caps, netproto.CapBinary)
@@ -704,8 +709,10 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			SchedAgentWaitNs:  int64(ss.AgentWait.Wait),
 			SchedPreempted:    ss.Preempted,
 			SchedQuotaRounds:  ss.QuotaRounds, SchedQuotaDeferred: ss.QuotaDeferred,
+			SchedPromoted:    ss.Promoted,
 			SchedRetries:     uint64(retries),
 			SchedQuarantined: uint64(quarantined),
+			SchedClientLoads: s.v.Scheduler().ClientLoads(),
 			Ops:              opLatencies(s.lat.Summaries()),
 		}})
 
@@ -800,6 +807,10 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			fail(fmt.Errorf("%w: drr_quantum must be ≥ 0, got %d", core.ErrInvalid, *b.DRRQuantum))
 			return true
 		}
+		if b.PreemptSunkCost != nil && (*b.PreemptSunkCost < 0 || *b.PreemptSunkCost > 1) {
+			fail(fmt.Errorf("%w: preempt_sunk_cost must be in [0,1], got %g", core.ErrInvalid, *b.PreemptSunkCost))
+			return true
+		}
 		var preempt sched.PreemptPolicy
 		if b.PreemptPolicy != nil {
 			var err error
@@ -827,10 +838,20 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 			if b.DRRQuantum != nil {
 				cfg.DRRQuantum = *b.DRRQuantum
 			}
+			if b.PreemptSunkCost != nil {
+				cfg.PreemptSunkCost = *b.PreemptSunkCost
+			}
+			if b.PreemptGuided != nil {
+				cfg.PreemptGuided = *b.PreemptGuided
+			}
+			if b.DemandJoin != nil {
+				cfg.DemandJoin = *b.DemandJoin
+			}
 			return cfg
 		})
-		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d",
-			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes, cfg.Preempt, cfg.DRRQuantum)
+		s.logf("server: scheduler reconfigured by %s: coalesce=%v priorities=%v nodes=%d preempt=%s quantum=%d sunkcost=%g guided=%v demandjoin=%v",
+			sess.client, cfg.Coalesce, cfg.Priorities, cfg.TotalNodes, cfg.Preempt, cfg.DRRQuantum,
+			cfg.PreemptSunkCost, cfg.PreemptGuided, cfg.DemandJoin)
 		sess.reply(netproto.Response{ID: id, OK: true, Sched: schedInfo(cfg)})
 
 	case netproto.OpCachePolicySet:
@@ -884,6 +905,37 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 		}
 		sess.reply(netproto.Response{ID: id, OK: true, Count: n})
 
+	case netproto.OpAutoscaleReport:
+		var b netproto.AutoscaleReportBody
+		if !decode(&b) {
+			return true
+		}
+		s.asMu.Lock()
+		s.asInfo.Active = b.Active
+		if b.Active {
+			s.asInfo.Source = sess.client
+			s.asInfo.Policies = b.Policies
+		} else {
+			// Detachment keeps the decision trail (health still shows
+			// what the controller last did) but clears the live state.
+			s.asInfo.Policies = nil
+		}
+		s.asInfo.Decisions = append(s.asInfo.Decisions, b.Decisions...)
+		if n := len(s.asInfo.Decisions); n > autoscaleLogCap {
+			s.asInfo.Decisions = append([]netproto.AutoscaleDecision(nil),
+				s.asInfo.Decisions[n-autoscaleLogCap:]...)
+		}
+		s.asMu.Unlock()
+		sess.reply(netproto.Response{ID: id, OK: true, Count: len(b.Decisions)})
+
+	case netproto.OpAutoscaleStatus:
+		s.asMu.Lock()
+		info := s.asInfo
+		info.Policies = append([]string(nil), s.asInfo.Policies...)
+		info.Decisions = append([]netproto.AutoscaleDecision(nil), s.asInfo.Decisions...)
+		s.asMu.Unlock()
+		sess.reply(netproto.Response{ID: id, OK: true, Autoscale: &info})
+
 	case netproto.OpCtxRegister:
 		var b netproto.CtxRegisterBody
 		if !decode(&b) {
@@ -930,6 +982,10 @@ func (s *Server) dispatch(sess *session, env netproto.Envelope) bool {
 	return true
 }
 
+// autoscaleLogCap bounds the daemon-side autoscale decision ring: enough
+// recent history for simfs-ctl health, never an unbounded ledger.
+const autoscaleLogCap = 64
+
 // hasCapability reports whether caps contains want.
 func hasCapability(caps []string, want string) bool {
 	for _, c := range caps {
@@ -945,6 +1001,8 @@ func schedInfo(cfg sched.Config) *netproto.SchedInfo {
 	return &netproto.SchedInfo{
 		Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes,
 		PreemptPolicy: cfg.Preempt.String(), DRRQuantum: cfg.DRRQuantum,
+		PreemptSunkCost: cfg.PreemptSunkCost, PreemptGuided: cfg.PreemptGuided,
+		DemandJoin: cfg.DemandJoin,
 	}
 }
 
