@@ -368,6 +368,7 @@ func runAutoscale(c *simfs.Client, admin *simfs.Admin, args []string) {
 	ctrl, err := autoscale.New(autoscale.NewAdminTarget(c), pols, autoscale.Options{
 		Clock: des.NewWallClock(),
 		OnDecision: func(d autoscale.Decision) {
+			//simfs:allow wallclock operator-facing log timestamp on the live CLI
 			fmt.Printf("%s  %-14s %s — %s\n", time.Now().Format("15:04:05"), d.Policy, d.Action, d.Reason)
 			pending = append(pending, netproto.AutoscaleDecision{
 				AtNs: int64(d.At), Policy: d.Policy, Action: d.Action, Reason: d.Reason,
@@ -386,7 +387,7 @@ func runAutoscale(c *simfs.Client, admin *simfs.Admin, args []string) {
 	if *duration > 0 {
 		deadline = time.After(*duration)
 	}
-	ticker := time.NewTicker(*tick)
+	ticker := time.NewTicker(*tick) //simfs:allow wallclock the live CLI paces a real daemon; DES tests drive TickOnce directly
 	defer ticker.Stop()
 loop:
 	for {

@@ -1,0 +1,177 @@
+// Package analysis is a self-contained, stdlib-only skeleton of the
+// golang.org/x/tools/go/analysis API, carrying the four simfs-vet
+// analyzers (determinism, fieldsync, lockorder, errcode) that
+// mechanically enforce invariants this codebase used to keep only by
+// reviewer vigilance. The x/tools module is deliberately not a
+// dependency: the repo builds offline with a bare go.mod, so the
+// framework re-implements the small slice of the API the analyzers
+// need — per-package passes over type-checked syntax, diagnostics,
+// and package facts flowing in dependency order — on top of
+// `go list -export` and the stdlib gc export-data importer.
+//
+// Analyzers interact with source through //simfs: directives; see
+// directives.go for the grammar and DESIGN.md ("Static analysis &
+// enforced invariants") for the rule each analyzer encodes and the
+// PR-numbered bug each descends from.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. Mirrors the shape of
+// x/tools' analysis.Analyzer so the analyzers port over mechanically
+// if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and is the <check>
+	// token accepted by //simfs:allow <check> <reason> escape
+	// hatches (determinism uses the finer-grained tokens wallclock,
+	// rand and maporder instead of its analyzer name).
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Package is one loaded, type-checked package of the target module
+// (or of an analysistest testdata module).
+type Package struct {
+	// PkgPath is the import path ("simfs/internal/core").
+	PkgPath string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// Deps holds the transitive import closure (import paths),
+	// including non-module (stdlib) packages.
+	Deps map[string]bool
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+	// Syntax holds the parsed files, with comments.
+	Syntax []*ast.File
+	// Types and TypesInfo hold the go/types results.
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// directives are the parsed //simfs: comments of the package.
+	directives []*Directive
+}
+
+// A Pass connects one Analyzer run to one Package. Diagnostics are
+// reported through it and package facts exported/looked up through
+// the runner's shared store.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	// Convenience aliases into Pkg, matching the x/tools field names
+	// the analyzer bodies are written against.
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	facts  *factStore
+}
+
+// Reportf records a finding at pos unless an applicable
+// //simfs:allow directive suppresses check there. The check token is
+// what an allow annotation must name; it is usually the analyzer
+// name, but an analyzer may use finer tokens (wallclock, rand,
+// maporder).
+func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	if p.allowed(check, pos) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowed reports whether an //simfs:allow <check> <reason>
+// directive covers pos: same line, the line directly above, or a
+// function whose doc comment carries the directive. A matching
+// directive is marked used, so the runner can flag stale allowances.
+func (p *Pass) allowed(check string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	ok := false
+	for _, d := range p.Pkg.directives {
+		if d.Name != "allow" || d.Check != check {
+			continue
+		}
+		if d.covers(p.Fset, position) {
+			d.Used = true
+			ok = true
+			// Keep scanning: overlapping allowances (line + span)
+			// should all count as used.
+		}
+	}
+	return ok
+}
+
+// ExportFact publishes a package-scoped fact under key. Facts are
+// visible to later passes (any analyzer) of packages that import
+// this one; the runner analyzes packages in dependency order, so an
+// importer always sees its dependencies' facts.
+func (p *Pass) ExportFact(key string, val any) {
+	p.facts.set(p.Pkg.PkgPath, p.Analyzer.Name, key, val)
+}
+
+// LookupFact retrieves a fact exported by this analyzer for the
+// package with the given import path.
+func (p *Pass) LookupFact(pkgPath, key string) (any, bool) {
+	return p.facts.get(pkgPath, p.Analyzer.Name, key)
+}
+
+// FactKeys lists the keys of every fact this analyzer exported for
+// pkgPath, sorted for deterministic iteration.
+func (p *Pass) FactKeys(pkgPath string) []string {
+	return p.facts.keys(pkgPath, p.Analyzer.Name)
+}
+
+// factStore holds exported facts for one runner invocation, keyed
+// pkgPath → analyzer → key.
+type factStore struct {
+	m map[string]map[string]map[string]any
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: map[string]map[string]map[string]any{}}
+}
+
+func (s *factStore) set(pkg, analyzer, key string, val any) {
+	byAn := s.m[pkg]
+	if byAn == nil {
+		byAn = map[string]map[string]any{}
+		s.m[pkg] = byAn
+	}
+	byKey := byAn[analyzer]
+	if byKey == nil {
+		byKey = map[string]any{}
+		byAn[analyzer] = byKey
+	}
+	byKey[key] = val
+}
+
+func (s *factStore) get(pkg, analyzer, key string) (any, bool) {
+	v, ok := s.m[pkg][analyzer][key]
+	return v, ok
+}
+
+func (s *factStore) keys(pkg, analyzer string) []string {
+	byKey := s.m[pkg][analyzer]
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

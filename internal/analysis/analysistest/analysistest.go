@@ -1,0 +1,126 @@
+// Package analysistest runs one analyzer over a testdata module and
+// matches its findings against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// golden suites would port over mechanically.
+//
+// Layout: <testdata>/src is a small self-contained Go module (its own
+// go.mod, stdlib-only imports — the loader compiles it offline with
+// `go list -export`). Every package in it is loaded and analyzed in
+// dependency order, so cross-package facts (fieldsync exhaustive
+// structs, errcode sentinels) work exactly as they do under
+// cmd/simfs-vet. A finding must be matched by a // want comment on
+// its line, and every // want comment must be matched by a finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"simfs/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src and applies the analyzer, failing the test
+// on any unexpected finding or unmatched // want comment.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer) {
+	t.Helper()
+	srcDir := filepath.Join(testdata, "src")
+	pkgs, err := analysis.Load(srcDir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", srcDir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", srcDir)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a}, analysis.RunOptions{})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					wants = append(wants, parseWants(t, pkg, c)...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched `want %s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the expectations of one comment: the text after
+// a leading "want" keyword is a sequence of Go-quoted regexps.
+func parseWants(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		quoted, err := quotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+		}
+		pattern, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, quoted, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+		}
+		out = append(out, &expectation{
+			file: pos.Filename, line: pos.Line, re: re, raw: quoted,
+		})
+		rest = strings.TrimSpace(rest[len(quoted):])
+	}
+	return out
+}
+
+func quotedPrefix(s string) (string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", fmt.Errorf("expected a double-quoted regexp")
+	}
+	return strconv.QuotedPrefix(s)
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"simfs/internal/analysis/analysistest"
+	"simfs/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The map-order rule is scoped to the determinism-critical
+	// packages; pull the testdata package into scope.
+	determinism.MapOrderPackages["vettest/maporder"] = true
+	defer delete(determinism.MapOrderPackages, "vettest/maporder")
+	analysistest.Run(t, "testdata", determinism.Analyzer)
+}

@@ -1,0 +1,84 @@
+// Package maporder exercises the determinism analyzer's map-iteration
+// rule. The test registers vettest/maporder in MapOrderPackages, so
+// ranges here are flagged unless provably order-insensitive.
+package maporder
+
+import "sort"
+
+func AppendFlagged(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order feeds this loop's effects"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func CallFlagged(m map[string]int, f func(string)) {
+	for k := range m { // want "map iteration order feeds this loop's effects"
+		f(k)
+	}
+}
+
+func BreakFlagged(m map[string]int) bool {
+	found := false
+	for k := range m { // want "map iteration order feeds this loop's effects"
+		if k == "x" {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// FloatSumFlagged: float accumulation is order-sensitive (rounding).
+func FloatSumFlagged(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order feeds this loop's effects"
+		sum += v
+	}
+	return sum
+}
+
+func CounterClean(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func InvertClean(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func DeleteClean(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// SortedClean is the sanctioned rewrite: iterate a sorted key slice.
+// The inner range is over a slice, not a map.
+func SortedClean(m map[string]int, f func(string)) {
+	keys := make([]string, 0, len(m))
+	for k := range m { //simfs:allow maporder keys are sorted before use below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k)
+	}
+}
+
+func Allowed(m map[string]int, f func(string)) {
+	//simfs:allow maporder callee is order-insensitive in a way the checker cannot see
+	for k := range m {
+		f(k)
+	}
+}

@@ -1,0 +1,36 @@
+// Package randsrc exercises the determinism analyzer's randomness
+// rule: global-source draws and unseeded rand.New are flagged,
+// explicitly seeded constructors and *rand.Rand methods are not.
+package randsrc
+
+import "math/rand"
+
+func Global() int {
+	return rand.Intn(10) // want "top-level rand.Intn draws from the process-global source"
+}
+
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "top-level rand.Shuffle"
+}
+
+func UnseededNew(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "rand.New without an explicit seeded source"
+}
+
+func SeededNew(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit *rand.Rand are fine.
+func Draw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Constructors fed an explicit *rand.Rand inherit its seeding.
+func Zipf(r *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(r, 1.1, 1, 100)
+}
+
+func Allowed() int {
+	return rand.Intn(10) //simfs:allow rand jitter on a non-replayed path
+}

@@ -1,0 +1,48 @@
+// Package wallclock exercises the determinism analyzer's wall-clock
+// rule: package-level time functions are flagged, methods and
+// injected clocks are not, and //simfs:allow wallclock suppresses.
+package wallclock
+
+import "time"
+
+type Clock func() time.Time
+
+func Stamp() time.Time {
+	return time.Now() // want "wall-clock source time.Now"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock source time.Since"
+}
+
+func Arm(d time.Duration, f func()) *time.Timer {
+	return time.AfterFunc(d, f) // want "wall-clock source time.AfterFunc"
+}
+
+// Methods on time values are pure arithmetic, not clock reads.
+func Sub(a, b time.Time) time.Duration {
+	return a.Sub(b)
+}
+
+// An injected clock is the sanctioned pattern.
+func Injected(clock Clock) time.Time {
+	return clock()
+}
+
+func AllowedSameLine() time.Time {
+	return time.Now() //simfs:allow wallclock live-edge timestamp for operators
+}
+
+func AllowedLineAbove() time.Time {
+	//simfs:allow wallclock live-edge timestamp for operators
+	return time.Now()
+}
+
+// AllowedWholeFunc reads the clock twice; one doc-comment allowance
+// covers the whole function body.
+//
+//simfs:allow wallclock contention metrics are wall-time by design
+func AllowedWholeFunc() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar. Every machine-readable annotation in the tree is
+// a comment of the form
+//
+//	//simfs:<name> [args...]
+//
+// with these names:
+//
+//	//simfs:allow <check> <reason>   suppress <check> findings on this
+//	                                 line, the next line, or (in a
+//	                                 function doc comment) the whole
+//	                                 function. The reason is required:
+//	                                 an allowance must say why the
+//	                                 site is intentionally exempt.
+//	                                 Checks: wallclock, rand, maporder,
+//	                                 fieldsync, lockorder, errcode.
+//	//simfs:exhaustive [note]        on a struct type: every declared
+//	                                 sync function must reference every
+//	                                 field (fieldsync analyzer).
+//	//simfs:nosync <reason>          on a field of an exhaustive
+//	                                 struct: exempt it from fieldsync,
+//	                                 with a reason.
+//	//simfs:sync <[pkg.]Type>        on a function: declares it a sync
+//	                                 function of the named exhaustive
+//	                                 struct. Repeatable.
+//	//simfs:errcode <code>           on an error sentinel var or error
+//	                                 type: registers it with the wire
+//	                                 classification registry (errcode
+//	                                 analyzer).
+//	//simfs:errcode-table            on a function: declares it a
+//	                                 classification table that must
+//	                                 handle every registered sentinel
+//	                                 reachable through its imports.
+//	//simfs:locked <lock>            on a function: it is entered with
+//	                                 the named shard lock already held
+//	                                 (the "Caller holds cs's lock"
+//	                                 convention), so the lockorder
+//	                                 rules apply from its first line.
+const directivePrefix = "//simfs:"
+
+// knownDirectives maps each directive name to whether its argument
+// list is required to be non-empty.
+var knownDirectives = map[string]bool{
+	"allow":         true,
+	"exhaustive":    false,
+	"nosync":        true,
+	"sync":          true,
+	"errcode":       true,
+	"errcode-table": false,
+	"locked":        true,
+}
+
+// allowChecks are the tokens //simfs:allow accepts.
+var allowChecks = map[string]bool{
+	"wallclock": true,
+	"rand":      true,
+	"maporder":  true,
+	"fieldsync": true,
+	"lockorder": true,
+	"errcode":   true,
+}
+
+// A Directive is one parsed //simfs: comment.
+type Directive struct {
+	// Name is the directive name ("allow", "sync", ...).
+	Name string
+	// Check is the first argument of an allow directive.
+	Check string
+	// Args is the raw argument text after the name (for allow: after
+	// the check token, i.e. the reason).
+	Args string
+
+	Pos  token.Pos
+	File string // file name, for line-coverage matching
+	Line int
+	// span, when valid, extends coverage to a whole declaration
+	// (directive in a function doc comment).
+	spanStart, spanEnd int // line range; 0 when line-scoped
+
+	// Used is set when an allow directive suppressed at least one
+	// finding; the runner reports stale (unused) allowances.
+	Used bool
+}
+
+func (d *Directive) covers(fset *token.FileSet, pos token.Position) bool {
+	if d.File != pos.Filename {
+		return false
+	}
+	if d.spanStart != 0 {
+		return pos.Line >= d.spanStart && pos.Line <= d.spanEnd
+	}
+	return pos.Line == d.Line || pos.Line == d.Line+1
+}
+
+// CutDirective splits one comment line into a directive name and its
+// argument text; ok is false for ordinary comments.
+func CutDirective(text string) (name, args string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	name, args, _ = strings.Cut(rest, " ")
+	return name, strings.TrimSpace(args), name != ""
+}
+
+// DirectiveArgs returns the argument text of every //simfs:<name>
+// directive in doc. A nil doc yields nil.
+func DirectiveArgs(doc *ast.CommentGroup, name string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		if n, args, ok := CutDirective(c.Text); ok && n == name {
+			out = append(out, args)
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether doc carries an //simfs:<name>
+// directive and returns the args of the first one.
+func HasDirective(doc *ast.CommentGroup, name string) (string, bool) {
+	all := DirectiveArgs(doc, name)
+	if len(all) == 0 {
+		return "", false
+	}
+	return all[0], true
+}
+
+// parseDirectives scans every comment of file, returning the parsed
+// directives and a diagnostic for each malformed one. Directives in
+// the doc comment of a top-level function cover the whole function.
+func parseDirectives(fset *token.FileSet, file *ast.File) (dirs []*Directive, malformed []Diagnostic) {
+	// Map comment groups that are function doc comments to their
+	// declaration's line span.
+	funcDocSpan := map[*ast.CommentGroup][2]int{}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			funcDocSpan[fd.Doc] = [2]int{
+				fset.Position(fd.Pos()).Line,
+				fset.Position(fd.End()).Line,
+			}
+		}
+	}
+	for _, group := range file.Comments {
+		span := funcDocSpan[group]
+		for _, c := range group.List {
+			name, args, ok := CutDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			bad := func(format string, a ...any) {
+				malformed = append(malformed, Diagnostic{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf(format, a...),
+				})
+			}
+			needArgs, known := knownDirectives[name]
+			if !known {
+				bad("unknown directive //simfs:%s (known: allow, exhaustive, nosync, sync, errcode, errcode-table, locked)", name)
+				continue
+			}
+			if needArgs && args == "" {
+				bad("//simfs:%s requires an argument", name)
+				continue
+			}
+			d := &Directive{
+				Name:      name,
+				Args:      args,
+				Pos:       c.Pos(),
+				File:      pos.Filename,
+				Line:      pos.Line,
+				spanStart: span[0],
+				spanEnd:   span[1],
+			}
+			if name == "allow" {
+				check, reason, _ := strings.Cut(args, " ")
+				if !allowChecks[check] {
+					bad("//simfs:allow %s: unknown check (want wallclock, rand, maporder, fieldsync, lockorder or errcode)", check)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					bad("//simfs:allow %s needs a reason: every allowance must say why the site is exempt", check)
+					continue
+				}
+				d.Check = check
+				d.Args = strings.TrimSpace(reason)
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, malformed
+}

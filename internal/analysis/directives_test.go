@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*Directive, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "dirs.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	dirs, malformed := parseDirectives(fset, file)
+	return fset, dirs, malformed
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//simfs:allow wallclock live timestamps for humans
+var a int
+
+//simfs:exhaustive
+type S struct{}
+
+//simfs:sync pkg.Type
+func f() {}
+`
+	_, dirs, malformed := parseSrc(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3", len(dirs))
+	}
+	if dirs[0].Name != "allow" || dirs[0].Check != "wallclock" || dirs[0].Args != "live timestamps for humans" {
+		t.Errorf("allow parsed as %+v", dirs[0])
+	}
+	if dirs[1].Name != "exhaustive" || dirs[1].Args != "" {
+		t.Errorf("exhaustive parsed as %+v", dirs[1])
+	}
+	if dirs[2].Name != "sync" || dirs[2].Args != "pkg.Type" {
+		t.Errorf("sync parsed as %+v", dirs[2])
+	}
+	// The sync directive is a function doc comment: it must cover the
+	// whole declaration, not just its own line.
+	if dirs[2].spanStart == 0 || dirs[2].spanEnd < dirs[2].spanStart {
+		t.Errorf("function-doc directive has no span: %+v", dirs[2])
+	}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"package p\n\n//simfs:frobnicate\n", "unknown directive"},
+		{"package p\n\n//simfs:allow wallclock\n", "needs a reason"},
+		{"package p\n\n//simfs:allow coffee because\n", "unknown check"},
+		{"package p\n\n//simfs:sync\n", "requires an argument"},
+		{"package p\n\n//simfs:nosync\n", "requires an argument"},
+	}
+	for _, c := range cases {
+		_, dirs, malformed := parseSrc(t, c.src)
+		if len(dirs) != 0 {
+			t.Errorf("%q: malformed directive still parsed: %+v", c.src, dirs)
+		}
+		if len(malformed) != 1 || !strings.Contains(malformed[0].Message, c.want) {
+			t.Errorf("%q: got %v, want one diagnostic containing %q", c.src, malformed, c.want)
+		}
+	}
+}
+
+func TestAllowCoverage(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //simfs:allow wallclock same line
+	//simfs:allow rand next line
+	_ = 2
+}
+`
+	fset, dirs, _ := parseSrc(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "dirs.go", Line: line}
+	}
+	if !dirs[0].covers(fset, at(4)) {
+		t.Errorf("same-line allow does not cover its own line")
+	}
+	if dirs[0].covers(fset, at(6)) {
+		t.Errorf("same-line allow leaks two lines down")
+	}
+	if !dirs[1].covers(fset, at(6)) {
+		t.Errorf("line-above allow does not cover the next line")
+	}
+	if dirs[1].covers(fset, token.Position{Filename: "other.go", Line: 6}) {
+		t.Errorf("allow covers a different file")
+	}
+}

@@ -1,0 +1,258 @@
+// Package errcode keeps the wire error-classification table total.
+// Error sentinels and error types annotated //simfs:errcode <code>
+// (core.ErrInvalid and friends, *core.QuarantineError) form a
+// registry; every function annotated //simfs:errcode-table (the
+// server's codeOf) must reference each registered sentinel reachable
+// through its imports, so deleting a case fails the build instead of
+// silently reclassifying an error (the PR 8 codeOf fix is the bug
+// class this encodes: unhandled errors leaking as bad_request).
+//
+// In packages that carry a classification table, handler code must
+// not fabricate unclassifiable errors: errors.New and fmt.Errorf
+// without a %w wrap are flagged, because codeOf can only route such
+// errors to the catch-all internal code. Wrap a registered sentinel,
+// or annotate //simfs:allow errcode <reason> for paths that never
+// reach the wire (startup validation, logging).
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"simfs/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc: "check that //simfs:errcode-table functions classify every registered " +
+		"//simfs:errcode sentinel, and that table-bearing packages never fabricate " +
+		"unclassifiable errors",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	registerSentinels(pass)
+
+	var tables []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if _, ok := analysis.HasDirective(fn.Doc, "errcode-table"); ok {
+					tables = append(tables, fn)
+				}
+			}
+		}
+	}
+	for _, fn := range tables {
+		checkTable(pass, fn)
+	}
+	if len(tables) > 0 {
+		checkNakedErrors(pass)
+	}
+	return nil
+}
+
+// registerSentinels exports a fact for every annotated error sentinel
+// var and error type of the package.
+func registerSentinels(pass *analysis.Pass) {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	register := func(name *ast.Ident, code string, t types.Type) {
+		if !types.Implements(t, errIface) && !types.Implements(types.NewPointer(t), errIface) {
+			pass.Reportf("errcode", name.Pos(),
+				"%s is annotated //simfs:errcode %s but is not an error", name.Name, code)
+			return
+		}
+		pass.ExportFact("errcode:"+name.Name, code)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch spec := spec.(type) {
+				case *ast.ValueSpec:
+					code, ok := specDirective(gd, spec.Doc, spec.Comment, "errcode")
+					if !ok {
+						continue
+					}
+					for _, name := range spec.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							register(name, code, obj.Type())
+						}
+					}
+				case *ast.TypeSpec:
+					code, ok := specDirective(gd, spec.Doc, spec.Comment, "errcode")
+					if !ok {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[spec.Name]; obj != nil {
+						register(spec.Name, code, obj.Type())
+					}
+				}
+			}
+		}
+	}
+}
+
+func specDirective(gd *ast.GenDecl, doc, comment *ast.CommentGroup, name string) (string, bool) {
+	if args, ok := analysis.HasDirective(doc, name); ok {
+		return args, true
+	}
+	if args, ok := analysis.HasDirective(comment, name); ok {
+		return args, true
+	}
+	return analysis.HasDirective(gd.Doc, name)
+}
+
+// checkTable verifies fn references every registered sentinel of its
+// own package and of its transitive imports.
+func checkTable(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	type sentinel struct {
+		pkgPath, name, code string
+	}
+	var registry []sentinel
+	paths := make([]string, 0, len(pass.Pkg.Deps)+1)
+	paths = append(paths, pass.Pkg.PkgPath)
+	for dep := range pass.Pkg.Deps {
+		paths = append(paths, dep)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		for _, key := range pass.FactKeys(path) {
+			name := strings.TrimPrefix(key, "errcode:")
+			code, _ := pass.LookupFact(path, key)
+			registry = append(registry, sentinel{path, name, code.(string)})
+		}
+	}
+
+	// An identifier anywhere in the body resolving to the sentinel —
+	// errors.Is(err, core.ErrBusy), errors.As(err, &qerr) via the
+	// *core.QuarantineError type — counts as handling it.
+	used := map[[2]string]bool{}
+	for ident, obj := range pass.TypesInfo.Uses {
+		if ident.Pos() < fn.Body.Pos() || ident.Pos() >= fn.Body.End() {
+			continue
+		}
+		if obj != nil && obj.Pkg() != nil {
+			used[[2]string{obj.Pkg().Path(), obj.Name()}] = true
+		}
+	}
+	for _, s := range registry {
+		if !used[[2]string{s.pkgPath, s.name}] {
+			pass.Reportf("errcode", fn.Name.Pos(),
+				"classification table %s does not handle %s.%s (//simfs:errcode %s); errors of that kind will fall through to the catch-all code",
+				fn.Name.Name, pkgBase(s.pkgPath), s.name, s.code)
+		}
+	}
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// checkNakedErrors flags error constructions the classification table
+// cannot route: errors.New and fmt.Errorf without %w. Package-level
+// errors.New vars are sentinels and must register with
+// //simfs:errcode instead.
+func checkNakedErrors(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		// Package-level sentinel declarations.
+		inFunc := map[ast.Node]bool{}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					inFunc[call] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "errors" && obj.Name() == "New":
+				if !inFunc[call] {
+					// A package-level sentinel: it must be registered so
+					// classification tables are forced to handle it.
+					if !hasErrcodeDirectiveAt(pass, file, call) {
+						pass.Reportf("errcode", call.Pos(),
+							"package-level error sentinel without //simfs:errcode registration; annotate it so classification tables must handle it")
+					}
+					return true
+				}
+				pass.Reportf("errcode", call.Pos(),
+					"errors.New fabricates an error no classification table can route; wrap a registered sentinel with fmt.Errorf(\"...: %%w\", ErrX) or annotate //simfs:allow errcode <reason>")
+			case obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf":
+				if formatWraps(pass, call) {
+					return true
+				}
+				pass.Reportf("errcode", call.Pos(),
+					"fmt.Errorf without %%w fabricates an error no classification table can route; wrap a registered sentinel or annotate //simfs:allow errcode <reason>")
+			}
+			return true
+		})
+	}
+}
+
+// hasErrcodeDirectiveAt reports whether the declaration containing
+// call carries an //simfs:errcode directive (matched by position, for
+// package-level specs).
+func hasErrcodeDirectiveAt(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || call.Pos() < gd.Pos() || call.Pos() >= gd.End() {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || call.Pos() < vs.Pos() || call.Pos() >= vs.End() {
+				continue
+			}
+			if _, ok := specDirective(gd, vs.Doc, vs.Comment, "errcode"); ok {
+				found = true
+			}
+		}
+		return false
+	})
+	return found
+}
+
+// formatWraps reports whether the fmt.Errorf call's constant format
+// string contains a %w verb. Non-constant formats are assumed to wrap
+// (they are rare; flagging them would be noise).
+func formatWraps(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"simfs/internal/analysis/analysistest"
+	"simfs/internal/analysis/errcode"
+)
+
+func TestErrCode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer)
+}

@@ -1,0 +1,22 @@
+// Package a declares the registered error sentinels the errcode
+// testdata classifies. It carries no classification table itself, so
+// its errors.New calls are not naked-error findings.
+package a
+
+import "errors"
+
+//simfs:errcode bad_request
+var ErrInvalid = errors.New("invalid request")
+
+//simfs:errcode busy
+var ErrBusy = errors.New("resource busy")
+
+// QuarantineError is a registered error type (matched via errors.As).
+//
+//simfs:errcode failed
+type QuarantineError struct{ Sim string }
+
+func (e *QuarantineError) Error() string { return "quarantined " + e.Sim }
+
+//simfs:errcode nope
+var NotAnError = 42 // want "NotAnError is annotated //simfs:errcode nope but is not an error"

@@ -1,0 +1,67 @@
+// Package b carries classification tables, so the registry of its
+// import closure must be total and naked error fabrication is
+// flagged.
+package b
+
+import (
+	"errors"
+	"fmt"
+
+	"vettest/a"
+)
+
+//simfs:errcode not_found
+var ErrMissing = errors.New("missing")
+
+var errStray = errors.New("stray") // want "package-level error sentinel without //simfs:errcode registration"
+
+// CodeGood handles every registered sentinel reachable through its
+// imports: the three in package a plus ErrMissing here.
+//
+//simfs:errcode-table
+func CodeGood(err error) string {
+	var q *a.QuarantineError
+	switch {
+	case errors.Is(err, a.ErrInvalid):
+		return "bad_request"
+	case errors.Is(err, a.ErrBusy):
+		return "busy"
+	case errors.As(err, &q):
+		return "failed"
+	case errors.Is(err, ErrMissing):
+		return "not_found"
+	}
+	return "internal"
+}
+
+// CodeBad forgets ErrBusy: busy errors would leak as the catch-all.
+//
+//simfs:errcode-table
+func CodeBad(err error) string { // want "classification table CodeBad does not handle a.ErrBusy"
+	var q *a.QuarantineError
+	switch {
+	case errors.Is(err, a.ErrInvalid):
+		return "bad_request"
+	case errors.As(err, &q):
+		return "failed"
+	case errors.Is(err, ErrMissing):
+		return "not_found"
+	}
+	return "internal"
+}
+
+func Fabricate() error {
+	return errors.New("oops") // want "errors.New fabricates an error no classification table can route"
+}
+
+func Wrapless(x int) error {
+	return fmt.Errorf("x=%d", x) // want "fmt.Errorf without %w fabricates an error"
+}
+
+func WrapGood(x int) error {
+	return fmt.Errorf("x=%d: %w", x, ErrMissing)
+}
+
+func AllowedStartup() error {
+	return errors.New("config: bad flag") //simfs:allow errcode startup validation never reaches the wire
+}

@@ -1,0 +1,12 @@
+package fieldsync_test
+
+import (
+	"testing"
+
+	"simfs/internal/analysis/analysistest"
+	"simfs/internal/analysis/fieldsync"
+)
+
+func TestFieldSync(t *testing.T) {
+	analysistest.Run(t, "testdata", fieldsync.Analyzer)
+}

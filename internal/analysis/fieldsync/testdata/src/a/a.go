@@ -1,0 +1,80 @@
+// Package a declares the exhaustive structs the fieldsync testdata
+// checks against, plus same-package sync functions.
+package a
+
+// Frame is a wire aggregate: every sync function must touch every
+// field, except the ones exempted with //simfs:nosync.
+//
+//simfs:exhaustive
+type Frame struct {
+	Opens  int
+	Hits   int
+	Misses int
+	// Scratch is recomputed on arrival, never carried.
+	Scratch int //simfs:nosync recomputed by the receiver
+
+	Meta //simfs:nosync embedded metadata merges itself
+}
+
+type Meta struct {
+	Version int
+}
+
+// Pair has an embedded field that sync functions must reference by
+// its type name.
+//
+//simfs:exhaustive
+type Pair struct {
+	Meta
+	Count int
+}
+
+// MergeGood references every required field through selectors.
+//
+//simfs:sync Frame
+func MergeGood(dst, src *Frame) {
+	dst.Opens += src.Opens
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+}
+
+// MergeBad forgets Misses: the bug class the analyzer exists for.
+//
+//simfs:sync Frame
+func MergeBad(dst, src *Frame) { // want "sync function MergeBad does not reference field Misses of Frame"
+	dst.Opens += src.Opens
+	dst.Hits += src.Hits
+}
+
+// LiteralGood references fields as composite-literal keys.
+//
+//simfs:sync Frame
+func LiteralGood(src *Frame) Frame {
+	return Frame{Opens: src.Opens, Hits: src.Hits, Misses: src.Misses}
+}
+
+// EmbeddedGood references the embedded Meta field by name.
+//
+//simfs:sync Pair
+func EmbeddedGood(dst, src *Pair) {
+	dst.Meta = src.Meta
+	dst.Count += src.Count
+}
+
+// EmbeddedBad forgets the embedded field.
+//
+//simfs:sync Pair
+func EmbeddedBad(dst, src *Pair) { // want "sync function EmbeddedBad does not reference field Meta of Pair"
+	dst.Count += src.Count
+}
+
+// Unannotated is a plain struct; pointing a sync function at it is an
+// error.
+type Unannotated struct {
+	X int
+}
+
+//simfs:sync Unannotated
+func SyncTargetNotExhaustive(u *Unannotated) { // want "type Unannotated is not annotated //simfs:exhaustive"
+	u.X++
+}

@@ -1,0 +1,24 @@
+// Package b checks cross-package fieldsync: the exhaustive facts of
+// package a flow here in dependency order, and sync targets are named
+// pkg.Type.
+package b
+
+import "vettest/a"
+
+// EncodeGood references every required field of the imported struct.
+//
+//simfs:sync a.Frame
+func EncodeGood(f *a.Frame) []int {
+	return []int{f.Opens, f.Hits, f.Misses}
+}
+
+// EncodeBad drops Hits on the floor.
+//
+//simfs:sync a.Frame
+func EncodeBad(f *a.Frame) []int { // want "sync function EncodeBad does not reference field Hits of a.Frame"
+	return []int{f.Opens, f.Misses}
+}
+
+//simfs:sync missing.Frame
+func BadImport() { // want "package \"missing\" is not imported here"
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The loader deliberately avoids golang.org/x/tools/go/packages (the
+// module is not a dependency; the repo builds offline): it shells out
+// to `go list -export -deps -json`, which compiles the target packages
+// and their dependencies and reports an export-data file per package,
+// then type-checks the non-stdlib packages from source with the stdlib
+// gc importer resolving every import from that export data. `go list`
+// emits dependencies before dependents, which is exactly the order
+// package facts need.
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Deps       []string
+}
+
+// Load type-checks the packages matched by patterns (default ./...)
+// in the module rooted at or above dir, returning them in dependency
+// order (imports first).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,Standard,GoFiles,Deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{} // import path → export data file
+	var local []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			q := p
+			local = append(local, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, p := range local {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		deps := make(map[string]bool, len(p.Deps))
+		for _, d := range p.Deps {
+			deps[d] = true
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   p.ImportPath,
+			Dir:       p.Dir,
+			Deps:      deps,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// A Finding is one resolved diagnostic of a run.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// RunOptions configure a Run over loaded packages.
+type RunOptions struct {
+	// Filter, when non-nil, limits which analyzers run on which
+	// packages. Directive parsing and malformed-directive findings
+	// are unaffected.
+	Filter func(a *Analyzer, pkg *Package) bool
+	// ReportUnusedAllows adds a finding for every //simfs:allow that
+	// suppressed nothing, so stale allowances cannot linger. Only
+	// meaningful when every analyzer an allowance could refer to has
+	// run (simfs-vet does; analysistest runs one analyzer and leaves
+	// this off).
+	ReportUnusedAllows bool
+}
+
+// Run applies the analyzers to every package, in the given (dependency)
+// order, sharing one fact store. Findings come back sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Finding, error) {
+	facts := newFactStore()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// Parse directives once per package; malformed ones are
+		// findings in their own right, attributed to the pseudo
+		// analyzer "directive".
+		pkg.directives = nil
+		for _, f := range pkg.Syntax {
+			dirs, malformed := parseDirectives(pkg.Fset, f)
+			pkg.directives = append(pkg.directives, dirs...)
+			for _, d := range malformed {
+				findings = append(findings, Finding{
+					Pos: pkg.Fset.Position(d.Pos), Analyzer: "directive", Message: d.Message,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			if opts.Filter != nil && !opts.Filter(a, pkg) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Pkg:       pkg,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Types:     pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
+				report: func(d Diagnostic) {
+					findings = append(findings, Finding{
+						Pos: pkg.Fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if opts.ReportUnusedAllows {
+		for _, pkg := range pkgs {
+			for _, d := range pkg.directives {
+				if d.Name == "allow" && !d.Used {
+					findings = append(findings, Finding{
+						Pos:      pkg.Fset.Position(d.Pos),
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("unused //simfs:allow %s: no finding here to suppress; delete the stale allowance", d.Check),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,36 @@
+// Package suite assembles the simfs-vet analyzers and the repo's
+// scoping policy, shared by cmd/simfs-vet and the self-test that
+// keeps the tree finding-free under `go test ./...`.
+package suite
+
+import (
+	"strings"
+
+	"simfs/internal/analysis"
+	"simfs/internal/analysis/determinism"
+	"simfs/internal/analysis/errcode"
+	"simfs/internal/analysis/fieldsync"
+	"simfs/internal/analysis/lockorder"
+)
+
+// All is the simfs-vet multichecker: the four invariant analyzers, in
+// the order their findings are usually triaged.
+var All = []*analysis.Analyzer{
+	determinism.Analyzer,
+	fieldsync.Analyzer,
+	lockorder.Analyzer,
+	errcode.Analyzer,
+}
+
+// Filter is the repo's scoping policy. The examples/ programs are
+// user-facing demos that legitimately print real elapsed time, so the
+// determinism analyzer skips them; everything else runs everywhere
+// (fieldsync, lockorder and errcode are annotation-driven and inert
+// where nothing is annotated, and determinism's map-order rule
+// already confines itself to determinism.MapOrderPackages).
+func Filter(a *analysis.Analyzer, pkg *analysis.Package) bool {
+	if a == determinism.Analyzer && strings.HasPrefix(pkg.PkgPath, "simfs/examples/") {
+		return false
+	}
+	return true
+}

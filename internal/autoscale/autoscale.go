@@ -198,7 +198,7 @@ func (c *Controller) Run(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("autoscale: tick interval must be > 0, got %v", interval)
 	}
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(interval) //simfs:allow wallclock Run paces a live daemon; replayed experiments call TickOnce on an injected clock
 	defer ticker.Stop()
 	for {
 		select {

@@ -69,7 +69,7 @@ func (p *DRRTuner) calmTicks() int {
 func (p *DRRTuner) skew(t Tick) float64 {
 	var total, max uint64
 	active := 0
-	for client, cur := range t.Cur.Loads {
+	for client, cur := range t.Cur.Loads { //simfs:allow maporder sum, count and max are commutative; the result is order-free
 		d := cur - t.Prev.Loads[client]
 		if d == 0 {
 			continue

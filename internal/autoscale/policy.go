@@ -173,7 +173,7 @@ func (p SchedPatch) String() string {
 // sortedCtxNames iterates a sample's contexts deterministically.
 func sortedCtxNames(ctxs map[string]CtxSample) []string {
 	names := make([]string, 0, len(ctxs))
-	for name := range ctxs {
+	for name := range ctxs { //simfs:allow maporder the collected keys are sorted before use
 		names = append(names, name)
 	}
 	sort.Strings(names)

@@ -80,7 +80,10 @@ func (c *CacheOf[K]) SetPolicy(p PolicyOf[K], order []K, costOf func(K) int) {
 		seen[key] = true
 		p.Insert(key, costOf(key))
 	}
-	for key := range c.sizes {
+	// The replay path (core.SetCachePolicy) passes every resident key in
+	// order, so this fallback only runs for keys the caller omitted; their
+	// relative recency was unspecified to begin with.
+	for key := range c.sizes { //simfs:allow maporder fallback for keys missing from order; callers that care pass a complete order
 		if !seen[key] {
 			p.Insert(key, costOf(key))
 		}
@@ -241,10 +244,12 @@ func (c *CacheOf[K]) MaxBytes() int64 { return c.maxBytes }
 // Len returns the number of resident entries.
 func (c *CacheOf[K]) Len() int { return len(c.sizes) }
 
-// Keys returns the resident keys in unspecified order.
+// Keys returns the resident keys in unspecified order. K is not
+// ordered, so callers that need determinism sort the result themselves
+// (core.SetCachePolicy sorts by step before replaying accesses).
 func (c *CacheOf[K]) Keys() []K {
 	keys := make([]K, 0, len(c.sizes))
-	for k := range c.sizes {
+	for k := range c.sizes { //simfs:allow maporder documented unspecified order; K is not ordered so callers sort
 		keys = append(keys, k)
 	}
 	return keys

@@ -220,7 +220,7 @@ func (p *lirsOf[K]) Reset() {
 	// Every stack node lives in byKey (resident HIR entries off the stack
 	// included), so recycling byKey's values covers the stack; the queue
 	// holds only shadow nodes, recycled by draining it.
-	for _, nd := range p.byKey {
+	for _, nd := range p.byKey { //simfs:allow maporder free-list recycling permutes identical zeroed nodes only
 		p.ar.put(nd)
 	}
 	clear(p.byKey)

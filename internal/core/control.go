@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 
 	"simfs/internal/cache"
@@ -11,22 +13,35 @@ import (
 
 // Sentinel errors of the DV control surface. Front-ends map them to
 // structured wire error codes with errors.Is instead of matching text.
+// The //simfs:errcode annotations register each sentinel with the
+// errcode analyzer, which then requires every //simfs:errcode-table
+// classifier (the server's codeOf) to handle it.
 var (
 	// ErrUnknownContext: the named simulation context is not registered.
+	//
+	//simfs:errcode no_such_context
 	ErrUnknownContext = errors.New("unknown context")
 	// ErrDraining: the context refuses new opens and prefetches while it
 	// drains; running work completes and releases still land.
+	//
+	//simfs:errcode busy
 	ErrDraining = errors.New("context draining")
 	// ErrBusy: the operation needs a quiescent context but references,
 	// waiters or simulations are still live.
+	//
+	//simfs:errcode busy
 	ErrBusy = errors.New("context busy")
 	// ErrNotProduced: the file is neither on disk nor promised by a
 	// re-simulation.
+	//
+	//simfs:errcode not_produced
 	ErrNotProduced = errors.New("file is not being produced")
 	// ErrInvalid: the request itself is malformed — a filename outside
 	// the simulated timeline, an unknown cache policy, a nil context
 	// definition. Front-ends map it to a bad-request error code;
 	// anything unclassified is treated as an internal daemon failure.
+	//
+	//simfs:errcode bad_request
 	ErrInvalid = errors.New("invalid request")
 )
 
@@ -183,8 +198,10 @@ func (v *Virtualizer) RemoveContext(name string) error {
 	// blocks the removal here) or fails its own upstream validation —
 	// never a dangling upstream pointer.
 	v.ctxMu.Lock()
-	for other, ocs := range v.contexts {
-		if ocs.ctx.Upstream == name {
+	// Sorted iteration: with several downstreams, the one named in the
+	// ErrBusy error must not vary run to run.
+	for _, other := range slices.Sorted(maps.Keys(v.contexts)) {
+		if v.contexts[other].ctx.Upstream == name {
 			v.ctxMu.Unlock()
 			// The queued jobs are already dropped and their promises
 			// cleared — consistent on its own (a later open simply
@@ -204,8 +221,8 @@ func (v *Virtualizer) RemoveContext(name string) error {
 func (v *Virtualizer) downstreamOf(name string) string {
 	v.ctxMu.RLock()
 	defer v.ctxMu.RUnlock()
-	for other, ocs := range v.contexts {
-		if ocs.ctx.Upstream == name {
+	for _, other := range slices.Sorted(maps.Keys(v.contexts)) {
+		if v.contexts[other].ctx.Upstream == name {
 			return other
 		}
 	}

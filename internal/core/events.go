@@ -1,6 +1,8 @@
 package core
 
 import (
+	"maps"
+	"slices"
 	"time"
 
 	"simfs/internal/model"
@@ -547,7 +549,10 @@ func (v *Virtualizer) killPrefetchedFor(cs *shard, client string) ([]int, bool) 
 		}
 	}
 
-	for id, sim := range cs.sims {
+	// Sorted iteration: the kill/dismantle order below is visible to the
+	// DES (each Kill schedules an event), so it must not follow map order.
+	for _, id := range slices.Sorted(maps.Keys(cs.sims)) {
+		sim := cs.sims[id]
 		if sim.prefetchFor != client {
 			continue
 		}

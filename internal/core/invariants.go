@@ -1,6 +1,15 @@
 package core
 
-import "fmt"
+// The audit iterates every ledger over sorted keys: with several
+// violations present, which one is reported must not depend on map
+// iteration order, or a failing property test prints a different
+// counterexample on every run.
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+)
 
 // CheckInvariants audits the Virtualizer's internal consistency. It is
 // primarily exercised by the property tests, but can be called in
@@ -30,8 +39,8 @@ func (v *Virtualizer) CheckInvariants() error {
 	}
 	v.ctxMu.RUnlock()
 
-	for name, cs := range shards {
-		if err := cs.checkInvariants(name); err != nil {
+	for _, name := range slices.Sorted(maps.Keys(shards)) {
+		if err := shards[name].checkInvariants(name); err != nil {
 			return err
 		}
 	}
@@ -42,7 +51,8 @@ func (cs *shard) checkInvariants(name string) error {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 
-	for step, simID := range cs.promised {
+	for _, step := range slices.Sorted(maps.Keys(cs.promised)) {
+		simID := cs.promised[step]
 		if cs.resident(step) {
 			return fmt.Errorf("core: %s step %d both resident and promised", name, step)
 		}
@@ -53,7 +63,8 @@ func (cs *shard) checkInvariants(name string) error {
 			return fmt.Errorf("core: %s step %d promised by unknown simulation %d", name, step, simID)
 		}
 	}
-	for step, n := range cs.refs {
+	for _, step := range slices.Sorted(maps.Keys(cs.refs)) {
+		n := cs.refs[step]
 		if n <= 0 {
 			return fmt.Errorf("core: %s step %d has non-positive refcount %d", name, step, n)
 		}
@@ -69,7 +80,8 @@ func (cs *shard) checkInvariants(name string) error {
 				name, cs.cache.UsedBytes(), max)
 		}
 	}
-	for id, sim := range cs.sims {
+	for _, id := range slices.Sorted(maps.Keys(cs.sims)) {
+		sim := cs.sims[id]
 		if sim.ctxName != name {
 			return fmt.Errorf("core: simulation %d filed under %s but belongs to %s", id, name, sim.ctxName)
 		}
@@ -77,7 +89,8 @@ func (cs *shard) checkInvariants(name string) error {
 			return fmt.Errorf("core: simulation %d has malformed range [%d,%d]", id, sim.first, sim.last)
 		}
 	}
-	for step, ws := range cs.waiters {
+	for _, step := range slices.Sorted(maps.Keys(cs.waiters)) {
+		ws := cs.waiters[step]
 		if len(ws) == 0 {
 			continue
 		}

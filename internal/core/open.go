@@ -70,7 +70,7 @@ func (v *Virtualizer) Open(client, ctxName, filename string) (OpenResult, error)
 		// evicted before being accessed. Reset all active agents.
 		if cs.prefetched[step] == client && cs.everProduced[step] {
 			cs.stats.PollutionResets++
-			for _, ag := range cs.agents {
+			for _, ag := range cs.agents { //simfs:allow maporder each agent resets independently; order is invisible
 				ag.Reset()
 			}
 			delete(cs.prefetched, step)

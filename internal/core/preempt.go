@@ -75,14 +75,14 @@ func victimDone(sim *simState) float64 {
 func (v *Virtualizer) preemptCandidates(cfg sched.Config) []victimRef {
 	v.ctxMu.RLock()
 	shards := make([]*shard, 0, len(v.contexts))
-	for _, cs := range v.contexts {
+	for _, cs := range v.contexts { //simfs:allow maporder Choose is a total order over candidates, so collection order is washed out
 		shards = append(shards, cs)
 	}
 	v.ctxMu.RUnlock()
 	var refs []victimRef
 	for _, cs := range shards {
 		cs.mu.Lock()
-		for id, sim := range cs.sims {
+		for id, sim := range cs.sims { //simfs:allow maporder Choose is a total order over candidates, so collection order is washed out
 			if !sim.launched || sim.preempted || sim.killing {
 				continue
 			}

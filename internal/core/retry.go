@@ -55,6 +55,8 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // breaker holds open: demand opens fail fast with it instead of
 // launching a simulation that will not produce, and released waiters
 // carry its Attempts/RetryAfter so clients can back off intelligently.
+//
+//simfs:errcode failed
 type QuarantineError struct {
 	Ctx         string
 	First, Last int
@@ -238,7 +240,7 @@ func (v *Virtualizer) ResetQuarantine(ctxName string) (int, error) {
 	var shards []*shard
 	if ctxName == "" {
 		v.ctxMu.RLock()
-		for _, cs := range v.contexts {
+		for _, cs := range v.contexts { //simfs:allow maporder per-shard resets are independent and the released count is commutative
 			shards = append(shards, cs)
 		}
 		v.ctxMu.RUnlock()

@@ -26,7 +26,9 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -234,7 +236,7 @@ func NewScheduled(clock des.Clock, launcher Launcher, cfg sched.Config) *Virtual
 		simDir:   map[int64]*shard{},
 		retryRng: rand.New(rand.NewSource(0)),
 	}
-	v.after = func(d time.Duration, f func()) { time.AfterFunc(d, f) }
+	v.after = func(d time.Duration, f func()) { time.AfterFunc(d, f) } //simfs:allow wallclock the default timer seam; DES tests replace v.after with virtual time
 	v.placeholderSeq.Store(pendingSimID)
 	return v
 }
@@ -334,15 +336,11 @@ func (v *Virtualizer) Context(name string) (*model.Context, bool) {
 	return cs.ctx, true
 }
 
-// ContextNames lists registered contexts.
+// ContextNames lists registered contexts in sorted order.
 func (v *Virtualizer) ContextNames() []string {
 	v.ctxMu.RLock()
 	defer v.ctxMu.RUnlock()
-	names := make([]string, 0, len(v.contexts))
-	for n := range v.contexts {
-		names = append(names, n)
-	}
-	return names
+	return slices.Sorted(maps.Keys(v.contexts))
 }
 
 // Stats returns a copy of the context's counters.
@@ -383,7 +381,7 @@ func (v *Virtualizer) LockStats(ctxName string) (metrics.LockStats, error) {
 func (v *Virtualizer) TotalLockStats() metrics.LockStats {
 	v.ctxMu.RLock()
 	shards := make([]*shard, 0, len(v.contexts))
-	for _, cs := range v.contexts {
+	for _, cs := range v.contexts { //simfs:allow maporder commutative counter sum; the visit order never reaches the result
 		shards = append(shards, cs)
 	}
 	v.ctxMu.RUnlock()
@@ -411,9 +409,11 @@ func (v *Virtualizer) Scheduler() *sched.Scheduler { return v.sched }
 // references.
 func (v *Virtualizer) ClientDisconnected(client string) {
 	v.ctxMu.RLock()
+	// Sorted shard order: the kills and notifications below are visible
+	// to the DES, so the per-context teardown order must be stable.
 	shards := make([]*shard, 0, len(v.contexts))
-	for _, cs := range v.contexts {
-		shards = append(shards, cs)
+	for _, name := range slices.Sorted(maps.Keys(v.contexts)) {
+		shards = append(shards, v.contexts[name])
 	}
 	v.ctxMu.RUnlock()
 	// The departed client's fairness accounting dies with it: its quota
@@ -429,7 +429,7 @@ func (v *Virtualizer) ClientDisconnected(client string) {
 		// bounce, preemption) must not re-plant the quota entry
 		// DropClientQuota just removed. prefetchFor stays — the kill
 		// bookkeeping still needs to recognize the owner.
-		for _, sim := range cs.sims {
+		for _, sim := range cs.sims { //simfs:allow maporder independent per-sim field clear; no effect depends on visit order
 			if sim.client == client {
 				sim.client = ""
 			}

@@ -104,6 +104,8 @@ func (c *Client) tryReconnect() bool {
 // redial loops dial + hello with jittered exponential backoff until it
 // succeeds, the budget runs out, or the client closes. On success the
 // new connection is swapped in under both locks.
+//
+//simfs:allow wallclock reconnect backoff paces real network dials, not simulation
 func (c *Client) redial(cfg ReconnectConfig) bool {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()

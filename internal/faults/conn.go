@@ -98,6 +98,9 @@ func (c *faultConn) step() (delay time.Duration, cut bool) {
 	return delay, c.cut
 }
 
+// Read injects the planned delay/cut before the real read.
+//
+//simfs:allow wallclock fault injection delays a real connection by design
 func (c *faultConn) Read(b []byte) (int, error) {
 	delay, cut := c.step()
 	if delay > 0 {
@@ -110,6 +113,9 @@ func (c *faultConn) Read(b []byte) (int, error) {
 	return c.Conn.Read(b)
 }
 
+// Write injects the planned delay/cut before the real write.
+//
+//simfs:allow wallclock fault injection delays a real connection by design
 func (c *faultConn) Write(b []byte) (int, error) {
 	delay, cut := c.step()
 	if delay > 0 {

@@ -87,6 +87,8 @@ func (b *Bridge) Close() {
 // hold b.mu. A nil conn means the peer is currently unreachable; fresh
 // reports that this call just (re)dialed, so the connection carries
 // none of the interests the previous link held.
+//
+//simfs:allow wallclock redial backoff paces real peer dials, not simulation
 func (b *Bridge) peerLocked(addr string) (conn *PeerConn, fresh bool) {
 	if pc := b.conns[addr]; pc != nil && !pc.Broken() {
 		return pc, false

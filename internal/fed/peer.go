@@ -88,7 +88,7 @@ func DialPeer(addr, clientName string, onBatch func()) (*PeerConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("fed: hello to %s: %w", addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(dialTimeout))
+	conn.SetDeadline(time.Now().Add(dialTimeout)) //simfs:allow wallclock I/O deadline on a real network dial
 	if _, err := conn.Write(buf.Bytes()); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("fed: hello to %s: %w", addr, err)

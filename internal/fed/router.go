@@ -717,7 +717,11 @@ func (r *Router) fanStats(sess *rsession, id uint64, ctxName string) {
 	sess.reply(netproto.Response{ID: id, OK: true, Stats: merged})
 }
 
-// mergeStats accumulates src into dst.
+// mergeStats accumulates src into dst. The fieldsync analyzer holds it
+// to Stats's full field list: a counter added to the wire struct but
+// not merged here would silently vanish from federated stat fan-ins.
+//
+//simfs:sync netproto.Stats
 func mergeStats(dst, src *netproto.Stats) {
 	dst.Opens += src.Opens
 	dst.Hits += src.Hits

@@ -37,6 +37,8 @@ type ContendedMutex struct {
 }
 
 // Lock acquires the mutex, recording contention if it had to wait.
+//
+//simfs:allow wallclock contention wait times are wall-time observability, not simulation state
 func (m *ContendedMutex) Lock() {
 	if m.mu.TryLock() {
 		m.acquisitions.Add(1)

@@ -306,6 +306,10 @@ func (binCodec) DecodeFrame(r io.Reader, v any) error {
 // appendBinEnvelope appends env's binary encoding to buf. ok is false
 // when the op or body shape has no binary form (the caller falls back
 // to JSON).
+//
+//simfs:sync FileBody
+//simfs:sync FilesBody
+//simfs:sync UnsubscribeBody
 func appendBinEnvelope(buf []byte, env Envelope) ([]byte, bool) {
 	code, known := binOpcodes[env.Op]
 	if !known || env.Body != nil {
@@ -347,6 +351,12 @@ func appendBinEnvelope(buf []byte, env Envelope) ([]byte, bool) {
 	return buf, true
 }
 
+// decodeBinEnvelope is appendBinEnvelope's inverse; the sync
+// annotations keep both halves of the codec field-complete.
+//
+//simfs:sync FileBody
+//simfs:sync FilesBody
+//simfs:sync UnsubscribeBody
 func decodeBinEnvelope(p []byte, env *Envelope) error {
 	fail := func(msg string) error {
 		return &FrameError{Recoverable: true, Err: fmt.Errorf("binary request: %s", msg)}

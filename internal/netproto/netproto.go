@@ -298,7 +298,10 @@ type HelloInfo struct {
 }
 
 // FileBody addresses one file of one context (open, wait, release,
-// estwait, bitrep).
+// estwait, bitrep). Exhaustive: the binary codec pair must carry
+// every field, or v3 clients silently lose data JSON clients keep.
+//
+//simfs:exhaustive
 type FileBody struct {
 	Context string `json:"context"`
 	File    string `json:"file"`
@@ -306,6 +309,8 @@ type FileBody struct {
 
 // FilesBody addresses several files of one context (acquire, prefetch,
 // subscribe).
+//
+//simfs:exhaustive
 type FilesBody struct {
 	Context string   `json:"context"`
 	Files   []string `json:"files"`
@@ -325,6 +330,8 @@ type ChecksumBody struct {
 }
 
 // UnsubscribeBody cancels the subscription opened by request SubID.
+//
+//simfs:exhaustive
 type UnsubscribeBody struct {
 	SubID uint64 `json:"sub_id"`
 }
@@ -355,7 +362,11 @@ type SchedSetBody struct {
 }
 
 // SchedInfo mirrors the scheduler configuration on the wire (sched-get
-// and sched-set responses).
+// and sched-set responses). Exhaustive: the server's schedInfo echo
+// must mirror every knob, or a reconfiguration could land without
+// being observable.
+//
+//simfs:exhaustive
 type SchedInfo struct {
 	Coalesce        bool    `json:"coalesce"`
 	Priorities      bool    `json:"priorities"`
@@ -401,6 +412,11 @@ type ContextInfo struct {
 
 // Stats mirrors core.CtxStats on the wire, plus the context's live
 // control-plane state and the daemon-global scheduler counters.
+// Exhaustive: the federation router's mergeStats must fold every
+// field, or a counter added here silently vanishes at the fan-out
+// boundary (the bug class PR 9 fixed by hand).
+//
+//simfs:exhaustive
 type Stats struct {
 	Opens            int64 `json:"opens"`
 	Hits             int64 `json:"hits"`

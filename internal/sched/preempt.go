@@ -122,7 +122,7 @@ func (s *Scheduler) WantsPreemption() bool {
 	}
 	anyDemand := false
 	want := false
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder existence scan; the booleans are the same whatever order finds them
 		if len(cs.jobs) == 0 {
 			continue
 		}
@@ -213,7 +213,7 @@ func (s *Scheduler) chargeQuota(job *Job) {
 // s.mu.
 func (s *Scheduler) replenishQuota(bestDef int) {
 	add := s.cfg.DRRQuantum - bestDef
-	for c, d := range s.quota {
+	for c, d := range s.quota { //simfs:allow maporder each client's shift-and-cap is independent of the others
 		d += add
 		if d > s.cfg.DRRQuantum {
 			d = s.cfg.DRRQuantum
@@ -287,7 +287,7 @@ func (s *Scheduler) QuotaDebt(client string) (int, bool) {
 func (s *Scheduler) nextDRR() (Job, bool) {
 	// Pass 1: the most urgent class among admissible queue heads.
 	var headCs *ctxState
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder less is a total order (seq tiebreak): the minimum is unique
 		if len(cs.jobs) == 0 {
 			continue
 		}
@@ -308,7 +308,7 @@ func (s *Scheduler) nextDRR() (Job, bool) {
 	var bestCs *ctxState
 	bestIdx := -1
 	var best, fifo *Job
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder winner is the unique best by (credit, seq); scan order is washed out
 		if len(cs.jobs) == 0 {
 			continue
 		}

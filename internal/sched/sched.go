@@ -48,6 +48,8 @@ package sched
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -310,7 +312,7 @@ func (s *Scheduler) Update(mutate func(Config) Config) Config {
 	defer s.mu.Unlock()
 	s.cfg = mutate(s.cfg)
 	s.preemptOn.Store(s.cfg.Preempt != PreemptOff && s.cfg.TotalNodes > 0)
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder per-context clamp and quota backfill are independent per entry
 		if s.cfg.TotalNodes > 0 {
 			for _, job := range cs.jobs {
 				if jobNodes(job.Parallelism) > s.cfg.TotalNodes {
@@ -525,7 +527,7 @@ func (s *Scheduler) PromoteDemand(ctx string, step int, client string) bool {
 // by its smax and therefore waiting on the node budget. Caller holds
 // s.mu.
 func (s *Scheduler) nodeBlockedHead() bool {
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder existence scan; any order reaches the same boolean
 		if len(cs.jobs) > 0 && (cs.smax == 0 || cs.inflight < cs.smax) {
 			return true
 		}
@@ -723,7 +725,7 @@ func (s *Scheduler) Next() (Job, bool) {
 		return s.nextDRR()
 	}
 	var best *ctxState
-	for _, cs := range s.ctxs {
+	for _, cs := range s.ctxs { //simfs:allow maporder less is a total order (seq tiebreak): the minimum is unique
 		if len(cs.jobs) == 0 {
 			continue
 		}
@@ -1038,7 +1040,9 @@ func (s *Scheduler) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	total := 0
-	for name, cs := range s.ctxs {
+	// Sorted iteration so the first violation reported is deterministic.
+	for _, name := range slices.Sorted(maps.Keys(s.ctxs)) {
+		cs := s.ctxs[name]
 		if cs.inflight < 0 {
 			return fmt.Errorf("sched: context %q has negative inflight %d", name, cs.inflight)
 		}

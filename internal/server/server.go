@@ -153,7 +153,7 @@ func (s *Server) Addr() string {
 // shutdown.
 func (s *Server) Serve() error {
 	if s.ln == nil {
-		return errors.New("server: Serve before Listen")
+		return errors.New("server: Serve before Listen") //simfs:allow errcode misuse of the embedding API, never sent over the wire
 	}
 	for {
 		conn, err := s.ln.Accept()
@@ -392,6 +392,11 @@ func (s *session) flushLocked() {
 // anything a handler did not anticipate — is the daemon's problem and
 // classifies as internal, so a client dispatching on the code never
 // mistakes a daemon bug for bad input.
+//
+// The errcode analyzer checks this table: every //simfs:errcode
+// sentinel registered in the imported packages must appear in a case.
+//
+//simfs:errcode-table
 func codeOf(err error) netproto.ErrCode {
 	var qerr *core.QuarantineError
 	switch {
@@ -466,9 +471,9 @@ func (s *Server) handle(sess *session) {
 					netproto.OpHello, netproto.ProtoVersion)})
 			return
 		}
-		t0 := time.Now()
+		t0 := time.Now() //simfs:allow wallclock live daemon service-time stamps feed the latency histograms, not the simulation
 		open := s.dispatch(sess, env)
-		s.lat.Record(env.Op, time.Since(t0))
+		s.lat.Record(env.Op, time.Since(t0)) //simfs:allow wallclock live daemon service-time stamps feed the latency histograms, not the simulation
 		if !open {
 			return
 		}
@@ -996,7 +1001,11 @@ func hasCapability(caps []string, want string) bool {
 	return false
 }
 
-// schedInfo mirrors a scheduler config onto the wire.
+// schedInfo mirrors a scheduler config onto the wire. The fieldsync
+// analyzer holds it to SchedInfo's full field list, so a new knob
+// cannot ship half-mirrored.
+//
+//simfs:sync netproto.SchedInfo
 func schedInfo(cfg sched.Config) *netproto.SchedInfo {
 	return &netproto.SchedInfo{
 		Coalesce: cfg.Coalesce, Priorities: cfg.Priorities, TotalNodes: cfg.TotalNodes,
@@ -1354,7 +1363,10 @@ func (s *Server) readStorage(ctxName, file string) ([]byte, error) {
 		return nil, err
 	}
 	if fs == nil {
-		return nil, fmt.Errorf("context %q has no storage area", ctxName)
+		// A registered context without a storage area is a daemon-side
+		// misconfiguration, not a client mistake: internal is the right
+		// classification, so no sentinel is wrapped.
+		return nil, fmt.Errorf("context %q has no storage area", ctxName) //simfs:allow errcode daemon-side invariant breach classifies as internal by design
 	}
 	return fs.Read(file)
 }

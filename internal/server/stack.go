@@ -64,7 +64,7 @@ func NewStack(baseDir string, timeScale int, policy string, ctxs ...*model.Conte
 // priority-ordered queueing, and a global node budget across contexts.
 func NewScheduledStack(baseDir string, timeScale int, policy string, schedCfg sched.Config, ctxs ...*model.Context) (*Stack, error) {
 	if len(ctxs) == 0 {
-		return nil, fmt.Errorf("server: stack needs at least one context")
+		return nil, fmt.Errorf("server: %w: stack needs at least one context", core.ErrInvalid)
 	}
 	st := &Stack{baseDir: baseDir, timeScale: timeScale, areas: map[string]*vfs.Disk{}}
 	st.Launcher = &simulator.RealTimeLauncher{TimeScale: timeScale}
@@ -73,7 +73,9 @@ func NewScheduledStack(baseDir string, timeScale int, policy string, schedCfg sc
 	st.Launcher.Write = func(ctx *model.Context, step int) error {
 		area, ok := st.Area(ctx.Name)
 		if !ok {
-			return fmt.Errorf("server: no storage area for context %q", ctx.Name)
+			// A launch for a context without an area is a daemon-side
+			// inconsistency: internal is the right wire code.
+			return fmt.Errorf("server: no storage area for context %q", ctx.Name) //simfs:allow errcode daemon-side invariant breach classifies as internal by design
 		}
 		name := ctx.Filename(step)
 		if ctx.NonReproducible {
@@ -237,11 +239,13 @@ func (st *Stack) SyncContexts(desired []*model.Context, policy string, initialSi
 func (st *Stack) RunInitialSimulation(ctxName string) error {
 	ctx, ok := st.V.Context(ctxName)
 	if !ok {
-		return fmt.Errorf("server: unknown context %q", ctxName)
+		return fmt.Errorf("server: %w %q", core.ErrUnknownContext, ctxName)
 	}
 	area, ok := st.Area(ctxName)
 	if !ok {
-		return fmt.Errorf("server: no storage area for context %q", ctxName)
+		// Registered but area-less: a daemon-side inconsistency, so the
+		// internal wire code is the honest classification.
+		return fmt.Errorf("server: no storage area for context %q", ctxName) //simfs:allow errcode daemon-side invariant breach classifies as internal by design
 	}
 	drv := simulator.NewSynthetic(ctx)
 	for t := ctx.Grid.DeltaR; t <= ctx.Grid.Timesteps; t += ctx.Grid.DeltaR {
